@@ -1,0 +1,162 @@
+//! Active-energy evaluation (§2.6).
+//!
+//! `Busy-CPU energy = Active energy + Background energy`. The background is
+//! measured by metering an only-blocked program (our `sleep 1` equivalent is
+//! one second of C0 idle on a fresh machine); the Busy-CPU energy of a
+//! workload is read from the narrowest RAPL domain set that covers the
+//! workload's memory traffic:
+//!
+//! * touched nothing beyond L2 → `E(core)`,
+//! * touched L3 but not DRAM → `E(package)`,
+//! * touched DRAM → `E(package) + E(memory)`.
+
+use crate::counting::MicroOpCounts;
+use simcore::{ArchConfig, Cpu, Measurement, PState};
+
+/// Which RAPL domains a workload's energy was read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainChoice {
+    /// `E(core)`.
+    Core,
+    /// `E(package)`.
+    Package,
+    /// `E(package) + E(memory)`.
+    PackageAndMemory,
+}
+
+/// Measured background power per domain at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Background {
+    /// Operating point the background was measured at.
+    pub pstate: PState,
+    /// Core-domain watts.
+    pub core_w: f64,
+    /// Package-domain watts (includes core).
+    pub package_w: f64,
+    /// Memory-domain watts.
+    pub memory_w: f64,
+}
+
+impl Background {
+    /// Measure the background power of `arch` at `pstate` by metering one
+    /// second of C0 idle on a fresh machine (the paper's `sleep 1` with
+    /// C-states disabled).
+    pub fn measure(arch: &ArchConfig, pstate: PState) -> Background {
+        let mut cpu = Cpu::new(arch.clone());
+        cpu.set_governor(false);
+        cpu.set_pstate(pstate);
+        let before = cpu.rapl();
+        cpu.idle_c0(1.0);
+        let d = cpu.rapl().delta(&before);
+        Background {
+            pstate,
+            core_w: d.core_j,
+            package_w: d.package_j,
+            memory_w: d.memory_j,
+        }
+    }
+
+    /// Background watts for a domain choice.
+    pub fn watts(&self, choice: DomainChoice) -> f64 {
+        match choice {
+            DomainChoice::Core => self.core_w,
+            DomainChoice::Package => self.package_w,
+            DomainChoice::PackageAndMemory => self.package_w + self.memory_w,
+        }
+    }
+}
+
+/// The Busy/Background/Active split of one measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveEnergy {
+    /// Domains the Busy-CPU energy was read from.
+    pub choice: DomainChoice,
+    /// Busy-CPU energy (joules) over the window.
+    pub busy_j: f64,
+    /// Background energy (joules) subtracted.
+    pub background_j: f64,
+    /// Active energy = busy − background, floored at zero.
+    pub active_j: f64,
+}
+
+/// Pick the §2.6 domain set for a window's traffic.
+pub fn choose_domains(counts: &MicroOpCounts) -> DomainChoice {
+    if counts.core_only() {
+        DomainChoice::Core
+    } else if counts.package_only() {
+        DomainChoice::Package
+    } else {
+        DomainChoice::PackageAndMemory
+    }
+}
+
+/// Evaluate the Active energy of a measurement window against a measured
+/// background.
+pub fn active_energy(m: &Measurement, bg: &Background) -> ActiveEnergy {
+    let counts = MicroOpCounts::from_pmu(&m.pmu);
+    let choice = choose_domains(&counts);
+    let busy_j = match choice {
+        DomainChoice::Core => m.rapl.core_j,
+        DomainChoice::Package => m.rapl.package_j,
+        DomainChoice::PackageAndMemory => m.rapl.package_j + m.rapl.memory_j,
+    };
+    let background_j = bg.watts(choice) * m.time_s;
+    ActiveEnergy { choice, busy_j, background_j, active_j: (busy_j - background_j).max(0.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{ArchConfig, Dep};
+
+    #[test]
+    fn background_is_a_few_watts_at_p36() {
+        let bg = Background::measure(&ArchConfig::intel_i7_4790(), PState::P36);
+        assert!(bg.package_w > 2.0 && bg.package_w < 15.0, "{bg:?}");
+        assert!(bg.core_w < bg.package_w);
+        let bg12 = Background::measure(&ArchConfig::intel_i7_4790(), PState::P12);
+        assert!(bg12.package_w < bg.package_w);
+    }
+
+    #[test]
+    fn active_energy_subtracts_background() {
+        let arch = ArchConfig::intel_i7_4790();
+        let bg = Background::measure(&arch, PState::P36);
+        let mut cpu = Cpu::new(arch);
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(4096).unwrap();
+        for i in 0..64u64 {
+            cpu.load(r.addr + i * 64, Dep::Stream);
+        }
+        let m = cpu.measure(|c| {
+            for _ in 0..10_000 {
+                for i in 0..64u64 {
+                    c.load(r.addr + i * 64, Dep::Stream);
+                }
+            }
+        });
+        let a = active_energy(&m, &bg);
+        assert_eq!(a.choice, DomainChoice::Core);
+        assert!(a.active_j > 0.0);
+        assert!(a.busy_j > a.active_j);
+        // Active should be a solid share of busy for a hot loop.
+        assert!(a.active_j / a.busy_j > 0.3, "{a:?}");
+    }
+
+    #[test]
+    fn dram_workload_uses_package_plus_memory() {
+        let arch = ArchConfig::intel_i7_4790();
+        let bg = Background::measure(&arch, PState::P36);
+        let mut cpu = Cpu::new(arch);
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(32 * 1024 * 1024).unwrap();
+        let m = cpu.measure(|c| {
+            for i in 0..(32 * 1024 * 1024 / 64) {
+                c.load(r.addr + i * 64, Dep::Stream);
+            }
+        });
+        let a = active_energy(&m, &bg);
+        assert_eq!(a.choice, DomainChoice::PackageAndMemory);
+        assert!(a.active_j > 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Active-energy breakdown of arbitrary workloads (§3, Figs. 6–11).
+
+use crate::active::{active_energy, ActiveEnergy};
+use crate::counting::MicroOpCounts;
+use crate::microop::MicroOp;
+use crate::solver::EnergyTable;
+use simcore::Measurement;
+
+/// The decomposition of one workload window's Active energy.
+///
+/// `E_active = E_L1D + E_Reg2L1D + E_L2 + E_L3 + E_mem + E_pf + E_stall +
+/// E_other`, where `E_other` is the unisolated remainder (calculation, L1I,
+/// TLB…). Shares are fractions of the Active energy, the quantity the
+/// paper's stacked bars plot.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Busy/background/active split of the window.
+    pub active: ActiveEnergy,
+    /// Micro-op counts of the window.
+    pub counts: MicroOpCounts,
+    e: [f64; 7],
+    e_other: f64,
+    /// Denominator for shares: Active energy, or the modelled movement sum
+    /// if the linear model slightly overshoots the measurement.
+    denom: f64,
+    /// Window wall time (seconds).
+    pub time_s: f64,
+}
+
+impl Breakdown {
+    pub(crate) fn compute(table: &EnergyTable, m: &Measurement) -> Breakdown {
+        let counts = MicroOpCounts::from_pmu(&m.pmu);
+        let active = active_energy(m, &table.background);
+        let mut e = [0.0f64; 7];
+        for op in MicroOp::MS {
+            e[op.index()] = match op {
+                MicroOp::Pf => {
+                    table.de_pf_l2 * counts.pf_l2 as f64 + table.de_pf_l3 * counts.pf_l3 as f64
+                }
+                _ => table.de(op) * counts.get(op) as f64,
+            };
+        }
+        // TCM traffic (ARM proof of concept) is data movement too; fold it
+        // into the L1D slot's sibling accounting? No — keep it visible by
+        // adding it to E_other's explained part is wrong either. It has its
+        // own solved ΔE, so report it inside E_L1D would misattribute: add a
+        // dedicated share via e_other reduction.
+        let movement: f64 = e.iter().sum::<f64>() + table.de_tcm_load * counts.tcm_load as f64;
+        let denom = active.active_j.max(movement).max(f64::MIN_POSITIVE);
+        let e_other = (denom - movement).max(0.0);
+        Breakdown { active, counts, e, e_other, denom, time_s: m.time_s }
+    }
+
+    /// Energy attributed to `op` (joules).
+    pub fn energy_j(&self, op: MicroOp) -> f64 {
+        self.e[op.index()]
+    }
+
+    /// The unisolated remainder `E_other` (joules).
+    pub fn other_j(&self) -> f64 {
+        self.e_other
+    }
+
+    /// Active energy of the window (joules).
+    pub fn active_j(&self) -> f64 {
+        self.active.active_j
+    }
+
+    /// Share of Active energy attributed to `op` (0..1).
+    pub fn share(&self, op: MicroOp) -> f64 {
+        self.e[op.index()] / self.denom
+    }
+
+    /// Share of `E_other`.
+    pub fn other_share(&self) -> f64 {
+        self.e_other / self.denom
+    }
+
+    /// Total data-movement energy (all seven `MS` members).
+    pub fn movement_j(&self) -> f64 {
+        self.e.iter().sum()
+    }
+
+    /// Data movement as a share of Active energy (paper: 55–76.4% for query
+    /// workloads).
+    pub fn movement_share(&self) -> f64 {
+        self.movement_j() / self.denom
+    }
+
+    /// `E_L1D + E_Reg2L1D` share — the paper's headline quantity (39–67%).
+    pub fn l1d_share(&self) -> f64 {
+        self.share(MicroOp::L1d) + self.share(MicroOp::Reg2L1d)
+    }
+
+    /// Share of the *Busy* energy that the method explains (movement +
+    /// background); the paper reports 77.7–89.2% for query workloads.
+    pub fn busy_explained_share(&self) -> f64 {
+        if self.active.busy_j <= 0.0 {
+            return 0.0;
+        }
+        ((self.movement_j() + self.active.background_j) / self.active.busy_j).min(1.0)
+    }
+
+    /// The eight shares in the paper's legend order
+    /// (L1D, Reg2L1D, L2, L3, mem, pf, stall, other).
+    pub fn shares(&self) -> [f64; 8] {
+        [
+            self.share(MicroOp::L1d),
+            self.share(MicroOp::Reg2L1d),
+            self.share(MicroOp::L2),
+            self.share(MicroOp::L3),
+            self.share(MicroOp::Mem),
+            self.share(MicroOp::Pf),
+            self.share(MicroOp::Stall),
+            self.other_share(),
+        ]
+    }
+
+    /// Combine several windows (e.g. the 22 TPC-H queries) into an average
+    /// breakdown weighted by energy, used for Figs. 8/9/11.
+    pub fn merge(parts: &[Breakdown]) -> Option<Breakdown> {
+        let first = parts.first()?;
+        let mut out = first.clone();
+        for p in &parts[1..] {
+            for i in 0..7 {
+                out.e[i] += p.e[i];
+            }
+            out.e_other += p.e_other;
+            out.denom += p.denom;
+            out.time_s += p.time_s;
+            out.active.busy_j += p.active.busy_j;
+            out.active.background_j += p.active.background_j;
+            out.active.active_j += p.active.active_j;
+            out.counts.l1d += p.counts.l1d;
+            out.counts.reg2l1d += p.counts.reg2l1d;
+            out.counts.l2 += p.counts.l2;
+            out.counts.l3 += p.counts.l3;
+            out.counts.mem += p.counts.mem;
+            out.counts.pf_l2 += p.counts.pf_l2;
+            out.counts.pf_l3 += p.counts.pf_l3;
+            out.counts.stall += p.counts.stall;
+            out.counts.add += p.counts.add;
+            out.counts.nop += p.counts.nop;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::CalibrationBuilder;
+    use simcore::{Cpu, Dep, ExecOp};
+
+    #[test]
+    fn shares_sum_to_one() {
+        let table = CalibrationBuilder::quick().calibrate();
+        let mut cpu = Cpu::new(table.arch.clone());
+        cpu.set_prefetch(true);
+        let r = cpu.alloc(1 << 20).unwrap();
+        let m = cpu.measure(|c| {
+            for i in 0..(1u64 << 20) / 64 {
+                c.load(r.addr + i * 64, Dep::Stream);
+                c.exec(ExecOp::Generic);
+            }
+            c.store(r.addr);
+        });
+        let bd = table.breakdown(&m);
+        let total: f64 = bd.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        assert!(bd.active_j() > 0.0);
+    }
+
+    #[test]
+    fn l1d_dominates_a_resident_scan() {
+        let table = CalibrationBuilder::quick().calibrate();
+        let mut cpu = Cpu::new(table.arch.clone());
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(16 * 1024).unwrap();
+        for i in 0..256u64 {
+            cpu.load(r.addr + i * 64, Dep::Stream);
+        }
+        let m = cpu.measure(|c| {
+            for _ in 0..200 {
+                for i in 0..256u64 {
+                    c.load(r.addr + i * 64, Dep::Stream);
+                }
+            }
+        });
+        let bd = table.breakdown(&m);
+        assert!(bd.l1d_share() > 0.7, "L1D share {}", bd.l1d_share());
+    }
+
+    #[test]
+    fn pointer_chase_shifts_energy_to_stall() {
+        let table = CalibrationBuilder::quick().calibrate();
+        let mut cpu = Cpu::new(table.arch.clone());
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(64).unwrap();
+        cpu.load(r.addr, Dep::Stream);
+        let m = cpu.measure(|c| {
+            for _ in 0..50_000 {
+                c.load(r.addr, Dep::Chase);
+            }
+        });
+        let bd = table.breakdown(&m);
+        assert!(bd.share(MicroOp::Stall) > bd.share(MicroOp::L1d));
+    }
+
+    #[test]
+    fn merge_weights_by_energy() {
+        let table = CalibrationBuilder::quick().calibrate();
+        let mut cpu = Cpu::new(table.arch.clone());
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(4096).unwrap();
+        let mk = |cpu: &mut Cpu, n: u64| {
+            let m = cpu.measure(|c| {
+                for _ in 0..n {
+                    for i in 0..64u64 {
+                        c.load(r.addr + i * 64, Dep::Stream);
+                    }
+                }
+            });
+            table.breakdown(&m)
+        };
+        let a = mk(&mut cpu, 50);
+        let b = mk(&mut cpu, 100);
+        let merged = Breakdown::merge(&[a.clone(), b]).unwrap();
+        assert!(merged.active_j() > a.active_j());
+        let total: f64 = merged.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Micro-operation counting (§2.4): map PMU event counts onto `N_m`.
+
+use crate::microop::MicroOp;
+use simcore::{Event, PmuSnapshot};
+
+/// The `N_m` vector for one measurement window, plus the auxiliary counts
+/// used by verification (`N_add`, `N_nop`) and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MicroOpCounts {
+    /// `N_L1D`: loads touching L1D — hit + miss, per the step-by-step
+    /// replication strategy.
+    pub l1d: u64,
+    /// `N_Reg2L1D`: stores that hit L1D.
+    pub reg2l1d: u64,
+    /// `N_L2`: accesses to L2 (hit + miss).
+    pub l2: u64,
+    /// `N_L3`: accesses to L3 (hit + miss).
+    pub l3: u64,
+    /// `N_mem`: L3 misses.
+    pub mem: u64,
+    /// `N_pf^L2`: lines prefetched into L2.
+    pub pf_l2: u64,
+    /// `N_pf^L3`: lines prefetched into L3.
+    pub pf_l3: u64,
+    /// `N_stall`: cycles stalled on data loads.
+    pub stall: u64,
+    /// `N_add` (for `E_other` in verification).
+    pub add: u64,
+    /// `N_nop`.
+    pub nop: u64,
+    /// TCM loads (ARM proof of concept).
+    pub tcm_load: u64,
+    /// TCM stores (ARM proof of concept).
+    pub tcm_store: u64,
+}
+
+impl MicroOpCounts {
+    /// Extract counts from a PMU delta.
+    pub fn from_pmu(p: &PmuSnapshot) -> MicroOpCounts {
+        MicroOpCounts {
+            l1d: p.get(Event::LoadIssued),
+            reg2l1d: p.get(Event::L1dStoreHit),
+            l2: p.get(Event::L2Hit) + p.get(Event::L2Miss),
+            l3: p.get(Event::L3Hit) + p.get(Event::L3Miss),
+            mem: p.get(Event::L3Miss),
+            pf_l2: p.get(Event::PrefetchL2),
+            pf_l3: p.get(Event::PrefetchL3),
+            stall: p.get(Event::StallCycles),
+            add: p.get(Event::AddOps),
+            nop: p.get(Event::NopOps),
+            tcm_load: p.get(Event::TcmLoad),
+            tcm_store: p.get(Event::TcmStore),
+        }
+    }
+
+    /// `N_m` for a member of `MS` (prefetch flavours combined).
+    pub fn get(&self, op: MicroOp) -> u64 {
+        match op {
+            MicroOp::L1d => self.l1d,
+            MicroOp::Reg2L1d => self.reg2l1d,
+            MicroOp::L2 => self.l2,
+            MicroOp::L3 => self.l3,
+            MicroOp::Mem => self.mem,
+            MicroOp::Pf => self.pf_l2 + self.pf_l3,
+            MicroOp::Stall => self.stall,
+        }
+    }
+
+    /// True when the workload never left the core+L1+L2 complex (the §2.6
+    /// rule for reading only the core RAPL domain).
+    pub fn core_only(&self) -> bool {
+        self.l3 == 0 && self.mem == 0 && self.pf_l2 == 0 && self.pf_l3 == 0
+    }
+
+    /// True when DRAM was never touched (read the package domain only).
+    pub fn package_only(&self) -> bool {
+        self.mem == 0 && self.pf_l3 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{ArchConfig, Cpu, Dep};
+
+    #[test]
+    fn counts_follow_the_step_by_step_rule() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(1024 * 1024).unwrap();
+        let m = cpu.measure(|c| {
+            // 1024 cold lines: every load goes to DRAM.
+            for i in 0..1024u64 {
+                c.load(r.addr + i * 64, Dep::Stream);
+            }
+        });
+        let n = MicroOpCounts::from_pmu(&m.pmu);
+        assert_eq!(n.l1d, 1024);
+        assert_eq!(n.l2, 1024, "each L1D miss is an L2 access");
+        assert_eq!(n.l3, 1024);
+        assert_eq!(n.mem, 1024);
+        assert_eq!(n.get(MicroOp::Pf), 0);
+        assert!(!n.core_only());
+        assert!(!n.package_only());
+    }
+
+    #[test]
+    fn l1_resident_workload_is_core_only() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(false);
+        let r = cpu.alloc(4096).unwrap();
+        for i in 0..64u64 {
+            cpu.load(r.addr + i * 64, Dep::Stream); // warm: these do hit DRAM
+        }
+        let m = cpu.measure(|c| {
+            for i in 0..64u64 {
+                c.load(r.addr + i * 64, Dep::Stream);
+            }
+            c.store(r.addr);
+        });
+        let n = MicroOpCounts::from_pmu(&m.pmu);
+        assert!(n.core_only(), "{n:?}");
+        assert_eq!(n.reg2l1d, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! The analysed micro-operation set `MS` (§2.3).
+
+use std::fmt;
+
+/// One micro-operation in `MS`.
+///
+/// For `L1d`/`L2`/`L3`/`Mem`, the micro-op is a load that reads data *from*
+/// that layer into the next higher one; `Reg2L1d` is a store from registers
+/// into L1D; `Pf` is a hardware prefetch (L2 or L3 flavour); `Stall` is one
+/// core cycle stalled on a data load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroOp {
+    /// Load serviced by the L1 data cache.
+    L1d,
+    /// Store from registers into L1D.
+    Reg2L1d,
+    /// Load serviced by L2 (data moves L2→L1D).
+    L2,
+    /// Load serviced by L3 (data moves L3→L2).
+    L3,
+    /// Load serviced by DRAM (data moves DRAM→L3).
+    Mem,
+    /// Hardware prefetch (both L2-streamer flavours combined, as in `MS`).
+    Pf,
+    /// One stall cycle due to memory access.
+    Stall,
+}
+
+impl MicroOp {
+    /// All members of `MS`, in the paper's presentation order.
+    pub const MS: [MicroOp; 7] = [
+        MicroOp::L1d,
+        MicroOp::Reg2L1d,
+        MicroOp::L2,
+        MicroOp::L3,
+        MicroOp::Mem,
+        MicroOp::Pf,
+        MicroOp::Stall,
+    ];
+
+    /// The paper's symbol for the micro-op (used in table headers).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            MicroOp::L1d => "L1D",
+            MicroOp::Reg2L1d => "Reg2L1D",
+            MicroOp::L2 => "L2",
+            MicroOp::L3 => "L3",
+            MicroOp::Mem => "mem",
+            MicroOp::Pf => "pf",
+            MicroOp::Stall => "stall",
+        }
+    }
+
+    /// Dense index for array-backed maps.
+    pub fn index(self) -> usize {
+        match self {
+            MicroOp::L1d => 0,
+            MicroOp::Reg2L1d => 1,
+            MicroOp::L2 => 2,
+            MicroOp::L3 => 3,
+            MicroOp::Mem => 4,
+            MicroOp::Pf => 5,
+            MicroOp::Stall => 6,
+        }
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_has_seven_distinct_ops_with_dense_indices() {
+        let mut seen = [false; 7];
+        for op in MicroOp::MS {
+            assert!(!seen[op.index()]);
+            seen[op.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

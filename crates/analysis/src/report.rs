@@ -1,0 +1,144 @@
+//! Plain-text and CSV rendering for the experiment harnesses.
+//!
+//! The paper's figures are stacked horizontal bars of energy shares; the
+//! harness binaries print the same data as aligned text tables (one row per
+//! workload, one column per micro-op) and as CSV for plotting.
+
+use crate::breakdown::Breakdown;
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (panics if the arity differs from the header).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[c] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — callers use simple cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Column headers for breakdown-share tables, matching the paper's legend.
+pub const SHARE_HEADERS: [&str; 8] =
+    ["EL1D", "EReg2L1D", "EL2", "EL3", "Emem", "Epf", "Estall", "Eother"];
+
+/// Format a breakdown's shares as percentages with one decimal.
+pub fn share_cells(bd: &Breakdown) -> Vec<String> {
+    bd.shares().iter().map(|s| format!("{:.1}", s * 100.0)).collect()
+}
+
+/// A crude stacked-bar rendering of a share vector (80 columns), for quick
+/// visual comparison with the paper's figures in a terminal.
+pub fn share_bar(shares: &[f64; 8]) -> String {
+    const GLYPHS: [char; 8] = ['█', '▓', '▒', '░', 'm', 'p', 's', '·'];
+    let mut out = String::new();
+    for (i, &s) in shares.iter().enumerate() {
+        let n = (s * 80.0).round() as usize;
+        for _ in 0..n {
+            out.push(GLYPHS[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_and_renders() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let mut t = TextTable::new(["x", "y"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["only", "header"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert_eq!(t.to_csv(), "only,header\n");
+    }
+
+    #[test]
+    fn bar_length_tracks_shares() {
+        let bar = share_bar(&[0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(bar.chars().count(), 80);
+    }
+}

@@ -1,0 +1,276 @@
+//! Energy-model solving (§2.5.4): from micro-benchmark measurements to the
+//! per-micro-op energies `ΔE_m`.
+//!
+//! ```text
+//! ΔE_L1D     = E(B_L1D_array) / N_L1D
+//! ΔE_stall   = (E(B_L1D_list) − E_L1D) / N_stall
+//! ΔE_m       = (E(B_m) − Σ_{i>m} ΔE_i·N_i − E_stall) / N_m      (Eq. 2)
+//! ΔE_Reg2L1D = E(B_Reg2L1D) / N_Reg2L1D
+//! ΔE_pf^L2   = ΔE_L3,  ΔE_pf^L3 = ΔE_mem        (movement assumption, §2.5.4)
+//! ΔE_add     = E(B_add) / N_add,   ΔE_nop = E(B_nop) / N_nop
+//! ```
+//!
+//! All right-hand sides are *measured* quantities (RAPL minus background,
+//! PMU counts); the solver never sees the simulator's ground truth.
+
+use crate::active::{active_energy, Background};
+use crate::counting::MicroOpCounts;
+use crate::microop::MicroOp;
+use microbench::runner::bench_cpu;
+use microbench::{BenchRun, MicroBenchId, RunConfig};
+use simcore::{ArchConfig, ArchKind, Measurement, PState};
+
+/// Solved per-micro-op energies at one operating point (the paper's
+/// Table 2), plus everything needed to break down workloads.
+#[derive(Debug, Clone)]
+pub struct EnergyTable {
+    /// Architecture the table was calibrated on.
+    pub arch: ArchConfig,
+    /// Operating point of the calibration.
+    pub pstate: PState,
+    /// Background power measured during calibration.
+    pub background: Background,
+    de: [f64; 7],
+    /// `ΔE_pf^L2` in joules (≡ `ΔE_L3`).
+    pub de_pf_l2: f64,
+    /// `ΔE_pf^L3` in joules (≡ `ΔE_mem`).
+    pub de_pf_l3: f64,
+    /// `ΔE_add` in joules.
+    pub de_add: f64,
+    /// `ΔE_nop` in joules.
+    pub de_nop: f64,
+    /// `ΔE` of a TCM load (ARM parts; 0 elsewhere).
+    pub de_tcm_load: f64,
+}
+
+impl EnergyTable {
+    /// Solved `ΔE_m` in joules. For [`MicroOp::Pf`] this returns the L2
+    /// flavour (use [`EnergyTable::de_pf_l2`]/[`EnergyTable::de_pf_l3`] when
+    /// the split matters).
+    pub fn de(&self, op: MicroOp) -> f64 {
+        match op {
+            MicroOp::Pf => self.de_pf_l2,
+            _ => self.de[op.index()],
+        }
+    }
+
+    /// Solved `ΔE_m` in nanojoules (the paper's Table 2 unit).
+    pub fn de_nj(&self, op: MicroOp) -> f64 {
+        self.de(op) * 1e9
+    }
+
+    /// Estimate a window's Active energy from counts alone — Eq. 1 with
+    /// `E_other = ΔE_add·N_add + ΔE_nop·N_nop` (the §2.5.5 estimator).
+    pub fn estimate_active_j(&self, counts: &MicroOpCounts) -> f64 {
+        self.movement_j(counts)
+            + self.de_add * counts.add as f64
+            + self.de_nop * counts.nop as f64
+    }
+
+    /// The data-movement part of Eq. 1: `Σ_{m∈MS} ΔE_m · N_m`.
+    pub fn movement_j(&self, counts: &MicroOpCounts) -> f64 {
+        let mut e = 0.0;
+        for op in [MicroOp::L1d, MicroOp::Reg2L1d, MicroOp::L2, MicroOp::L3, MicroOp::Mem] {
+            e += self.de(op) * counts.get(op) as f64;
+        }
+        e += self.de_pf_l2 * counts.pf_l2 as f64;
+        e += self.de_pf_l3 * counts.pf_l3 as f64;
+        e += self.de(MicroOp::Stall) * counts.stall as f64;
+        e += self.de_tcm_load * counts.tcm_load as f64;
+        e
+    }
+
+    /// Break a workload measurement down into per-micro-op energies (§3).
+    pub fn breakdown(&self, m: &Measurement) -> crate::breakdown::Breakdown {
+        crate::breakdown::Breakdown::compute(self, m)
+    }
+}
+
+/// Runs the calibration pipeline: background, `MBS`, solve.
+#[derive(Debug, Clone)]
+pub struct CalibrationBuilder {
+    arch: ArchConfig,
+    cfg: RunConfig,
+}
+
+impl CalibrationBuilder {
+    /// Calibrate `arch` at the paper's trunk configuration (P36 for x86).
+    pub fn new(arch: ArchConfig) -> CalibrationBuilder {
+        let top = PState(arch.max_pstate);
+        CalibrationBuilder { arch, cfg: RunConfig::at(top) }
+    }
+
+    /// Small, fast calibration on the i7-4790 (for tests and doc examples).
+    pub fn quick() -> CalibrationBuilder {
+        CalibrationBuilder::new(ArchConfig::intel_i7_4790()).target_ops(20_000)
+    }
+
+    /// Set the operating point.
+    pub fn pstate(mut self, ps: PState) -> Self {
+        self.cfg.pstate = ps;
+        self
+    }
+
+    /// Set the per-benchmark measured-op budget.
+    pub fn target_ops(mut self, n: u64) -> Self {
+        self.cfg.target_ops = n;
+        self
+    }
+
+    fn run(&self, id: MicroBenchId) -> BenchRun {
+        // Fresh machine per benchmark: cold caches + clean meters, like
+        // running each binary separately on real hardware.
+        let mut cpu = bench_cpu(self.arch.clone(), &self.cfg);
+        id.run(&mut cpu, &self.cfg)
+    }
+
+    fn active_j(&self, bg: &Background, run: &BenchRun) -> f64 {
+        active_energy(&run.measurement, bg).active_j
+    }
+
+    /// Execute the full §2.5 pipeline and solve the table.
+    pub fn calibrate(&self) -> EnergyTable {
+        let bg = Background::measure(&self.arch, self.cfg.pstate);
+        let counts = |r: &BenchRun| MicroOpCounts::from_pmu(&r.measurement.pmu);
+
+        let mut de = [0.0f64; 7];
+
+        // ΔE_L1D from the stall-free array benchmark.
+        let arr = self.run(MicroBenchId::L1dArray);
+        let n = counts(&arr);
+        de[MicroOp::L1d.index()] = self.active_j(&bg, &arr) / n.l1d as f64;
+
+        // ΔE_stall from the list benchmark.
+        let list = self.run(MicroBenchId::L1dList);
+        let n = counts(&list);
+        let e_l1d = de[MicroOp::L1d.index()] * n.l1d as f64;
+        de[MicroOp::Stall.index()] =
+            ((self.active_j(&bg, &list) - e_l1d) / n.stall as f64).max(0.0);
+
+        // ΔE_Reg2L1D from the store benchmark.
+        let st = self.run(MicroBenchId::Reg2L1d);
+        let n = counts(&st);
+        de[MicroOp::Reg2L1d.index()] = self.active_j(&bg, &st) / n.reg2l1d as f64;
+
+        // Eq. 2 down the hierarchy. Each level subtracts the energy of every
+        // higher level (step-by-step replication) and the stall energy.
+        let solve_level = |id: MicroBenchId, op: MicroOp, de: &mut [f64; 7]| {
+            let run = self.run(id);
+            let n = counts(&run);
+            let mut rest = de[MicroOp::Stall.index()] * n.stall as f64;
+            rest += de[MicroOp::L1d.index()] * n.l1d as f64;
+            if op != MicroOp::L2 {
+                rest += de[MicroOp::L2.index()] * n.l2 as f64;
+            }
+            if op == MicroOp::Mem {
+                rest += de[MicroOp::L3.index()] * n.l3 as f64;
+            }
+            let own = n.get(op).max(1);
+            de[op.index()] = ((self.active_j(&bg, &run) - rest) / own as f64).max(0.0);
+        };
+
+        if self.arch.kind == ArchKind::X86 {
+            solve_level(MicroBenchId::L2, MicroOp::L2, &mut de);
+            solve_level(MicroBenchId::L3, MicroOp::L3, &mut de);
+            solve_level(MicroBenchId::Mem, MicroOp::Mem, &mut de);
+        } else {
+            // ARM: no L2/L3 — mem subtracts L1D + stall only.
+            solve_level(MicroBenchId::Mem, MicroOp::Mem, &mut de);
+        }
+
+        // Instruction energies for the verification estimator.
+        let add = self.run(MicroBenchId::Add);
+        let n = counts(&add);
+        let de_add = self.active_j(&bg, &add) / n.add.max(1) as f64;
+        let nop = self.run(MicroBenchId::Nop);
+        let n = counts(&nop);
+        let de_nop = self.active_j(&bg, &nop) / n.nop.max(1) as f64;
+
+        // TCM load energy on parts that have TCM.
+        let de_tcm_load = if MicroBenchId::DtcmArray.applicable(self.arch.kind) {
+            let t = self.run(MicroBenchId::DtcmArray);
+            let n = counts(&t);
+            self.active_j(&bg, &t) / n.tcm_load.max(1) as f64
+        } else {
+            0.0
+        };
+
+        EnergyTable {
+            arch: self.arch.clone(),
+            pstate: self.cfg.pstate,
+            background: bg,
+            de_pf_l2: de[MicroOp::L3.index()],
+            de_pf_l3: de[MicroOp::Mem.index()],
+            de,
+            de_add,
+            de_nop,
+            de_tcm_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EnergyTable {
+        CalibrationBuilder::quick().calibrate()
+    }
+
+    #[test]
+    fn solved_table_reproduces_paper_table2_at_p36() {
+        let t = table();
+        // Paper Table 2, P-state 36 (nJ): 1.30, 4.37, 6.64, 103.1, 2.42, 1.72.
+        let close = |got: f64, want: f64, tol: f64| {
+            assert!(
+                (got - want).abs() / want < tol,
+                "solved {got:.3} nJ vs paper {want} nJ"
+            );
+        };
+        close(t.de_nj(MicroOp::L1d), 1.30, 0.15);
+        close(t.de_nj(MicroOp::L2), 4.37, 0.20);
+        close(t.de_nj(MicroOp::L3), 6.64, 0.25);
+        close(t.de_nj(MicroOp::Mem), 103.1, 0.15);
+        close(t.de_nj(MicroOp::Reg2L1d), 2.42, 0.20);
+        close(t.de_nj(MicroOp::Stall), 1.72, 0.25);
+        close(t.de_add * 1e9, 1.03, 0.30);
+        close(t.de_nop * 1e9, 0.65, 0.30);
+    }
+
+    #[test]
+    fn load_energy_is_ordered_by_depth() {
+        let t = table();
+        assert!(t.de(MicroOp::L1d) < t.de(MicroOp::L2));
+        assert!(t.de(MicroOp::L2) < t.de(MicroOp::L3));
+        assert!(t.de(MicroOp::L3) < t.de(MicroOp::Mem));
+    }
+
+    #[test]
+    fn prefetch_energies_follow_the_movement_assumption() {
+        let t = table();
+        assert_eq!(t.de_pf_l2, t.de(MicroOp::L3));
+        assert_eq!(t.de_pf_l3, t.de(MicroOp::Mem));
+    }
+
+    #[test]
+    fn lower_pstate_lowers_on_chip_energies() {
+        let hi = table();
+        let lo = CalibrationBuilder::quick().pstate(PState::P12).calibrate();
+        assert!(lo.de(MicroOp::L1d) < hi.de(MicroOp::L1d));
+        assert!(lo.de(MicroOp::L2) < hi.de(MicroOp::L2));
+        assert!(lo.de(MicroOp::Stall) < hi.de(MicroOp::Stall));
+        // DRAM energy barely moves (paper: 103.1 → 99.04 nJ).
+        let ratio = lo.de(MicroOp::Mem) / hi.de(MicroOp::Mem);
+        assert!(ratio > 0.90 && ratio < 1.05, "mem ratio {ratio}");
+    }
+
+    #[test]
+    fn arm_table_has_tcm_cheaper_than_l1d() {
+        let t = CalibrationBuilder::new(ArchConfig::arm1176jzf_s())
+            .target_ops(20_000)
+            .calibrate();
+        assert!(t.de_tcm_load > 0.0);
+        assert!(t.de_tcm_load < t.de(MicroOp::L1d));
+        assert_eq!(t.de(MicroOp::L2), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Verification of the solved `ΔE_m` (§2.5.5, Table 3).
+//!
+//! Each `VMBS` benchmark is measured and its Active energy is *also*
+//! estimated from Eq. 1 with `E_other(v) = ΔE_add·N_add(v) + ΔE_nop·N_nop(v)`.
+//! The accuracy is
+//!
+//! ```text
+//! acc(v) = 1 − |Ê_active(v) − E_active(v)| / E_active(v)     (floored at 0)
+//! ```
+
+use crate::active::active_energy;
+use crate::counting::MicroOpCounts;
+use crate::solver::EnergyTable;
+use microbench::runner::bench_cpu;
+use microbench::{BenchRun, RunConfig, VerifyBenchId};
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct VerifyResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Estimated Active energy `Ê_active(v)` (joules).
+    pub estimated_j: f64,
+    /// Measured Active energy `E_active(v)` (joules).
+    pub measured_j: f64,
+    /// Accuracy in `[0, 1]`.
+    pub acc: f64,
+}
+
+/// Score one verification run against a table.
+pub fn verify_one(table: &EnergyTable, run: &BenchRun) -> VerifyResult {
+    let counts = MicroOpCounts::from_pmu(&run.measurement.pmu);
+    let estimated_j = table.estimate_active_j(&counts);
+    let measured_j = active_energy(&run.measurement, &table.background).active_j;
+    let acc = if measured_j <= 0.0 {
+        0.0
+    } else {
+        (1.0 - (estimated_j - measured_j).abs() / measured_j).max(0.0)
+    };
+    VerifyResult { name: run.name, estimated_j, measured_j, acc }
+}
+
+/// Run the whole applicable `VMBS` set on fresh machines and score each.
+pub fn verify_all(table: &EnergyTable, cfg: &RunConfig) -> Vec<VerifyResult> {
+    VerifyBenchId::SET
+        .into_iter()
+        .filter(|id| id.applicable(table.arch.kind))
+        .map(|id| {
+            let mut cpu = bench_cpu(table.arch.clone(), cfg);
+            let run = id.run(&mut cpu, cfg);
+            verify_one(table, &run)
+        })
+        .collect()
+}
+
+/// Mean accuracy over a result set (paper: 93.47%).
+pub fn mean_accuracy(results: &[VerifyResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.acc).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::CalibrationBuilder;
+
+    #[test]
+    fn verification_accuracy_matches_table3_band() {
+        let table = CalibrationBuilder::quick().calibrate();
+        let cfg = RunConfig::quick();
+        let results = verify_all(&table, &cfg);
+        assert_eq!(results.len(), 7);
+        for r in &results {
+            assert!(
+                r.acc > 0.80,
+                "{}: acc {:.3} (est {:.4} J vs meas {:.4} J)",
+                r.name,
+                r.acc,
+                r.estimated_j,
+                r.measured_j
+            );
+            assert!(r.acc <= 1.0);
+        }
+        let mean = mean_accuracy(&results);
+        assert!(mean > 0.85, "mean accuracy {mean}");
+        // The model must not be suspiciously perfect either — the simulator
+        // has honest nonlinearities the linear model cannot express.
+        assert!(mean < 0.9999, "mean accuracy {mean} is implausibly exact");
+    }
+
+    #[test]
+    fn zero_measured_energy_scores_zero() {
+        let table = CalibrationBuilder::quick().calibrate();
+        let cfg = RunConfig::quick();
+        let mut cpu = bench_cpu(table.arch.clone(), &cfg);
+        let run = VerifyBenchId::L1dListNop.run(&mut cpu, &cfg);
+        let mut fake = run;
+        fake.measurement.rapl.core_j = 0.0;
+        fake.measurement.rapl.package_j = 0.0;
+        fake.measurement.rapl.memory_j = 0.0;
+        let v = verify_one(&table, &fake);
+        assert_eq!(v.acc, 0.0);
+    }
+}

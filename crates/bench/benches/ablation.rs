@@ -1,0 +1,106 @@
+//! Ablations of the design choices DESIGN.md §5 calls out, measured as
+//! *simulated* time and energy (printed) while Criterion tracks host time.
+//!
+//! 1. Dependency-tagged loads vs a naive all-chase model (DESIGN §5.2): the
+//!    tagged model is what lets array traversal hit IPC 2 while list
+//!    traversal sits at 0.25 — without it, Table 1 and Fig. 3 collapse.
+//! 2. Prefetcher on vs off for a streaming scan: the L2 streamer is what
+//!    turns scan DRAM hits into L2/L3 hits (and moves energy into `E_pf`).
+//! 3. DRAM row-buffer model on sequential vs random misses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::{ArchConfig, Cpu, Dep};
+use std::sync::Once;
+
+/// Print each configuration's simulated cost once, not per criterion pass.
+fn print_once(once: &Once, msg: String) {
+    once.call_once(|| println!("{msg}"));
+}
+
+const LINES: u64 = 64 * 1024; // 4 MB sweep
+
+fn sweep(cpu: &mut Cpu, region: simcore::Region, dep: Dep) -> (f64, f64) {
+    let t = cpu.measure(|c| {
+        for i in 0..LINES {
+            c.load(region.addr + (i % (region.len / 64)) * 64, dep);
+        }
+    });
+    (t.time_s, t.rapl.total_j())
+}
+
+fn ablation_dependency_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-dependency-model");
+    g.sample_size(10);
+    static ONCE_A: Once = Once::new();
+    static ONCE_B: Once = Once::new();
+    for (name, dep, once) in [
+        ("tagged_stream", Dep::Stream, &ONCE_A),
+        ("naive_all_chase", Dep::Chase, &ONCE_B),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            cpu.set_prefetch(true);
+            let r = cpu.alloc(4 << 20).unwrap();
+            let (t, e) = sweep(&mut cpu, r, dep);
+            print_once(once, format!("{name}: simulated {t:.6} s, {e:.6} J for a 4 MB sweep"));
+            b.iter(|| sweep(&mut cpu, r, dep))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_prefetcher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-prefetcher");
+    g.sample_size(10);
+    static ONCE_ON: Once = Once::new();
+    static ONCE_OFF: Once = Once::new();
+    for (name, pf, once) in
+        [("prefetch_on", true, &ONCE_ON), ("prefetch_off", false, &ONCE_OFF)]
+    {
+        g.bench_function(name, |b| {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            cpu.set_prefetch(pf);
+            let r = cpu.alloc(16 << 20).unwrap();
+            let (t, e) = sweep(&mut cpu, r, Dep::Stream);
+            print_once(once, format!("{name}: simulated {t:.6} s, {e:.6} J for a 4 MB streaming sweep"));
+            b.iter(|| sweep(&mut cpu, r, Dep::Stream))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_row_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-row-buffer");
+    g.sample_size(10);
+    // Sequential misses ride the open row; a large-stride pattern breaks it.
+    static ONCE_SEQ: Once = Once::new();
+    static ONCE_STR: Once = Once::new();
+    for (name, stride, once) in [
+        ("sequential_row_hits", 1u64, &ONCE_SEQ),
+        ("strided_row_misses", 129, &ONCE_STR),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            cpu.set_prefetch(false);
+            let r = cpu.alloc(64 << 20).unwrap();
+            let lines = r.len / 64;
+            let run = |cpu: &mut Cpu| {
+                let m = cpu.measure(|c| {
+                    let mut pos = 0u64;
+                    for _ in 0..LINES {
+                        c.load(r.addr + pos * 64, Dep::Stream);
+                        pos = (pos + stride) % lines;
+                    }
+                });
+                m.rapl.memory_j
+            };
+            let e = run(&mut cpu);
+            print_once(once, format!("{name}: {e:.6} J in the memory domain"));
+            b.iter(|| run(&mut cpu))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_dependency_model, ablation_prefetcher, ablation_row_buffer);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the simulator substrate itself: how fast the
+//! simulated machine retires simulated work. These guard the harness's own
+//! performance (a slow simulator makes the experiment suite impractical).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use engines::{EngineKind, KnobLevel};
+use simcore::{ArchConfig, Cpu, Dep};
+use storage::{BTree, BufferPool, PageStore};
+use workloads::tpch::gen::build_tpch_db;
+use workloads::{TpchQuery, TpchScale};
+
+fn bench_loads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated-loads");
+    g.throughput(Throughput::Elements(4096));
+
+    g.bench_function("stream_l1_resident", |b| {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let r = cpu.alloc(16 * 1024).unwrap();
+        b.iter(|| {
+            for i in 0..4096u64 {
+                cpu.load(r.addr + (i % 256) * 64, Dep::Stream);
+            }
+        })
+    });
+
+    g.bench_function("chase_l1_resident", |b| {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let r = cpu.alloc(16 * 1024).unwrap();
+        b.iter(|| {
+            for i in 0..4096u64 {
+                cpu.load(r.addr + (i % 256) * 64, Dep::Chase);
+            }
+        })
+    });
+
+    g.bench_function("stream_dram_with_prefetch", |b| {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(true);
+        let r = cpu.alloc(64 * 1024 * 1024).unwrap();
+        let mut pos = 0u64;
+        b.iter(|| {
+            for _ in 0..4096u64 {
+                cpu.load(r.addr + pos * 64, Dep::Stream);
+                pos = (pos + 1) % (r.len / 64);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated-btree");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("lookup_100k", |b| {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut store = PageStore::new(8192);
+        let mut pool = BufferPool::new(64 << 20, 8192);
+        let pairs: Vec<(i64, u64)> = (0..100_000).map(|k| (k, k as u64)).collect();
+        let tree = BTree::bulk_load(&mut cpu, &mut store, &pairs).unwrap();
+        let mut k = 0i64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                k = (k + 99_991) % 100_000;
+                assert!(tree.lookup(&mut cpu, &store, &mut pool, k).is_some());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated-query");
+    g.sample_size(10);
+    for kind in EngineKind::ALL {
+        g.bench_function(format!("tpch_q6_{}", kind.name()), |b| {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            cpu.set_prefetch(true);
+            let mut db =
+                build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
+            let plan = TpchQuery(6).plan();
+            db.run(&mut cpu, &plan).unwrap();
+            b.iter(|| db.run(&mut cpu, &plan).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_loads, bench_btree, bench_query);
+criterion_main!(benches);

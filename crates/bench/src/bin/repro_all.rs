@@ -1,0 +1,52 @@
+//! Run every experiment binary in sequence (the full reproduction).
+//!
+//! `cargo run --release -p bench --bin repro_all` regenerates every table
+//! and figure; the output sections match DESIGN.md's experiment index and
+//! feed EXPERIMENTS.md.
+
+use std::process::Command;
+
+const BINS: [&str; 18] = [
+    "fig01_energy_timeline",
+    "fig03_traversal",
+    "fig04_structures",
+    "table1_microbench_behaviour",
+    "table2_microop_energy",
+    "table3_verification",
+    "fig05_pstate_distribution",
+    "fig06_basic_ops",
+    "fig07_tpch",
+    "fig08_data_size",
+    "fig09_knobs",
+    "fig10_cpu2006",
+    "fig11_pstates",
+    "table5_memory_bound",
+    "sec5_dvfs_tradeoff",
+    "ext_writes",
+    "ext_custom_dvfs",
+    "future_nosql",
+];
+
+const ARM_BINS: [&str; 2] = ["fig13_dtcm_poc", "ablation_dtcm"];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for bin in BINS.into_iter().chain(ARM_BINS) {
+        println!("\n########################################################");
+        println!("# {bin}");
+        println!("########################################################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,130 @@
+//! # bench — the experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! in the paper (see DESIGN.md §4 for the experiment index). Each binary
+//! prints the paper-style rows; `repro_all` chains them and captures the
+//! output for EXPERIMENTS.md.
+//!
+//! The simulator is deterministic, so one warm measured run replaces the
+//! paper's 100 averaged runs; result display is disabled exactly as the
+//! paper disables it (results are counted, never printed per-row).
+
+use analysis::{Breakdown, CalibrationBuilder, EnergyTable};
+use engines::{Database, EngineKind, KnobLevel, Plan};
+use simcore::{ArchConfig, Cpu, Measurement, PState};
+use workloads::{build_tpch_db, TpchScale};
+
+/// Calibration op budget for harness runs (larger than the unit-test quick
+/// budget; still seconds, not minutes).
+pub const CAL_OPS: u64 = 120_000;
+
+/// Calibrate the i7-4790 energy table at a P-state.
+pub fn calibrate_at(ps: PState) -> EnergyTable {
+    CalibrationBuilder::new(ArchConfig::intel_i7_4790())
+        .pstate(ps)
+        .target_ops(CAL_OPS)
+        .calibrate()
+}
+
+/// A loaded engine + machine pair ready to profile plans.
+pub struct Rig {
+    /// The simulated machine.
+    pub cpu: Cpu,
+    /// The loaded database.
+    pub db: Database,
+}
+
+impl Rig {
+    /// Build a TPC-H rig for one engine (prefetcher on, P-state pinned —
+    /// the paper's trunk configuration, §3).
+    pub fn tpch(kind: EngineKind, level: KnobLevel, scale: TpchScale, ps: PState) -> Rig {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(true);
+        cpu.set_governor(false);
+        cpu.set_pstate(ps);
+        let db = build_tpch_db(&mut cpu, kind, level, scale).expect("load TPC-H");
+        Rig { cpu, db }
+    }
+
+    /// Run `plan` once to warm caches/pool, then measure one run.
+    pub fn profile(&mut self, plan: &Plan) -> Measurement {
+        self.db.run(&mut self.cpu, plan).expect("warm run");
+        let db = &mut self.db;
+        self.cpu.measure(|c| {
+            db.run(c, plan).expect("measured run");
+        })
+    }
+
+    /// Profile and break down against a calibration table.
+    pub fn breakdown(&mut self, table: &EnergyTable, plan: &Plan) -> Breakdown {
+        let m = self.profile(plan);
+        table.breakdown(&m)
+    }
+}
+
+/// Format a share row: name + 8 percentages.
+pub fn share_row(name: &str, bd: &Breakdown) -> Vec<String> {
+    let mut cells = vec![name.to_owned()];
+    cells.extend(analysis::report::share_cells(bd));
+    cells
+}
+
+/// Standard table header for breakdown tables.
+pub fn share_header() -> Vec<String> {
+    let mut h = vec!["workload".to_owned()];
+    h.extend(analysis::report::SHARE_HEADERS.iter().map(|s| s.to_string()));
+    h
+}
+
+/// Simple environment override with default, for harness knobs
+/// (`MJ_SCALE`, ...).
+pub fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// When `MJ_CSV` is set, also write `table` to `results/<name>.csv`
+/// (plotting-ready). Errors are reported but never fatal.
+pub fn maybe_write_csv(name: &str, table: &analysis::report::TextTable) {
+    if std::env::var("MJ_CSV").is_err() {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("MJ_CSV: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("MJ_CSV: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// The harness's default TPC-H scale (override with `MJ_SCALE`, in "paper
+/// megabytes").
+pub fn default_scale() -> TpchScale {
+    TpchScale(env_f64("MJ_SCALE", TpchScale::baseline().0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_f64_parses_and_defaults() {
+        std::env::remove_var("MJ_TEST_KNOB");
+        assert_eq!(env_f64("MJ_TEST_KNOB", 4.5), 4.5);
+        std::env::set_var("MJ_TEST_KNOB", "2.25");
+        assert_eq!(env_f64("MJ_TEST_KNOB", 4.5), 2.25);
+        std::env::set_var("MJ_TEST_KNOB", "junk");
+        assert_eq!(env_f64("MJ_TEST_KNOB", 4.5), 4.5);
+        std::env::remove_var("MJ_TEST_KNOB");
+    }
+
+    #[test]
+    fn share_row_has_header_arity() {
+        // Header has 9 columns: workload + 8 shares.
+        assert_eq!(share_header().len(), 9);
+    }
+}

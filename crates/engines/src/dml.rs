@@ -1,0 +1,562 @@
+//! Write queries — INSERT / UPDATE / DELETE.
+//!
+//! The paper explicitly scopes writes out ("the energy breakdown of
+//! update/write queries is a totally different problem", §2.3) and lists
+//! them as future work. This module implements them anyway, because seeing
+//! *why* they are different is instructive: the write path is dominated by
+//! store traffic, index-maintenance descents, and dirty-line write-backs —
+//! micro-operations the read-side model `MS` does not isolate (write-backs
+//! land in the unexplained remainder).
+//!
+//! Semantics follow a PostgreSQL-flavoured append model:
+//! * INSERT appends to the heap and inserts into every index.
+//! * UPDATE rewrites in place when the new tuple has the same encoded
+//!   length; otherwise it appends a new version and tombstones the old one
+//!   (no vacuum), fixing up every index.
+//! * DELETE tombstones the tuple and removes its index entries (lazy leaf
+//!   deletion — pages may underflow, as before a vacuum).
+
+use crate::db::{tid_to_u64, Database};
+use simcore::{Cpu, Dep, ExecOp};
+use storage::heap::TupleId;
+use storage::{decode_row, encode_row, Expr, Row, StorageError, Value};
+
+/// A data-modification statement.
+#[derive(Debug, Clone)]
+pub enum Dml {
+    /// Insert literal rows.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows to insert (must match the table schema).
+        rows: Vec<Row>,
+    },
+    /// Update matching rows: each `(column, expr)` assignment is evaluated
+    /// against the *old* row.
+    Update {
+        /// Target table.
+        table: String,
+        /// Row predicate (`None` = all rows).
+        filter: Option<Expr>,
+        /// Assignments.
+        set: Vec<(usize, Expr)>,
+    },
+    /// Delete matching rows.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row predicate (`None` = all rows).
+        filter: Option<Expr>,
+    },
+}
+
+impl Database {
+    /// Execute a DML statement; returns the affected-row count.
+    pub fn execute(&mut self, cpu: &mut Cpu, dml: &Dml) -> storage::Result<u64> {
+        match dml {
+            Dml::Insert { table, rows } => self.dml_insert(cpu, table, rows),
+            Dml::Update { table, filter, set } => self.dml_update(cpu, table, filter, set),
+            Dml::Delete { table, filter } => self.dml_delete(cpu, table, filter),
+        }
+    }
+
+    fn dml_insert(&mut self, cpu: &mut Cpu, table: &str, rows: &[Row]) -> storage::Result<u64> {
+        let schema = self.catalog.table(table)?.schema.clone();
+        let mut buf = Vec::new();
+        for row in rows {
+            encode_row(&schema, row, &mut buf)?;
+            let tid = {
+                let t = self.catalog.table_mut(table)?;
+                t.heap.insert(cpu, &mut self.store, &mut self.pool, &buf)?
+            };
+            self.index_insert(cpu, table, row, tid)?;
+        }
+        Ok(rows.len() as u64)
+    }
+
+    fn dml_update(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        filter: &Option<Expr>,
+        set: &[(usize, Expr)],
+    ) -> storage::Result<u64> {
+        let schema = self.catalog.table(table)?.schema.clone();
+        let victims = self.matching_rows(cpu, table, filter)?;
+        let mut buf = Vec::new();
+        let mut old_buf = Vec::new();
+        for (tid, old_row) in &victims {
+            let mut new_row = old_row.clone();
+            for (col, e) in set {
+                if *col >= new_row.len() {
+                    return Err(StorageError::Schema("SET column out of range"));
+                }
+                new_row[*col] = e.eval(cpu, old_row);
+            }
+            schema.check(&new_row)?;
+            encode_row(&schema, &new_row, &mut buf)?;
+            encode_row(&schema, old_row, &mut old_buf)?;
+
+            if buf.len() == old_buf.len() {
+                // Same-length version: rewrite in place (heap-only I/O
+                // unless an indexed column changed).
+                let page = self.pool.access(cpu, &self.store, tid.0);
+                page.overwrite(cpu, tid.1, &buf)?;
+                self.index_fixup(cpu, table, old_row, &new_row, *tid, *tid)?;
+            } else {
+                // New version elsewhere + tombstone, PG-style.
+                let new_tid = {
+                    let t = self.catalog.table_mut(table)?;
+                    t.heap.insert(cpu, &mut self.store, &mut self.pool, &buf)?
+                };
+                let page = self.pool.access(cpu, &self.store, tid.0);
+                page.mark_dead(cpu, tid.1)?;
+                self.index_remove(cpu, table, old_row, *tid)?;
+                self.index_insert(cpu, table, &new_row, new_tid)?;
+            }
+        }
+        Ok(victims.len() as u64)
+    }
+
+    fn dml_delete(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        filter: &Option<Expr>,
+    ) -> storage::Result<u64> {
+        let victims = self.matching_rows(cpu, table, filter)?;
+        for (tid, row) in &victims {
+            let page = self.pool.access(cpu, &self.store, tid.0);
+            page.mark_dead(cpu, tid.1)?;
+            self.index_remove(cpu, table, row, *tid)?;
+        }
+        Ok(victims.len() as u64)
+    }
+
+    /// Sequentially scan for matching live rows (the write path's read
+    /// side), charging the scan like any query.
+    fn matching_rows(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        filter: &Option<Expr>,
+    ) -> storage::Result<Vec<(TupleId, Row)>> {
+        let t = self.catalog.table(table)?;
+        let schema = t.schema.clone();
+        let heap = t.heap.clone();
+        let mut out = Vec::new();
+        let mut cur = heap.cursor();
+        while let Some(tid) = cur.next(cpu, &heap, &self.store, &mut self.pool)? {
+            let page = self.pool.access(cpu, &self.store, tid.0);
+            let (addr, len) = page.tuple_bounds(cpu, tid.1, Dep::Stream)?;
+            if len == 0 {
+                continue; // dead version
+            }
+            storage::page::touch(cpu, addr, len as u64, Dep::Stream);
+            let row = decode_row(&schema, cpu.arena().bytes(addr, len as usize)?)?;
+            cpu.exec_n(ExecOp::Generic, schema.arity() as u64);
+            let keep = match filter {
+                Some(f) => f.matches(cpu, &row),
+                None => true,
+            };
+            if keep {
+                out.push((tid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    fn indexed_columns(&self, table: &str) -> storage::Result<Vec<(usize, bool)>> {
+        let t = self.catalog.table(table)?;
+        let mut cols = Vec::new();
+        if let Some(pk) = t.pk_col {
+            if t.pk_index.is_some() {
+                cols.push((pk, true));
+            }
+        }
+        for (c, _) in &t.secondary {
+            cols.push((*c, false));
+        }
+        Ok(cols)
+    }
+
+    fn index_insert(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        row: &Row,
+        tid: TupleId,
+    ) -> storage::Result<()> {
+        for (col, is_pk) in self.indexed_columns(table)? {
+            let Some(key) = row[col].as_int() else { continue };
+            let t = self.catalog.table_mut(table)?;
+            let tree = if is_pk {
+                t.pk_index.as_mut().expect("pk checked")
+            } else {
+                &mut t.secondary.iter_mut().find(|(c, _)| *c == col).expect("sec checked").1
+            };
+            tree.insert(cpu, &mut self.store, &mut self.pool, key, tid_to_u64(tid))?;
+        }
+        Ok(())
+    }
+
+    fn index_remove(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        row: &Row,
+        tid: TupleId,
+    ) -> storage::Result<()> {
+        for (col, is_pk) in self.indexed_columns(table)? {
+            let Some(key) = row[col].as_int() else { continue };
+            let t = self.catalog.table_mut(table)?;
+            let tree = if is_pk {
+                t.pk_index.as_mut().expect("pk checked")
+            } else {
+                &mut t.secondary.iter_mut().find(|(c, _)| *c == col).expect("sec checked").1
+            };
+            tree.delete(cpu, &self.store, &mut self.pool, key, tid_to_u64(tid));
+        }
+        Ok(())
+    }
+
+    /// After an in-place update, fix indexes whose key changed.
+    fn index_fixup(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        old_row: &Row,
+        new_row: &Row,
+        old_tid: TupleId,
+        new_tid: TupleId,
+    ) -> storage::Result<()> {
+        for (col, is_pk) in self.indexed_columns(table)? {
+            let old_key = old_row[col].as_int();
+            let new_key = new_row[col].as_int();
+            if old_key == new_key && old_tid == new_tid {
+                continue;
+            }
+            let t = self.catalog.table_mut(table)?;
+            let tree = if is_pk {
+                t.pk_index.as_mut().expect("pk checked")
+            } else {
+                &mut t.secondary.iter_mut().find(|(c, _)| *c == col).expect("sec checked").1
+            };
+            if let Some(k) = old_key {
+                tree.delete(cpu, &self.store, &mut self.pool, k, tid_to_u64(old_tid));
+            }
+            if let Some(k) = new_key {
+                tree.insert(cpu, &mut self.store, &mut self.pool, k, tid_to_u64(new_tid))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Database {
+    /// VACUUM: rebuild a table's heap without dead versions and rebuild its
+    /// indexes. Reclaims the space UPDATE/DELETE tombstones leave behind;
+    /// charged like the maintenance scan + bulk rewrite it is.
+    pub fn vacuum(&mut self, cpu: &mut Cpu, table: &str) -> storage::Result<u64> {
+        let live = self.matching_rows(cpu, table, &None)?;
+        let schema = self.catalog.table(table)?.schema.clone();
+        let pk = self.catalog.table(table)?.pk_col;
+        let sec_cols: Vec<usize> =
+            self.catalog.table(table)?.secondary.iter().map(|(c, _)| *c).collect();
+
+        // Fresh heap, rows re-encoded in (cluster-)order.
+        let mut rows: Vec<Row> = live.into_iter().map(|(_, r)| r).collect();
+        if self.kind != crate::profile::EngineKind::Pg {
+            if let Some(pk) = pk {
+                rows.sort_by_key(|r| r[pk].as_int().unwrap_or(i64::MAX));
+            }
+        }
+        let mut heap = storage::HeapFile::new();
+        let mut buf = Vec::new();
+        let mut pk_pairs: Vec<(i64, u64)> = Vec::new();
+        let mut sec_pairs: Vec<Vec<(i64, u64)>> = sec_cols.iter().map(|_| Vec::new()).collect();
+        for r in &rows {
+            encode_row(&schema, r, &mut buf)?;
+            let tid = heap.insert(cpu, &mut self.store, &mut self.pool, &buf)?;
+            if let Some(pk) = pk {
+                if let Some(k) = r[pk].as_int() {
+                    pk_pairs.push((k, tid_to_u64(tid)));
+                }
+            }
+            for (si, &c) in sec_cols.iter().enumerate() {
+                if let Some(k) = r[c].as_int() {
+                    sec_pairs[si].push((k, tid_to_u64(tid)));
+                }
+            }
+        }
+        pk_pairs.sort_by_key(|&(k, _)| k);
+        let pk_index = if pk.is_some() {
+            Some(storage::BTree::bulk_load(cpu, &mut self.store, &pk_pairs)?)
+        } else {
+            None
+        };
+        let mut secondary = Vec::new();
+        for (si, &c) in sec_cols.iter().enumerate() {
+            sec_pairs[si].sort_by_key(|&(k, _)| k);
+            secondary.push((c, storage::BTree::bulk_load(cpu, &mut self.store, &sec_pairs[si])?));
+        }
+        let t = self.catalog.table_mut(table)?;
+        t.heap = heap;
+        t.pk_index = pk_index;
+        t.secondary = secondary;
+        Ok(rows.len() as u64)
+    }
+}
+
+/// Helper: a literal value expression for SET lists.
+pub fn lit(v: Value) -> Expr {
+    Expr::Lit(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::demo_database;
+    use crate::plan::Plan;
+    use crate::profile::EngineKind;
+    use simcore::ArchConfig;
+    use storage::CmpOp;
+
+    fn count_items(cpu: &mut Cpu, db: &mut Database) -> i64 {
+        let plan = Plan::scan("items")
+            .aggregate(vec![], vec![storage::AggSpec::count_star()]);
+        db.run(cpu, &plan).unwrap()[0][0].as_int().unwrap()
+    }
+
+    #[test]
+    fn insert_appears_in_scans_and_index_lookups() {
+        for kind in EngineKind::ALL {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            let mut db = demo_database(&mut cpu, kind).unwrap();
+            assert_eq!(count_items(&mut cpu, &mut db), 200);
+            let n = db
+                .execute(
+                    &mut cpu,
+                    &Dml::Insert {
+                        table: "items".into(),
+                        rows: vec![vec![Value::Int(777), Value::Int(3), Value::Float(9.5)]],
+                    },
+                )
+                .unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(count_items(&mut cpu, &mut db), 201);
+            // Via the secondary index on `cat` too.
+            let via_index = Plan::IndexRange {
+                table: "items".into(),
+                col: "cat".into(),
+                lo: Some(3),
+                hi: Some(3),
+                filter: None,
+                project: None,
+            };
+            let rows = db.run(&mut cpu, &via_index).unwrap();
+            assert!(rows.iter().any(|r| r[0] == Value::Int(777)), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_from_scans_and_indexes() {
+        for kind in EngineKind::ALL {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            let mut db = demo_database(&mut cpu, kind).unwrap();
+            let n = db
+                .execute(
+                    &mut cpu,
+                    &Dml::Delete {
+                        table: "items".into(),
+                        filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(50))),
+                    },
+                )
+                .unwrap();
+            assert_eq!(n, 50);
+            assert_eq!(count_items(&mut cpu, &mut db), 150);
+            let via_index = Plan::IndexRange {
+                table: "items".into(),
+                col: "cat".into(),
+                lo: Some(0),
+                hi: Some(9),
+                filter: None,
+                project: None,
+            };
+            let rows = db.run(&mut cpu, &via_index).unwrap();
+            assert_eq!(rows.len(), 150, "{kind:?}: index must drop deleted rows");
+            assert!(rows.iter().all(|r| r[0].as_int().unwrap() >= 50));
+        }
+    }
+
+    #[test]
+    fn update_in_place_same_length() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db = demo_database(&mut cpu, EngineKind::Pg).unwrap();
+        // price is fixed-width: same encoded length, in-place path.
+        let n = db
+            .execute(
+                &mut cpu,
+                &Dml::Update {
+                    table: "items".into(),
+                    filter: Some(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(7))),
+                    set: vec![(2, lit(Value::Float(99.0)))],
+                },
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let rows = db
+            .run(
+                &mut cpu,
+                &Plan::scan_where("items", Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(7))),
+            )
+            .unwrap();
+        assert_eq!(rows[0][2], Value::Float(99.0));
+        assert_eq!(count_items(&mut cpu, &mut db), 200, "no version bloat in place");
+    }
+
+    #[test]
+    fn update_of_indexed_key_moves_index_entry() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db = demo_database(&mut cpu, EngineKind::Lite).unwrap();
+        let n = db
+            .execute(
+                &mut cpu,
+                &Dml::Update {
+                    table: "items".into(),
+                    filter: Some(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(12))),
+                    set: vec![(1, lit(Value::Int(42)))],
+                },
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let at_42 = Plan::IndexRange {
+            table: "items".into(),
+            col: "cat".into(),
+            lo: Some(42),
+            hi: Some(42),
+            filter: None,
+            project: None,
+        };
+        let rows = db.run(&mut cpu, &at_42).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(12));
+        // Old key no longer finds it.
+        let old_cat = Plan::IndexRange {
+            table: "items".into(),
+            col: "cat".into(),
+            lo: Some(2),
+            hi: Some(2),
+            filter: None,
+            project: None,
+        };
+        let rows = db.run(&mut cpu, &old_cat).unwrap();
+        assert!(rows.iter().all(|r| r[0] != Value::Int(12)));
+    }
+
+    #[test]
+    fn growing_update_appends_new_version() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db = Database::new(EngineKind::Pg, crate::knobs::KnobLevel::Baseline);
+        db.create_table(
+            "t",
+            storage::Schema::new([("k", storage::Ty::Int), ("s", storage::Ty::Str)]),
+            Some("k"),
+        )
+        .unwrap();
+        db.load_rows(&mut cpu, "t", vec![vec![Value::Int(1), Value::Str("ab".into())]]).unwrap();
+        db.execute(
+            &mut cpu,
+            &Dml::Update {
+                table: "t".into(),
+                filter: None,
+                set: vec![(1, lit(Value::Str("a much longer string".into())))],
+            },
+        )
+        .unwrap();
+        let rows = db.run(&mut cpu, &Plan::scan("t")).unwrap();
+        assert_eq!(rows.len(), 1, "old version must be dead");
+        assert_eq!(rows[0][1], Value::Str("a much longer string".into()));
+        // And the PK index follows the new version.
+        let via_pk = Plan::IndexRange {
+            table: "t".into(),
+            col: "k".into(),
+            lo: Some(1),
+            hi: Some(1),
+            filter: None,
+            project: None,
+        };
+        assert_eq!(db.run(&mut cpu, &via_pk).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_versions_and_preserves_results() {
+        for kind in EngineKind::ALL {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            let mut db = demo_database(&mut cpu, kind).unwrap();
+            // Create garbage: delete a third, grow-update another third.
+            db.execute(
+                &mut cpu,
+                &Dml::Delete {
+                    table: "items".into(),
+                    filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(60))),
+                },
+            )
+            .unwrap();
+            let before = db
+                .run(&mut cpu, &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]))
+                .unwrap();
+            let pages_before = db.catalog.table("items").unwrap().heap.n_pages();
+            let live = db.vacuum(&mut cpu, "items").unwrap();
+            assert_eq!(live, 140);
+            let after = db
+                .run(&mut cpu, &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]))
+                .unwrap();
+            assert_eq!(before, after, "{kind:?}: vacuum changed results");
+            let pages_after = db.catalog.table("items").unwrap().heap.n_pages();
+            assert!(pages_after <= pages_before, "{kind:?}");
+            // Index still works.
+            let via_index = Plan::IndexRange {
+                table: "items".into(),
+                col: "cat".into(),
+                lo: Some(0),
+                hi: Some(9),
+                filter: None,
+                project: None,
+            };
+            assert_eq!(db.run(&mut cpu, &via_index).unwrap().len(), 140, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn write_path_is_store_and_writeback_heavy() {
+        // The §2.3 scoping rationale, shown empirically: per affected row,
+        // writes issue far more stores than a read scan.
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db = demo_database(&mut cpu, EngineKind::Pg).unwrap();
+        let read = cpu.measure(|c| {
+            db.run(c, &Plan::scan("items")).unwrap();
+        });
+        let write = cpu.measure(|c| {
+            db.execute(
+                c,
+                &Dml::Update {
+                    table: "items".into(),
+                    filter: None,
+                    set: vec![(2, lit(Value::Float(1.0)))],
+                },
+            )
+            .unwrap();
+        });
+        let ratio = |m: &simcore::Measurement| {
+            m.pmu.get(simcore::Event::StoreIssued) as f64
+                / m.pmu.get(simcore::Event::LoadIssued).max(1) as f64
+        };
+        assert!(
+            ratio(&write) > ratio(&read),
+            "write store/load ratio {} must exceed read {}",
+            ratio(&write),
+            ratio(&read)
+        );
+    }
+}

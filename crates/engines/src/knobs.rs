@@ -1,0 +1,138 @@
+//! The Table 4 knob settings.
+//!
+//! Each system exposes two knobs; the three levels give the three engines
+//! approximately equal resources at each level:
+//!
+//! | system | knobs | small | baseline | large |
+//! |---|---|---|---|---|
+//! | PostgreSQL | shared_buffers / work_mem | 8 MB / 4 MB | 128 MB / 64 MB | 1024 MB / 512 MB |
+//! | SQLite | cache_size / page_size | 2000 / 4 KB | 16000 / 8 KB | 65000 / 16 KB |
+//! | MySQL | inbuffer_size / inpage_size | 8 MB / 4 KB | 128 MB / 8 KB | 1024 MB / 16 KB |
+
+use crate::profile::EngineKind;
+
+const MB: u64 = 1024 * 1024;
+
+/// The three Table 4 levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobLevel {
+    /// Stringent resources.
+    Small,
+    /// The trunk configuration.
+    Baseline,
+    /// Relaxed resources.
+    Large,
+}
+
+impl KnobLevel {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KnobLevel::Small => "small",
+            KnobLevel::Baseline => "baseline",
+            KnobLevel::Large => "large",
+        }
+    }
+
+    /// All levels in Table 4 order.
+    pub const ALL: [KnobLevel; 3] = [KnobLevel::Small, KnobLevel::Baseline, KnobLevel::Large];
+}
+
+/// Resolved knob values for one engine at one level.
+#[derive(Debug, Clone, Copy)]
+pub struct Knobs {
+    /// Buffer-pool budget in bytes.
+    pub buffer_bytes: u64,
+    /// Per-operation memory (sorts, hash tables) in bytes.
+    pub work_mem: u64,
+    /// Page size in bytes.
+    pub page_size: u32,
+}
+
+impl Knobs {
+    /// Table 4 settings for `kind` at `level`.
+    pub fn resolve(kind: EngineKind, level: KnobLevel) -> Knobs {
+        match (kind, level) {
+            (EngineKind::Pg, KnobLevel::Small) => {
+                Knobs { buffer_bytes: 8 * MB, work_mem: 4 * MB, page_size: 8192 }
+            }
+            (EngineKind::Pg, KnobLevel::Baseline) => {
+                Knobs { buffer_bytes: 128 * MB, work_mem: 64 * MB, page_size: 8192 }
+            }
+            (EngineKind::Pg, KnobLevel::Large) => {
+                Knobs { buffer_bytes: 1024 * MB, work_mem: 512 * MB, page_size: 8192 }
+            }
+            (EngineKind::Lite, KnobLevel::Small) => {
+                Knobs { buffer_bytes: 2000 * 4096, work_mem: 2000 * 4096 / 16, page_size: 4096 }
+            }
+            (EngineKind::Lite, KnobLevel::Baseline) => {
+                Knobs { buffer_bytes: 16000 * 8192, work_mem: 16000 * 8192 / 16, page_size: 8192 }
+            }
+            (EngineKind::Lite, KnobLevel::Large) => {
+                Knobs {
+                    buffer_bytes: 65000 * 16384,
+                    work_mem: 65000 * 16384 / 16,
+                    page_size: 16384,
+                }
+            }
+            (EngineKind::My, KnobLevel::Small) => {
+                Knobs { buffer_bytes: 8 * MB, work_mem: MB, page_size: 4096 }
+            }
+            (EngineKind::My, KnobLevel::Baseline) => {
+                Knobs { buffer_bytes: 128 * MB, work_mem: 16 * MB, page_size: 8192 }
+            }
+            (EngineKind::My, KnobLevel::Large) => {
+                Knobs { buffer_bytes: 1024 * MB, work_mem: 128 * MB, page_size: 16384 }
+            }
+        }
+    }
+
+    /// Reduced configuration used on the 256 MB ARM part for the §4.3
+    /// experiment (10 MB of data, the *small* setting).
+    pub fn arm_small() -> Knobs {
+        Knobs { buffer_bytes: 2000 * 4096, work_mem: 512 * 1024, page_size: 4096 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_scale_monotonically() {
+        for kind in [EngineKind::Pg, EngineKind::Lite, EngineKind::My] {
+            let s = Knobs::resolve(kind, KnobLevel::Small);
+            let b = Knobs::resolve(kind, KnobLevel::Baseline);
+            let l = Knobs::resolve(kind, KnobLevel::Large);
+            assert!(s.buffer_bytes < b.buffer_bytes);
+            assert!(b.buffer_bytes < l.buffer_bytes);
+            assert!(s.work_mem <= b.work_mem && b.work_mem <= l.work_mem);
+        }
+    }
+
+    #[test]
+    fn levels_are_comparable_across_engines() {
+        // "The resource size provided to three database systems at each
+        // setting is approximate" (§3.1): within 2× of each other.
+        for level in KnobLevel::ALL {
+            let sizes: Vec<u64> = [EngineKind::Pg, EngineKind::Lite, EngineKind::My]
+                .into_iter()
+                .map(|k| Knobs::resolve(k, level).buffer_bytes)
+                .collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max < min * 2, "{level:?}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn page_size_knob_follows_table4() {
+        assert_eq!(Knobs::resolve(EngineKind::Lite, KnobLevel::Small).page_size, 4096);
+        assert_eq!(Knobs::resolve(EngineKind::Lite, KnobLevel::Large).page_size, 16384);
+        assert_eq!(Knobs::resolve(EngineKind::My, KnobLevel::Baseline).page_size, 8192);
+        // PG's page size is compile-time fixed at 8 KB.
+        for level in KnobLevel::ALL {
+            assert_eq!(Knobs::resolve(EngineKind::Pg, level).page_size, 8192);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The logical plan IR shared by all engines.
+//!
+//! Plans are *logical*: they say what to compute, and each engine picks its
+//! physical strategy (scan method, join algorithm, grouping method) from its
+//! [`crate::Profile`]. The workloads crate builds one plan per TPC-H query
+//! and per basic operation; differential tests run the same plan through all
+//! three engines and require identical results.
+
+use storage::{AggSpec, Catalog, Expr, Schema, Ty};
+
+/// A logical query plan node.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Full scan of a base table, with optional filter and projection.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Residual predicate over the base row.
+        filter: Option<Expr>,
+        /// Output expressions over the base row (`None` = all columns).
+        project: Option<Vec<Expr>>,
+    },
+    /// Range scan over an indexed integer/date column: `lo <= col <= hi`.
+    IndexRange {
+        /// Table name.
+        table: String,
+        /// Indexed column name.
+        col: String,
+        /// Inclusive lower bound.
+        lo: Option<i64>,
+        /// Inclusive upper bound.
+        hi: Option<i64>,
+        /// Residual predicate over the base row.
+        filter: Option<Expr>,
+        /// Output expressions (`None` = all columns).
+        project: Option<Vec<Expr>>,
+    },
+    /// Equi-join on one column pair; `filter`/`project` apply to the
+    /// concatenated (left ++ right) row.
+    Join {
+        /// Outer/probe side.
+        left: Box<Plan>,
+        /// Inner/build side (workload plans put the smaller input here).
+        right: Box<Plan>,
+        /// Join column in the left child's output.
+        left_col: usize,
+        /// Join column in the right child's output.
+        right_col: usize,
+        /// Residual predicate over the concatenated row.
+        filter: Option<Expr>,
+        /// Output expressions over the concatenated row.
+        project: Option<Vec<Expr>>,
+    },
+    /// Grouped (or scalar, when `group_by` is empty) aggregation.
+    /// Output row = group values ++ aggregate results.
+    Aggregate {
+        /// Input.
+        input: Box<Plan>,
+        /// Group-key columns (indices into the input's output).
+        group_by: Vec<usize>,
+        /// Aggregates over the input row.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort by key columns; `desc[i]` flips component `i`.
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// `(column, descending)` sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Keep only the first `n` rows after sorting.
+        limit: Option<usize>,
+    },
+    /// Keep the first `n` input rows.
+    Limit {
+        /// Input.
+        input: Box<Plan>,
+        /// Row budget.
+        n: usize,
+    },
+    /// Map each input row through expressions.
+    Project {
+        /// Input.
+        input: Box<Plan>,
+        /// Output expressions over the input row.
+        exprs: Vec<Expr>,
+    },
+}
+
+impl Plan {
+    /// Convenience full-table scan.
+    pub fn scan(table: &str) -> Plan {
+        Plan::Scan { table: table.into(), filter: None, project: None }
+    }
+
+    /// Scan with a filter.
+    pub fn scan_where(table: &str, filter: Expr) -> Plan {
+        Plan::Scan { table: table.into(), filter: Some(filter), project: None }
+    }
+
+    /// Wrap in a sort.
+    pub fn sort(self, keys: Vec<(usize, bool)>) -> Plan {
+        Plan::Sort { input: Box::new(self), keys, limit: None }
+    }
+
+    /// Wrap in a sort with a row limit (top-N).
+    pub fn top_n(self, keys: Vec<(usize, bool)>, n: usize) -> Plan {
+        Plan::Sort { input: Box::new(self), keys, limit: Some(n) }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, exprs: Vec<Expr>) -> Plan {
+        Plan::Project { input: Box::new(self), exprs }
+    }
+
+    /// Wrap in an aggregation.
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> Plan {
+        Plan::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    /// Equi-join with another plan.
+    pub fn join(self, right: Plan, left_col: usize, right_col: usize) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_col,
+            right_col,
+            filter: None,
+            project: None,
+        }
+    }
+
+    /// Output arity of this plan against a catalog.
+    pub fn arity(&self, catalog: &Catalog) -> storage::Result<usize> {
+        Ok(match self {
+            Plan::Scan { table, project, .. } | Plan::IndexRange { table, project, .. } => {
+                match project {
+                    Some(p) => p.len(),
+                    None => catalog.table(table)?.schema.arity(),
+                }
+            }
+            Plan::Join { left, right, project, .. } => match project {
+                Some(p) => p.len(),
+                None => left.arity(catalog)? + right.arity(catalog)?,
+            },
+            Plan::Aggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
+            Plan::Project { exprs, .. } => exprs.len(),
+            Plan::Sort { input, .. } | Plan::Limit { input, .. } => input.arity(catalog)?,
+        })
+    }
+
+    /// A best-effort output schema (column names are synthesised for
+    /// computed expressions); used by harnesses for labelling only.
+    pub fn schema(&self, catalog: &Catalog) -> storage::Result<Schema> {
+        Ok(match self {
+            Plan::Scan { table, project, .. } | Plan::IndexRange { table, project, .. } => {
+                let base = &catalog.table(table)?.schema;
+                match project {
+                    None => base.clone(),
+                    Some(p) => synth(p.len()),
+                }
+            }
+            Plan::Join { left, right, project, .. } => match project {
+                Some(p) => synth(p.len()),
+                None => left.schema(catalog)?.join(&right.schema(catalog)?),
+            },
+            Plan::Aggregate { group_by, aggs, .. } => synth(group_by.len() + aggs.len()),
+            Plan::Project { exprs, .. } => synth(exprs.len()),
+            Plan::Sort { input, .. } | Plan::Limit { input, .. } => input.schema(catalog)?,
+        })
+    }
+}
+
+impl Plan {
+    /// Render the plan as an indented EXPLAIN-style tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, filter, project } => {
+                out.push_str(&format!(
+                    "{pad}Scan {table}{}{}\n",
+                    fmt_filter(filter),
+                    fmt_project(project)
+                ));
+            }
+            Plan::IndexRange { table, col, lo, hi, filter, project } => {
+                out.push_str(&format!(
+                    "{pad}IndexRange {table}.{col} [{}, {}]{}{}\n",
+                    lo.map_or("-inf".into(), |v| v.to_string()),
+                    hi.map_or("+inf".into(), |v| v.to_string()),
+                    fmt_filter(filter),
+                    fmt_project(project)
+                ));
+            }
+            Plan::Join { left, right, left_col, right_col, filter, project } => {
+                out.push_str(&format!(
+                    "{pad}Join on L#{left_col} = R#{right_col}{}{}\n",
+                    fmt_filter(filter),
+                    fmt_project(project)
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate group_by={group_by:?} aggs={}\n",
+                    aggs.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys, limit } => {
+                let lim = limit.map_or(String::new(), |n| format!(" limit={n}"));
+                out.push_str(&format!("{pad}Sort keys={keys:?}{lim}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs } => {
+                out.push_str(&format!("{pad}Project cols={}\n", exprs.len()));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn fmt_filter(f: &Option<Expr>) -> String {
+    match f {
+        Some(_) => " filter=yes".into(),
+        None => String::new(),
+    }
+}
+
+fn fmt_project(p: &Option<Vec<Expr>>) -> String {
+    match p {
+        Some(e) => format!(" project={}", e.len()),
+        None => String::new(),
+    }
+}
+
+fn synth(n: usize) -> Schema {
+    Schema::new((0..n).map(|i| (format!("c{i}"), Ty::Float)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::{CmpOp, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table("t", Schema::new([("a", Ty::Int), ("b", Ty::Float)])).unwrap();
+        c.create_table("u", Schema::new([("x", Ty::Int)])).unwrap();
+        c
+    }
+
+    #[test]
+    fn arity_flows_through_operators() {
+        let cat = catalog();
+        let p = Plan::scan("t").join(Plan::scan("u"), 0, 0);
+        assert_eq!(p.arity(&cat).unwrap(), 3);
+        let agg = Plan::scan("t").aggregate(vec![0], vec![AggSpec::count_star()]);
+        assert_eq!(agg.arity(&cat).unwrap(), 2);
+        let proj = Plan::Scan {
+            table: "t".into(),
+            filter: Some(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::Lit(Value::Int(3)))),
+            project: Some(vec![Expr::col(1)]),
+        };
+        assert_eq!(proj.arity(&cat).unwrap(), 1);
+    }
+
+    #[test]
+    fn explain_renders_a_tree() {
+        let plan = Plan::scan("t")
+            .join(Plan::scan("u"), 0, 0)
+            .aggregate(vec![0], vec![AggSpec::count_star()])
+            .top_n(vec![(1, true)], 10);
+        let text = plan.explain();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Sort"));
+        assert!(lines[1].trim_start().starts_with("Aggregate"));
+        assert!(lines[2].trim_start().starts_with("Join"));
+        assert!(lines[3].trim_start().starts_with("Scan t"));
+        assert!(lines[4].trim_start().starts_with("Scan u"));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let cat = catalog();
+        assert!(Plan::scan("nope").arity(&cat).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # microbench — the paper's micro-benchmark sets (§2.5)
+//!
+//! Quantifying the energy of an individual micro-operation requires
+//! benchmarks with a *single, known* performance behaviour. This crate
+//! implements the paper's two design frameworks and both benchmark sets:
+//!
+//! * **List traversal** (Fig. 4b/4d): a pointer chain whose back-and-forth
+//!   dependency defeats out-of-order execution, so every load's latency is
+//!   exposed. For the L2/L3/DRAM variants the chain's *logical* order is a
+//!   span-constrained random permutation (Algorithm 3), which makes the reuse
+//!   distance equal to the working-set size — every access misses all levels
+//!   smaller than the working set.
+//! * **Array traversal** (Fig. 4a): sequential, address-independent loads
+//!   that the pipeline dual-issues with no stalls.
+//!
+//! The measured set `MBS` (Algorithms 1–4) isolates the micro-ops in
+//! `MS = {L1D, Reg2L1D, L2, L3, mem, pf, stall}`; the verification set
+//! `VMBS` (Table 3) mixes data movement with `add`/`nop` work to check the
+//! solved per-op energies on *complex* behaviours.
+//!
+//! Runtime configuration follows §2.5.3: fixed P-state, prefetcher off,
+//! caches warmed before the measurement window opens.
+
+pub mod framework;
+pub mod mbs;
+pub mod runner;
+pub mod vmbs;
+
+pub use framework::{ArrayBuf, ListChain};
+pub use mbs::MicroBenchId;
+pub use runner::{BenchRun, RunConfig};
+pub use vmbs::VerifyBenchId;

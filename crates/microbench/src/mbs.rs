@@ -1,0 +1,289 @@
+//! The measured micro-benchmark set `MBS` (§2.5.2, Algorithms 1–4), plus the
+//! two instruction benchmarks `B_add`/`B_nop` (§2.5.5) and the ARM-only
+//! `B_DTCM_array` (§4.3).
+
+use crate::framework::{ArrayBuf, ListChain, ITEM};
+use crate::runner::{l1d_smem, BenchRun, RunConfig};
+use simcore::{ArchKind, Cpu, Event, ExecOp};
+
+/// Working-set size for `B_L2` — as close as possible to L1D+L2 capacity
+/// while still *fitting* the (inclusive) simulated L2. The paper uses 260 KB
+/// on Haswell, whose L2 is non-inclusive; see EXPERIMENTS.md.
+pub const L2_SMEM: u64 = 240 * 1024;
+/// Working-set size for `B_L3` (paper: 6 MB on an 8 MB L3).
+pub const L3_SMEM: u64 = 6 * 1024 * 1024;
+/// Working-set size for `B_mem` (paper: 60 MB).
+pub const MEM_SMEM: u64 = 60 * 1024 * 1024;
+
+/// Identifier for one benchmark in `MBS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroBenchId {
+    /// Algorithm 1: independent loads from an L1D-resident array.
+    L1dArray,
+    /// Algorithm 2: dependent loads from an L1D-resident chain.
+    L1dList,
+    /// Algorithm 3 with an L2-sized working set.
+    L2,
+    /// Algorithm 3 with an L3-sized working set.
+    L3,
+    /// Algorithm 3 with a DRAM-sized working set.
+    Mem,
+    /// Algorithm 4: repeated stores to one variable.
+    Reg2L1d,
+    /// A loop of add instructions.
+    Add,
+    /// A loop of nop instructions.
+    Nop,
+    /// `B_L1D_array` with the array in DTCM (ARM only, §4.3).
+    DtcmArray,
+}
+
+impl MicroBenchId {
+    /// The benchmark's paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroBenchId::L1dArray => "B_L1D_array",
+            MicroBenchId::L1dList => "B_L1D_list",
+            MicroBenchId::L2 => "B_L2",
+            MicroBenchId::L3 => "B_L3",
+            MicroBenchId::Mem => "B_mem",
+            MicroBenchId::Reg2L1d => "B_Reg2L1D",
+            MicroBenchId::Add => "B_add",
+            MicroBenchId::Nop => "B_nop",
+            MicroBenchId::DtcmArray => "B_DTCM_array",
+        }
+    }
+
+    /// The full x86 set, in Table 1 order.
+    pub const X86_SET: [MicroBenchId; 8] = [
+        MicroBenchId::L1dList,
+        MicroBenchId::L1dArray,
+        MicroBenchId::L2,
+        MicroBenchId::L3,
+        MicroBenchId::Mem,
+        MicroBenchId::Reg2L1d,
+        MicroBenchId::Add,
+        MicroBenchId::Nop,
+    ];
+
+    /// Which benchmarks exist on `kind` (the ARM part has no L2/L3; the x86
+    /// part has no TCM).
+    pub fn applicable(self, kind: ArchKind) -> bool {
+        match self {
+            MicroBenchId::L2 | MicroBenchId::L3 => kind == ArchKind::X86,
+            MicroBenchId::DtcmArray => kind == ArchKind::Arm,
+            _ => true,
+        }
+    }
+
+    /// PMU events counted as "desired" for the BLI diagnostic.
+    pub fn desired_events(self) -> &'static [Event] {
+        match self {
+            MicroBenchId::L1dArray
+            | MicroBenchId::L1dList
+            | MicroBenchId::L2
+            | MicroBenchId::L3
+            | MicroBenchId::Mem => &[Event::LoadIssued],
+            MicroBenchId::DtcmArray => &[Event::TcmLoad],
+            MicroBenchId::Reg2L1d => &[Event::StoreIssued],
+            MicroBenchId::Add => &[Event::AddOps],
+            MicroBenchId::Nop => &[Event::NopOps],
+        }
+    }
+
+    /// Allocate the benchmark's working set, warm it, run it inside a
+    /// measurement window and return the result.
+    ///
+    /// # Panics
+    /// Panics if the benchmark is not applicable to the machine's
+    /// architecture or the working set does not fit simulated memory.
+    pub fn run(self, cpu: &mut Cpu, cfg: &RunConfig) -> BenchRun {
+        assert!(
+            self.applicable(cpu.arch().kind),
+            "{} is not applicable to {}",
+            self.name(),
+            cpu.arch().name
+        );
+        cpu.set_pstate(cfg.pstate);
+        cpu.set_prefetch(cfg.prefetch);
+
+        let rounds = |items: u64| cfg.target_ops.div_ceil(items).max(1);
+
+        match self {
+            MicroBenchId::L1dArray => {
+                let arr = ArrayBuf::new(cpu, l1d_smem(cpu.arch())).expect("alloc B_L1D_array");
+                arr.traverse(cpu, cfg.warmup);
+                let passes = rounds(arr.items);
+                let m = cpu.measure(|c| arr.traverse(c, passes));
+                BenchRun::new(self.name(), m, self.desired_events())
+            }
+            MicroBenchId::DtcmArray => {
+                let smem = cpu.arch().dtcm_size.min(l1d_smem(cpu.arch()));
+                let arr = ArrayBuf::new_tcm(cpu, smem).expect("alloc B_DTCM_array");
+                arr.traverse(cpu, cfg.warmup);
+                let passes = rounds(arr.items);
+                let m = cpu.measure(|c| arr.traverse(c, passes));
+                BenchRun::new(self.name(), m, self.desired_events())
+            }
+            MicroBenchId::L1dList => {
+                let chain = ListChain::sequential(cpu, l1d_smem(cpu.arch())).expect("alloc");
+                chain.traverse(cpu, cfg.warmup).expect("warmup");
+                let passes = rounds(chain.items);
+                let m = cpu.measure(|c| chain.traverse(c, passes).expect("traverse"));
+                BenchRun::new(self.name(), m, self.desired_events())
+            }
+            MicroBenchId::L2 | MicroBenchId::L3 | MicroBenchId::Mem => {
+                let smem = match self {
+                    MicroBenchId::L2 => L2_SMEM,
+                    MicroBenchId::L3 => L3_SMEM,
+                    _ => MEM_SMEM,
+                };
+                let items = smem / ITEM;
+                let espan = (items / 8).max(4);
+                let chain = ListChain::permuted(cpu, smem, espan, 0x5eed).expect("alloc");
+                chain.traverse(cpu, cfg.warmup).expect("warmup");
+                let passes = rounds(chain.items);
+                let m = cpu.measure(|c| chain.traverse(c, passes).expect("traverse"));
+                BenchRun::new(self.name(), m, self.desired_events())
+            }
+            MicroBenchId::Reg2L1d => {
+                // Algorithm 4: one 64 B variable, stored over and over. The
+                // unrolling count matches the other benchmarks' pass length.
+                let var = cpu.alloc(ITEM).expect("alloc B_Reg2L1D");
+                let ut = l1d_smem(cpu.arch()) / ITEM;
+                cpu.store(var.addr); // allocate the line (write-allocate miss)
+                let passes = rounds(ut);
+                let m = cpu.measure(|c| {
+                    for _ in 0..passes {
+                        for _ in 0..ut {
+                            c.store(var.addr);
+                        }
+                        c.exec(ExecOp::Add);
+                        c.exec(ExecOp::Branch);
+                    }
+                });
+                BenchRun::new(self.name(), m, self.desired_events())
+            }
+            MicroBenchId::Add | MicroBenchId::Nop => {
+                let op = if self == MicroBenchId::Add { ExecOp::Add } else { ExecOp::Nop };
+                let ut = l1d_smem(cpu.arch()) / ITEM;
+                let passes = rounds(ut);
+                let m = cpu.measure(|c| {
+                    for _ in 0..passes {
+                        c.exec_n(op, ut);
+                        c.exec(ExecOp::Add);
+                        c.exec(ExecOp::Branch);
+                    }
+                });
+                BenchRun::new(self.name(), m, self.desired_events())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::bench_cpu;
+    use simcore::ArchConfig;
+
+    fn run(id: MicroBenchId) -> BenchRun {
+        let cfg = RunConfig::quick();
+        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
+        id.run(&mut cpu, &cfg)
+    }
+
+    #[test]
+    fn b_l1d_array_behaviour_matches_table1() {
+        let r = run(MicroBenchId::L1dArray);
+        assert!(r.bli > 0.98, "BLI {}", r.bli);
+        assert!(r.measurement.pmu.l1d_miss_rate().unwrap() < 0.01);
+        let ipc = r.ipc();
+        assert!(ipc > 1.8 && ipc < 2.2, "IPC {ipc}");
+    }
+
+    #[test]
+    fn b_l1d_list_behaviour_matches_table1() {
+        let r = run(MicroBenchId::L1dList);
+        assert!(r.bli > 0.98);
+        assert!(r.measurement.pmu.l1d_miss_rate().unwrap() < 0.01);
+        let ipc = r.ipc();
+        assert!(ipc > 0.2 && ipc < 0.3, "IPC {ipc}");
+    }
+
+    #[test]
+    fn b_l2_behaviour_matches_table1() {
+        let r = run(MicroBenchId::L2);
+        assert!(r.measurement.pmu.l1d_miss_rate().unwrap() > 0.99);
+        assert!(r.measurement.pmu.l2_miss_rate().unwrap() < 0.01);
+        let ipc = r.ipc();
+        assert!(ipc < 0.12, "IPC {ipc}");
+    }
+
+    #[test]
+    fn b_l3_behaviour_matches_table1() {
+        let r = run(MicroBenchId::L3);
+        assert!(r.measurement.pmu.l1d_miss_rate().unwrap() > 0.97);
+        assert!(r.measurement.pmu.l2_miss_rate().unwrap() > 0.97);
+        assert!(r.measurement.pmu.l3_miss_rate().unwrap() < 0.03);
+        let ipc = r.ipc();
+        assert!(ipc < 0.05, "IPC {ipc}");
+    }
+
+    #[test]
+    fn b_mem_behaviour_matches_table1() {
+        let r = run(MicroBenchId::Mem);
+        assert!(r.measurement.pmu.l3_miss_rate().unwrap() > 0.95);
+        let ipc = r.ipc();
+        assert!(ipc < 0.01, "IPC {ipc}");
+    }
+
+    #[test]
+    fn b_reg2l1d_behaviour_matches_table1() {
+        let r = run(MicroBenchId::Reg2L1d);
+        assert!(r.bli > 0.98);
+        assert!(r.measurement.pmu.l1d_store_hit_rate().unwrap() > 0.999);
+        let ipc = r.ipc();
+        assert!(ipc > 0.9 && ipc < 1.1, "IPC {ipc}");
+    }
+
+    #[test]
+    fn b_add_and_b_nop_ipc() {
+        let add = run(MicroBenchId::Add);
+        assert!(add.ipc() > 1.9 && add.ipc() < 2.1, "add IPC {}", add.ipc());
+        let nop = run(MicroBenchId::Nop);
+        assert!(nop.ipc() > 3.8 && nop.ipc() < 4.1, "nop IPC {}", nop.ipc());
+    }
+
+    #[test]
+    fn dtcm_array_runs_on_arm_only() {
+        assert!(!MicroBenchId::DtcmArray.applicable(simcore::ArchKind::X86));
+        let cfg = RunConfig::quick();
+        let mut cpu = bench_cpu(ArchConfig::arm1176jzf_s(), &cfg);
+        let r = MicroBenchId::DtcmArray.run(&mut cpu, &cfg);
+        assert!(r.bli > 0.98);
+        assert_eq!(r.measurement.pmu.get(Event::L1dLoadMiss), 0);
+    }
+
+    #[test]
+    fn dtcm_saves_energy_vs_l1d_array_on_arm() {
+        // §4.3: B_DTCM_array reduces energy ~10% with no performance loss.
+        let cfg = RunConfig::quick();
+        let mut c1 = bench_cpu(ArchConfig::arm1176jzf_s(), &cfg);
+        let l1d = MicroBenchId::L1dArray.run(&mut c1, &cfg);
+        let mut c2 = bench_cpu(ArchConfig::arm1176jzf_s(), &cfg);
+        let tcm = MicroBenchId::DtcmArray.run(&mut c2, &cfg);
+        let e1 = l1d.measurement.rapl.total_j();
+        let e2 = tcm.measurement.rapl.total_j();
+        assert!(e2 < e1, "TCM should be cheaper: {e2} !< {e1}");
+        assert!(tcm.measurement.time_s <= l1d.measurement.time_s * 1.001);
+    }
+
+    #[test]
+    fn mem_bench_respects_pstate() {
+        let cfg12 = RunConfig { pstate: simcore::PState::P12, ..RunConfig::quick() };
+        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg12);
+        let r = MicroBenchId::L1dArray.run(&mut cpu, &cfg12);
+        assert_eq!(r.measurement.pstate, simcore::PState::P12);
+    }
+}

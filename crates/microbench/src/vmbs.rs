@@ -1,0 +1,224 @@
+//! The verification micro-benchmark set `VMBS` (§2.5.5, Table 3).
+//!
+//! Each benchmark mixes data movement with known quantities of `add`/`nop`
+//! work so it shows a "clear and complex" performance behaviour. The analysis
+//! layer estimates its Active energy from the solved `ΔEm` and compares
+//! against the measured value to produce the accuracy score `acc(v)`.
+
+use crate::framework::{ArrayBuf, ListChain, ITEM};
+use crate::mbs::{L2_SMEM, L3_SMEM, MEM_SMEM};
+use crate::runner::{l1d_smem, BenchRun, RunConfig};
+use simcore::{ArchKind, Cpu, Dep, Event, ExecOp};
+
+/// Identifier for one benchmark in `VMBS` (Table 3 order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyBenchId {
+    /// L1D pointer chase with nops between loads.
+    L1dListNop,
+    /// L1D array scan with adds between loads.
+    L1dArrayAdd,
+    /// L2-resident chase with nops.
+    L2Nop,
+    /// L3-resident chase with adds.
+    L3Add,
+    /// DRAM-resident chase with nops.
+    MemNop,
+    /// Interleaved chases over an L1D-resident and an L2-resident chain.
+    L1dListL2,
+    /// L1D chase with both a nop and an add per item.
+    L1dListNopAdd,
+}
+
+impl VerifyBenchId {
+    /// The benchmark's paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyBenchId::L1dListNop => "B_L1D_list_nop",
+            VerifyBenchId::L1dArrayAdd => "B_L1D_array_add",
+            VerifyBenchId::L2Nop => "B_L2_nop",
+            VerifyBenchId::L3Add => "B_L3_add",
+            VerifyBenchId::MemNop => "B_mem_nop",
+            VerifyBenchId::L1dListL2 => "B_L1D_list_L2",
+            VerifyBenchId::L1dListNopAdd => "B_L1D_list_nop_add",
+        }
+    }
+
+    /// The full set, in Table 3 order.
+    pub const SET: [VerifyBenchId; 7] = [
+        VerifyBenchId::L1dListNop,
+        VerifyBenchId::L1dArrayAdd,
+        VerifyBenchId::L2Nop,
+        VerifyBenchId::L3Add,
+        VerifyBenchId::MemNop,
+        VerifyBenchId::L1dListL2,
+        VerifyBenchId::L1dListNopAdd,
+    ];
+
+    /// Which verification benchmarks exist on `kind`.
+    pub fn applicable(self, kind: ArchKind) -> bool {
+        match self {
+            VerifyBenchId::L2Nop | VerifyBenchId::L3Add | VerifyBenchId::L1dListL2 => {
+                kind == ArchKind::X86
+            }
+            _ => true,
+        }
+    }
+
+    /// Run the verification benchmark (allocates, warms, measures).
+    pub fn run(self, cpu: &mut Cpu, cfg: &RunConfig) -> BenchRun {
+        assert!(self.applicable(cpu.arch().kind));
+        cpu.set_pstate(cfg.pstate);
+        cpu.set_prefetch(cfg.prefetch);
+        let rounds = |items: u64| cfg.target_ops.div_ceil(items).max(1);
+        let l1_smem = l1d_smem(cpu.arch());
+
+        let chase_mix = |cpu: &mut Cpu, smem: u64, espan: Option<u64>, ops: &'static [ExecOp]| {
+            let chain = match espan {
+                None => ListChain::sequential(cpu, smem).expect("alloc"),
+                Some(e) => ListChain::permuted(cpu, smem, e, 0xbeef).expect("alloc"),
+            };
+            chain.traverse(cpu, cfg.warmup).expect("warmup");
+            let passes = rounds(chain.items);
+            cpu.measure(|c| {
+                let mut ptr = chain.head;
+                for _ in 0..passes {
+                    let mut work = |c: &mut Cpu| {
+                        for &op in ops {
+                            c.exec(op);
+                        }
+                    };
+                    ptr = chain.traverse_pass(c, ptr, &mut work).expect("traverse");
+                }
+            })
+        };
+
+        let m = match self {
+            VerifyBenchId::L1dListNop => {
+                chase_mix(cpu, l1_smem, None, &[ExecOp::Nop, ExecOp::Nop])
+            }
+            VerifyBenchId::L1dListNopAdd => {
+                chase_mix(cpu, l1_smem, None, &[ExecOp::Nop, ExecOp::Add])
+            }
+            VerifyBenchId::L2Nop => {
+                let items = L2_SMEM / ITEM;
+                chase_mix(cpu, L2_SMEM, Some(items / 8), &[ExecOp::Nop, ExecOp::Nop])
+            }
+            VerifyBenchId::L3Add => {
+                let items = L3_SMEM / ITEM;
+                chase_mix(cpu, L3_SMEM, Some(items / 8), &[ExecOp::Add, ExecOp::Add])
+            }
+            VerifyBenchId::MemNop => {
+                let items = MEM_SMEM / ITEM;
+                chase_mix(
+                    cpu,
+                    MEM_SMEM,
+                    Some(items / 8),
+                    &[ExecOp::Nop, ExecOp::Nop, ExecOp::Nop, ExecOp::Nop],
+                )
+            }
+            VerifyBenchId::L1dArrayAdd => {
+                let arr = ArrayBuf::new(cpu, l1_smem).expect("alloc");
+                arr.traverse(cpu, cfg.warmup);
+                let passes = rounds(arr.items);
+                cpu.measure(|c| {
+                    let mut work = |c: &mut Cpu| {
+                        c.exec(ExecOp::Add);
+                        c.exec(ExecOp::Add);
+                    };
+                    for _ in 0..passes {
+                        arr.traverse_pass(c, &mut work);
+                    }
+                })
+            }
+            VerifyBenchId::L1dListL2 => {
+                // Two chains: a small one resident in L1D, a large one that
+                // always misses to L2. Alternate one step on each.
+                let small = ListChain::sequential(cpu, 8 * 1024).expect("alloc small");
+                let big_smem: u64 = 200 * 1024;
+                let big_items = big_smem / ITEM;
+                let big =
+                    ListChain::permuted(cpu, big_smem, big_items / 8, 0xcafe).expect("alloc big");
+                small.traverse(cpu, cfg.warmup).expect("warm small");
+                big.traverse(cpu, cfg.warmup).expect("warm big");
+                let passes = rounds(big.items);
+                cpu.measure(|c| {
+                    let mut ps = small.head;
+                    let mut pb = big.head;
+                    for _ in 0..passes {
+                        for _ in 0..big.items {
+                            ps = c.read_u64(ps, Dep::Chase).expect("small");
+                            pb = c.read_u64(pb, Dep::Chase).expect("big");
+                        }
+                        c.exec(ExecOp::Add);
+                        c.exec(ExecOp::Branch);
+                    }
+                })
+            }
+        };
+        BenchRun::new(self.name(), m, &[Event::LoadIssued])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::bench_cpu;
+    use simcore::ArchConfig;
+
+    fn run(id: VerifyBenchId) -> BenchRun {
+        let cfg = RunConfig::quick();
+        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
+        id.run(&mut cpu, &cfg)
+    }
+
+    #[test]
+    fn list_nop_mixes_loads_and_nops_one_to_two() {
+        let r = run(VerifyBenchId::L1dListNop);
+        let loads = r.measurement.pmu.get(Event::LoadIssued);
+        let nops = r.measurement.pmu.get(Event::NopOps);
+        assert!(loads > 0);
+        let ratio = nops as f64 / loads as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "nop/load ratio {ratio}");
+    }
+
+    #[test]
+    fn nops_shrink_stall_relative_to_pure_list() {
+        let cfg = RunConfig::quick();
+        let mut c1 = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
+        let pure = crate::mbs::MicroBenchId::L1dList.run(&mut c1, &cfg);
+        let mixed = run(VerifyBenchId::L1dListNop);
+        let stall_per_load = |r: &BenchRun| {
+            r.measurement.pmu.get(Event::StallCycles) as f64
+                / r.measurement.pmu.get(Event::LoadIssued) as f64
+        };
+        assert!(
+            stall_per_load(&mixed) < stall_per_load(&pure),
+            "filled shadow should reduce stall: {} !< {}",
+            stall_per_load(&mixed),
+            stall_per_load(&pure)
+        );
+    }
+
+    #[test]
+    fn l1d_list_l2_splits_hits_between_levels() {
+        let r = run(VerifyBenchId::L1dListL2);
+        let miss = r.measurement.pmu.l1d_miss_rate().unwrap();
+        assert!(miss > 0.40 && miss < 0.60, "expected ~half L1D misses, got {miss}");
+        assert!(r.measurement.pmu.l2_miss_rate().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn mem_nop_still_reaches_dram() {
+        let r = run(VerifyBenchId::MemNop);
+        assert!(r.measurement.pmu.l3_miss_rate().unwrap() > 0.95);
+        assert!(r.measurement.pmu.get(Event::NopOps) > 0);
+    }
+
+    #[test]
+    fn every_vmbs_bench_runs_on_x86() {
+        for id in VerifyBenchId::SET {
+            let r = run(id);
+            assert!(r.measurement.rapl.package_j > 0.0, "{} consumed no energy", id.name());
+        }
+    }
+}

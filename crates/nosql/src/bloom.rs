@@ -1,0 +1,101 @@
+//! Blocked bloom filter over a simulated bit array.
+
+use simcore::{Cpu, Dep, ExecOp, Region};
+
+/// A bloom filter with `k` hash probes into a simulated bit region.
+pub struct Bloom {
+    region: Region,
+    bits: u64,
+    k: u32,
+    /// Host-side mirror for correctness (the simulated region prices the
+    /// accesses; the mirror answers them).
+    words: Vec<u64>,
+}
+
+impl Bloom {
+    /// ~10 bits per expected key, k = 7 (RocksDB defaults).
+    pub fn new(cpu: &mut Cpu, expected_keys: u64) -> crate::Result<Bloom> {
+        let bits = (expected_keys.max(8) * 10).next_power_of_two();
+        let region = cpu.alloc(bits / 8)?;
+        Ok(Bloom { region, bits, k: 7, words: vec![0; (bits / 64) as usize] })
+    }
+
+    fn probes(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h1 ^= b as u64;
+            h1 = h1.wrapping_mul(0x1000_0000_01b3);
+        }
+        let h2 = h1.rotate_left(17) | 1;
+        let bits = self.bits;
+        (0..self.k as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % bits)
+    }
+
+    /// Insert a key: `k` bit sets (hash ALU + one store per distinct word).
+    pub fn insert(&mut self, cpu: &mut Cpu, key: &[u8]) {
+        cpu.exec_n(ExecOp::Mul, self.k as u64);
+        let probes: Vec<u64> = self.probes(key).collect();
+        for bit in probes {
+            let word = bit / 64;
+            cpu.store(self.region.addr + word * 8);
+            self.words[word as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Probe: `k` dependent bit reads; early-out on the first zero bit.
+    pub fn may_contain(&self, cpu: &mut Cpu, key: &[u8]) -> bool {
+        cpu.exec_n(ExecOp::Mul, self.k as u64);
+        for bit in self.probes(key) {
+            let word = bit / 64;
+            cpu.load(self.region.addr + word * 8, Dep::Chase);
+            cpu.exec(ExecOp::Branch);
+            if self.words[word as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ArchConfig;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut b = Bloom::new(&mut cpu, 1000).unwrap();
+        for i in 0..1000u64 {
+            b.insert(&mut cpu, &i.to_le_bytes());
+        }
+        for i in 0..1000u64 {
+            assert!(b.may_contain(&mut cpu, &i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut b = Bloom::new(&mut cpu, 1000).unwrap();
+        for i in 0..1000u64 {
+            b.insert(&mut cpu, &i.to_le_bytes());
+        }
+        let fp = (10_000..20_000u64)
+            .filter(|i| b.may_contain(&mut cpu, &i.to_le_bytes()))
+            .count();
+        assert!(fp < 300, "false-positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn probes_charge_simulated_work() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut b = Bloom::new(&mut cpu, 100).unwrap();
+        b.insert(&mut cpu, b"key");
+        let before = cpu.pmu_snapshot();
+        b.may_contain(&mut cpu, b"key");
+        let d = cpu.pmu_snapshot().delta(&before);
+        assert!(d.get(simcore::Event::LoadIssued) >= 7);
+        assert!(d.get(simcore::Event::MulOps) >= 7);
+    }
+}

@@ -1,0 +1,241 @@
+//! The LSM tree: WAL → memtable → levelled SSTable runs with size-tiered
+//! compaction.
+
+use crate::memtable::Memtable;
+use crate::sstable::SsTable;
+use crate::wal::Wal;
+use simcore::Cpu;
+use std::collections::BTreeMap;
+
+/// The tombstone sentinel (empty values are reserved for deletions).
+const TOMBSTONE: &[u8] = b"";
+
+#[inline]
+fn live(v: Vec<u8>) -> Option<Vec<u8>> {
+    if v == TOMBSTONE {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// Tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Memtable flush threshold (bytes).
+    pub memtable_bytes: u64,
+    /// Runs per tier before compaction merges them.
+    pub fanout: usize,
+    /// WAL group-commit size.
+    pub wal_group: u32,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig { memtable_bytes: 256 * 1024, fanout: 4, wal_group: 16 }
+    }
+}
+
+/// The store.
+pub struct LsmStore {
+    cfg: LsmConfig,
+    wal: Wal,
+    mem: Memtable,
+    /// Newest-first runs.
+    runs: Vec<SsTable>,
+    /// Flushes performed (diagnostic).
+    pub flushes: u64,
+    /// Compactions performed (diagnostic).
+    pub compactions: u64,
+}
+
+impl LsmStore {
+    /// Open an empty store.
+    pub fn open(cpu: &mut Cpu, cfg: LsmConfig) -> crate::Result<LsmStore> {
+        Ok(LsmStore {
+            cfg,
+            wal: Wal::new(cpu, 1 << 20, cfg.wal_group)?,
+            mem: Memtable::new(cpu, cfg.memtable_bytes * 2)?,
+            runs: Vec::new(),
+            flushes: 0,
+            compactions: 0,
+        })
+    }
+
+    /// Write a key/value pair.
+    pub fn put(&mut self, cpu: &mut Cpu, key: &[u8], value: &[u8]) -> crate::Result<()> {
+        if key.len() > 1024 || value.len() > 16 * 1024 {
+            return Err(crate::KvError::TooLarge("key/value"));
+        }
+        self.wal.append(cpu, key, value);
+        self.mem.put(cpu, key, value);
+        if self.mem.bytes() >= self.cfg.memtable_bytes {
+            self.flush(cpu)?;
+        }
+        Ok(())
+    }
+
+    /// Point read (memtable first, then runs newest→oldest). Tombstones
+    /// read as absent.
+    pub fn get(&mut self, cpu: &mut Cpu, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(v) = self.mem.get(cpu, key) {
+            return live(v);
+        }
+        for run in self.runs.iter_mut() {
+            if let Some(v) = run.get(cpu, key) {
+                return live(v);
+            }
+        }
+        None
+    }
+
+    /// Delete a key: a tombstone write (LSM deletes are writes); the value
+    /// disappears from reads immediately and physically at compaction.
+    pub fn delete(&mut self, cpu: &mut Cpu, key: &[u8]) -> crate::Result<()> {
+        self.wal.append(cpu, key, TOMBSTONE);
+        self.mem.put(cpu, key, TOMBSTONE);
+        if self.mem.bytes() >= self.cfg.memtable_bytes {
+            self.flush(cpu)?;
+        }
+        Ok(())
+    }
+
+    /// Inclusive range scan from `from`, up to `limit` results: merges the
+    /// memtable (not drained) and every run, newest version winning.
+    pub fn scan(
+        &mut self,
+        cpu: &mut Cpu,
+        from: &[u8],
+        limit: usize,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        // Oldest first so newer versions overwrite.
+        for run in self.runs.iter().rev() {
+            for (k, v) in run.scan_all(cpu) {
+                if k.as_slice() >= from {
+                    merged.insert(k, v);
+                }
+            }
+        }
+        for (k, v) in self.mem.scan_sorted(cpu) {
+            if k.as_slice() >= from {
+                merged.insert(k, v);
+            }
+        }
+        merged.into_iter().filter(|(_, v)| v != TOMBSTONE).take(limit).collect()
+    }
+
+    /// Flush the memtable into a new run; maybe compact.
+    pub fn flush(&mut self, cpu: &mut Cpu) -> crate::Result<()> {
+        let pairs = self.mem.drain_sorted(cpu);
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let run = SsTable::build(cpu, &pairs)?;
+        self.runs.insert(0, run);
+        self.flushes += 1;
+        if self.runs.len() > self.cfg.fanout {
+            self.compact(cpu)?;
+        }
+        Ok(())
+    }
+
+    /// Merge every run into one (size-tiered major compaction): streaming
+    /// reads of all inputs, streaming writes of the output. Tombstones are
+    /// dropped — this is where deleted space is reclaimed.
+    pub fn compact(&mut self, cpu: &mut Cpu) -> crate::Result<()> {
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for run in self.runs.iter().rev() {
+            for (k, v) in run.scan_all(cpu) {
+                merged.insert(k, v);
+            }
+        }
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            merged.into_iter().filter(|(_, v)| v != TOMBSTONE).collect();
+        let out = SsTable::build(cpu, &pairs)?;
+        self.runs = vec![out];
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Total live keys (diagnostic; scans every run).
+    pub fn approximate_keys(&self) -> usize {
+        self.runs.iter().map(|r| r.len()).sum::<usize>() + self.mem.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ArchConfig;
+
+    fn store(cpu: &mut Cpu) -> LsmStore {
+        LsmStore::open(
+            cpu,
+            LsmConfig { memtable_bytes: 4 * 1024, fanout: 3, wal_group: 8 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_across_flushes() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut s = store(&mut cpu);
+        for i in 0..2000u64 {
+            s.put(&mut cpu, format!("k{i:06}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        assert!(s.flushes > 0, "memtable should have flushed");
+        for i in (0..2000u64).step_by(97) {
+            let v = s.get(&mut cpu, format!("k{i:06}").as_bytes());
+            assert_eq!(v, Some(i.to_le_bytes().to_vec()), "key {i}");
+        }
+        assert_eq!(s.get(&mut cpu, b"nope"), None);
+    }
+
+    #[test]
+    fn newer_versions_win_after_compaction() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut s = store(&mut cpu);
+        for round in 0..5u64 {
+            for i in 0..300u64 {
+                let mut v = vec![b'x'; 64];
+                v[0] = b'0' + round as u8;
+                s.put(&mut cpu, format!("k{i:04}").as_bytes(), &v).unwrap();
+            }
+        }
+        assert!(s.compactions > 0, "fanout should have forced compaction");
+        let got = s.get(&mut cpu, b"k0042").expect("key present");
+        assert_eq!(got[0], b'4', "newest version must win");
+    }
+
+    #[test]
+    fn delete_hides_immediately_and_compaction_reclaims() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut s = store(&mut cpu);
+        for i in 0..500u64 {
+            s.put(&mut cpu, format!("k{i:04}").as_bytes(), &[9u8; 40]).unwrap();
+        }
+        s.delete(&mut cpu, b"k0100").unwrap();
+        assert_eq!(s.get(&mut cpu, b"k0100"), None);
+        assert!(s.get(&mut cpu, b"k0101").is_some());
+        // Scans skip tombstones too.
+        let scanned = s.scan(&mut cpu, b"k0099", 5);
+        assert!(scanned.iter().all(|(k, _)| k != b"k0100"));
+        // Major compaction physically drops the key.
+        s.flush(&mut cpu).unwrap();
+        s.compact(&mut cpu).unwrap();
+        assert_eq!(s.get(&mut cpu, b"k0100"), None);
+        assert_eq!(s.approximate_keys(), 499);
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut s = store(&mut cpu);
+        for i in 0..5000u64 {
+            s.put(&mut cpu, format!("k{i:08}").as_bytes(), &[1u8; 32]).unwrap();
+        }
+        assert!(s.runs.len() <= 4, "runs must stay bounded, got {}", s.runs.len());
+        assert_eq!(s.approximate_keys(), 5000);
+    }
+}

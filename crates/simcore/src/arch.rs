@@ -1,0 +1,194 @@
+//! Architecture configurations.
+//!
+//! Two presets mirror the paper's testbeds: [`ArchConfig::intel_i7_4790`]
+//! (the measurement-study machine, §2.6) and [`ArchConfig::arm1176jzf_s`]
+//! (the proof-of-concept machine with DTCM, §4.1, Fig. 12).
+
+/// Which family of machine a configuration describes.
+///
+/// The analysis layer occasionally needs to know this (e.g. RAPL is only
+/// available on x86 — on ARM the paper used an external power meter, which we
+/// model as reading the sum of all domains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchKind {
+    /// x86_64-like desktop part with a three-level cache hierarchy.
+    X86,
+    /// ARM11-like embedded part with a single cache level plus TCM.
+    Arm,
+}
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in core cycles, *cumulative* from the core's point of view
+    /// (i.e. the cost of a load serviced at this level).
+    pub latency_cycles: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets given the 64-byte line size.
+    pub fn sets(&self) -> u64 {
+        self.size / crate::LINE / self.ways as u64
+    }
+}
+
+/// Full machine description consumed by [`crate::Cpu`].
+#[derive(Debug, Clone)]
+pub struct ArchConfig {
+    /// Human-readable name, used in reports.
+    pub name: &'static str,
+    /// Architecture family.
+    pub kind: ArchKind,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2, if present.
+    pub l2: Option<CacheConfig>,
+    /// Shared L3 (LLC), if present.
+    pub l3: Option<CacheConfig>,
+    /// DRAM access latency in nanoseconds (frequency-invariant: off-chip).
+    pub dram_latency_ns: f64,
+    /// Size of the data TCM region, if the part has one (bytes).
+    pub dtcm_size: u64,
+    /// Simulated DRAM capacity (allocation limit), bytes.
+    pub dram_size: u64,
+    /// Lowest selectable P-state (×100 MHz).
+    pub min_pstate: u8,
+    /// Highest selectable P-state (×100 MHz).
+    pub max_pstate: u8,
+    /// Loads that can issue per cycle when independent (dual issue on Haswell).
+    pub load_issue_width: f64,
+    /// Memory-level-parallelism factor: how many independent misses overlap.
+    pub mlp: f64,
+    /// Out-of-order window: how many cycles of a chase-load's latency can be
+    /// filled by subsequent independent instructions.
+    pub ooo_fill_cycles: f64,
+}
+
+impl ArchConfig {
+    /// The paper's measurement machine: Intel i7-4790 (Haswell), 32 KB L1D,
+    /// 256 KB L2, 8 MB L3, DDR3-1600, P-states 8–36 (800 MHz–3.6 GHz).
+    pub fn intel_i7_4790() -> Self {
+        ArchConfig {
+            name: "intel-i7-4790",
+            kind: ArchKind::X86,
+            l1d: CacheConfig { size: 32 * 1024, ways: 8, latency_cycles: 4 },
+            l2: Some(CacheConfig { size: 256 * 1024, ways: 8, latency_cycles: 12 }),
+            l3: Some(CacheConfig { size: 8 * 1024 * 1024, ways: 16, latency_cycles: 36 }),
+            dram_latency_ns: 62.0,
+            dtcm_size: 0,
+            dram_size: 2 * 1024 * 1024 * 1024,
+            min_pstate: 8,
+            max_pstate: 36,
+            load_issue_width: 2.0,
+            mlp: 8.0,
+            ooo_fill_cycles: 16.0,
+        }
+    }
+
+    /// The proof-of-concept machine: ARM1176JZF-S-like part with 16 KB L1D,
+    /// a 32 KB data TCM, no L2/L3, and a fixed 700 MHz clock (P-state 7).
+    ///
+    /// The paper's board has 256 MB DRAM; we allow the same.
+    pub fn arm1176jzf_s() -> Self {
+        ArchConfig {
+            name: "arm1176jzf-s",
+            kind: ArchKind::Arm,
+            l1d: CacheConfig { size: 16 * 1024, ways: 4, latency_cycles: 3 },
+            l2: None,
+            l3: None,
+            dram_latency_ns: 110.0,
+            dtcm_size: 32 * 1024,
+            dram_size: 256 * 1024 * 1024,
+            min_pstate: 7,
+            max_pstate: 7,
+            load_issue_width: 1.0,
+            // ARM11 is single-issue in-order: no MLP, no fill window.
+            mlp: 1.0,
+            ooo_fill_cycles: 0.0,
+        }
+    }
+
+    /// DRAM latency in cycles at frequency `hz`.
+    pub fn dram_latency_cycles(&self, hz: f64) -> f64 {
+        self.dram_latency_ns * 1e-9 * hz
+    }
+
+    /// Derive a variant with a different L1D size (cache-sensitivity
+    /// studies). The size must keep a power-of-two set count.
+    pub fn with_l1d_size(mut self, size: u64) -> ArchConfig {
+        self.l1d.size = size;
+        assert!(self.l1d.sets().is_power_of_two(), "L1D geometry must stay power-of-two");
+        self
+    }
+
+    /// Derive a variant with a different last-level-cache size.
+    pub fn with_l3_size(mut self, size: u64) -> ArchConfig {
+        if let Some(l3) = &mut self.l3 {
+            l3.size = size;
+            assert!(l3.sets().is_power_of_two(), "L3 geometry must stay power-of-two");
+        }
+        self
+    }
+
+    /// Derive a variant with a different DRAM latency (memory-technology
+    /// studies: LPDDR vs DDR vs CXL-class).
+    pub fn with_dram_latency_ns(mut self, ns: f64) -> ArchConfig {
+        assert!(ns > 0.0);
+        self.dram_latency_ns = ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i7_geometry_matches_paper() {
+        let a = ArchConfig::intel_i7_4790();
+        assert_eq!(a.l1d.size, 32 * 1024);
+        assert_eq!(a.l2.unwrap().size, 256 * 1024);
+        assert_eq!(a.l3.unwrap().size, 8 * 1024 * 1024);
+        assert_eq!(a.l1d.sets(), 64);
+        assert_eq!(a.min_pstate, 8);
+        assert_eq!(a.max_pstate, 36);
+    }
+
+    #[test]
+    fn arm_has_dtcm_and_single_cache_level() {
+        let a = ArchConfig::arm1176jzf_s();
+        assert_eq!(a.dtcm_size, 32 * 1024);
+        assert!(a.l2.is_none());
+        assert!(a.l3.is_none());
+        assert_eq!(a.l1d.size, 16 * 1024);
+    }
+
+    #[test]
+    fn variants_derive_cleanly() {
+        let a = ArchConfig::intel_i7_4790().with_l1d_size(64 * 1024).with_dram_latency_ns(90.0);
+        assert_eq!(a.l1d.size, 64 * 1024);
+        assert_eq!(a.l1d.sets(), 128);
+        assert_eq!(a.dram_latency_ns, 90.0);
+        let b = ArchConfig::intel_i7_4790().with_l3_size(4 * 1024 * 1024);
+        assert_eq!(b.l3.unwrap().size, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bad_l1d_geometry_panics() {
+        let _ = ArchConfig::intel_i7_4790().with_l1d_size(48 * 1024);
+    }
+
+    #[test]
+    fn dram_latency_scales_with_frequency() {
+        let a = ArchConfig::intel_i7_4790();
+        let hi = a.dram_latency_cycles(3.6e9);
+        let lo = a.dram_latency_cycles(1.2e9);
+        assert!((hi / lo - 3.0).abs() < 1e-9);
+        assert!(hi > 200.0 && hi < 250.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! A set-associative, write-back, write-allocate cache with true-LRU
+//! replacement.
+//!
+//! The cache tracks *which lines are resident*, not their contents — data
+//! bytes live in the [`crate::Arena`]. Residency is what determines hit/miss
+//! counts, timing and energy, which is all the paper's methodology consumes.
+
+use crate::arch::CacheConfig;
+
+/// One cache way.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic per-cache stamp for LRU ordering.
+    lru: u64,
+    /// Set when the line was filled by the prefetcher and not yet demanded.
+    prefetched: bool,
+}
+
+const EMPTY: Line = Line { tag: 0, valid: false, dirty: false, lru: 0, prefetched: false };
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line was resident.
+    Hit {
+        /// Whether this is the first demand touch of a prefetched line
+        /// (a useful prefetch).
+        was_prefetched: bool,
+    },
+    /// Line was absent.
+    Miss,
+}
+
+/// Outcome of inserting a line: the victim, if a dirty line was evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fill {
+    /// Dirty victim line address that must be written back, if any.
+    pub writeback: Option<u64>,
+    /// Clean victim line address, if a valid line was displaced.
+    pub evicted: Option<u64>,
+}
+
+/// A single cache level.
+pub struct Cache {
+    lines: Vec<Line>,
+    ways: usize,
+    sets: u64,
+    stamp: u64,
+}
+
+impl Cache {
+    /// Build a cache from its geometry.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            lines: vec![EMPTY; (sets * cfg.ways as u64) as usize],
+            ways: cfg.ways as usize,
+            sets,
+            stamp: 0,
+        }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / crate::LINE) & (self.sets - 1)) as usize
+    }
+
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr / crate::LINE / self.sets
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        let s = set * self.ways;
+        &mut self.lines[s..s + self.ways]
+    }
+
+    /// Demand access to the line containing `line_addr`. Updates LRU on hit;
+    /// does **not** fill on miss (the hierarchy decides what to fill where).
+    pub fn access(&mut self, line_addr: u64, write: bool) -> Lookup {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let tag = self.tag_of(line_addr);
+        let set = self.set_of(line_addr);
+        for l in self.set_slice(set) {
+            if l.valid && l.tag == tag {
+                l.lru = stamp;
+                if write {
+                    l.dirty = true;
+                }
+                let was_prefetched = l.prefetched;
+                l.prefetched = false;
+                return Lookup::Hit { was_prefetched };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Probe without touching LRU or dirty state.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let tag = self.tag_of(line_addr);
+        let set = self.set_of(line_addr);
+        let s = set * self.ways;
+        self.lines[s..s + self.ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Insert the line containing `line_addr`, evicting the LRU way if the
+    /// set is full. `prefetch` marks the line as prefetcher-filled.
+    pub fn fill(&mut self, line_addr: u64, dirty: bool, prefetch: bool) -> Fill {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let tag = self.tag_of(line_addr);
+        let set = self.set_of(line_addr);
+        let sets = self.sets;
+        let set_lines = self.set_slice(set);
+
+        // Already resident (e.g. racing prefetch): refresh flags only.
+        if let Some(l) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = stamp;
+            l.dirty |= dirty;
+            return Fill { writeback: None, evicted: None };
+        }
+
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache set has at least one way");
+
+        let mut out = Fill { writeback: None, evicted: None };
+        if victim.valid {
+            let victim_addr = (victim.tag * sets + set as u64) * crate::LINE;
+            if victim.dirty {
+                out.writeback = Some(victim_addr);
+            } else {
+                out.evicted = Some(victim_addr);
+            }
+        }
+        *victim = Line { tag, valid: true, dirty, lru: stamp, prefetched: prefetch };
+        out
+    }
+
+    /// Drop the line if resident, reporting a dirty writeback address.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<u64> {
+        let tag = self.tag_of(line_addr);
+        let set = self.set_of(line_addr);
+        for l in self.set_slice(set) {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                return if l.dirty { Some(line_addr) } else { None };
+            }
+        }
+        None
+    }
+
+    /// Drop every line (used between independent measurement runs).
+    pub fn flush(&mut self) {
+        self.lines.fill(EMPTY);
+        self.stamp = 0;
+    }
+
+    /// Number of valid lines (test/diagnostic helper).
+    pub fn resident(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways = 8 lines of 64B.
+        Cache::new(&CacheConfig { size: 8 * 64, ways: 2, latency_cycles: 1 })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, false), Lookup::Miss);
+        c.fill(0, false, false);
+        assert_eq!(c.access(0, false), Lookup::Hit { was_prefetched: false });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Addresses mapping to set 0: line numbers 0, 4, 8 -> addrs 0, 256, 512.
+        c.fill(0, false, false);
+        c.fill(256, false, false);
+        c.access(0, false); // make line 0 most recent
+        let f = c.fill(512, false, false);
+        assert_eq!(f.evicted, Some(256));
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0, true, false);
+        c.fill(256, false, false);
+        let f = c.fill(512, false, false);
+        assert_eq!(f.writeback, Some(0));
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.access(0, true); // dirty line 0, refresh LRU
+        c.fill(256, false, false);
+        // Set 0 holds {0 (older), 256 (newer)}: victim is the dirty line 0.
+        let f = c.fill(512, false, false);
+        assert_eq!(f.writeback, Some(0));
+        assert_eq!(f.evicted, None);
+    }
+
+    #[test]
+    fn prefetched_flag_cleared_on_first_demand_touch() {
+        let mut c = tiny();
+        c.fill(0, false, true);
+        assert_eq!(c.access(0, false), Lookup::Hit { was_prefetched: true });
+        assert_eq!(c.access(0, false), Lookup::Hit { was_prefetched: false });
+    }
+
+    #[test]
+    fn sub_line_addresses_map_to_same_line() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        assert_eq!(c.access(63, false), Lookup::Hit { was_prefetched: false });
+        assert_eq!(c.access(64, false), Lookup::Miss);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.flush();
+        assert_eq!(c.resident(), 0);
+        assert_eq!(c.access(0, false), Lookup::Miss);
+    }
+
+    #[test]
+    fn permutation_traversal_bigger_than_cache_always_misses_after_warmup() {
+        // Reuse-distance argument from DESIGN.md §5.3: a permutation cycle over
+        // N lines > capacity misses every access under LRU.
+        let mut c = tiny(); // 8 lines capacity
+        let lines: Vec<u64> = (0..16u64).map(|i| i * 64).collect();
+        for &a in &lines {
+            if c.access(a, false) == Lookup::Miss {
+                c.fill(a, false, false);
+            }
+        }
+        let mut misses = 0;
+        for &a in &lines {
+            if c.access(a, false) == Lookup::Miss {
+                misses += 1;
+                c.fill(a, false, false);
+            }
+        }
+        assert_eq!(misses, 16);
+    }
+}

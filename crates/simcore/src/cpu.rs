@@ -1,0 +1,853 @@
+//! The simulated CPU: one core, its memory hierarchy, PMU, DVFS state and
+//! energy meters behind a single façade.
+//!
+//! Workloads drive the machine through four verbs:
+//!
+//! * [`Cpu::load`] / [`Cpu::store`] — simulate a data access (timing, cache
+//!   state, PMU, energy),
+//! * [`Cpu::exec`] / [`Cpu::exec_n`] — simulate execution-unit work,
+//! * typed accessors ([`Cpu::read_u64`] …) that both simulate and move real
+//!   bytes in the [`Arena`],
+//! * [`Cpu::idle_c0`] / [`Cpu::idle_deep`] — let simulated wall time pass
+//!   without work (I/O waits, the background-calibration "sleep 1").
+
+use crate::arch::{ArchConfig, ArchKind};
+use crate::arena::{Arena, MemError, Region};
+use crate::dvfs::{Governor, PState};
+use crate::energy::{EnergyMeter, EnergyModel, OpClass, RaplReading};
+use crate::hierarchy::{AccessResult, Hierarchy, HitLevel};
+use crate::pmu::{Event, Pmu, PmuSnapshot};
+use crate::timeline::TimelineSampler;
+
+/// Dependency class of a load (see crate docs for the timing model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dep {
+    /// Address depends on a previous load (pointer chase): exposes latency.
+    Chase,
+    /// Address is independent (array/stream): latency is hidden by MLP.
+    Stream,
+}
+
+/// Execution-unit operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOp {
+    /// Integer ALU op (the paper's `add`).
+    Add,
+    /// No-op (the paper's `nop`).
+    Nop,
+    /// Multiply/divide-class op.
+    Mul,
+    /// Branch.
+    Branch,
+    /// Generic bookkeeping op (call overhead, address arithmetic).
+    Generic,
+}
+
+impl ExecOp {
+    /// Reciprocal throughput in cycles (Haswell-like).
+    fn cycles(self, width_scale: f64) -> f64 {
+        let c = match self {
+            ExecOp::Nop => 0.25,
+            ExecOp::Add => 0.5,
+            ExecOp::Branch => 1.0,
+            ExecOp::Mul => 1.0,
+            ExecOp::Generic => 0.5,
+        };
+        c * width_scale
+    }
+
+    fn class(self) -> OpClass {
+        match self {
+            ExecOp::Add => OpClass::Add,
+            ExecOp::Nop => OpClass::Nop,
+            ExecOp::Mul => OpClass::Mul,
+            ExecOp::Branch => OpClass::Branch,
+            ExecOp::Generic => OpClass::Generic,
+        }
+    }
+
+    fn event(self) -> Event {
+        match self {
+            ExecOp::Add => Event::AddOps,
+            ExecOp::Nop => Event::NopOps,
+            ExecOp::Mul => Event::MulOps,
+            ExecOp::Branch => Event::BranchOps,
+            ExecOp::Generic => Event::GenericOps,
+        }
+    }
+}
+
+/// A completed measurement window: PMU deltas, energy deltas, elapsed time.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Event-count deltas for the window.
+    pub pmu: PmuSnapshot,
+    /// Energy consumed in the window, per domain.
+    pub rapl: RaplReading,
+    /// Simulated wall time of the window (seconds).
+    pub time_s: f64,
+    /// Cycles elapsed (busy + stall) in the window.
+    pub cycles: f64,
+    /// Operating point at the end of the window.
+    pub pstate: PState,
+}
+
+/// Opaque start-of-window token from [`Cpu::begin_measure`].
+#[derive(Debug, Clone)]
+pub struct MeasureToken {
+    pmu: PmuSnapshot,
+    rapl: RaplReading,
+    time_s: f64,
+    cycles: f64,
+}
+
+/// The simulated machine.
+pub struct Cpu {
+    arch: ArchConfig,
+    arena: Arena,
+    hier: Hierarchy,
+    pmu: Pmu,
+    meter: EnergyMeter,
+    model: EnergyModel,
+    pstate: PState,
+    governor: Governor,
+    governor_on: bool,
+    busy_cycles: f64,
+    stall_cycles: f64,
+    /// Outstanding shadow cycles of the last chase load.
+    pending: f64,
+    /// Portion of `pending` that independent work may still fill.
+    fillable: f64,
+    time_s: f64,
+    win_start_s: f64,
+    win_active_s: f64,
+    sampler: Option<TimelineSampler>,
+    /// Last retired instruction class (for the decode-switch effect).
+    last_class: u8,
+    /// Instruction-fetch energy discount in `[0, 0.5]` — models an ITCM
+    /// holding the hot code (§5: "instruction TCM (ITCM) should be
+    /// considered").
+    ifetch_discount: f64,
+}
+
+impl Cpu {
+    /// A fresh machine pinned at the architecture's top P-state with the
+    /// prefetcher on and the governor off (the paper's trunk configuration).
+    pub fn new(arch: ArchConfig) -> Self {
+        let model = EnergyModel::for_arch(arch.kind);
+        let arena = Arena::new(arch.dtcm_size, arch.dram_size);
+        let hier = Hierarchy::new(&arch);
+        let pstate = PState(arch.max_pstate);
+        let governor = Governor::new(PState(arch.min_pstate), PState(arch.max_pstate));
+        Cpu {
+            arch,
+            arena,
+            hier,
+            pmu: Pmu::new(),
+            meter: EnergyMeter::default(),
+            model,
+            pstate,
+            governor,
+            governor_on: false,
+            busy_cycles: 0.0,
+            stall_cycles: 0.0,
+            pending: 0.0,
+            fillable: 0.0,
+            time_s: 0.0,
+            win_start_s: 0.0,
+            win_active_s: 0.0,
+            sampler: None,
+            last_class: u8::MAX,
+            ifetch_discount: 0.0,
+        }
+    }
+
+    /// The architecture this machine implements.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Current operating point.
+    pub fn pstate(&self) -> PState {
+        self.pstate
+    }
+
+    /// Pin the operating point (disables nothing else; with the governor on
+    /// it will be re-adjusted at the next window).
+    pub fn set_pstate(&mut self, ps: PState) {
+        self.pstate = ps.clamp(self.arch.min_pstate, self.arch.max_pstate);
+    }
+
+    /// Enable/disable the EIST-like governor (§2.7).
+    pub fn set_governor(&mut self, on: bool) {
+        self.governor_on = on;
+        self.win_start_s = self.time_s;
+        self.win_active_s = 0.0;
+    }
+
+    /// Set the governor's re-evaluation window. Simulated workloads are
+    /// orders of magnitude shorter than real runs, so experiments shrink
+    /// the window proportionally.
+    pub fn set_governor_interval(&mut self, seconds: f64) {
+        assert!(seconds > 0.0);
+        self.governor.interval_s = seconds;
+        self.win_start_s = self.time_s;
+        self.win_active_s = 0.0;
+    }
+
+    /// Enable/disable the hardware prefetcher (§2.5.3).
+    pub fn set_prefetch(&mut self, on: bool) {
+        self.hier.set_prefetch(on);
+    }
+
+    /// Model an instruction TCM holding the hot code: instruction-fetch
+    /// energy is discounted by `d` (clamped to `[0, 0.5]`). The paper's §5
+    /// suggests this for calculation-heavy engines ("energy-efficient …
+    /// instruction-related components, e.g., instruction TCM (ITCM)").
+    pub fn set_itcm_fetch_discount(&mut self, d: f64) {
+        self.ifetch_discount = d.clamp(0.0, 0.5);
+    }
+
+    #[inline]
+    fn fetch_price_eff(&self, hz: f64) -> crate::energy::Price {
+        crate::energy::scale_price(self.model.fetch_price(hz), 1.0 - self.ifetch_discount)
+    }
+
+    /// Attach a timeline sampler with the given interval.
+    pub fn attach_sampler(&mut self, interval_s: f64) {
+        self.sampler = Some(TimelineSampler::new(interval_s, self.time_s));
+    }
+
+    /// Detach and return the sampler, if any.
+    pub fn take_sampler(&mut self) -> Option<TimelineSampler> {
+        self.sampler.take()
+    }
+
+    /// Drop all cached state and forget trained prefetch streams.
+    pub fn flush_caches(&mut self) {
+        self.settle();
+        self.hier.flush();
+    }
+
+    /// Core frequency right now (Hz).
+    pub fn freq_hz(&self) -> f64 {
+        self.pstate.freq_hz()
+    }
+
+    /// Simulated wall-clock (seconds).
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Total elapsed core cycles (busy + stall), excluding unresolved shadow.
+    pub fn cycles(&self) -> f64 {
+        self.busy_cycles + self.stall_cycles
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------------
+
+    /// Allocate simulated DRAM.
+    pub fn alloc(&mut self, len: u64) -> Result<Region, MemError> {
+        self.arena.alloc(len)
+    }
+
+    /// Allocate TCM (fails on parts without TCM).
+    pub fn alloc_tcm(&mut self, len: u64) -> Result<Region, MemError> {
+        self.arena.alloc_tcm(len)
+    }
+
+    /// Release every DRAM allocation (cache contents are flushed too, since
+    /// resident lines would alias fresh allocations).
+    pub fn reset_dram(&mut self) {
+        self.arena.reset_dram();
+        self.flush_caches();
+    }
+
+    /// Direct access to the arena for *setup only* — reads/writes through
+    /// this reference are architecturally invisible (no time, no energy, no
+    /// PMU events). Workload inner loops must use the simulating accessors.
+    pub fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
+    }
+
+    /// Read-only arena access (setup/verification only; not simulated).
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    // ------------------------------------------------------------------
+    // Timing internals
+    // ------------------------------------------------------------------
+
+    /// Advance the clock by busy/stall cycles, charging background power and
+    /// ticking the governor and sampler.
+    fn advance(&mut self, busy: f64, stall: f64) {
+        if stall > 0.0 {
+            self.stall_cycles += stall;
+            let n = stall;
+            let p = self.model.stall_price(self.freq_hz());
+            self.meter.charge(crate::energy::scale_price(p, n));
+        }
+        self.busy_cycles += busy;
+        let dt = (busy + stall) / self.freq_hz();
+        if dt > 0.0 {
+            let bg = self.model.background_w(self.pstate, true);
+            self.pass_time(dt, true, bg);
+        }
+    }
+
+    /// Wall time passes; charge `power` watts per domain and run the
+    /// governor/sampler bookkeeping.
+    fn pass_time(&mut self, dt: f64, active: bool, power: (f64, f64, f64)) {
+        self.time_s += dt;
+        self.meter.charge_power(power, dt);
+        if active {
+            self.win_active_s += dt;
+        }
+        if let Some(s) = &mut self.sampler {
+            s.advance(self.time_s, dt, active, self.pstate, self.meter.reading());
+        }
+        self.tick_governor();
+    }
+
+    /// Re-evaluate the governor for every completed window. A long advance
+    /// can span several windows; each consumes up to one interval's worth of
+    /// the accumulated active time, so fully-busy stretches read as 100%
+    /// utilization window after window.
+    fn tick_governor(&mut self) {
+        if !self.governor_on {
+            return;
+        }
+        while self.time_s - self.win_start_s >= self.governor.interval_s {
+            let take = self.win_active_s.min(self.governor.interval_s);
+            let util = take / self.governor.interval_s;
+            self.win_active_s -= take;
+            self.pstate = self.governor.next(self.pstate, util);
+            self.win_start_s += self.governor.interval_s;
+        }
+    }
+
+    /// Resolve outstanding shadow cycles as stall.
+    fn settle(&mut self) {
+        if self.pending > 0.0 {
+            let p = self.pending;
+            self.pending = 0.0;
+            self.fillable = 0.0;
+            self.advance(0.0, p);
+        }
+    }
+
+    /// Busy work of `c` cycles that may execute in the shadow of an
+    /// outstanding chase load.
+    #[inline]
+    fn busy_work(&mut self, c: f64) {
+        if self.fillable > 0.0 {
+            let overlap = self.fillable.min(c);
+            self.pending -= overlap;
+            self.fillable -= overlap;
+        }
+        self.advance(c, 0.0);
+    }
+
+    /// Charge front-end cost for an instruction of `class`, including the
+    /// decode-switch penalty on class transitions.
+    #[inline]
+    fn charge_frontend(&mut self, class: u8) {
+        let hz = self.freq_hz();
+        self.meter.charge(self.fetch_price_eff(hz));
+        if self.last_class != class && self.last_class != u8::MAX {
+            self.meter.charge(self.model.decode_switch_price(hz));
+        }
+        self.last_class = class;
+    }
+
+    fn charge_access_side_effects(&mut self, r: &AccessResult) {
+        let hz = self.freq_hz();
+        for _ in 0..r.pf_l2 {
+            self.meter.charge(self.model.pf_l2_price(hz));
+        }
+        for i in 0..r.pf_l3 {
+            let row_hit = i < r.pf_l3_row_hits;
+            self.meter.charge(self.model.pf_l3_price(row_hit, hz));
+        }
+        for _ in 0..r.wb_l1 {
+            self.meter.charge(self.model.writeback_price(HitLevel::L1d, hz));
+        }
+        for _ in 0..r.wb_l2 {
+            self.meter.charge(self.model.writeback_price(HitLevel::L2, hz));
+        }
+        for _ in 0..r.wb_l3 {
+            self.meter.charge(self.model.writeback_price(HitLevel::L3, hz));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The four verbs
+    // ------------------------------------------------------------------
+
+    /// Simulate one load of the line containing `addr`.
+    pub fn load(&mut self, addr: u64, dep: Dep) {
+        if dep == Dep::Chase {
+            self.settle();
+        }
+        let r = self.hier.load(addr, &mut self.pmu);
+        let level = r.level.expect("load always resolves to a level");
+        let hz = self.freq_hz();
+        self.pmu.bump(Event::Instructions);
+        self.charge_frontend(0);
+        self.meter.charge(self.model.load_price(level, r.dram_row_hit, hz));
+        self.charge_access_side_effects(&r);
+
+        let lat = self.hier.latency_cycles(&self.arch, level, hz);
+        match dep {
+            Dep::Chase => {
+                self.advance(1.0, 0.0);
+                self.pending = (lat - 1.0).max(0.0);
+                self.fillable = self.pending.min(self.arch.ooo_fill_cycles);
+            }
+            Dep::Stream => {
+                let issue = 1.0 / self.arch.load_issue_width;
+                self.busy_work(issue);
+                if !matches!(level, HitLevel::L1d | HitLevel::Tcm) {
+                    // MLP-amortized exposed latency.
+                    self.advance(0.0, lat / self.arch.mlp);
+                }
+            }
+        }
+    }
+
+    /// Simulate one store to the line containing `addr`.
+    pub fn store(&mut self, addr: u64) {
+        let (r, allocated) = self.hier.store(addr, &mut self.pmu);
+        let hz = self.freq_hz();
+        self.pmu.bump(Event::Instructions);
+        self.charge_frontend(1);
+        let tcm = matches!(r.level, Some(HitLevel::Tcm));
+        self.meter.charge(self.model.store_price(tcm, hz));
+        self.charge_access_side_effects(&r);
+        self.busy_work(1.0);
+        if let Some(level) = allocated {
+            // Write-allocate fill: pay the movement energy and a (store-
+            // buffer-softened) fraction of the latency.
+            self.meter.charge(self.model.load_price(level, r.dram_row_hit, hz));
+            let lat = self.hier.latency_cycles(&self.arch, level, hz);
+            self.advance(0.0, lat / self.arch.mlp / 2.0);
+        }
+    }
+
+    /// Simulate `n` repeated loads of the line containing `addr`.
+    ///
+    /// The first load goes through the full hierarchy; the remaining `n-1`
+    /// are *known hits* on the now-resident line (or TCM window), so they
+    /// are charged in O(1): interpreter-style engines re-read the same hot
+    /// structures hundreds of times per tuple, and simulating each probe
+    /// individually would add nothing but wall-clock.
+    pub fn load_repeat(&mut self, addr: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.load(addr, Dep::Stream);
+        let rest = n - 1;
+        if rest == 0 {
+            return;
+        }
+        let hz = self.freq_hz();
+        let tcm = self.arena.is_tcm(addr);
+        if tcm {
+            self.pmu.add(Event::TcmLoad, rest);
+        } else {
+            self.pmu.add(Event::LoadIssued, rest);
+            self.pmu.add(Event::L1dLoadHit, rest);
+        }
+        self.pmu.add(Event::Instructions, rest);
+        let level = if tcm { HitLevel::Tcm } else { HitLevel::L1d };
+        let per = crate::energy::add_price(
+            self.fetch_price_eff(hz),
+            self.model.load_price(level, false, hz),
+        );
+        self.meter.charge(crate::energy::scale_price(per, rest as f64));
+        self.busy_work(rest as f64 / self.arch.load_issue_width);
+    }
+
+    /// Simulate `n` repeated stores to the line containing `addr` (first one
+    /// full-path, the rest known L1D/TCM hits).
+    pub fn store_repeat(&mut self, addr: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.store(addr);
+        let rest = n - 1;
+        if rest == 0 {
+            return;
+        }
+        let hz = self.freq_hz();
+        let tcm = self.arena.is_tcm(addr);
+        if tcm {
+            self.pmu.add(Event::TcmStore, rest);
+        } else {
+            self.pmu.add(Event::StoreIssued, rest);
+            self.pmu.add(Event::L1dStoreHit, rest);
+        }
+        self.pmu.add(Event::Instructions, rest);
+        let per = crate::energy::add_price(
+            self.fetch_price_eff(hz),
+            self.model.store_price(tcm, hz),
+        );
+        self.meter.charge(crate::energy::scale_price(per, rest as f64));
+        self.busy_work(rest as f64);
+    }
+
+    /// Simulate one execution-unit op.
+    #[inline]
+    pub fn exec(&mut self, op: ExecOp) {
+        self.exec_n(op, 1);
+    }
+
+    /// Simulate `n` identical execution-unit ops.
+    pub fn exec_n(&mut self, op: ExecOp, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let width_scale = if self.arch.kind == ArchKind::Arm { 2.0 } else { 1.0 };
+        let c = op.cycles(width_scale) * n as f64;
+        self.pmu.add(Event::Instructions, n);
+        self.pmu.add(op.event(), n);
+        let hz = self.freq_hz();
+        // Per-instruction fetch is part of `per`; only the class-switch
+        // decode penalty is charged at the block boundary.
+        let class = 2 + op.event() as u8;
+        if self.last_class != class && self.last_class != u8::MAX {
+            self.meter.charge(self.model.decode_switch_price(hz));
+        }
+        self.last_class = class;
+        let fetch = self.fetch_price_eff(hz);
+        let per = crate::energy::add_price(fetch, self.model.op_price(op.class(), hz));
+        self.meter.charge(crate::energy::scale_price(per, n as f64));
+        self.busy_work(c);
+    }
+
+    /// Let wall time pass in C0-idle (the paper's background-measurement
+    /// state, and what a thread blocked on I/O looks like with C-states off).
+    pub fn idle_c0(&mut self, seconds: f64) {
+        self.settle();
+        let bg = self.model.background_w(self.pstate, false);
+        self.pass_time(seconds, false, bg);
+    }
+
+    /// Deep idle (C-states enabled): much lower power.
+    pub fn idle_deep(&mut self, seconds: f64) {
+        self.settle();
+        self.pass_time(seconds, false, self.model.idle_w());
+    }
+
+    // ------------------------------------------------------------------
+    // Typed, simulating accessors
+    // ------------------------------------------------------------------
+
+    /// Load + read a `u64` at `addr`.
+    pub fn read_u64(&mut self, addr: u64, dep: Dep) -> Result<u64, MemError> {
+        self.load(addr, dep);
+        self.arena.read_u64(addr)
+    }
+
+    /// Store + write a `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
+        self.store(addr);
+        self.arena.write_u64(addr, v)
+    }
+
+    /// Load + read `out.len()` bytes (one simulated load per touched line).
+    pub fn read_bytes(&mut self, addr: u64, out: &mut [u8], dep: Dep) -> Result<(), MemError> {
+        let mut line = addr & !(crate::LINE - 1);
+        let end = addr + out.len() as u64;
+        while line < end {
+            self.load(line, dep);
+            line += crate::LINE;
+        }
+        self.arena.read(addr, out)
+    }
+
+    /// Store + write `data` (one simulated store per touched line).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        let mut line = addr & !(crate::LINE - 1);
+        let end = addr + data.len() as u64;
+        while line < end {
+            self.store(line);
+            line += crate::LINE;
+        }
+        self.arena.write(addr, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Meters
+    // ------------------------------------------------------------------
+
+    /// Cumulative RAPL reading (package ⊇ core; memory separate). On the ARM
+    /// part there is no RAPL — use [`RaplReading::total_j`] as the external
+    /// power meter's view.
+    pub fn rapl(&self) -> RaplReading {
+        self.meter.reading()
+    }
+
+    /// Snapshot the PMU with cycle counters synced.
+    pub fn pmu_snapshot(&mut self) -> PmuSnapshot {
+        self.pmu.set(Event::BusyCycles, self.busy_cycles.round() as u64);
+        self.pmu.set(Event::StallCycles, self.stall_cycles.round() as u64);
+        self.pmu.snapshot()
+    }
+
+    /// Begin a measurement window (settles outstanding shadow cycles first).
+    pub fn begin_measure(&mut self) -> MeasureToken {
+        self.settle();
+        MeasureToken {
+            pmu: self.pmu_snapshot(),
+            rapl: self.rapl(),
+            time_s: self.time_s,
+            cycles: self.cycles(),
+        }
+    }
+
+    /// Close a measurement window.
+    pub fn end_measure(&mut self, tok: MeasureToken) -> Measurement {
+        self.settle();
+        let pmu = self.pmu_snapshot().delta(&tok.pmu);
+        Measurement {
+            pmu,
+            rapl: self.rapl().delta(&tok.rapl),
+            time_s: self.time_s - tok.time_s,
+            cycles: self.cycles() - tok.cycles,
+            pstate: self.pstate,
+        }
+    }
+
+    /// Run `f` inside a measurement window.
+    pub fn measure<F: FnOnce(&mut Cpu)>(&mut self, f: F) -> Measurement {
+        let tok = self.begin_measure();
+        f(self);
+        self.end_measure(tok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Cpu {
+        let mut c = Cpu::new(ArchConfig::intel_i7_4790());
+        c.set_prefetch(false);
+        c
+    }
+
+    #[test]
+    fn chase_loads_expose_latency_as_stall() {
+        let mut c = cpu();
+        let r = c.alloc(4096).unwrap();
+        // Warm the line.
+        c.load(r.addr, Dep::Stream);
+        let m = c.measure(|c| {
+            for _ in 0..1000 {
+                c.load(r.addr, Dep::Chase);
+            }
+        });
+        // L1 hit latency 4: 1 busy + 3 stall per load.
+        let ipc = m.pmu.ipc();
+        assert!(ipc > 0.2 && ipc < 0.3, "list-like IPC should be ~0.25, got {ipc}");
+    }
+
+    #[test]
+    fn stream_loads_are_dual_issued() {
+        let mut c = cpu();
+        let r = c.alloc(4096).unwrap();
+        for i in 0..64 {
+            c.load(r.addr + i * 64, Dep::Stream); // warm
+        }
+        let m = c.measure(|c| {
+            for _ in 0..100 {
+                for i in 0..64 {
+                    c.load(r.addr + i * 64, Dep::Stream);
+                }
+            }
+        });
+        let ipc = m.pmu.ipc();
+        assert!(ipc > 1.8 && ipc < 2.2, "array-like IPC should be ~2, got {ipc}");
+    }
+
+    #[test]
+    fn nops_fill_chase_shadow() {
+        let mut c = cpu();
+        let r = c.alloc(64).unwrap();
+        c.load(r.addr, Dep::Stream);
+        // chase + 4 nops: nops (1 cycle total) fill part of the 3-cycle shadow.
+        let m = c.measure(|c| {
+            for _ in 0..1000 {
+                c.load(r.addr, Dep::Chase);
+                c.exec_n(ExecOp::Nop, 4);
+            }
+        });
+        let cycles = m.cycles / 1000.0;
+        assert!((cycles - 4.0).abs() < 0.1, "shadow should absorb nops, got {cycles}");
+        let stall_per = m.pmu.get(Event::StallCycles) as f64 / 1000.0;
+        assert!(stall_per < 2.2, "stall should shrink to ~2, got {stall_per}");
+    }
+
+    #[test]
+    fn energy_flows_to_domains() {
+        let mut c = cpu();
+        let r = c.alloc(1 << 20).unwrap();
+        let m = c.measure(|c| {
+            for i in 0..(1 << 20) / 64 {
+                c.load(r.addr + i * 64, Dep::Stream);
+            }
+        });
+        assert!(m.rapl.core_j > 0.0);
+        assert!(m.rapl.package_j >= m.rapl.core_j);
+        assert!(m.rapl.memory_j > 0.0, "cold 1MB scan must touch DRAM");
+    }
+
+    #[test]
+    fn idle_costs_background_only() {
+        let mut c = cpu();
+        let m0 = c.rapl();
+        c.idle_c0(1.0);
+        let d = c.rapl().delta(&m0);
+        // Background power at P36 should be a few watts.
+        assert!(d.package_j > 1.0 && d.package_j < 20.0, "pkg bg {:?}", d);
+        assert!(d.memory_j > 0.5 && d.memory_j < 5.0);
+        // Deep idle is far cheaper.
+        let m1 = c.rapl();
+        c.idle_deep(1.0);
+        let d2 = c.rapl().delta(&m1);
+        assert!(d2.package_j < d.package_j / 3.0);
+    }
+
+    #[test]
+    fn lower_pstate_stretches_time_but_saves_energy_for_alu() {
+        let work = |c: &mut Cpu| {
+            c.exec_n(ExecOp::Add, 1_000_000);
+        };
+        let mut hi = cpu();
+        let mhi = hi.measure(|c| work(c));
+        let mut lo = cpu();
+        lo.set_pstate(PState::P12);
+        let mlo = lo.measure(|c| work(c));
+        assert!(mlo.time_s > mhi.time_s * 2.5);
+        // Active ALU energy shrinks with voltage; compare cores minus bg.
+        assert!(mlo.rapl.core_j < mhi.rapl.core_j * 1.1);
+    }
+
+    #[test]
+    fn governor_ramps_up_under_load() {
+        let mut c = cpu();
+        c.set_pstate(PState::P8);
+        c.set_governor(true);
+        c.exec_n(ExecOp::Add, 80_000_000);
+        assert_eq!(c.pstate(), PState::P36);
+    }
+
+    #[test]
+    fn governor_decays_during_io_waits() {
+        let mut c = cpu();
+        c.set_governor(true);
+        assert_eq!(c.pstate(), PState::P36);
+        c.idle_c0(0.05);
+        assert!(c.pstate().0 < 36, "long idle should downclock, at {}", c.pstate());
+    }
+
+    #[test]
+    fn typed_accessors_simulate_and_move_bytes() {
+        let mut c = cpu();
+        let r = c.alloc(256).unwrap();
+        c.write_u64(r.addr, 77).unwrap();
+        assert_eq!(c.read_u64(r.addr, Dep::Stream).unwrap(), 77);
+        let before = c.pmu_snapshot();
+        let mut buf = [0u8; 128];
+        c.read_bytes(r.addr, &mut buf, Dep::Stream).unwrap();
+        let d = c.pmu_snapshot().delta(&before);
+        assert_eq!(d.get(Event::LoadIssued), 2); // 128 B spans two lines
+    }
+
+    #[test]
+    fn measure_is_delta_based() {
+        let mut c = cpu();
+        c.exec_n(ExecOp::Add, 1000);
+        let m = c.measure(|c| c.exec_n(ExecOp::Nop, 500));
+        assert_eq!(m.pmu.get(Event::NopOps), 500);
+        assert_eq!(m.pmu.get(Event::AddOps), 0);
+    }
+
+    #[test]
+    fn load_repeat_equals_individual_hot_loads() {
+        // Batched hot loads must charge the same energy and count the same
+        // events as issuing each load individually against a resident line.
+        let mut a = cpu();
+        let ra = a.alloc(64).unwrap();
+        a.load(ra.addr, Dep::Stream); // make resident
+        let ta = a.begin_measure();
+        for _ in 0..500 {
+            a.load(ra.addr, Dep::Stream);
+        }
+        let ma = a.end_measure(ta);
+
+        let mut b = cpu();
+        let rb = b.alloc(64).unwrap();
+        b.load(rb.addr, Dep::Stream);
+        let tb = b.begin_measure();
+        b.load_repeat(rb.addr, 500);
+        let mb = b.end_measure(tb);
+
+        assert_eq!(
+            ma.pmu.get(Event::LoadIssued),
+            mb.pmu.get(Event::LoadIssued)
+        );
+        assert_eq!(ma.pmu.get(Event::L1dLoadHit), mb.pmu.get(Event::L1dLoadHit));
+        assert!((ma.rapl.core_j - mb.rapl.core_j).abs() / ma.rapl.core_j < 0.02);
+        assert!((ma.cycles - mb.cycles).abs() < 2.0);
+    }
+
+    #[test]
+    fn store_repeat_counts_hits_and_zero_edge() {
+        let mut c = cpu();
+        let r = c.alloc(64).unwrap();
+        c.store(r.addr); // allocate
+        let t = c.begin_measure();
+        c.store_repeat(r.addr, 100);
+        c.store_repeat(r.addr, 0);
+        c.load_repeat(r.addr, 0);
+        let m = c.end_measure(t);
+        assert_eq!(m.pmu.get(Event::StoreIssued), 100);
+        assert_eq!(m.pmu.get(Event::L1dStoreHit), 100);
+    }
+
+    #[test]
+    fn itcm_discount_reduces_fetch_energy() {
+        let work = |c: &mut Cpu| c.exec_n(ExecOp::Add, 100_000);
+        let mut plain = Cpu::new(ArchConfig::arm1176jzf_s());
+        let m1 = plain.measure(|c| work(c));
+        let mut itcm = Cpu::new(ArchConfig::arm1176jzf_s());
+        itcm.set_itcm_fetch_discount(0.4);
+        let m2 = itcm.measure(|c| work(c));
+        assert!(m2.rapl.core_j < m1.rapl.core_j);
+        assert_eq!(m2.time_s, m1.time_s, "ITCM changes energy, not timing");
+        // Clamping.
+        itcm.set_itcm_fetch_discount(9.0);
+    }
+
+    #[test]
+    fn arm_machine_runs_and_has_tcm() {
+        let mut c = Cpu::new(ArchConfig::arm1176jzf_s());
+        let t = c.alloc_tcm(1024).unwrap();
+        let m = c.measure(|c| {
+            for _ in 0..100 {
+                c.load(t.addr, Dep::Chase);
+            }
+        });
+        assert_eq!(m.pmu.get(Event::TcmLoad), 100);
+        assert_eq!(m.pmu.get(Event::LoadIssued), 0);
+        // TCM is "as fast as L1 cache" (ARM TRM): chase stalls match the
+        // L1D hit latency, no more.
+        let l1_lat = c.arch().l1d.latency_cycles as u64;
+        assert_eq!(m.pmu.get(Event::StallCycles), 100 * (l1_lat - 1));
+    }
+}

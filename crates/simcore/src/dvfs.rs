@@ -1,0 +1,146 @@
+//! P-states and the EIST-like frequency governor.
+//!
+//! A P-state is "both a frequency and voltage operating point" (§2.7). The
+//! i7-4790 exposes 29 of them: P-state *n* runs at *n* × 100 MHz, from P8
+//! (800 MHz) to P36 (3.6 GHz). The paper's trunk experiments pin P36; §2.7
+//! and Fig. 5 study the governor's behaviour; Table 2 / Fig. 11 / Table 5 use
+//! P36/P24/P12.
+
+use std::fmt;
+
+/// An operating point: frequency = `0.n` GHz × 10, voltage derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PState(pub u8);
+
+impl PState {
+    /// 3.6 GHz — the highest i7-4790 P-state.
+    pub const P36: PState = PState(36);
+    /// 2.4 GHz.
+    pub const P24: PState = PState(24);
+    /// 1.2 GHz.
+    pub const P12: PState = PState(12);
+    /// 800 MHz — the lowest i7-4790 P-state.
+    pub const P8: PState = PState(8);
+
+    /// Core frequency in hertz.
+    pub fn freq_hz(self) -> f64 {
+        self.0 as f64 * 100.0e6
+    }
+
+    /// Supply voltage at this operating point (volts).
+    ///
+    /// Linear V–f map calibrated so P36 ≈ 1.20 V and P12 ≈ 0.80 V, the
+    /// typical Haswell desktop envelope.
+    pub fn voltage(self) -> f64 {
+        0.60 + self.freq_hz() / 1.0e9 / 6.0
+    }
+
+    /// Clamp into an architecture's supported range.
+    pub fn clamp(self, min: u8, max: u8) -> PState {
+        PState(self.0.clamp(min, max))
+    }
+}
+
+impl fmt::Display for PState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// EIST-like demand-based governor.
+///
+/// Every `interval_s` of simulated time the governor looks at the utilization
+/// of the elapsed window (busy cycles over total wall cycles including idle)
+/// and picks a new P-state: high load jumps to the top bin, low load decays
+/// toward the floor. This mirrors the behaviour the paper observes in §2.7 —
+/// queries at ~96% CPU usage sit at P36 almost all the time, while workloads
+/// with idle gaps (I/O waits) sample lower states.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    /// Whether EIST is enabled (off = pinned P-state, the trunk setup).
+    pub enabled: bool,
+    /// Floor P-state.
+    pub min: PState,
+    /// Ceiling P-state.
+    pub max: PState,
+    /// Re-evaluation interval in simulated seconds.
+    pub interval_s: f64,
+}
+
+impl Governor {
+    /// Governor spanning the full range of `min..=max`, 1 ms interval.
+    pub fn new(min: PState, max: PState) -> Self {
+        Governor { enabled: true, min, max, interval_s: 1e-3 }
+    }
+
+    /// Pick the next P-state given the window's utilization in `[0, 1]`.
+    ///
+    /// Deterministic: ≥90% load pins the ceiling; below that the target
+    /// scales linearly between floor and ceiling, and transitions are
+    /// rate-limited to ±4 bins per interval (hardware-like ramp).
+    pub fn next(&self, current: PState, utilization: f64) -> PState {
+        if !self.enabled {
+            return current;
+        }
+        let u = utilization.clamp(0.0, 1.0);
+        let target = if u >= 0.90 {
+            self.max.0
+        } else {
+            let span = (self.max.0 - self.min.0) as f64;
+            self.min.0 + (u / 0.90 * span).round() as u8
+        };
+        let step = 4i16;
+        let cur = current.0 as i16;
+        let tgt = (target as i16).clamp(self.min.0 as i16, self.max.0 as i16);
+        let next = if tgt > cur { (cur + step).min(tgt) } else { (cur - step).max(tgt) };
+        PState(next as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_and_voltage() {
+        assert_eq!(PState::P36.freq_hz(), 3.6e9);
+        assert_eq!(PState::P12.freq_hz(), 1.2e9);
+        assert!((PState::P36.voltage() - 1.2).abs() < 1e-9);
+        assert!((PState::P12.voltage() - 0.8).abs() < 1e-9);
+        assert!(PState::P36.voltage() > PState::P8.voltage());
+    }
+
+    #[test]
+    fn governor_pins_top_under_load() {
+        let g = Governor::new(PState::P8, PState::P36);
+        let mut p = PState::P8;
+        for _ in 0..10 {
+            p = g.next(p, 0.97);
+        }
+        assert_eq!(p, PState::P36);
+    }
+
+    #[test]
+    fn governor_decays_when_idle() {
+        let g = Governor::new(PState::P8, PState::P36);
+        let mut p = PState::P36;
+        for _ in 0..10 {
+            p = g.next(p, 0.05);
+        }
+        assert!(p.0 <= 10);
+    }
+
+    #[test]
+    fn governor_ramp_is_rate_limited() {
+        let g = Governor::new(PState::P8, PState::P36);
+        let p = g.next(PState::P8, 1.0);
+        assert_eq!(p, PState(12));
+    }
+
+    #[test]
+    fn disabled_governor_holds() {
+        let mut g = Governor::new(PState::P8, PState::P36);
+        g.enabled = false;
+        assert_eq!(g.next(PState::P24, 1.0), PState::P24);
+    }
+}

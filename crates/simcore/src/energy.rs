@@ -1,0 +1,483 @@
+//! Ground-truth energy model and RAPL-style meters.
+//!
+//! The simulated machine charges joules per micro-architectural event into
+//! three RAPL-like domains (`core` ⊂ `package`, plus `memory`), and accrues
+//! *background* power with wall time, mirroring Fig. 1 of the paper:
+//!
+//! ```text
+//! Busy-CPU energy = Active energy + Background energy
+//! ```
+//!
+//! **The per-event prices in this module are deliberately private.** The
+//! analysis crate recovers per-micro-op energies (`ΔEm`) purely from metered
+//! joules and PMU counts, exactly as the paper recovers them from RAPL —
+//! solving the model is an inference, not a table lookup. Several
+//! second-order effects (cheaper miss probes, DRAM row-buffer locality,
+//! fill-vs-demand discounts, a busy-mode background uplift) are *not*
+//! expressible in the paper's linear model, which is what produces the
+//! honest <100% verification accuracies of Table 3.
+//!
+//! Calibration: the model is anchored so that the *solved* `ΔEm` land near
+//! the paper's Table 2 at P36/P24/P12 (e.g. ΔE_L1D ≈ 1.30 nJ at 3.6 GHz).
+
+use crate::arch::ArchKind;
+use crate::dvfs::PState;
+use crate::hierarchy::HitLevel;
+
+/// RAPL measurement domains (§2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Core: L1/L2, execution units, store path, stalls.
+    Core,
+    /// Package: core + L3 + memory controller.
+    Package,
+    /// DRAM DIMMs.
+    Memory,
+}
+
+/// Cumulative energy reading, joules per domain.
+///
+/// As on real hardware, `package_j` *includes* `core_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RaplReading {
+    /// Core-domain joules.
+    pub core_j: f64,
+    /// Package-domain joules (superset of core).
+    pub package_j: f64,
+    /// Memory-domain joules.
+    pub memory_j: f64,
+}
+
+impl RaplReading {
+    /// Component-wise difference (`self - earlier`).
+    pub fn delta(&self, earlier: &RaplReading) -> RaplReading {
+        RaplReading {
+            core_j: self.core_j - earlier.core_j,
+            package_j: self.package_j - earlier.package_j,
+            memory_j: self.memory_j - earlier.memory_j,
+        }
+    }
+
+    /// Package + memory: the widest metered scope (what an external power
+    /// meter on the ARM board would see, minus peripherals).
+    pub fn total_j(&self) -> f64 {
+        self.package_j + self.memory_j
+    }
+}
+
+/// A per-event price split across domains, in nanojoules.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Price {
+    pub core: f64,
+    /// Package-only share (package = core + this).
+    pub pkg_extra: f64,
+    pub mem: f64,
+}
+
+impl Price {
+    fn core(nj: f64) -> Price {
+        Price { core: nj, pkg_extra: 0.0, mem: 0.0 }
+    }
+    fn pkg(nj: f64) -> Price {
+        Price { core: 0.0, pkg_extra: nj, mem: 0.0 }
+    }
+    /// Split a DRAM transfer between memory controller (package) and DIMMs.
+    fn dram(nj: f64) -> Price {
+        Price { core: 0.0, pkg_extra: nj * 0.35, mem: nj * 0.65 }
+    }
+    fn plus(self, o: Price) -> Price {
+        Price { core: self.core + o.core, pkg_extra: self.pkg_extra + o.pkg_extra, mem: self.mem + o.mem }
+    }
+    fn scale(self, k: f64) -> Price {
+        Price { core: self.core * k, pkg_extra: self.pkg_extra * k, mem: self.mem * k }
+    }
+}
+
+/// Multiply a price by a count (crate-internal helper).
+pub(crate) fn scale_price(p: Price, k: f64) -> Price {
+    p.scale(k)
+}
+
+/// Sum two prices (crate-internal helper).
+pub(crate) fn add_price(a: Price, b: Price) -> Price {
+    a.plus(b)
+}
+
+/// Piecewise-linear energy curve over frequency, with anchors at
+/// 1.2 / 2.4 / 3.6 GHz (the paper's P12/P24/P36 measurement points).
+#[derive(Debug, Clone, Copy)]
+struct Curve {
+    nj: [f64; 3],
+}
+
+const ANCHOR_HZ: [f64; 3] = [1.2e9, 2.4e9, 3.6e9];
+
+impl Curve {
+    const fn new(p36: f64, p24: f64, p12: f64) -> Curve {
+        Curve { nj: [p12, p24, p36] }
+    }
+    /// Frequency-invariant cost (off-chip components).
+    const fn flat(nj: f64) -> Curve {
+        Curve { nj: [nj, nj, nj] }
+    }
+    fn at(&self, hz: f64) -> f64 {
+        if hz <= ANCHOR_HZ[0] {
+            // Extrapolate below 1.2 GHz along the low segment, floored at 60%
+            // of the P12 value (voltage cannot drop below Vmin).
+            let slope = (self.nj[1] - self.nj[0]) / (ANCHOR_HZ[1] - ANCHOR_HZ[0]);
+            return (self.nj[0] + slope * (hz - ANCHOR_HZ[0])).max(self.nj[0] * 0.6);
+        }
+        if hz >= ANCHOR_HZ[2] {
+            return self.nj[2];
+        }
+        let (lo, hi) = if hz < ANCHOR_HZ[1] { (0, 1) } else { (1, 2) };
+        let t = (hz - ANCHOR_HZ[lo]) / (ANCHOR_HZ[hi] - ANCHOR_HZ[lo]);
+        self.nj[lo] + t * (self.nj[hi] - self.nj[lo])
+    }
+}
+
+/// Execution-unit op classes priced by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpClass {
+    Add,
+    Nop,
+    Mul,
+    Branch,
+    Generic,
+}
+
+/// The hidden ground truth: per-event prices for one architecture.
+#[derive(Debug, Clone)]
+pub(crate) struct EnergyModel {
+    // Loads / memory movement.
+    l1d_hit: Curve,
+    /// Tag-only probe on an L1D miss — cheaper than a data-array read.
+    l1d_probe: Curve,
+    l2_xfer: Curve,
+    l3_xfer: Curve,
+    mem_row_miss: Curve,
+    /// DRAM row-buffer hit as a fraction of a row miss.
+    row_hit_factor: f64,
+    /// Fill-into-upper-level discount on deeper hits.
+    fill_factor: f64,
+    store_hit: Curve,
+    stall_cycle: Curve,
+    fetch: Curve,
+    add: Curve,
+    nop: Curve,
+    mul: Curve,
+    branch: Curve,
+    generic: Curve,
+    tcm_load: Curve,
+    tcm_store: Curve,
+    // Background power in watts, per domain, modelled as
+    // `dyn_w · (f/f_max) · (V/V_max)² + leak_w · (V/V_max)²`.
+    f_max: f64,
+    core_bg: (f64, f64),
+    pkg_bg: (f64, f64),
+    mem_bg_w: f64,
+    /// Uplift on background power while the core is in C0-busy rather than
+    /// C0-idle — real parts gate fewer clocks under load. Invisible to the
+    /// paper's background-subtraction step.
+    busy_bg_uplift: f64,
+    /// Deep-idle (C-state) watts per domain.
+    idle_w: (f64, f64, f64),
+}
+
+impl EnergyModel {
+    pub(crate) fn for_arch(kind: ArchKind) -> EnergyModel {
+        match kind {
+            ArchKind::X86 => EnergyModel {
+                l1d_hit: Curve::new(0.95, 0.65, 0.44),
+                l1d_probe: Curve::new(0.55, 0.38, 0.26),
+                l2_xfer: Curve::new(4.37, 3.25, 1.64),
+                l3_xfer: Curve::new(6.64, 5.91, 5.33),
+                mem_row_miss: Curve::new(103.1, 99.1, 99.04),
+                row_hit_factor: 0.62,
+                fill_factor: 0.95,
+                store_hit: Curve::new(2.07, 1.35, 0.94),
+                stall_cycle: Curve::new(1.72, 1.07, 0.80),
+                fetch: Curve::new(0.35, 0.25, 0.16),
+                add: Curve::new(0.68, 0.47, 0.32),
+                nop: Curve::new(0.30, 0.20, 0.14),
+                mul: Curve::new(1.75, 1.22, 0.84),
+                branch: Curve::new(0.75, 0.52, 0.36),
+                generic: Curve::new(0.85, 0.59, 0.41),
+                tcm_load: Curve::flat(0.0),
+                tcm_store: Curve::flat(0.0),
+                f_max: 3.6e9,
+                core_bg: (1.9, 1.3),
+                pkg_bg: (1.4, 0.8),
+                mem_bg_w: 1.3,
+                busy_bg_uplift: 1.04,
+                idle_w: (0.15, 0.55, 0.9),
+            },
+            ArchKind::Arm => EnergyModel {
+                l1d_hit: Curve::flat(0.55),
+                l1d_probe: Curve::flat(0.30),
+                l2_xfer: Curve::flat(0.0),
+                l3_xfer: Curve::flat(0.0),
+                mem_row_miss: Curve::flat(26.0),
+                row_hit_factor: 0.70,
+                fill_factor: 0.95,
+                store_hit: Curve::flat(0.80),
+                stall_cycle: Curve::flat(0.35),
+                fetch: Curve::flat(0.12),
+                add: Curve::flat(0.40),
+                nop: Curve::flat(0.20),
+                mul: Curve::flat(0.70),
+                branch: Curve::flat(0.45),
+                generic: Curve::flat(0.50),
+                // Calibrated so B_DTCM_array ≈ 90% of B_L1D_array Active
+                // energy (§4.3: "10% peak energy saving").
+                tcm_load: Curve::flat(0.44),
+                tcm_store: Curve::flat(0.55),
+                f_max: 0.7e9,
+                core_bg: (0.10, 0.06),
+                pkg_bg: (0.03, 0.02),
+                mem_bg_w: 0.08,
+                busy_bg_uplift: 1.03,
+                idle_w: (0.02, 0.01, 0.05),
+            },
+        }
+    }
+
+    /// Price of a demand load serviced at `level` (write path identical for
+    /// the allocate fill). Includes fills into upper levels.
+    pub(crate) fn load_price(&self, level: HitLevel, dram_row_hit: bool, hz: f64) -> Price {
+        match level {
+            HitLevel::Tcm => Price::core(self.tcm_load.at(hz)),
+            HitLevel::L1d => Price::core(self.l1d_hit.at(hz)),
+            HitLevel::L2 => Price::core(
+                self.l1d_probe.at(hz) + self.l1d_hit.at(hz) * self.fill_factor + self.l2_xfer.at(hz),
+            ),
+            HitLevel::L3 => Price::core(
+                self.l1d_probe.at(hz)
+                    + (self.l1d_hit.at(hz) + self.l2_xfer.at(hz)) * self.fill_factor,
+            )
+            .plus(Price::pkg(self.l3_xfer.at(hz))),
+            HitLevel::Mem => {
+                let dram = self.mem_row_miss.at(hz)
+                    * if dram_row_hit { self.row_hit_factor } else { 1.0 };
+                Price::core(
+                    self.l1d_probe.at(hz)
+                        + (self.l1d_hit.at(hz) + self.l2_xfer.at(hz)) * self.fill_factor,
+                )
+                .plus(Price::pkg(self.l3_xfer.at(hz) * self.fill_factor))
+                .plus(Price::dram(dram))
+            }
+        }
+    }
+
+    /// Price of a store that hits L1D (or the TCM window).
+    pub(crate) fn store_price(&self, tcm: bool, hz: f64) -> Price {
+        if tcm {
+            Price::core(self.tcm_store.at(hz))
+        } else {
+            Price::core(self.store_hit.at(hz))
+        }
+    }
+
+    /// Price of one memory-stall cycle.
+    pub(crate) fn stall_price(&self, hz: f64) -> Price {
+        Price::core(self.stall_cycle.at(hz))
+    }
+
+    /// Price of one executed op of `class`, excluding fetch.
+    pub(crate) fn op_price(&self, class: OpClass, hz: f64) -> Price {
+        let c = match class {
+            OpClass::Add => &self.add,
+            OpClass::Nop => &self.nop,
+            OpClass::Mul => &self.mul,
+            OpClass::Branch => &self.branch,
+            OpClass::Generic => &self.generic,
+        };
+        Price::core(c.at(hz))
+    }
+
+    /// Per-instruction front-end (fetch/decode/L1I) price.
+    pub(crate) fn fetch_price(&self, hz: f64) -> Price {
+        Price::core(self.fetch.at(hz))
+    }
+
+    /// Extra decode energy when the instruction stream switches class
+    /// (load→ALU→load...): µop-cache/decoder behaviour favours homogeneous
+    /// loops. Real, and *invisible* to the paper's linear per-event model —
+    /// one of the effects that keeps Table 3's verification accuracy
+    /// below 100%.
+    pub(crate) fn decode_switch_price(&self, hz: f64) -> Price {
+        Price::core(self.fetch.at(hz) * 0.75)
+    }
+
+    /// Prefetch into L2 (data moves L3→L2): priced like an L3 transfer, per
+    /// the paper's assumption ΔE_pf^L2 = ΔE_L3.
+    pub(crate) fn pf_l2_price(&self, hz: f64) -> Price {
+        Price::pkg(self.l3_xfer.at(hz))
+    }
+
+    /// Prefetch into L3 (data moves DRAM→L3): priced like a DRAM transfer,
+    /// per ΔE_pf^L3 = ΔE_mem.
+    pub(crate) fn pf_l3_price(&self, dram_row_hit: bool, hz: f64) -> Price {
+        let dram =
+            self.mem_row_miss.at(hz) * if dram_row_hit { self.row_hit_factor } else { 1.0 };
+        Price::dram(dram)
+    }
+
+    /// Writeback prices per level (L1→L2, L2→L3, L3→DRAM). Unmodelled by the
+    /// analysis layer — an honest residual.
+    pub(crate) fn writeback_price(&self, from: HitLevel, hz: f64) -> Price {
+        match from {
+            HitLevel::L1d => Price::core(self.l2_xfer.at(hz) * 0.7),
+            HitLevel::L2 => Price::pkg(self.l3_xfer.at(hz) * 0.7),
+            HitLevel::L3 => Price::dram(self.mem_row_miss.at(hz) * 0.6),
+            _ => Price::default(),
+        }
+    }
+
+    fn bg(&self, (dyn_w, leak_w): (f64, f64), ps: PState) -> f64 {
+        let f = ps.freq_hz() / self.f_max;
+        let v = ps.voltage() / PState((self.f_max / 1e8) as u8).voltage();
+        dyn_w * f * v * v + leak_w * v * v
+    }
+
+    /// C0 background power per domain in watts (what the paper measures with
+    /// an only-blocked program and C-states disabled). `busy` applies the
+    /// hidden uplift.
+    pub(crate) fn background_w(&self, ps: PState, busy: bool) -> (f64, f64, f64) {
+        let up = if busy { self.busy_bg_uplift } else { 1.0 };
+        (self.bg(self.core_bg, ps) * up, self.bg(self.pkg_bg, ps) * up, self.mem_bg_w * up)
+    }
+
+    /// Deep-idle (C-state) power per domain in watts.
+    pub(crate) fn idle_w(&self) -> (f64, f64, f64) {
+        self.idle_w
+    }
+
+}
+
+/// Accumulating meter.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EnergyMeter {
+    core_nj: f64,
+    pkg_extra_nj: f64,
+    mem_nj: f64,
+}
+
+impl EnergyMeter {
+    #[inline]
+    pub(crate) fn charge(&mut self, p: Price) {
+        self.core_nj += p.core;
+        self.pkg_extra_nj += p.pkg_extra;
+        self.mem_nj += p.mem;
+    }
+
+    /// Charge background/idle power for `dt` seconds given per-domain watts.
+    pub(crate) fn charge_power(&mut self, (core_w, pkg_w, mem_w): (f64, f64, f64), dt: f64) {
+        self.core_nj += core_w * dt * 1e9;
+        self.pkg_extra_nj += pkg_w * dt * 1e9;
+        self.mem_nj += mem_w * dt * 1e9;
+    }
+
+    pub(crate) fn reading(&self) -> RaplReading {
+        RaplReading {
+            core_j: self.core_nj * 1e-9,
+            package_j: (self.core_nj + self.pkg_extra_nj) * 1e-9,
+            memory_j: self.mem_nj * 1e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x86() -> EnergyModel {
+        EnergyModel::for_arch(ArchKind::X86)
+    }
+
+    #[test]
+    fn curve_interpolates_between_anchors() {
+        let c = Curve::new(1.30, 0.90, 0.60);
+        assert!((c.at(3.6e9) - 1.30).abs() < 1e-12);
+        assert!((c.at(2.4e9) - 0.90).abs() < 1e-12);
+        assert!((c.at(1.2e9) - 0.60).abs() < 1e-12);
+        let mid = c.at(3.0e9);
+        assert!(mid > 0.90 && mid < 1.30);
+        // Above range clamps; below extrapolates but floors.
+        assert!((c.at(4.0e9) - 1.30).abs() < 1e-12);
+        assert!(c.at(0.5e9) >= 0.6 * 0.60);
+    }
+
+    #[test]
+    fn deeper_levels_cost_more() {
+        let m = x86();
+        let hz = 3.6e9;
+        let l1 = m.load_price(HitLevel::L1d, false, hz);
+        let l2 = m.load_price(HitLevel::L2, false, hz);
+        let l3 = m.load_price(HitLevel::L3, false, hz);
+        let mm = m.load_price(HitLevel::Mem, false, hz);
+        let tot = |p: Price| p.core + p.pkg_extra + p.mem;
+        assert!(tot(l1) < tot(l2));
+        assert!(tot(l2) < tot(l3));
+        assert!(tot(l3) < tot(mm));
+        assert!(tot(mm) > 100.0);
+    }
+
+    #[test]
+    fn row_hit_is_cheaper() {
+        let m = x86();
+        let hit = m.load_price(HitLevel::Mem, true, 3.6e9);
+        let miss = m.load_price(HitLevel::Mem, false, 3.6e9);
+        assert!(hit.mem < miss.mem);
+    }
+
+    #[test]
+    fn dram_price_splits_between_package_and_memory() {
+        let m = x86();
+        let p = m.load_price(HitLevel::Mem, false, 3.6e9);
+        assert!(p.mem > 0.0);
+        assert!(p.pkg_extra > 0.0);
+    }
+
+    #[test]
+    fn lower_pstate_is_cheaper_on_chip_only() {
+        let m = x86();
+        let hi = m.load_price(HitLevel::L1d, false, 3.6e9);
+        let lo = m.load_price(HitLevel::L1d, false, 1.2e9);
+        assert!(lo.core < hi.core);
+        let mhi = m.load_price(HitLevel::Mem, false, 3.6e9);
+        let mlo = m.load_price(HitLevel::Mem, false, 1.2e9);
+        // DRAM component barely moves.
+        assert!((mlo.mem / mhi.mem) > 0.90);
+    }
+
+    #[test]
+    fn background_scales_with_pstate_and_busy_uplift() {
+        let m = x86();
+        let (c36, p36, _) = m.background_w(PState::P36, false);
+        let (c12, p12, _) = m.background_w(PState::P12, false);
+        assert!(c12 < c36);
+        assert!(p12 < p36);
+        let (cb, _, _) = m.background_w(PState::P36, true);
+        assert!(cb > c36);
+    }
+
+    #[test]
+    fn meter_accumulates_and_package_includes_core() {
+        let mut e = EnergyMeter::default();
+        e.charge(Price { core: 1e9, pkg_extra: 5e8, mem: 2e8 });
+        let r = e.reading();
+        assert!((r.core_j - 1.0).abs() < 1e-12);
+        assert!((r.package_j - 1.5).abs() < 1e-12);
+        assert!((r.memory_j - 0.2).abs() < 1e-12);
+        assert!((r.total_j() - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arm_tcm_is_cheaper_than_l1d() {
+        let m = EnergyModel::for_arch(ArchKind::Arm);
+        let tcm = m.load_price(HitLevel::Tcm, false, 0.7e9);
+        let l1 = m.load_price(HitLevel::L1d, false, 0.7e9);
+        assert!(tcm.core < l1.core);
+    }
+}

@@ -1,0 +1,257 @@
+//! Performance-monitoring unit.
+//!
+//! The paper's counting step (§2.4) reads event counts from the PMU via Linux
+//! perf/ocperf. Our simulated PMU exposes the same counts, produced by the
+//! cache hierarchy and the timing model rather than by hardware.
+
+/// PMU events. The subset the paper's `MS` needs, plus enough extras for the
+/// diagnostics in Table 1 (BLI, IPC) and for honest accounting (writebacks,
+/// TCM traffic) that the analysis layer does *not* model — those become part
+/// of the unexplained remainder, as on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Event {
+    /// Retired instructions (everything: loads, stores, ALU, branches).
+    Instructions,
+    /// Core busy cycles.
+    BusyCycles,
+    /// Cycles stalled on data loads (the paper's `stall` micro-op).
+    StallCycles,
+    /// Load instructions issued (every load touches L1D: `N_L1D`).
+    LoadIssued,
+    /// Loads that hit L1D.
+    L1dLoadHit,
+    /// Loads that missed L1D (= accesses to L2, `N_L2`).
+    L1dLoadMiss,
+    /// L2 demand hits.
+    L2Hit,
+    /// L2 demand misses (= accesses to L3, `N_L3`).
+    L2Miss,
+    /// L3 demand hits.
+    L3Hit,
+    /// L3 demand misses (= DRAM accesses, `N_mem`).
+    L3Miss,
+    /// Store instructions issued.
+    StoreIssued,
+    /// Stores that hit L1D (`N_Reg2L1D`).
+    L1dStoreHit,
+    /// Stores that missed L1D (write-allocate fill follows).
+    L1dStoreMiss,
+    /// Lines prefetched into L2 by the L2 streamer (`N_pf^L2`).
+    PrefetchL2,
+    /// Lines prefetched into L3 by the L2 streamer (`N_pf^L3`).
+    PrefetchL3,
+    /// ALU add-class ops.
+    AddOps,
+    /// nop-class ops.
+    NopOps,
+    /// Multiply/divide-class ops.
+    MulOps,
+    /// Branch-class ops.
+    BranchOps,
+    /// Generic bookkeeping ops (function-call overhead, address arithmetic).
+    GenericOps,
+    /// Loads serviced by the TCM window.
+    TcmLoad,
+    /// Stores serviced by the TCM window.
+    TcmStore,
+    /// Dirty L1D lines written back to L2.
+    WritebackL1,
+    /// Dirty L2 lines written back to L3.
+    WritebackL2,
+    /// Dirty L3 lines written back to DRAM.
+    WritebackL3,
+}
+
+/// Number of distinct events.
+pub const N_EVENTS: usize = Event::WritebackL3 as usize + 1;
+
+/// All events, for iteration in reports.
+pub const ALL_EVENTS: [Event; N_EVENTS] = [
+    Event::Instructions,
+    Event::BusyCycles,
+    Event::StallCycles,
+    Event::LoadIssued,
+    Event::L1dLoadHit,
+    Event::L1dLoadMiss,
+    Event::L2Hit,
+    Event::L2Miss,
+    Event::L3Hit,
+    Event::L3Miss,
+    Event::StoreIssued,
+    Event::L1dStoreHit,
+    Event::L1dStoreMiss,
+    Event::PrefetchL2,
+    Event::PrefetchL3,
+    Event::AddOps,
+    Event::NopOps,
+    Event::MulOps,
+    Event::BranchOps,
+    Event::GenericOps,
+    Event::TcmLoad,
+    Event::TcmStore,
+    Event::WritebackL1,
+    Event::WritebackL2,
+    Event::WritebackL3,
+];
+
+/// The counter bank.
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    counts: [u64; N_EVENTS],
+}
+
+impl Default for Pmu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pmu {
+    /// Fresh PMU with all counters at zero.
+    pub fn new() -> Self {
+        Pmu { counts: [0; N_EVENTS] }
+    }
+
+    /// Increment `ev` by one.
+    #[inline]
+    pub fn bump(&mut self, ev: Event) {
+        self.counts[ev as usize] += 1;
+    }
+
+    /// Increment `ev` by `n`.
+    #[inline]
+    pub fn add(&mut self, ev: Event, n: u64) {
+        self.counts[ev as usize] += n;
+    }
+
+    /// Current value of `ev`.
+    #[inline]
+    pub fn get(&self, ev: Event) -> u64 {
+        self.counts[ev as usize]
+    }
+
+    /// Overwrite `ev` (used by the CPU to sync fractional cycle
+    /// accumulators into the counter bank before snapshots).
+    #[inline]
+    pub fn set(&mut self, ev: Event, v: u64) {
+        self.counts[ev as usize] = v;
+    }
+
+    /// Copy the whole bank (cheap: fixed-size array).
+    pub fn snapshot(&self) -> PmuSnapshot {
+        PmuSnapshot { counts: self.counts }
+    }
+}
+
+/// Immutable copy of the counter bank, used to compute per-run deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmuSnapshot {
+    counts: [u64; N_EVENTS],
+}
+
+impl PmuSnapshot {
+    /// A snapshot with all counters zero.
+    pub fn zero() -> Self {
+        PmuSnapshot { counts: [0; N_EVENTS] }
+    }
+
+    /// Value of `ev` in this snapshot.
+    #[inline]
+    pub fn get(&self, ev: Event) -> u64 {
+        self.counts[ev as usize]
+    }
+
+    /// Counter-wise `self - earlier`. Panics in debug builds if a counter
+    /// would go negative (counters are monotonic).
+    pub fn delta(&self, earlier: &PmuSnapshot) -> PmuSnapshot {
+        let mut out = [0u64; N_EVENTS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            debug_assert!(self.counts[i] >= earlier.counts[i], "PMU counter went backwards");
+            *slot = self.counts[i] - earlier.counts[i];
+        }
+        PmuSnapshot { counts: out }
+    }
+
+    /// Total cycles (busy + stall).
+    pub fn cycles(&self) -> u64 {
+        self.get(Event::BusyCycles) + self.get(Event::StallCycles)
+    }
+
+    /// Instructions per cycle. Zero if no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.get(Event::Instructions) as f64 / c as f64
+        }
+    }
+
+    /// L1D load miss ratio (misses / loads). `None` if no loads.
+    pub fn l1d_miss_rate(&self) -> Option<f64> {
+        let loads = self.get(Event::LoadIssued);
+        (loads > 0).then(|| self.get(Event::L1dLoadMiss) as f64 / loads as f64)
+    }
+
+    /// L2 miss ratio (L2 misses / L2 accesses). `None` if L2 untouched.
+    pub fn l2_miss_rate(&self) -> Option<f64> {
+        let acc = self.get(Event::L2Hit) + self.get(Event::L2Miss);
+        (acc > 0).then(|| self.get(Event::L2Miss) as f64 / acc as f64)
+    }
+
+    /// L3 miss ratio. `None` if L3 untouched.
+    pub fn l3_miss_rate(&self) -> Option<f64> {
+        let acc = self.get(Event::L3Hit) + self.get(Event::L3Miss);
+        (acc > 0).then(|| self.get(Event::L3Miss) as f64 / acc as f64)
+    }
+
+    /// L1D store hit ratio. `None` if no stores.
+    pub fn l1d_store_hit_rate(&self) -> Option<f64> {
+        let st = self.get(Event::StoreIssued);
+        (st > 0).then(|| self.get(Event::L1dStoreHit) as f64 / st as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_delta() {
+        let mut p = Pmu::new();
+        let before = p.snapshot();
+        p.bump(Event::LoadIssued);
+        p.add(Event::LoadIssued, 9);
+        p.add(Event::L1dLoadHit, 10);
+        let d = p.snapshot().delta(&before);
+        assert_eq!(d.get(Event::LoadIssued), 10);
+        assert_eq!(d.get(Event::L1dLoadHit), 10);
+        assert_eq!(d.get(Event::L1dLoadMiss), 0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut p = Pmu::new();
+        p.add(Event::LoadIssued, 100);
+        p.add(Event::L1dLoadMiss, 25);
+        p.add(Event::Instructions, 200);
+        p.add(Event::BusyCycles, 50);
+        p.add(Event::StallCycles, 50);
+        let s = p.snapshot();
+        assert_eq!(s.l1d_miss_rate(), Some(0.25));
+        assert_eq!(s.ipc(), 2.0);
+        assert_eq!(s.l2_miss_rate(), None);
+    }
+
+    #[test]
+    fn all_events_cover_the_enum() {
+        // Each event maps to a unique slot.
+        let mut seen = [false; N_EVENTS];
+        for e in ALL_EVENTS {
+            assert!(!seen[e as usize]);
+            seen[e as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! # sqlfe — a SQL frontend for the microjoule engines
+//!
+//! Parses a practical SQL subset into [`engines::Plan`] /
+//! [`engines::Dml`], so workloads can be written as text instead of
+//! hand-built plan trees:
+//!
+//! ```sql
+//! SELECT l_returnflag, COUNT(*), SUM(l_extendedprice * (1 - l_discount))
+//! FROM lineitem
+//! WHERE l_shipdate <= DATE '1998-09-02'
+//! GROUP BY l_returnflag
+//! ORDER BY 1;
+//! ```
+//!
+//! Supported:
+//! * `SELECT` list: `*`, expressions with `AS` aliases, aggregates
+//!   (`COUNT(*)`, `COUNT/SUM/AVG/MIN/MAX(expr)`),
+//! * `FROM t [JOIN u ON a = b]…` (left-deep equi-joins),
+//! * `WHERE` with `AND/OR/NOT`, comparisons, arithmetic, `BETWEEN`,
+//!   `IN (…)`, `LIKE` (prefix `'x%'` and containment `'%x%'` patterns),
+//!   `DATE 'yyyy-mm-dd'` literals,
+//! * `GROUP BY`, `ORDER BY` (expression positions or select aliases,
+//!   `ASC`/`DESC`), `LIMIT`,
+//! * `INSERT INTO … VALUES`, `UPDATE … SET … [WHERE …]`,
+//!   `DELETE FROM … [WHERE …]`.
+//!
+//! Single-table `WHERE` conjuncts are pushed below joins onto their source
+//! scans (a small but real optimizer step), so SQL-built plans execute with
+//! the same early filtering as the hand-built workload plans.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::Statement;
+pub use parser::parse;
+pub use planner::{plan_statement, Planned};
+
+/// Parse, plan, and optimize a statement against a catalog in one call.
+///
+/// Queries additionally go through [`engines::optimizer::optimize`] (index
+/// selection, top-N fusion); use [`plan_statement`] directly for the raw
+/// plan.
+pub fn compile(sql: &str, catalog: &storage::Catalog) -> Result<Planned, SqlError> {
+    let stmt = parse(sql)?;
+    match plan_statement(&stmt, catalog)? {
+        Planned::Query(p) => Ok(Planned::Query(engines::optimizer::optimize(p, catalog))),
+        w => Ok(w),
+    }
+}
+
+/// Frontend errors, with byte positions where available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Tokenizer rejected the input.
+    Lex {
+        /// Byte offset.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Parser rejected the token stream.
+    Parse {
+        /// Byte offset of the offending token.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Name resolution / planning failure.
+    Plan(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { at, msg } => write!(f, "lex error at byte {at}: {msg}"),
+            SqlError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            SqlError::Plan(msg) => write!(f, "planning error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

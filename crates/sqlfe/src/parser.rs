@@ -1,0 +1,547 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::SqlError;
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse(src: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_opt(&Tok::Semi);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at(&self) -> usize {
+        self.tokens[self.pos].at
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SqlError> {
+        Err(SqlError::Parse { at: self.at(), msg: msg.into() })
+    }
+
+    /// Case-insensitive keyword check (does not consume).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_opt(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), SqlError> {
+        if self.eat_opt(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Tok::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat_opt(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                rows.push(row);
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let mut set = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                set.push((col, self.expr()?));
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+            let filter = self.opt_where()?;
+            return Ok(Statement::Update { table, set, filter });
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let filter = self.opt_where()?;
+            return Ok(Statement::Delete { table, filter });
+        }
+        self.err("expected SELECT, INSERT, UPDATE, or DELETE")
+    }
+
+    fn opt_where(&mut self) -> Result<Option<SExpr>, SqlError> {
+        if self.eat_kw("WHERE") {
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("SELECT")?;
+        let items = if self.eat_opt(&Tok::Star) {
+            None
+        } else {
+            let mut items = Vec::new();
+            loop {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                items.push(SelectItem { expr, alias });
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+            Some(items)
+        };
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+        let mut joins = Vec::new();
+        while self.eat_kw("JOIN") {
+            let table = self.ident()?;
+            self.expect_kw("ON")?;
+            let on_left = self.colref()?;
+            self.expect(&Tok::Eq)?;
+            let on_right = self.colref()?;
+            joins.push(JoinClause { table, on_left, on_right });
+        }
+        let filter = self.opt_where()?;
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                other => return self.err(format!("expected LIMIT count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(Select { items, from, joins, filter, group_by, order_by, limit })
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat_opt(&Tok::Dot) {
+            let column = self.ident()?;
+            Ok(ColRef { table: Some(first), column })
+        } else {
+            Ok(ColRef { table: None, column: first })
+        }
+    }
+
+    // Expression grammar: or_expr > and_expr > not > predicate > add > mul > atom.
+    fn expr(&mut self) -> Result<SExpr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = SExpr::Bin(BinSym::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SExpr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = SExpr::Bin(BinSym::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SExpr, SqlError> {
+        if self.eat_kw("NOT") {
+            Ok(SExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<SExpr, SqlError> {
+        let left = self.add_expr()?;
+        // NOT BETWEEN / NOT IN / NOT LIKE
+        if self.eat_kw("NOT") {
+            let inner = self.postfix_predicate(left)?;
+            return Ok(SExpr::Not(Box::new(inner)));
+        }
+        if self.peek_kw("BETWEEN") || self.peek_kw("IN") || self.peek_kw("LIKE") {
+            return self.postfix_predicate(left);
+        }
+        let sym = match self.peek() {
+            Tok::Eq => BinSym::Eq,
+            Tok::Ne => BinSym::Ne,
+            Tok::Lt => BinSym::Lt,
+            Tok::Le => BinSym::Le,
+            Tok::Gt => BinSym::Gt,
+            Tok::Ge => BinSym::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        Ok(SExpr::Bin(sym, Box::new(left), Box::new(right)))
+    }
+
+    fn postfix_predicate(&mut self, left: SExpr) -> Result<SExpr, SqlError> {
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(SExpr::Between(Box::new(left), Box::new(lo), Box::new(hi)));
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Tok::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok(SExpr::InList(Box::new(left), list));
+        }
+        if self.eat_kw("LIKE") {
+            match self.bump() {
+                Tok::Str(p) => return Ok(SExpr::Like(Box::new(left), p)),
+                other => return self.err(format!("expected LIKE pattern, found {other:?}")),
+            }
+        }
+        self.err("expected BETWEEN, IN, or LIKE")
+    }
+
+    fn add_expr(&mut self) -> Result<SExpr, SqlError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let sym = match self.peek() {
+                Tok::Plus => BinSym::Add,
+                Tok::Minus => BinSym::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = SExpr::Bin(sym, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<SExpr, SqlError> {
+        let mut left = self.atom()?;
+        loop {
+            let sym = match self.peek() {
+                Tok::Star => BinSym::Mul,
+                Tok::Slash => BinSym::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.atom()?;
+            left = SExpr::Bin(sym, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<SExpr, SqlError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(SExpr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(SExpr::Float(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(SExpr::Str(s))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.atom()? {
+                    SExpr::Int(v) => Ok(SExpr::Int(-v)),
+                    SExpr::Float(v) => Ok(SExpr::Float(-v)),
+                    e => Ok(SExpr::Bin(
+                        BinSym::Sub,
+                        Box::new(SExpr::Int(0)),
+                        Box::new(e),
+                    )),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let upper = name.to_ascii_uppercase();
+                match upper.as_str() {
+                    "NULL" => {
+                        self.bump();
+                        Ok(SExpr::Null)
+                    }
+                    "DATE" => {
+                        self.bump();
+                        match self.bump() {
+                            Tok::Str(s) => parse_date(&s)
+                                .map(SExpr::Date)
+                                .ok_or(())
+                                .or_else(|_| self.err(format!("bad date literal `{s}`"))),
+                            other => self.err(format!("expected date string, found {other:?}")),
+                        }
+                    }
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let agg = match upper.as_str() {
+                            "COUNT" => AggName::Count,
+                            "SUM" => AggName::Sum,
+                            "AVG" => AggName::Avg,
+                            "MIN" => AggName::Min,
+                            _ => AggName::Max,
+                        };
+                        let arg = if self.eat_opt(&Tok::Star) {
+                            if agg != AggName::Count {
+                                return self.err("only COUNT accepts `*`");
+                            }
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect(&Tok::RParen)?;
+                        Ok(SExpr::Agg(agg, arg))
+                    }
+                    _ => {
+                        let cr = self.colref()?;
+                        Ok(SExpr::Col(cr))
+                    }
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// `yyyy-mm-dd` → days since 1970-01-01.
+fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // Howard Hinnant's days_from_civil.
+    let yy = if m <= 2 { y - 1 } else { y };
+    let era = if yy >= 0 { yy } else { yy - 399 } / 400;
+    let yoe = (yy - era * 400) as i64;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era as i64 * 146_097 + doe - 719_468) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse("SELECT * FROM t WHERE a > 3 ORDER BY b DESC LIMIT 5;").unwrap();
+        let Statement::Select(sel) = s else { panic!("not a select") };
+        assert!(sel.items.is_none());
+        assert_eq!(sel.from, "t");
+        assert_eq!(sel.limit, Some(5));
+        assert!(sel.order_by[0].1);
+        assert!(matches!(sel.filter, Some(SExpr::Bin(BinSym::Gt, _, _))));
+    }
+
+    #[test]
+    fn parses_joins_and_group_by() {
+        let s = parse(
+            "SELECT c.name, COUNT(*) FROM customer JOIN orders ON c_custkey = o_custkey \
+             GROUP BY c.name",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.group_by.len(), 1);
+        let items = sel.items.unwrap();
+        assert!(matches!(items[1].expr, SExpr::Agg(AggName::Count, None)));
+    }
+
+    #[test]
+    fn precedence_and_arithmetic() {
+        let s = parse("SELECT a + b * 2 FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let item = &sel.items.unwrap()[0].expr;
+        // a + (b * 2)
+        assert!(matches!(item, SExpr::Bin(BinSym::Add, _, r) if matches!(**r, SExpr::Bin(BinSym::Mul, _, _))));
+        // x=1 OR (y=2 AND z=3)
+        assert!(
+            matches!(sel.filter, Some(SExpr::Bin(BinSym::Or, _, ref r)) if matches!(**r, SExpr::Bin(BinSym::And, _, _)))
+        );
+    }
+
+    #[test]
+    fn date_literals() {
+        let s = parse("SELECT * FROM t WHERE d <= DATE '1998-09-02'").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let Some(SExpr::Bin(_, _, r)) = sel.filter else { panic!() };
+        assert_eq!(*r, SExpr::Date(10471));
+    }
+
+    #[test]
+    fn between_in_like_and_not() {
+        parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1,2,3) AND c LIKE 'x%'")
+            .unwrap();
+        parse("SELECT * FROM t WHERE a NOT IN (1) AND NOT b = 2").unwrap();
+    }
+
+    #[test]
+    fn dml_statements() {
+        assert!(matches!(
+            parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap(),
+            Statement::Insert { rows, .. } if rows.len() == 2
+        ));
+        assert!(matches!(
+            parse("UPDATE t SET a = a + 1 WHERE b < 3").unwrap(),
+            Statement::Update { set, .. } if set.len() == 1
+        ));
+        assert!(matches!(
+            parse("DELETE FROM t").unwrap(),
+            Statement::Delete { filter: None, .. }
+        ));
+    }
+
+    #[test]
+    fn limit_rejects_non_integers() {
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("SELECT * FROM t LIMIT 1.5").is_err());
+    }
+
+    #[test]
+    fn count_star_only_for_count() {
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t").is_ok());
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let s = parse("SELECT * FROM t WHERE a > -5 AND b < -1.25").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.filter.is_some());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse("SELECT * FROM t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        let err = parse("SELECT * FROM t WHERE ^").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { .. }));
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # storage — the database storage substrate
+//!
+//! Everything the three engine personalities share: typed values and
+//! schemas, a row codec, slotted pages over the simulated arena, a buffer
+//! pool with eviction and simulated disk I/O, heap files, B+trees, a
+//! catalog, and an expression/aggregate evaluator.
+//!
+//! Every data access in this crate is *simulated*: the line(s) a tuple or
+//! node spans are touched through [`simcore::Cpu::load`]/`store` (with the
+//! right dependency class — sequential scans stream, B-tree descents chase
+//! pointers) before the bytes are decoded from the arena. That is what makes
+//! the engines' energy profiles faithful: a SQLite-style sequential scan and
+//! a PG-style hash join differ in exactly the loads/stores/ops they issue.
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod expr;
+pub mod heap;
+pub mod page;
+pub mod schema;
+pub mod simstruct;
+pub mod tuple;
+pub mod value;
+
+pub use btree::BTree;
+pub use buffer::{BufferPool, PageStore};
+pub use catalog::{Catalog, TableId, TableInfo};
+pub use expr::{AggFn, AggSpec, BinOp, CmpOp, Expr};
+pub use heap::HeapFile;
+pub use page::PageId;
+pub use schema::{Column, Schema, Ty};
+pub use simstruct::{SimHashTable, SimSorter};
+pub use tuple::{decode_row, encode_row, Row};
+pub use value::Value;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Simulated memory error.
+    Mem(simcore::MemError),
+    /// A tuple was too large for a page.
+    TupleTooLarge {
+        /// Encoded tuple size in bytes.
+        tuple: usize,
+        /// Page payload capacity in bytes.
+        page: usize,
+    },
+    /// Malformed on-page bytes.
+    Corrupt(&'static str),
+    /// Catalog lookup failure.
+    NoSuchTable(String),
+    /// Schema mismatch (wrong arity/type).
+    Schema(&'static str),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Mem(e) => write!(f, "memory: {e}"),
+            StorageError::TupleTooLarge { tuple, page } => {
+                write!(f, "tuple of {tuple} B cannot fit a {page} B page")
+            }
+            StorageError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::Schema(what) => write!(f, "schema error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<simcore::MemError> for StorageError {
+    fn from(e: simcore::MemError) -> Self {
+        StorageError::Mem(e)
+    }
+}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,298 @@
+//! Slotted pages over the simulated arena.
+//!
+//! Layout (`page_size` is a knob: 4/8/16 KiB, Table 4):
+//!
+//! ```text
+//! [ n_slots: u16 | data_end: u16 | ...tuples grow forward... ]
+//! [ ...slot array grows backward from the page end... ]
+//! slot i = (offset: u16, len: u16) at page_end − 4·(i+1)
+//! ```
+
+use simcore::{Cpu, Dep};
+
+/// Page identifier within a [`crate::buffer::PageStore`].
+pub type PageId = u32;
+
+/// Bytes of page header (`n_slots`, `data_end`).
+pub const PAGE_HEADER: u64 = 4;
+const SLOT_BYTES: u64 = 4;
+
+/// A view of one page: base address + size. All operations simulate their
+/// accesses on the given [`Cpu`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRef {
+    /// Base simulated address.
+    pub addr: u64,
+    /// Page size in bytes.
+    pub size: u32,
+}
+
+impl PageRef {
+    /// Initialise an empty page (writes the header).
+    pub fn init(&self, cpu: &mut Cpu) -> crate::Result<()> {
+        cpu.store(self.addr);
+        let a = cpu.arena_mut();
+        a.write(self.addr, &0u16.to_le_bytes())?;
+        a.write(self.addr + 2, &(PAGE_HEADER as u16).to_le_bytes())?;
+        Ok(())
+    }
+
+    fn header(&self, cpu: &mut Cpu, dep: Dep) -> crate::Result<(u16, u16)> {
+        cpu.load(self.addr, dep);
+        let a = cpu.arena();
+        let h = a.bytes(self.addr, 4)?;
+        Ok((u16::from_le_bytes([h[0], h[1]]), u16::from_le_bytes([h[2], h[3]])))
+    }
+
+    /// Number of tuples on the page.
+    pub fn n_slots(&self, cpu: &mut Cpu, dep: Dep) -> crate::Result<u16> {
+        Ok(self.header(cpu, dep)?.0)
+    }
+
+    /// Free bytes remaining (accounting for the slot the next insert needs).
+    pub fn free_space(&self, cpu: &mut Cpu) -> crate::Result<u64> {
+        let (n, data_end) = self.header(cpu, Dep::Stream)?;
+        let slots_start = self.size as u64 - (n as u64 + 1) * SLOT_BYTES;
+        Ok(slots_start.saturating_sub(data_end as u64))
+    }
+
+    /// Append a tuple; returns the slot number, or `None` if it doesn't fit.
+    pub fn insert(&self, cpu: &mut Cpu, bytes: &[u8]) -> crate::Result<Option<u16>> {
+        let payload = self.size as u64 - PAGE_HEADER - SLOT_BYTES;
+        if bytes.len() as u64 > payload {
+            return Err(crate::StorageError::TupleTooLarge {
+                tuple: bytes.len(),
+                page: payload as usize,
+            });
+        }
+        let (n, data_end) = self.header(cpu, Dep::Stream)?;
+        let slots_start = self.size as u64 - (n as u64 + 1) * SLOT_BYTES;
+        if data_end as u64 + bytes.len() as u64 > slots_start {
+            return Ok(None);
+        }
+        // Tuple bytes.
+        cpu.write_bytes(self.addr + data_end as u64, bytes)?;
+        // Slot entry.
+        let slot_addr = self.addr + slots_start;
+        cpu.store(slot_addr);
+        let mut slot = [0u8; 4];
+        slot[..2].copy_from_slice(&data_end.to_le_bytes());
+        slot[2..].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
+        cpu.arena_mut().write(slot_addr, &slot)?;
+        // Header.
+        cpu.store(self.addr);
+        let a = cpu.arena_mut();
+        a.write(self.addr, &(n + 1).to_le_bytes())?;
+        a.write(self.addr + 2, &(data_end + bytes.len() as u16).to_le_bytes())?;
+        Ok(Some(n))
+    }
+
+    /// Unsimulated insert for *data loading* (setup is not a measured
+    /// workload). Identical layout to [`PageRef::insert`].
+    pub fn insert_unsimulated(&self, arena: &mut simcore::Arena, bytes: &[u8]) -> crate::Result<Option<u16>> {
+        let payload = self.size as u64 - PAGE_HEADER - SLOT_BYTES;
+        if bytes.len() as u64 > payload {
+            return Err(crate::StorageError::TupleTooLarge {
+                tuple: bytes.len(),
+                page: payload as usize,
+            });
+        }
+        let h = arena.bytes(self.addr, 4)?;
+        let n = u16::from_le_bytes([h[0], h[1]]);
+        let data_end = u16::from_le_bytes([h[2], h[3]]);
+        let slots_start = self.size as u64 - (n as u64 + 1) * SLOT_BYTES;
+        if data_end as u64 + bytes.len() as u64 > slots_start {
+            return Ok(None);
+        }
+        arena.write(self.addr + data_end as u64, bytes)?;
+        let mut slot = [0u8; 4];
+        slot[..2].copy_from_slice(&data_end.to_le_bytes());
+        slot[2..].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
+        arena.write(self.addr + slots_start, &slot)?;
+        arena.write(self.addr, &(n + 1).to_le_bytes())?;
+        arena.write(self.addr + 2, &(data_end + bytes.len() as u16).to_le_bytes())?;
+        Ok(Some(n))
+    }
+
+    /// Simulated bounds lookup of a slot: `(tuple_addr, len)`.
+    pub fn tuple_bounds(&self, cpu: &mut Cpu, slot: u16, dep: Dep) -> crate::Result<(u64, u16)> {
+        let slot_addr = self.addr + self.size as u64 - (slot as u64 + 1) * SLOT_BYTES;
+        cpu.load(slot_addr, dep);
+        let b = cpu.arena().bytes(slot_addr, 4)?;
+        let off = u16::from_le_bytes([b[0], b[1]]);
+        let len = u16::from_le_bytes([b[2], b[3]]);
+        if off as u64 + len as u64 > self.size as u64 {
+            return Err(crate::StorageError::Corrupt("slot out of bounds"));
+        }
+        Ok((self.addr + off as u64, len))
+    }
+
+    /// Tombstone a slot (its length becomes zero; scans skip it). The space
+    /// is not reclaimed — like a dead heap tuple awaiting vacuum.
+    pub fn mark_dead(&self, cpu: &mut Cpu, slot: u16) -> crate::Result<()> {
+        let slot_addr = self.addr + self.size as u64 - (slot as u64 + 1) * SLOT_BYTES;
+        cpu.load(slot_addr, Dep::Stream);
+        cpu.store(slot_addr);
+        let b = cpu.arena().bytes(slot_addr, 4)?;
+        let off = u16::from_le_bytes([b[0], b[1]]);
+        let mut nb = [0u8; 4];
+        nb[..2].copy_from_slice(&off.to_le_bytes());
+        cpu.arena_mut().write(slot_addr, &nb)?;
+        Ok(())
+    }
+
+    /// Overwrite a tuple in place (only legal when the new bytes have the
+    /// same length as the old).
+    pub fn overwrite(&self, cpu: &mut Cpu, slot: u16, bytes: &[u8]) -> crate::Result<()> {
+        let (addr, len) = self.tuple_bounds(cpu, slot, Dep::Stream)?;
+        if len as usize != bytes.len() {
+            return Err(crate::StorageError::Schema("in-place overwrite length mismatch"));
+        }
+        cpu.write_bytes(addr, bytes)?;
+        Ok(())
+    }
+
+    /// Unsimulated slot count (setup/index builds).
+    pub fn n_slots_unsimulated(&self, arena: &simcore::Arena) -> crate::Result<u16> {
+        let h = arena.bytes(self.addr, 2)?;
+        Ok(u16::from_le_bytes([h[0], h[1]]))
+    }
+
+    /// Unsimulated tuple read (setup/index builds).
+    pub fn read_tuple_unsimulated<'a>(
+        &self,
+        arena: &'a simcore::Arena,
+        slot: u16,
+    ) -> crate::Result<&'a [u8]> {
+        let slot_addr = self.addr + self.size as u64 - (slot as u64 + 1) * SLOT_BYTES;
+        let b = arena.bytes(slot_addr, 4)?;
+        let off = u16::from_le_bytes([b[0], b[1]]);
+        let len = u16::from_le_bytes([b[2], b[3]]);
+        if off as u64 + len as u64 > self.size as u64 {
+            return Err(crate::StorageError::Corrupt("slot out of bounds"));
+        }
+        Ok(arena.bytes(self.addr + off as u64, len as usize)?)
+    }
+
+    /// Touch the lines of a tuple (simulating the read) and return its bytes.
+    pub fn read_tuple<'a>(
+        &self,
+        cpu: &'a mut Cpu,
+        slot: u16,
+        dep: Dep,
+    ) -> crate::Result<&'a [u8]> {
+        let (addr, len) = self.tuple_bounds(cpu, slot, dep)?;
+        touch(cpu, addr, len as u64, dep);
+        Ok(cpu.arena().bytes(addr, len as usize)?)
+    }
+}
+
+/// Simulate loads over the lines spanned by `[addr, addr+len)`.
+pub fn touch(cpu: &mut Cpu, addr: u64, len: u64, dep: Dep) {
+    if len == 0 {
+        return;
+    }
+    let mut line = addr & !(simcore::LINE - 1);
+    let end = addr + len;
+    while line < end {
+        cpu.load(line, dep);
+        line += simcore::LINE;
+    }
+}
+
+/// Simulate stores over the lines spanned by `[addr, addr+len)`.
+pub fn touch_store(cpu: &mut Cpu, addr: u64, len: u64) {
+    if len == 0 {
+        return;
+    }
+    let mut line = addr & !(simcore::LINE - 1);
+    let end = addr + len;
+    while line < end {
+        cpu.store(line);
+        line += simcore::LINE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ArchConfig;
+
+    fn cpu() -> Cpu {
+        Cpu::new(ArchConfig::intel_i7_4790())
+    }
+
+    fn page(cpu: &mut Cpu, size: u32) -> PageRef {
+        let r = cpu.alloc(size as u64).unwrap();
+        let p = PageRef { addr: r.addr, size };
+        p.init(cpu).unwrap();
+        p
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut c = cpu();
+        let p = page(&mut c, 4096);
+        let s0 = p.insert(&mut c, b"hello").unwrap().unwrap();
+        let s1 = p.insert(&mut c, b"world!").unwrap().unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(p.read_tuple(&mut c, 0, Dep::Stream).unwrap(), b"hello");
+        assert_eq!(p.read_tuple(&mut c, 1, Dep::Stream).unwrap(), b"world!");
+        assert_eq!(p.n_slots(&mut c, Dep::Stream).unwrap(), 2);
+    }
+
+    #[test]
+    fn page_fills_up_and_reports_none() {
+        let mut c = cpu();
+        let p = page(&mut c, 256);
+        let tuple = [7u8; 50];
+        let mut inserted = 0;
+        while p.insert(&mut c, &tuple).unwrap().is_some() {
+            inserted += 1;
+        }
+        // 256 - 4 header = 252; each tuple costs 50 + 4 slot = 54.
+        assert_eq!(inserted, 4);
+        // Free space is less than one more tuple but non-negative.
+        assert!(p.free_space(&mut c).unwrap() < 54);
+    }
+
+    #[test]
+    fn oversized_tuple_is_an_error_not_none() {
+        let mut c = cpu();
+        let p = page(&mut c, 256);
+        let huge = [0u8; 300];
+        assert!(matches!(
+            p.insert(&mut c, &huge),
+            Err(crate::StorageError::TupleTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn reading_a_tuple_simulates_its_lines() {
+        let mut c = cpu();
+        let p = page(&mut c, 4096);
+        let tuple = [1u8; 150]; // spans 3+ lines
+        p.insert(&mut c, &tuple).unwrap().unwrap();
+        let before = c.pmu_snapshot();
+        p.read_tuple(&mut c, 0, Dep::Stream).unwrap();
+        let d = c.pmu_snapshot().delta(&before);
+        // slot load + >= 3 tuple-line loads
+        assert!(d.get(simcore::Event::LoadIssued) >= 4);
+    }
+
+    #[test]
+    fn different_page_sizes_hold_proportional_tuples() {
+        let mut c = cpu();
+        let count = |c: &mut Cpu, size: u32| {
+            let p = page(c, size);
+            let mut n = 0;
+            while p.insert(c, &[0u8; 60]).unwrap().is_some() {
+                n += 1;
+            }
+            n
+        };
+        let small = count(&mut c, 4096);
+        let large = count(&mut c, 16384);
+        assert!(large >= small * 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Table schemas.
+
+use crate::value::Value;
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+    /// Days since epoch.
+    Date,
+}
+
+impl Ty {
+    /// Whether `v` inhabits this type (NULL inhabits every type).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (Ty::Int, Value::Int(_))
+                | (Ty::Float, Value::Float(_))
+                | (Ty::Str, Value::Str(_))
+                | (Ty::Date, Value::Date(_))
+        )
+    }
+}
+
+/// One column: name + type.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name (lower-case by convention).
+    pub name: String,
+    /// Column type.
+    pub ty: Ty,
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// The columns, in tuple order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = (S, Ty)>>(cols: I) -> Schema {
+        Schema {
+            columns: cols.into_iter().map(|(name, ty)| Column { name: name.into(), ty }).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of a column by name, panicking with a useful message if absent
+    /// (used by the fixed, known-good workload plans).
+    pub fn col_expect(&self, name: &str) -> usize {
+        self.col(name)
+            .unwrap_or_else(|| panic!("schema has no column `{name}`: {:?}", self.names()))
+    }
+
+    /// All column names.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Validate a row against the schema.
+    pub fn check(&self, row: &[Value]) -> crate::Result<()> {
+        if row.len() != self.arity() {
+            return Err(crate::StorageError::Schema("arity mismatch"));
+        }
+        for (c, v) in self.columns.iter().zip(row) {
+            if !c.ty.admits(v) {
+                return Err(crate::StorageError::Schema("type mismatch"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new([("id", Ty::Int), ("name", Ty::Str), ("price", Ty::Float)])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = s();
+        assert_eq!(s.col("name"), Some(1));
+        assert_eq!(s.col("missing"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn check_accepts_valid_and_nulls() {
+        let s = s();
+        s.check(&[Value::Int(1), Value::Str("x".into()), Value::Float(0.5)]).unwrap();
+        s.check(&[Value::Int(1), Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_bad_arity_and_types() {
+        let s = s();
+        assert!(s.check(&[Value::Int(1)]).is_err());
+        assert!(s
+            .check(&[Value::Str("no".into()), Value::Str("x".into()), Value::Float(0.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let j = s().join(&Schema::new([("other", Ty::Date)]));
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.col("other"), Some(3));
+    }
+}

@@ -1,0 +1,181 @@
+//! Row codec: schema-driven binary encoding of tuples.
+//!
+//! Layout, per column in schema order:
+//! * `Int`   — 1 tag byte + 8 bytes LE (tag 0 = value, 1 = NULL),
+//! * `Float` — 1 tag byte + 8 bytes LE bits,
+//! * `Date`  — 1 tag byte + 4 bytes LE,
+//! * `Str`   — 1 tag byte + 2-byte length + bytes.
+//!
+//! Decoding borrows from the arena; the caller simulates the loads.
+
+use crate::schema::{Schema, Ty};
+use crate::value::Value;
+use crate::{Result, StorageError};
+
+/// An owned, decoded row.
+pub type Row = Vec<Value>;
+
+const TAG_VAL: u8 = 0;
+const TAG_NULL: u8 = 1;
+
+/// Encode `row` against `schema` into `out` (cleared first). Errors if the
+/// row does not match the schema or a string exceeds 64 KiB.
+pub fn encode_row(schema: &Schema, row: &[Value], out: &mut Vec<u8>) -> Result<()> {
+    schema.check(row)?;
+    out.clear();
+    for (col, v) in schema.columns.iter().zip(row) {
+        if matches!(v, Value::Null) {
+            out.push(TAG_NULL);
+            // Fixed-width columns keep their width so offsets stay simple.
+            match col.ty {
+                Ty::Int | Ty::Float => out.extend_from_slice(&[0; 8]),
+                Ty::Date => out.extend_from_slice(&[0; 4]),
+                Ty::Str => out.extend_from_slice(&[0; 2]),
+            }
+            continue;
+        }
+        out.push(TAG_VAL);
+        match (col.ty, v) {
+            (Ty::Int, Value::Int(x)) => out.extend_from_slice(&x.to_le_bytes()),
+            (Ty::Float, Value::Float(x)) => out.extend_from_slice(&x.to_le_bytes()),
+            (Ty::Date, Value::Date(x)) => out.extend_from_slice(&x.to_le_bytes()),
+            (Ty::Str, Value::Str(s)) => {
+                let len = u16::try_from(s.len())
+                    .map_err(|_| StorageError::Schema("string exceeds 64KiB"))?;
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            _ => return Err(StorageError::Schema("value/type mismatch")),
+        }
+    }
+    Ok(())
+}
+
+/// Decode a row encoded by [`encode_row`].
+pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Row> {
+    let mut row = Row::with_capacity(schema.arity());
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Result<&[u8]> {
+        let s = bytes.get(*off..*off + n).ok_or(StorageError::Corrupt("tuple truncated"))?;
+        *off += n;
+        Ok(s)
+    };
+    for col in &schema.columns {
+        let tag = take(&mut off, 1)?[0];
+        let null = match tag {
+            TAG_VAL => false,
+            TAG_NULL => true,
+            _ => return Err(StorageError::Corrupt("bad tuple tag")),
+        };
+        let v = match col.ty {
+            Ty::Int => {
+                let b: [u8; 8] = take(&mut off, 8)?.try_into().expect("fixed width");
+                if null { Value::Null } else { Value::Int(i64::from_le_bytes(b)) }
+            }
+            Ty::Float => {
+                let b: [u8; 8] = take(&mut off, 8)?.try_into().expect("fixed width");
+                if null { Value::Null } else { Value::Float(f64::from_le_bytes(b)) }
+            }
+            Ty::Date => {
+                let b: [u8; 4] = take(&mut off, 4)?.try_into().expect("fixed width");
+                if null { Value::Null } else { Value::Date(i32::from_le_bytes(b)) }
+            }
+            Ty::Str => {
+                let b: [u8; 2] = take(&mut off, 2)?.try_into().expect("fixed width");
+                let len = u16::from_le_bytes(b) as usize;
+                let s = take(&mut off, if null { 0 } else { len })?;
+                if null {
+                    Value::Null
+                } else {
+                    Value::Str(
+                        std::str::from_utf8(s)
+                            .map_err(|_| StorageError::Corrupt("non-utf8 string"))?
+                            .to_owned(),
+                    )
+                }
+            }
+        };
+        row.push(v);
+    }
+    if off != bytes.len() {
+        return Err(StorageError::Corrupt("trailing bytes after tuple"));
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("k", Ty::Int),
+            ("p", Ty::Float),
+            ("n", Ty::Str),
+            ("d", Ty::Date),
+        ])
+    }
+
+    fn roundtrip(row: Row) {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode_row(&s, &row, &mut buf).unwrap();
+        assert_eq!(decode_row(&s, &buf).unwrap(), row);
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        roundtrip(vec![
+            Value::Int(-5),
+            Value::Float(1.25),
+            Value::Str("héllo".into()),
+            Value::Date(19000),
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_nulls_everywhere() {
+        roundtrip(vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn roundtrip_empty_string() {
+        roundtrip(vec![Value::Int(0), Value::Float(0.0), Value::Str(String::new()), Value::Date(0)]);
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode_row(
+            &s,
+            &[Value::Int(1), Value::Float(2.0), Value::Str("abc".into()), Value::Date(3)],
+            &mut buf,
+        )
+        .unwrap();
+        buf.pop();
+        assert!(decode_row(&s, &buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode_row(
+            &s,
+            &[Value::Int(1), Value::Float(2.0), Value::Str("abc".into()), Value::Date(3)],
+            &mut buf,
+        )
+        .unwrap();
+        buf.push(0);
+        assert!(decode_row(&s, &buf).is_err());
+    }
+
+    #[test]
+    fn wrong_value_type_rejected_at_encode() {
+        let s = schema();
+        let mut buf = Vec::new();
+        let bad = vec![Value::Str("not an int".into()), Value::Float(0.0), Value::Str("x".into()), Value::Date(0)];
+        assert!(encode_row(&s, &bad, &mut buf).is_err());
+    }
+}

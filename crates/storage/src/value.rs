@@ -1,0 +1,181 @@
+//! Typed values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single column value.
+///
+/// The subset TPC-H needs: 64-bit integers (keys, quantities), floats
+/// (prices, discounts), short strings (names, flags, comments), and dates
+/// (days since 1970-01-01, which keeps date arithmetic integral).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Days since the epoch.
+    Date(i32),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Integer view (dates coerce; floats truncate). `None` for other types.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(v) => Some(*v as i64),
+            Value::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view (ints/dates coerce).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_float()?, b.as_float()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// A stable 64-bit hash (FxHash-style) for hash joins and group-by.
+    pub fn hash64(&self) -> u64 {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        fn mix(h: u64, w: u64) -> u64 {
+            (h.rotate_left(5) ^ w).wrapping_mul(K)
+        }
+        match self {
+            Value::Int(v) => mix(1, *v as u64),
+            Value::Date(v) => mix(2, *v as u64),
+            Value::Float(v) => mix(3, v.to_bits()),
+            Value::Null => mix(4, 0),
+            Value::Str(s) => {
+                let mut h = mix(5, s.len() as u64);
+                for chunk in s.as_bytes().chunks(8) {
+                    let mut w = [0u8; 8];
+                    w[..chunk.len()].copy_from_slice(chunk);
+                    h = mix(h, u64::from_le_bytes(w));
+                }
+                h
+            }
+        }
+    }
+
+    /// Equality for grouping: NULLs group together (SQL GROUP BY semantics),
+    /// unlike `sql_cmp`.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "@{d}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn null_compares_as_none_but_groups_with_null() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(
+            Value::Str("apple".into()).sql_cmp(&Value::Str("banana".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn int_and_string_are_incomparable() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Str("1".into())), None);
+    }
+
+    #[test]
+    fn accessor_views_reject_wrong_types() {
+        assert_eq!(Value::Str("5".into()).as_int(), None);
+        assert_eq!(Value::Null.as_float(), None);
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert_eq!(Value::Date(10).as_int(), Some(10));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+    }
+
+    #[test]
+    fn display_formats_every_variant() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+        assert_eq!(Value::Date(7).to_string(), "@7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert!(Value::Float(1.5).to_string().starts_with("1.5"));
+    }
+
+    #[test]
+    fn empty_string_and_null_hash_differently() {
+        assert_ne!(Value::Str(String::new()).hash64(), Value::Null.hash64());
+    }
+
+    #[test]
+    fn nan_float_compares_as_incomparable() {
+        assert_eq!(Value::Float(f64::NAN).sql_cmp(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        assert_eq!(Value::Int(42).hash64(), Value::Int(42).hash64());
+        assert_ne!(Value::Int(42).hash64(), Value::Int(43).hash64());
+        assert_ne!(Value::Str("a".into()).hash64(), Value::Str("b".into()).hash64());
+        // Int and Date with the same payload must not collide by type.
+        assert_ne!(Value::Int(7).hash64(), Value::Date(7).hash64());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # workloads — TPC-H-like data and queries, basic operations, CPU-bound
+//! kernels
+//!
+//! Everything §3 profiles:
+//!
+//! * [`tpch`] — a deterministic TPC-H-like generator (8 tables, scale
+//!   parameterised in "paper megabytes") and structurally representative
+//!   plans for all 22 queries,
+//! * [`basic`] — the 7 basic query operations of Fig. 6 (select,
+//!   projection, join, sort, group-by, table scan, index scan),
+//! * [`cpu2006`] — 9 synthetic kernels with the characteristic access and
+//!   compute mixes of the SPEC CPU2006 workloads in Fig. 10.
+//!
+//! All query workloads execute through the [`engines`] crate, so the same
+//! plan can be profiled on all three personalities.
+
+pub mod basic;
+pub mod cpu2006;
+pub mod tpch;
+
+pub use basic::BasicOp;
+pub use cpu2006::Cpu2006;
+pub use tpch::{build_tpch_db, TpchQuery, TpchScale};

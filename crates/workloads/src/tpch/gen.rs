@@ -1,0 +1,452 @@
+//! Deterministic TPC-H-like data generation.
+//!
+//! The generator is seeded, so every engine instance sees identical data —
+//! a precondition for the differential tests. Scale is expressed in "paper
+//! megabytes" (the paper runs 100 MB / 500 MB / 1 GB); the harnesses default
+//! to a reduced scale because the energy *distribution* is scale-invariant
+//! (the paper's own Fig. 8 finding — our Fig. 8 harness re-verifies it).
+
+use super::date;
+use engines::{Database, EngineKind, KnobLevel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simcore::Cpu;
+use storage::{Row, Schema, Ty, Value};
+
+/// Data volume in "paper megabytes".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchScale(pub f64);
+
+impl TpchScale {
+    /// The harness default: a reduced-scale stand-in for the paper's 100 MB
+    /// baseline (distribution-faithful, simulation-tractable).
+    pub fn baseline() -> TpchScale {
+        TpchScale(4.0)
+    }
+
+    /// Tiny scale for unit tests.
+    pub fn tiny() -> TpchScale {
+        TpchScale(0.5)
+    }
+
+    /// Lineitem row count at this scale (TPC-H SF0.1 ≈ 100 MB ≈ 600 k rows).
+    pub fn lineitem_rows(&self) -> u64 {
+        (self.0 * 6000.0) as u64
+    }
+
+    /// Orders row count (¼ of lineitem).
+    pub fn orders_rows(&self) -> u64 {
+        self.lineitem_rows() / 4
+    }
+
+    /// Customer row count.
+    pub fn customer_rows(&self) -> u64 {
+        (self.orders_rows() / 10).max(10)
+    }
+
+    /// Part row count.
+    pub fn part_rows(&self) -> u64 {
+        (self.lineitem_rows() / 30).max(20)
+    }
+
+    /// Supplier row count.
+    pub fn supplier_rows(&self) -> u64 {
+        (self.part_rows() / 20).max(5)
+    }
+
+    /// Partsupp row count.
+    pub fn partsupp_rows(&self) -> u64 {
+        self.part_rows() * 4
+    }
+}
+
+// Schemas --------------------------------------------------------------
+
+/// `region(r_regionkey, r_name)`
+pub fn schema_region() -> Schema {
+    Schema::new([("r_regionkey", Ty::Int), ("r_name", Ty::Str)])
+}
+
+/// `nation(n_nationkey, n_name, n_regionkey)`
+pub fn schema_nation() -> Schema {
+    Schema::new([("n_nationkey", Ty::Int), ("n_name", Ty::Str), ("n_regionkey", Ty::Int)])
+}
+
+/// `supplier(s_suppkey, s_name, s_nationkey, s_acctbal, s_comment)`
+pub fn schema_supplier() -> Schema {
+    Schema::new([
+        ("s_suppkey", Ty::Int),
+        ("s_name", Ty::Str),
+        ("s_nationkey", Ty::Int),
+        ("s_acctbal", Ty::Float),
+        ("s_comment", Ty::Str),
+    ])
+}
+
+/// `customer(c_custkey, c_name, c_nationkey, c_acctbal, c_mktsegment, c_phone)`
+pub fn schema_customer() -> Schema {
+    Schema::new([
+        ("c_custkey", Ty::Int),
+        ("c_name", Ty::Str),
+        ("c_nationkey", Ty::Int),
+        ("c_acctbal", Ty::Float),
+        ("c_mktsegment", Ty::Str),
+        ("c_phone", Ty::Str),
+    ])
+}
+
+/// `part(p_partkey, p_name, p_mfgr, p_brand, p_type, p_size, p_container, p_retailprice)`
+pub fn schema_part() -> Schema {
+    Schema::new([
+        ("p_partkey", Ty::Int),
+        ("p_name", Ty::Str),
+        ("p_mfgr", Ty::Str),
+        ("p_brand", Ty::Str),
+        ("p_type", Ty::Str),
+        ("p_size", Ty::Int),
+        ("p_container", Ty::Str),
+        ("p_retailprice", Ty::Float),
+    ])
+}
+
+/// `partsupp(ps_partkey, ps_suppkey, ps_availqty, ps_supplycost)`
+pub fn schema_partsupp() -> Schema {
+    Schema::new([
+        ("ps_partkey", Ty::Int),
+        ("ps_suppkey", Ty::Int),
+        ("ps_availqty", Ty::Int),
+        ("ps_supplycost", Ty::Float),
+    ])
+}
+
+/// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate,
+/// o_orderpriority, o_shippriority)`
+pub fn schema_orders() -> Schema {
+    Schema::new([
+        ("o_orderkey", Ty::Int),
+        ("o_custkey", Ty::Int),
+        ("o_orderstatus", Ty::Str),
+        ("o_totalprice", Ty::Float),
+        ("o_orderdate", Ty::Date),
+        ("o_orderpriority", Ty::Str),
+        ("o_shippriority", Ty::Int),
+    ])
+}
+
+/// `lineitem(l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity,
+/// l_extendedprice, l_discount, l_tax, l_returnflag, l_linestatus,
+/// l_shipdate, l_commitdate, l_receiptdate, l_shipmode)`
+pub fn schema_lineitem() -> Schema {
+    Schema::new([
+        ("l_orderkey", Ty::Int),
+        ("l_partkey", Ty::Int),
+        ("l_suppkey", Ty::Int),
+        ("l_linenumber", Ty::Int),
+        ("l_quantity", Ty::Float),
+        ("l_extendedprice", Ty::Float),
+        ("l_discount", Ty::Float),
+        ("l_tax", Ty::Float),
+        ("l_returnflag", Ty::Str),
+        ("l_linestatus", Ty::Str),
+        ("l_shipdate", Ty::Date),
+        ("l_commitdate", Ty::Date),
+        ("l_receiptdate", Ty::Date),
+        ("l_shipmode", Ty::Str),
+    ])
+}
+
+/// The five region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+/// The 25 nation names.
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+/// Market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+/// Ship modes.
+pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+/// Part type syllables.
+pub const TYPES: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Part containers.
+pub const CONTAINERS: [&str; 5] = ["SM CASE", "MED BOX", "LG BOX", "JUMBO PKG", "WRAP BAG"];
+
+fn pick<'a>(rng: &mut SmallRng, xs: &'a [&str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Short pseudo-comment text.
+fn comment_text(rng: &mut SmallRng, i: u64) -> String {
+    let words = ["carefully", "quickly", "final", "pending", "special", "ironic", "express"];
+    format!("{} {} deposits {}", pick(rng, &words), pick(rng, &words), i % 97)
+}
+
+/// Generate all eight tables at `scale` (deterministic for a fixed seed).
+pub struct TpchData {
+    /// region rows.
+    pub region: Vec<Row>,
+    /// nation rows.
+    pub nation: Vec<Row>,
+    /// supplier rows.
+    pub supplier: Vec<Row>,
+    /// customer rows.
+    pub customer: Vec<Row>,
+    /// part rows.
+    pub part: Vec<Row>,
+    /// partsupp rows.
+    pub partsupp: Vec<Row>,
+    /// orders rows.
+    pub orders: Vec<Row>,
+    /// lineitem rows.
+    pub lineitem: Vec<Row>,
+}
+
+/// Generate a dataset.
+pub fn generate(scale: TpchScale, seed: u64) -> TpchData {
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let region: Vec<Row> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, r)| vec![Value::Int(i as i64), Value::Str((*r).into())])
+        .collect();
+
+    let nation: Vec<Row> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            vec![Value::Int(i as i64), Value::Str((*n).into()), Value::Int((i % 5) as i64)]
+        })
+        .collect();
+
+    let n_supp = scale.supplier_rows();
+    let supplier: Vec<Row> = (0..n_supp)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("Supplier#{i:06}")),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Float(rng.gen_range(-999.0..9999.0)),
+                Value::Str(comment_text(&mut rng, i)),
+            ]
+        })
+        .collect();
+
+    let n_cust = scale.customer_rows();
+    let customer: Vec<Row> = (0..n_cust)
+        .map(|i| {
+            let nat = rng.gen_range(0..25i64);
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("Customer#{i:08}")),
+                Value::Int(nat),
+                Value::Float(rng.gen_range(-999.0..9999.0)),
+                Value::Str(pick(&mut rng, &SEGMENTS).into()),
+                Value::Str(format!("{}-{:03}-{:04}", 10 + nat, i % 1000, i % 10000)),
+            ]
+        })
+        .collect();
+
+    let n_part = scale.part_rows();
+    let part: Vec<Row> = (0..n_part)
+        .map(|i| {
+            let ty = format!(
+                "{} {} {}",
+                pick(&mut rng, &TYPES),
+                pick(&mut rng, &["ANODIZED", "BURNISHED", "PLATED", "POLISHED"]),
+                pick(&mut rng, &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]),
+            );
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("part {} {}", pick(&mut rng, &["green", "blue", "red", "ivory", "forest"]), i)),
+                Value::Str(format!("Manufacturer#{}", 1 + i % 5)),
+                Value::Str(format!("Brand#{}{}", 1 + i % 5, 1 + (i / 5) % 5)),
+                Value::Str(ty),
+                Value::Int(rng.gen_range(1..=50)),
+                Value::Str(pick(&mut rng, &CONTAINERS).into()),
+                Value::Float(900.0 + (i % 1000) as f64),
+            ]
+        })
+        .collect();
+
+    let partsupp: Vec<Row> = (0..scale.partsupp_rows())
+        .map(|i| {
+            vec![
+                Value::Int((i / 4) as i64),
+                Value::Int(((i * 7 + i / 4) % n_supp.max(1)) as i64),
+                Value::Int(rng.gen_range(1..10000)),
+                Value::Float(rng.gen_range(1.0..1000.0)),
+            ]
+        })
+        .collect();
+
+    let epoch_lo = date(1992, 1, 1);
+    let epoch_hi = date(1998, 8, 2);
+    let n_orders = scale.orders_rows();
+    let mut orders: Vec<Row> = Vec::with_capacity(n_orders as usize);
+    let mut lineitem: Vec<Row> = Vec::with_capacity(scale.lineitem_rows() as usize);
+    for o in 0..n_orders {
+        let odate = rng.gen_range(epoch_lo..epoch_hi);
+        let status = if odate < date(1995, 6, 17) { "F" } else { "O" };
+        orders.push(vec![
+            Value::Int(o as i64),
+            Value::Int(rng.gen_range(0..n_cust.max(1)) as i64),
+            Value::Str(status.into()),
+            Value::Float(rng.gen_range(850.0..550_000.0)),
+            Value::Date(odate),
+            Value::Str(pick(&mut rng, &PRIORITIES).into()),
+            Value::Int(0),
+        ]);
+        let lines = rng.gen_range(1..=7).min(
+            (scale.lineitem_rows() as i64 - lineitem.len() as i64).max(0),
+        );
+        for ln in 0..lines {
+            let ship = odate + rng.gen_range(1..122);
+            let commit = odate + rng.gen_range(30..91);
+            let receipt = ship + rng.gen_range(1..31);
+            let qty = rng.gen_range(1..=50) as f64;
+            let price = qty * rng.gen_range(900.0..2000.0);
+            lineitem.push(vec![
+                Value::Int(o as i64),
+                Value::Int(rng.gen_range(0..n_part.max(1)) as i64),
+                Value::Int(rng.gen_range(0..n_supp.max(1)) as i64),
+                Value::Int(ln),
+                Value::Float(qty),
+                Value::Float(price),
+                Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
+                Value::Float((rng.gen_range(0..=8) as f64) / 100.0),
+                Value::Str(
+                    if receipt <= date(1995, 6, 17) {
+                        if rng.gen_bool(0.5) { "R" } else { "A" }
+                    } else {
+                        "N"
+                    }
+                    .into(),
+                ),
+                Value::Str(if ship > date(1995, 6, 17) { "O" } else { "F" }.into()),
+                Value::Date(ship),
+                Value::Date(commit),
+                Value::Date(receipt),
+                Value::Str(pick(&mut rng, &MODES).into()),
+            ]);
+        }
+    }
+
+    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+}
+
+/// Build a fully loaded and indexed database for one engine.
+///
+/// Cluster keys and secondary indexes follow common practice for TPC-H:
+/// every table clusters on its first key; orders gets `o_custkey` +
+/// `o_orderdate` secondaries, lineitem gets `l_shipdate` + `l_partkey` +
+/// `l_suppkey`, customer/supplier get their nation keys.
+pub fn build_tpch_db(
+    cpu: &mut Cpu,
+    kind: EngineKind,
+    level: KnobLevel,
+    scale: TpchScale,
+) -> storage::Result<Database> {
+    let data = generate(scale, 0x7c_b0_55);
+    let mut db = Database::new(kind, level);
+    db.create_table("region", schema_region(), Some("r_regionkey"))?;
+    db.create_table("nation", schema_nation(), Some("n_nationkey"))?;
+    db.create_table("supplier", schema_supplier(), Some("s_suppkey"))?;
+    db.create_table("customer", schema_customer(), Some("c_custkey"))?;
+    db.create_table("part", schema_part(), Some("p_partkey"))?;
+    db.create_table("partsupp", schema_partsupp(), Some("ps_partkey"))?;
+    db.create_table("orders", schema_orders(), Some("o_orderkey"))?;
+    db.create_table("lineitem", schema_lineitem(), Some("l_orderkey"))?;
+
+    db.load_rows(cpu, "region", data.region)?;
+    db.load_rows(cpu, "nation", data.nation)?;
+    db.load_rows(cpu, "supplier", data.supplier)?;
+    db.load_rows(cpu, "customer", data.customer)?;
+    db.load_rows(cpu, "part", data.part)?;
+    db.load_rows(cpu, "partsupp", data.partsupp)?;
+    db.load_rows(cpu, "orders", data.orders)?;
+    db.load_rows(cpu, "lineitem", data.lineitem)?;
+
+    db.create_index(cpu, "orders", "o_custkey")?;
+    db.create_index(cpu, "orders", "o_orderdate")?;
+    db.create_index(cpu, "lineitem", "l_shipdate")?;
+    db.create_index(cpu, "lineitem", "l_partkey")?;
+    db.create_index(cpu, "lineitem", "l_suppkey")?;
+    db.create_index(cpu, "customer", "c_nationkey")?;
+    db.create_index(cpu, "supplier", "s_nationkey")?;
+    db.create_index(cpu, "partsupp", "ps_suppkey")?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ArchConfig;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TpchScale::tiny(), 1);
+        let b = generate(TpchScale::tiny(), 1);
+        assert_eq!(a.lineitem.len(), b.lineitem.len());
+        assert_eq!(a.lineitem[0], b.lineitem[0]);
+        assert_eq!(a.customer[3], b.customer[3]);
+        let c = generate(TpchScale::tiny(), 2);
+        assert_ne!(a.lineitem[0], c.lineitem[0]);
+    }
+
+    #[test]
+    fn row_counts_follow_ratios() {
+        let s = TpchScale(2.0);
+        let d = generate(s, 0);
+        assert_eq!(d.region.len(), 5);
+        assert_eq!(d.nation.len(), 25);
+        assert_eq!(d.orders.len() as u64, s.orders_rows());
+        let li = d.lineitem.len() as f64 / d.orders.len() as f64;
+        assert!(li > 3.0 && li < 5.0, "lines per order {li}");
+    }
+
+    #[test]
+    fn rows_satisfy_schemas() {
+        let d = generate(TpchScale::tiny(), 0);
+        for r in &d.lineitem {
+            schema_lineitem().check(r).unwrap();
+        }
+        for r in &d.orders {
+            schema_orders().check(r).unwrap();
+        }
+        for r in &d.part {
+            schema_part().check(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn lineitem_dates_are_consistent() {
+        let d = generate(TpchScale::tiny(), 0);
+        let s = schema_lineitem();
+        let (ship, commit, receipt) =
+            (s.col_expect("l_shipdate"), s.col_expect("l_commitdate"), s.col_expect("l_receiptdate"));
+        for r in &d.lineitem {
+            let sd = r[ship].as_int().unwrap();
+            let rd = r[receipt].as_int().unwrap();
+            assert!(rd > sd, "receipt after ship");
+            assert!(r[commit].as_int().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn build_loads_all_tables_with_indexes() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let db = build_tpch_db(&mut cpu, EngineKind::Lite, KnobLevel::Baseline, TpchScale::tiny())
+            .unwrap();
+        let li = db.catalog.table("lineitem").unwrap();
+        assert!(li.heap.len() > 1000);
+        assert!(li.pk_index.is_some());
+        assert_eq!(li.secondary.len(), 3);
+        assert!(db.catalog.table("orders").unwrap().secondary.len() == 2);
+    }
+}

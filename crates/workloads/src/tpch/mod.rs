@@ -1,0 +1,35 @@
+//! TPC-H-like schema, data and queries.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{build_tpch_db, TpchScale};
+pub use queries::TpchQuery;
+
+/// Convert a civil date to days since 1970-01-01 (proleptic Gregorian).
+pub fn date(y: i32, m: u32, d: u32) -> i32 {
+    // Howard Hinnant's days_from_civil.
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_conversion_anchors() {
+        assert_eq!(date(1970, 1, 1), 0);
+        assert_eq!(date(1970, 1, 2), 1);
+        assert_eq!(date(1992, 1, 1), 8035);
+        assert_eq!(date(1998, 12, 1), 10561);
+        // Leap handling.
+        assert_eq!(date(1996, 3, 1) - date(1996, 2, 28), 2);
+        assert_eq!(date(1997, 3, 1) - date(1997, 2, 28), 1);
+    }
+}

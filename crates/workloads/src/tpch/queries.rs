@@ -1,0 +1,913 @@
+//! Structurally representative plans for the 22 TPC-H queries.
+//!
+//! Each plan preserves the access pattern that matters for energy profiling
+//! — which tables are scanned, which joins chase indexes, where grouping and
+//! sorting happen — while simplifying SQL features our engines don't model
+//! (correlated subqueries become joins/aggregations, `HAVING` becomes
+//! top-N, `LEFT JOIN` becomes inner). Every simplification is the same for
+//! all three engines, so differential correctness still holds, and the
+//! workload mix (scan-heavy vs. join-heavy vs. aggregate-heavy) mirrors the
+//! original suite. EXPERIMENTS.md lists the simplifications.
+
+use super::date;
+use super::gen::{
+    schema_customer, schema_lineitem, schema_nation, schema_orders, schema_part,
+    schema_partsupp, schema_region, schema_supplier,
+};
+use engines::Plan;
+use storage::{AggFn, AggSpec, BinOp, CmpOp, Expr, Value};
+
+/// One of the 22 queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TpchQuery(pub u8);
+
+impl TpchQuery {
+    /// All queries Q1..Q22.
+    pub fn all() -> impl Iterator<Item = TpchQuery> {
+        (1..=22).map(TpchQuery)
+    }
+
+    /// Display name (`Q1`..`Q22`).
+    pub fn name(&self) -> String {
+        format!("Q{}", self.0)
+    }
+
+    /// Build the logical plan.
+    pub fn plan(&self) -> Plan {
+        match self.0 {
+            1 => q1(),
+            2 => q2(),
+            3 => q3(),
+            4 => q4(),
+            5 => q5(),
+            6 => q6(),
+            7 => q7(),
+            8 => q8(),
+            9 => q9(),
+            10 => q10(),
+            11 => q11(),
+            12 => q12(),
+            13 => q13(),
+            14 => q14(),
+            15 => q15(),
+            16 => q16(),
+            17 => q17(),
+            18 => q18(),
+            19 => q19(),
+            20 => q20(),
+            21 => q21(),
+            22 => q22(),
+            n => panic!("no such TPC-H query: Q{n}"),
+        }
+    }
+}
+
+// Column-index helpers (resolved once per builder call; plans are built once
+// per experiment, never in inner loops).
+fn li(c: &str) -> usize {
+    schema_lineitem().col_expect(c)
+}
+fn ord(c: &str) -> usize {
+    schema_orders().col_expect(c)
+}
+fn cust(c: &str) -> usize {
+    schema_customer().col_expect(c)
+}
+fn supp(c: &str) -> usize {
+    schema_supplier().col_expect(c)
+}
+fn part_(c: &str) -> usize {
+    schema_part().col_expect(c)
+}
+fn ps(c: &str) -> usize {
+    schema_partsupp().col_expect(c)
+}
+fn nat(c: &str) -> usize {
+    schema_nation().col_expect(c)
+}
+fn reg(c: &str) -> usize {
+    schema_region().col_expect(c)
+}
+
+const LI_W: usize = 14;
+const ORD_W: usize = 7;
+const CUST_W: usize = 6;
+const SUPP_W: usize = 5;
+const PART_W: usize = 8;
+const PS_W: usize = 4;
+const NAT_W: usize = 3;
+
+fn c(i: usize) -> Expr {
+    Expr::col(i)
+}
+fn eq_str(col: usize, s: &str) -> Expr {
+    Expr::cmp(CmpOp::Eq, c(col), Expr::Lit(Value::Str(s.into())))
+}
+fn date_lit(d: i32) -> Expr {
+    Expr::Lit(Value::Date(d))
+}
+fn revenue(extprice: usize, discount: usize) -> Expr {
+    // l_extendedprice * (1 - l_discount)
+    Expr::Bin(
+        BinOp::Mul,
+        Box::new(c(extprice)),
+        Box::new(Expr::Bin(BinOp::Sub, Box::new(Expr::float(1.0)), Box::new(c(discount)))),
+    )
+}
+/// Approximate `EXTRACT(YEAR FROM d)` on day-since-epoch dates: integer
+/// division by 365.25 is identical for every engine, which is all the
+/// grouping needs.
+fn year_of(col: usize) -> Expr {
+    Expr::Bin(BinOp::Div, Box::new(c(col)), Box::new(Expr::int(365)))
+}
+
+/// Q1 — pricing summary report: one full lineitem scan, wide aggregation.
+fn q1() -> Plan {
+    let filter = Expr::cmp(CmpOp::Le, c(li("l_shipdate")), date_lit(date(1998, 9, 2)));
+    Plan::scan_where("lineitem", filter)
+        .aggregate(
+            vec![li("l_returnflag"), li("l_linestatus")],
+            vec![
+                AggSpec::over(AggFn::Sum, c(li("l_quantity"))),
+                AggSpec::over(AggFn::Sum, c(li("l_extendedprice"))),
+                AggSpec::over(AggFn::Sum, revenue(li("l_extendedprice"), li("l_discount"))),
+                AggSpec::over(
+                    AggFn::Sum,
+                    Expr::Bin(
+                        BinOp::Mul,
+                        Box::new(revenue(li("l_extendedprice"), li("l_discount"))),
+                        Box::new(Expr::Bin(
+                            BinOp::Add,
+                            Box::new(Expr::float(1.0)),
+                            Box::new(c(li("l_tax"))),
+                        )),
+                    ),
+                ),
+                AggSpec::over(AggFn::Avg, c(li("l_quantity"))),
+                AggSpec::over(AggFn::Avg, c(li("l_extendedprice"))),
+                AggSpec::over(AggFn::Avg, c(li("l_discount"))),
+                AggSpec::count_star(),
+            ],
+        )
+        .sort(vec![(0, false), (1, false)])
+}
+
+/// Q2 — minimum-cost supplier (simplified: the correlated min becomes a
+/// deep join chain + top-N by account balance).
+fn q2() -> Plan {
+    let part = Plan::scan_where(
+        "part",
+        Expr::and_all([
+            Expr::cmp(CmpOp::Eq, c(part_("p_size")), Expr::int(15)),
+            Expr::Contains(Box::new(c(part_("p_type"))), "BRASS".into()),
+        ]),
+    );
+    let o_ps = PART_W;
+    let o_su = o_ps + PS_W;
+    let o_na = o_su + SUPP_W;
+    let o_re = o_na + NAT_W;
+    Plan::Join {
+        left: Box::new(
+            part.join(Plan::scan("partsupp"), part_("p_partkey"), ps("ps_partkey"))
+                .join(Plan::scan("supplier"), o_ps + ps("ps_suppkey"), supp("s_suppkey"))
+                .join(Plan::scan("nation"), o_su + supp("s_nationkey"), nat("n_nationkey")),
+        ),
+        right: Box::new(Plan::scan("region")),
+        left_col: o_na + nat("n_regionkey"),
+        right_col: reg("r_regionkey"),
+        filter: Some(eq_str(o_re + reg("r_name"), "EUROPE")),
+        project: Some(vec![
+            c(o_su + supp("s_acctbal")),
+            c(o_su + supp("s_name")),
+            c(o_na + nat("n_name")),
+            c(part_("p_partkey")),
+            c(part_("p_mfgr")),
+            c(o_ps + ps("ps_supplycost")),
+        ]),
+    }
+    .top_n(vec![(0, true), (2, false), (1, false), (3, false)], 100)
+}
+
+/// Q3 — shipping priority: customer ⋈ orders ⋈ lineitem, group, top 10.
+fn q3() -> Plan {
+    let o_or = CUST_W;
+    let o_li = o_or + ORD_W;
+    let cutoff = date(1995, 3, 15);
+    Plan::Join {
+        left: Box::new(Plan::Join {
+            left: Box::new(Plan::scan_where(
+                "customer",
+                eq_str(cust("c_mktsegment"), "BUILDING"),
+            )),
+            right: Box::new(Plan::scan("orders")),
+            left_col: cust("c_custkey"),
+            right_col: ord("o_custkey"),
+            filter: Some(Expr::cmp(CmpOp::Lt, c(o_or + ord("o_orderdate")), date_lit(cutoff))),
+            project: None,
+        }),
+        right: Box::new(Plan::scan("lineitem")),
+        left_col: o_or + ord("o_orderkey"),
+        right_col: li("l_orderkey"),
+        filter: Some(Expr::cmp(CmpOp::Gt, c(o_li + li("l_shipdate")), date_lit(cutoff))),
+        project: None,
+    }
+    .aggregate(
+        vec![o_or + ord("o_orderkey"), o_or + ord("o_orderdate"), o_or + ord("o_shippriority")],
+        vec![AggSpec::over(
+            AggFn::Sum,
+            revenue(o_li + li("l_extendedprice"), o_li + li("l_discount")),
+        )],
+    )
+    .top_n(vec![(3, true), (1, false)], 10)
+}
+
+/// Q4 — order-priority checking (the `EXISTS` becomes a join on late
+/// lineitems; counts are per-match rather than per-order for every engine).
+fn q4() -> Plan {
+    let o_li = ORD_W;
+    Plan::Join {
+        left: Box::new(Plan::scan_where(
+            "orders",
+            Expr::Between(
+                Box::new(c(ord("o_orderdate"))),
+                Value::Date(date(1993, 7, 1)),
+                Value::Date(date(1993, 9, 30)),
+            ),
+        )),
+        right: Box::new(Plan::scan("lineitem")),
+        left_col: ord("o_orderkey"),
+        right_col: li("l_orderkey"),
+        filter: Some(Expr::cmp(
+            CmpOp::Lt,
+            c(o_li + li("l_commitdate")),
+            c(o_li + li("l_receiptdate")),
+        )),
+        project: None,
+    }
+    .aggregate(vec![ord("o_orderpriority")], vec![AggSpec::count_star()])
+    .sort(vec![(0, false)])
+}
+
+/// Q5 — local supplier volume: six-table join, group by nation.
+fn q5() -> Plan {
+    let o_or = CUST_W;
+    let o_li = o_or + ORD_W;
+    let o_su = o_li + LI_W;
+    let o_na = o_su + SUPP_W;
+    let o_re = o_na + NAT_W;
+    Plan::Join {
+        left: Box::new(Plan::Join {
+            left: Box::new(Plan::Join {
+                left: Box::new(Plan::Join {
+                    left: Box::new(Plan::Join {
+                        left: Box::new(Plan::scan("customer")),
+                        right: Box::new(Plan::scan("orders")),
+                        left_col: cust("c_custkey"),
+                        right_col: ord("o_custkey"),
+                        filter: Some(Expr::Between(
+                            Box::new(c(o_or + ord("o_orderdate"))),
+                            Value::Date(date(1994, 1, 1)),
+                            Value::Date(date(1994, 12, 31)),
+                        )),
+                        project: None,
+                    }),
+                    right: Box::new(Plan::scan("lineitem")),
+                    left_col: o_or + ord("o_orderkey"),
+                    right_col: li("l_orderkey"),
+                    filter: None,
+                    project: None,
+                }),
+                right: Box::new(Plan::scan("supplier")),
+                left_col: o_li + li("l_suppkey"),
+                right_col: supp("s_suppkey"),
+                // Local suppliers only: customer and supplier nations match.
+                filter: Some(Expr::cmp(
+                    CmpOp::Eq,
+                    c(cust("c_nationkey")),
+                    c(o_su + supp("s_nationkey")),
+                )),
+                project: None,
+            }),
+            right: Box::new(Plan::scan("nation")),
+            left_col: o_su + supp("s_nationkey"),
+            right_col: nat("n_nationkey"),
+            filter: None,
+            project: None,
+        }),
+        right: Box::new(Plan::scan("region")),
+        left_col: o_na + nat("n_regionkey"),
+        right_col: reg("r_regionkey"),
+        filter: Some(eq_str(o_re + reg("r_name"), "ASIA")),
+        project: None,
+    }
+    .aggregate(
+        vec![o_na + nat("n_name")],
+        vec![AggSpec::over(
+            AggFn::Sum,
+            revenue(o_li + li("l_extendedprice"), o_li + li("l_discount")),
+        )],
+    )
+    .sort(vec![(1, true)])
+}
+
+/// Q6 — forecasting revenue change: pure scan + scalar aggregate.
+fn q6() -> Plan {
+    Plan::scan_where(
+        "lineitem",
+        Expr::and_all([
+            Expr::Between(
+                Box::new(c(li("l_shipdate"))),
+                Value::Date(date(1994, 1, 1)),
+                Value::Date(date(1994, 12, 31)),
+            ),
+            Expr::Between(Box::new(c(li("l_discount"))), Value::Float(0.05), Value::Float(0.07)),
+            Expr::cmp(CmpOp::Lt, c(li("l_quantity")), Expr::float(24.0)),
+        ]),
+    )
+    .aggregate(
+        vec![],
+        vec![AggSpec::over(
+            AggFn::Sum,
+            Expr::Bin(BinOp::Mul, Box::new(c(li("l_extendedprice"))), Box::new(c(li("l_discount")))),
+        )],
+    )
+}
+
+/// Q7 — volume shipping between two nations, grouped by year.
+fn q7() -> Plan {
+    let o_li = SUPP_W;
+    let o_or = o_li + LI_W;
+    let o_cu = o_or + ORD_W;
+    let o_n1 = o_cu + CUST_W;
+    let o_n2 = o_n1 + NAT_W;
+    let fr_de = Expr::And(
+        Box::new(eq_str(o_n1 + nat("n_name"), "FRANCE")),
+        Box::new(eq_str(o_n2 + nat("n_name"), "GERMANY")),
+    );
+    let de_fr = Expr::And(
+        Box::new(eq_str(o_n1 + nat("n_name"), "GERMANY")),
+        Box::new(eq_str(o_n2 + nat("n_name"), "FRANCE")),
+    );
+    Plan::Join {
+        left: Box::new(
+            Plan::scan("supplier")
+                .join(Plan::scan("lineitem"), supp("s_suppkey"), li("l_suppkey"))
+                .join(Plan::scan("orders"), o_li + li("l_orderkey"), ord("o_orderkey"))
+                .join(Plan::scan("customer"), o_or + ord("o_custkey"), cust("c_custkey"))
+                .join(Plan::scan("nation"), supp("s_nationkey"), nat("n_nationkey")),
+        ),
+        right: Box::new(Plan::scan("nation")),
+        left_col: o_cu + cust("c_nationkey"),
+        right_col: nat("n_nationkey"),
+        filter: Some(Expr::and_all([
+            Expr::Or(Box::new(fr_de), Box::new(de_fr)),
+            Expr::Between(
+                Box::new(c(o_li + li("l_shipdate"))),
+                Value::Date(date(1995, 1, 1)),
+                Value::Date(date(1996, 12, 31)),
+            ),
+        ])),
+        project: Some(vec![
+            c(o_n1 + nat("n_name")),
+            c(o_n2 + nat("n_name")),
+            year_of(o_li + li("l_shipdate")),
+            revenue(o_li + li("l_extendedprice"), o_li + li("l_discount")),
+        ]),
+    }
+    .aggregate(vec![0, 1, 2], vec![AggSpec::over(AggFn::Sum, c(3))])
+    .sort(vec![(0, false), (1, false), (2, false)])
+}
+
+/// Q8 — national market share within a region, by year.
+fn q8() -> Plan {
+    let o_li = PART_W;
+    let o_or = o_li + LI_W;
+    let o_cu = o_or + ORD_W;
+    let o_n1 = o_cu + CUST_W;
+    let o_re = o_n1 + NAT_W;
+    let o_su = o_re + 2;
+    let o_n2 = o_su + SUPP_W;
+    let volume = revenue(o_li + li("l_extendedprice"), o_li + li("l_discount"));
+    let is_brazil = eq_str(o_n2 + nat("n_name"), "BRAZIL");
+    Plan::Join {
+        left: Box::new(
+            Plan::Join {
+                left: Box::new(
+                    Plan::scan_where(
+                        "part",
+                        Expr::Contains(Box::new(c(part_("p_type"))), "ECONOMY".into()),
+                    )
+                    .join(Plan::scan("lineitem"), part_("p_partkey"), li("l_partkey"))
+                    .join(Plan::scan("orders"), o_li + li("l_orderkey"), ord("o_orderkey"))
+                    .join(Plan::scan("customer"), o_or + ord("o_custkey"), cust("c_custkey"))
+                    .join(Plan::scan("nation"), o_cu + cust("c_nationkey"), nat("n_nationkey")),
+                ),
+                right: Box::new(Plan::scan("region")),
+                left_col: o_n1 + nat("n_regionkey"),
+                right_col: reg("r_regionkey"),
+                filter: Some(Expr::and_all([
+                    eq_str(o_re + reg("r_name"), "AMERICA"),
+                    Expr::Between(
+                        Box::new(c(o_or + ord("o_orderdate"))),
+                        Value::Date(date(1995, 1, 1)),
+                        Value::Date(date(1996, 12, 31)),
+                    ),
+                ])),
+                project: None,
+            }
+            .join(Plan::scan("supplier"), o_li + li("l_suppkey"), supp("s_suppkey")),
+        ),
+        right: Box::new(Plan::scan("nation")),
+        left_col: o_su + supp("s_nationkey"),
+        right_col: nat("n_nationkey"),
+        filter: None,
+        project: Some(vec![
+            year_of(o_or + ord("o_orderdate")),
+            Expr::Bin(BinOp::Mul, Box::new(volume.clone()), Box::new(is_brazil)),
+            volume,
+        ]),
+    }
+    .aggregate(
+        vec![0],
+        vec![AggSpec::over(AggFn::Sum, c(1)), AggSpec::over(AggFn::Sum, c(2))],
+    )
+    .sort(vec![(0, false)])
+}
+
+/// Q9 — product-type profit measure, by nation and year.
+fn q9() -> Plan {
+    let o_li = PART_W;
+    let o_su = o_li + LI_W;
+    let o_ps = o_su + SUPP_W;
+    let o_or = o_ps + PS_W;
+    let o_na = o_or + ORD_W;
+    let amount = Expr::Bin(
+        BinOp::Sub,
+        Box::new(revenue(o_li + li("l_extendedprice"), o_li + li("l_discount"))),
+        Box::new(Expr::Bin(
+            BinOp::Mul,
+            Box::new(c(o_ps + ps("ps_supplycost"))),
+            Box::new(c(o_li + li("l_quantity"))),
+        )),
+    );
+    Plan::Join {
+        left: Box::new(
+            Plan::Join {
+                left: Box::new(
+                    Plan::scan_where(
+                        "part",
+                        Expr::Contains(Box::new(c(part_("p_name"))), "green".into()),
+                    )
+                    .join(Plan::scan("lineitem"), part_("p_partkey"), li("l_partkey"))
+                    .join(Plan::scan("supplier"), o_li + li("l_suppkey"), supp("s_suppkey")),
+                ),
+                right: Box::new(Plan::scan("partsupp")),
+                left_col: part_("p_partkey"),
+                right_col: ps("ps_partkey"),
+                // Match the partsupp row of this line's supplier.
+                filter: Some(Expr::cmp(
+                    CmpOp::Eq,
+                    c(o_ps + ps("ps_suppkey")),
+                    c(o_li + li("l_suppkey")),
+                )),
+                project: None,
+            }
+            .join(Plan::scan("orders"), o_li + li("l_orderkey"), ord("o_orderkey")),
+        ),
+        right: Box::new(Plan::scan("nation")),
+        left_col: o_su + supp("s_nationkey"),
+        right_col: nat("n_nationkey"),
+        filter: None,
+        project: Some(vec![c(o_na + nat("n_name")), year_of(o_or + ord("o_orderdate")), amount]),
+    }
+    .aggregate(vec![0, 1], vec![AggSpec::over(AggFn::Sum, c(2))])
+    .sort(vec![(0, false), (1, true)])
+}
+
+/// Q10 — returned-item reporting: customer ⋈ orders ⋈ lineitem ⋈ nation.
+fn q10() -> Plan {
+    let o_or = CUST_W;
+    let o_li = o_or + ORD_W;
+    let o_na = o_li + LI_W;
+    Plan::Join {
+        left: Box::new(Plan::Join {
+            left: Box::new(Plan::Join {
+                left: Box::new(Plan::scan("customer")),
+                right: Box::new(Plan::scan("orders")),
+                left_col: cust("c_custkey"),
+                right_col: ord("o_custkey"),
+                filter: Some(Expr::Between(
+                    Box::new(c(o_or + ord("o_orderdate"))),
+                    Value::Date(date(1993, 10, 1)),
+                    Value::Date(date(1993, 12, 31)),
+                )),
+                project: None,
+            }),
+            right: Box::new(Plan::scan("lineitem")),
+            left_col: o_or + ord("o_orderkey"),
+            right_col: li("l_orderkey"),
+            filter: Some(eq_str(o_li + li("l_returnflag"), "R")),
+            project: None,
+        }),
+        right: Box::new(Plan::scan("nation")),
+        left_col: cust("c_nationkey"),
+        right_col: nat("n_nationkey"),
+        filter: None,
+        project: None,
+    }
+    .aggregate(
+        vec![
+            cust("c_custkey"),
+            cust("c_name"),
+            cust("c_acctbal"),
+            o_na + nat("n_name"),
+            cust("c_phone"),
+        ],
+        vec![AggSpec::over(
+            AggFn::Sum,
+            revenue(o_li + li("l_extendedprice"), o_li + li("l_discount")),
+        )],
+    )
+    .top_n(vec![(5, true)], 20)
+}
+
+/// Q11 — important stock identification in one nation.
+fn q11() -> Plan {
+    let o_su = NAT_W;
+    let o_ps = o_su + SUPP_W;
+    Plan::scan_where("nation", eq_str(nat("n_name"), "GERMANY"))
+        .join(Plan::scan("supplier"), nat("n_nationkey"), supp("s_nationkey"))
+        .join(Plan::scan("partsupp"), o_su + supp("s_suppkey"), ps("ps_suppkey"))
+        .aggregate(
+            vec![o_ps + ps("ps_partkey")],
+            vec![AggSpec::over(
+                AggFn::Sum,
+                Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(c(o_ps + ps("ps_supplycost"))),
+                    Box::new(c(o_ps + ps("ps_availqty"))),
+                ),
+            )],
+        )
+        .top_n(vec![(1, true)], 100)
+}
+
+/// Q12 — shipping modes and order priority.
+fn q12() -> Plan {
+    let o_li = ORD_W;
+    let high = Expr::Or(
+        Box::new(eq_str(ord("o_orderpriority"), "1-URGENT")),
+        Box::new(eq_str(ord("o_orderpriority"), "2-HIGH")),
+    );
+    let low = Expr::Not(Box::new(high.clone()));
+    Plan::Join {
+        left: Box::new(Plan::scan("orders")),
+        right: Box::new(Plan::scan("lineitem")),
+        left_col: ord("o_orderkey"),
+        right_col: li("l_orderkey"),
+        filter: Some(Expr::and_all([
+            Expr::InList(
+                Box::new(c(o_li + li("l_shipmode"))),
+                vec![Value::Str("MAIL".into()), Value::Str("SHIP".into())],
+            ),
+            Expr::cmp(CmpOp::Lt, c(o_li + li("l_commitdate")), c(o_li + li("l_receiptdate"))),
+            Expr::cmp(CmpOp::Lt, c(o_li + li("l_shipdate")), c(o_li + li("l_commitdate"))),
+            Expr::Between(
+                Box::new(c(o_li + li("l_receiptdate"))),
+                Value::Date(date(1994, 1, 1)),
+                Value::Date(date(1994, 12, 31)),
+            ),
+        ])),
+        project: Some(vec![c(o_li + li("l_shipmode")), high, low]),
+    }
+    .aggregate(
+        vec![0],
+        vec![AggSpec::over(AggFn::Sum, c(1)), AggSpec::over(AggFn::Sum, c(2))],
+    )
+    .sort(vec![(0, false)])
+}
+
+/// Q13 — customer distribution (inner join stands in for the left join; the
+/// zero-order bucket is absent for every engine alike).
+fn q13() -> Plan {
+    Plan::scan("customer")
+        .join(Plan::scan("orders"), cust("c_custkey"), ord("o_custkey"))
+        .aggregate(vec![cust("c_custkey")], vec![AggSpec::count_star()])
+        .aggregate(vec![1], vec![AggSpec::count_star()])
+        .sort(vec![(1, true), (0, true)])
+}
+
+/// Q14 — promotion effect: lineitem ⋈ part, two conditional sums.
+fn q14() -> Plan {
+    let o_pa = LI_W;
+    let promo = Expr::StartsWith(Box::new(c(o_pa + part_("p_type"))), "PROMO".into());
+    let rev = revenue(li("l_extendedprice"), li("l_discount"));
+    Plan::Join {
+        left: Box::new(Plan::scan_where(
+            "lineitem",
+            Expr::Between(
+                Box::new(c(li("l_shipdate"))),
+                Value::Date(date(1995, 9, 1)),
+                Value::Date(date(1995, 9, 30)),
+            ),
+        )),
+        right: Box::new(Plan::scan("part")),
+        left_col: li("l_partkey"),
+        right_col: part_("p_partkey"),
+        filter: None,
+        project: Some(vec![
+            Expr::Bin(BinOp::Mul, Box::new(rev.clone()), Box::new(promo)),
+            rev,
+        ]),
+    }
+    .aggregate(vec![], vec![AggSpec::over(AggFn::Sum, c(0)), AggSpec::over(AggFn::Sum, c(1))])
+    .project(vec![Expr::Bin(
+        BinOp::Mul,
+        Box::new(Expr::float(100.0)),
+        Box::new(Expr::Bin(BinOp::Div, Box::new(c(0)), Box::new(c(1)))),
+    )])
+}
+
+/// Q15 — top supplier by quarterly revenue.
+fn q15() -> Plan {
+    Plan::scan_where(
+        "lineitem",
+        Expr::Between(
+            Box::new(c(li("l_shipdate"))),
+            Value::Date(date(1996, 1, 1)),
+            Value::Date(date(1996, 3, 31)),
+        ),
+    )
+    .aggregate(
+        vec![li("l_suppkey")],
+        vec![AggSpec::over(AggFn::Sum, revenue(li("l_extendedprice"), li("l_discount")))],
+    )
+    .top_n(vec![(1, true)], 1)
+    .join(Plan::scan("supplier"), 0, supp("s_suppkey"))
+    .project(vec![c(2), c(3), c(1)])
+}
+
+/// Q16 — parts/supplier relationship (distinct-count approximated by
+/// count).
+fn q16() -> Plan {
+    let o_ps = PART_W;
+    Plan::Join {
+        left: Box::new(Plan::scan_where(
+            "part",
+            Expr::and_all([
+                Expr::Not(Box::new(eq_str(part_("p_brand"), "Brand#45"))),
+                Expr::Not(Box::new(Expr::Contains(
+                    Box::new(c(part_("p_type"))),
+                    "MEDIUM".into(),
+                ))),
+                Expr::InList(
+                    Box::new(c(part_("p_size"))),
+                    [3i64, 9, 14, 19, 23, 36, 45, 49].map(Value::Int).to_vec(),
+                ),
+            ]),
+        )),
+        right: Box::new(Plan::scan("partsupp")),
+        left_col: part_("p_partkey"),
+        right_col: ps("ps_partkey"),
+        filter: None,
+        project: None,
+    }
+    .aggregate(
+        vec![part_("p_brand"), part_("p_type"), part_("p_size")],
+        vec![AggSpec::over(AggFn::Count, c(o_ps + ps("ps_suppkey")))],
+    )
+    .sort(vec![(3, true), (0, false), (1, false), (2, false)])
+}
+
+/// Q17 — small-quantity-order revenue (the per-part average-quantity
+/// subquery becomes a fixed low-quantity cut, applied identically by every
+/// engine).
+fn q17() -> Plan {
+    let o_li = PART_W;
+    Plan::Join {
+        left: Box::new(Plan::scan_where(
+            "part",
+            Expr::And(
+                Box::new(eq_str(part_("p_brand"), "Brand#23")),
+                Box::new(eq_str(part_("p_container"), "MED BOX")),
+            ),
+        )),
+        right: Box::new(Plan::scan("lineitem")),
+        left_col: part_("p_partkey"),
+        right_col: li("l_partkey"),
+        filter: Some(Expr::cmp(CmpOp::Lt, c(o_li + li("l_quantity")), Expr::float(5.0))),
+        project: None,
+    }
+    .aggregate(vec![], vec![AggSpec::over(AggFn::Sum, c(o_li + li("l_extendedprice")))])
+    .project(vec![Expr::Bin(BinOp::Div, Box::new(c(0)), Box::new(Expr::float(7.0)))])
+}
+
+/// Q18 — large-volume customers (the `HAVING sum > 300` becomes top-100 by
+/// total quantity).
+fn q18() -> Plan {
+    let agg = Plan::scan("lineitem")
+        .aggregate(
+            vec![li("l_orderkey")],
+            vec![AggSpec::over(AggFn::Sum, c(li("l_quantity")))],
+        )
+        .top_n(vec![(1, true), (0, false)], 100);
+    // agg output: [orderkey, sum_qty]
+    let o_or = 2;
+    let o_cu = o_or + ORD_W;
+    agg.join(Plan::scan("orders"), 0, ord("o_orderkey"))
+        .join(Plan::scan("customer"), o_or + ord("o_custkey"), cust("c_custkey"))
+        .project(vec![
+            c(o_cu + cust("c_name")),
+            c(o_cu + cust("c_custkey")),
+            c(0),
+            c(o_or + ord("o_orderdate")),
+            c(o_or + ord("o_totalprice")),
+            c(1),
+        ])
+        .top_n(vec![(4, true), (3, false)], 100)
+}
+
+/// Q19 — discounted revenue, disjunctive brand/container/quantity terms.
+fn q19() -> Plan {
+    let o_pa = LI_W;
+    let term = |brand: &str, container: &str, qlo: f64, qhi: f64, smax: i64| {
+        Expr::and_all([
+            eq_str(o_pa + part_("p_brand"), brand),
+            eq_str(o_pa + part_("p_container"), container),
+            Expr::Between(
+                Box::new(c(li("l_quantity"))),
+                Value::Float(qlo),
+                Value::Float(qhi),
+            ),
+            Expr::Between(Box::new(c(o_pa + part_("p_size"))), Value::Int(1), Value::Int(smax)),
+        ])
+    };
+    Plan::Join {
+        left: Box::new(Plan::scan("lineitem")),
+        right: Box::new(Plan::scan("part")),
+        left_col: li("l_partkey"),
+        right_col: part_("p_partkey"),
+        filter: Some(Expr::Or(
+            Box::new(Expr::Or(
+                Box::new(term("Brand#12", "SM CASE", 1.0, 11.0, 5)),
+                Box::new(term("Brand#23", "MED BOX", 10.0, 20.0, 10)),
+            )),
+            Box::new(term("Brand#34", "LG BOX", 20.0, 30.0, 15)),
+        )),
+        project: None,
+    }
+    .aggregate(
+        vec![],
+        vec![AggSpec::over(AggFn::Sum, revenue(li("l_extendedprice"), li("l_discount")))],
+    )
+}
+
+/// Q20 — potential part promotion: nation ⋈ supplier ⋈ partsupp ⋈ part.
+fn q20() -> Plan {
+    let o_su = NAT_W;
+    let o_ps = o_su + SUPP_W;
+    Plan::Join {
+        left: Box::new(
+            Plan::scan_where("nation", eq_str(nat("n_name"), "CANADA"))
+                .join(Plan::scan("supplier"), nat("n_nationkey"), supp("s_nationkey"))
+                .join(Plan::scan("partsupp"), o_su + supp("s_suppkey"), ps("ps_suppkey")),
+        ),
+        right: Box::new(Plan::scan_where(
+            "part",
+            Expr::StartsWith(Box::new(c(part_("p_name"))), "part forest".into()),
+        )),
+        left_col: o_ps + ps("ps_partkey"),
+        right_col: part_("p_partkey"),
+        filter: None,
+        project: Some(vec![c(o_su + supp("s_name")), c(o_su + supp("s_comment"))]),
+    }
+    .sort(vec![(0, false)])
+}
+
+/// Q21 — suppliers who kept orders waiting.
+fn q21() -> Plan {
+    let o_su = NAT_W;
+    let o_li = o_su + SUPP_W;
+    let o_or = o_li + LI_W;
+    Plan::Join {
+        left: Box::new(Plan::Join {
+            left: Box::new(
+                Plan::scan_where("nation", eq_str(nat("n_name"), "SAUDI ARABIA")).join(
+                    Plan::scan("supplier"),
+                    nat("n_nationkey"),
+                    supp("s_nationkey"),
+                ),
+            ),
+            right: Box::new(Plan::scan("lineitem")),
+            left_col: o_su + supp("s_suppkey"),
+            right_col: li("l_suppkey"),
+            filter: Some(Expr::cmp(
+                CmpOp::Gt,
+                c(o_li + li("l_receiptdate")),
+                c(o_li + li("l_commitdate")),
+            )),
+            project: None,
+        }),
+        right: Box::new(Plan::scan("orders")),
+        left_col: o_li + li("l_orderkey"),
+        right_col: ord("o_orderkey"),
+        filter: Some(eq_str(o_or + ord("o_orderstatus"), "F")),
+        project: None,
+    }
+    .aggregate(vec![o_su + supp("s_name")], vec![AggSpec::count_star()])
+    .top_n(vec![(1, true), (0, false)], 100)
+}
+
+/// Q22 — global sales opportunity (country-code buckets over well-funded
+/// customers; the anti-join is dropped identically for every engine).
+fn q22() -> Plan {
+    Plan::scan_where(
+        "customer",
+        Expr::and_all([
+            Expr::cmp(CmpOp::Gt, c(cust("c_acctbal")), Expr::float(5000.0)),
+            Expr::InList(
+                Box::new(c(cust("c_nationkey"))),
+                [3i64, 7, 10, 13, 17, 19, 22].map(Value::Int).to_vec(),
+            ),
+        ]),
+    )
+    .aggregate(
+        vec![cust("c_nationkey")],
+        vec![AggSpec::count_star(), AggSpec::over(AggFn::Sum, c(cust("c_acctbal")))],
+    )
+    .sort(vec![(0, false)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::gen::{build_tpch_db, TpchScale};
+    use engines::{EngineKind, KnobLevel};
+    use simcore::{ArchConfig, Cpu};
+
+    #[test]
+    fn all_queries_build_plans() {
+        for q in TpchQuery::all() {
+            let _ = q.plan();
+        }
+    }
+
+    #[test]
+    fn plan_arities_resolve_against_catalog() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let db =
+            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny())
+                .unwrap();
+        for q in TpchQuery::all() {
+            let arity = q.plan().arity(&db.catalog).unwrap();
+            assert!(arity > 0, "{} has zero-arity output", q.name());
+        }
+    }
+
+    #[test]
+    fn q1_q6_q22_run_on_every_engine_and_agree() {
+        // The cheap scan-based queries are validated engine-vs-engine here;
+        // the full 22-query differential sweep lives in the integration
+        // tests.
+        for qn in [1u8, 6, 22] {
+            let plan = TpchQuery(qn).plan();
+            let mut results = Vec::new();
+            for kind in EngineKind::ALL {
+                let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+                let mut db =
+                    build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny())
+                        .unwrap();
+                let mut rows = db.run(&mut cpu, &plan).unwrap();
+                // Canonicalise float noise for comparison.
+                for r in &mut rows {
+                    for v in r.iter_mut() {
+                        if let Value::Float(f) = v {
+                            *v = Value::Float((*f * 1e6).round() / 1e6);
+                        }
+                    }
+                }
+                results.push(rows);
+            }
+            assert_eq!(results[0], results[1], "Q{qn}: Pg vs Lite");
+            assert_eq!(results[1], results[2], "Q{qn}: Lite vs My");
+            assert!(!results[0].is_empty(), "Q{qn} returned nothing");
+        }
+    }
+
+    #[test]
+    fn q1_aggregates_are_plausible() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db =
+            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny())
+                .unwrap();
+        let rows = db.run(&mut cpu, &TpchQuery(1).plan()).unwrap();
+        // Groups: returnflag x linestatus — at most a handful.
+        assert!(rows.len() >= 2 && rows.len() <= 6, "{} groups", rows.len());
+        for r in &rows {
+            // count_order > 0 and avg discount within [0, 0.1].
+            assert!(r[9].as_int().unwrap() > 0);
+            let avg_disc = r[8].as_float().unwrap();
+            assert!((0.0..=0.1).contains(&avg_disc));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: calibrate the per-micro-op energy table on the simulated
+//! i7-4790, then break down a workload's Active energy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use microjoule::prelude::*;
+
+fn main() {
+    // 1. Calibrate: run the paper's micro-benchmark set MBS and solve ΔE_m
+    //    (§2.5). `quick()` uses a reduced loop budget; CalibrationBuilder::new
+    //    + target_ops gives publication-grade runs.
+    let table = CalibrationBuilder::quick().calibrate();
+    println!("solved per-micro-op energies at {}:", table.pstate);
+    for op in MicroOp::MS {
+        println!("  dE_{:<8} = {:>7.2} nJ", op.symbol(), table.de_nj(op));
+    }
+
+    // 2. Run any workload on the simulated machine...
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    cpu.set_prefetch(true);
+    let buf = cpu.alloc(24 * 1024).expect("alloc");
+    let lines = buf.len / 64;
+    // Warm up, then measure a streaming scan with a little compute.
+    for i in 0..lines {
+        cpu.load(buf.addr + i * 64, Dep::Stream);
+    }
+    let m = cpu.measure(|c| {
+        for pass in 0..64u64 {
+            for i in 0..lines {
+                c.load(buf.addr + i * 64, Dep::Stream);
+                if (i + pass) % 4 == 0 {
+                    c.exec(ExecOp::Add);
+                }
+            }
+        }
+    });
+
+    // 3. ...and break its Active energy down into micro-operation shares.
+    let bd = table.breakdown(&m);
+    println!("\nActive energy {:.6} J over {:.6} s:", bd.active_j(), bd.time_s);
+    for op in MicroOp::MS {
+        println!("  E_{:<8} {:>5.1}%", op.symbol(), bd.share(op) * 100.0);
+    }
+    println!("  E_other    {:>5.1}%", bd.other_share() * 100.0);
+    println!(
+        "\nL1D load/store share: {:.1}% (the paper's bottleneck quantity)",
+        bd.l1d_share() * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Run SQL against the three engines and profile each execution.
+//!
+//! ```text
+//! cargo run --release --example sql_query
+//! ```
+
+use microjoule::prelude::*;
+use workloads::tpch::gen::build_tpch_db;
+use workloads::TpchScale;
+
+fn main() {
+    let table = CalibrationBuilder::quick().calibrate();
+    let sql = "SELECT n_name, COUNT(*) AS customers, SUM(c_acctbal) AS balance \
+               FROM customer JOIN nation ON c_nationkey = n_nationkey \
+               WHERE c_acctbal > 1000.0 \
+               GROUP BY n_name ORDER BY customers DESC LIMIT 5";
+    println!("SQL> {sql}\n");
+
+    for kind in EngineKind::ALL {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(true);
+        let mut db = build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny())
+            .expect("load TPC-H");
+        let Planned::Query(plan) = compile(sql, &db.catalog).expect("compile") else {
+            unreachable!("a SELECT compiles to a query");
+        };
+        db.run(&mut cpu, &plan).expect("warm");
+        let tok = cpu.begin_measure();
+        let rows = db.run(&mut cpu, &plan).expect("run");
+        let m = cpu.end_measure(tok);
+        let bd = table.breakdown(&m);
+        println!(
+            "== {} — {:.3} ms, {:.6} J active, L1D share {:.1}% ==",
+            kind.name(),
+            m.time_s * 1e3,
+            bd.active_j(),
+            bd.l1d_share() * 100.0
+        );
+        for r in &rows {
+            println!(
+                "  {:<16} {:>6} {:>14}",
+                r[0].to_string(),
+                r[1].to_string(),
+                r[2].to_string()
+            );
+        }
+        println!();
+    }
+
+    // DML works through the same frontend.
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    let mut db = build_tpch_db(&mut cpu, EngineKind::Lite, KnobLevel::Baseline, TpchScale::tiny())
+        .expect("load");
+    for stmt in [
+        "INSERT INTO region VALUES (77, 'OCEANIA')",
+        "UPDATE region SET r_name = 'OCEANIA-2' WHERE r_regionkey = 77",
+        "DELETE FROM region WHERE r_regionkey = 77",
+    ] {
+        let Planned::Write(dml) = compile(stmt, &db.catalog).expect("compile") else {
+            unreachable!()
+        };
+        let n = db.execute(&mut cpu, &dml).expect("execute");
+        println!("SQL> {stmt}  -- {n} row(s)");
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # microjoule
+//!
+//! A from-scratch Rust reproduction of *Micro Analysis to Enable
+//! Energy-Efficient Database Systems* (Yang, Du, Du, Meng — EDBT 2020).
+//!
+//! The paper breaks the Busy-CPU energy of database query workloads down
+//! into the energy of individual micro-operations, identifies the L1D cache
+//! as the energy bottleneck (39–67% of Active energy), and shows a
+//! proof-of-concept SQLite on an ARM part with Tightly Coupled Memory that
+//! saves 60% of the achievable peak energy *without* losing performance.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`simcore`] — the simulated CPU substrate (caches, prefetcher, PMU,
+//!   DVFS, RAPL-style energy meters, TCM),
+//! * [`microbench`] — the paper's micro-benchmark sets `MBS` and `VMBS`,
+//! * [`analysis`] — the core contribution: per-micro-op energy solving,
+//!   workload energy breakdown, and verification,
+//! * [`storage`] — the database storage substrate (pages, buffer pool,
+//!   B+trees, tuples, expressions),
+//! * [`engines`] — three database engine personalities (PG-like, SQLite-like,
+//!   MySQL-like) plus the DTCM-optimized proof of concept,
+//! * [`workloads`] — TPC-H-like data and queries, the 7 basic query
+//!   operations, and CPU2006-like CPU-bound kernels.
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use microjoule::prelude::*;
+//!
+//! // Calibrate per-micro-op energies on the simulated i7-4790 at P36 ...
+//! let table = CalibrationBuilder::quick().calibrate();
+//! // ... and break down the energy of a workload.
+//! let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+//! let m = cpu.measure(|cpu| {
+//!     let r = cpu.alloc(64 * 1024).unwrap();
+//!     for i in 0..1024 {
+//!         cpu.load(r.addr + i * 64, Dep::Stream);
+//!     }
+//! });
+//! let bd = table.breakdown(&m);
+//! assert!(bd.active_j() >= 0.0);
+//! ```
+
+pub use analysis;
+pub use engines;
+pub use sqlfe;
+pub use microbench;
+pub use simcore;
+pub use storage;
+pub use workloads;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use analysis::{Breakdown, CalibrationBuilder, EnergyTable, MicroOp};
+    pub use engines::{Database, Dml, EngineKind, KnobLevel, Plan};
+    pub use simcore::{ArchConfig, Cpu, Dep, ExecOp, PState};
+    pub use sqlfe::{compile, Planned};
+    pub use workloads::{BasicOp, TpchQuery};
+}

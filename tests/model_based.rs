@@ -1,0 +1,182 @@
+//! Model-based and failure-injection tests: the simulated structures are
+//! checked against simple reference oracles, and error paths are exercised
+//! deliberately.
+
+use proptest::prelude::*;
+use simcore::{ArchConfig, Cpu, Dep};
+use storage::{BufferPool, PageStore};
+
+/// Reference LRU cache: a Vec of line addresses, most-recent last.
+struct OracleLru {
+    lines: Vec<u64>,
+    capacity: usize,
+}
+
+impl OracleLru {
+    fn access(&mut self, line: u64) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.lines.push(line);
+            true
+        } else {
+            if self.lines.len() == self.capacity {
+                self.lines.remove(0);
+            }
+            self.lines.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fully-associative-equivalent trace (all lines in one set) must
+    /// match the reference LRU hit/miss sequence exactly.
+    #[test]
+    fn cache_matches_oracle_lru(seq in proptest::collection::vec(0u64..16, 1..200)) {
+        use simcore::cache::{Cache, Lookup};
+        use simcore::CacheConfig;
+        // One set, 4 ways: lines must map to the same set, i.e. be
+        // congruent modulo set count (1 set ⇒ every line).
+        let mut cache = Cache::new(&CacheConfig { size: 4 * 64, ways: 4, latency_cycles: 1 });
+        let mut oracle = OracleLru { lines: Vec::new(), capacity: 4 };
+        for &line_no in &seq {
+            let addr = line_no * 64;
+            let got_hit = matches!(cache.access(addr, false), Lookup::Hit { .. });
+            if !got_hit {
+                cache.fill(addr, false, false);
+            }
+            let want_hit = oracle.access(line_no);
+            prop_assert_eq!(got_hit, want_hit, "divergence at line {}", line_no);
+        }
+    }
+
+    /// The buffer pool never holds more pages than its capacity, and a
+    /// resident page always hits.
+    #[test]
+    fn buffer_pool_respects_capacity(accesses in proptest::collection::vec(0u32..24, 1..300)) {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut store = PageStore::new(4096);
+        let mut pool = BufferPool::new(8 * 4096, 4096);
+        let pages: Vec<_> = (0..24).map(|_| store.alloc_page(&mut cpu).unwrap()).collect();
+        let mut resident_now: std::collections::HashSet<u32> = Default::default();
+        for &a in &accesses {
+            let id = pages[a as usize];
+            let before = pool.disk_reads;
+            pool.access(&mut cpu, &store, id);
+            let missed = pool.disk_reads > before;
+            if resident_now.contains(&id) {
+                prop_assert!(!missed, "resident page {id} missed");
+            }
+            resident_now.insert(id);
+            if resident_now.len() > pool.capacity() {
+                // Something was evicted; conservatively rebuild from pool.
+                resident_now.retain(|&p| pool.is_resident(p));
+            }
+            prop_assert!(resident_now.len() <= pool.capacity());
+        }
+    }
+
+    /// Governor output is always within [min, max], from any state/util.
+    #[test]
+    fn governor_stays_in_range(cur in 0u8..60, util in 0.0f64..2.0) {
+        use simcore::{Governor, PState};
+        let g = Governor::new(PState(8), PState(36));
+        let next = g.next(PState(cur), util);
+        // Rate limiting can keep an out-of-range current near where it was,
+        // but a few iterations must converge into range.
+        let mut p = next;
+        for _ in 0..20 {
+            p = g.next(p, util);
+        }
+        prop_assert!(p.0 >= 8 && p.0 <= 36, "did not converge: {p}");
+    }
+
+    /// Chase loads never decrease elapsed cycles, and IPC is bounded by the
+    /// widest issue width (4 nops/cycle).
+    #[test]
+    fn ipc_is_bounded(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        use simcore::ExecOp;
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let r = cpu.alloc(1 << 16).unwrap();
+        let m = cpu.measure(|c| {
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    0 => c.load(r.addr + (i as u64 * 64) % (1 << 16), Dep::Chase),
+                    1 => c.load(r.addr + (i as u64 * 64) % (1 << 16), Dep::Stream),
+                    _ => c.exec_n(ExecOp::Nop, 4),
+                }
+            }
+        });
+        prop_assert!(m.pmu.ipc() <= 4.01, "IPC {} exceeds issue width", m.pmu.ipc());
+        prop_assert!(m.cycles > 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_slot_is_detected_not_panicking() {
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    let mut store = PageStore::new(4096);
+    let page_id = store.alloc_page(&mut cpu).unwrap();
+    let page = store.page(page_id);
+    page.insert(&mut cpu, b"hello").unwrap();
+    // Corrupt the slot: point the tuple past the page end.
+    let slot_addr = page.addr + 4096 - 4;
+    cpu.arena_mut().write(slot_addr, &[0xff, 0xff, 0xff, 0xff]).unwrap();
+    let err = page.read_tuple(&mut cpu, 0, Dep::Stream).unwrap_err();
+    assert!(matches!(err, storage::StorageError::Corrupt(_)));
+}
+
+#[test]
+fn truncated_tuple_bytes_are_detected() {
+    use storage::{decode_row, encode_row, Schema, Ty, Value};
+    let schema = Schema::new([("a", Ty::Int), ("s", Ty::Str)]);
+    let mut buf = Vec::new();
+    encode_row(&schema, &[Value::Int(1), Value::Str("abc".into())], &mut buf).unwrap();
+    for cut in 1..buf.len() {
+        let res = decode_row(&schema, &buf[..cut]);
+        assert!(res.is_err(), "decode of {cut}-byte prefix must fail");
+    }
+}
+
+#[test]
+fn arena_exhaustion_surfaces_as_error_not_panic() {
+    // A machine with almost no DRAM: loading a table must fail cleanly.
+    let mut arch = ArchConfig::intel_i7_4790();
+    arch.dram_size = 64 * 1024;
+    let mut cpu = Cpu::new(arch);
+    let mut db = engines::Database::new(engines::EngineKind::Pg, engines::KnobLevel::Baseline);
+    db.create_table("t", storage::Schema::new([("k", storage::Ty::Int)]), Some("k")).unwrap();
+    let rows: Vec<storage::Row> = (0..100_000).map(|i| vec![storage::Value::Int(i)]).collect();
+    let err = db.load_rows(&mut cpu, "t", rows);
+    assert!(err.is_err(), "loading 100k rows into 64 KB must fail");
+}
+
+#[test]
+fn unknown_table_and_bad_sql_error_cleanly() {
+    let cat = storage::Catalog::new();
+    assert!(sqlfe::compile("SELECT * FROM ghost", &cat).is_err());
+    assert!(sqlfe::compile("SELEC * FROM t", &cat).is_err());
+    assert!(sqlfe::compile("", &cat).is_err());
+}
+
+#[test]
+fn update_with_wrong_type_is_rejected() {
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    let mut db = engines::db::demo_database(&mut cpu, engines::EngineKind::Pg).unwrap();
+    // items.id is Int; assigning a string must fail the schema check.
+    let err = db.execute(
+        &mut cpu,
+        &engines::Dml::Update {
+            table: "items".into(),
+            filter: None,
+            set: vec![(0, storage::Expr::Lit(storage::Value::Str("oops".into())))],
+        },
+    );
+    assert!(err.is_err());
+}

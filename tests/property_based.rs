@@ -1,0 +1,159 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use simcore::{ArchConfig, Cpu, Dep, ExecOp};
+use storage::{decode_row, encode_row, BTree, BufferPool, PageStore, Schema, Ty, Value};
+
+fn arb_value(ty: Ty) -> BoxedStrategy<Value> {
+    match ty {
+        Ty::Int => prop_oneof![3 => any::<i64>().prop_map(Value::Int), 1 => Just(Value::Null)]
+            .boxed(),
+        Ty::Float => prop_oneof![
+            3 => (-1e12f64..1e12).prop_map(Value::Float),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        Ty::Str => prop_oneof![
+            3 => "[a-zA-Z0-9 ]{0,40}".prop_map(Value::Str),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        Ty::Date => prop_oneof![3 => (0i32..20000).prop_map(Value::Date), 1 => Just(Value::Null)]
+            .boxed(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tuple codec roundtrip over arbitrary typed rows.
+    #[test]
+    fn tuple_codec_roundtrip(
+        ints in proptest::collection::vec(arb_value(Ty::Int), 1..3),
+        floats in proptest::collection::vec(arb_value(Ty::Float), 0..2),
+        strs in proptest::collection::vec(arb_value(Ty::Str), 0..2),
+        dates in proptest::collection::vec(arb_value(Ty::Date), 0..2),
+    ) {
+        let mut cols = Vec::new();
+        let mut row = Vec::new();
+        for (i, v) in ints.iter().enumerate() {
+            cols.push((format!("i{i}"), Ty::Int));
+            row.push(v.clone());
+        }
+        for (i, v) in floats.iter().enumerate() {
+            cols.push((format!("f{i}"), Ty::Float));
+            row.push(v.clone());
+        }
+        for (i, v) in strs.iter().enumerate() {
+            cols.push((format!("s{i}"), Ty::Str));
+            row.push(v.clone());
+        }
+        for (i, v) in dates.iter().enumerate() {
+            cols.push((format!("d{i}"), Ty::Date));
+            row.push(v.clone());
+        }
+        let schema = Schema::new(cols);
+        let mut buf = Vec::new();
+        encode_row(&schema, &row, &mut buf).unwrap();
+        let decoded = decode_row(&schema, &buf).unwrap();
+        // NaN-free inputs: plain equality holds.
+        prop_assert_eq!(decoded, row);
+    }
+
+    /// B+tree iteration equals sorted insertion order, for any key multiset.
+    #[test]
+    fn btree_iterates_sorted(keys in proptest::collection::vec(-1000i64..1000, 1..300)) {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut store = PageStore::new(4096);
+        let mut pool = BufferPool::new(1 << 22, 4096);
+        let mut tree = BTree::create(&mut cpu, &mut store).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(&mut cpu, &mut store, &mut pool, k, i as u64).unwrap();
+        }
+        let mut cur = tree.seek_first(&mut cpu, &store, &mut pool);
+        let mut got = Vec::new();
+        while let Some((k, _)) = cur.next(&mut cpu, &store, &mut pool) {
+            got.push(k);
+        }
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Energy monotonicity + domain containment for arbitrary access mixes.
+    #[test]
+    fn energy_is_monotone_and_package_contains_core(
+        ops in proptest::collection::vec((0u8..4, 0u64..512), 1..40)
+    ) {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let r = cpu.alloc(1 << 20).unwrap();
+        let lines = r.len / 64;
+        let mut prev = cpu.rapl();
+        for (kind, x) in ops {
+            match kind {
+                0 => cpu.load(r.addr + (x % lines) * 64, Dep::Stream),
+                1 => cpu.load(r.addr + (x % lines) * 64, Dep::Chase),
+                2 => cpu.store(r.addr + (x % lines) * 64),
+                _ => cpu.exec_n(ExecOp::Add, x),
+            }
+            let now = cpu.rapl();
+            prop_assert!(now.core_j >= prev.core_j);
+            prop_assert!(now.package_j >= prev.package_j);
+            prop_assert!(now.memory_j >= prev.memory_j);
+            prop_assert!(now.package_j >= now.core_j);
+            prev = now;
+        }
+    }
+
+    /// PMU counters are consistent: hits + misses = accesses, instructions
+    /// never lag behind retired loads+stores.
+    #[test]
+    fn pmu_counter_consistency(ops in proptest::collection::vec((0u8..3, 0u64..2048), 1..60)) {
+        use simcore::Event;
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let r = cpu.alloc(1 << 20).unwrap();
+        let lines = r.len / 64;
+        for (kind, x) in ops {
+            match kind {
+                0 => cpu.load(r.addr + (x % lines) * 64, Dep::Stream),
+                1 => cpu.load(r.addr + (x % lines) * 64, Dep::Chase),
+                _ => cpu.store(r.addr + (x % lines) * 64),
+            }
+        }
+        let s = cpu.pmu_snapshot();
+        prop_assert_eq!(
+            s.get(Event::LoadIssued),
+            s.get(Event::L1dLoadHit) + s.get(Event::L1dLoadMiss)
+        );
+        prop_assert_eq!(
+            s.get(Event::StoreIssued),
+            s.get(Event::L1dStoreHit) + s.get(Event::L1dStoreMiss)
+        );
+        prop_assert!(
+            s.get(Event::Instructions) >= s.get(Event::LoadIssued) + s.get(Event::StoreIssued)
+        );
+    }
+
+    /// Engines agree on arbitrary filtered scans of the demo database
+    /// (differential fuzzing of the executor's predicate path).
+    #[test]
+    fn engines_agree_on_random_filters(lo in -50i64..250, width in 0i64..120, col in 0usize..2) {
+        use engines::{db::demo_database, EngineKind, Plan};
+        use storage::{CmpOp, Expr};
+        let filter = Expr::and_all([
+            Expr::cmp(CmpOp::Ge, Expr::col(col), Expr::int(lo)),
+            Expr::cmp(CmpOp::Le, Expr::col(col), Expr::int(lo + width)),
+        ]);
+        let plan = Plan::scan_where("items", filter);
+        let mut results = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            let mut db = demo_database(&mut cpu, kind).unwrap();
+            let mut rows = db.run(&mut cpu, &plan).unwrap();
+            rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            results.push(rows);
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+}
