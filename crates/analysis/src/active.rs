@@ -101,7 +101,12 @@ pub fn active_energy(m: &Measurement, bg: &Background) -> ActiveEnergy {
         DomainChoice::PackageAndMemory => m.rapl.package_j + m.rapl.memory_j,
     };
     let background_j = bg.watts(choice) * m.time_s;
-    ActiveEnergy { choice, busy_j, background_j, active_j: (busy_j - background_j).max(0.0) }
+    ActiveEnergy {
+        choice,
+        busy_j,
+        background_j,
+        active_j: (busy_j - background_j).max(0.0),
+    }
 }
 
 #[cfg(test)]

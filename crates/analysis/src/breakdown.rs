@@ -48,7 +48,14 @@ impl Breakdown {
         let movement: f64 = e.iter().sum::<f64>() + table.de_tcm_load * counts.tcm_load as f64;
         let denom = active.active_j.max(movement).max(f64::MIN_POSITIVE);
         let e_other = (denom - movement).max(0.0);
-        Breakdown { active, counts, e, e_other, denom, time_s: m.time_s }
+        Breakdown {
+            active,
+            counts,
+            e,
+            e_other,
+            denom,
+            time_s: m.time_s,
+        }
     }
 
     /// Energy attributed to `op` (joules).

@@ -41,3 +41,12 @@ pub use counting::MicroOpCounts;
 pub use microop::MicroOp;
 pub use solver::{CalibrationBuilder, EnergyTable};
 pub use verify::{verify_all, VerifyResult};
+
+// The mjrt calibration cache shares solved tables across worker threads
+// (`Arc<EnergyTable>`); assert thread-portability at the definition site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EnergyTable>();
+    assert_send_sync::<Breakdown>();
+    assert_send_sync::<Background>();
+};

@@ -16,7 +16,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (panics if the arity differs from the header).
@@ -76,12 +79,16 @@ impl TextTable {
 }
 
 /// Column headers for breakdown-share tables, matching the paper's legend.
-pub const SHARE_HEADERS: [&str; 8] =
-    ["EL1D", "EReg2L1D", "EL2", "EL3", "Emem", "Epf", "Estall", "Eother"];
+pub const SHARE_HEADERS: [&str; 8] = [
+    "EL1D", "EReg2L1D", "EL2", "EL3", "Emem", "Epf", "Estall", "Eother",
+];
 
 /// Format a breakdown's shares as percentages with one decimal.
 pub fn share_cells(bd: &Breakdown) -> Vec<String> {
-    bd.shares().iter().map(|s| format!("{:.1}", s * 100.0)).collect()
+    bd.shares()
+        .iter()
+        .map(|s| format!("{:.1}", s * 100.0))
+        .collect()
 }
 
 /// A crude stacked-bar rendering of a share vector (80 columns), for quick

@@ -62,15 +62,19 @@ impl EnergyTable {
     /// Estimate a window's Active energy from counts alone — Eq. 1 with
     /// `E_other = ΔE_add·N_add + ΔE_nop·N_nop` (the §2.5.5 estimator).
     pub fn estimate_active_j(&self, counts: &MicroOpCounts) -> f64 {
-        self.movement_j(counts)
-            + self.de_add * counts.add as f64
-            + self.de_nop * counts.nop as f64
+        self.movement_j(counts) + self.de_add * counts.add as f64 + self.de_nop * counts.nop as f64
     }
 
     /// The data-movement part of Eq. 1: `Σ_{m∈MS} ΔE_m · N_m`.
     pub fn movement_j(&self, counts: &MicroOpCounts) -> f64 {
         let mut e = 0.0;
-        for op in [MicroOp::L1d, MicroOp::Reg2L1d, MicroOp::L2, MicroOp::L3, MicroOp::Mem] {
+        for op in [
+            MicroOp::L1d,
+            MicroOp::Reg2L1d,
+            MicroOp::L2,
+            MicroOp::L3,
+            MicroOp::Mem,
+        ] {
             e += self.de(op) * counts.get(op) as f64;
         }
         e += self.de_pf_l2 * counts.pf_l2 as f64;
@@ -97,7 +101,10 @@ impl CalibrationBuilder {
     /// Calibrate `arch` at the paper's trunk configuration (P36 for x86).
     pub fn new(arch: ArchConfig) -> CalibrationBuilder {
         let top = PState(arch.max_pstate);
-        CalibrationBuilder { arch, cfg: RunConfig::at(top) }
+        CalibrationBuilder {
+            arch,
+            cfg: RunConfig::at(top),
+        }
     }
 
     /// Small, fast calibration on the i7-4790 (for tests and doc examples).

@@ -37,7 +37,12 @@ pub fn verify_one(table: &EnergyTable, run: &BenchRun) -> VerifyResult {
     } else {
         (1.0 - (estimated_j - measured_j).abs() / measured_j).max(0.0)
     };
-    VerifyResult { name: run.name, estimated_j, measured_j, acc }
+    VerifyResult {
+        name: run.name,
+        estimated_j,
+        measured_j,
+        acc,
+    }
 }
 
 /// Run the whole applicable `VMBS` set on fresh machines and score each.

@@ -42,7 +42,10 @@ fn ablation_dependency_model(c: &mut Criterion) {
             cpu.set_prefetch(true);
             let r = cpu.alloc(4 << 20).unwrap();
             let (t, e) = sweep(&mut cpu, r, dep);
-            print_once(once, format!("{name}: simulated {t:.6} s, {e:.6} J for a 4 MB sweep"));
+            print_once(
+                once,
+                format!("{name}: simulated {t:.6} s, {e:.6} J for a 4 MB sweep"),
+            );
             b.iter(|| sweep(&mut cpu, r, dep))
         });
     }
@@ -54,15 +57,19 @@ fn ablation_prefetcher(c: &mut Criterion) {
     g.sample_size(10);
     static ONCE_ON: Once = Once::new();
     static ONCE_OFF: Once = Once::new();
-    for (name, pf, once) in
-        [("prefetch_on", true, &ONCE_ON), ("prefetch_off", false, &ONCE_OFF)]
-    {
+    for (name, pf, once) in [
+        ("prefetch_on", true, &ONCE_ON),
+        ("prefetch_off", false, &ONCE_OFF),
+    ] {
         g.bench_function(name, |b| {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             cpu.set_prefetch(pf);
             let r = cpu.alloc(16 << 20).unwrap();
             let (t, e) = sweep(&mut cpu, r, Dep::Stream);
-            print_once(once, format!("{name}: simulated {t:.6} s, {e:.6} J for a 4 MB streaming sweep"));
+            print_once(
+                once,
+                format!("{name}: simulated {t:.6} s, {e:.6} J for a 4 MB streaming sweep"),
+            );
             b.iter(|| sweep(&mut cpu, r, Dep::Stream))
         });
     }
@@ -102,5 +109,10 @@ fn ablation_row_buffer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_dependency_model, ablation_prefetcher, ablation_row_buffer);
+criterion_group!(
+    benches,
+    ablation_dependency_model,
+    ablation_prefetcher,
+    ablation_row_buffer
+);
 criterion_main!(benches);

@@ -1,89 +1,6 @@
-//! Ablation of the §4.2 co-design strategies: which of the three DTCM
-//! placements (database buffer / special variables / B-tree tops) buys the
-//! energy saving and the performance improvement?
-
-use analysis::report::TextTable;
-use engines::{DtcmConfig, DtcmDatabase, EngineKind, KnobLevel, Knobs};
-use simcore::{ArchConfig, Cpu};
-use workloads::tpch::gen::build_tpch_db;
-use workloads::{TpchQuery, TpchScale};
-
-fn scale() -> TpchScale {
-    TpchScale(bench::env_f64("MJ_ARM_SCALE", 10.0))
-}
-
-fn build(cpu: &mut Cpu) -> engines::Database {
-    let mut db = build_tpch_db(cpu, EngineKind::Lite, KnobLevel::Small, scale()).expect("load");
-    db.knobs = Knobs::arm_small();
-    db
-}
-
-/// Suite totals (energy, time) for one DTCM configuration.
-fn run_suite_with(cfg: DtcmConfig, itcm: f64) -> (f64, f64) {
-    let mut cpu = Cpu::new(ArchConfig::arm1176jzf_s());
-    cpu.set_prefetch(true);
-    cpu.set_itcm_fetch_discount(itcm);
-    let db = build(&mut cpu);
-    let hot: Vec<&str> = vec![
-        "lineitem", "orders", "customer", "part", "partsupp", "supplier", "nation", "region",
-    ];
-    let mut d = DtcmDatabase::configure(&mut cpu, db, &hot, cfg).expect("configure");
-    let (mut e, mut t) = (0.0, 0.0);
-    for q in TpchQuery::all() {
-        let plan = q.plan();
-        d.run(&mut cpu, &plan).expect("warm");
-        let tok = cpu.begin_measure();
-        d.run(&mut cpu, &plan).expect("measured");
-        let m = cpu.end_measure(tok);
-        e += m.rapl.total_j();
-        t += m.time_s;
-    }
-    (e, t)
-}
-
-/// Baseline (no DTCM) suite totals.
-fn run_baseline() -> (f64, f64) {
-    let mut cpu = Cpu::new(ArchConfig::arm1176jzf_s());
-    cpu.set_prefetch(true);
-    let mut db = build(&mut cpu);
-    let (mut e, mut t) = (0.0, 0.0);
-    for q in TpchQuery::all() {
-        let plan = q.plan();
-        db.run(&mut cpu, &plan).expect("warm");
-        let tok = cpu.begin_measure();
-        db.run(&mut cpu, &plan).expect("measured");
-        let m = cpu.end_measure(tok);
-        e += m.rapl.total_j();
-        t += m.time_s;
-    }
-    (e, t)
-}
+//! Thin wrapper over the `ablation_dtcm` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let (be, bt) = run_baseline();
-    let variants: [(&str, DtcmConfig); 4] = [
-        ("buffer only (16K)", DtcmConfig { buffer_bytes: 16 << 10, vars_bytes: 0, btree_bytes: 0 }),
-        ("special vars only (4K)", DtcmConfig { buffer_bytes: 0, vars_bytes: 4 << 10, btree_bytes: 0 }),
-        ("btree tops only (12K)", DtcmConfig { buffer_bytes: 0, vars_bytes: 0, btree_bytes: 12 << 10 }),
-        ("full co-design", DtcmConfig::default()),
-    ];
-    let mut t = TextTable::new(["configuration", "energy saving%", "perf improvement%"]);
-    t.row(["baseline".to_owned(), "0.0".into(), "0.0".into()]);
-    for (name, cfg) in variants {
-        let (e, tt) = run_suite_with(cfg, 0.0);
-        t.row([
-            name.to_owned(),
-            format!("{:.2}", (1.0 - e / be) * 100.0),
-            format!("{:.2}", (1.0 - tt / bt) * 100.0),
-        ]);
-    }
-    // §5's closing suggestion: add an instruction TCM on top.
-    let (e, tt) = run_suite_with(DtcmConfig::default(), 0.4);
-    t.row([
-        "full + ITCM (sec. 5)".to_owned(),
-        format!("{:.2}", (1.0 - e / be) * 100.0),
-        format!("{:.2}", (1.0 - tt / bt) * 100.0),
-    ]);
-    println!("== Ablation: DTCM co-design strategies (suite totals) ==");
-    print!("{}", t.render());
+    bench::run_bin("ablation_dtcm");
 }

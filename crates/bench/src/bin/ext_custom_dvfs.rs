@@ -1,70 +1,6 @@
-//! Extension — the §5 customized DVFS policy in action.
-//!
-//! A mixed batch of memory-bound and CPU-bound plans runs under three
-//! policies: pinned P36, pinned P24, and the plan-aware advisor. The paper's
-//! prediction: the advisor captures most of the memory-bound energy saving
-//! with almost none of the CPU-bound performance loss.
-
-use analysis::active::active_energy;
-use analysis::report::TextTable;
-use bench::{calibrate_at, Rig};
-use engines::{DvfsAdvisor, EngineKind, KnobLevel, Plan};
-use simcore::PState;
-use workloads::TpchScale;
-
-fn batch() -> Vec<(&'static str, Plan)> {
-    vec![
-        ("table scan+agg", workloads::BasicOp::GroupBy.plan()),
-        ("index scan", workloads::BasicOp::IndexScan.plan()),
-        ("select", workloads::BasicOp::Select.plan()),
-        (
-            "deep NL pipeline",
-            Plan::scan("nation")
-                .join(Plan::scan("supplier"), 0, 2)
-                .join(Plan::scan("partsupp"), 3, 1)
-                .join(Plan::scan("part"), 8, 0),
-        ),
-    ]
-}
+//! Thin wrapper over the `ext_custom_dvfs` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let scale = TpchScale(bench::env_f64("MJ_SCALE", 8.0));
-    let t36 = calibrate_at(PState::P36);
-    let t24 = calibrate_at(PState::P24);
-    let advisor = DvfsAdvisor::default();
-
-    let mut t = TextTable::new(["policy", "time (ms)", "Eactive (J)", "Perf/Energy vs P36"]);
-    let mut base_eff = None;
-    for policy in ["pinned P36", "pinned P24", "advisor"] {
-        let mut rig = Rig::tpch(EngineKind::Pg, KnobLevel::Baseline, scale, PState::P36);
-        let profile = EngineKind::Pg.profile();
-        let (mut time, mut energy) = (0.0f64, 0.0f64);
-        for (_, plan) in batch() {
-            let ps = match policy {
-                "pinned P36" => PState::P36,
-                "pinned P24" => PState::P24,
-                _ => advisor.recommend(&plan, profile),
-            };
-            rig.cpu.set_pstate(ps);
-            let m = rig.profile(&plan);
-            let table = if ps == PState::P36 { &t36 } else { &t24 };
-            time += m.time_s;
-            energy += active_energy(&m, &table.background).active_j;
-        }
-        let eff = 1.0 / (time * energy);
-        let rel = base_eff.map_or(100.0, |b| eff / b * 100.0);
-        base_eff.get_or_insert(eff);
-        t.row([
-            policy.to_owned(),
-            format!("{:.3}", time * 1e3),
-            format!("{energy:.5}"),
-            format!("{rel:.1}%"),
-        ]);
-    }
-    println!("== Extension: plan-aware DVFS (PG, mixed batch) ==");
-    print!("{}", t.render());
-    println!("\nper-plan advisor choices:");
-    for (name, plan) in batch() {
-        println!("  {:<18} -> {}", name, advisor.recommend(&plan, EngineKind::Pg.profile()));
-    }
+    bench::run_bin("ext_custom_dvfs");
 }

@@ -1,91 +1,6 @@
-//! Extension — energy breakdown of write workloads (INSERT/UPDATE/DELETE).
-//!
-//! The paper scopes writes out (§2.3): "it may involve more micro-operations
-//! about writing". This harness shows that empirically: the read-side model
-//! `MS` explains much less of a write workload's Busy-CPU energy, and the
-//! store/write-back signature dwarfs the read path's.
-
-use analysis::report::TextTable;
-use bench::{calibrate_at, default_scale, share_header, share_row, Rig};
-use engines::{Dml, EngineKind, KnobLevel};
-use simcore::{Event, PState};
-use storage::{CmpOp, Expr, Value};
-use workloads::tpch::gen::schema_orders;
+//! Thin wrapper over the `ext_writes` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let scale = default_scale();
-    let o = |c: &str| schema_orders().col_expect(c);
-
-    let statements: Vec<(&str, Dml)> = vec![
-        (
-            "INSERT 2k orders",
-            Dml::Insert {
-                table: "orders".into(),
-                rows: (0..2000)
-                    .map(|i| {
-                        vec![
-                            Value::Int(10_000_000 + i),
-                            Value::Int(i % 100),
-                            Value::Str("O".into()),
-                            Value::Float(1000.0 + i as f64),
-                            Value::Date(9000),
-                            Value::Str("3-MEDIUM".into()),
-                            Value::Int(0),
-                        ]
-                    })
-                    .collect(),
-            },
-        ),
-        (
-            "UPDATE totalprice",
-            Dml::Update {
-                table: "orders".into(),
-                filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(o("o_custkey")), Expr::int(40))),
-                set: vec![(
-                    o("o_totalprice"),
-                    Expr::Bin(
-                        storage::BinOp::Mul,
-                        Box::new(Expr::col(o("o_totalprice"))),
-                        Box::new(Expr::float(1.05)),
-                    ),
-                )],
-            },
-        ),
-        (
-            "DELETE cold orders",
-            Dml::Delete {
-                table: "orders".into(),
-                filter: Some(Expr::cmp(
-                    CmpOp::Lt,
-                    Expr::col(o("o_orderdate")),
-                    Expr::Lit(Value::Date(8200)),
-                )),
-            },
-        ),
-    ];
-
-    for kind in EngineKind::ALL {
-        let mut rig = Rig::tpch(kind, KnobLevel::Baseline, scale, PState::P36);
-        let mut t = TextTable::new(share_header());
-        println!("== write workloads: {} ==", kind.name());
-        for (name, dml) in &statements {
-            let db = &mut rig.db;
-            let m = rig.cpu.measure(|c| {
-                db.execute(c, dml).expect("dml");
-            });
-            let bd = table.breakdown(&m);
-            t.row(share_row(name, &bd));
-            println!(
-                "  {name}: store/load ratio {:.2}, write-backs {} | busy explained {:.1}% (reads: ~70-89%)",
-                m.pmu.get(Event::StoreIssued) as f64 / m.pmu.get(Event::LoadIssued).max(1) as f64,
-                m.pmu.get(Event::WritebackL1)
-                    + m.pmu.get(Event::WritebackL2)
-                    + m.pmu.get(Event::WritebackL3),
-                bd.busy_explained_share() * 100.0,
-            );
-        }
-        print!("{}", t.render());
-        println!();
-    }
+    bench::run_bin("ext_writes");
 }

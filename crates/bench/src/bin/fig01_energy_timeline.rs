@@ -1,53 +1,6 @@
-//! Fig. 1 — energy along a workload's lifetime: idle → busy → idle, with
-//! the Busy-CPU window split into Background and Active energy.
-
-use analysis::Background;
-use bench::default_scale;
-use engines::{EngineKind, KnobLevel};
-use simcore::{ArchConfig, Cpu, PState};
-use workloads::{build_tpch_db, TpchQuery};
+//! Thin wrapper over the `fig01_energy_timeline` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let arch = ArchConfig::intel_i7_4790();
-    let bg = Background::measure(&arch, PState::P36);
-
-    let mut cpu = Cpu::new(arch);
-    cpu.set_prefetch(true);
-    let mut db = build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, default_scale())
-        .expect("load");
-    let plan = TpchQuery(1).plan();
-    db.run(&mut cpu, &plan).expect("warm");
-
-    cpu.attach_sampler(100e-6);
-    for _ in 0..10 {
-        cpu.idle_c0(1e-4); // idle lead-in, chunked so samples see idle power
-    }
-    let tok = cpu.begin_measure();
-    db.run(&mut cpu, &plan).expect("measured");
-    let m = cpu.end_measure(tok);
-    for _ in 0..10 {
-        cpu.idle_c0(1e-4); // idle tail
-    }
-    let sampler = cpu.take_sampler().expect("sampler");
-
-    println!("== Fig. 1: power over time (PostgreSQL Q1, P36) ==");
-    println!("{:>9}  {:>9}  phase", "t (ms)", "pkg+mem W");
-    let mut prev: Option<simcore::RaplReading> = None;
-    let mut prev_t = 0.0;
-    for s in &sampler.samples {
-        if let Some(p) = prev {
-            let watts = (s.rapl.total_j() - p.total_j()) / (s.t_s - prev_t);
-            let phase = if s.utilization > 0.5 { "BUSY" } else { "idle" };
-            println!("{:9.3}  {watts:9.2}  {phase}", s.t_s * 1e3);
-        }
-        prev = Some(s.rapl);
-        prev_t = s.t_s;
-    }
-    let busy = m.rapl.package_j + m.rapl.memory_j;
-    let background = (bg.package_w + bg.memory_w) * m.time_s;
-    println!(
-        "\nBusy-CPU energy {busy:.4} J = Active {:.4} J + Background {background:.4} J ({:.1}% background)",
-        busy - background,
-        background / busy * 100.0
-    );
+    bench::run_bin("fig01_energy_timeline");
 }

@@ -1,51 +1,6 @@
-//! Fig. 3 — CPU execution behaviour of list vs array traversal over an
-//! L1D-resident working set: the list's back-and-forth dependency forces
-//! the pipeline to stall; the array dual-issues with no bubbles.
-
-use microbench::runner::{bench_cpu, RunConfig};
-use microbench::{ArrayBuf, ListChain};
-use simcore::{ArchConfig, Event};
+//! Thin wrapper over the `fig03_traversal` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let cfg = RunConfig::p36();
-    println!("== Fig. 3: list vs array traversal (31 KB working set, P36) ==\n");
-
-    let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
-    let chain = ListChain::sequential(&mut cpu, 31 * 1024).expect("chain");
-    chain.traverse(&mut cpu, 1).expect("warm");
-    let m = cpu.measure(|c| chain.traverse(c, 40).expect("run"));
-    let loads = m.pmu.get(Event::LoadIssued) as f64;
-    println!(
-        "list traversal:  {:.2} cycles/load = 1 busy + {:.2} stalled | IPC {:.2}",
-        m.cycles / loads,
-        m.pmu.get(Event::StallCycles) as f64 / loads,
-        m.pmu.ipc()
-    );
-    per_load_diagram(m.cycles / loads);
-
-    let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
-    let arr = ArrayBuf::new(&mut cpu, 31 * 1024).expect("array");
-    arr.traverse(&mut cpu, 1);
-    let m = cpu.measure(|c| arr.traverse(c, 40));
-    let loads = m.pmu.get(Event::LoadIssued) as f64;
-    println!(
-        "\narray traversal: {:.2} cycles/load, {} stalls | IPC {:.2}",
-        m.cycles / loads,
-        m.pmu.get(Event::StallCycles),
-        m.pmu.ipc()
-    );
-    per_load_diagram(m.cycles / loads);
-}
-
-fn per_load_diagram(cycles_per_load: f64) {
-    let total = cycles_per_load.round().max(1.0) as usize;
-    let mut line = String::from("  per load: ");
-    line.push('B');
-    for _ in 1..total {
-        line.push('S');
-    }
-    if total == 1 {
-        line.push_str("  (dual-issued: two loads share a cycle)");
-    }
-    println!("{line}");
+    bench::run_bin("fig03_traversal");
 }

@@ -1,37 +1,6 @@
-//! Fig. 4 — the micro-benchmark data structures, rendered from live chains:
-//! (a) the array layout, (b) the sequential chain, (d) the εspan-permuted
-//! chain whose logical order breaks physical locality.
-
-use microbench::{ArrayBuf, ListChain};
-use simcore::{ArchConfig, Cpu};
+//! Thin wrapper over the `fig04_structures` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-
-    let arr = ArrayBuf::new(&mut cpu, 16 * 64).expect("array");
-    println!("(a) B_L1D_array: {} items x 64 B, visited physically in order:", arr.items);
-    println!("    [0][1][2]...[{}]\n", arr.items - 1);
-
-    let seq = ListChain::sequential(&mut cpu, 16 * 64).expect("chain");
-    println!("(b) B_L1D_list: f-pointers in physical order (logical = physical):");
-    print!("    ");
-    let mut p = seq.head;
-    for _ in 0..seq.items {
-        print!("[{}]→", (p - seq.region.addr) / 64);
-        p = cpu.arena().read_u64(p).expect("f");
-    }
-    println!("(head)\n");
-
-    let perm = ListChain::permuted(&mut cpu, 32 * 64, 4, 7).expect("perm");
-    println!("(d) B_m (Algorithm 3): logical order is an espan-constrained permutation;");
-    println!("    physical jump per hop (lines):");
-    print!("    ");
-    let mut p = perm.head;
-    for _ in 0..perm.items {
-        let next = cpu.arena().read_u64(p).expect("f");
-        print!("{:+} ", (next as i64 - p as i64) / 64);
-        p = next;
-    }
-    println!("\n\nThe long jumps are what defeat LRU + the streamer: reuse distance =");
-    println!("working-set size, so every access misses all levels smaller than it.");
+    bench::run_bin("fig04_structures");
 }

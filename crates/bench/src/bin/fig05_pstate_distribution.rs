@@ -1,69 +1,6 @@
-//! Fig. 5 / §2.7 — P-state residency of the TPC-H queries with the
-//! EIST-like governor enabled.
-//!
-//! Paper reference: with 96% average CPU usage, most queries sit at P-state
-//! 36 for ≥90% of samples; the histogram over "percent of samples at P36"
-//! is heavily right-shifted for all three engines.
-
-use analysis::report::TextTable;
-use bench::default_scale;
-use engines::{EngineKind, KnobLevel};
-use simcore::{ArchConfig, Cpu, PState};
-use workloads::{build_tpch_db, TpchQuery};
+//! Thin wrapper over the `fig05_pstate_distribution` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let scale = default_scale();
-    let mut t = TextTable::new(["engine", "<=60", "70", "80", "90", "100", "median P36%"]);
-    for kind in EngineKind::ALL {
-        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        cpu.set_prefetch(true);
-        let mut db = build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, scale).expect("load");
-        // Governor with a window short enough to react inside a query
-        // (queries here are ~ms; the paper's real runs are seconds).
-        cpu.set_governor(true);
-        cpu.set_governor_interval(15e-6);
-
-        let mut buckets = [0u32; 5];
-        let mut residencies = Vec::new();
-        for q in TpchQuery::all() {
-            let plan = q.plan();
-            // Cold run unsampled (pool warm-up), then sample steady-state
-            // execution, as the paper samples long repeated runs. Idle gaps
-            // and spill waits inside execution still drag samples below P36.
-            db.run(&mut cpu, &plan).expect("cold");
-            // One unsampled warm repetition lets the governor settle — the
-            // paper samples within 100 back-to-back runs.
-            db.run(&mut cpu, &plan).expect("ramp");
-            cpu.attach_sampler(10e-6);
-            db.run(&mut cpu, &plan).expect("warm 1");
-            cpu.idle_c0(30e-6); // client think-time between repetitions
-            db.run(&mut cpu, &plan).expect("warm 2");
-            let sampler = cpu.take_sampler().expect("sampler attached");
-            let p36 = sampler.residency(PState::P36) * 100.0;
-            residencies.push(p36);
-            let b = match p36 {
-                x if x <= 60.0 => 0,
-                x if x <= 70.0 => 1,
-                x if x <= 80.0 => 2,
-                x if x <= 90.0 => 3,
-                _ => 4,
-            };
-            buckets[b] += 1;
-            // Idle gap between queries, as on a real client.
-            cpu.idle_c0(2e-3);
-        }
-        residencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let median = residencies[residencies.len() / 2];
-        t.row([
-            kind.name().to_owned(),
-            buckets[0].to_string(),
-            buckets[1].to_string(),
-            buckets[2].to_string(),
-            buckets[3].to_string(),
-            buckets[4].to_string(),
-            format!("{median:.0}%"),
-        ]);
-    }
-    println!("== Fig. 5: query count by percent of samples at P-state 36 (EIST on) ==");
-    print!("{}", t.render());
+    bench::run_bin("fig05_pstate_distribution");
 }

@@ -1,39 +1,6 @@
-//! Fig. 6 — Active-energy breakdown of the 7 basic query operations on the
-//! three engine personalities (baseline data size, baseline knobs, P36).
-//!
-//! Paper reference points: data-movement share 68.1% (PG) / 76.4% (SQLite)
-//! / 56.8% (MySQL); `E_L1D + E_Reg2L1D` 41.6% / 66.6% / 43.4%.
-
-use analysis::report::TextTable;
-use analysis::MicroOp;
-use bench::{calibrate_at, default_scale, share_header, share_row, Rig};
-use engines::{EngineKind, KnobLevel};
-use simcore::PState;
-use workloads::BasicOp;
+//! Thin wrapper over the `fig06_basic_ops` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let scale = default_scale();
-
-    for kind in EngineKind::ALL {
-        let mut rig = Rig::tpch(kind, KnobLevel::Baseline, scale, PState::P36);
-        let mut t = TextTable::new(share_header());
-        let mut merged = Vec::new();
-        for op in BasicOp::ALL {
-            let bd = rig.breakdown(&table, &op.plan());
-            t.row(share_row(op.name(), &bd));
-            merged.push(bd);
-        }
-        let all = analysis::Breakdown::merge(&merged).expect("non-empty");
-        println!("== Eactive breakdown of basic query operations: {} ==", kind.name());
-        print!("{}", t.render());
-        bench::maybe_write_csv(&format!("fig06_{}", kind.name()), &t);
-        println!(
-            "summary: movement {:.1}% of Eactive | EL1D+EReg2L1D {:.1}% | stall {:.1}% | busy explained {:.1}%\n",
-            all.movement_share() * 100.0,
-            all.l1d_share() * 100.0,
-            all.share(MicroOp::Stall) * 100.0,
-            all.busy_explained_share() * 100.0,
-        );
-    }
+    bench::run_bin("fig06_basic_ops");
 }

@@ -1,40 +1,6 @@
-//! Fig. 7 — Active-energy breakdown of TPC-H Q1–Q22 on the three engines
-//! (baseline size + knobs, P36).
-//!
-//! Paper reference points: movement share 65% (PG) / 75% (SQLite) / 55%
-//! (MySQL); `E_L1D + E_Reg2L1D` 46.8% / 60% / 38.6%; 79.2–88.7% of Busy-CPU
-//! energy broken down.
-
-use analysis::report::TextTable;
-use analysis::Breakdown;
-use bench::{calibrate_at, default_scale, share_header, share_row, Rig};
-use engines::{EngineKind, KnobLevel};
-use simcore::PState;
-use workloads::TpchQuery;
+//! Thin wrapper over the `fig07_tpch` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let scale = default_scale();
-    for kind in EngineKind::ALL {
-        let mut rig = Rig::tpch(kind, KnobLevel::Baseline, scale, PState::P36);
-        let mut t = TextTable::new(share_header());
-        let mut all = Vec::new();
-        for q in TpchQuery::all() {
-            let bd = rig.breakdown(&table, &q.plan());
-            t.row(share_row(&q.name(), &bd));
-            all.push(bd);
-        }
-        let merged = Breakdown::merge(&all).expect("queries ran");
-        println!("== Eactive breakdown of TPC-H: {} ==", kind.name());
-        print!("{}", t.render());
-        bench::maybe_write_csv(&format!("fig07_{}", kind.name()), &t);
-        println!(
-            "summary: movement {:.1}% | EL1D+EReg2L1D {:.1}% | busy explained {:.1}% | total Eactive {:.4} J | time {:.4} s\n",
-            merged.movement_share() * 100.0,
-            merged.l1d_share() * 100.0,
-            merged.busy_explained_share() * 100.0,
-            merged.active_j(),
-            merged.time_s,
-        );
-    }
+    bench::run_bin("fig07_tpch");
 }

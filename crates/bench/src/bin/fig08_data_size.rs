@@ -1,55 +1,6 @@
-//! Fig. 8 — impact of data size on the TPC-H average breakdown.
-//!
-//! The paper runs 100 MB / 500 MB / 1 GB and finds no significant change in
-//! the distribution ("the L1D cache load/store is still the energy
-//! bottleneck which is hardly affected by the data size"). We sweep 1:5:10
-//! relative scales around the harness default.
-
-use analysis::report::TextTable;
-use analysis::Breakdown;
-use bench::{calibrate_at, default_scale, share_header, share_row, Rig};
-use engines::{EngineKind, KnobLevel};
-use simcore::PState;
-use workloads::{TpchQuery, TpchScale};
+//! Thin wrapper over the `fig08_data_size` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let base = default_scale().0;
-    let mut t = TextTable::new(share_header());
-    let mut l1d = Vec::new();
-    for kind in EngineKind::ALL {
-        for (label, factor) in [("100MB", 1.0), ("500MB", 5.0), ("1GB", 10.0)] {
-            let scale = TpchScale(base * factor / 2.0);
-            let mut rig = Rig::tpch(kind, KnobLevel::Baseline, scale, PState::P36);
-            let all: Vec<Breakdown> =
-                TpchQuery::all().map(|q| rig.breakdown(&table, &q.plan())).collect();
-            let merged = Breakdown::merge(&all).expect("queries ran");
-            let name = format!("{}-{}", short(kind), label);
-            t.row(share_row(&name, &merged));
-            l1d.push((name, merged.l1d_share()));
-        }
-    }
-    println!("== Fig. 8: impact of data size (TPC-H average) ==");
-    print!("{}", t.render());
-    bench::maybe_write_csv("fig08", &t);
-    // Stability check: within each engine, the L1D share must not move much.
-    println!();
-    for chunk in l1d.chunks(3) {
-        let vals: Vec<f64> = chunk.iter().map(|(_, v)| *v).collect();
-        let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
-            - vals.iter().cloned().fold(f64::MAX, f64::min);
-        println!(
-            "{}: EL1D+EReg2L1D spread across sizes = {:.1} pp",
-            chunk[0].0.split('-').next().expect("name"),
-            spread * 100.0
-        );
-    }
-}
-
-fn short(kind: EngineKind) -> &'static str {
-    match kind {
-        EngineKind::Pg => "PG",
-        EngineKind::Lite => "SQLite",
-        EngineKind::My => "MySQL",
-    }
+    bench::run_bin("fig08_data_size");
 }

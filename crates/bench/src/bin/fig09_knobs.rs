@@ -1,30 +1,6 @@
-//! Fig. 9 — impact of the Table 4 knob settings (small/baseline/large) on
-//! the TPC-H average breakdown.
-//!
-//! Paper reference: "different settings have little impact on the energy
-//! cost distribution"; MySQL's `E_stall` shrinks at the large setting.
-
-use analysis::report::TextTable;
-use analysis::Breakdown;
-use bench::{calibrate_at, default_scale, share_header, share_row, Rig};
-use engines::{EngineKind, KnobLevel};
-use simcore::PState;
-use workloads::TpchQuery;
+//! Thin wrapper over the `fig09_knobs` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let scale = default_scale();
-    let mut t = TextTable::new(share_header());
-    for kind in EngineKind::ALL {
-        for level in KnobLevel::ALL {
-            let mut rig = Rig::tpch(kind, level, scale, PState::P36);
-            let all: Vec<Breakdown> =
-                TpchQuery::all().map(|q| rig.breakdown(&table, &q.plan())).collect();
-            let merged = Breakdown::merge(&all).expect("queries ran");
-            t.row(share_row(&format!("{}-{}", kind.name(), level.name()), &merged));
-        }
-    }
-    println!("== Fig. 9: impact of database settings (TPC-H average) ==");
-    print!("{}", t.render());
-    bench::maybe_write_csv("fig09", &t);
+    bench::run_bin("fig09_knobs");
 }

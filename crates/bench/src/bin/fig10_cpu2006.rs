@@ -1,36 +1,6 @@
-//! Fig. 10 — Active-energy breakdown of the nine CPU2006-like kernels.
-//!
-//! Paper reference: distributions are heterogeneous, `E_L1D + E_Reg2L1D`
-//! averages ~11%, and is as low as 5.6% for Mcf and Libquantum — the
-//! opposite of query workloads.
-
-use analysis::report::TextTable;
-use bench::{calibrate_at, share_header, share_row};
-use simcore::{ArchConfig, Cpu, PState};
-use workloads::Cpu2006;
+//! Thin wrapper over the `fig10_cpu2006` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let mut t = TextTable::new(share_header());
-    let mut shares = Vec::new();
-    for w in Cpu2006::ALL {
-        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        cpu.set_prefetch(true);
-        cpu.set_pstate(PState::P36);
-        w.run(&mut cpu, 30_000); // warm
-        let m = cpu.measure(|c| w.run(c, 120_000));
-        let bd = table.breakdown(&m);
-        t.row(share_row(w.name(), &bd));
-        shares.push(bd.l1d_share());
-    }
-    println!("== Fig. 10: Eactive breakdown of CPU2006-like workloads ==");
-    print!("{}", t.render());
-    bench::maybe_write_csv("fig10", &t);
-    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
-    let min = shares.iter().cloned().fold(f64::MAX, f64::min);
-    println!(
-        "\nEL1D+EReg2L1D: average {:.1}% (paper ~11%), minimum {:.1}% (paper 5.6%)",
-        avg * 100.0,
-        min * 100.0
-    );
+    bench::run_bin("fig10_cpu2006");
 }

@@ -1,47 +1,6 @@
-//! Fig. 11 — impact of CPU frequency/voltage: TPC-H average breakdown at
-//! P36 / P24 / P12, each decomposed with a table calibrated at that
-//! operating point.
-//!
-//! Paper reference: Eactive drops 32%±2% at P24 and 51%±1% at P12; the
-//! Emem+Epf share roughly doubles at P12; the `E_L1D + E_Reg2L1D` share
-//! falls only 4–8.6 pp — L1D stays the bottleneck.
-
-use analysis::report::TextTable;
-use analysis::Breakdown;
-use bench::{calibrate_at, default_scale, share_header, share_row, Rig};
-use engines::{EngineKind, KnobLevel};
-use simcore::PState;
-use workloads::TpchQuery;
+//! Thin wrapper over the `fig11_pstates` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let scale = default_scale();
-    let mut t = TextTable::new(share_header());
-    let mut eactive: Vec<(String, f64, f64)> = Vec::new();
-    for kind in EngineKind::ALL {
-        for ps in [PState::P36, PState::P24, PState::P12] {
-            let table = calibrate_at(ps);
-            let mut rig = Rig::tpch(kind, KnobLevel::Baseline, scale, ps);
-            let all: Vec<Breakdown> =
-                TpchQuery::all().map(|q| rig.breakdown(&table, &q.plan())).collect();
-            let merged = Breakdown::merge(&all).expect("queries ran");
-            let name = format!("{}-{}", kind.name(), ps);
-            t.row(share_row(&name, &merged));
-            eactive.push((name, merged.active_j(), merged.l1d_share()));
-        }
-    }
-    println!("== Fig. 11: impact of CPU frequency and voltage (TPC-H average) ==");
-    print!("{}", t.render());
-    bench::maybe_write_csv("fig11", &t);
-    println!();
-    for chunk in eactive.chunks(3) {
-        let base = chunk[0].1;
-        println!(
-            "{}: Eactive P24 = -{:.0}% vs P36, P12 = -{:.0}% | L1D share P36→P12: {:.1} → {:.1} pp",
-            chunk[0].0.split('-').next().expect("name"),
-            (1.0 - chunk[1].1 / base) * 100.0,
-            (1.0 - chunk[2].1 / base) * 100.0,
-            chunk[0].2 * 100.0,
-            chunk[2].2 * 100.0,
-        );
-    }
+    bench::run_bin("fig11_pstates");
 }

@@ -1,116 +1,6 @@
-//! §4.3 / Fig. 13 — the DTCM proof of concept on the ARM1176JZF-S-like
-//! machine: per-query energy saving and performance improvement of the
-//! co-designed Lite engine vs. the unmodified Lite engine.
-//!
-//! Paper reference: `B_DTCM_array` saves ~10% vs `B_L1D_array` (the peak);
-//! the optimised SQLite saves 6% on average (60% of peak) and *gains* ~1.5%
-//! performance; 64% of queries get faster.
-
-use analysis::report::TextTable;
-use engines::{DtcmConfig, DtcmDatabase, EngineKind};
-use microbench::runner::{bench_cpu, RunConfig};
-use microbench::MicroBenchId;
-use simcore::{ArchConfig, Cpu, Measurement, PState};
-use storage::Row;
-use workloads::tpch::gen::build_tpch_db;
-use workloads::{TpchQuery, TpchScale};
-
-/// The paper's 10 MB / small-setting ARM experiment (scale 10 = 10 "paper MB").
-fn arm_scale() -> TpchScale {
-    TpchScale(bench::env_f64("MJ_ARM_SCALE", 10.0))
-}
+//! Thin wrapper over the `fig13_dtcm_poc` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    // Peak saving: B_DTCM_array vs B_L1D_array on the ARM part.
-    let cfg = RunConfig {
-        pstate: PState(7),
-        target_ops: bench::CAL_OPS,
-        ..RunConfig::p36()
-    };
-    let run = |id: MicroBenchId| {
-        let mut cpu = bench_cpu(ArchConfig::arm1176jzf_s(), &cfg);
-        let r = id.run(&mut cpu, &cfg);
-        r.measurement.rapl.total_j()
-    };
-    let e_l1d = run(MicroBenchId::L1dArray);
-    let e_tcm = run(MicroBenchId::DtcmArray);
-    let peak = (1.0 - e_tcm / e_l1d) * 100.0;
-    println!("== Sec 4.3: peak DTCM saving ==");
-    println!("B_L1D_array {e_l1d:.4} J | B_DTCM_array {e_tcm:.4} J | peak saving {peak:.1}%\n");
-
-    // Per-query comparison (ARM, small knobs, reduced 10 MB stand-in).
-    let scale = arm_scale();
-    let hot: Vec<&str> = vec![
-        "lineitem", "orders", "customer", "part", "partsupp", "supplier", "nation", "region",
-    ];
-
-    let mut base_cpu = Cpu::new(ArchConfig::arm1176jzf_s());
-    base_cpu.set_prefetch(true);
-    let mut base_db = {
-        let mut db = build_tpch_db(&mut base_cpu, EngineKind::Lite, engines::KnobLevel::Small, scale)
-            .expect("load baseline");
-        db.knobs = engines::Knobs::arm_small();
-        db
-    };
-
-    let mut opt_cpu = Cpu::new(ArchConfig::arm1176jzf_s());
-    opt_cpu.set_prefetch(true);
-    let opt_base = {
-        let mut db =
-            build_tpch_db(&mut opt_cpu, EngineKind::Lite, engines::KnobLevel::Small, scale)
-                .expect("load optimised");
-        db.knobs = engines::Knobs::arm_small();
-        db
-    };
-    let mut opt_db = DtcmDatabase::configure(&mut opt_cpu, opt_base, &hot, DtcmConfig::default())
-        .expect("configure DTCM");
-    println!("DTCM pins: {} pages + 4 KB special variables\n", opt_db.pinned_pages());
-
-    let mut t = TextTable::new(["Query", "E_base (J)", "E_dtcm (J)", "saving%", "perf_improve%"]);
-    let (mut savings, mut perfs, mut rows_checked) = (Vec::new(), Vec::new(), 0usize);
-    for q in TpchQuery::all() {
-        let plan = q.plan();
-        let (m_base, r_base) = profile(&mut base_cpu, &plan, |c, p| base_db.run(c, p).expect("base"));
-        let (m_opt, r_opt) = profile(&mut opt_cpu, &plan, |c, p| opt_db.run(c, p).expect("dtcm"));
-        assert_eq!(canon(r_base), canon(r_opt), "{} results diverged", q.name());
-        rows_checked += 1;
-        let saving = (1.0 - m_opt.rapl.total_j() / m_base.rapl.total_j()) * 100.0;
-        let perf = (1.0 - m_opt.time_s / m_base.time_s) * 100.0;
-        savings.push(saving);
-        perfs.push(perf);
-        t.row([
-            q.name(),
-            format!("{:.5}", m_base.rapl.total_j()),
-            format!("{:.5}", m_opt.rapl.total_j()),
-            format!("{saving:.2}"),
-            format!("{perf:.2}"),
-        ]);
-    }
-    println!("== Fig. 13: per-query energy saving and performance improvement ==");
-    print!("{}", t.render());
-    let avg_saving = savings.iter().sum::<f64>() / savings.len() as f64;
-    let avg_perf = perfs.iter().sum::<f64>() / perfs.len() as f64;
-    let faster = perfs.iter().filter(|&&p| p > 0.0).count();
-    println!(
-        "\naverage saving {avg_saving:.2}% (= {:.0}% of the {peak:.1}% peak) | average perf {avg_perf:+.2}% | {faster}/{} queries faster | {rows_checked} result sets verified equal",
-        avg_saving / peak * 100.0,
-        perfs.len(),
-    );
-}
-
-fn profile<F: FnMut(&mut Cpu, &engines::Plan) -> Vec<Row>>(
-    cpu: &mut Cpu,
-    plan: &engines::Plan,
-    mut run: F,
-) -> (Measurement, Vec<Row>) {
-    run(cpu, plan); // warm
-    let tok = cpu.begin_measure();
-    let rows = run(cpu, plan);
-    (cpu.end_measure(tok), rows)
-}
-
-fn canon(mut rows: Vec<Row>) -> Vec<String> {
-    let mut out: Vec<String> = rows.drain(..).map(|r| format!("{r:?}")).collect();
-    out.sort();
-    out
+    bench::run_bin("fig13_dtcm_poc");
 }

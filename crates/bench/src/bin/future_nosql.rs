@@ -1,48 +1,6 @@
-//! Extension (the paper's §7 future work) — profile the energy cost of a
-//! NoSQL system: the §2 methodology applied to an LSM key-value store under
-//! YCSB-like mixes.
-//!
-//! The question the paper poses: does the L1D energy bottleneck generalise
-//! beyond relational query workloads? The answer here: partially. Scan-
-//! and compaction-heavy mixes look like relational scans (L1D-leaning);
-//! point-read mixes spend their energy on bloom probes, index descents and
-//! skip-list chases (stall-leaning) — between the paper's query workloads
-//! and its CPU-bound workloads.
-
-use analysis::report::TextTable;
-use bench::{calibrate_at, share_header, share_row};
-use nosql::{LsmConfig, LsmStore, Workload, YcsbMix};
-use simcore::{ArchConfig, Cpu, PState};
+//! Thin wrapper over the `future_nosql` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let mut t = TextTable::new(share_header());
-    let mut summary = Vec::new();
-    for mix in YcsbMix::ALL {
-        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        cpu.set_prefetch(true);
-        let mut store = LsmStore::open(&mut cpu, LsmConfig::default()).expect("open");
-        let mut w =
-            Workload::load(&mut cpu, &mut store, mix, 20_000, 100).expect("load");
-        // Warm the read path.
-        w.run(&mut cpu, &mut store, 1_000).expect("warm");
-        let m = cpu.measure(|c| {
-            w.run(c, &mut store, 5_000).expect("run");
-        });
-        let bd = table.breakdown(&m);
-        t.row(share_row(mix.name(), &bd));
-        summary.push((mix, bd.l1d_share(), bd.share(analysis::MicroOp::Stall)));
-    }
-    println!("== Future work (sec. 7): Eactive breakdown of an LSM KV store under YCSB ==");
-    print!("{}", t.render());
-    println!();
-    for (mix, l1d, stall) in summary {
-        println!(
-            "{}: EL1D+EReg2L1D {:.1}% | Estall {:.1}%",
-            mix.name(),
-            l1d * 100.0,
-            stall * 100.0
-        );
-    }
-    println!("\nRelational query workloads sit at 39-67% L1D share (Figs. 6-7); CPU-bound at ~9% (Fig. 10).");
+    bench::run_bin("future_nosql");
 }

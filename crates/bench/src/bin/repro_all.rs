@@ -1,49 +1,44 @@
-//! Run every experiment binary in sequence (the full reproduction).
+//! Run the full reproduction suite through the `mjrt` scheduler.
 //!
 //! `cargo run --release -p bench --bin repro_all` regenerates every table
 //! and figure; the output sections match DESIGN.md's experiment index and
-//! feed EXPERIMENTS.md.
-
-use std::process::Command;
-
-const BINS: [&str; 18] = [
-    "fig01_energy_timeline",
-    "fig03_traversal",
-    "fig04_structures",
-    "table1_microbench_behaviour",
-    "table2_microop_energy",
-    "table3_verification",
-    "fig05_pstate_distribution",
-    "fig06_basic_ops",
-    "fig07_tpch",
-    "fig08_data_size",
-    "fig09_knobs",
-    "fig10_cpu2006",
-    "fig11_pstates",
-    "table5_memory_bound",
-    "sec5_dvfs_tradeoff",
-    "ext_writes",
-    "ext_custom_dvfs",
-    "future_nosql",
-];
-
-const ARM_BINS: [&str; 2] = ["fig13_dtcm_poc", "ablation_dtcm"];
+//! feed EXPERIMENTS.md. Useful flags (see `mjrt::config::USAGE`):
+//!
+//! * `--jobs N` — run experiment shards on N worker threads. The report
+//!   stream on stdout is byte-identical for any N; only wall-clock changes.
+//! * `--filter SUBSTR` — run only experiments whose name contains SUBSTR.
+//! * `--list` — print the registered experiment names and exit.
+//! * `--csv` — write plotting-ready CSVs into a fresh per-run directory.
+//!
+//! The host-time summary goes to stderr so stdout stays deterministic.
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("target dir");
-    let mut failures = Vec::new();
-    for bin in BINS.into_iter().chain(ARM_BINS) {
-        println!("\n########################################################");
-        println!("# {bin}");
-        println!("########################################################");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            failures.push(bin);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--list") {
+        args.remove(pos);
+        for exp in bench::experiments::REGISTRY {
+            println!("{}", exp.name());
         }
+        return;
     }
+    let cfg = match mjrt::HarnessConfig::from_env_and_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Keep stderr UNLOCKED: workers print csv/panic messages to stderr from
+    // their own threads, and a lock held across the whole suite would
+    // deadlock them (stdout is safe to lock — only the aggregator writes it).
+    let mut stdout = std::io::stdout().lock();
+    let mut stderr = std::io::stderr();
+    let outcome = mjrt::run_suite(bench::experiments::REGISTRY, &cfg, &mut stdout, &mut stderr)
+        .expect("write report stream");
+    drop(stdout);
+
+    let failures = outcome.failures();
     if !failures.is_empty() {
         eprintln!("\nFAILED experiments: {failures:?}");
         std::process::exit(1);

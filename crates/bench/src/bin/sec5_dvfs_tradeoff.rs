@@ -1,73 +1,6 @@
-//! §5 — DVFS trade-offs for memory-bound vs CPU-bound query scenarios.
-//!
-//! Paper reference: lowering P36→P24,
-//!
-//! * `B_mem`: −7% performance for −46% Eactive (energy-efficiency +70%),
-//! * PG index scan: −20% performance for −27% Eactive (efficiency +10%),
-//! * PG table scan: −30% performance for −28% Eactive (efficiency −3%),
-//!
-//! so a customized DVFS policy should downclock index-intensive plans only.
-
-use analysis::active::active_energy;
-use bench::{calibrate_at, Rig};
-use engines::{EngineKind, KnobLevel};
-use microbench::runner::{bench_cpu, RunConfig};
-use microbench::MicroBenchId;
-use simcore::{ArchConfig, PState};
-use workloads::BasicOp;
-
-struct Outcome {
-    time_s: f64,
-    active_j: f64,
-}
+//! Thin wrapper over the `sec5_dvfs_tradeoff` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    println!("== Sec. 5: trading frequency for energy (P36 -> P24) ==");
-    println!();
-    let t36 = calibrate_at(PState::P36);
-    let t24 = calibrate_at(PState::P24);
-
-    // B_mem micro-benchmark.
-    let bmem = |ps: PState, table: &analysis::EnergyTable| {
-        let cfg = RunConfig { pstate: ps, target_ops: bench::CAL_OPS, ..RunConfig::p36() };
-        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
-        let run = MicroBenchId::Mem.run(&mut cpu, &cfg);
-        Outcome {
-            time_s: run.measurement.time_s,
-            active_j: active_energy(&run.measurement, &table.background).active_j,
-        }
-    };
-    report("B_mem (memory-bound)", bmem(PState::P36, &t36), bmem(PState::P24, &t24));
-
-    // PG index scan vs table scan. A larger-than-default scale makes the
-    // index scan genuinely memory-bound (its random fetches overflow L3),
-    // which is the regime the paper's Sec. 5 experiment probes.
-    let scale = workloads::TpchScale(bench::env_f64("MJ_SEC5_SCALE", 96.0));
-    let pg = |op: BasicOp, ps: PState, table: &analysis::EnergyTable| {
-        let mut rig = Rig::tpch(EngineKind::Pg, KnobLevel::Baseline, scale, ps);
-        let m = rig.profile(&op.plan());
-        Outcome { time_s: m.time_s, active_j: active_energy(&m, &table.background).active_j }
-    };
-    report(
-        "PostgreSQL index scan",
-        pg(BasicOp::IndexScan, PState::P36, &t36),
-        pg(BasicOp::IndexScan, PState::P24, &t24),
-    );
-    report(
-        "PostgreSQL table scan",
-        pg(BasicOp::TableScan, PState::P36, &t36),
-        pg(BasicOp::TableScan, PState::P24, &t24),
-    );
-}
-
-fn report(name: &str, hi: Outcome, lo: Outcome) {
-    let perf_loss = (lo.time_s / hi.time_s - 1.0) * 100.0;
-    let energy_saving = (1.0 - lo.active_j / hi.active_j) * 100.0;
-    // Energy-efficiency = Perf/Energy (the paper's [14] metric).
-    let eff_hi = 1.0 / (hi.time_s * hi.active_j);
-    let eff_lo = 1.0 / (lo.time_s * lo.active_j);
-    println!(
-        "{name}:\n  perf loss {perf_loss:+.1}% | Eactive saving {energy_saving:.1}% | energy-efficiency {:+.1}%\n",
-        (eff_lo / eff_hi - 1.0) * 100.0
-    );
+    bench::run_bin("sec5_dvfs_tradeoff");
 }

@@ -1,32 +1,6 @@
-//! Table 1 — runtime behaviours of the micro-benchmarks: BLI, per-level
-//! miss rates, IPC.
-//!
-//! Paper reference: B_L1D_list BLI 98.9 / IPC 0.26; B_L1D_array IPC 2.02;
-//! B_L2 L1D-miss 99.93% / L2-miss 0.02%; B_mem L3-miss 97.45% / IPC 0.005;
-//! B_Reg2L1D IPC 1.01; B_add IPC 2.01; B_nop IPC 3.99.
-
-use analysis::report::TextTable;
-use microbench::runner::{bench_cpu, RunConfig};
-use microbench::MicroBenchId;
-use simcore::ArchConfig;
+//! Thin wrapper over the `table1_microbench_behaviour` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let cfg = RunConfig { target_ops: bench::CAL_OPS, ..RunConfig::p36() };
-    let mut t = TextTable::new(["Micro-benchmark", "BLI%", "L1D miss%", "L2 miss%", "L3 miss%", "IPC"]);
-    let pct = |o: Option<f64>| o.map_or("-".to_owned(), |v| format!("{:.2}", v * 100.0));
-    for id in MicroBenchId::X86_SET {
-        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
-        let r = id.run(&mut cpu, &cfg);
-        let p = &r.measurement.pmu;
-        t.row([
-            r.name.to_owned(),
-            format!("{:.1}", r.bli * 100.0),
-            pct(p.l1d_miss_rate()),
-            pct(p.l2_miss_rate()),
-            pct(p.l3_miss_rate()),
-            format!("{:.3}", r.ipc()),
-        ]);
-    }
-    println!("== Table 1: runtime behaviours of micro-benchmarks (P36, prefetch off) ==");
-    print!("{}", t.render());
+    bench::run_bin("table1_microbench_behaviour");
 }

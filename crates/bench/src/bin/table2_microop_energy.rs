@@ -1,44 +1,6 @@
-//! Table 2 — solved per-micro-op energies (nJ) at P36 / P24 / P12.
-//!
-//! Paper reference (nJ):
-//! ```text
-//!              P36    P24    P12
-//! ΔE_L1D       1.30   0.90   0.60
-//! ΔE_L2        4.37   3.25   1.64
-//! ΔE_L3/pf^L2  6.64   5.91   5.33
-//! ΔE_mem/pf^L3 103.1  99.1   99.04
-//! ΔE_Reg2L1D   2.42   1.60   1.10
-//! ΔE_stall     1.72   1.07   0.80
-//! ΔE_add       1.03   ΔE_nop 0.65      (P36 only)
-//! ```
-
-use analysis::report::TextTable;
-use analysis::MicroOp;
-use bench::calibrate_at;
-use simcore::PState;
+//! Thin wrapper over the `table2_microop_energy` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let tables: Vec<_> =
-        [PState::P36, PState::P24, PState::P12].iter().map(|&ps| calibrate_at(ps)).collect();
-    let mut t = TextTable::new(["Micro-operation", "P36 (3.6GHz)", "P24 (2.4GHz)", "P12 (1.2GHz)"]);
-    let row = |label: &str, f: &dyn Fn(&analysis::EnergyTable) -> f64| {
-        [label.to_owned()]
-            .into_iter()
-            .chain(tables.iter().map(|tb| format!("{:.2}", f(tb))))
-            .collect::<Vec<_>>()
-    };
-    t.row(row("dE_L1D", &|tb| tb.de_nj(MicroOp::L1d)));
-    t.row(row("dE_L2", &|tb| tb.de_nj(MicroOp::L2)));
-    t.row(row("dE_L3, dE_pf^L2", &|tb| tb.de_nj(MicroOp::L3)));
-    t.row(row("dE_mem, dE_pf^L3", &|tb| tb.de_nj(MicroOp::Mem)));
-    t.row(row("dE_Reg2L1D", &|tb| tb.de_nj(MicroOp::Reg2L1d)));
-    t.row(row("dE_stall", &|tb| tb.de_nj(MicroOp::Stall)));
-    t.row(row("dE_add", &|tb| tb.de_add * 1e9));
-    t.row(row("dE_nop", &|tb| tb.de_nop * 1e9));
-    println!("== Table 2: solved energy cost of micro-operations (nJ) ==");
-    print!("{}", t.render());
-    println!(
-        "\nbackground @P36: core {:.2} W, package {:.2} W, memory {:.2} W",
-        tables[0].background.core_w, tables[0].background.package_w, tables[0].background.memory_w
-    );
+    bench::run_bin("table2_microop_energy");
 }

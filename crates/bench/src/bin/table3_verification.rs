@@ -1,28 +1,6 @@
-//! Table 3 — verification micro-benchmarks: estimated vs measured Active
-//! energy and per-benchmark accuracy.
-//!
-//! Paper reference: accuracies 87.22–97.08%, average 93.47%.
-
-use analysis::report::TextTable;
-use analysis::verify::{mean_accuracy, verify_all};
-use bench::calibrate_at;
-use microbench::RunConfig;
-use simcore::PState;
+//! Thin wrapper over the `table3_verification` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let table = calibrate_at(PState::P36);
-    let cfg = RunConfig { target_ops: bench::CAL_OPS, ..RunConfig::p36() };
-    let results = verify_all(&table, &cfg);
-    let mut t = TextTable::new(["Verification benchmark", "E_est (J)", "E_meas (J)", "acc%"]);
-    for r in &results {
-        t.row([
-            r.name.to_owned(),
-            format!("{:.4}", r.estimated_j),
-            format!("{:.4}", r.measured_j),
-            format!("{:.2}", r.acc * 100.0),
-        ]);
-    }
-    println!("== Table 3: verification of solved dE_m (P36) ==");
-    print!("{}", t.render());
-    println!("\naverage accuracy: {:.2}% (paper: 93.47%)", mean_accuracy(&results) * 100.0);
+    bench::run_bin("table3_verification");
 }

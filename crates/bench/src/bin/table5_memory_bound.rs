@@ -1,40 +1,6 @@
-//! Table 5 — the energy bottleneck of `B_mem` at P36 / P24 / P12.
-//!
-//! Paper reference: Estall dominates (79.8% at P36), Emem is nearly
-//! frequency-invariant, and lowering the P-state shrinks Eactive
-//! super-linearly (1772.5 → 952.9 → 600.5 J) with only mild slowdown —
-//! "the energy cost bottleneck is in the CPU, even for non-CPU-bound
-//! workloads".
-
-use analysis::active::active_energy;
-use analysis::report::TextTable;
-use analysis::{MicroOp, MicroOpCounts};
-use bench::calibrate_at;
-use microbench::runner::{bench_cpu, RunConfig};
-use microbench::MicroBenchId;
-use simcore::{ArchConfig, PState};
+//! Thin wrapper over the `table5_memory_bound` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
 
 fn main() {
-    let mut t = TextTable::new(["P-state", "Emem (J/%)", "Estall (J/%)", "Eactive (J)", "time (s)"]);
-    let mut base_time = None;
-    for ps in [PState::P36, PState::P24, PState::P12] {
-        let table = calibrate_at(ps);
-        let cfg = RunConfig { pstate: ps, target_ops: bench::CAL_OPS, ..RunConfig::p36() };
-        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
-        let run = MicroBenchId::Mem.run(&mut cpu, &cfg);
-        let counts = MicroOpCounts::from_pmu(&run.measurement.pmu);
-        let active = active_energy(&run.measurement, &table.background).active_j;
-        let e_mem = table.de(MicroOp::Mem) * counts.mem as f64;
-        let e_stall = table.de(MicroOp::Stall) * counts.stall as f64;
-        t.row([
-            format!("{ps}"),
-            format!("{:.4} ({:.1}%)", e_mem, e_mem / active * 100.0),
-            format!("{:.4} ({:.1}%)", e_stall, e_stall / active * 100.0),
-            format!("{:.4}", active),
-            format!("{:.4}", run.measurement.time_s),
-        ]);
-        base_time.get_or_insert(run.measurement.time_s);
-    }
-    println!("== Table 5: energy bottleneck of B_mem across P-states ==");
-    print!("{}", t.render());
+    bench::run_bin("table5_memory_bound");
 }

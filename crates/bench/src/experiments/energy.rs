@@ -1,0 +1,165 @@
+//! Energy-model experiments: Fig. 1 (energy timeline), Table 2 (solved
+//! micro-op energies) and Table 3 (verification).
+
+use std::any::Any;
+use std::fmt::Write as _;
+
+use analysis::report::TextTable;
+use analysis::verify::{mean_accuracy, verify_all};
+use analysis::{Background, MicroOp};
+use engines::{EngineKind, KnobLevel};
+use microbench::RunConfig;
+use mjrt::{ExpCtx, Experiment, Report};
+use simcore::{ArchConfig, Cpu, PState};
+use workloads::{build_tpch_db, TpchQuery, TpchScale};
+
+/// Fig. 1 — energy along a workload's lifetime: idle → busy → idle, with
+/// the Busy-CPU window split into Background and Active energy.
+pub struct Fig01EnergyTimeline;
+
+impl Experiment for Fig01EnergyTimeline {
+    fn name(&self) -> &'static str {
+        "fig01_energy_timeline"
+    }
+
+    fn run_shard(&self, _shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let arch = ArchConfig::intel_i7_4790();
+        let bg = Background::measure(&arch, PState::P36);
+
+        let mut cpu = Cpu::new(arch);
+        cpu.set_prefetch(true);
+        let scale = TpchScale(ctx.cfg.scale);
+        let mut db =
+            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, scale).expect("load");
+        let plan = TpchQuery(1).plan();
+        db.run(&mut cpu, &plan).expect("warm");
+
+        cpu.attach_sampler(100e-6);
+        for _ in 0..10 {
+            cpu.idle_c0(1e-4); // idle lead-in, chunked so samples see idle power
+        }
+        let tok = cpu.begin_measure();
+        db.run(&mut cpu, &plan).expect("measured");
+        let m = cpu.end_measure(tok);
+        ctx.record(&m);
+        for _ in 0..10 {
+            cpu.idle_c0(1e-4); // idle tail
+        }
+        let sampler = cpu.take_sampler().expect("sampler");
+
+        let mut r = Report::new();
+        writeln!(r, "== Fig. 1: power over time (PostgreSQL Q1, P36) ==").unwrap();
+        writeln!(r, "{:>9}  {:>9}  phase", "t (ms)", "pkg+mem W").unwrap();
+        let mut prev: Option<simcore::RaplReading> = None;
+        let mut prev_t = 0.0;
+        for s in &sampler.samples {
+            if let Some(p) = prev {
+                let watts = (s.rapl.total_j() - p.total_j()) / (s.t_s - prev_t);
+                let phase = if s.utilization > 0.5 { "BUSY" } else { "idle" };
+                writeln!(r, "{:9.3}  {watts:9.2}  {phase}", s.t_s * 1e3).unwrap();
+            }
+            prev = Some(s.rapl);
+            prev_t = s.t_s;
+        }
+        let busy = m.rapl.package_j + m.rapl.memory_j;
+        let background = (bg.package_w + bg.memory_w) * m.time_s;
+        writeln!(
+            r,
+            "\nBusy-CPU energy {busy:.4} J = Active {:.4} J + Background {background:.4} J ({:.1}% background)",
+            busy - background,
+            background / busy * 100.0
+        )
+        .unwrap();
+        Box::new(r)
+    }
+}
+
+/// Table 2 — solved per-micro-op energies (nJ) at P36 / P24 / P12.
+pub struct Table2MicroOpEnergy;
+
+impl Experiment for Table2MicroOpEnergy {
+    fn name(&self) -> &'static str {
+        "table2_microop_energy"
+    }
+
+    fn run_shard(&self, _shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let tables: Vec<_> = [PState::P36, PState::P24, PState::P12]
+            .iter()
+            .map(|&ps| ctx.table_x86(ps))
+            .collect();
+        let mut t = TextTable::new([
+            "Micro-operation",
+            "P36 (3.6GHz)",
+            "P24 (2.4GHz)",
+            "P12 (1.2GHz)",
+        ]);
+        let row = |label: &str, f: &dyn Fn(&analysis::EnergyTable) -> f64| {
+            [label.to_owned()]
+                .into_iter()
+                .chain(tables.iter().map(|tb| format!("{:.2}", f(tb))))
+                .collect::<Vec<_>>()
+        };
+        t.row(row("dE_L1D", &|tb| tb.de_nj(MicroOp::L1d)));
+        t.row(row("dE_L2", &|tb| tb.de_nj(MicroOp::L2)));
+        t.row(row("dE_L3, dE_pf^L2", &|tb| tb.de_nj(MicroOp::L3)));
+        t.row(row("dE_mem, dE_pf^L3", &|tb| tb.de_nj(MicroOp::Mem)));
+        t.row(row("dE_Reg2L1D", &|tb| tb.de_nj(MicroOp::Reg2L1d)));
+        t.row(row("dE_stall", &|tb| tb.de_nj(MicroOp::Stall)));
+        t.row(row("dE_add", &|tb| tb.de_add * 1e9));
+        t.row(row("dE_nop", &|tb| tb.de_nop * 1e9));
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Table 2: solved energy cost of micro-operations (nJ) =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        writeln!(
+            r,
+            "\nbackground @P36: core {:.2} W, package {:.2} W, memory {:.2} W",
+            tables[0].background.core_w,
+            tables[0].background.package_w,
+            tables[0].background.memory_w
+        )
+        .unwrap();
+        Box::new(r)
+    }
+}
+
+/// Table 3 — verification micro-benchmarks: estimated vs measured Active
+/// energy and per-benchmark accuracy.
+pub struct Table3Verification;
+
+impl Experiment for Table3Verification {
+    fn name(&self) -> &'static str {
+        "table3_verification"
+    }
+
+    fn run_shard(&self, _shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let table = ctx.table_x86(PState::P36);
+        let cfg = RunConfig {
+            target_ops: ctx.cfg.cal_ops,
+            ..RunConfig::p36()
+        };
+        let results = verify_all(&table, &cfg);
+        let mut t = TextTable::new(["Verification benchmark", "E_est (J)", "E_meas (J)", "acc%"]);
+        for vr in &results {
+            t.row([
+                vr.name.to_owned(),
+                format!("{:.4}", vr.estimated_j),
+                format!("{:.4}", vr.measured_j),
+                format!("{:.2}", vr.acc * 100.0),
+            ]);
+        }
+        let mut r = Report::new();
+        writeln!(r, "== Table 3: verification of solved dE_m (P36) ==").unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        writeln!(
+            r,
+            "\naverage accuracy: {:.2}% (paper: 93.47%)",
+            mean_accuracy(&results) * 100.0
+        )
+        .unwrap();
+        Box::new(r)
+    }
+}

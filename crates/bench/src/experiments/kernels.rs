@@ -1,0 +1,146 @@
+//! CPU-bound/memory-bound kernel experiments: Fig. 10 (CPU2006-like
+//! kernels) and Table 5 (the B_mem bottleneck across P-states).
+
+use std::any::Any;
+use std::fmt::Write as _;
+
+use analysis::active::active_energy;
+use analysis::report::TextTable;
+use analysis::{MicroOp, MicroOpCounts};
+use microbench::runner::{bench_cpu, RunConfig};
+use microbench::MicroBenchId;
+use mjrt::experiment::downcast_shard;
+use mjrt::{ExpCtx, Experiment, HarnessConfig, Report};
+use simcore::{ArchConfig, Cpu, PState};
+use workloads::Cpu2006;
+
+use crate::{share_header, share_row};
+
+/// Fig. 10 — Active-energy breakdown of the nine CPU2006-like kernels.
+/// One shard per kernel.
+pub struct Fig10Cpu2006;
+
+/// Fig. 10 shard output: the kernel's table row plus its L1D share.
+struct KernelRow {
+    row: Vec<String>,
+    l1d_share: f64,
+}
+
+impl Experiment for Fig10Cpu2006 {
+    fn name(&self) -> &'static str {
+        "fig10_cpu2006"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        Cpu2006::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let w = Cpu2006::ALL[shard];
+        let table = ctx.table_x86(PState::P36);
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(true);
+        cpu.set_pstate(PState::P36);
+        w.run(&mut cpu, 30_000); // warm
+        let m = cpu.measure(|c| w.run(c, 120_000));
+        ctx.record(&m);
+        let bd = table.breakdown(&m);
+        Box::new(KernelRow {
+            row: share_row(w.name(), &bd),
+            l1d_share: bd.l1d_share(),
+        })
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, ctx: &ExpCtx<'_>) -> Report {
+        let rows: Vec<KernelRow> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| downcast_shard::<KernelRow>(self.name(), i, s))
+            .collect();
+        let mut t = TextTable::new(share_header());
+        for kr in &rows {
+            t.row(kr.row.clone());
+        }
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Fig. 10: Eactive breakdown of CPU2006-like workloads =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv("fig10", &t);
+        let shares: Vec<f64> = rows.iter().map(|kr| kr.l1d_share).collect();
+        let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+        let min = shares.iter().cloned().fold(f64::MAX, f64::min);
+        writeln!(
+            r,
+            "\nEL1D+EReg2L1D: average {:.1}% (paper ~11%), minimum {:.1}% (paper 5.6%)",
+            avg * 100.0,
+            min * 100.0
+        )
+        .unwrap();
+        r
+    }
+}
+
+const TABLE5_PSTATES: [PState; 3] = [PState::P36, PState::P24, PState::P12];
+
+/// Table 5 — the energy bottleneck of `B_mem` at P36 / P24 / P12. One shard
+/// per P-state.
+pub struct Table5MemoryBound;
+
+impl Experiment for Table5MemoryBound {
+    fn name(&self) -> &'static str {
+        "table5_memory_bound"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        TABLE5_PSTATES.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let ps = TABLE5_PSTATES[shard];
+        let table = ctx.table_x86(ps);
+        let cfg = RunConfig {
+            pstate: ps,
+            target_ops: ctx.cfg.cal_ops,
+            ..RunConfig::p36()
+        };
+        let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg);
+        let run = MicroBenchId::Mem.run(&mut cpu, &cfg);
+        ctx.record(&run.measurement);
+        let counts = MicroOpCounts::from_pmu(&run.measurement.pmu);
+        let active = active_energy(&run.measurement, &table.background).active_j;
+        let e_mem = table.de(MicroOp::Mem) * counts.mem as f64;
+        let e_stall = table.de(MicroOp::Stall) * counts.stall as f64;
+        let row: Vec<String> = vec![
+            format!("{ps}"),
+            format!("{:.4} ({:.1}%)", e_mem, e_mem / active * 100.0),
+            format!("{:.4} ({:.1}%)", e_stall, e_stall / active * 100.0),
+            format!("{:.4}", active),
+            format!("{:.4}", run.measurement.time_s),
+        ];
+        Box::new(row)
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, _ctx: &ExpCtx<'_>) -> Report {
+        let mut t = TextTable::new([
+            "P-state",
+            "Emem (J/%)",
+            "Estall (J/%)",
+            "Eactive (J)",
+            "time (s)",
+        ]);
+        for (i, s) in shards.into_iter().enumerate() {
+            t.row(downcast_shard::<Vec<String>>(self.name(), i, s));
+        }
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Table 5: energy bottleneck of B_mem across P-states =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        r
+    }
+}

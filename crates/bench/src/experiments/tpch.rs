@@ -1,0 +1,418 @@
+//! TPC-H breakdown experiments: Figs. 5–9 and 11.
+//!
+//! These are the heaviest experiments in the suite — every (engine,
+//! operating point) cell loads its own database and runs all 22 queries —
+//! so each cell is an independent shard: `--jobs N` spreads the cells over
+//! workers while the assembled tables stay byte-identical to a serial run.
+
+use std::any::Any;
+use std::fmt::Write as _;
+
+use analysis::report::TextTable;
+use analysis::Breakdown;
+use engines::{EngineKind, KnobLevel};
+use mjrt::experiment::downcast_shard;
+use mjrt::{ExpCtx, Experiment, HarnessConfig, Report};
+use simcore::{ArchConfig, Cpu, PState};
+use workloads::{build_tpch_db, BasicOp, TpchQuery, TpchScale};
+
+use crate::{share_header, share_row, Rig};
+
+/// Fig. 5 / §2.7 — P-state residency of the TPC-H queries with the
+/// EIST-like governor enabled. One shard per engine; each shard yields one
+/// histogram row.
+pub struct Fig05PstateDistribution;
+
+impl Experiment for Fig05PstateDistribution {
+    fn name(&self) -> &'static str {
+        "fig05_pstate_distribution"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard];
+        let scale = TpchScale(ctx.cfg.scale);
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        cpu.set_prefetch(true);
+        let mut db = build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, scale).expect("load");
+        // Governor with a window short enough to react inside a query
+        // (queries here are ~ms; the paper's real runs are seconds).
+        cpu.set_governor(true);
+        cpu.set_governor_interval(15e-6);
+
+        let mut buckets = [0u32; 5];
+        let mut residencies = Vec::new();
+        for q in TpchQuery::all() {
+            let plan = q.plan();
+            // Cold run unsampled (pool warm-up), then sample steady-state
+            // execution, as the paper samples long repeated runs. Idle gaps
+            // and spill waits inside execution still drag samples below P36.
+            db.run(&mut cpu, &plan).expect("cold");
+            // One unsampled warm repetition lets the governor settle — the
+            // paper samples within 100 back-to-back runs.
+            db.run(&mut cpu, &plan).expect("ramp");
+            cpu.attach_sampler(10e-6);
+            db.run(&mut cpu, &plan).expect("warm 1");
+            cpu.idle_c0(30e-6); // client think-time between repetitions
+            db.run(&mut cpu, &plan).expect("warm 2");
+            let sampler = cpu.take_sampler().expect("sampler attached");
+            let p36 = sampler.residency(PState::P36) * 100.0;
+            residencies.push(p36);
+            let b = match p36 {
+                x if x <= 60.0 => 0,
+                x if x <= 70.0 => 1,
+                x if x <= 80.0 => 2,
+                x if x <= 90.0 => 3,
+                _ => 4,
+            };
+            buckets[b] += 1;
+            // Idle gap between queries, as on a real client.
+            cpu.idle_c0(2e-3);
+        }
+        residencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = residencies[residencies.len() / 2];
+        let row: Vec<String> = vec![
+            kind.name().to_owned(),
+            buckets[0].to_string(),
+            buckets[1].to_string(),
+            buckets[2].to_string(),
+            buckets[3].to_string(),
+            buckets[4].to_string(),
+            format!("{median:.0}%"),
+        ];
+        Box::new(row)
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, _ctx: &ExpCtx<'_>) -> Report {
+        let mut t = TextTable::new(["engine", "<=60", "70", "80", "90", "100", "median P36%"]);
+        for (i, s) in shards.into_iter().enumerate() {
+            t.row(downcast_shard::<Vec<String>>(self.name(), i, s));
+        }
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Fig. 5: query count by percent of samples at P-state 36 (EIST on) =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        r
+    }
+}
+
+/// Fig. 6 — Active-energy breakdown of the 7 basic query operations on the
+/// three engine personalities. One shard per engine, each emitting its own
+/// report section.
+pub struct Fig06BasicOps;
+
+impl Experiment for Fig06BasicOps {
+    fn name(&self) -> &'static str {
+        "fig06_basic_ops"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard];
+        let table = ctx.table_x86(PState::P36);
+        let mut rig = Rig::builder(kind)
+            .scale(TpchScale(ctx.cfg.scale))
+            .pstate(PState::P36)
+            .stats(ctx.stats_sink())
+            .build();
+        let mut t = TextTable::new(share_header());
+        let mut merged = Vec::new();
+        for op in BasicOp::ALL {
+            let bd = rig.breakdown(&table, &op.plan());
+            t.row(share_row(op.name(), &bd));
+            merged.push(bd);
+        }
+        let all = Breakdown::merge(&merged).expect("non-empty");
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Eactive breakdown of basic query operations: {} ==",
+            kind.name()
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv(&format!("fig06_{}", kind.name()), &t);
+        writeln!(
+            r,
+            "summary: movement {:.1}% of Eactive | EL1D+EReg2L1D {:.1}% | stall {:.1}% | busy explained {:.1}%\n",
+            all.movement_share() * 100.0,
+            all.l1d_share() * 100.0,
+            all.share(analysis::MicroOp::Stall) * 100.0,
+            all.busy_explained_share() * 100.0,
+        )
+        .unwrap();
+        Box::new(r)
+    }
+}
+
+/// Fig. 7 — Active-energy breakdown of TPC-H Q1–Q22 on the three engines.
+/// One shard per engine, each emitting its own report section.
+pub struct Fig07Tpch;
+
+impl Experiment for Fig07Tpch {
+    fn name(&self) -> &'static str {
+        "fig07_tpch"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard];
+        let table = ctx.table_x86(PState::P36);
+        let mut rig = Rig::builder(kind)
+            .scale(TpchScale(ctx.cfg.scale))
+            .pstate(PState::P36)
+            .stats(ctx.stats_sink())
+            .build();
+        let mut t = TextTable::new(share_header());
+        let mut all = Vec::new();
+        for q in TpchQuery::all() {
+            let bd = rig.breakdown(&table, &q.plan());
+            t.row(share_row(&q.name(), &bd));
+            all.push(bd);
+        }
+        let merged = Breakdown::merge(&all).expect("queries ran");
+        let mut r = Report::new();
+        writeln!(r, "== Eactive breakdown of TPC-H: {} ==", kind.name()).unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv(&format!("fig07_{}", kind.name()), &t);
+        writeln!(
+            r,
+            "summary: movement {:.1}% | EL1D+EReg2L1D {:.1}% | busy explained {:.1}% | total Eactive {:.4} J | time {:.4} s\n",
+            merged.movement_share() * 100.0,
+            merged.l1d_share() * 100.0,
+            merged.busy_explained_share() * 100.0,
+            merged.active_j(),
+            merged.time_s,
+        )
+        .unwrap();
+        Box::new(r)
+    }
+}
+
+const FIG08_SIZES: [(&str, f64); 3] = [("100MB", 1.0), ("500MB", 5.0), ("1GB", 10.0)];
+
+/// One merged-table row plus the stability metadata the footer needs.
+struct ShareRow {
+    row: Vec<String>,
+    name: String,
+    metric: f64,
+}
+
+/// Fig. 8 — impact of data size on the TPC-H average breakdown. Nine shards
+/// (engine × size); the assembled table interleaves the rows in shard
+/// order.
+pub struct Fig08DataSize;
+
+impl Experiment for Fig08DataSize {
+    fn name(&self) -> &'static str {
+        "fig08_data_size"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len() * FIG08_SIZES.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard / FIG08_SIZES.len()];
+        let (label, factor) = FIG08_SIZES[shard % FIG08_SIZES.len()];
+        let table = ctx.table_x86(PState::P36);
+        let scale = TpchScale(ctx.cfg.scale * factor / 2.0);
+        let mut rig = Rig::builder(kind)
+            .scale(scale)
+            .pstate(PState::P36)
+            .stats(ctx.stats_sink())
+            .build();
+        let all: Vec<Breakdown> = TpchQuery::all()
+            .map(|q| rig.breakdown(&table, &q.plan()))
+            .collect();
+        let merged = Breakdown::merge(&all).expect("queries ran");
+        let name = format!("{}-{label}", short(kind));
+        Box::new(ShareRow {
+            row: share_row(&name, &merged),
+            name,
+            metric: merged.l1d_share(),
+        })
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, ctx: &ExpCtx<'_>) -> Report {
+        let rows: Vec<ShareRow> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| downcast_shard::<ShareRow>(self.name(), i, s))
+            .collect();
+        let mut t = TextTable::new(share_header());
+        for sr in &rows {
+            t.row(sr.row.clone());
+        }
+        let mut r = Report::new();
+        writeln!(r, "== Fig. 8: impact of data size (TPC-H average) ==").unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv("fig08", &t);
+        // Stability check: within each engine, the L1D share must not move much.
+        writeln!(r).unwrap();
+        for chunk in rows.chunks(FIG08_SIZES.len()) {
+            let vals: Vec<f64> = chunk.iter().map(|sr| sr.metric).collect();
+            let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
+                - vals.iter().cloned().fold(f64::MAX, f64::min);
+            writeln!(
+                r,
+                "{}: EL1D+EReg2L1D spread across sizes = {:.1} pp",
+                chunk[0].name.split('-').next().expect("name"),
+                spread * 100.0
+            )
+            .unwrap();
+        }
+        r
+    }
+}
+
+fn short(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Pg => "PG",
+        EngineKind::Lite => "SQLite",
+        EngineKind::My => "MySQL",
+    }
+}
+
+/// Fig. 9 — impact of the Table 4 knob settings (small/baseline/large) on
+/// the TPC-H average breakdown. Nine shards (engine × level).
+pub struct Fig09Knobs;
+
+impl Experiment for Fig09Knobs {
+    fn name(&self) -> &'static str {
+        "fig09_knobs"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len() * KnobLevel::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard / KnobLevel::ALL.len()];
+        let level = KnobLevel::ALL[shard % KnobLevel::ALL.len()];
+        let table = ctx.table_x86(PState::P36);
+        let mut rig = Rig::builder(kind)
+            .knobs(level)
+            .scale(TpchScale(ctx.cfg.scale))
+            .pstate(PState::P36)
+            .stats(ctx.stats_sink())
+            .build();
+        let all: Vec<Breakdown> = TpchQuery::all()
+            .map(|q| rig.breakdown(&table, &q.plan()))
+            .collect();
+        let merged = Breakdown::merge(&all).expect("queries ran");
+        let row: Vec<String> = share_row(&format!("{}-{}", kind.name(), level.name()), &merged);
+        Box::new(row)
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, ctx: &ExpCtx<'_>) -> Report {
+        let mut t = TextTable::new(share_header());
+        for (i, s) in shards.into_iter().enumerate() {
+            t.row(downcast_shard::<Vec<String>>(self.name(), i, s));
+        }
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Fig. 9: impact of database settings (TPC-H average) =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv("fig09", &t);
+        r
+    }
+}
+
+const FIG11_PSTATES: [PState; 3] = [PState::P36, PState::P24, PState::P12];
+
+/// Fig. 11 — impact of CPU frequency/voltage: TPC-H average breakdown at
+/// P36 / P24 / P12, each decomposed with a table calibrated at that
+/// operating point. Nine shards (engine × P-state).
+pub struct Fig11Pstates;
+
+/// Fig. 11 shard output: a merged-table row plus the Eactive/L1D numbers
+/// the footer derives the savings from.
+struct Fig11Cell {
+    row: Vec<String>,
+    name: String,
+    active_j: f64,
+    l1d_share: f64,
+}
+
+impl Experiment for Fig11Pstates {
+    fn name(&self) -> &'static str {
+        "fig11_pstates"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len() * FIG11_PSTATES.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard / FIG11_PSTATES.len()];
+        let ps = FIG11_PSTATES[shard % FIG11_PSTATES.len()];
+        let table = ctx.table_x86(ps);
+        let mut rig = Rig::builder(kind)
+            .scale(TpchScale(ctx.cfg.scale))
+            .pstate(ps)
+            .stats(ctx.stats_sink())
+            .build();
+        let all: Vec<Breakdown> = TpchQuery::all()
+            .map(|q| rig.breakdown(&table, &q.plan()))
+            .collect();
+        let merged = Breakdown::merge(&all).expect("queries ran");
+        let name = format!("{}-{ps}", kind.name());
+        Box::new(Fig11Cell {
+            row: share_row(&name, &merged),
+            name,
+            active_j: merged.active_j(),
+            l1d_share: merged.l1d_share(),
+        })
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, ctx: &ExpCtx<'_>) -> Report {
+        let cells: Vec<Fig11Cell> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| downcast_shard::<Fig11Cell>(self.name(), i, s))
+            .collect();
+        let mut t = TextTable::new(share_header());
+        for c in &cells {
+            t.row(c.row.clone());
+        }
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Fig. 11: impact of CPU frequency and voltage (TPC-H average) =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv("fig11", &t);
+        writeln!(r).unwrap();
+        for chunk in cells.chunks(FIG11_PSTATES.len()) {
+            let base = chunk[0].active_j;
+            writeln!(
+                r,
+                "{}: Eactive P24 = -{:.0}% vs P36, P12 = -{:.0}% | L1D share P36→P12: {:.1} → {:.1} pp",
+                chunk[0].name.split('-').next().expect("name"),
+                (1.0 - chunk[1].active_j / base) * 100.0,
+                (1.0 - chunk[2].active_j / base) * 100.0,
+                chunk[0].l1d_share * 100.0,
+                chunk[2].l1d_share * 100.0,
+            )
+            .unwrap();
+        }
+        r
+    }
+}

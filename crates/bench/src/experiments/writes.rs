@@ -1,0 +1,121 @@
+//! Extension — energy breakdown of write workloads (INSERT/UPDATE/DELETE).
+//!
+//! The paper scopes writes out (§2.3): "it may involve more micro-operations
+//! about writing". This experiment shows that empirically: the read-side
+//! model `MS` explains much less of a write workload's Busy-CPU energy, and
+//! the store/write-back signature dwarfs the read path's.
+
+use std::any::Any;
+use std::fmt::Write as _;
+
+use analysis::report::TextTable;
+use engines::{Dml, EngineKind};
+use mjrt::{ExpCtx, Experiment, HarnessConfig, Report};
+use simcore::{Event, PState};
+use storage::{CmpOp, Expr, Value};
+use workloads::tpch::gen::schema_orders;
+use workloads::TpchScale;
+
+use crate::{share_header, share_row, Rig};
+
+fn statements() -> Vec<(&'static str, Dml)> {
+    let o = |c: &str| schema_orders().col_expect(c);
+    vec![
+        (
+            "INSERT 2k orders",
+            Dml::Insert {
+                table: "orders".into(),
+                rows: (0..2000)
+                    .map(|i| {
+                        vec![
+                            Value::Int(10_000_000 + i),
+                            Value::Int(i % 100),
+                            Value::Str("O".into()),
+                            Value::Float(1000.0 + i as f64),
+                            Value::Date(9000),
+                            Value::Str("3-MEDIUM".into()),
+                            Value::Int(0),
+                        ]
+                    })
+                    .collect(),
+            },
+        ),
+        (
+            "UPDATE totalprice",
+            Dml::Update {
+                table: "orders".into(),
+                filter: Some(Expr::cmp(
+                    CmpOp::Lt,
+                    Expr::col(o("o_custkey")),
+                    Expr::int(40),
+                )),
+                set: vec![(
+                    o("o_totalprice"),
+                    Expr::Bin(
+                        storage::BinOp::Mul,
+                        Box::new(Expr::col(o("o_totalprice"))),
+                        Box::new(Expr::float(1.05)),
+                    ),
+                )],
+            },
+        ),
+        (
+            "DELETE cold orders",
+            Dml::Delete {
+                table: "orders".into(),
+                filter: Some(Expr::cmp(
+                    CmpOp::Lt,
+                    Expr::col(o("o_orderdate")),
+                    Expr::Lit(Value::Date(8200)),
+                )),
+            },
+        ),
+    ]
+}
+
+/// One shard per engine; each emits its own report section.
+pub struct ExtWrites;
+
+impl Experiment for ExtWrites {
+    fn name(&self) -> &'static str {
+        "ext_writes"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard];
+        let table = ctx.table_x86(PState::P36);
+        let mut rig = Rig::builder(kind)
+            .scale(TpchScale(ctx.cfg.scale))
+            .pstate(PState::P36)
+            .build();
+        let mut t = TextTable::new(share_header());
+        let mut r = Report::new();
+        writeln!(r, "== write workloads: {} ==", kind.name()).unwrap();
+        for (name, dml) in &statements() {
+            let db = &mut rig.db;
+            let m = rig.cpu.measure(|c| {
+                db.execute(c, dml).expect("dml");
+            });
+            ctx.record(&m);
+            let bd = table.breakdown(&m);
+            t.row(share_row(name, &bd));
+            writeln!(
+                r,
+                "  {name}: store/load ratio {:.2}, write-backs {} | busy explained {:.1}% (reads: ~70-89%)",
+                m.pmu.get(Event::StoreIssued) as f64 / m.pmu.get(Event::LoadIssued).max(1) as f64,
+                m.pmu.get(Event::WritebackL1)
+                    + m.pmu.get(Event::WritebackL2)
+                    + m.pmu.get(Event::WritebackL3),
+                bd.busy_explained_share() * 100.0,
+            )
+            .unwrap();
+        }
+        write!(r, "{}", t.render()).unwrap();
+        writeln!(r).unwrap();
+        Box::new(r)
+    }
+}

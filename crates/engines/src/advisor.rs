@@ -31,7 +31,11 @@ pub struct DvfsAdvisor {
 
 impl Default for DvfsAdvisor {
     fn default() -> Self {
-        DvfsAdvisor { low: PState::P24, high: PState::P36, stall_threshold: 0.35 }
+        DvfsAdvisor {
+            low: PState::P24,
+            high: PState::P36,
+            stall_threshold: 0.35,
+        }
     }
 }
 
@@ -143,12 +147,15 @@ mod tests {
         let pg_class = a.classify(&join, EngineKind::Pg.profile());
         assert_eq!(pg_class, PlanClass::CpuBound);
         assert_eq!(lite_class, PlanClass::CpuBound); // 2 streams vs 1.5 chase
-        // Deep NL pipelines tip over.
+                                                     // Deep NL pipelines tip over.
         let deep = Plan::scan("t")
             .join(Plan::scan("u"), 0, 0)
             .join(Plan::scan("v"), 0, 0)
             .join(Plan::scan("w"), 0, 0);
-        assert_eq!(a.classify(&deep, EngineKind::Lite.profile()), PlanClass::MemoryBound);
+        assert_eq!(
+            a.classify(&deep, EngineKind::Lite.profile()),
+            PlanClass::MemoryBound
+        );
     }
 
     #[test]

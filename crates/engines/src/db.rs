@@ -65,9 +65,11 @@ impl Database {
         cluster_col: Option<&str>,
     ) -> storage::Result<()> {
         let pk = match cluster_col {
-            Some(c) => {
-                Some(schema.col(c).ok_or(StorageError::Schema("unknown cluster column"))?)
-            }
+            Some(c) => Some(
+                schema
+                    .col(c)
+                    .ok_or(StorageError::Schema("unknown cluster column"))?,
+            ),
             None => None,
         };
         self.catalog.create_table(name, schema)?;
@@ -79,7 +81,12 @@ impl Database {
     ///
     /// Clustering engines (Lite/My) physically order rows by the cluster
     /// column, like SQLite's rowid order and InnoDB's PK order.
-    pub fn load_rows(&mut self, cpu: &mut Cpu, table: &str, mut rows: Vec<Row>) -> storage::Result<()> {
+    pub fn load_rows(
+        &mut self,
+        cpu: &mut Cpu,
+        table: &str,
+        mut rows: Vec<Row>,
+    ) -> storage::Result<()> {
         let t = self.catalog.table(table)?;
         let schema = t.schema.clone();
         let pk = t.pk_col;
@@ -122,7 +129,10 @@ impl Database {
     /// descent at query time (see `executor`).
     pub fn create_index(&mut self, cpu: &mut Cpu, table: &str, col: &str) -> storage::Result<()> {
         let t = self.catalog.table(table)?;
-        let ci = t.schema.col(col).ok_or(StorageError::Schema("unknown index column"))?;
+        let ci = t
+            .schema
+            .col(col)
+            .ok_or(StorageError::Schema("unknown index column"))?;
         let schema = t.schema.clone();
         let heap = t.heap.clone();
         let mut pairs: Vec<(i64, u64)> = Vec::with_capacity(heap.len() as usize);
@@ -183,7 +193,11 @@ pub fn demo_database(cpu: &mut Cpu, kind: EngineKind) -> storage::Result<Databas
         Schema::new([("id", Ty::Int), ("cat", Ty::Int), ("price", Ty::Float)]),
         Some("id"),
     )?;
-    db.create_table("cats", Schema::new([("cid", Ty::Int), ("name", Ty::Str)]), Some("cid"))?;
+    db.create_table(
+        "cats",
+        Schema::new([("cid", Ty::Int), ("name", Ty::Str)]),
+        Some("cid"),
+    )?;
     let items: Vec<Row> = (0..200)
         .map(|i| {
             vec![
@@ -193,8 +207,9 @@ pub fn demo_database(cpu: &mut Cpu, kind: EngineKind) -> storage::Result<Databas
             ]
         })
         .collect();
-    let cats: Vec<Row> =
-        (0..10).map(|c| vec![Value::Int(c), Value::Str(format!("cat-{c}"))]).collect();
+    let cats: Vec<Row> = (0..10)
+        .map(|c| vec![Value::Int(c), Value::Str(format!("cat-{c}"))])
+        .collect();
     db.load_rows(cpu, "items", items)?;
     db.load_rows(cpu, "cats", cats)?;
     db.create_index(cpu, "items", "cat")?;
@@ -230,11 +245,16 @@ mod tests {
     fn clustering_orders_heap_by_pk() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut db = Database::new(EngineKind::My, KnobLevel::Baseline);
-        db.create_table("t", Schema::new([("k", storage::Ty::Int)]), Some("k")).unwrap();
+        db.create_table("t", Schema::new([("k", storage::Ty::Int)]), Some("k"))
+            .unwrap();
         db.load_rows(
             &mut cpu,
             "t",
-            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         let t = db.catalog.table("t").unwrap();
@@ -252,18 +272,27 @@ mod tests {
     fn pg_preserves_insertion_order() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut db = Database::new(EngineKind::Pg, KnobLevel::Baseline);
-        db.create_table("t", Schema::new([("k", storage::Ty::Int)]), Some("k")).unwrap();
+        db.create_table("t", Schema::new([("k", storage::Ty::Int)]), Some("k"))
+            .unwrap();
         db.load_rows(
             &mut cpu,
             "t",
-            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         let t = db.catalog.table("t").unwrap();
         let mut seen = Vec::new();
         t.heap
             .for_each_unsimulated(cpu.arena(), &db.store, |_, bytes| {
-                seen.push(storage::decode_row(&t.schema, bytes).unwrap()[0].as_int().unwrap());
+                seen.push(
+                    storage::decode_row(&t.schema, bytes).unwrap()[0]
+                        .as_int()
+                        .unwrap(),
+                );
             })
             .unwrap();
         assert_eq!(seen, vec![3, 1, 2]);

@@ -188,12 +188,19 @@ impl Database {
         tid: TupleId,
     ) -> storage::Result<()> {
         for (col, is_pk) in self.indexed_columns(table)? {
-            let Some(key) = row[col].as_int() else { continue };
+            let Some(key) = row[col].as_int() else {
+                continue;
+            };
             let t = self.catalog.table_mut(table)?;
             let tree = if is_pk {
                 t.pk_index.as_mut().expect("pk checked")
             } else {
-                &mut t.secondary.iter_mut().find(|(c, _)| *c == col).expect("sec checked").1
+                &mut t
+                    .secondary
+                    .iter_mut()
+                    .find(|(c, _)| *c == col)
+                    .expect("sec checked")
+                    .1
             };
             tree.insert(cpu, &mut self.store, &mut self.pool, key, tid_to_u64(tid))?;
         }
@@ -208,12 +215,19 @@ impl Database {
         tid: TupleId,
     ) -> storage::Result<()> {
         for (col, is_pk) in self.indexed_columns(table)? {
-            let Some(key) = row[col].as_int() else { continue };
+            let Some(key) = row[col].as_int() else {
+                continue;
+            };
             let t = self.catalog.table_mut(table)?;
             let tree = if is_pk {
                 t.pk_index.as_mut().expect("pk checked")
             } else {
-                &mut t.secondary.iter_mut().find(|(c, _)| *c == col).expect("sec checked").1
+                &mut t
+                    .secondary
+                    .iter_mut()
+                    .find(|(c, _)| *c == col)
+                    .expect("sec checked")
+                    .1
             };
             tree.delete(cpu, &self.store, &mut self.pool, key, tid_to_u64(tid));
         }
@@ -240,7 +254,12 @@ impl Database {
             let tree = if is_pk {
                 t.pk_index.as_mut().expect("pk checked")
             } else {
-                &mut t.secondary.iter_mut().find(|(c, _)| *c == col).expect("sec checked").1
+                &mut t
+                    .secondary
+                    .iter_mut()
+                    .find(|(c, _)| *c == col)
+                    .expect("sec checked")
+                    .1
             };
             if let Some(k) = old_key {
                 tree.delete(cpu, &self.store, &mut self.pool, k, tid_to_u64(old_tid));
@@ -261,8 +280,13 @@ impl Database {
         let live = self.matching_rows(cpu, table, &None)?;
         let schema = self.catalog.table(table)?.schema.clone();
         let pk = self.catalog.table(table)?.pk_col;
-        let sec_cols: Vec<usize> =
-            self.catalog.table(table)?.secondary.iter().map(|(c, _)| *c).collect();
+        let sec_cols: Vec<usize> = self
+            .catalog
+            .table(table)?
+            .secondary
+            .iter()
+            .map(|(c, _)| *c)
+            .collect();
 
         // Fresh heap, rows re-encoded in (cluster-)order.
         let mut rows: Vec<Row> = live.into_iter().map(|(_, r)| r).collect();
@@ -298,7 +322,10 @@ impl Database {
         let mut secondary = Vec::new();
         for (si, &c) in sec_cols.iter().enumerate() {
             sec_pairs[si].sort_by_key(|&(k, _)| k);
-            secondary.push((c, storage::BTree::bulk_load(cpu, &mut self.store, &sec_pairs[si])?));
+            secondary.push((
+                c,
+                storage::BTree::bulk_load(cpu, &mut self.store, &sec_pairs[si])?,
+            ));
         }
         let t = self.catalog.table_mut(table)?;
         t.heap = heap;
@@ -323,8 +350,7 @@ mod tests {
     use storage::CmpOp;
 
     fn count_items(cpu: &mut Cpu, db: &mut Database) -> i64 {
-        let plan = Plan::scan("items")
-            .aggregate(vec![], vec![storage::AggSpec::count_star()]);
+        let plan = Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]);
         db.run(cpu, &plan).unwrap()[0][0].as_int().unwrap()
     }
 
@@ -412,7 +438,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows[0][2], Value::Float(99.0));
-        assert_eq!(count_items(&mut cpu, &mut db), 200, "no version bloat in place");
+        assert_eq!(
+            count_items(&mut cpu, &mut db),
+            200,
+            "no version bloat in place"
+        );
     }
 
     #[test]
@@ -464,7 +494,12 @@ mod tests {
             Some("k"),
         )
         .unwrap();
-        db.load_rows(&mut cpu, "t", vec![vec![Value::Int(1), Value::Str("ab".into())]]).unwrap();
+        db.load_rows(
+            &mut cpu,
+            "t",
+            vec![vec![Value::Int(1), Value::Str("ab".into())]],
+        )
+        .unwrap();
         db.execute(
             &mut cpu,
             &Dml::Update {
@@ -504,13 +539,19 @@ mod tests {
             )
             .unwrap();
             let before = db
-                .run(&mut cpu, &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]))
+                .run(
+                    &mut cpu,
+                    &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]),
+                )
                 .unwrap();
             let pages_before = db.catalog.table("items").unwrap().heap.n_pages();
             let live = db.vacuum(&mut cpu, "items").unwrap();
             assert_eq!(live, 140);
             let after = db
-                .run(&mut cpu, &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]))
+                .run(
+                    &mut cpu,
+                    &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]),
+                )
                 .unwrap();
             assert_eq!(before, after, "{kind:?}: vacuum changed results");
             let pages_after = db.catalog.table("items").unwrap().heap.n_pages();

@@ -22,10 +22,10 @@ use crate::knobs::Knobs;
 use crate::plan::Plan;
 use crate::profile::{EngineKind, LITE};
 use simcore::{Cpu, Region};
+use std::collections::HashMap;
 use storage::buffer::{BufferPool, PageAccess};
 use storage::page::{PageId, PageRef};
 use storage::{PageStore, Row};
-use std::collections::HashMap;
 
 /// DTCM budget split (bytes), per §4.2.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +59,11 @@ pub struct TcmPool {
 impl TcmPool {
     /// Wrap a pool with a pin map (page id → TCM address).
     pub fn new(inner: BufferPool, pinned: HashMap<PageId, u64>) -> TcmPool {
-        TcmPool { inner, pinned, tcm_hits: 0 }
+        TcmPool {
+            inner,
+            pinned,
+            tcm_hits: 0,
+        }
     }
 }
 
@@ -67,7 +71,10 @@ impl PageAccess for TcmPool {
     fn access(&mut self, cpu: &mut Cpu, store: &PageStore, id: PageId) -> PageRef {
         if let Some(&tcm_addr) = self.pinned.get(&id) {
             self.tcm_hits += 1;
-            return PageRef { addr: tcm_addr, size: store.page_size() };
+            return PageRef {
+                addr: tcm_addr,
+                size: store.page_size(),
+            };
         }
         self.inner.access(cpu, store, id)
     }
@@ -100,7 +107,11 @@ impl DtcmDatabase {
         hot_tables: &[&str],
         config: DtcmConfig,
     ) -> storage::Result<DtcmDatabase> {
-        assert_eq!(db.kind, EngineKind::Lite, "the proof of concept optimises the Lite engine");
+        assert_eq!(
+            db.kind,
+            EngineKind::Lite,
+            "the proof of concept optimises the Lite engine"
+        );
         let page_size = db.store.page_size() as u64;
         let mut pinned: HashMap<PageId, u64> = HashMap::new();
 
@@ -133,7 +144,12 @@ impl DtcmDatabase {
 
         // (1) Database buffer: pin hot data pages, smallest tables first.
         let mut tables: Vec<&str> = hot_tables.to_vec();
-        tables.sort_by_key(|n| db.catalog.table(n).map(|t| t.heap.len()).unwrap_or(u64::MAX));
+        tables.sort_by_key(|n| {
+            db.catalog
+                .table(n)
+                .map(|t| t.heap.len())
+                .unwrap_or(u64::MAX)
+        });
         let mut budget = config.buffer_bytes;
         'outer: for name in tables {
             let t = db.catalog.table(name)?;
@@ -145,7 +161,9 @@ impl DtcmDatabase {
                 if pinned.contains_key(&pid) {
                     continue;
                 }
-                let Ok(region) = cpu.alloc_tcm(page_size) else { break 'outer };
+                let Ok(region) = cpu.alloc_tcm(page_size) else {
+                    break 'outer;
+                };
                 copy_page_to_tcm(cpu, &db.store, pid, region.addr, page_size);
                 pinned.insert(pid, region.addr);
                 budget -= page_size;
@@ -156,7 +174,12 @@ impl DtcmDatabase {
             BufferPool::new(db.knobs.buffer_bytes, db.store.page_size()),
             pinned,
         );
-        Ok(DtcmDatabase { db, pool, scratch, config })
+        Ok(DtcmDatabase {
+            db,
+            pool,
+            scratch,
+            config,
+        })
     }
 
     /// Execute a plan through the Lite personality with the TCM pins active.
@@ -190,7 +213,9 @@ pub fn baseline_lite(knobs: Knobs) -> Database {
 fn heap_page_ids(t: &storage::TableInfo) -> Vec<PageId> {
     // HeapFile doesn't expose its page list directly; walk page ids by
     // fetching bounds through the store-level metadata.
-    (0..t.heap.n_pages() as u32).map(|i| t.heap.page_id(i as usize)).collect()
+    (0..t.heap.n_pages() as u32)
+        .map(|i| t.heap.page_id(i as usize))
+        .collect()
 }
 
 fn copy_page_to_tcm(cpu: &mut Cpu, store: &PageStore, pid: PageId, tcm_addr: u64, page_size: u64) {
@@ -208,9 +233,15 @@ mod tests {
 
     fn arm_db(cpu: &mut Cpu) -> Database {
         let mut db = baseline_lite(Knobs::arm_small());
-        db.create_table("t", Schema::new([("k", Ty::Int), ("v", Ty::Int)]), Some("k")).unwrap();
-        let rows: Vec<Row> =
-            (0..300).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect();
+        db.create_table(
+            "t",
+            Schema::new([("k", Ty::Int), ("v", Ty::Int)]),
+            Some("k"),
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..300)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect();
         db.load_rows(cpu, "t", rows).unwrap();
         db
     }
@@ -219,7 +250,11 @@ mod tests {
     fn dtcm_results_match_baseline() {
         let plan = Plan::scan_where(
             "t",
-            storage::Expr::cmp(storage::CmpOp::Lt, storage::Expr::col(0), storage::Expr::int(50)),
+            storage::Expr::cmp(
+                storage::CmpOp::Lt,
+                storage::Expr::col(0),
+                storage::Expr::int(50),
+            ),
         );
         let mut cpu1 = Cpu::new(ArchConfig::arm1176jzf_s());
         let mut base = arm_db(&mut cpu1);
@@ -244,8 +279,14 @@ mod tests {
         let m = cpu.measure(|c| {
             dtcm.run(c, &plan).unwrap();
         });
-        assert!(m.pmu.get(Event::TcmLoad) > 0, "pinned pages must be read from TCM");
-        assert!(m.pmu.get(Event::TcmStore) > 0, "scratch ring must live in TCM");
+        assert!(
+            m.pmu.get(Event::TcmLoad) > 0,
+            "pinned pages must be read from TCM"
+        );
+        assert!(
+            m.pmu.get(Event::TcmStore) > 0,
+            "scratch ring must live in TCM"
+        );
     }
 
     #[test]
@@ -271,7 +312,10 @@ mod tests {
 
         let e_base = m_base.rapl.total_j();
         let e_dtcm = m_dtcm.rapl.total_j();
-        assert!(e_dtcm < e_base, "DTCM must save energy: {e_dtcm} !< {e_base}");
+        assert!(
+            e_dtcm < e_base,
+            "DTCM must save energy: {e_dtcm} !< {e_base}"
+        );
         assert!(
             m_dtcm.time_s <= m_base.time_s * 1.01,
             "DTCM must not lose performance: {} vs {}",

@@ -13,14 +13,14 @@ use crate::db::u64_to_tid;
 use crate::plan::Plan;
 use crate::profile::Profile;
 use simcore::{Cpu, Dep, ExecOp, Region};
+use std::collections::HashMap;
 use storage::buffer::{BufferPool, PageAccess};
 use storage::catalog::TableInfo;
+use storage::expr::AggState;
 use storage::{
     AggFn, AggSpec, BTree, Catalog, Expr, PageStore, Row, SimHashTable, SimSorter, StorageError,
     Value,
 };
-use storage::expr::AggState;
-use std::collections::HashMap;
 
 /// Per-query execution environment.
 pub struct Env<'a, P: PageAccess> {
@@ -85,7 +85,10 @@ impl<'a, P: PageAccess> Env<'a, P> {
         if let Some(base) = self.temp_base {
             let len = len.min(base.len);
             if self.temp_off + len <= base.len {
-                let r = Region { addr: base.addr + self.temp_off, len };
+                let r = Region {
+                    addr: base.addr + self.temp_off,
+                    len,
+                };
                 self.temp_off += len.div_ceil(simcore::LINE) * simcore::LINE;
                 return Ok(r);
             }
@@ -93,7 +96,10 @@ impl<'a, P: PageAccess> Env<'a, P> {
             // same query are already drained).
             self.temp_off = 0;
             if len <= base.len {
-                let r = Region { addr: base.addr, len };
+                let r = Region {
+                    addr: base.addr,
+                    len,
+                };
                 self.temp_off = len.div_ceil(simcore::LINE) * simcore::LINE;
                 return Ok(r);
             }
@@ -158,14 +164,34 @@ pub fn run<P: PageAccess>(
     plan: &Plan,
 ) -> storage::Result<Vec<Row>> {
     match plan {
-        Plan::Scan { table, filter, project } => scan(cpu, env, table, filter, project),
-        Plan::IndexRange { table, col, lo, hi, filter, project } => {
-            index_range(cpu, env, table, col, *lo, *hi, filter, project)
-        }
-        Plan::Join { left, right, left_col, right_col, filter, project } => {
-            join(cpu, env, left, right, *left_col, *right_col, filter, project)
-        }
-        Plan::Aggregate { input, group_by, aggs } => aggregate(cpu, env, input, group_by, aggs),
+        Plan::Scan {
+            table,
+            filter,
+            project,
+        } => scan(cpu, env, table, filter, project),
+        Plan::IndexRange {
+            table,
+            col,
+            lo,
+            hi,
+            filter,
+            project,
+        } => index_range(cpu, env, table, col, *lo, *hi, filter, project),
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+            filter,
+            project,
+        } => join(
+            cpu, env, left, right, *left_col, *right_col, filter, project,
+        ),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => aggregate(cpu, env, input, group_by, aggs),
         Plan::Sort { input, keys, limit } => sort(cpu, env, input, keys, *limit),
         Plan::Limit { input, n } => {
             let mut rows = run(cpu, env, input)?;
@@ -311,7 +337,10 @@ fn index_range<P: PageAccess>(
 ) -> storage::Result<Vec<Row>> {
     let catalog = env.catalog;
     let t = catalog.table(table)?;
-    let ci = t.schema.col(col).ok_or(StorageError::Schema("unknown index column"))?;
+    let ci = t
+        .schema
+        .col(col)
+        .ok_or(StorageError::Schema("unknown index column"))?;
     let Some(tree) = t.index_on(ci) else {
         // No index: fall back to a filtered scan with the range folded in.
         let mut range_filter = Vec::new();
@@ -324,7 +353,11 @@ fn index_range<P: PageAccess>(
         if let Some(f) = filter {
             range_filter.push(f.clone());
         }
-        let combined = if range_filter.is_empty() { None } else { Some(Expr::and_all(range_filter)) };
+        let combined = if range_filter.is_empty() {
+            None
+        } else {
+            Some(Expr::and_all(range_filter))
+        };
         return scan(cpu, env, table, &combined, project);
     };
     let is_pk = t.pk_col == Some(ci);
@@ -381,7 +414,10 @@ fn hash_join<P: PageAccess>(
     let arity = build_rows.first().map(|r| r.len()).unwrap_or(1);
     let entry_bytes = 24 + 16 * arity as u64;
     let n = build_rows.len() as u64;
-    let region = env.temp_alloc(cpu, n.max(16).next_power_of_two() * 8 + n.max(16) * 2 * entry_bytes)?;
+    let region = env.temp_alloc(
+        cpu,
+        n.max(16).next_power_of_two() * 8 + n.max(16) * 2 * entry_bytes,
+    )?;
     let mut ht = SimHashTable::new_in(region, n, entry_bytes);
     for row in build_rows {
         let key = row[right_col].clone();
@@ -424,7 +460,12 @@ fn as_indexable<'c>(
     plan: &Plan,
     join_col: usize,
 ) -> Option<(&'c TableInfo, Option<Expr>, bool)> {
-    let Plan::Scan { table, filter, project: None } = plan else {
+    let Plan::Scan {
+        table,
+        filter,
+        project: None,
+    } = plan
+    else {
         return None;
     };
     let t = catalog.table(table).ok()?;
@@ -535,7 +576,11 @@ fn aggregate<P: PageAccess>(
         for row in &rows {
             update_states(cpu, &mut states, aggs, row);
         }
-        let result: Row = aggs.iter().zip(&states).map(|(a, s)| s.result(a.f)).collect();
+        let result: Row = aggs
+            .iter()
+            .zip(&states)
+            .map(|(a, s)| s.result(a.f))
+            .collect();
         env.materialize(cpu, result.len());
         return Ok(vec![result]);
     }
@@ -561,8 +606,10 @@ fn aggregate<P: PageAccess>(
         }
         // Drain in canonical key order so executions are bit-for-bit
         // deterministic (HashMap iteration order is seeded per process).
-        let mut entries: Vec<(Vec<u8>, Row, Vec<AggState>)> =
-            groups.into_iter().map(|(k, (kv, st))| (k, kv, st)).collect();
+        let mut entries: Vec<(Vec<u8>, Row, Vec<AggState>)> = groups
+            .into_iter()
+            .map(|(k, (kv, st))| (k, kv, st))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = Vec::with_capacity(entries.len());
         for (_, key_vals, states) in entries {
@@ -599,7 +646,11 @@ fn aggregate<P: PageAccess>(
                 gt.insert(cpu, &mut env.temp_store, &mut env.temp_pool, h, idx)?;
                 groups.insert(
                     key.clone(),
-                    (key_vals, aggs.iter().map(|_| AggState::new()).collect(), idx),
+                    (
+                        key_vals,
+                        aggs.iter().map(|_| AggState::new()).collect(),
+                        idx,
+                    ),
                 );
                 idx
             }
@@ -648,7 +699,10 @@ fn sort<P: PageAccess>(
 ) -> storage::Result<Vec<Row>> {
     let rows = run(cpu, env, input)?;
     let row_bytes = rows.first().map(|r| r.len() as u64 * 16 + 16).unwrap_or(32);
-    let region = env.temp_alloc(cpu, (rows.len().max(16) as u64 * row_bytes).min(env.work_mem.max(row_bytes * 16)))?;
+    let region = env.temp_alloc(
+        cpu,
+        (rows.len().max(16) as u64 * row_bytes).min(env.work_mem.max(row_bytes * 16)),
+    )?;
     let mut sorter = SimSorter::new_in(region, row_bytes, env.work_mem);
     for row in rows {
         let key: Vec<Value> = keys.iter().map(|&(c, _)| row[c].clone()).collect();
@@ -733,10 +787,7 @@ mod tests {
 
     #[test]
     fn filtered_scan_agrees_and_is_correct() {
-        let plan = Plan::scan_where(
-            "items",
-            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(5)),
-        );
+        let plan = Plan::scan_where("items", Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(5)));
         let rows = assert_engines_agree(&plan);
         assert_eq!(rows.len(), 5);
     }
@@ -856,7 +907,10 @@ mod tests {
 
     #[test]
     fn limit_truncates() {
-        let plan = Plan::Limit { input: Box::new(Plan::scan("items")), n: 3 };
+        let plan = Plan::Limit {
+            input: Box::new(Plan::scan("items")),
+            n: 3,
+        };
         for kind in EngineKind::ALL {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, kind).unwrap();

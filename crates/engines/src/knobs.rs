@@ -53,44 +53,62 @@ impl Knobs {
     /// Table 4 settings for `kind` at `level`.
     pub fn resolve(kind: EngineKind, level: KnobLevel) -> Knobs {
         match (kind, level) {
-            (EngineKind::Pg, KnobLevel::Small) => {
-                Knobs { buffer_bytes: 8 * MB, work_mem: 4 * MB, page_size: 8192 }
-            }
-            (EngineKind::Pg, KnobLevel::Baseline) => {
-                Knobs { buffer_bytes: 128 * MB, work_mem: 64 * MB, page_size: 8192 }
-            }
-            (EngineKind::Pg, KnobLevel::Large) => {
-                Knobs { buffer_bytes: 1024 * MB, work_mem: 512 * MB, page_size: 8192 }
-            }
-            (EngineKind::Lite, KnobLevel::Small) => {
-                Knobs { buffer_bytes: 2000 * 4096, work_mem: 2000 * 4096 / 16, page_size: 4096 }
-            }
-            (EngineKind::Lite, KnobLevel::Baseline) => {
-                Knobs { buffer_bytes: 16000 * 8192, work_mem: 16000 * 8192 / 16, page_size: 8192 }
-            }
-            (EngineKind::Lite, KnobLevel::Large) => {
-                Knobs {
-                    buffer_bytes: 65000 * 16384,
-                    work_mem: 65000 * 16384 / 16,
-                    page_size: 16384,
-                }
-            }
-            (EngineKind::My, KnobLevel::Small) => {
-                Knobs { buffer_bytes: 8 * MB, work_mem: MB, page_size: 4096 }
-            }
-            (EngineKind::My, KnobLevel::Baseline) => {
-                Knobs { buffer_bytes: 128 * MB, work_mem: 16 * MB, page_size: 8192 }
-            }
-            (EngineKind::My, KnobLevel::Large) => {
-                Knobs { buffer_bytes: 1024 * MB, work_mem: 128 * MB, page_size: 16384 }
-            }
+            (EngineKind::Pg, KnobLevel::Small) => Knobs {
+                buffer_bytes: 8 * MB,
+                work_mem: 4 * MB,
+                page_size: 8192,
+            },
+            (EngineKind::Pg, KnobLevel::Baseline) => Knobs {
+                buffer_bytes: 128 * MB,
+                work_mem: 64 * MB,
+                page_size: 8192,
+            },
+            (EngineKind::Pg, KnobLevel::Large) => Knobs {
+                buffer_bytes: 1024 * MB,
+                work_mem: 512 * MB,
+                page_size: 8192,
+            },
+            (EngineKind::Lite, KnobLevel::Small) => Knobs {
+                buffer_bytes: 2000 * 4096,
+                work_mem: 2000 * 4096 / 16,
+                page_size: 4096,
+            },
+            (EngineKind::Lite, KnobLevel::Baseline) => Knobs {
+                buffer_bytes: 16000 * 8192,
+                work_mem: 16000 * 8192 / 16,
+                page_size: 8192,
+            },
+            (EngineKind::Lite, KnobLevel::Large) => Knobs {
+                buffer_bytes: 65000 * 16384,
+                work_mem: 65000 * 16384 / 16,
+                page_size: 16384,
+            },
+            (EngineKind::My, KnobLevel::Small) => Knobs {
+                buffer_bytes: 8 * MB,
+                work_mem: MB,
+                page_size: 4096,
+            },
+            (EngineKind::My, KnobLevel::Baseline) => Knobs {
+                buffer_bytes: 128 * MB,
+                work_mem: 16 * MB,
+                page_size: 8192,
+            },
+            (EngineKind::My, KnobLevel::Large) => Knobs {
+                buffer_bytes: 1024 * MB,
+                work_mem: 128 * MB,
+                page_size: 16384,
+            },
         }
     }
 
     /// Reduced configuration used on the 256 MB ARM part for the §4.3
     /// experiment (10 MB of data, the *small* setting).
     pub fn arm_small() -> Knobs {
-        Knobs { buffer_bytes: 2000 * 4096, work_mem: 512 * 1024, page_size: 4096 }
+        Knobs {
+            buffer_bytes: 2000 * 4096,
+            work_mem: 512 * 1024,
+            page_size: 4096,
+        }
     }
 }
 
@@ -127,9 +145,18 @@ mod tests {
 
     #[test]
     fn page_size_knob_follows_table4() {
-        assert_eq!(Knobs::resolve(EngineKind::Lite, KnobLevel::Small).page_size, 4096);
-        assert_eq!(Knobs::resolve(EngineKind::Lite, KnobLevel::Large).page_size, 16384);
-        assert_eq!(Knobs::resolve(EngineKind::My, KnobLevel::Baseline).page_size, 8192);
+        assert_eq!(
+            Knobs::resolve(EngineKind::Lite, KnobLevel::Small).page_size,
+            4096
+        );
+        assert_eq!(
+            Knobs::resolve(EngineKind::Lite, KnobLevel::Large).page_size,
+            16384
+        );
+        assert_eq!(
+            Knobs::resolve(EngineKind::My, KnobLevel::Baseline).page_size,
+            8192
+        );
         // PG's page size is compile-time fixed at 8 KB.
         for level in KnobLevel::ALL {
             assert_eq!(Knobs::resolve(EngineKind::Pg, level).page_size, 8192);

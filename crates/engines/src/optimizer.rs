@@ -18,9 +18,20 @@ use storage::{Catalog, CmpOp, Expr, Value};
 /// Optimize a plan against a catalog (semantics preserved).
 pub fn optimize(plan: Plan, catalog: &Catalog) -> Plan {
     match plan {
-        Plan::Scan { table, filter, project } => rewrite_scan(table, filter, project, catalog),
+        Plan::Scan {
+            table,
+            filter,
+            project,
+        } => rewrite_scan(table, filter, project, catalog),
         Plan::IndexRange { .. } => plan,
-        Plan::Join { left, right, left_col, right_col, filter, project } => Plan::Join {
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+            filter,
+            project,
+        } => Plan::Join {
             left: Box::new(optimize(*left, catalog)),
             right: Box::new(optimize(*right, catalog)),
             left_col,
@@ -28,22 +39,38 @@ pub fn optimize(plan: Plan, catalog: &Catalog) -> Plan {
             filter,
             project,
         },
-        Plan::Aggregate { input, group_by, aggs } => {
-            Plan::Aggregate { input: Box::new(optimize(*input, catalog)), group_by, aggs }
-        }
-        Plan::Sort { input, keys, limit } => {
-            Plan::Sort { input: Box::new(optimize(*input, catalog)), keys, limit }
-        }
-        Plan::Project { input, exprs } => {
-            Plan::Project { input: Box::new(optimize(*input, catalog)), exprs }
-        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(optimize(*input, catalog)),
+            group_by,
+            aggs,
+        },
+        Plan::Sort { input, keys, limit } => Plan::Sort {
+            input: Box::new(optimize(*input, catalog)),
+            keys,
+            limit,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(optimize(*input, catalog)),
+            exprs,
+        },
         Plan::Limit { input, n } => match optimize(*input, catalog) {
             // Limit over a sort is a top-N sort.
             Plan::Sort { input, keys, limit } => {
                 let n = limit.map_or(n, |l| l.min(n));
-                Plan::Sort { input, keys, limit: Some(n) }
+                Plan::Sort {
+                    input,
+                    keys,
+                    limit: Some(n),
+                }
             }
-            other => Plan::Limit { input: Box::new(other), n },
+            other => Plan::Limit {
+                input: Box::new(other),
+                n,
+            },
         },
     }
 }
@@ -150,10 +177,18 @@ fn rewrite_scan(
     catalog: &Catalog,
 ) -> Plan {
     let Some(filter) = filter else {
-        return Plan::Scan { table, filter: None, project };
+        return Plan::Scan {
+            table,
+            filter: None,
+            project,
+        };
     };
     let Ok(t) = catalog.table(&table) else {
-        return Plan::Scan { table, filter: Some(filter), project };
+        return Plan::Scan {
+            table,
+            filter: Some(filter),
+            project,
+        };
     };
 
     let mut conjuncts = Vec::new();
@@ -193,7 +228,11 @@ fn rewrite_scan(
     }
 
     let Some((col, bounds, used)) = best else {
-        return Plan::Scan { table, filter: Some(Expr::and_all(conjuncts)), project };
+        return Plan::Scan {
+            table,
+            filter: Some(Expr::and_all(conjuncts)),
+            project,
+        };
     };
     let residual: Vec<Expr> = conjuncts
         .into_iter()
@@ -207,7 +246,11 @@ fn rewrite_scan(
         col: col_name,
         lo: bounds.lo,
         hi: bounds.hi,
-        filter: if residual.is_empty() { None } else { Some(Expr::and_all(residual)) },
+        filter: if residual.is_empty() {
+            None
+        } else {
+            Some(Expr::and_all(residual))
+        },
         project,
     }
 }
@@ -244,7 +287,14 @@ mod tests {
             ]),
         );
         let (p, _) = opt(plan);
-        let Plan::IndexRange { col, lo, hi, filter, .. } = p else {
+        let Plan::IndexRange {
+            col,
+            lo,
+            hi,
+            filter,
+            ..
+        } = p
+        else {
             panic!("expected IndexRange, got {p:?}")
         };
         assert_eq!(col, "cat");
@@ -264,7 +314,9 @@ mod tests {
             ]),
         );
         let (p, _) = opt(plan);
-        let Plan::IndexRange { col, lo, hi, .. } = p else { panic!() };
+        let Plan::IndexRange { col, lo, hi, .. } = p else {
+            panic!()
+        };
         assert_eq!(col, "cat");
         assert_eq!((lo, hi), (Some(3), Some(3)));
     }
@@ -279,7 +331,9 @@ mod tests {
             ]),
         );
         let (p, mut ctx) = opt(plan.clone());
-        let Plan::IndexRange { lo, hi, .. } = &p else { panic!() };
+        let Plan::IndexRange { lo, hi, .. } = &p else {
+            panic!()
+        };
         assert_eq!((*lo, *hi), (Some(6), Some(8)));
         // Equivalence check.
         let a = ctx.db.run(&mut ctx.cpu, &plan).unwrap();
@@ -298,7 +352,9 @@ mod tests {
             Expr::cmp(CmpOp::Gt, Expr::int(5), Expr::col(0)), // 5 > id  ⇒  id < 5
         );
         let (p, _) = opt(plan);
-        let Plan::IndexRange { lo, hi, .. } = p else { panic!() };
+        let Plan::IndexRange { lo, hi, .. } = p else {
+            panic!()
+        };
         assert_eq!((lo, hi), (None, Some(4)));
     }
 

@@ -89,32 +89,55 @@ pub enum Plan {
 impl Plan {
     /// Convenience full-table scan.
     pub fn scan(table: &str) -> Plan {
-        Plan::Scan { table: table.into(), filter: None, project: None }
+        Plan::Scan {
+            table: table.into(),
+            filter: None,
+            project: None,
+        }
     }
 
     /// Scan with a filter.
     pub fn scan_where(table: &str, filter: Expr) -> Plan {
-        Plan::Scan { table: table.into(), filter: Some(filter), project: None }
+        Plan::Scan {
+            table: table.into(),
+            filter: Some(filter),
+            project: None,
+        }
     }
 
     /// Wrap in a sort.
     pub fn sort(self, keys: Vec<(usize, bool)>) -> Plan {
-        Plan::Sort { input: Box::new(self), keys, limit: None }
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+            limit: None,
+        }
     }
 
     /// Wrap in a sort with a row limit (top-N).
     pub fn top_n(self, keys: Vec<(usize, bool)>, n: usize) -> Plan {
-        Plan::Sort { input: Box::new(self), keys, limit: Some(n) }
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+            limit: Some(n),
+        }
     }
 
     /// Wrap in a projection.
     pub fn project(self, exprs: Vec<Expr>) -> Plan {
-        Plan::Project { input: Box::new(self), exprs }
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
     /// Wrap in an aggregation.
     pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> Plan {
-        Plan::Aggregate { input: Box::new(self), group_by, aggs }
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// Equi-join with another plan.
@@ -138,7 +161,12 @@ impl Plan {
                     None => catalog.table(table)?.schema.arity(),
                 }
             }
-            Plan::Join { left, right, project, .. } => match project {
+            Plan::Join {
+                left,
+                right,
+                project,
+                ..
+            } => match project {
                 Some(p) => p.len(),
                 None => left.arity(catalog)? + right.arity(catalog)?,
             },
@@ -159,7 +187,12 @@ impl Plan {
                     Some(p) => synth(p.len()),
                 }
             }
-            Plan::Join { left, right, project, .. } => match project {
+            Plan::Join {
+                left,
+                right,
+                project,
+                ..
+            } => match project {
                 Some(p) => synth(p.len()),
                 None => left.schema(catalog)?.join(&right.schema(catalog)?),
             },
@@ -181,14 +214,25 @@ impl Plan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            Plan::Scan { table, filter, project } => {
+            Plan::Scan {
+                table,
+                filter,
+                project,
+            } => {
                 out.push_str(&format!(
                     "{pad}Scan {table}{}{}\n",
                     fmt_filter(filter),
                     fmt_project(project)
                 ));
             }
-            Plan::IndexRange { table, col, lo, hi, filter, project } => {
+            Plan::IndexRange {
+                table,
+                col,
+                lo,
+                hi,
+                filter,
+                project,
+            } => {
                 out.push_str(&format!(
                     "{pad}IndexRange {table}.{col} [{}, {}]{}{}\n",
                     lo.map_or("-inf".into(), |v| v.to_string()),
@@ -197,7 +241,14 @@ impl Plan {
                     fmt_project(project)
                 ));
             }
-            Plan::Join { left, right, left_col, right_col, filter, project } => {
+            Plan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+                filter,
+                project,
+            } => {
                 out.push_str(&format!(
                     "{pad}Join on L#{left_col} = R#{right_col}{}{}\n",
                     fmt_filter(filter),
@@ -206,7 +257,11 @@ impl Plan {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate group_by={group_by:?} aggs={}\n",
                     aggs.len()
@@ -255,7 +310,8 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.create_table("t", Schema::new([("a", Ty::Int), ("b", Ty::Float)])).unwrap();
+        c.create_table("t", Schema::new([("a", Ty::Int), ("b", Ty::Float)]))
+            .unwrap();
         c.create_table("u", Schema::new([("x", Ty::Int)])).unwrap();
         c
     }

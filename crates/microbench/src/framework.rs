@@ -42,7 +42,11 @@ impl ListChain {
             let next = (j + 1) % items;
             arena.write_u64(region.addr + j * ITEM, region.addr + next * ITEM)?;
         }
-        Ok(ListChain { region, items, head: region.addr })
+        Ok(ListChain {
+            region,
+            items,
+            head: region.addr,
+        })
     }
 
     /// Build a chain in TCM with sequential logical order.
@@ -55,7 +59,11 @@ impl ListChain {
             let next = (j + 1) % items;
             arena.write_u64(region.addr + j * ITEM, region.addr + next * ITEM)?;
         }
-        Ok(ListChain { region, items, head: region.addr })
+        Ok(ListChain {
+            region,
+            items,
+            head: region.addr,
+        })
     }
 
     /// Build a chain whose logical order is a span-constrained random
@@ -66,7 +74,12 @@ impl ListChain {
     /// — this "jump access on a large span" breaks all spatial locality, so a
     /// working set bigger than a cache level misses that level on every
     /// access (reuse distance = working-set size under LRU).
-    pub fn permuted(cpu: &mut Cpu, smem: u64, espan: u64, seed: u64) -> Result<ListChain, MemError> {
+    pub fn permuted(
+        cpu: &mut Cpu,
+        smem: u64,
+        espan: u64,
+        seed: u64,
+    ) -> Result<ListChain, MemError> {
         let items = smem / ITEM;
         assert!(items >= 8, "permuted chain needs at least 8 items");
         assert!(espan < items / 2, "espan must leave room for exchanges");
@@ -99,7 +112,11 @@ impl ListChain {
             arena.write_u64(cur, next)?;
             arena.write_u64(cur + 8, prev)?;
         }
-        Ok(ListChain { region, items, head: region.addr + order[0] * ITEM })
+        Ok(ListChain {
+            region,
+            items,
+            head: region.addr + order[0] * ITEM,
+        })
     }
 
     /// Traverse the chain once through dependent loads, returning the final
@@ -264,8 +281,16 @@ mod tests {
         let chain = ListChain::permuted(&mut c, 240 * 1024, 64, 1).unwrap();
         chain.traverse(&mut c, 1).unwrap();
         let m = c.measure(|c| chain.traverse(c, 2).unwrap());
-        assert!(m.pmu.l1d_miss_rate().unwrap() > 0.95, "l1 miss {:?}", m.pmu.l1d_miss_rate());
-        assert!(m.pmu.l2_miss_rate().unwrap() < 0.05, "l2 miss {:?}", m.pmu.l2_miss_rate());
+        assert!(
+            m.pmu.l1d_miss_rate().unwrap() > 0.95,
+            "l1 miss {:?}",
+            m.pmu.l1d_miss_rate()
+        );
+        assert!(
+            m.pmu.l2_miss_rate().unwrap() < 0.05,
+            "l2 miss {:?}",
+            m.pmu.l2_miss_rate()
+        );
     }
 
     #[test]

@@ -165,7 +165,11 @@ impl MicroBenchId {
                 BenchRun::new(self.name(), m, self.desired_events())
             }
             MicroBenchId::Add | MicroBenchId::Nop => {
-                let op = if self == MicroBenchId::Add { ExecOp::Add } else { ExecOp::Nop };
+                let op = if self == MicroBenchId::Add {
+                    ExecOp::Add
+                } else {
+                    ExecOp::Nop
+                };
                 let ut = l1d_smem(cpu.arch()) / ITEM;
                 let passes = rounds(ut);
                 let m = cpu.measure(|c| {
@@ -281,7 +285,10 @@ mod tests {
 
     #[test]
     fn mem_bench_respects_pstate() {
-        let cfg12 = RunConfig { pstate: simcore::PState::P12, ..RunConfig::quick() };
+        let cfg12 = RunConfig {
+            pstate: simcore::PState::P12,
+            ..RunConfig::quick()
+        };
         let mut cpu = bench_cpu(ArchConfig::intel_i7_4790(), &cfg12);
         let r = MicroBenchId::L1dArray.run(&mut cpu, &cfg12);
         assert_eq!(r.measurement.pstate, simcore::PState::P12);

@@ -28,12 +28,20 @@ pub struct RunConfig {
 impl RunConfig {
     /// The paper's trunk configuration at a given P-state.
     pub fn at(pstate: PState) -> RunConfig {
-        RunConfig { pstate, prefetch: false, target_ops: 300_000, warmup: 1 }
+        RunConfig {
+            pstate,
+            prefetch: false,
+            target_ops: 300_000,
+            warmup: 1,
+        }
     }
 
     /// A fast configuration for unit tests.
     pub fn quick() -> RunConfig {
-        RunConfig { target_ops: 20_000, ..RunConfig::p36() }
+        RunConfig {
+            target_ops: 20_000,
+            ..RunConfig::p36()
+        }
     }
 
     /// Default P36 configuration.
@@ -66,8 +74,16 @@ impl BenchRun {
     pub(crate) fn new(name: &'static str, m: Measurement, desired: &[Event]) -> BenchRun {
         let instr = m.pmu.get(Event::Instructions);
         let want: u64 = desired.iter().map(|&e| m.pmu.get(e)).sum();
-        let bli = if instr == 0 { 0.0 } else { want as f64 / instr as f64 };
-        BenchRun { name, measurement: m, bli }
+        let bli = if instr == 0 {
+            0.0
+        } else {
+            want as f64 / instr as f64
+        };
+        BenchRun {
+            name,
+            measurement: m,
+            bli,
+        }
     }
 
     /// Instructions per cycle in the window.

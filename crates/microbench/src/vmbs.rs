@@ -93,9 +93,7 @@ impl VerifyBenchId {
         };
 
         let m = match self {
-            VerifyBenchId::L1dListNop => {
-                chase_mix(cpu, l1_smem, None, &[ExecOp::Nop, ExecOp::Nop])
-            }
+            VerifyBenchId::L1dListNop => chase_mix(cpu, l1_smem, None, &[ExecOp::Nop, ExecOp::Nop]),
             VerifyBenchId::L1dListNopAdd => {
                 chase_mix(cpu, l1_smem, None, &[ExecOp::Nop, ExecOp::Add])
             }
@@ -203,7 +201,10 @@ mod tests {
     fn l1d_list_l2_splits_hits_between_levels() {
         let r = run(VerifyBenchId::L1dListL2);
         let miss = r.measurement.pmu.l1d_miss_rate().unwrap();
-        assert!(miss > 0.40 && miss < 0.60, "expected ~half L1D misses, got {miss}");
+        assert!(
+            miss > 0.40 && miss < 0.60,
+            "expected ~half L1D misses, got {miss}"
+        );
         assert!(r.measurement.pmu.l2_miss_rate().unwrap() < 0.05);
     }
 
@@ -218,7 +219,11 @@ mod tests {
     fn every_vmbs_bench_runs_on_x86() {
         for id in VerifyBenchId::SET {
             let r = run(id);
-            assert!(r.measurement.rapl.package_j > 0.0, "{} consumed no energy", id.name());
+            assert!(
+                r.measurement.rapl.package_j > 0.0,
+                "{} consumed no energy",
+                id.name()
+            );
         }
     }
 }

@@ -17,7 +17,12 @@ impl Bloom {
     pub fn new(cpu: &mut Cpu, expected_keys: u64) -> crate::Result<Bloom> {
         let bits = (expected_keys.max(8) * 10).next_power_of_two();
         let region = cpu.alloc(bits / 8)?;
-        Ok(Bloom { region, bits, k: 7, words: vec![0; (bits / 64) as usize] })
+        Ok(Bloom {
+            region,
+            bits,
+            k: 7,
+            words: vec![0; (bits / 64) as usize],
+        })
     }
 
     fn probes(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {

@@ -32,7 +32,11 @@ pub struct LsmConfig {
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        LsmConfig { memtable_bytes: 256 * 1024, fanout: 4, wal_group: 16 }
+        LsmConfig {
+            memtable_bytes: 256 * 1024,
+            fanout: 4,
+            wal_group: 16,
+        }
     }
 }
 
@@ -102,12 +106,7 @@ impl LsmStore {
 
     /// Inclusive range scan from `from`, up to `limit` results: merges the
     /// memtable (not drained) and every run, newest version winning.
-    pub fn scan(
-        &mut self,
-        cpu: &mut Cpu,
-        from: &[u8],
-        limit: usize,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pub fn scan(&mut self, cpu: &mut Cpu, from: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
         let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         // Oldest first so newer versions overwrite.
         for run in self.runs.iter().rev() {
@@ -122,7 +121,11 @@ impl LsmStore {
                 merged.insert(k, v);
             }
         }
-        merged.into_iter().filter(|(_, v)| v != TOMBSTONE).take(limit).collect()
+        merged
+            .into_iter()
+            .filter(|(_, v)| v != TOMBSTONE)
+            .take(limit)
+            .collect()
     }
 
     /// Flush the memtable into a new run; maybe compact.
@@ -172,7 +175,11 @@ mod tests {
     fn store(cpu: &mut Cpu) -> LsmStore {
         LsmStore::open(
             cpu,
-            LsmConfig { memtable_bytes: 4 * 1024, fanout: 3, wal_group: 8 },
+            LsmConfig {
+                memtable_bytes: 4 * 1024,
+                fanout: 3,
+                wal_group: 8,
+            },
         )
         .unwrap()
     }
@@ -182,7 +189,8 @@ mod tests {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut s = store(&mut cpu);
         for i in 0..2000u64 {
-            s.put(&mut cpu, format!("k{i:06}").as_bytes(), &i.to_le_bytes()).unwrap();
+            s.put(&mut cpu, format!("k{i:06}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         assert!(s.flushes > 0, "memtable should have flushed");
         for i in (0..2000u64).step_by(97) {
@@ -213,7 +221,8 @@ mod tests {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut s = store(&mut cpu);
         for i in 0..500u64 {
-            s.put(&mut cpu, format!("k{i:04}").as_bytes(), &[9u8; 40]).unwrap();
+            s.put(&mut cpu, format!("k{i:04}").as_bytes(), &[9u8; 40])
+                .unwrap();
         }
         s.delete(&mut cpu, b"k0100").unwrap();
         assert_eq!(s.get(&mut cpu, b"k0100"), None);
@@ -233,9 +242,14 @@ mod tests {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut s = store(&mut cpu);
         for i in 0..5000u64 {
-            s.put(&mut cpu, format!("k{i:08}").as_bytes(), &[1u8; 32]).unwrap();
+            s.put(&mut cpu, format!("k{i:08}").as_bytes(), &[1u8; 32])
+                .unwrap();
         }
-        assert!(s.runs.len() <= 4, "runs must stay bounded, got {}", s.runs.len());
+        assert!(
+            s.runs.len() <= 4,
+            "runs must stay bounded, got {}",
+            s.runs.len()
+        );
         assert_eq!(s.approximate_keys(), 5000);
     }
 }

@@ -19,7 +19,12 @@ impl Memtable {
     /// A memtable whose node arena covers `cap` bytes.
     pub fn new(cpu: &mut Cpu, cap: u64) -> crate::Result<Memtable> {
         let arena = cpu.alloc(cap.max(4096))?;
-        Ok(Memtable { map: BTreeMap::new(), arena, bytes: 0, next_node: 0 })
+        Ok(Memtable {
+            map: BTreeMap::new(),
+            arena,
+            bytes: 0,
+            next_node: 0,
+        })
     }
 
     /// Approximate resident bytes.
@@ -45,7 +50,9 @@ impl Memtable {
         for _ in 0..levels {
             cpu.load(self.arena.addr + (h % nodes) * 64, Dep::Chase);
             cpu.exec(ExecOp::Branch);
-            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h = h
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
     }
 
@@ -80,8 +87,16 @@ impl Memtable {
     /// Stream in key order without draining (range scans).
     pub fn scan_sorted(&self, cpu: &mut Cpu) -> Vec<(Vec<u8>, Vec<u8>)> {
         let n = self.map.len() as u64;
-        storage::page::touch(cpu, self.arena.addr, (n * 64).min(self.arena.len).max(64), Dep::Stream);
-        self.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        storage::page::touch(
+            cpu,
+            self.arena.addr,
+            (n * 64).min(self.arena.len).max(64),
+            Dep::Stream,
+        );
+        self.map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Drain in key order (flush to an SSTable): streaming reads.
@@ -140,6 +155,9 @@ mod tests {
         let before = cpu.pmu_snapshot();
         m.get(&mut cpu, &500u64.to_le_bytes());
         let d = cpu.pmu_snapshot().delta(&before);
-        assert!(d.get(simcore::Event::StallCycles) > 0, "skip-list descent must stall");
+        assert!(
+            d.get(simcore::Event::StallCycles) > 0,
+            "skip-list descent must stall"
+        );
     }
 }

@@ -24,8 +24,14 @@ pub struct SsTable {
 impl SsTable {
     /// Build from key-sorted pairs, writing every block through the CPU.
     pub fn build(cpu: &mut Cpu, pairs: &[(Vec<u8>, Vec<u8>)]) -> crate::Result<SsTable> {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "SSTable input must be sorted");
-        let total: u64 = pairs.iter().map(|(k, v)| 12 + k.len() as u64 + v.len() as u64).sum();
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "SSTable input must be sorted"
+        );
+        let total: u64 = pairs
+            .iter()
+            .map(|(k, v)| 12 + k.len() as u64 + v.len() as u64)
+            .sum();
         let region = cpu.alloc(total.max(BLOCK))?;
         let mut bloom = Bloom::new(cpu, pairs.len() as u64)?;
 
@@ -41,12 +47,22 @@ impl SsTable {
             }
             // Write the record.
             let end = (off + len).min(region.len);
-            storage::page::touch_store(cpu, region.addr + off.min(region.len - 1), end - off.min(region.len - 1));
+            storage::page::touch_store(
+                cpu,
+                region.addr + off.min(region.len - 1),
+                end - off.min(region.len - 1),
+            );
             bloom.insert(cpu, k);
             records.push((k.clone(), v.clone(), off));
             off += len;
         }
-        Ok(SsTable { region, index, records, bloom, bytes: off })
+        Ok(SsTable {
+            region,
+            index,
+            records,
+            bloom,
+            bytes: off,
+        })
     }
 
     /// Number of records.
@@ -69,7 +85,10 @@ impl SsTable {
         let mut hi = self.index.len();
         while lo < hi {
             let mid = (lo + hi) / 2;
-            cpu.load(self.region.addr + (self.index[mid].1 % self.region.len), Dep::Chase);
+            cpu.load(
+                self.region.addr + (self.index[mid].1 % self.region.len),
+                Dep::Chase,
+            );
             cpu.exec(ExecOp::Branch);
             if self.index[mid].0.as_slice() <= key {
                 lo = mid + 1;
@@ -94,7 +113,10 @@ impl SsTable {
         );
         cpu.exec_n(ExecOp::Branch, 8);
         // Host-side answer.
-        match self.records.binary_search_by(|(k, _, _)| k.as_slice().cmp(key)) {
+        match self
+            .records
+            .binary_search_by(|(k, _, _)| k.as_slice().cmp(key))
+        {
             Ok(i) => Some(self.records[i].1.clone()),
             Err(_) => None,
         }
@@ -102,7 +124,12 @@ impl SsTable {
 
     /// Stream every record in key order (compaction input / range scans).
     pub fn scan_all(&self, cpu: &mut Cpu) -> impl Iterator<Item = (Vec<u8>, Vec<u8>)> + '_ {
-        storage::page::touch(cpu, self.region.addr, self.bytes.min(self.region.len), Dep::Stream);
+        storage::page::touch(
+            cpu,
+            self.region.addr,
+            self.bytes.min(self.region.len),
+            Dep::Stream,
+        );
         self.records.iter().map(|(k, v, _)| (k.clone(), v.clone()))
     }
 }
@@ -113,7 +140,9 @@ mod tests {
     use simcore::ArchConfig;
 
     fn pairs(n: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
-        (0..n).map(|i| (format!("key{i:08}").into_bytes(), vec![7u8; 40])).collect()
+        (0..n)
+            .map(|i| (format!("key{i:08}").into_bytes(), vec![7u8; 40]))
+            .collect()
     }
 
     #[test]

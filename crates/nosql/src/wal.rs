@@ -22,7 +22,14 @@ impl Wal {
     /// A WAL with a `cap`-byte ring and `group`-record group commit.
     pub fn new(cpu: &mut Cpu, cap: u64, group: u32) -> crate::Result<Wal> {
         let region = cpu.alloc(cap.max(4096))?;
-        Ok(Wal { region, off: 0, since_sync: 0, group: group.max(1), appended: 0, syncs: 0 })
+        Ok(Wal {
+            region,
+            off: 0,
+            since_sync: 0,
+            group: group.max(1),
+            appended: 0,
+            syncs: 0,
+        })
     }
 
     /// Append one record: header + payload stores, plus a group fsync.

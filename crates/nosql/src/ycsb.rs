@@ -24,8 +24,14 @@ pub enum YcsbMix {
 
 impl YcsbMix {
     /// All mixes.
-    pub const ALL: [YcsbMix; 6] =
-        [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E, YcsbMix::F];
+    pub const ALL: [YcsbMix; 6] = [
+        YcsbMix::A,
+        YcsbMix::B,
+        YcsbMix::C,
+        YcsbMix::D,
+        YcsbMix::E,
+        YcsbMix::F,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -171,7 +177,9 @@ impl Zipf {
     fn new(n: u64, theta: f64) -> Zipf {
         let n = n.max(1);
         let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-        let zeta2: f64 = (1..=2u64.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2u64.min(n))
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         Zipf {
             n,
             theta,
@@ -205,7 +213,11 @@ mod tests {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let store = LsmStore::open(
             &mut cpu,
-            LsmConfig { memtable_bytes: 32 * 1024, fanout: 4, wal_group: 16 },
+            LsmConfig {
+                memtable_bytes: 32 * 1024,
+                fanout: 4,
+                wal_group: 16,
+            },
         )
         .unwrap();
         (cpu, store)

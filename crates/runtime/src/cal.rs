@@ -1,0 +1,109 @@
+//! Shared, once-per-(arch, P-state) calibration cache.
+//!
+//! Calibrating an [`EnergyTable`] is the most expensive fixed cost in the
+//! suite (it runs the full micro-benchmark set and solves the linear
+//! system). Several experiments need the same table — e.g. the P36 i7-4790
+//! table is used by a dozen of them — so the runtime computes each table
+//! exactly once and shares it across worker threads.
+//!
+//! The map is guarded by a mutex held only for slot lookup; the actual
+//! calibration runs under the slot's `OnceLock`, so two workers wanting
+//! *different* tables calibrate concurrently while two wanting the *same*
+//! table compute it once (the loser blocks, then reuses the winner's).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use analysis::{CalibrationBuilder, EnergyTable};
+use simcore::{ArchConfig, ArchKind, PState};
+
+type Slot = Arc<OnceLock<Arc<EnergyTable>>>;
+
+/// Concurrent once-per-(arch, P-state) map of solved energy tables.
+#[derive(Debug, Default)]
+pub struct CalibrationCache {
+    slots: Mutex<HashMap<(ArchKind, PState), Slot>>,
+}
+
+impl CalibrationCache {
+    /// Empty cache.
+    pub fn new() -> CalibrationCache {
+        CalibrationCache::default()
+    }
+
+    /// The energy table for `(arch, ps)`, calibrated with `target_ops` on
+    /// first use and shared thereafter. `target_ops` must be consistent for
+    /// a given cache (the runtime builds one cache per run, from one
+    /// [`crate::HarnessConfig`], so it is).
+    pub fn table(&self, arch: ArchKind, ps: PState, target_ops: u64) -> Arc<EnergyTable> {
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("calibration cache poisoned");
+            Arc::clone(slots.entry((arch, ps)).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            let cfg = match arch {
+                ArchKind::X86 => ArchConfig::intel_i7_4790(),
+                ArchKind::Arm => ArchConfig::arm1176jzf_s(),
+            };
+            Arc::new(
+                CalibrationBuilder::new(cfg)
+                    .pstate(ps)
+                    .target_ops(target_ops)
+                    .calibrate(),
+            )
+        }))
+    }
+
+    /// Number of distinct tables calibrated so far.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("calibration cache poisoned").len()
+    }
+
+    /// Whether no table has been calibrated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_is_shared_and_computed_once() {
+        let cache = CalibrationCache::new();
+        let a = cache.table(ArchKind::X86, PState::P36, 4_000);
+        let b = cache.table(ArchKind::X86, PState::P36, 4_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_tables() {
+        let cache = CalibrationCache::new();
+        let a = cache.table(ArchKind::X86, PState::P36, 4_000);
+        let b = cache.table(ArchKind::X86, PState::P24, 4_000);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge() {
+        let cache = Arc::new(CalibrationCache::new());
+        let tables: Vec<_> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || cache.table(ArchKind::X86, PState::P36, 4_000))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("thread"))
+                .collect()
+        });
+        assert_eq!(cache.len(), 1);
+        for t in &tables[1..] {
+            assert!(Arc::ptr_eq(&tables[0], t));
+        }
+    }
+}

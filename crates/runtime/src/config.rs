@@ -1,0 +1,172 @@
+//! One typed harness configuration, parsed once.
+//!
+//! Historically every bench binary read its own `MJ_*` environment
+//! variables through ad-hoc `env_f64` calls. [`HarnessConfig`] centralises
+//! those knobs: CLI flags win, environment variables are the fallback, and
+//! the parsed struct is threaded through the runtime to every experiment
+//! shard via [`crate::ExpCtx`].
+
+use std::path::PathBuf;
+
+/// Calibration op budget for harness runs (larger than the unit-test quick
+/// budget; still seconds, not minutes).
+pub const DEFAULT_CAL_OPS: u64 = 120_000;
+
+/// The harness default TPC-H scale, in "paper megabytes" (a reduced-scale
+/// stand-in for the paper's 100 MB baseline).
+pub const DEFAULT_SCALE: f64 = 4.0;
+
+/// Default ARM/DTCM experiment scale (the paper's 10 MB configuration).
+pub const DEFAULT_ARM_SCALE: f64 = 10.0;
+
+/// Default §5 DVFS-trade-off scale (large enough that the PG index scan is
+/// genuinely memory-bound).
+pub const DEFAULT_SEC5_SCALE: f64 = 96.0;
+
+/// Typed harness configuration (CLI flags over `MJ_*` env fallback).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// TPC-H scale in "paper megabytes" (`--scale` / `MJ_SCALE`).
+    pub scale: f64,
+    /// ARM/DTCM experiment scale (`--arm-scale` / `MJ_ARM_SCALE`).
+    pub arm_scale: f64,
+    /// §5 DVFS trade-off scale (`--sec5-scale` / `MJ_SEC5_SCALE`).
+    pub sec5_scale: f64,
+    /// Calibration op budget (`--cal-ops` / `MJ_CAL_OPS`).
+    pub cal_ops: u64,
+    /// Write plotting-ready CSVs (`--csv` / `MJ_CSV`).
+    pub csv: bool,
+    /// Root directory for CSV output; each run creates one timestamped
+    /// subdirectory under it (`--results-dir` / `MJ_RESULTS_DIR`).
+    pub results_root: PathBuf,
+    /// Worker threads for the experiment scheduler (`--jobs` / `MJ_JOBS`).
+    pub jobs: usize,
+    /// Case-sensitive substring filter on experiment names
+    /// (`--filter` / `MJ_FILTER`).
+    pub filter: Option<String>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> HarnessConfig {
+        HarnessConfig {
+            scale: DEFAULT_SCALE,
+            arm_scale: DEFAULT_ARM_SCALE,
+            sec5_scale: DEFAULT_SEC5_SCALE,
+            cal_ops: DEFAULT_CAL_OPS,
+            csv: false,
+            results_root: PathBuf::from("results"),
+            jobs: 1,
+            filter: None,
+        }
+    }
+}
+
+fn env_parsed<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl HarnessConfig {
+    /// Defaults overridden by `MJ_*` environment variables only.
+    pub fn from_env() -> HarnessConfig {
+        let d = HarnessConfig::default();
+        HarnessConfig {
+            scale: env_parsed("MJ_SCALE", d.scale),
+            arm_scale: env_parsed("MJ_ARM_SCALE", d.arm_scale),
+            sec5_scale: env_parsed("MJ_SEC5_SCALE", d.sec5_scale),
+            cal_ops: env_parsed("MJ_CAL_OPS", d.cal_ops),
+            csv: std::env::var("MJ_CSV").is_ok(),
+            results_root: std::env::var("MJ_RESULTS_DIR")
+                .map(PathBuf::from)
+                .unwrap_or(d.results_root),
+            jobs: env_parsed("MJ_JOBS", d.jobs),
+            filter: std::env::var("MJ_FILTER").ok().filter(|s| !s.is_empty()),
+        }
+    }
+
+    /// Environment config plus CLI flags (flags win). Errors carry a usage
+    /// string suitable for printing.
+    pub fn from_env_and_args<I, S>(args: I) -> Result<HarnessConfig, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cfg = HarnessConfig::from_env();
+        cfg.apply_args(args)?;
+        Ok(cfg)
+    }
+
+    /// Apply CLI flags on top of this configuration.
+    pub fn apply_args<I, S>(&mut self, args: I) -> Result<(), String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let arg = arg.as_ref();
+            let mut value = |name: &str| {
+                it.next()
+                    .map(|v| v.as_ref().to_owned())
+                    .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+            };
+            match arg {
+                "--jobs" | "-j" => {
+                    self.jobs = parse(&value("--jobs")?, "--jobs")?;
+                    if self.jobs == 0 {
+                        return Err(format!("--jobs must be >= 1\n{USAGE}"));
+                    }
+                }
+                "--filter" | "-f" => self.filter = Some(value("--filter")?),
+                "--scale" => self.scale = parse(&value("--scale")?, "--scale")?,
+                "--arm-scale" => self.arm_scale = parse(&value("--arm-scale")?, "--arm-scale")?,
+                "--sec5-scale" => self.sec5_scale = parse(&value("--sec5-scale")?, "--sec5-scale")?,
+                "--cal-ops" => self.cal_ops = parse(&value("--cal-ops")?, "--cal-ops")?,
+                "--csv" => self.csv = true,
+                "--results-dir" => self.results_root = PathBuf::from(value("--results-dir")?),
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("cannot parse {v:?} for {flag}\n{USAGE}"))
+}
+
+/// CLI usage string shared by the harness binaries.
+pub const USAGE: &str = "\
+usage: [--jobs N] [--filter SUBSTR] [--scale MB] [--arm-scale MB]
+       [--sec5-scale MB] [--cal-ops N] [--csv] [--results-dir DIR] [--list]
+
+Environment fallbacks: MJ_JOBS, MJ_FILTER, MJ_SCALE, MJ_ARM_SCALE,
+MJ_SEC5_SCALE, MJ_CAL_OPS, MJ_CSV, MJ_RESULTS_DIR.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_override_defaults() {
+        let mut cfg = HarnessConfig::default();
+        cfg.apply_args(["--jobs", "4", "--filter", "fig0", "--scale", "2.5", "--csv"])
+            .unwrap();
+        assert_eq!(cfg.jobs, 4);
+        assert_eq!(cfg.filter.as_deref(), Some("fig0"));
+        assert_eq!(cfg.scale, 2.5);
+        assert!(cfg.csv);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        let mut cfg = HarnessConfig::default();
+        assert!(cfg.apply_args(["--jobs", "zero"]).is_err());
+        assert!(cfg.apply_args(["--jobs", "0"]).is_err());
+        assert!(cfg.apply_args(["--wat"]).is_err());
+        assert!(cfg.apply_args(["--filter"]).is_err());
+    }
+}

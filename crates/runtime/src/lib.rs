@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # mjrt — the parallel experiment runtime
+//!
+//! The paper's evaluation is ~20 experiments (Figs. 1–13, Tables 1–5 plus
+//! extensions). Before this crate they ran strictly serially through one-off
+//! binaries, each hand-wiring its own `Cpu`, calibration and CSV plumbing.
+//! `mjrt` turns them into first-class values:
+//!
+//! * [`Experiment`] — a named, registrable experiment that renders a
+//!   [`Report`]. Experiments may expose several independent **shards**
+//!   (engine × operating-point cells); each shard builds its own simulated
+//!   machine, so the single-threaded simulator is never shared and a
+//!   shard's output is byte-identical no matter which worker runs it.
+//! * [`scheduler::run_suite`] — a thread-pool scheduler that farms shards
+//!   out to `--jobs` workers over a shared work queue and assembles each
+//!   experiment's report **in registry order**, so the report stream is
+//!   byte-identical between `--jobs 1` and `--jobs N`.
+//! * [`CalibrationCache`] — a once-per-(arch, P-state) energy-table cache
+//!   shared by all workers, so parallel experiments never repeat the
+//!   expensive `calibrate_at` runs.
+//! * [`HarnessConfig`] — one typed configuration parsed once from CLI flags
+//!   with `MJ_*` environment variables as fallback, replacing the ad-hoc
+//!   per-binary `env_f64` lookups.
+//!
+//! The experiment implementations themselves live in the `bench` crate
+//! (`bench::experiments`); this crate only knows about `simcore` (machines)
+//! and `analysis` (calibration + tables), so any workload crate can define
+//! experiments without cycles.
+
+pub mod cal;
+pub mod config;
+pub mod experiment;
+pub mod scheduler;
+
+pub use cal::CalibrationCache;
+pub use config::HarnessConfig;
+pub use experiment::{ExpCtx, Experiment, Report, SimStats, StatsSink};
+pub use scheduler::{run_single, run_suite, ExpOutcome, SuiteOutcome};

@@ -1,0 +1,461 @@
+//! The sharded experiment scheduler and report aggregator.
+//!
+//! ## Execution model
+//!
+//! Each selected experiment contributes `shards()` independent tasks. Tasks
+//! go into one shared queue in deterministic (registry, shard) order;
+//! `jobs` workers pull tasks as they free up — idle workers steal the next
+//! pending task, so a long experiment never serialises the tail of the
+//! suite behind it. Every shard builds its own `Cpu`/database rig, so the
+//! single-threaded simulator is never shared across workers and a shard's
+//! bytes do not depend on which worker ran it or when.
+//!
+//! ## Determinism
+//!
+//! The aggregator assembles and emits reports strictly in registry order,
+//! regardless of completion order, and host-time-dependent output (the
+//! wall-clock summary) goes to a separate writer. Consequence: the report
+//! stream is **byte-identical** for `--jobs 1` and `--jobs N` — asserted by
+//! `tests/determinism.rs` in the root crate.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use analysis::report::TextTable;
+
+use crate::cal::CalibrationCache;
+use crate::config::HarnessConfig;
+use crate::experiment::{ExpCtx, Experiment, SimStats, StatsSink};
+
+/// Per-experiment outcome, in registry order.
+#[derive(Debug)]
+pub struct ExpOutcome {
+    /// Experiment name.
+    pub name: &'static str,
+    /// Shard count it ran with.
+    pub shards: usize,
+    /// Host wall-clock summed over its shards (and assembly).
+    pub host: Duration,
+    /// Simulated cost recorded by its shards.
+    pub sim: SimStats,
+    /// Error message if any shard (or assembly) panicked.
+    pub error: Option<String>,
+}
+
+/// Result of a full suite run.
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// Per-experiment outcomes for the selected experiments.
+    pub experiments: Vec<ExpOutcome>,
+    /// Host wall-clock for the whole suite.
+    pub host: Duration,
+    /// Distinct calibration tables computed.
+    pub calibrations: usize,
+}
+
+impl SuiteOutcome {
+    /// Names of failed experiments.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.experiments
+            .iter()
+            .filter(|e| e.error.is_some())
+            .map(|e| e.name)
+            .collect()
+    }
+}
+
+struct Task {
+    exp: usize,
+    shard: usize,
+}
+
+type ShardResult = Result<Box<dyn std::any::Any + Send>, String>;
+
+struct Board {
+    queue: Mutex<VecDeque<Task>>,
+    /// `results[i][s]` = shard s of experiment i (None = not finished).
+    results: Mutex<Vec<Vec<Option<ShardResult>>>>,
+    host: Mutex<Vec<Duration>>,
+    done: Condvar,
+}
+
+/// Run `registry` (filtered by `cfg.filter`) under `cfg.jobs` workers.
+///
+/// Reports stream to `out` in registry order as they complete; the
+/// host-time summary (non-deterministic) goes to `summary`.
+///
+/// Do not pass a held [`StderrLock`](std::io::StderrLock) as either writer:
+/// workers print csv notices — and the panic hook prints shard panics — to
+/// stderr from their own threads, and would deadlock against a lock held
+/// here for the duration of the suite.
+pub fn run_suite(
+    registry: &[&dyn Experiment],
+    cfg: &HarnessConfig,
+    out: &mut dyn Write,
+    summary: &mut dyn Write,
+) -> std::io::Result<SuiteOutcome> {
+    let t0 = Instant::now();
+    let selected: Vec<&dyn Experiment> = registry
+        .iter()
+        .copied()
+        .filter(|e| cfg.filter.as_deref().is_none_or(|f| e.name().contains(f)))
+        .collect();
+
+    let cal = CalibrationCache::new();
+    let csv_dir = make_run_dir(cfg);
+    let stats: Vec<StatsSink> = selected.iter().map(|_| StatsSink::default()).collect();
+    let shard_counts: Vec<usize> = selected.iter().map(|e| e.shards(cfg).max(1)).collect();
+
+    let board = Board {
+        queue: Mutex::new(
+            selected
+                .iter()
+                .enumerate()
+                .flat_map(|(i, _)| (0..shard_counts[i]).map(move |s| Task { exp: i, shard: s }))
+                .collect(),
+        ),
+        results: Mutex::new(
+            shard_counts
+                .iter()
+                .map(|&n| (0..n).map(|_| None).collect())
+                .collect(),
+        ),
+        host: Mutex::new(vec![Duration::ZERO; selected.len()]),
+        done: Condvar::new(),
+    };
+
+    let total_tasks: usize = shard_counts.iter().sum();
+    let jobs = cfg.jobs.max(1).min(total_tasks.max(1));
+
+    let mut outcomes: Vec<ExpOutcome> = Vec::with_capacity(selected.len());
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                worker(&board, &selected, cfg, &cal, &stats, csv_dir.as_deref());
+            });
+        }
+
+        // Aggregate in registry order, streaming each report as soon as the
+        // experiment's shards are all in.
+        for (i, exp) in selected.iter().enumerate() {
+            let shard_outs: Vec<Option<ShardResult>> = {
+                let mut results = board.results.lock().expect("results poisoned");
+                while results[i].iter().any(|r| r.is_none()) {
+                    results = board.done.wait(results).expect("results poisoned");
+                }
+                results[i].iter_mut().map(Option::take).collect()
+            };
+
+            let mut error = None;
+            let mut shards = Vec::with_capacity(shard_outs.len());
+            for (s, r) in shard_outs.into_iter().enumerate() {
+                match r.expect("taken above") {
+                    Ok(v) => shards.push(v),
+                    Err(e) => {
+                        error.get_or_insert_with(|| format!("shard {s}: {e}"));
+                    }
+                }
+            }
+
+            writeln!(
+                out,
+                "\n########################################################"
+            )?;
+            writeln!(out, "# {}", exp.name())?;
+            writeln!(
+                out,
+                "########################################################"
+            )?;
+            let t_assemble = Instant::now();
+            if error.is_none() {
+                let ctx = ExpCtx::new(
+                    cfg,
+                    &cal,
+                    std::sync::Arc::clone(&stats[i]),
+                    csv_dir.as_deref(),
+                );
+                match catch_unwind(AssertUnwindSafe(|| exp.assemble(shards, &ctx))) {
+                    Ok(report) => out.write_all(report.text.as_bytes())?,
+                    Err(p) => error = Some(format!("assemble: {}", panic_msg(&*p))),
+                }
+            }
+            if let Some(e) = &error {
+                writeln!(out, "EXPERIMENT FAILED: {e}")?;
+            }
+            out.flush()?;
+
+            let host = board.host.lock().expect("host poisoned")[i] + t_assemble.elapsed();
+            outcomes.push(ExpOutcome {
+                name: exp.name(),
+                shards: shard_counts[i],
+                host,
+                sim: *stats[i].lock().expect("stats poisoned"),
+                error,
+            });
+        }
+        Ok(())
+    })?;
+
+    let outcome = SuiteOutcome {
+        experiments: outcomes,
+        host: t0.elapsed(),
+        calibrations: cal.len(),
+    };
+    write_summary(&outcome, jobs, summary)?;
+    Ok(outcome)
+}
+
+/// Run a single experiment (a thin-wrapper binary) with `cfg.jobs` workers,
+/// writing its report to `out` without the suite banner.
+pub fn run_single(
+    exp: &dyn Experiment,
+    cfg: &HarnessConfig,
+    out: &mut dyn Write,
+) -> std::io::Result<bool> {
+    let registry: [&dyn Experiment; 1] = [exp];
+    let mut banner = Vec::new();
+    let mut summary = Vec::new();
+    let mut no_filter = cfg.clone();
+    no_filter.filter = None;
+    let outcome = run_suite(&registry, &no_filter, &mut banner, &mut summary)?;
+    // Strip the 4-line suite banner; keep the report bytes.
+    let text = String::from_utf8(banner).expect("reports are UTF-8");
+    let body = text.splitn(5, '\n').nth(4).unwrap_or("");
+    out.write_all(body.as_bytes())?;
+    out.flush()?;
+    Ok(outcome.failures().is_empty())
+}
+
+fn worker(
+    board: &Board,
+    selected: &[&dyn Experiment],
+    cfg: &HarnessConfig,
+    cal: &CalibrationCache,
+    stats: &[StatsSink],
+    csv_dir: Option<&std::path::Path>,
+) {
+    loop {
+        let task = board.queue.lock().expect("queue poisoned").pop_front();
+        let Some(task) = task else { break };
+        let exp = selected[task.exp];
+        let ctx = ExpCtx::new(cfg, cal, std::sync::Arc::clone(&stats[task.exp]), csv_dir);
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| exp.run_shard(task.shard, &ctx)))
+            .map_err(|p| panic_msg(&*p));
+        let elapsed = t0.elapsed();
+        board.host.lock().expect("host poisoned")[task.exp] += elapsed;
+        board.results.lock().expect("results poisoned")[task.exp][task.shard] = Some(result);
+        board.done.notify_all();
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_owned()
+    }
+}
+
+/// Create the per-run CSV directory once, before any worker starts.
+fn make_run_dir(cfg: &HarnessConfig) -> Option<std::path::PathBuf> {
+    if !cfg.csv {
+        return None;
+    }
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let dir = cfg
+        .results_root
+        .join(format!("run-{stamp}-{}", std::process::id()));
+    match std::fs::create_dir_all(&dir) {
+        Ok(()) => Some(dir),
+        Err(e) => {
+            eprintln!(
+                "csv: cannot create {}: {e} — CSV output disabled",
+                dir.display()
+            );
+            None
+        }
+    }
+}
+
+fn write_summary(
+    outcome: &SuiteOutcome,
+    jobs: usize,
+    summary: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut t = TextTable::new([
+        "experiment",
+        "shards",
+        "host ms",
+        "sim s",
+        "sim kcycles",
+        "sim J",
+    ]);
+    for e in &outcome.experiments {
+        t.row([
+            e.name.to_owned(),
+            e.shards.to_string(),
+            format!("{:.0}", e.host.as_secs_f64() * 1e3),
+            format!("{:.4}", e.sim.time_s),
+            format!("{:.0}", e.sim.cycles / 1e3),
+            format!("{:.4}", e.sim.energy_j),
+        ]);
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "\n== suite summary ({jobs} jobs) ==");
+    s.push_str(&t.render());
+    let _ = writeln!(
+        s,
+        "suite wall-clock {:.2} s | {} calibration table(s) computed once and shared",
+        outcome.host.as_secs_f64(),
+        outcome.calibrations,
+    );
+    summary.write_all(s.as_bytes())?;
+    summary.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Report;
+    use std::any::Any;
+
+    struct Emit {
+        name: &'static str,
+        shards: usize,
+        panic_on: Option<usize>,
+    }
+
+    impl Experiment for Emit {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn shards(&self, _cfg: &HarnessConfig) -> usize {
+            self.shards
+        }
+        fn run_shard(&self, shard: usize, _ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+            if self.panic_on == Some(shard) {
+                panic!("boom in shard {shard}");
+            }
+            let mut r = Report::new();
+            writeln!(r, "{} shard {shard}", self.name).unwrap();
+            Box::new(r)
+        }
+    }
+
+    fn run_to_string(reg: &[&dyn Experiment], cfg: &HarnessConfig) -> (String, SuiteOutcome) {
+        let mut out = Vec::new();
+        let mut summary = Vec::new();
+        let outcome = run_suite(reg, cfg, &mut out, &mut summary).expect("io");
+        (String::from_utf8(out).expect("utf8"), outcome)
+    }
+
+    #[test]
+    fn reports_stream_in_registry_order_and_parallel_matches_serial() {
+        let a = Emit {
+            name: "alpha",
+            shards: 3,
+            panic_on: None,
+        };
+        let b = Emit {
+            name: "beta",
+            shards: 1,
+            panic_on: None,
+        };
+        let c = Emit {
+            name: "gamma",
+            shards: 2,
+            panic_on: None,
+        };
+        let reg: [&dyn Experiment; 3] = [&a, &b, &c];
+
+        let serial = HarnessConfig {
+            jobs: 1,
+            ..HarnessConfig::default()
+        };
+        let parallel = HarnessConfig {
+            jobs: 4,
+            ..HarnessConfig::default()
+        };
+
+        let (s_out, s_outcome) = run_to_string(&reg, &serial);
+        let (p_out, p_outcome) = run_to_string(&reg, &parallel);
+        assert_eq!(s_out, p_out, "report stream must not depend on --jobs");
+        assert!(s_out.find("# alpha").unwrap() < s_out.find("# beta").unwrap());
+        assert!(s_out.find("# beta").unwrap() < s_out.find("# gamma").unwrap());
+        assert!(s_out.contains("alpha shard 0\nalpha shard 1\nalpha shard 2\n"));
+        assert!(s_outcome.failures().is_empty() && p_outcome.failures().is_empty());
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let a = Emit {
+            name: "fig01_x",
+            shards: 1,
+            panic_on: None,
+        };
+        let b = Emit {
+            name: "table2_y",
+            shards: 1,
+            panic_on: None,
+        };
+        let reg: [&dyn Experiment; 2] = [&a, &b];
+        let cfg = HarnessConfig {
+            filter: Some("table2".into()),
+            ..HarnessConfig::default()
+        };
+        let (out, outcome) = run_to_string(&reg, &cfg);
+        assert!(!out.contains("fig01_x") && out.contains("table2_y"));
+        assert_eq!(outcome.experiments.len(), 1);
+    }
+
+    #[test]
+    fn shard_panic_fails_that_experiment_only() {
+        let a = Emit {
+            name: "bad",
+            shards: 2,
+            panic_on: Some(1),
+        };
+        let b = Emit {
+            name: "good",
+            shards: 1,
+            panic_on: None,
+        };
+        let reg: [&dyn Experiment; 2] = [&a, &b];
+        let cfg = HarnessConfig {
+            jobs: 2,
+            ..HarnessConfig::default()
+        };
+        let (out, outcome) = run_to_string(&reg, &cfg);
+        assert!(out.contains("EXPERIMENT FAILED"), "out = {out:?}");
+        assert!(out.contains("boom in shard 1"), "out = {out:?}");
+        assert!(out.contains("good shard 0"), "out = {out:?}");
+        assert_eq!(outcome.failures(), vec!["bad"]);
+    }
+
+    #[test]
+    fn run_single_strips_banner() {
+        let a = Emit {
+            name: "solo",
+            shards: 2,
+            panic_on: None,
+        };
+        let mut out = Vec::new();
+        let cfg = HarnessConfig::default();
+        let ok = run_single(&a, &cfg, &mut out).expect("io");
+        assert!(ok);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "solo shard 0\nsolo shard 1\n"
+        );
+    }
+}

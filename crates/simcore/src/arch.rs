@@ -9,7 +9,7 @@
 /// The analysis layer occasionally needs to know this (e.g. RAPL is only
 /// available on x86 — on ARM the paper used an external power meter, which we
 /// model as reading the sum of all domains).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArchKind {
     /// x86_64-like desktop part with a three-level cache hierarchy.
     X86,
@@ -75,9 +75,21 @@ impl ArchConfig {
         ArchConfig {
             name: "intel-i7-4790",
             kind: ArchKind::X86,
-            l1d: CacheConfig { size: 32 * 1024, ways: 8, latency_cycles: 4 },
-            l2: Some(CacheConfig { size: 256 * 1024, ways: 8, latency_cycles: 12 }),
-            l3: Some(CacheConfig { size: 8 * 1024 * 1024, ways: 16, latency_cycles: 36 }),
+            l1d: CacheConfig {
+                size: 32 * 1024,
+                ways: 8,
+                latency_cycles: 4,
+            },
+            l2: Some(CacheConfig {
+                size: 256 * 1024,
+                ways: 8,
+                latency_cycles: 12,
+            }),
+            l3: Some(CacheConfig {
+                size: 8 * 1024 * 1024,
+                ways: 16,
+                latency_cycles: 36,
+            }),
             dram_latency_ns: 62.0,
             dtcm_size: 0,
             dram_size: 2 * 1024 * 1024 * 1024,
@@ -97,7 +109,11 @@ impl ArchConfig {
         ArchConfig {
             name: "arm1176jzf-s",
             kind: ArchKind::Arm,
-            l1d: CacheConfig { size: 16 * 1024, ways: 4, latency_cycles: 3 },
+            l1d: CacheConfig {
+                size: 16 * 1024,
+                ways: 4,
+                latency_cycles: 3,
+            },
             l2: None,
             l3: None,
             dram_latency_ns: 110.0,
@@ -121,7 +137,10 @@ impl ArchConfig {
     /// studies). The size must keep a power-of-two set count.
     pub fn with_l1d_size(mut self, size: u64) -> ArchConfig {
         self.l1d.size = size;
-        assert!(self.l1d.sets().is_power_of_two(), "L1D geometry must stay power-of-two");
+        assert!(
+            self.l1d.sets().is_power_of_two(),
+            "L1D geometry must stay power-of-two"
+        );
         self
     }
 
@@ -129,7 +148,10 @@ impl ArchConfig {
     pub fn with_l3_size(mut self, size: u64) -> ArchConfig {
         if let Some(l3) = &mut self.l3 {
             l3.size = size;
-            assert!(l3.sets().is_power_of_two(), "L3 geometry must stay power-of-two");
+            assert!(
+                l3.sets().is_power_of_two(),
+                "L3 geometry must stay power-of-two"
+            );
         }
         self
     }
@@ -169,7 +191,9 @@ mod tests {
 
     #[test]
     fn variants_derive_cleanly() {
-        let a = ArchConfig::intel_i7_4790().with_l1d_size(64 * 1024).with_dram_latency_ns(90.0);
+        let a = ArchConfig::intel_i7_4790()
+            .with_l1d_size(64 * 1024)
+            .with_dram_latency_ns(90.0);
         assert_eq!(a.l1d.size, 64 * 1024);
         assert_eq!(a.l1d.sets(), 128);
         assert_eq!(a.dram_latency_ns, 90.0);

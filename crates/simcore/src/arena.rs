@@ -36,10 +36,19 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::OutOfMemory { requested, available } => {
-                write!(f, "out of simulated DRAM: requested {requested} B, {available} B left")
+            MemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of simulated DRAM: requested {requested} B, {available} B left"
+                )
             }
-            MemError::OutOfTcm { requested, available } => {
+            MemError::OutOfTcm {
+                requested,
+                available,
+            } => {
                 write!(f, "out of TCM: requested {requested} B, {available} B left")
             }
             MemError::BadAddress(a) => write!(f, "unallocated simulated address {a:#x}"),
@@ -166,10 +175,14 @@ impl Arena {
     fn slice_mut(&mut self, addr: u64, len: usize) -> Result<&mut [u8], MemError> {
         if self.is_tcm(addr) {
             let a = addr as usize;
-            self.tcm.get_mut(a..a + len).ok_or(MemError::BadAddress(addr))
+            self.tcm
+                .get_mut(a..a + len)
+                .ok_or(MemError::BadAddress(addr))
         } else {
             let a = (addr - DRAM_BASE) as usize;
-            self.dram.get_mut(a..a + len).ok_or(MemError::BadAddress(addr))
+            self.dram
+                .get_mut(a..a + len)
+                .ok_or(MemError::BadAddress(addr))
         }
     }
 
@@ -225,7 +238,13 @@ mod tests {
         let mut a = Arena::new(0, 128);
         a.alloc(64).unwrap();
         let e = a.alloc(128).unwrap_err();
-        assert_eq!(e, MemError::OutOfMemory { requested: 128, available: 64 });
+        assert_eq!(
+            e,
+            MemError::OutOfMemory {
+                requested: 128,
+                available: 64
+            }
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ struct Line {
     prefetched: bool,
 }
 
-const EMPTY: Line = Line { tag: 0, valid: false, dirty: false, lru: 0, prefetched: false };
+const EMPTY: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+    prefetched: false,
+};
 
 /// Result of a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +109,9 @@ impl Cache {
         let tag = self.tag_of(line_addr);
         let set = self.set_of(line_addr);
         let s = set * self.ways;
-        self.lines[s..s + self.ways].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[s..s + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Insert the line containing `line_addr`, evicting the LRU way if the
@@ -120,7 +128,10 @@ impl Cache {
         if let Some(l) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
             l.lru = stamp;
             l.dirty |= dirty;
-            return Fill { writeback: None, evicted: None };
+            return Fill {
+                writeback: None,
+                evicted: None,
+            };
         }
 
         let victim = set_lines
@@ -128,7 +139,10 @@ impl Cache {
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("cache set has at least one way");
 
-        let mut out = Fill { writeback: None, evicted: None };
+        let mut out = Fill {
+            writeback: None,
+            evicted: None,
+        };
         if victim.valid {
             let victim_addr = (victim.tag * sets + set as u64) * crate::LINE;
             if victim.dirty {
@@ -137,7 +151,13 @@ impl Cache {
                 out.evicted = Some(victim_addr);
             }
         }
-        *victim = Line { tag, valid: true, dirty, lru: stamp, prefetched: prefetch };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            lru: stamp,
+            prefetched: prefetch,
+        };
         out
     }
 
@@ -177,7 +197,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways = 8 lines of 64B.
-        Cache::new(&CacheConfig { size: 8 * 64, ways: 2, latency_cycles: 1 })
+        Cache::new(&CacheConfig {
+            size: 8 * 64,
+            ways: 2,
+            latency_cycles: 1,
+        })
     }
 
     #[test]
@@ -185,7 +209,12 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.access(0, false), Lookup::Miss);
         c.fill(0, false, false);
-        assert_eq!(c.access(0, false), Lookup::Hit { was_prefetched: false });
+        assert_eq!(
+            c.access(0, false),
+            Lookup::Hit {
+                was_prefetched: false
+            }
+        );
     }
 
     #[test]
@@ -227,15 +256,30 @@ mod tests {
     fn prefetched_flag_cleared_on_first_demand_touch() {
         let mut c = tiny();
         c.fill(0, false, true);
-        assert_eq!(c.access(0, false), Lookup::Hit { was_prefetched: true });
-        assert_eq!(c.access(0, false), Lookup::Hit { was_prefetched: false });
+        assert_eq!(
+            c.access(0, false),
+            Lookup::Hit {
+                was_prefetched: true
+            }
+        );
+        assert_eq!(
+            c.access(0, false),
+            Lookup::Hit {
+                was_prefetched: false
+            }
+        );
     }
 
     #[test]
     fn sub_line_addresses_map_to_same_line() {
         let mut c = tiny();
         c.fill(0, false, false);
-        assert_eq!(c.access(63, false), Lookup::Hit { was_prefetched: false });
+        assert_eq!(
+            c.access(63, false),
+            Lookup::Hit {
+                was_prefetched: false
+            }
+        );
         assert_eq!(c.access(64, false), Lookup::Miss);
     }
 

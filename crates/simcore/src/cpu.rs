@@ -373,13 +373,16 @@ impl Cpu {
             self.meter.charge(self.model.pf_l3_price(row_hit, hz));
         }
         for _ in 0..r.wb_l1 {
-            self.meter.charge(self.model.writeback_price(HitLevel::L1d, hz));
+            self.meter
+                .charge(self.model.writeback_price(HitLevel::L1d, hz));
         }
         for _ in 0..r.wb_l2 {
-            self.meter.charge(self.model.writeback_price(HitLevel::L2, hz));
+            self.meter
+                .charge(self.model.writeback_price(HitLevel::L2, hz));
         }
         for _ in 0..r.wb_l3 {
-            self.meter.charge(self.model.writeback_price(HitLevel::L3, hz));
+            self.meter
+                .charge(self.model.writeback_price(HitLevel::L3, hz));
         }
     }
 
@@ -397,7 +400,8 @@ impl Cpu {
         let hz = self.freq_hz();
         self.pmu.bump(Event::Instructions);
         self.charge_frontend(0);
-        self.meter.charge(self.model.load_price(level, r.dram_row_hit, hz));
+        self.meter
+            .charge(self.model.load_price(level, r.dram_row_hit, hz));
         self.charge_access_side_effects(&r);
 
         let lat = self.hier.latency_cycles(&self.arch, level, hz);
@@ -431,7 +435,8 @@ impl Cpu {
         if let Some(level) = allocated {
             // Write-allocate fill: pay the movement energy and a (store-
             // buffer-softened) fraction of the latency.
-            self.meter.charge(self.model.load_price(level, r.dram_row_hit, hz));
+            self.meter
+                .charge(self.model.load_price(level, r.dram_row_hit, hz));
             let lat = self.hier.latency_cycles(&self.arch, level, hz);
             self.advance(0.0, lat / self.arch.mlp / 2.0);
         }
@@ -467,7 +472,8 @@ impl Cpu {
             self.fetch_price_eff(hz),
             self.model.load_price(level, false, hz),
         );
-        self.meter.charge(crate::energy::scale_price(per, rest as f64));
+        self.meter
+            .charge(crate::energy::scale_price(per, rest as f64));
         self.busy_work(rest as f64 / self.arch.load_issue_width);
     }
 
@@ -491,11 +497,10 @@ impl Cpu {
             self.pmu.add(Event::L1dStoreHit, rest);
         }
         self.pmu.add(Event::Instructions, rest);
-        let per = crate::energy::add_price(
-            self.fetch_price_eff(hz),
-            self.model.store_price(tcm, hz),
-        );
-        self.meter.charge(crate::energy::scale_price(per, rest as f64));
+        let per =
+            crate::energy::add_price(self.fetch_price_eff(hz), self.model.store_price(tcm, hz));
+        self.meter
+            .charge(crate::energy::scale_price(per, rest as f64));
         self.busy_work(rest as f64);
     }
 
@@ -510,7 +515,11 @@ impl Cpu {
         if n == 0 {
             return;
         }
-        let width_scale = if self.arch.kind == ArchKind::Arm { 2.0 } else { 1.0 };
+        let width_scale = if self.arch.kind == ArchKind::Arm {
+            2.0
+        } else {
+            1.0
+        };
         let c = op.cycles(width_scale) * n as f64;
         self.pmu.add(Event::Instructions, n);
         self.pmu.add(op.event(), n);
@@ -593,8 +602,10 @@ impl Cpu {
 
     /// Snapshot the PMU with cycle counters synced.
     pub fn pmu_snapshot(&mut self) -> PmuSnapshot {
-        self.pmu.set(Event::BusyCycles, self.busy_cycles.round() as u64);
-        self.pmu.set(Event::StallCycles, self.stall_cycles.round() as u64);
+        self.pmu
+            .set(Event::BusyCycles, self.busy_cycles.round() as u64);
+        self.pmu
+            .set(Event::StallCycles, self.stall_cycles.round() as u64);
         self.pmu.snapshot()
     }
 
@@ -653,7 +664,10 @@ mod tests {
         });
         // L1 hit latency 4: 1 busy + 3 stall per load.
         let ipc = m.pmu.ipc();
-        assert!(ipc > 0.2 && ipc < 0.3, "list-like IPC should be ~0.25, got {ipc}");
+        assert!(
+            ipc > 0.2 && ipc < 0.3,
+            "list-like IPC should be ~0.25, got {ipc}"
+        );
     }
 
     #[test]
@@ -671,7 +685,10 @@ mod tests {
             }
         });
         let ipc = m.pmu.ipc();
-        assert!(ipc > 1.8 && ipc < 2.2, "array-like IPC should be ~2, got {ipc}");
+        assert!(
+            ipc > 1.8 && ipc < 2.2,
+            "array-like IPC should be ~2, got {ipc}"
+        );
     }
 
     #[test]
@@ -687,9 +704,15 @@ mod tests {
             }
         });
         let cycles = m.cycles / 1000.0;
-        assert!((cycles - 4.0).abs() < 0.1, "shadow should absorb nops, got {cycles}");
+        assert!(
+            (cycles - 4.0).abs() < 0.1,
+            "shadow should absorb nops, got {cycles}"
+        );
         let stall_per = m.pmu.get(Event::StallCycles) as f64 / 1000.0;
-        assert!(stall_per < 2.2, "stall should shrink to ~2, got {stall_per}");
+        assert!(
+            stall_per < 2.2,
+            "stall should shrink to ~2, got {stall_per}"
+        );
     }
 
     #[test]
@@ -752,7 +775,11 @@ mod tests {
         c.set_governor(true);
         assert_eq!(c.pstate(), PState::P36);
         c.idle_c0(0.05);
-        assert!(c.pstate().0 < 36, "long idle should downclock, at {}", c.pstate());
+        assert!(
+            c.pstate().0 < 36,
+            "long idle should downclock, at {}",
+            c.pstate()
+        );
     }
 
     #[test]
@@ -797,10 +824,7 @@ mod tests {
         b.load_repeat(rb.addr, 500);
         let mb = b.end_measure(tb);
 
-        assert_eq!(
-            ma.pmu.get(Event::LoadIssued),
-            mb.pmu.get(Event::LoadIssued)
-        );
+        assert_eq!(ma.pmu.get(Event::LoadIssued), mb.pmu.get(Event::LoadIssued));
         assert_eq!(ma.pmu.get(Event::L1dLoadHit), mb.pmu.get(Event::L1dLoadHit));
         assert!((ma.rapl.core_j - mb.rapl.core_j).abs() / ma.rapl.core_j < 0.02);
         assert!((ma.cycles - mb.cycles).abs() < 2.0);

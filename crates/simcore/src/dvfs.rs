@@ -70,7 +70,12 @@ pub struct Governor {
 impl Governor {
     /// Governor spanning the full range of `min..=max`, 1 ms interval.
     pub fn new(min: PState, max: PState) -> Self {
-        Governor { enabled: true, min, max, interval_s: 1e-3 }
+        Governor {
+            enabled: true,
+            min,
+            max,
+            interval_s: 1e-3,
+        }
     }
 
     /// Pick the next P-state given the window's utilization in `[0, 1]`.
@@ -92,7 +97,11 @@ impl Governor {
         let step = 4i16;
         let cur = current.0 as i16;
         let tgt = (target as i16).clamp(self.min.0 as i16, self.max.0 as i16);
-        let next = if tgt > cur { (cur + step).min(tgt) } else { (cur - step).max(tgt) };
+        let next = if tgt > cur {
+            (cur + step).min(tgt)
+        } else {
+            (cur - step).max(tgt)
+        };
         PState(next as u8)
     }
 }

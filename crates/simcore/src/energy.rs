@@ -76,20 +76,40 @@ pub(crate) struct Price {
 
 impl Price {
     fn core(nj: f64) -> Price {
-        Price { core: nj, pkg_extra: 0.0, mem: 0.0 }
+        Price {
+            core: nj,
+            pkg_extra: 0.0,
+            mem: 0.0,
+        }
     }
     fn pkg(nj: f64) -> Price {
-        Price { core: 0.0, pkg_extra: nj, mem: 0.0 }
+        Price {
+            core: 0.0,
+            pkg_extra: nj,
+            mem: 0.0,
+        }
     }
     /// Split a DRAM transfer between memory controller (package) and DIMMs.
     fn dram(nj: f64) -> Price {
-        Price { core: 0.0, pkg_extra: nj * 0.35, mem: nj * 0.65 }
+        Price {
+            core: 0.0,
+            pkg_extra: nj * 0.35,
+            mem: nj * 0.65,
+        }
     }
     fn plus(self, o: Price) -> Price {
-        Price { core: self.core + o.core, pkg_extra: self.pkg_extra + o.pkg_extra, mem: self.mem + o.mem }
+        Price {
+            core: self.core + o.core,
+            pkg_extra: self.pkg_extra + o.pkg_extra,
+            mem: self.mem + o.mem,
+        }
     }
     fn scale(self, k: f64) -> Price {
-        Price { core: self.core * k, pkg_extra: self.pkg_extra * k, mem: self.mem * k }
+        Price {
+            core: self.core * k,
+            pkg_extra: self.pkg_extra * k,
+            mem: self.mem * k,
+        }
     }
 }
 
@@ -114,7 +134,9 @@ const ANCHOR_HZ: [f64; 3] = [1.2e9, 2.4e9, 3.6e9];
 
 impl Curve {
     const fn new(p36: f64, p24: f64, p12: f64) -> Curve {
-        Curve { nj: [p12, p24, p36] }
+        Curve {
+            nj: [p12, p24, p36],
+        }
     }
     /// Frequency-invariant cost (off-chip components).
     const fn flat(nj: f64) -> Curve {
@@ -249,7 +271,9 @@ impl EnergyModel {
             HitLevel::Tcm => Price::core(self.tcm_load.at(hz)),
             HitLevel::L1d => Price::core(self.l1d_hit.at(hz)),
             HitLevel::L2 => Price::core(
-                self.l1d_probe.at(hz) + self.l1d_hit.at(hz) * self.fill_factor + self.l2_xfer.at(hz),
+                self.l1d_probe.at(hz)
+                    + self.l1d_hit.at(hz) * self.fill_factor
+                    + self.l2_xfer.at(hz),
             ),
             HitLevel::L3 => Price::core(
                 self.l1d_probe.at(hz)
@@ -258,7 +282,11 @@ impl EnergyModel {
             .plus(Price::pkg(self.l3_xfer.at(hz))),
             HitLevel::Mem => {
                 let dram = self.mem_row_miss.at(hz)
-                    * if dram_row_hit { self.row_hit_factor } else { 1.0 };
+                    * if dram_row_hit {
+                        self.row_hit_factor
+                    } else {
+                        1.0
+                    };
                 Price::core(
                     self.l1d_probe.at(hz)
                         + (self.l1d_hit.at(hz) + self.l2_xfer.at(hz)) * self.fill_factor,
@@ -318,8 +346,12 @@ impl EnergyModel {
     /// Prefetch into L3 (data moves DRAM→L3): priced like a DRAM transfer,
     /// per ΔE_pf^L3 = ΔE_mem.
     pub(crate) fn pf_l3_price(&self, dram_row_hit: bool, hz: f64) -> Price {
-        let dram =
-            self.mem_row_miss.at(hz) * if dram_row_hit { self.row_hit_factor } else { 1.0 };
+        let dram = self.mem_row_miss.at(hz)
+            * if dram_row_hit {
+                self.row_hit_factor
+            } else {
+                1.0
+            };
         Price::dram(dram)
     }
 
@@ -345,14 +377,17 @@ impl EnergyModel {
     /// hidden uplift.
     pub(crate) fn background_w(&self, ps: PState, busy: bool) -> (f64, f64, f64) {
         let up = if busy { self.busy_bg_uplift } else { 1.0 };
-        (self.bg(self.core_bg, ps) * up, self.bg(self.pkg_bg, ps) * up, self.mem_bg_w * up)
+        (
+            self.bg(self.core_bg, ps) * up,
+            self.bg(self.pkg_bg, ps) * up,
+            self.mem_bg_w * up,
+        )
     }
 
     /// Deep-idle (C-state) power per domain in watts.
     pub(crate) fn idle_w(&self) -> (f64, f64, f64) {
         self.idle_w
     }
-
 }
 
 /// Accumulating meter.
@@ -465,7 +500,11 @@ mod tests {
     #[test]
     fn meter_accumulates_and_package_includes_core() {
         let mut e = EnergyMeter::default();
-        e.charge(Price { core: 1e9, pkg_extra: 5e8, mem: 2e8 });
+        e.charge(Price {
+            core: 1e9,
+            pkg_extra: 5e8,
+            mem: 2e8,
+        });
         let r = e.reading();
         assert!((r.core_j - 1.0).abs() < 1e-12);
         assert!((r.package_j - 1.5).abs() < 1e-12);

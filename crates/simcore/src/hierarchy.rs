@@ -514,7 +514,10 @@ mod tests {
             }
         }
         // 8 KB rows = 128 lines; sequential lines mostly hit the open row.
-        assert!(row_hits > 100, "expected row-buffer locality, got {row_hits}");
+        assert!(
+            row_hits > 100,
+            "expected row-buffer locality, got {row_hits}"
+        );
     }
 
     #[test]

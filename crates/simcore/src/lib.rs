@@ -72,3 +72,16 @@ pub use timeline::{TimelineSample, TimelineSampler};
 
 /// Cache line size in bytes. The paper's data items are sized to one line.
 pub const LINE: u64 = 64;
+
+// The mjrt runtime moves measurements between worker threads and shares
+// architecture descriptions across them; keep these types thread-portable
+// so a change here fails at the definition, not in the scheduler.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Measurement>();
+    assert_send_sync::<ArchConfig>();
+    assert_send_sync::<ArchKind>();
+    assert_send_sync::<PState>();
+    assert_send_sync::<RaplReading>();
+    assert_send_sync::<PmuSnapshot>();
+};

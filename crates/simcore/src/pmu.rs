@@ -110,7 +110,9 @@ impl Default for Pmu {
 impl Pmu {
     /// Fresh PMU with all counters at zero.
     pub fn new() -> Self {
-        Pmu { counts: [0; N_EVENTS] }
+        Pmu {
+            counts: [0; N_EVENTS],
+        }
     }
 
     /// Increment `ev` by one.
@@ -140,7 +142,9 @@ impl Pmu {
 
     /// Copy the whole bank (cheap: fixed-size array).
     pub fn snapshot(&self) -> PmuSnapshot {
-        PmuSnapshot { counts: self.counts }
+        PmuSnapshot {
+            counts: self.counts,
+        }
     }
 }
 
@@ -153,7 +157,9 @@ pub struct PmuSnapshot {
 impl PmuSnapshot {
     /// A snapshot with all counters zero.
     pub fn zero() -> Self {
-        PmuSnapshot { counts: [0; N_EVENTS] }
+        PmuSnapshot {
+            counts: [0; N_EVENTS],
+        }
     }
 
     /// Value of `ev` in this snapshot.
@@ -167,7 +173,10 @@ impl PmuSnapshot {
     pub fn delta(&self, earlier: &PmuSnapshot) -> PmuSnapshot {
         let mut out = [0u64; N_EVENTS];
         for (i, slot) in out.iter_mut().enumerate() {
-            debug_assert!(self.counts[i] >= earlier.counts[i], "PMU counter went backwards");
+            debug_assert!(
+                self.counts[i] >= earlier.counts[i],
+                "PMU counter went backwards"
+            );
             *slot = self.counts[i] - earlier.counts[i];
         }
         PmuSnapshot { counts: out }

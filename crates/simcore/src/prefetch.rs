@@ -28,7 +28,14 @@ struct Stream {
     valid: bool,
 }
 
-const DEAD: Stream = Stream { page: 0, last_line: 0, dir: 0, trained: 0, lru: 0, valid: false };
+const DEAD: Stream = Stream {
+    page: 0,
+    last_line: 0,
+    dir: 0,
+    trained: 0,
+    lru: 0,
+    valid: false,
+};
 
 /// Prefetch proposals for one demand access.
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,7 +77,10 @@ impl Default for Streamer {
 impl Streamer {
     /// Fresh streamer with no trained streams.
     pub fn new() -> Self {
-        Streamer { streams: [DEAD; STREAMS], clock: 0 }
+        Streamer {
+            streams: [DEAD; STREAMS],
+            clock: 0,
+        }
     }
 
     /// Forget all streams (cache flush / measurement boundary).
@@ -92,7 +102,13 @@ impl Streamer {
             None => {
                 // Allocate over the LRU slot and start training.
                 let victim = (0..STREAMS)
-                    .min_by_key(|&i| if self.streams[i].valid { self.streams[i].lru } else { 0 })
+                    .min_by_key(|&i| {
+                        if self.streams[i].valid {
+                            self.streams[i].lru
+                        } else {
+                            0
+                        }
+                    })
                     .expect("non-empty stream table");
                 self.streams[victim] = Stream {
                     page,

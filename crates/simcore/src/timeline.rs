@@ -34,18 +34,35 @@ impl TimelineSampler {
     /// Sampler that fires every `interval_s`, starting at `now`.
     pub fn new(interval_s: f64, now: f64) -> Self {
         assert!(interval_s > 0.0, "sampling interval must be positive");
-        TimelineSampler { interval_s, next_t: now + interval_s, window_active_s: 0.0, samples: Vec::new() }
+        TimelineSampler {
+            interval_s,
+            next_t: now + interval_s,
+            window_active_s: 0.0,
+            samples: Vec::new(),
+        }
     }
 
     /// Record `dt` seconds of wall time, `active` of which were non-idle,
     /// emitting samples for every boundary crossed.
-    pub(crate) fn advance(&mut self, now: f64, dt: f64, active: bool, pstate: PState, rapl: RaplReading) {
+    pub(crate) fn advance(
+        &mut self,
+        now: f64,
+        dt: f64,
+        active: bool,
+        pstate: PState,
+        rapl: RaplReading,
+    ) {
         if active {
             self.window_active_s += dt;
         }
         while now >= self.next_t - 1e-12 {
             let util = (self.window_active_s / self.interval_s).clamp(0.0, 1.0);
-            self.samples.push(TimelineSample { t_s: self.next_t, pstate, utilization: util, rapl });
+            self.samples.push(TimelineSample {
+                t_s: self.next_t,
+                pstate,
+                utilization: util,
+                rapl,
+            });
             self.window_active_s = 0.0;
             self.next_t += self.interval_s;
         }

@@ -83,31 +83,47 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
             '/' => push(&mut out, i, Tok::Slash, &mut i),
             '=' => push(&mut out, i, Tok::Eq, &mut i),
             '!' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Token { at: i, kind: Tok::Ne });
+                out.push(Token {
+                    at: i,
+                    kind: Tok::Ne,
+                });
                 i += 2;
             }
-            '<' => {
-                match b.get(i + 1) {
-                    Some(&b'=') => {
-                        out.push(Token { at: i, kind: Tok::Le });
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        out.push(Token { at: i, kind: Tok::Ne });
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token { at: i, kind: Tok::Lt });
-                        i += 1;
-                    }
+            '<' => match b.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token {
+                        at: i,
+                        kind: Tok::Le,
+                    });
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    out.push(Token {
+                        at: i,
+                        kind: Tok::Ne,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token {
+                        at: i,
+                        kind: Tok::Lt,
+                    });
+                    i += 1;
+                }
+            },
             '>' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    out.push(Token { at: i, kind: Tok::Ge });
+                    out.push(Token {
+                        at: i,
+                        kind: Tok::Ge,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { at: i, kind: Tok::Gt });
+                    out.push(Token {
+                        at: i,
+                        kind: Tok::Gt,
+                    });
                     i += 1;
                 }
             }
@@ -137,7 +153,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                         }
                     }
                 }
-                out.push(Token { at: start, kind: Tok::Str(s) });
+                out.push(Token {
+                    at: start,
+                    kind: Tok::Str(s),
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -145,8 +164,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     is_float = true;
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
@@ -169,19 +187,26 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
-                out.push(Token { at: start, kind: Tok::Ident(src[start..i].to_owned()) });
+                out.push(Token {
+                    at: start,
+                    kind: Tok::Ident(src[start..i].to_owned()),
+                });
             }
             other => {
-                return Err(SqlError::Lex { at: i, msg: format!("unexpected character `{other}`") })
+                return Err(SqlError::Lex {
+                    at: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
-    out.push(Token { at: src.len(), kind: Tok::Eof });
+    out.push(Token {
+        at: src.len(),
+        kind: Tok::Eof,
+    });
     Ok(out)
 }
 
@@ -217,10 +242,7 @@ mod tests {
 
     #[test]
     fn strings_with_escaped_quote() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![Tok::Str("it's".into()), Tok::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
     }
 
     #[test]
@@ -251,6 +273,9 @@ mod tests {
 
     #[test]
     fn minus_vs_comment() {
-        assert_eq!(kinds("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]
+        );
     }
 }

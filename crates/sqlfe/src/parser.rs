@@ -37,7 +37,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, SqlError> {
-        Err(SqlError::Parse { at: self.at(), msg: msg.into() })
+        Err(SqlError::Parse {
+            at: self.at(),
+            msg: msg.into(),
+        })
     }
 
     /// Case-insensitive keyword check (does not consume).
@@ -163,7 +166,11 @@ impl Parser {
             let mut items = Vec::new();
             loop {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem { expr, alias });
                 if !self.eat_opt(&Tok::Comma) {
                     break;
@@ -180,7 +187,11 @@ impl Parser {
             let on_left = self.colref()?;
             self.expect(&Tok::Eq)?;
             let on_right = self.colref()?;
-            joins.push(JoinClause { table, on_left, on_right });
+            joins.push(JoinClause {
+                table,
+                on_left,
+                on_right,
+            });
         }
         let filter = self.opt_where()?;
         let mut group_by = Vec::new();
@@ -218,16 +229,30 @@ impl Parser {
         } else {
             None
         };
-        Ok(Select { items, from, joins, filter, group_by, order_by, limit })
+        Ok(Select {
+            items,
+            from,
+            joins,
+            filter,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn colref(&mut self) -> Result<ColRef, SqlError> {
         let first = self.ident()?;
         if self.eat_opt(&Tok::Dot) {
             let column = self.ident()?;
-            Ok(ColRef { table: Some(first), column })
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
         } else {
-            Ok(ColRef { table: None, column: first })
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -447,7 +472,9 @@ mod tests {
     #[test]
     fn parses_simple_select() {
         let s = parse("SELECT * FROM t WHERE a > 3 ORDER BY b DESC LIMIT 5;").unwrap();
-        let Statement::Select(sel) = s else { panic!("not a select") };
+        let Statement::Select(sel) = s else {
+            panic!("not a select")
+        };
         assert!(sel.items.is_none());
         assert_eq!(sel.from, "t");
         assert_eq!(sel.limit, Some(5));
@@ -475,7 +502,9 @@ mod tests {
         let Statement::Select(sel) = s else { panic!() };
         let item = &sel.items.unwrap()[0].expr;
         // a + (b * 2)
-        assert!(matches!(item, SExpr::Bin(BinSym::Add, _, r) if matches!(**r, SExpr::Bin(BinSym::Mul, _, _))));
+        assert!(
+            matches!(item, SExpr::Bin(BinSym::Add, _, r) if matches!(**r, SExpr::Bin(BinSym::Mul, _, _)))
+        );
         // x=1 OR (y=2 AND z=3)
         assert!(
             matches!(sel.filter, Some(SExpr::Bin(BinSym::Or, _, ref r)) if matches!(**r, SExpr::Bin(BinSym::And, _, _)))
@@ -486,14 +515,15 @@ mod tests {
     fn date_literals() {
         let s = parse("SELECT * FROM t WHERE d <= DATE '1998-09-02'").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let Some(SExpr::Bin(_, _, r)) = sel.filter else { panic!() };
+        let Some(SExpr::Bin(_, _, r)) = sel.filter else {
+            panic!()
+        };
         assert_eq!(*r, SExpr::Date(10471));
     }
 
     #[test]
     fn between_in_like_and_not() {
-        parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1,2,3) AND c LIKE 'x%'")
-            .unwrap();
+        parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1,2,3) AND c LIKE 'x%'").unwrap();
         parse("SELECT * FROM t WHERE a NOT IN (1) AND NOT b = 2").unwrap();
     }
 

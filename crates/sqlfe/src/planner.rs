@@ -19,8 +19,10 @@ pub fn plan_statement(stmt: &Statement, catalog: &Catalog) -> Result<Planned, Sq
     match stmt {
         Statement::Select(sel) => Ok(Planned::Query(plan_select(sel, catalog)?)),
         Statement::Insert { table, rows } => {
-            let schema =
-                &catalog.table(table).map_err(|e| SqlError::Plan(e.to_string()))?.schema;
+            let schema = &catalog
+                .table(table)
+                .map_err(|e| SqlError::Plan(e.to_string()))?
+                .schema;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 if row.len() != schema.arity() {
@@ -37,11 +39,17 @@ pub fn plan_statement(stmt: &Statement, catalog: &Catalog) -> Result<Planned, Sq
                     .collect();
                 out.push(vals?);
             }
-            Ok(Planned::Write(Dml::Insert { table: table.clone(), rows: out }))
+            Ok(Planned::Write(Dml::Insert {
+                table: table.clone(),
+                rows: out,
+            }))
         }
         Statement::Update { table, set, filter } => {
-            let schema =
-                catalog.table(table).map_err(|e| SqlError::Plan(e.to_string()))?.schema.clone();
+            let schema = catalog
+                .table(table)
+                .map_err(|e| SqlError::Plan(e.to_string()))?
+                .schema
+                .clone();
             let resolve = single_table_resolver(&schema);
             let mut assignments = Vec::new();
             for (col, e) in set {
@@ -51,14 +59,24 @@ pub fn plan_statement(stmt: &Statement, catalog: &Catalog) -> Result<Planned, Sq
                 assignments.push((idx, to_expr(e, &resolve)?));
             }
             let filter = filter.as_ref().map(|f| to_expr(f, &resolve)).transpose()?;
-            Ok(Planned::Write(Dml::Update { table: table.clone(), filter, set: assignments }))
+            Ok(Planned::Write(Dml::Update {
+                table: table.clone(),
+                filter,
+                set: assignments,
+            }))
         }
         Statement::Delete { table, filter } => {
-            let schema =
-                catalog.table(table).map_err(|e| SqlError::Plan(e.to_string()))?.schema.clone();
+            let schema = catalog
+                .table(table)
+                .map_err(|e| SqlError::Plan(e.to_string()))?
+                .schema
+                .clone();
             let resolve = single_table_resolver(&schema);
             let filter = filter.as_ref().map(|f| to_expr(f, &resolve)).transpose()?;
-            Ok(Planned::Write(Dml::Delete { table: table.clone(), filter }))
+            Ok(Planned::Write(Dml::Delete {
+                table: table.clone(),
+                filter,
+            }))
         }
     }
 }
@@ -161,10 +179,17 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
     let mut sources = Vec::new();
     let mut offset = 0usize;
     for name in std::iter::once(&sel.from).chain(sel.joins.iter().map(|j| &j.table)) {
-        let schema =
-            catalog.table(name).map_err(|e| SqlError::Plan(e.to_string()))?.schema.clone();
+        let schema = catalog
+            .table(name)
+            .map_err(|e| SqlError::Plan(e.to_string()))?
+            .schema
+            .clone();
         let arity = schema.arity();
-        sources.push(Source { name: name.clone(), schema, offset });
+        sources.push(Source {
+            name: name.clone(),
+            schema,
+            offset,
+        });
         offset += arity;
     }
     let scope = Scope { sources };
@@ -200,7 +225,9 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
             // Table-local resolution for the pushed filter.
             if let Some(t) = &cr.table {
                 if !src.name.eq_ignore_ascii_case(t) {
-                    return Err(SqlError::Plan(format!("`{t}` out of scope in pushed filter")));
+                    return Err(SqlError::Plan(format!(
+                        "`{t}` out of scope in pushed filter"
+                    )));
                 }
             }
             src.schema
@@ -215,7 +242,11 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
                 Some(Expr::and_all(exprs?))
             }
         };
-        Ok(Plan::Scan { table: src.name.clone(), filter, project: None })
+        Ok(Plan::Scan {
+            table: src.name.clone(),
+            filter,
+            project: None,
+        })
     };
 
     // Left-deep join chain.
@@ -296,12 +327,9 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
                 }
                 SExpr::Col(cr) => {
                     let g = global(cr)?;
-                    let pos = group_cols
-                        .iter()
-                        .position(|&c| c == g)
-                        .ok_or_else(|| {
-                            SqlError::Plan(format!("`{}` must appear in GROUP BY", cr.column))
-                        })?;
+                    let pos = group_cols.iter().position(|&c| c == g).ok_or_else(|| {
+                        SqlError::Plan(format!("`{}` must appear in GROUP BY", cr.column))
+                    })?;
                     projections.push(Expr::col(pos));
                 }
                 _ => {
@@ -336,7 +364,8 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
                 SExpr::Int(n) if *n >= 1 => (*n - 1) as usize,
                 SExpr::Col(cr) => {
                     let by_alias = output_aliases.iter().position(|a| {
-                        a.as_deref().is_some_and(|al| al.eq_ignore_ascii_case(&cr.column))
+                        a.as_deref()
+                            .is_some_and(|al| al.eq_ignore_ascii_case(&cr.column))
                     });
                     match by_alias {
                         Some(i) => i,
@@ -356,9 +385,16 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
             };
             keys.push((idx, *desc));
         }
-        plan = Plan::Sort { input: Box::new(plan), keys, limit: sel.limit };
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys,
+            limit: sel.limit,
+        };
     } else if let Some(n) = sel.limit {
-        plan = Plan::Limit { input: Box::new(plan), n };
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
     Ok(plan)
 }
@@ -399,7 +435,9 @@ fn to_expr<F: Fn(&ColRef) -> Result<usize, SqlError>>(
         }
         SExpr::Like(x, pat) => like_expr(to_expr(x, resolve)?, pat)?,
         SExpr::Agg(..) => {
-            return Err(SqlError::Plan("aggregate call outside the select list".into()))
+            return Err(SqlError::Plan(
+                "aggregate call outside the select list".into(),
+            ))
         }
         SExpr::Bin(sym, l, r) => {
             let l = Box::new(to_expr(l, resolve)?);
@@ -432,9 +470,11 @@ fn like_expr(target: Expr, pat: &str) -> Result<Expr, SqlError> {
     Ok(match (pat.starts_with('%'), pat.ends_with('%')) {
         (true, _) => Expr::Contains(Box::new(target), inner.to_owned()),
         (false, true) => Expr::StartsWith(Box::new(target), inner.to_owned()),
-        (false, false) => {
-            Expr::Cmp(CmpOp::Eq, Box::new(target), Box::new(Expr::Lit(Value::Str(pat.into()))))
-        }
+        (false, false) => Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(target),
+            Box::new(Expr::Lit(Value::Str(pat.into()))),
+        ),
     })
 }
 
@@ -445,7 +485,9 @@ fn literal_only(e: &SExpr) -> Result<Value, SqlError> {
         SExpr::Str(s) => Ok(Value::Str(s.clone())),
         SExpr::Date(d) => Ok(Value::Date(*d)),
         SExpr::Null => Ok(Value::Null),
-        other => Err(SqlError::Plan(format!("expected a literal, found {other:?}"))),
+        other => Err(SqlError::Plan(format!(
+            "expected a literal, found {other:?}"
+        ))),
     }
 }
 
@@ -471,7 +513,8 @@ mod tests {
             Schema::new([("id", Ty::Int), ("cat", Ty::Int), ("price", Ty::Float)]),
         )
         .unwrap();
-        c.create_table("cats", Schema::new([("cid", Ty::Int), ("name", Ty::Str)])).unwrap();
+        c.create_table("cats", Schema::new([("cid", Ty::Int), ("name", Ty::Str)]))
+            .unwrap();
         c
     }
 
@@ -485,28 +528,53 @@ mod tests {
 
     #[test]
     fn pushes_single_table_filters_below_joins() {
-        let p = plan(
-            "SELECT * FROM items JOIN cats ON cat = cid WHERE price > 2.0 AND name = 'cat-1'",
-        );
-        let Plan::Join { left, right, filter, .. } = p else { panic!("expected join") };
+        let p =
+            plan("SELECT * FROM items JOIN cats ON cat = cid WHERE price > 2.0 AND name = 'cat-1'");
+        let Plan::Join {
+            left,
+            right,
+            filter,
+            ..
+        } = p
+        else {
+            panic!("expected join")
+        };
         assert!(filter.is_none(), "all conjuncts should have been pushed");
-        assert!(matches!(*left, Plan::Scan { filter: Some(_), .. }));
-        assert!(matches!(*right, Plan::Scan { filter: Some(_), .. }));
+        assert!(matches!(
+            *left,
+            Plan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            *right,
+            Plan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn cross_table_predicates_stay_on_the_join() {
         let p = plan("SELECT * FROM items JOIN cats ON cat = cid WHERE id + cid > 4");
-        let Plan::Join { filter, .. } = p else { panic!() };
+        let Plan::Join { filter, .. } = p else {
+            panic!()
+        };
         assert!(filter.is_some());
     }
 
     #[test]
     fn aggregates_build_aggregate_plus_projection() {
         let p = plan("SELECT cat, COUNT(*), SUM(price) FROM items GROUP BY cat ORDER BY 2 DESC");
-        let Plan::Sort { input, keys, .. } = p else { panic!() };
+        let Plan::Sort { input, keys, .. } = p else {
+            panic!()
+        };
         assert_eq!(keys, vec![(1, true)]);
-        let Plan::Project { input, exprs } = *input else { panic!() };
+        let Plan::Project { input, exprs } = *input else {
+            panic!()
+        };
         assert_eq!(exprs.len(), 3);
         assert!(matches!(*input, Plan::Aggregate { .. }));
     }
@@ -554,15 +622,26 @@ mod tests {
     fn update_and_delete_compile() {
         let cat = catalog();
         let s = parse("UPDATE items SET price = price * 1.1 WHERE cat IN (1, 2)").unwrap();
-        assert!(matches!(plan_statement(&s, &cat).unwrap(), Planned::Write(Dml::Update { .. })));
+        assert!(matches!(
+            plan_statement(&s, &cat).unwrap(),
+            Planned::Write(Dml::Update { .. })
+        ));
         let s = parse("DELETE FROM items WHERE id BETWEEN 5 AND 9").unwrap();
-        assert!(matches!(plan_statement(&s, &cat).unwrap(), Planned::Write(Dml::Delete { .. })));
+        assert!(matches!(
+            plan_statement(&s, &cat).unwrap(),
+            Planned::Write(Dml::Delete { .. })
+        ));
     }
 
     #[test]
     fn like_patterns_map_to_string_predicates() {
         let p = plan("SELECT * FROM cats WHERE name LIKE 'cat%' AND name LIKE '%-1%'");
-        let Plan::Scan { filter: Some(f), .. } = p else { panic!() };
+        let Plan::Scan {
+            filter: Some(f), ..
+        } = p
+        else {
+            panic!()
+        };
         let s = format!("{f:?}");
         assert!(s.contains("StartsWith") && s.contains("Contains"));
     }

@@ -99,22 +99,34 @@ fn read_int_key(cpu: &mut Cpu, addr: u64, i: u64, dep: Dep) -> i64 {
 
 fn read_int_child(cpu: &mut Cpu, addr: u64, idx: u64, dep: Dep) -> PageId {
     // child idx 0 sits right after the header; child i>0 follows key i-1.
-    let ca = if idx == 0 { addr + HDR } else { int_key_addr(addr, idx - 1) + 8 };
+    let ca = if idx == 0 {
+        addr + HDR
+    } else {
+        int_key_addr(addr, idx - 1) + 8
+    };
     cpu.load(ca, dep);
     let b = cpu.arena().bytes(ca, 4).expect("internal child");
     u32::from_le_bytes(b.try_into().expect("child"))
 }
 
 fn write_int_child(cpu: &mut Cpu, addr: u64, idx: u64, child: PageId) {
-    let ca = if idx == 0 { addr + HDR } else { int_key_addr(addr, idx - 1) + 8 };
+    let ca = if idx == 0 {
+        addr + HDR
+    } else {
+        int_key_addr(addr, idx - 1) + 8
+    };
     cpu.store(ca);
-    cpu.arena_mut().write(ca, &child.to_le_bytes()).expect("child write");
+    cpu.arena_mut()
+        .write(ca, &child.to_le_bytes())
+        .expect("child write");
 }
 
 fn write_int_key(cpu: &mut Cpu, addr: u64, i: u64, key: i64) {
     let ka = int_key_addr(addr, i);
     cpu.store(ka);
-    cpu.arena_mut().write(ka, &key.to_le_bytes()).expect("key write");
+    cpu.arena_mut()
+        .write(ka, &key.to_le_bytes())
+        .expect("key write");
 }
 
 /// Shift a byte range right by `by` bytes (entry insertion). Simulates the
@@ -125,7 +137,11 @@ fn shift_right(cpu: &mut Cpu, addr: u64, len: u64, by: u64) {
     }
     crate::page::touch(cpu, addr, len, Dep::Stream);
     touch_store(cpu, addr + by, len);
-    let bytes = cpu.arena().bytes(addr, len as usize).expect("shift src").to_vec();
+    let bytes = cpu
+        .arena()
+        .bytes(addr, len as usize)
+        .expect("shift src")
+        .to_vec();
     cpu.arena_mut().write(addr + by, &bytes).expect("shift dst");
 }
 
@@ -135,7 +151,11 @@ impl BTree {
         let root = store.alloc_page(cpu)?;
         let addr = store.page(root).addr;
         write_header(cpu, addr, true, 0, None);
-        Ok(BTree { root, height: 0, len: 0 })
+        Ok(BTree {
+            root,
+            height: 0,
+            len: 0,
+        })
     }
 
     /// Root page id (the DTCM co-design pins the top layers).
@@ -231,7 +251,12 @@ impl BTree {
         let pos = Self::lower_bound_leaf(cpu, addr, n, key, Dep::Chase);
 
         if n < leaf_cap(page_size) {
-            shift_right(cpu, leaf_entry_addr(addr, pos), (n - pos) * LEAF_ENTRY, LEAF_ENTRY);
+            shift_right(
+                cpu,
+                leaf_entry_addr(addr, pos),
+                (n - pos) * LEAF_ENTRY,
+                LEAF_ENTRY,
+            );
             write_leaf_entry(cpu, addr, pos, key, payload);
             write_header(cpu, addr, true, (n + 1) as u16, sib);
             self.len += 1;
@@ -258,7 +283,12 @@ impl BTree {
             (new_addr, moved, sib)
         };
         let pos = Self::lower_bound_leaf(cpu, taddr, tn, key, Dep::Chase);
-        shift_right(cpu, leaf_entry_addr(taddr, pos), (tn - pos) * LEAF_ENTRY, LEAF_ENTRY);
+        shift_right(
+            cpu,
+            leaf_entry_addr(taddr, pos),
+            (tn - pos) * LEAF_ENTRY,
+            LEAF_ENTRY,
+        );
         write_leaf_entry(cpu, taddr, pos, key, payload);
         write_header(cpu, taddr, true, (tn + 1) as u16, tsib);
         self.len += 1;
@@ -372,9 +402,14 @@ impl BTree {
                     if len > 0 {
                         crate::page::touch(cpu, from, len, Dep::Stream);
                         touch_store(cpu, from - LEAF_ENTRY, len);
-                        let bytes =
-                            cpu.arena().bytes(from, len as usize).expect("shift src").to_vec();
-                        cpu.arena_mut().write(from - LEAF_ENTRY, &bytes).expect("shift dst");
+                        let bytes = cpu
+                            .arena()
+                            .bytes(from, len as usize)
+                            .expect("shift src")
+                            .to_vec();
+                        cpu.arena_mut()
+                            .write(from - LEAF_ENTRY, &bytes)
+                            .expect("shift dst");
                     }
                     write_header(cpu, addr, true, (n - 1) as u16, sib);
                     self.len -= 1;
@@ -417,7 +452,11 @@ impl BTree {
         let addr = store.page(leaf).addr;
         let (_, n, _) = read_header(cpu, addr, Dep::Chase);
         let pos = Self::lower_bound_leaf(cpu, addr, n as u64, key, Dep::Chase);
-        BTreeCursor { page: Some(leaf), idx: pos, n: n as u64 }
+        BTreeCursor {
+            page: Some(leaf),
+            idx: pos,
+            n: n as u64,
+        }
     }
 
     /// Cursor at the smallest key.
@@ -437,7 +476,10 @@ impl BTree {
         store: &mut PageStore,
         pairs: &[(i64, u64)],
     ) -> crate::Result<BTree> {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "bulk_load needs sorted input");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_load needs sorted input"
+        );
         let page_size = store.page_size();
         // Fill leaves to ~90% so later simulated inserts don't cascade.
         let per_leaf = ((leaf_cap(page_size) * 9) / 10).max(1);
@@ -498,17 +540,16 @@ impl BTree {
             }
             level = next_level;
         }
-        Ok(BTree { root: level[0].0, height, len: pairs.len() as u64 })
+        Ok(BTree {
+            root: level[0].0,
+            height,
+            len: pairs.len() as u64,
+        })
     }
 
     /// Page ids of the top `layers` levels (root = layer 1), breadth-first.
     /// Used by the DTCM co-design to pin hot B-tree nodes.
-    pub fn top_pages(
-        &self,
-        cpu: &mut Cpu,
-        store: &PageStore,
-        layers: u32,
-    ) -> Vec<PageId> {
+    pub fn top_pages(&self, cpu: &mut Cpu, store: &PageStore, layers: u32) -> Vec<PageId> {
         let mut out = Vec::new();
         let mut frontier = vec![self.root];
         for _ in 0..layers {
@@ -523,7 +564,11 @@ impl BTree {
                 }
                 let n = u16::from_le_bytes([b[2], b[3]]) as u64;
                 for idx in 0..=n {
-                    let ca = if idx == 0 { addr + HDR } else { int_key_addr(addr, idx - 1) + 8 };
+                    let ca = if idx == 0 {
+                        addr + HDR
+                    } else {
+                        int_key_addr(addr, idx - 1) + 8
+                    };
                     let cb = cpu.arena().bytes(ca, 4).expect("child");
                     next.push(u32::from_le_bytes(cb.try_into().expect("child")));
                 }
@@ -612,7 +657,8 @@ mod tests {
             keys.swap(i, (i * 7919) % n);
         }
         for &k in &keys {
-            t.insert(&mut cpu, &mut store, &mut pool, k, k as u64 * 10).unwrap();
+            t.insert(&mut cpu, &mut store, &mut pool, k, k as u64 * 10)
+                .unwrap();
         }
         assert_eq!(t.len, 2000);
         assert!(t.height >= 1, "2000 entries must split");
@@ -630,7 +676,8 @@ mod tests {
         let (mut cpu, mut store, mut pool) = setup();
         let mut t = BTree::create(&mut cpu, &mut store).unwrap();
         for k in (0..1000).step_by(2) {
-            t.insert(&mut cpu, &mut store, &mut pool, k, k as u64).unwrap();
+            t.insert(&mut cpu, &mut store, &mut pool, k, k as u64)
+                .unwrap();
         }
         assert_eq!(t.lookup(&mut cpu, &store, &mut pool, 500), Some(500));
         assert_eq!(t.lookup(&mut cpu, &store, &mut pool, 501), None);
@@ -646,8 +693,10 @@ mod tests {
         }
         t.insert(&mut cpu, &mut store, &mut pool, 41, 99).unwrap();
         let cur = t.seek(&mut cpu, &store, &mut pool, 42);
-        let hits: Vec<u64> =
-            drain(&mut cpu, &store, &mut pool, cur).into_iter().map(|(_, p)| p).collect();
+        let hits: Vec<u64> = drain(&mut cpu, &store, &mut pool, cur)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
         assert_eq!(hits.len(), 5);
         let mut sorted = hits.clone();
         sorted.sort_unstable();
@@ -659,7 +708,8 @@ mod tests {
         let (mut cpu, mut store, mut pool) = setup();
         let mut t = BTree::create(&mut cpu, &mut store).unwrap();
         for k in [10i64, 20, 30, 40] {
-            t.insert(&mut cpu, &mut store, &mut pool, k, k as u64).unwrap();
+            t.insert(&mut cpu, &mut store, &mut pool, k, k as u64)
+                .unwrap();
         }
         let cur = t.seek(&mut cpu, &store, &mut pool, 25);
         let rest = drain(&mut cpu, &store, &mut pool, cur);
@@ -720,7 +770,8 @@ mod tests {
         let (mut cpu, mut store, mut pool) = setup();
         let mut t = BTree::create(&mut cpu, &mut store).unwrap();
         for i in 0..600u64 {
-            t.insert(&mut cpu, &mut store, &mut pool, (i % 3) as i64, i).unwrap();
+            t.insert(&mut cpu, &mut store, &mut pool, (i % 3) as i64, i)
+                .unwrap();
         }
         let cur = t.seek(&mut cpu, &store, &mut pool, 1);
         let ones = drain(&mut cpu, &store, &mut pool, cur)

@@ -26,7 +26,10 @@ impl PageStore {
     /// New store with the given page-size knob.
     pub fn new(page_size: u32) -> PageStore {
         assert!(page_size.is_power_of_two() && page_size >= 256);
-        PageStore { page_size, pages: Vec::new() }
+        PageStore {
+            page_size,
+            pages: Vec::new(),
+        }
     }
 
     /// Page size in bytes.
@@ -44,14 +47,21 @@ impl PageStore {
         let r = cpu.alloc(self.page_size as u64)?;
         let id = self.pages.len() as PageId;
         self.pages.push(r.addr);
-        PageRef { addr: r.addr, size: self.page_size }.init(cpu)?;
+        PageRef {
+            addr: r.addr,
+            size: self.page_size,
+        }
+        .init(cpu)?;
         Ok(id)
     }
 
     /// View a page (no residency logic — use [`BufferPool::access`] inside
     /// query execution).
     pub fn page(&self, id: PageId) -> PageRef {
-        PageRef { addr: self.pages[id as usize], size: self.page_size }
+        PageRef {
+            addr: self.pages[id as usize],
+            size: self.page_size,
+        }
     }
 }
 
@@ -80,7 +90,13 @@ impl BufferPool {
     /// Pool holding `buffer_bytes / page_size` pages (at least 4).
     pub fn new(buffer_bytes: u64, page_size: u32) -> BufferPool {
         let capacity = (buffer_bytes / page_size as u64).max(4) as usize;
-        BufferPool { capacity, resident: HashMap::new(), stamp: 0, charge_io: true, disk_reads: 0 }
+        BufferPool {
+            capacity,
+            resident: HashMap::new(),
+            stamp: 0,
+            charge_io: true,
+            disk_reads: 0,
+        }
     }
 
     /// Pool over *anonymous memory* (temp structures, `temp_store=MEMORY`):
@@ -135,7 +151,6 @@ impl BufferPool {
     }
 }
 
-
 impl PageAccess for BufferPool {
     fn access(&mut self, cpu: &mut Cpu, store: &PageStore, id: PageId) -> PageRef {
         BufferPool::access(self, cpu, store, id)
@@ -167,8 +182,9 @@ mod tests {
     #[test]
     fn lru_eviction_under_pressure() {
         let (mut cpu, mut store, mut pool) = setup(4 * 4096); // 4 frames
-        let ids: Vec<PageId> =
-            (0..6).map(|_| store.alloc_page(&mut cpu).unwrap()).collect();
+        let ids: Vec<PageId> = (0..6)
+            .map(|_| store.alloc_page(&mut cpu).unwrap())
+            .collect();
         for &id in &ids {
             pool.access(&mut cpu, &store, id);
         }

@@ -100,7 +100,10 @@ impl TableInfo {
         if self.pk_col == Some(col) {
             return self.pk_index.as_ref();
         }
-        self.secondary.iter().find(|(c, _)| *c == col).map(|(_, t)| t)
+        self.secondary
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, t)| t)
     }
 }
 
@@ -123,7 +126,10 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut cat = Catalog::new();
-        cat.create_table("t", Schema::new([("a", Ty::Int)])).unwrap();
-        assert!(cat.create_table("t", Schema::new([("a", Ty::Int)])).is_err());
+        cat.create_table("t", Schema::new([("a", Ty::Int)]))
+            .unwrap();
+        assert!(cat
+            .create_table("t", Schema::new([("a", Ty::Int)]))
+            .is_err());
     }
 }

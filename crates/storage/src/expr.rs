@@ -282,7 +282,10 @@ pub struct AggSpec {
 impl AggSpec {
     /// `COUNT(*)`.
     pub fn count_star() -> AggSpec {
-        AggSpec { f: AggFn::CountStar, arg: None }
+        AggSpec {
+            f: AggFn::CountStar,
+            arg: None,
+        }
     }
     /// Aggregate over an expression.
     pub fn over(f: AggFn, e: Expr) -> AggSpec {
@@ -304,7 +307,14 @@ pub struct AggState {
 impl AggState {
     /// Fresh state.
     pub fn new() -> AggState {
-        AggState { count: 0, sum: 0.0, int_sum: 0, int_only: true, min: None, max: None }
+        AggState {
+            count: 0,
+            sum: 0.0,
+            int_sum: 0,
+            int_only: true,
+            min: None,
+            max: None,
+        }
     }
 
     /// Fold one value in (charging an add on the CPU).
@@ -322,13 +332,17 @@ impl AggState {
         if let Some(f) = v.as_float() {
             self.sum += f;
         }
-        let better_min =
-            self.min.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Less));
+        let better_min = self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Less));
         if better_min {
             self.min = Some(v.clone());
         }
-        let better_max =
-            self.max.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Greater));
+        let better_max = self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Greater));
         if better_max {
             self.max = Some(v.clone());
         }
@@ -382,7 +396,12 @@ mod tests {
     }
 
     fn row() -> Row {
-        vec![Value::Int(5), Value::Float(2.5), Value::Str("hello world".into()), Value::Null]
+        vec![
+            Value::Int(5),
+            Value::Float(2.5),
+            Value::Str("hello world".into()),
+            Value::Null,
+        ]
     }
 
     #[test]
@@ -433,12 +452,17 @@ mod tests {
     fn between_and_in_list() {
         let mut c = cpu();
         let r = row();
-        assert!(Expr::Between(Box::new(Expr::col(0)), Value::Int(5), Value::Int(9))
-            .matches(&mut c, &r));
-        assert!(!Expr::Between(Box::new(Expr::col(0)), Value::Int(6), Value::Int(9))
-            .matches(&mut c, &r));
-        assert!(Expr::InList(Box::new(Expr::col(0)), vec![Value::Int(1), Value::Int(5)])
-            .matches(&mut c, &r));
+        assert!(
+            Expr::Between(Box::new(Expr::col(0)), Value::Int(5), Value::Int(9)).matches(&mut c, &r)
+        );
+        assert!(
+            !Expr::Between(Box::new(Expr::col(0)), Value::Int(6), Value::Int(9))
+                .matches(&mut c, &r)
+        );
+        assert!(
+            Expr::InList(Box::new(Expr::col(0)), vec![Value::Int(1), Value::Int(5)])
+                .matches(&mut c, &r)
+        );
     }
 
     #[test]

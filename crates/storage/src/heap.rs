@@ -109,7 +109,11 @@ impl HeapFile {
 
     /// Cursor positioned before the first tuple.
     pub fn cursor(&self) -> HeapCursor {
-        HeapCursor { page_idx: 0, slot: 0, page_slots: None }
+        HeapCursor {
+            page_idx: 0,
+            slot: 0,
+            page_slots: None,
+        }
     }
 
     /// Read one tuple by id (simulating the page + tuple accesses with the
@@ -192,7 +196,8 @@ mod tests {
         let mut heap = HeapFile::new();
         for i in 0..500u64 {
             let bytes = i.to_le_bytes();
-            heap.insert(&mut cpu, &mut store, &mut pool, &bytes).unwrap();
+            heap.insert(&mut cpu, &mut store, &mut pool, &bytes)
+                .unwrap();
         }
         assert_eq!(heap.len(), 500);
         assert!(heap.n_pages() > 1);
@@ -200,7 +205,9 @@ mod tests {
         let mut cur = heap.cursor();
         let mut seen = Vec::new();
         while let Some(tid) = cur.next(&mut cpu, &heap, &store, &mut pool).unwrap() {
-            let b = heap.fetch(&mut cpu, &store, &mut pool, tid, Dep::Stream).unwrap();
+            let b = heap
+                .fetch(&mut cpu, &store, &mut pool, tid, Dep::Stream)
+                .unwrap();
             seen.push(u64::from_le_bytes(b.try_into().unwrap()));
         }
         assert_eq!(seen, (0..500).collect::<Vec<_>>());
@@ -212,9 +219,14 @@ mod tests {
         let mut heap = HeapFile::new();
         let mut tids = Vec::new();
         for i in 0..100u64 {
-            tids.push(heap.insert(&mut cpu, &mut store, &mut pool, &i.to_le_bytes()).unwrap());
+            tids.push(
+                heap.insert(&mut cpu, &mut store, &mut pool, &i.to_le_bytes())
+                    .unwrap(),
+            );
         }
-        let b = heap.fetch(&mut cpu, &store, &mut pool, tids[57], Dep::Chase).unwrap();
+        let b = heap
+            .fetch(&mut cpu, &store, &mut pool, tids[57], Dep::Chase)
+            .unwrap();
         assert_eq!(u64::from_le_bytes(b.try_into().unwrap()), 57);
     }
 
@@ -223,7 +235,10 @@ mod tests {
         let (mut cpu, store, mut pool) = setup();
         let heap = HeapFile::new();
         let mut cur = heap.cursor();
-        assert!(cur.next(&mut cpu, &heap, &store, &mut pool).unwrap().is_none());
+        assert!(cur
+            .next(&mut cpu, &heap, &store, &mut pool)
+            .unwrap()
+            .is_none());
         assert!(heap.is_empty());
     }
 }

@@ -41,7 +41,10 @@ impl PageRef {
         cpu.load(self.addr, dep);
         let a = cpu.arena();
         let h = a.bytes(self.addr, 4)?;
-        Ok((u16::from_le_bytes([h[0], h[1]]), u16::from_le_bytes([h[2], h[3]])))
+        Ok((
+            u16::from_le_bytes([h[0], h[1]]),
+            u16::from_le_bytes([h[2], h[3]]),
+        ))
     }
 
     /// Number of tuples on the page.
@@ -83,13 +86,20 @@ impl PageRef {
         cpu.store(self.addr);
         let a = cpu.arena_mut();
         a.write(self.addr, &(n + 1).to_le_bytes())?;
-        a.write(self.addr + 2, &(data_end + bytes.len() as u16).to_le_bytes())?;
+        a.write(
+            self.addr + 2,
+            &(data_end + bytes.len() as u16).to_le_bytes(),
+        )?;
         Ok(Some(n))
     }
 
     /// Unsimulated insert for *data loading* (setup is not a measured
     /// workload). Identical layout to [`PageRef::insert`].
-    pub fn insert_unsimulated(&self, arena: &mut simcore::Arena, bytes: &[u8]) -> crate::Result<Option<u16>> {
+    pub fn insert_unsimulated(
+        &self,
+        arena: &mut simcore::Arena,
+        bytes: &[u8],
+    ) -> crate::Result<Option<u16>> {
         let payload = self.size as u64 - PAGE_HEADER - SLOT_BYTES;
         if bytes.len() as u64 > payload {
             return Err(crate::StorageError::TupleTooLarge {
@@ -110,7 +120,10 @@ impl PageRef {
         slot[2..].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
         arena.write(self.addr + slots_start, &slot)?;
         arena.write(self.addr, &(n + 1).to_le_bytes())?;
-        arena.write(self.addr + 2, &(data_end + bytes.len() as u16).to_le_bytes())?;
+        arena.write(
+            self.addr + 2,
+            &(data_end + bytes.len() as u16).to_le_bytes(),
+        )?;
         Ok(Some(n))
     }
 
@@ -146,7 +159,9 @@ impl PageRef {
     pub fn overwrite(&self, cpu: &mut Cpu, slot: u16, bytes: &[u8]) -> crate::Result<()> {
         let (addr, len) = self.tuple_bounds(cpu, slot, Dep::Stream)?;
         if len as usize != bytes.len() {
-            return Err(crate::StorageError::Schema("in-place overwrite length mismatch"));
+            return Err(crate::StorageError::Schema(
+                "in-place overwrite length mismatch",
+            ));
         }
         cpu.write_bytes(addr, bytes)?;
         Ok(())
@@ -175,12 +190,7 @@ impl PageRef {
     }
 
     /// Touch the lines of a tuple (simulating the read) and return its bytes.
-    pub fn read_tuple<'a>(
-        &self,
-        cpu: &'a mut Cpu,
-        slot: u16,
-        dep: Dep,
-    ) -> crate::Result<&'a [u8]> {
+    pub fn read_tuple<'a>(&self, cpu: &'a mut Cpu, slot: u16, dep: Dep) -> crate::Result<&'a [u8]> {
         let (addr, len) = self.tuple_bounds(cpu, slot, dep)?;
         touch(cpu, addr, len as u64, dep);
         Ok(cpu.arena().bytes(addr, len as usize)?)

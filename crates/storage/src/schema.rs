@@ -49,7 +49,13 @@ impl Schema {
     /// Build from `(name, type)` pairs.
     pub fn new<S: Into<String>, I: IntoIterator<Item = (S, Ty)>>(cols: I) -> Schema {
         Schema {
-            columns: cols.into_iter().map(|(name, ty)| Column { name: name.into(), ty }).collect(),
+            columns: cols
+                .into_iter()
+                .map(|(name, ty)| Column {
+                    name: name.into(),
+                    ty,
+                })
+                .collect(),
         }
     }
 
@@ -115,7 +121,8 @@ mod tests {
     #[test]
     fn check_accepts_valid_and_nulls() {
         let s = s();
-        s.check(&[Value::Int(1), Value::Str("x".into()), Value::Float(0.5)]).unwrap();
+        s.check(&[Value::Int(1), Value::Str("x".into()), Value::Float(0.5)])
+            .unwrap();
         s.check(&[Value::Int(1), Value::Null, Value::Null]).unwrap();
     }
 
@@ -124,7 +131,11 @@ mod tests {
         let s = s();
         assert!(s.check(&[Value::Int(1)]).is_err());
         assert!(s
-            .check(&[Value::Str("no".into()), Value::Str("x".into()), Value::Float(0.0)])
+            .check(&[
+                Value::Str("no".into()),
+                Value::Str("x".into()),
+                Value::Float(0.0)
+            ])
             .is_err());
     }
 

@@ -88,8 +88,8 @@ impl SimHashTable {
         cpu.exec(ExecOp::Mul); // hash
         cpu.load(self.region.addr + b * 8, Dep::Chase); // bucket head
         cpu.store(self.region.addr + b * 8); // new head pointer
-        // Entry header (key + next + row pointer) is one line; the row
-        // payload itself was already materialised by the producer.
+                                             // Entry header (key + next + row pointer) is one line; the row
+                                             // payload itself was already materialised by the producer.
         let ea = self.entry_addr(self.n_entries);
         cpu.store(ea);
         cpu.store(ea + 8);
@@ -119,8 +119,15 @@ impl SimHashTable {
     /// Iterate all `(key, row)` pairs (group-by finalisation): streaming
     /// reads over the entry area.
     pub fn drain_all(self, cpu: &mut Cpu) -> Vec<(Value, Row)> {
-        let SimHashTable { region, entry_bytes, entries_base, n_entries, capacity, map, .. } =
-            self;
+        let SimHashTable {
+            region,
+            entry_bytes,
+            entries_base,
+            n_entries,
+            capacity,
+            map,
+            ..
+        } = self;
         let entry_addr_raw = |b: u64, j: u64| entries_base + ((b * 7 + j) % capacity) * entry_bytes;
         let mut out = Vec::with_capacity(n_entries as usize);
         for (i, bucket) in map.into_iter().enumerate() {
@@ -132,7 +139,6 @@ impl SimHashTable {
         }
         out
     }
-
 }
 
 /// A sort area: rows are staged with simulated writes, sorted host-side
@@ -149,7 +155,12 @@ pub struct SimSorter {
 
 impl SimSorter {
     /// Build with an expected row count and approximate row footprint.
-    pub fn new(cpu: &mut Cpu, expected: u64, row_bytes: u64, work_mem: u64) -> crate::Result<SimSorter> {
+    pub fn new(
+        cpu: &mut Cpu,
+        expected: u64,
+        row_bytes: u64,
+        work_mem: u64,
+    ) -> crate::Result<SimSorter> {
         let row_bytes = row_bytes.clamp(16, 1 << 16);
         let cap = expected.max(16) * row_bytes;
         let region = cpu.alloc(cap.min(work_mem.max(row_bytes * 16)))?;
@@ -271,8 +282,10 @@ mod tests {
         }
         assert_eq!(h.len(), 100);
         let hits = h.probe(&mut c, &Value::Int(3));
-        let matching: Vec<_> =
-            hits.iter().filter(|(k, _)| k.group_eq(&Value::Int(3))).collect();
+        let matching: Vec<_> = hits
+            .iter()
+            .filter(|(k, _)| k.group_eq(&Value::Int(3)))
+            .collect();
         assert_eq!(matching.len(), 10);
     }
 
@@ -294,7 +307,10 @@ mod tests {
             h.insert(&mut c, Value::Int(i), vec![Value::Int(i)]);
         }
         let d = c.pmu_snapshot().delta(&before);
-        assert!(d.get(simcore::Event::StallCycles) > 0, "hash builds should stall");
+        assert!(
+            d.get(simcore::Event::StallCycles) > 0,
+            "hash builds should stall"
+        );
     }
 
     #[test]
@@ -318,7 +334,9 @@ mod tests {
         }
         let asc = s.finish(&mut c, &[false]);
         assert_eq!(
-            asc.iter().map(|r| r[0].as_int().unwrap()).collect::<Vec<_>>(),
+            asc.iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
         let mut s = SimSorter::new(&mut c, 10, 32, 1 << 20).unwrap();
@@ -327,7 +345,9 @@ mod tests {
         }
         let desc = s.finish(&mut c, &[true]);
         assert_eq!(
-            desc.iter().map(|r| r[0].as_int().unwrap()).collect::<Vec<_>>(),
+            desc.iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect::<Vec<_>>(),
             vec![3, 2, 1]
         );
     }
@@ -337,11 +357,17 @@ mod tests {
         let mut c = cpu();
         let mut s = SimSorter::new(&mut c, 10, 32, 1 << 20).unwrap();
         for (a, b) in [(1i64, 2i64), (0, 9), (1, 1), (0, 3)] {
-            s.push(&mut c, vec![Value::Int(a), Value::Int(b)], vec![Value::Int(a), Value::Int(b)]);
+            s.push(
+                &mut c,
+                vec![Value::Int(a), Value::Int(b)],
+                vec![Value::Int(a), Value::Int(b)],
+            );
         }
         let rows = s.finish(&mut c, &[false, false]);
-        let keys: Vec<(i64, i64)> =
-            rows.iter().map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap())).collect();
+        let keys: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
         assert_eq!(keys, vec![(0, 3), (0, 9), (1, 1), (1, 2)]);
     }
 

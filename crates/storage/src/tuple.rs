@@ -56,7 +56,9 @@ pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Row> {
     let mut row = Row::with_capacity(schema.arity());
     let mut off = 0usize;
     let take = |off: &mut usize, n: usize| -> Result<&[u8]> {
-        let s = bytes.get(*off..*off + n).ok_or(StorageError::Corrupt("tuple truncated"))?;
+        let s = bytes
+            .get(*off..*off + n)
+            .ok_or(StorageError::Corrupt("tuple truncated"))?;
         *off += n;
         Ok(s)
     };
@@ -70,15 +72,27 @@ pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Row> {
         let v = match col.ty {
             Ty::Int => {
                 let b: [u8; 8] = take(&mut off, 8)?.try_into().expect("fixed width");
-                if null { Value::Null } else { Value::Int(i64::from_le_bytes(b)) }
+                if null {
+                    Value::Null
+                } else {
+                    Value::Int(i64::from_le_bytes(b))
+                }
             }
             Ty::Float => {
                 let b: [u8; 8] = take(&mut off, 8)?.try_into().expect("fixed width");
-                if null { Value::Null } else { Value::Float(f64::from_le_bytes(b)) }
+                if null {
+                    Value::Null
+                } else {
+                    Value::Float(f64::from_le_bytes(b))
+                }
             }
             Ty::Date => {
                 let b: [u8; 4] = take(&mut off, 4)?.try_into().expect("fixed width");
-                if null { Value::Null } else { Value::Date(i32::from_le_bytes(b)) }
+                if null {
+                    Value::Null
+                } else {
+                    Value::Date(i32::from_le_bytes(b))
+                }
             }
             Ty::Str => {
                 let b: [u8; 2] = take(&mut off, 2)?.try_into().expect("fixed width");
@@ -140,7 +154,12 @@ mod tests {
 
     #[test]
     fn roundtrip_empty_string() {
-        roundtrip(vec![Value::Int(0), Value::Float(0.0), Value::Str(String::new()), Value::Date(0)]);
+        roundtrip(vec![
+            Value::Int(0),
+            Value::Float(0.0),
+            Value::Str(String::new()),
+            Value::Date(0),
+        ]);
     }
 
     #[test]
@@ -149,7 +168,12 @@ mod tests {
         let mut buf = Vec::new();
         encode_row(
             &s,
-            &[Value::Int(1), Value::Float(2.0), Value::Str("abc".into()), Value::Date(3)],
+            &[
+                Value::Int(1),
+                Value::Float(2.0),
+                Value::Str("abc".into()),
+                Value::Date(3),
+            ],
             &mut buf,
         )
         .unwrap();
@@ -163,7 +187,12 @@ mod tests {
         let mut buf = Vec::new();
         encode_row(
             &s,
-            &[Value::Int(1), Value::Float(2.0), Value::Str("abc".into()), Value::Date(3)],
+            &[
+                Value::Int(1),
+                Value::Float(2.0),
+                Value::Str("abc".into()),
+                Value::Date(3),
+            ],
             &mut buf,
         )
         .unwrap();
@@ -175,7 +204,12 @@ mod tests {
     fn wrong_value_type_rejected_at_encode() {
         let s = schema();
         let mut buf = Vec::new();
-        let bad = vec![Value::Str("not an int".into()), Value::Float(0.0), Value::Str("x".into()), Value::Date(0)];
+        let bad = vec![
+            Value::Str("not an int".into()),
+            Value::Float(0.0),
+            Value::Str("x".into()),
+            Value::Date(0),
+        ];
         assert!(encode_row(&s, &bad, &mut buf).is_err());
     }
 }

@@ -118,8 +118,14 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]
@@ -174,7 +180,10 @@ mod tests {
     fn hash_is_stable_and_spreads() {
         assert_eq!(Value::Int(42).hash64(), Value::Int(42).hash64());
         assert_ne!(Value::Int(42).hash64(), Value::Int(43).hash64());
-        assert_ne!(Value::Str("a".into()).hash64(), Value::Str("b".into()).hash64());
+        assert_ne!(
+            Value::Str("a".into()).hash64(),
+            Value::Str("b".into()).hash64()
+        );
         // Int and Date with the same payload must not collide by type.
         assert_ne!(Value::Int(7).hash64(), Value::Date(7).hash64());
     }

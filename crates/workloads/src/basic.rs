@@ -70,11 +70,9 @@ impl BasicOp {
                     Expr::col(l("l_shipdate")),
                 ]),
             },
-            BasicOp::Join => Plan::scan("customer").join(
-                Plan::scan("orders"),
-                cu("c_custkey"),
-                o("o_custkey"),
-            ),
+            BasicOp::Join => {
+                Plan::scan("customer").join(Plan::scan("orders"), cu("c_custkey"), o("o_custkey"))
+            }
             BasicOp::Sort => Plan::scan("orders").sort(vec![(o("o_totalprice"), true)]),
             BasicOp::GroupBy => Plan::scan("lineitem").aggregate(
                 vec![l("l_returnflag")],
@@ -114,7 +112,12 @@ mod tests {
                 build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
             for op in BasicOp::ALL {
                 let rows = db.run(&mut cpu, &op.plan()).unwrap();
-                assert!(!rows.is_empty(), "{} on {:?} returned nothing", op.name(), kind);
+                assert!(
+                    !rows.is_empty(),
+                    "{} on {:?} returned nothing",
+                    op.name(),
+                    kind
+                );
             }
         }
     }
@@ -122,9 +125,13 @@ mod tests {
     #[test]
     fn index_scan_equals_filtered_scan() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        let mut db =
-            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny())
-                .unwrap();
+        let mut db = build_tpch_db(
+            &mut cpu,
+            EngineKind::Pg,
+            KnobLevel::Baseline,
+            TpchScale::tiny(),
+        )
+        .unwrap();
         let o = |c: &str| schema_orders().col_expect(c);
         let via_index = db.run(&mut cpu, &BasicOp::IndexScan.plan()).unwrap();
         let via_scan = db
@@ -149,9 +156,13 @@ mod tests {
         // for index scan compared with table scan". Check the raw signal:
         // stall cycles per load are higher for the index scan.
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        let mut db =
-            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny())
-                .unwrap();
+        let mut db = build_tpch_db(
+            &mut cpu,
+            EngineKind::Pg,
+            KnobLevel::Baseline,
+            TpchScale::tiny(),
+        )
+        .unwrap();
         // Warm both paths once.
         db.run(&mut cpu, &BasicOp::TableScan.plan()).unwrap();
         db.run(&mut cpu, &BasicOp::IndexScan.plan()).unwrap();

@@ -242,7 +242,10 @@ mod tests {
             m.pmu.get(Event::PrefetchL2) + m.pmu.get(Event::PrefetchL3) > 0,
             "streamer must engage"
         );
-        assert!(m.pmu.l1d_miss_rate().unwrap() > 0.5, "no L1D reuse expected");
+        assert!(
+            m.pmu.l1d_miss_rate().unwrap() > 0.5,
+            "no L1D reuse expected"
+        );
     }
 
     #[test]
@@ -252,8 +255,7 @@ mod tests {
             .iter()
             .map(|w| {
                 let m = measure(*w, 10_000);
-                m.pmu.get(Event::LoadIssued) as f64
-                    / m.pmu.get(Event::Instructions).max(1) as f64
+                m.pmu.get(Event::LoadIssued) as f64 / m.pmu.get(Event::Instructions).max(1) as f64
             })
             .collect();
         let spread = mixes.iter().cloned().fold(f64::MIN, f64::max)

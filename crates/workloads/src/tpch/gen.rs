@@ -69,7 +69,11 @@ pub fn schema_region() -> Schema {
 
 /// `nation(n_nationkey, n_name, n_regionkey)`
 pub fn schema_nation() -> Schema {
-    Schema::new([("n_nationkey", Ty::Int), ("n_name", Ty::Str), ("n_regionkey", Ty::Int)])
+    Schema::new([
+        ("n_nationkey", Ty::Int),
+        ("n_name", Ty::Str),
+        ("n_regionkey", Ty::Int),
+    ])
 }
 
 /// `supplier(s_suppkey, s_name, s_nationkey, s_acctbal, s_comment)`
@@ -159,18 +163,44 @@ pub fn schema_lineitem() -> Schema {
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 /// The 25 nation names.
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 /// Ship modes.
 pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 /// Order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 /// Part type syllables.
 pub const TYPES: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 /// Part containers.
@@ -182,8 +212,21 @@ fn pick<'a>(rng: &mut SmallRng, xs: &'a [&str]) -> &'a str {
 
 /// Short pseudo-comment text.
 fn comment_text(rng: &mut SmallRng, i: u64) -> String {
-    let words = ["carefully", "quickly", "final", "pending", "special", "ironic", "express"];
-    format!("{} {} deposits {}", pick(rng, &words), pick(rng, &words), i % 97)
+    let words = [
+        "carefully",
+        "quickly",
+        "final",
+        "pending",
+        "special",
+        "ironic",
+        "express",
+    ];
+    format!(
+        "{} {} deposits {}",
+        pick(rng, &words),
+        pick(rng, &words),
+        i % 97
+    )
 }
 
 /// Generate all eight tables at `scale` (deterministic for a fixed seed).
@@ -220,7 +263,11 @@ pub fn generate(scale: TpchScale, seed: u64) -> TpchData {
         .iter()
         .enumerate()
         .map(|(i, n)| {
-            vec![Value::Int(i as i64), Value::Str((*n).into()), Value::Int((i % 5) as i64)]
+            vec![
+                Value::Int(i as i64),
+                Value::Str((*n).into()),
+                Value::Int((i % 5) as i64),
+            ]
         })
         .collect();
 
@@ -263,7 +310,11 @@ pub fn generate(scale: TpchScale, seed: u64) -> TpchData {
             );
             vec![
                 Value::Int(i as i64),
-                Value::Str(format!("part {} {}", pick(&mut rng, &["green", "blue", "red", "ivory", "forest"]), i)),
+                Value::Str(format!(
+                    "part {} {}",
+                    pick(&mut rng, &["green", "blue", "red", "ivory", "forest"]),
+                    i
+                )),
                 Value::Str(format!("Manufacturer#{}", 1 + i % 5)),
                 Value::Str(format!("Brand#{}{}", 1 + i % 5, 1 + (i / 5) % 5)),
                 Value::Str(ty),
@@ -302,9 +353,9 @@ pub fn generate(scale: TpchScale, seed: u64) -> TpchData {
             Value::Str(pick(&mut rng, &PRIORITIES).into()),
             Value::Int(0),
         ]);
-        let lines = rng.gen_range(1..=7).min(
-            (scale.lineitem_rows() as i64 - lineitem.len() as i64).max(0),
-        );
+        let lines = rng
+            .gen_range(1..=7)
+            .min((scale.lineitem_rows() as i64 - lineitem.len() as i64).max(0));
         for ln in 0..lines {
             let ship = odate + rng.gen_range(1..122);
             let commit = odate + rng.gen_range(30..91);
@@ -322,7 +373,11 @@ pub fn generate(scale: TpchScale, seed: u64) -> TpchData {
                 Value::Float((rng.gen_range(0..=8) as f64) / 100.0),
                 Value::Str(
                     if receipt <= date(1995, 6, 17) {
-                        if rng.gen_bool(0.5) { "R" } else { "A" }
+                        if rng.gen_bool(0.5) {
+                            "R"
+                        } else {
+                            "A"
+                        }
                     } else {
                         "N"
                     }
@@ -337,7 +392,16 @@ pub fn generate(scale: TpchScale, seed: u64) -> TpchData {
         }
     }
 
-    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+    TpchData {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    }
 }
 
 /// Build a fully loaded and indexed database for one engine.
@@ -428,8 +492,11 @@ mod tests {
     fn lineitem_dates_are_consistent() {
         let d = generate(TpchScale::tiny(), 0);
         let s = schema_lineitem();
-        let (ship, commit, receipt) =
-            (s.col_expect("l_shipdate"), s.col_expect("l_commitdate"), s.col_expect("l_receiptdate"));
+        let (ship, commit, receipt) = (
+            s.col_expect("l_shipdate"),
+            s.col_expect("l_commitdate"),
+            s.col_expect("l_receiptdate"),
+        );
         for r in &d.lineitem {
             let sd = r[ship].as_int().unwrap();
             let rd = r[receipt].as_int().unwrap();
@@ -441,8 +508,13 @@ mod tests {
     #[test]
     fn build_loads_all_tables_with_indexes() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        let db = build_tpch_db(&mut cpu, EngineKind::Lite, KnobLevel::Baseline, TpchScale::tiny())
-            .unwrap();
+        let db = build_tpch_db(
+            &mut cpu,
+            EngineKind::Lite,
+            KnobLevel::Baseline,
+            TpchScale::tiny(),
+        )
+        .unwrap();
         let li = db.catalog.table("lineitem").unwrap();
         assert!(li.heap.len() > 1000);
         assert!(li.pk_index.is_some());

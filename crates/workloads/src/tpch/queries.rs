@@ -11,8 +11,8 @@
 
 use super::date;
 use super::gen::{
-    schema_customer, schema_lineitem, schema_nation, schema_orders, schema_part,
-    schema_partsupp, schema_region, schema_supplier,
+    schema_customer, schema_lineitem, schema_nation, schema_orders, schema_part, schema_partsupp,
+    schema_region, schema_supplier,
 };
 use engines::Plan;
 use storage::{AggFn, AggSpec, BinOp, CmpOp, Expr, Value};
@@ -111,7 +111,11 @@ fn revenue(extprice: usize, discount: usize) -> Expr {
     Expr::Bin(
         BinOp::Mul,
         Box::new(c(extprice)),
-        Box::new(Expr::Bin(BinOp::Sub, Box::new(Expr::float(1.0)), Box::new(c(discount)))),
+        Box::new(Expr::Bin(
+            BinOp::Sub,
+            Box::new(Expr::float(1.0)),
+            Box::new(c(discount)),
+        )),
     )
 }
 /// Approximate `EXTRACT(YEAR FROM d)` on day-since-epoch dates: integer
@@ -169,8 +173,16 @@ fn q2() -> Plan {
     Plan::Join {
         left: Box::new(
             part.join(Plan::scan("partsupp"), part_("p_partkey"), ps("ps_partkey"))
-                .join(Plan::scan("supplier"), o_ps + ps("ps_suppkey"), supp("s_suppkey"))
-                .join(Plan::scan("nation"), o_su + supp("s_nationkey"), nat("n_nationkey")),
+                .join(
+                    Plan::scan("supplier"),
+                    o_ps + ps("ps_suppkey"),
+                    supp("s_suppkey"),
+                )
+                .join(
+                    Plan::scan("nation"),
+                    o_su + supp("s_nationkey"),
+                    nat("n_nationkey"),
+                ),
         ),
         right: Box::new(Plan::scan("region")),
         left_col: o_na + nat("n_regionkey"),
@@ -202,17 +214,29 @@ fn q3() -> Plan {
             right: Box::new(Plan::scan("orders")),
             left_col: cust("c_custkey"),
             right_col: ord("o_custkey"),
-            filter: Some(Expr::cmp(CmpOp::Lt, c(o_or + ord("o_orderdate")), date_lit(cutoff))),
+            filter: Some(Expr::cmp(
+                CmpOp::Lt,
+                c(o_or + ord("o_orderdate")),
+                date_lit(cutoff),
+            )),
             project: None,
         }),
         right: Box::new(Plan::scan("lineitem")),
         left_col: o_or + ord("o_orderkey"),
         right_col: li("l_orderkey"),
-        filter: Some(Expr::cmp(CmpOp::Gt, c(o_li + li("l_shipdate")), date_lit(cutoff))),
+        filter: Some(Expr::cmp(
+            CmpOp::Gt,
+            c(o_li + li("l_shipdate")),
+            date_lit(cutoff),
+        )),
         project: None,
     }
     .aggregate(
-        vec![o_or + ord("o_orderkey"), o_or + ord("o_orderdate"), o_or + ord("o_shippriority")],
+        vec![
+            o_or + ord("o_orderkey"),
+            o_or + ord("o_orderdate"),
+            o_or + ord("o_shippriority"),
+        ],
         vec![AggSpec::over(
             AggFn::Sum,
             revenue(o_li + li("l_extendedprice"), o_li + li("l_discount")),
@@ -320,7 +344,11 @@ fn q6() -> Plan {
                 Value::Date(date(1994, 1, 1)),
                 Value::Date(date(1994, 12, 31)),
             ),
-            Expr::Between(Box::new(c(li("l_discount"))), Value::Float(0.05), Value::Float(0.07)),
+            Expr::Between(
+                Box::new(c(li("l_discount"))),
+                Value::Float(0.05),
+                Value::Float(0.07),
+            ),
             Expr::cmp(CmpOp::Lt, c(li("l_quantity")), Expr::float(24.0)),
         ]),
     )
@@ -328,7 +356,11 @@ fn q6() -> Plan {
         vec![],
         vec![AggSpec::over(
             AggFn::Sum,
-            Expr::Bin(BinOp::Mul, Box::new(c(li("l_extendedprice"))), Box::new(c(li("l_discount")))),
+            Expr::Bin(
+                BinOp::Mul,
+                Box::new(c(li("l_extendedprice"))),
+                Box::new(c(li("l_discount"))),
+            ),
         )],
     )
 }
@@ -352,9 +384,21 @@ fn q7() -> Plan {
         left: Box::new(
             Plan::scan("supplier")
                 .join(Plan::scan("lineitem"), supp("s_suppkey"), li("l_suppkey"))
-                .join(Plan::scan("orders"), o_li + li("l_orderkey"), ord("o_orderkey"))
-                .join(Plan::scan("customer"), o_or + ord("o_custkey"), cust("c_custkey"))
-                .join(Plan::scan("nation"), supp("s_nationkey"), nat("n_nationkey")),
+                .join(
+                    Plan::scan("orders"),
+                    o_li + li("l_orderkey"),
+                    ord("o_orderkey"),
+                )
+                .join(
+                    Plan::scan("customer"),
+                    o_or + ord("o_custkey"),
+                    cust("c_custkey"),
+                )
+                .join(
+                    Plan::scan("nation"),
+                    supp("s_nationkey"),
+                    nat("n_nationkey"),
+                ),
         ),
         right: Box::new(Plan::scan("nation")),
         left_col: o_cu + cust("c_nationkey"),
@@ -398,9 +442,21 @@ fn q8() -> Plan {
                         Expr::Contains(Box::new(c(part_("p_type"))), "ECONOMY".into()),
                     )
                     .join(Plan::scan("lineitem"), part_("p_partkey"), li("l_partkey"))
-                    .join(Plan::scan("orders"), o_li + li("l_orderkey"), ord("o_orderkey"))
-                    .join(Plan::scan("customer"), o_or + ord("o_custkey"), cust("c_custkey"))
-                    .join(Plan::scan("nation"), o_cu + cust("c_nationkey"), nat("n_nationkey")),
+                    .join(
+                        Plan::scan("orders"),
+                        o_li + li("l_orderkey"),
+                        ord("o_orderkey"),
+                    )
+                    .join(
+                        Plan::scan("customer"),
+                        o_or + ord("o_custkey"),
+                        cust("c_custkey"),
+                    )
+                    .join(
+                        Plan::scan("nation"),
+                        o_cu + cust("c_nationkey"),
+                        nat("n_nationkey"),
+                    ),
                 ),
                 right: Box::new(Plan::scan("region")),
                 left_col: o_n1 + nat("n_regionkey"),
@@ -415,7 +471,11 @@ fn q8() -> Plan {
                 ])),
                 project: None,
             }
-            .join(Plan::scan("supplier"), o_li + li("l_suppkey"), supp("s_suppkey")),
+            .join(
+                Plan::scan("supplier"),
+                o_li + li("l_suppkey"),
+                supp("s_suppkey"),
+            ),
         ),
         right: Box::new(Plan::scan("nation")),
         left_col: o_su + supp("s_nationkey"),
@@ -429,7 +489,10 @@ fn q8() -> Plan {
     }
     .aggregate(
         vec![0],
-        vec![AggSpec::over(AggFn::Sum, c(1)), AggSpec::over(AggFn::Sum, c(2))],
+        vec![
+            AggSpec::over(AggFn::Sum, c(1)),
+            AggSpec::over(AggFn::Sum, c(2)),
+        ],
     )
     .sort(vec![(0, false)])
 }
@@ -443,7 +506,10 @@ fn q9() -> Plan {
     let o_na = o_or + ORD_W;
     let amount = Expr::Bin(
         BinOp::Sub,
-        Box::new(revenue(o_li + li("l_extendedprice"), o_li + li("l_discount"))),
+        Box::new(revenue(
+            o_li + li("l_extendedprice"),
+            o_li + li("l_discount"),
+        )),
         Box::new(Expr::Bin(
             BinOp::Mul,
             Box::new(c(o_ps + ps("ps_supplycost"))),
@@ -459,7 +525,11 @@ fn q9() -> Plan {
                         Expr::Contains(Box::new(c(part_("p_name"))), "green".into()),
                     )
                     .join(Plan::scan("lineitem"), part_("p_partkey"), li("l_partkey"))
-                    .join(Plan::scan("supplier"), o_li + li("l_suppkey"), supp("s_suppkey")),
+                    .join(
+                        Plan::scan("supplier"),
+                        o_li + li("l_suppkey"),
+                        supp("s_suppkey"),
+                    ),
                 ),
                 right: Box::new(Plan::scan("partsupp")),
                 left_col: part_("p_partkey"),
@@ -472,13 +542,21 @@ fn q9() -> Plan {
                 )),
                 project: None,
             }
-            .join(Plan::scan("orders"), o_li + li("l_orderkey"), ord("o_orderkey")),
+            .join(
+                Plan::scan("orders"),
+                o_li + li("l_orderkey"),
+                ord("o_orderkey"),
+            ),
         ),
         right: Box::new(Plan::scan("nation")),
         left_col: o_su + supp("s_nationkey"),
         right_col: nat("n_nationkey"),
         filter: None,
-        project: Some(vec![c(o_na + nat("n_name")), year_of(o_or + ord("o_orderdate")), amount]),
+        project: Some(vec![
+            c(o_na + nat("n_name")),
+            year_of(o_or + ord("o_orderdate")),
+            amount,
+        ]),
     }
     .aggregate(vec![0, 1], vec![AggSpec::over(AggFn::Sum, c(2))])
     .sort(vec![(0, false), (1, true)])
@@ -536,8 +614,16 @@ fn q11() -> Plan {
     let o_su = NAT_W;
     let o_ps = o_su + SUPP_W;
     Plan::scan_where("nation", eq_str(nat("n_name"), "GERMANY"))
-        .join(Plan::scan("supplier"), nat("n_nationkey"), supp("s_nationkey"))
-        .join(Plan::scan("partsupp"), o_su + supp("s_suppkey"), ps("ps_suppkey"))
+        .join(
+            Plan::scan("supplier"),
+            nat("n_nationkey"),
+            supp("s_nationkey"),
+        )
+        .join(
+            Plan::scan("partsupp"),
+            o_su + supp("s_suppkey"),
+            ps("ps_suppkey"),
+        )
         .aggregate(
             vec![o_ps + ps("ps_partkey")],
             vec![AggSpec::over(
@@ -570,8 +656,16 @@ fn q12() -> Plan {
                 Box::new(c(o_li + li("l_shipmode"))),
                 vec![Value::Str("MAIL".into()), Value::Str("SHIP".into())],
             ),
-            Expr::cmp(CmpOp::Lt, c(o_li + li("l_commitdate")), c(o_li + li("l_receiptdate"))),
-            Expr::cmp(CmpOp::Lt, c(o_li + li("l_shipdate")), c(o_li + li("l_commitdate"))),
+            Expr::cmp(
+                CmpOp::Lt,
+                c(o_li + li("l_commitdate")),
+                c(o_li + li("l_receiptdate")),
+            ),
+            Expr::cmp(
+                CmpOp::Lt,
+                c(o_li + li("l_shipdate")),
+                c(o_li + li("l_commitdate")),
+            ),
             Expr::Between(
                 Box::new(c(o_li + li("l_receiptdate"))),
                 Value::Date(date(1994, 1, 1)),
@@ -582,7 +676,10 @@ fn q12() -> Plan {
     }
     .aggregate(
         vec![0],
-        vec![AggSpec::over(AggFn::Sum, c(1)), AggSpec::over(AggFn::Sum, c(2))],
+        vec![
+            AggSpec::over(AggFn::Sum, c(1)),
+            AggSpec::over(AggFn::Sum, c(2)),
+        ],
     )
     .sort(vec![(0, false)])
 }
@@ -620,7 +717,13 @@ fn q14() -> Plan {
             rev,
         ]),
     }
-    .aggregate(vec![], vec![AggSpec::over(AggFn::Sum, c(0)), AggSpec::over(AggFn::Sum, c(1))])
+    .aggregate(
+        vec![],
+        vec![
+            AggSpec::over(AggFn::Sum, c(0)),
+            AggSpec::over(AggFn::Sum, c(1)),
+        ],
+    )
     .project(vec![Expr::Bin(
         BinOp::Mul,
         Box::new(Expr::float(100.0)),
@@ -640,7 +743,10 @@ fn q15() -> Plan {
     )
     .aggregate(
         vec![li("l_suppkey")],
-        vec![AggSpec::over(AggFn::Sum, revenue(li("l_extendedprice"), li("l_discount")))],
+        vec![AggSpec::over(
+            AggFn::Sum,
+            revenue(li("l_extendedprice"), li("l_discount")),
+        )],
     )
     .top_n(vec![(1, true)], 1)
     .join(Plan::scan("supplier"), 0, supp("s_suppkey"))
@@ -695,11 +801,22 @@ fn q17() -> Plan {
         right: Box::new(Plan::scan("lineitem")),
         left_col: part_("p_partkey"),
         right_col: li("l_partkey"),
-        filter: Some(Expr::cmp(CmpOp::Lt, c(o_li + li("l_quantity")), Expr::float(5.0))),
+        filter: Some(Expr::cmp(
+            CmpOp::Lt,
+            c(o_li + li("l_quantity")),
+            Expr::float(5.0),
+        )),
         project: None,
     }
-    .aggregate(vec![], vec![AggSpec::over(AggFn::Sum, c(o_li + li("l_extendedprice")))])
-    .project(vec![Expr::Bin(BinOp::Div, Box::new(c(0)), Box::new(Expr::float(7.0)))])
+    .aggregate(
+        vec![],
+        vec![AggSpec::over(AggFn::Sum, c(o_li + li("l_extendedprice")))],
+    )
+    .project(vec![Expr::Bin(
+        BinOp::Div,
+        Box::new(c(0)),
+        Box::new(Expr::float(7.0)),
+    )])
 }
 
 /// Q18 — large-volume customers (the `HAVING sum > 300` becomes top-100 by
@@ -715,7 +832,11 @@ fn q18() -> Plan {
     let o_or = 2;
     let o_cu = o_or + ORD_W;
     agg.join(Plan::scan("orders"), 0, ord("o_orderkey"))
-        .join(Plan::scan("customer"), o_or + ord("o_custkey"), cust("c_custkey"))
+        .join(
+            Plan::scan("customer"),
+            o_or + ord("o_custkey"),
+            cust("c_custkey"),
+        )
         .project(vec![
             c(o_cu + cust("c_name")),
             c(o_cu + cust("c_custkey")),
@@ -739,7 +860,11 @@ fn q19() -> Plan {
                 Value::Float(qlo),
                 Value::Float(qhi),
             ),
-            Expr::Between(Box::new(c(o_pa + part_("p_size"))), Value::Int(1), Value::Int(smax)),
+            Expr::Between(
+                Box::new(c(o_pa + part_("p_size"))),
+                Value::Int(1),
+                Value::Int(smax),
+            ),
         ])
     };
     Plan::Join {
@@ -758,7 +883,10 @@ fn q19() -> Plan {
     }
     .aggregate(
         vec![],
-        vec![AggSpec::over(AggFn::Sum, revenue(li("l_extendedprice"), li("l_discount")))],
+        vec![AggSpec::over(
+            AggFn::Sum,
+            revenue(li("l_extendedprice"), li("l_discount")),
+        )],
     )
 }
 
@@ -769,8 +897,16 @@ fn q20() -> Plan {
     Plan::Join {
         left: Box::new(
             Plan::scan_where("nation", eq_str(nat("n_name"), "CANADA"))
-                .join(Plan::scan("supplier"), nat("n_nationkey"), supp("s_nationkey"))
-                .join(Plan::scan("partsupp"), o_su + supp("s_suppkey"), ps("ps_suppkey")),
+                .join(
+                    Plan::scan("supplier"),
+                    nat("n_nationkey"),
+                    supp("s_nationkey"),
+                )
+                .join(
+                    Plan::scan("partsupp"),
+                    o_su + supp("s_suppkey"),
+                    ps("ps_suppkey"),
+                ),
         ),
         right: Box::new(Plan::scan_where(
             "part",
@@ -833,7 +969,10 @@ fn q22() -> Plan {
     )
     .aggregate(
         vec![cust("c_nationkey")],
-        vec![AggSpec::count_star(), AggSpec::over(AggFn::Sum, c(cust("c_acctbal")))],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggFn::Sum, c(cust("c_acctbal"))),
+        ],
     )
     .sort(vec![(0, false)])
 }
@@ -855,9 +994,13 @@ mod tests {
     #[test]
     fn plan_arities_resolve_against_catalog() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        let db =
-            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny())
-                .unwrap();
+        let db = build_tpch_db(
+            &mut cpu,
+            EngineKind::Pg,
+            KnobLevel::Baseline,
+            TpchScale::tiny(),
+        )
+        .unwrap();
         for q in TpchQuery::all() {
             let arity = q.plan().arity(&db.catalog).unwrap();
             assert!(arity > 0, "{} has zero-arity output", q.name());
@@ -875,8 +1018,7 @@ mod tests {
             for kind in EngineKind::ALL {
                 let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
                 let mut db =
-                    build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny())
-                        .unwrap();
+                    build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
                 let mut rows = db.run(&mut cpu, &plan).unwrap();
                 // Canonicalise float noise for comparison.
                 for r in &mut rows {
@@ -897,9 +1039,13 @@ mod tests {
     #[test]
     fn q1_aggregates_are_plausible() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-        let mut db =
-            build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny())
-                .unwrap();
+        let mut db = build_tpch_db(
+            &mut cpu,
+            EngineKind::Pg,
+            KnobLevel::Baseline,
+            TpchScale::tiny(),
+        )
+        .unwrap();
         let rows = db.run(&mut cpu, &TpchQuery(1).plan()).unwrap();
         // Groups: returnflag x linestatus — at most a handful.
         assert!(rows.len() >= 2 && rows.len() <= 6, "{} groups", rows.len());

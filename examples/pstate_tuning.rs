@@ -38,7 +38,10 @@ fn run(kind: &str, ps: PState) -> (f64, f64) {
 }
 
 fn main() {
-    println!("{:<14} {:>8} {:>12} {:>12} {:>14}", "workload", "P-state", "time (s)", "energy (J)", "Perf/Energy");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>14}",
+        "workload", "P-state", "time (s)", "energy (J)", "Perf/Energy"
+    );
     for kind in ["cpu", "memory"] {
         let mut base: Option<f64> = None;
         for ps in [PState::P36, PState::P24, PState::P12] {
@@ -48,7 +51,11 @@ fn main() {
             base.get_or_insert(eff);
             println!(
                 "{:<14} {:>8} {:>12.5} {:>12.5} {:>12.1}%",
-                if kind == "cpu" { "CPU-bound" } else { "memory-bound" },
+                if kind == "cpu" {
+                    "CPU-bound"
+                } else {
+                    "memory-bound"
+                },
                 ps.to_string(),
                 t,
                 e,

@@ -39,7 +39,11 @@ fn main() {
 
     // 3. ...and break its Active energy down into micro-operation shares.
     let bd = table.breakdown(&m);
-    println!("\nActive energy {:.6} J over {:.6} s:", bd.active_j(), bd.time_s);
+    println!(
+        "\nActive energy {:.6} J over {:.6} s:",
+        bd.active_j(),
+        bd.time_s
+    );
     for op in MicroOp::MS {
         println!("  E_{:<8} {:>5.1}%", op.symbol(), bd.share(op) * 100.0);
     }

@@ -49,8 +49,13 @@ fn main() {
 
     // DML works through the same frontend.
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-    let mut db = build_tpch_db(&mut cpu, EngineKind::Lite, KnobLevel::Baseline, TpchScale::tiny())
-        .expect("load");
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Lite,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .expect("load");
     for stmt in [
         "INSERT INTO region VALUES (77, 'OCEANIA')",
         "UPDATE region SET r_name = 'OCEANIA-2' WHERE r_regionkey = 77",

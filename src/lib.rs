@@ -23,7 +23,11 @@
 //! * [`engines`] — three database engine personalities (PG-like, SQLite-like,
 //!   MySQL-like) plus the DTCM-optimized proof of concept,
 //! * [`workloads`] — TPC-H-like data and queries, the 7 basic query
-//!   operations, and CPU2006-like CPU-bound kernels.
+//!   operations, and CPU2006-like CPU-bound kernels,
+//! * [`mjrt`] — the parallel experiment runtime: the `Experiment` trait,
+//!   the deterministic sharded scheduler (`--jobs N` with byte-identical
+//!   reports), the shared calibration cache, and the typed
+//!   `HarnessConfig`.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -49,9 +53,10 @@
 
 pub use analysis;
 pub use engines;
-pub use sqlfe;
 pub use microbench;
+pub use mjrt;
 pub use simcore;
+pub use sqlfe;
 pub use storage;
 pub use workloads;
 
@@ -59,6 +64,7 @@ pub use workloads;
 pub mod prelude {
     pub use analysis::{Breakdown, CalibrationBuilder, EnergyTable, MicroOp};
     pub use engines::{Database, Dml, EngineKind, KnobLevel, Plan};
+    pub use mjrt::{Experiment, HarnessConfig};
     pub use simcore::{ArchConfig, Cpu, Dep, ExecOp, PState};
     pub use sqlfe::{compile, Planned};
     pub use workloads::{BasicOp, TpchQuery};

@@ -1,0 +1,49 @@
+//! The scheduler's central guarantee: the report stream on the report
+//! writer is byte-identical between `--jobs 1` and `--jobs 4`, because
+//! every shard owns its own simulated machine and the aggregator emits in
+//! registry order. This drives a real 3-experiment subset of the suite
+//! (single-shard, multi-shard-merging and calibration-sharing shapes).
+
+use mjrt::{run_suite, Experiment, HarnessConfig};
+
+fn subset() -> Vec<&'static dyn Experiment> {
+    ["fig03_traversal", "fig04_structures", "table5_memory_bound"]
+        .iter()
+        .map(|n| bench::experiments::find(n).expect("registered experiment"))
+        .collect()
+}
+
+fn run(jobs: usize) -> String {
+    let cfg = HarnessConfig {
+        jobs,
+        cal_ops: 4_000, // quick calibration — identical for both runs
+        csv: false,
+        ..HarnessConfig::default()
+    };
+    let reg = subset();
+    let mut out = Vec::new();
+    let mut summary = Vec::new();
+    let outcome = run_suite(&reg, &cfg, &mut out, &mut summary).expect("io");
+    assert!(
+        outcome.failures().is_empty(),
+        "failures: {:?}",
+        outcome.failures()
+    );
+    // Table 5 shares P36/P24/P12 tables through the calibration cache.
+    assert_eq!(outcome.calibrations, 3);
+    String::from_utf8(out).expect("reports are UTF-8")
+}
+
+#[test]
+fn parallel_report_stream_is_byte_identical_to_serial() {
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "report stream must not depend on --jobs");
+
+    // Sanity: all three experiments actually reported, in registry order.
+    let i1 = serial.find("# fig03_traversal").expect("fig03 banner");
+    let i2 = serial.find("# fig04_structures").expect("fig04 banner");
+    let i3 = serial.find("# table5_memory_bound").expect("table5 banner");
+    assert!(i1 < i2 && i2 < i3);
+    assert!(serial.contains("== Table 5: energy bottleneck of B_mem across P-states =="));
+}

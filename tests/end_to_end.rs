@@ -13,7 +13,9 @@ use workloads::tpch::gen::build_tpch_db;
 use workloads::{BasicOp, TpchQuery, TpchScale};
 
 fn quick_table() -> EnergyTable {
-    CalibrationBuilder::new(ArchConfig::intel_i7_4790()).target_ops(40_000).calibrate()
+    CalibrationBuilder::new(ArchConfig::intel_i7_4790())
+        .target_ops(40_000)
+        .calibrate()
 }
 
 fn breakdown_of(kind: EngineKind, table: &EnergyTable, plan: &engines::Plan) -> Breakdown {
@@ -47,7 +49,13 @@ fn l1d_is_the_energy_bottleneck() {
             share * 100.0
         );
         // And it must be the single largest component.
-        for op in [MicroOp::L2, MicroOp::L3, MicroOp::Mem, MicroOp::Pf, MicroOp::Stall] {
+        for op in [
+            MicroOp::L2,
+            MicroOp::L3,
+            MicroOp::Mem,
+            MicroOp::Pf,
+            MicroOp::Stall,
+        ] {
             assert!(
                 share > merged.share(op),
                 "{}: {} exceeds the L1D share",
@@ -67,10 +75,18 @@ fn sqlite_has_the_highest_l1d_share() {
         .into_iter()
         .map(|k| (k, breakdown_of(k, &table, &plan).l1d_share()))
         .collect();
-    let lite = shares.iter().find(|(k, _)| *k == EngineKind::Lite).expect("lite").1;
+    let lite = shares
+        .iter()
+        .find(|(k, _)| *k == EngineKind::Lite)
+        .expect("lite")
+        .1;
     for (k, s) in &shares {
         if *k != EngineKind::Lite {
-            assert!(lite > *s, "SQLite {lite:.3} must exceed {}: {s:.3}", k.name());
+            assert!(
+                lite > *s,
+                "SQLite {lite:.3} must exceed {}: {s:.3}",
+                k.name()
+            );
         }
     }
 }
@@ -79,7 +95,10 @@ fn sqlite_has_the_highest_l1d_share() {
 #[test]
 fn verification_accuracy_in_paper_band() {
     let table = quick_table();
-    let cfg = RunConfig { target_ops: 40_000, ..RunConfig::p36() };
+    let cfg = RunConfig {
+        target_ops: 40_000,
+        ..RunConfig::p36()
+    };
     let results = verify_all(&table, &cfg);
     let mean = mean_accuracy(&results);
     assert!(mean > 0.85, "mean verification accuracy {mean:.3}");
@@ -174,7 +193,10 @@ fn dtcm_poc_saves_energy_without_perf_loss() {
             mb.time_s
         );
     }
-    assert!(saved * 2 > total, "DTCM saved energy on only {saved}/{total} queries");
+    assert!(
+        saved * 2 > total,
+        "DTCM saved energy on only {saved}/{total} queries"
+    );
 }
 
 /// Lowering the P-state cuts micro-op energies on-chip but barely moves
@@ -188,7 +210,10 @@ fn pstate_scaling_matches_tables_2_and_5() {
         .calibrate();
     assert!(lo.de(MicroOp::L1d) < hi.de(MicroOp::L1d) * 0.6);
     let mem_ratio = lo.de(MicroOp::Mem) / hi.de(MicroOp::Mem);
-    assert!(mem_ratio > 0.90, "DRAM energy should be ~frequency-invariant: {mem_ratio}");
+    assert!(
+        mem_ratio > 0.90,
+        "DRAM energy should be ~frequency-invariant: {mem_ratio}"
+    );
 }
 
 /// Scale invariance (Fig. 8): growing the data does not dethrone L1D.
@@ -255,9 +280,13 @@ fn most_tpch_queries_clear_the_l1d_bar() {
     let table = quick_table();
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
     cpu.set_prefetch(true);
-    let mut db =
-        build_tpch_db(&mut cpu, EngineKind::Lite, KnobLevel::Baseline, TpchScale::tiny())
-            .expect("load");
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Lite,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .expect("load");
     let mut above = 0;
     let mut total = 0;
     for q in TpchQuery::all() {

@@ -127,7 +127,9 @@ fn corrupt_slot_is_detected_not_panicking() {
     page.insert(&mut cpu, b"hello").unwrap();
     // Corrupt the slot: point the tuple past the page end.
     let slot_addr = page.addr + 4096 - 4;
-    cpu.arena_mut().write(slot_addr, &[0xff, 0xff, 0xff, 0xff]).unwrap();
+    cpu.arena_mut()
+        .write(slot_addr, &[0xff, 0xff, 0xff, 0xff])
+        .unwrap();
     let err = page.read_tuple(&mut cpu, 0, Dep::Stream).unwrap_err();
     assert!(matches!(err, storage::StorageError::Corrupt(_)));
 }
@@ -137,7 +139,12 @@ fn truncated_tuple_bytes_are_detected() {
     use storage::{decode_row, encode_row, Schema, Ty, Value};
     let schema = Schema::new([("a", Ty::Int), ("s", Ty::Str)]);
     let mut buf = Vec::new();
-    encode_row(&schema, &[Value::Int(1), Value::Str("abc".into())], &mut buf).unwrap();
+    encode_row(
+        &schema,
+        &[Value::Int(1), Value::Str("abc".into())],
+        &mut buf,
+    )
+    .unwrap();
     for cut in 1..buf.len() {
         let res = decode_row(&schema, &buf[..cut]);
         assert!(res.is_err(), "decode of {cut}-byte prefix must fail");
@@ -151,7 +158,12 @@ fn arena_exhaustion_surfaces_as_error_not_panic() {
     arch.dram_size = 64 * 1024;
     let mut cpu = Cpu::new(arch);
     let mut db = engines::Database::new(engines::EngineKind::Pg, engines::KnobLevel::Baseline);
-    db.create_table("t", storage::Schema::new([("k", storage::Ty::Int)]), Some("k")).unwrap();
+    db.create_table(
+        "t",
+        storage::Schema::new([("k", storage::Ty::Int)]),
+        Some("k"),
+    )
+    .unwrap();
     let rows: Vec<storage::Row> = (0..100_000).map(|i| vec![storage::Value::Int(i)]).collect();
     let err = db.load_rows(&mut cpu, "t", rows);
     assert!(err.is_err(), "loading 100k rows into 64 KB must fail");

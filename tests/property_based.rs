@@ -6,8 +6,9 @@ use storage::{decode_row, encode_row, BTree, BufferPool, PageStore, Schema, Ty, 
 
 fn arb_value(ty: Ty) -> BoxedStrategy<Value> {
     match ty {
-        Ty::Int => prop_oneof![3 => any::<i64>().prop_map(Value::Int), 1 => Just(Value::Null)]
-            .boxed(),
+        Ty::Int => {
+            prop_oneof![3 => any::<i64>().prop_map(Value::Int), 1 => Just(Value::Null)].boxed()
+        }
         Ty::Float => prop_oneof![
             3 => (-1e12f64..1e12).prop_map(Value::Float),
             1 => Just(Value::Null)
@@ -18,8 +19,9 @@ fn arb_value(ty: Ty) -> BoxedStrategy<Value> {
             1 => Just(Value::Null)
         ]
         .boxed(),
-        Ty::Date => prop_oneof![3 => (0i32..20000).prop_map(Value::Date), 1 => Just(Value::Null)]
-            .boxed(),
+        Ty::Date => {
+            prop_oneof![3 => (0i32..20000).prop_map(Value::Date), 1 => Just(Value::Null)].boxed()
+        }
     }
 }
 

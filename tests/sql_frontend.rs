@@ -38,8 +38,13 @@ fn run_sql(cpu: &mut Cpu, db: &mut engines::Database, sql: &str) -> Vec<Row> {
 #[test]
 fn sql_q6_equals_handbuilt_plan() {
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-    let mut db =
-        build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Pg,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .unwrap();
     let sql = "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
                WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31' \
                AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
@@ -67,20 +72,41 @@ fn sql_joins_and_aggregates_agree_across_engines() {
 #[test]
 fn sql_dml_roundtrip() {
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-    let mut db =
-        build_tpch_db(&mut cpu, EngineKind::Lite, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Lite,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .unwrap();
     let before = run_sql(&mut cpu, &mut db, "SELECT COUNT(*) FROM region");
     assert_eq!(before[0][0], storage::Value::Int(5));
 
-    run_sql(&mut cpu, &mut db, "INSERT INTO region VALUES (99, 'ATLANTIS')");
+    run_sql(
+        &mut cpu,
+        &mut db,
+        "INSERT INTO region VALUES (99, 'ATLANTIS')",
+    );
     let mid = run_sql(&mut cpu, &mut db, "SELECT COUNT(*) FROM region");
     assert_eq!(mid[0][0], storage::Value::Int(6));
 
-    run_sql(&mut cpu, &mut db, "UPDATE region SET r_name = 'SUNKEN' WHERE r_regionkey = 99");
-    let names = run_sql(&mut cpu, &mut db, "SELECT r_name FROM region WHERE r_regionkey = 99");
+    run_sql(
+        &mut cpu,
+        &mut db,
+        "UPDATE region SET r_name = 'SUNKEN' WHERE r_regionkey = 99",
+    );
+    let names = run_sql(
+        &mut cpu,
+        &mut db,
+        "SELECT r_name FROM region WHERE r_regionkey = 99",
+    );
     assert_eq!(names[0][0], storage::Value::Str("SUNKEN".into()));
 
-    run_sql(&mut cpu, &mut db, "DELETE FROM region WHERE r_regionkey = 99");
+    run_sql(
+        &mut cpu,
+        &mut db,
+        "DELETE FROM region WHERE r_regionkey = 99",
+    );
     let after = run_sql(&mut cpu, &mut db, "SELECT COUNT(*) FROM region");
     assert_eq!(after[0][0], storage::Value::Int(5));
 }
@@ -90,11 +116,18 @@ fn sql_filter_pushdown_reduces_simulated_work() {
     // The pushed-down filter must prune before the join: compare simulated
     // instructions against an artificial plan filtering after the join.
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
-    let mut db =
-        build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Pg,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .unwrap();
     let sql = "SELECT * FROM orders JOIN customer ON o_custkey = c_custkey \
                WHERE o_totalprice > 540000.0";
-    let Planned::Query(pushed) = compile(sql, &db.catalog).unwrap() else { panic!() };
+    let Planned::Query(pushed) = compile(sql, &db.catalog).unwrap() else {
+        panic!()
+    };
     db.run(&mut cpu, &pushed).unwrap();
     let m_pushed = cpu.measure(|c| {
         db.run(c, &pushed).unwrap();

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io registry, so the workspace vendors
+//! the subset its benches use: `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `Throughput`, `sample_size`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs a short
+//! warm-up plus `sample_size` timed samples and prints the mean wall-clock
+//! per iteration — no statistics, no reports, but `cargo bench` works and
+//! the numbers are comparable run-to-run on one machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (printed with results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), budget: self.sample_size };
+        f(&mut b);
+        let total: Duration = b.samples.iter().sum();
+        let iters = b.samples.len().max(1) as u32;
+        let mean = total / iters;
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+                format!("  ({:.1} MB/s)", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean:?}/iter over {iters} samples{thr}", self.name);
+        self
+    }
+
+    /// End the group (upstream renders reports here; the stub is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `body`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body()); // warm-up
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            black_box(body());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Opaque-value hint to keep the optimizer from deleting benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io registry, so this workspace
+//! vendors the strategy-combinator subset its property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`,
+//! * ranges, tuples, [`strategy::Just`], `any::<T>()`, char-class string
+//!   patterns (`"[a-z]{0,40}"`), and [`collection::vec`],
+//! * the [`proptest!`] macro plus [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike upstream proptest there is **no shrinking** and the case seeds are
+//! fixed (derived from the case index), so failures reproduce exactly across
+//! runs and machines. That trade fits this repository: the tests guard a
+//! deterministic simulator, and reproducibility beats minimality here.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Deterministic per-case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for one test case, seeded from the case index.
+    pub fn for_case(case: u32) -> TestRng {
+        // Decorrelate consecutive case indices.
+        TestRng { state: 0x6a09_e667_f3bc_c909 ^ ((case as u64) << 17) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed property-test case (carried back to the harness by `?`/`return`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    //! The strategy combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among boxed strategies (built by [`prop_oneof!`]).
+    pub struct OneOf<T> {
+        choices: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    /// Build a [`OneOf`] from `(weight, strategy)` pairs.
+    pub fn one_of<T>(choices: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total = choices.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs positive total weight");
+        OneOf { choices, total }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.below(self.total as u64) as u32;
+            for (w, s) in &self.choices {
+                if roll < *w {
+                    return s.generate(rng);
+                }
+                roll -= w;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty => $wide:ty),+ $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as $wide - self.start as $wide) as u64;
+                    (self.start as $wide + rng.below(span) as $wide) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as $wide - lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as $wide + rng.below(span + 1) as $wide) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(
+        i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128,
+        u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    );
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Char-class string patterns: the `"[class]{lo,hi}"` regex subset.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, lo, hi) = parse_class_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| class[rng.below(class.len() as u64) as usize]).collect()
+        }
+    }
+
+    /// Parse `"[a-zA-Z0-9 ]{0,40}"` into (alphabet, min_len, max_len).
+    fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let rest = pat
+            .strip_prefix('[')
+            .unwrap_or_else(|| panic!("unsupported pattern {pat:?}: expected \"[class]{{lo,hi}}\""));
+        let (class_s, rest) =
+            rest.split_once(']').unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+        let mut class = Vec::new();
+        let mut chars = class_s.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next(); // consume '-'
+                if let Some(&end) = ahead.peek() {
+                    chars = ahead;
+                    chars.next();
+                    for x in c..=end {
+                        class.push(x);
+                    }
+                    continue;
+                }
+            }
+            class.push(c);
+        }
+        assert!(!class.is_empty(), "empty char class in {pat:?}");
+        let (lo, hi) = match rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+            Some(bounds) => {
+                let (lo, hi) = bounds.split_once(',').unwrap_or((bounds, bounds));
+                (lo.trim().parse().expect("lo"), hi.trim().parse().expect("hi"))
+            }
+            None if rest.is_empty() => (1, 1),
+            None => panic!("unsupported pattern suffix {rest:?} in {pat:?}"),
+        };
+        (class, lo, hi)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+))+) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// Full-range strategies for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let m = rng.unit_f64() * 2.0 - 1.0;
+            let e = rng.below(61) as i32 - 30;
+            m * (2f64).powi(e)
+        }
+    }
+
+    /// Strategy yielding arbitrary values of `T`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    /// `vec(strategy, lo..hi)` — vectors of `lo..hi` elements.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, lo: len.start, hi_exclusive: len.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi_exclusive - self.lo) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Define property tests. Supports the upstream grammar subset
+/// `proptest! { #![proptest_config(..)] #[test] fn name(arg in strat, ..) { .. } .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one test fn per grammar item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)+ ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(case);
+                $crate::__proptest_lets! { rng; $($args)+ }
+                let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!("proptest case {case}/{} failed: {e}", config.cases);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: expand `arg in strategy, ...` into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_lets {
+    ( $rng:ident; ) => {};
+    ( $rng:ident; $arg:pat in $strat:expr, $($rest:tt)* ) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_lets! { $rng; $($rest)* }
+    };
+    ( $rng:ident; $arg:pat in $strat:expr ) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:expr => $s:expr ),+ $(,)? ) => {
+        $crate::strategy::one_of(vec![
+            $( (($w) as u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::one_of(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum V {
+        I(i64),
+        S(String),
+        Null,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(xs in collection::vec(0u64..16, 1..50), lo in -50i64..250) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            prop_assert!(xs.iter().all(|&x| x < 16));
+            prop_assert!((-50..250).contains(&lo));
+        }
+
+        #[test]
+        fn oneof_and_patterns(
+            v in prop_oneof![
+                3 => any::<i64>().prop_map(V::I),
+                2 => "[a-zA-Z0-9 ]{0,40}".prop_map(V::S),
+                1 => Just(V::Null)
+            ],
+            pair in (0u8..4, 0u64..512)
+        ) {
+            if let V::S(s) = &v {
+                prop_assert!(s.len() <= 40);
+                prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+            }
+            prop_assert!(pair.0 < 4 && pair.1 < 512);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = collection::vec(0u64..1000, 1..20);
+        let a: Vec<Vec<u64>> =
+            (0..5).map(|c| Strategy::generate(&s, &mut crate::TestRng::for_case(c))).collect();
+        let b: Vec<Vec<u64>> =
+            (0..5).map(|c| Strategy::generate(&s, &mut crate::TestRng::for_case(c))).collect();
+        assert_eq!(a, b);
+    }
+}
