@@ -9,8 +9,13 @@
 //! * `--filter SUBSTR` — run only experiments whose name contains SUBSTR.
 //! * `--list` — print the registered experiment names and exit.
 //! * `--csv` — write plotting-ready CSVs into a fresh per-run directory.
+//! * `--trace[=DIR]` — write energy-attributed traces (`trace.jsonl` +
+//!   Chrome-format `trace.json`) into the run directory (or DIR).
+//! * `--metrics` — print the metrics summary (stderr) and write
+//!   `metrics.json` into the run directory.
 //!
-//! The host-time summary goes to stderr so stdout stays deterministic.
+//! The host-time summary goes to stderr so stdout stays deterministic;
+//! `--trace`/`--metrics` never change stdout either.
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,153 @@
+//! CI checker for `mjobs` trace artifacts.
+//!
+//! `trace_check DIR` validates the trace files a `--trace` run left in
+//! `DIR` (a run directory or an explicit `--trace=DIR` target):
+//!
+//! * `trace.jsonl` — every line parses as JSON; `enter`/`exit` lines
+//!   balance per (experiment, shard); the `shard` header span counts match
+//!   the stream.
+//! * `trace.json` — parses as one JSON document with a `traceEvents`
+//!   array whose `X` events all carry `pid`/`tid`/`ts`/`dur`/`name` and
+//!   non-negative energy widths.
+//!
+//! Exits 0 when everything holds, 1 with a diagnostic otherwise.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use mjobs::json::{parse, Json};
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn check_jsonl(text: &str) -> Result<(), String> {
+    // (exp, shard) -> (open depth, exits seen, exits promised by header).
+    let mut cells: HashMap<(String, u64), (i64, u64, u64)> = HashMap::new();
+    let mut lines = 0u64;
+    for (n, line) in text.lines().enumerate() {
+        let v = parse(line).map_err(|e| format!("line {}: {e}: {line:?}", n + 1))?;
+        lines += 1;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", n + 1))?;
+        let cell = |v: &Json| -> Result<(String, u64), String> {
+            let exp = v
+                .get("exp")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: missing \"exp\"", n + 1))?
+                .to_owned();
+            let shard = v
+                .get("shard")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: missing \"shard\"", n + 1))?;
+            Ok((exp, shard as u64))
+        };
+        match ty {
+            "run" => {
+                if n != 0 {
+                    return Err(format!("line {}: \"run\" header not first", n + 1));
+                }
+            }
+            "shard" => {
+                let spans = v
+                    .get("spans")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {}: shard header missing \"spans\"", n + 1))?;
+                cells.entry(cell(&v)?).or_insert((0, 0, 0)).2 += spans as u64;
+            }
+            "enter" => cells.entry(cell(&v)?).or_insert((0, 0, 0)).0 += 1,
+            "exit" => {
+                let c = cells.entry(cell(&v)?).or_insert((0, 0, 0));
+                c.0 -= 1;
+                c.1 += 1;
+                if c.0 < 0 {
+                    return Err(format!("line {}: exit without matching enter", n + 1));
+                }
+            }
+            other => return Err(format!("line {}: unknown type {other:?}", n + 1)),
+        }
+    }
+    if lines == 0 {
+        return Err("trace.jsonl is empty".into());
+    }
+    for ((exp, shard), (depth, exits, promised)) in &cells {
+        if *depth != 0 {
+            return Err(format!("{exp} shard {shard}: {depth} span(s) left open"));
+        }
+        if exits != promised {
+            return Err(format!(
+                "{exp} shard {shard}: header promised {promised} span(s), stream has {exits}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_chrome(text: &str) -> Result<u64, String> {
+    let v = parse(text).map_err(|e| format!("trace.json: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("trace.json: missing \"traceEvents\" array")?;
+    let mut spans = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace.json event {i}: missing \"ph\""))?;
+        if ph != "X" {
+            continue;
+        }
+        spans += 1;
+        for key in ["pid", "tid", "ts", "dur", "name", "args"] {
+            if ev.get(key).is_none() {
+                return Err(format!("trace.json event {i}: missing {key:?}"));
+            }
+        }
+        let dur = ev.get("dur").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        if dur.is_nan() || dur < 0.0 {
+            return Err(format!("trace.json event {i}: negative/NaN dur {dur}"));
+        }
+    }
+    Ok(spans)
+}
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        return fail("usage: trace_check DIR".into());
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let jsonl = match std::fs::read_to_string(dir.join("trace.jsonl")) {
+        Ok(t) => t,
+        Err(e) => {
+            return fail(format!(
+                "cannot read {}: {e}",
+                dir.join("trace.jsonl").display()
+            ))
+        }
+    };
+    if let Err(e) = check_jsonl(&jsonl) {
+        return fail(e);
+    }
+    let chrome = match std::fs::read_to_string(dir.join("trace.json")) {
+        Ok(t) => t,
+        Err(e) => {
+            return fail(format!(
+                "cannot read {}: {e}",
+                dir.join("trace.json").display()
+            ))
+        }
+    };
+    let spans = match check_chrome(&chrome) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
+    println!(
+        "trace_check: ok — {} JSONL line(s), {spans} Chrome span event(s)",
+        jsonl.lines().count()
+    );
+    ExitCode::SUCCESS
+}

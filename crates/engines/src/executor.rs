@@ -157,8 +157,49 @@ impl<'a, P: PageAccess> Env<'a, P> {
     }
 }
 
+/// The trace-span name of one plan operator: the variant, plus the detail
+/// that distinguishes instances in a flame graph (table, index column,
+/// join algorithm). Only called when a span collector is installed.
+fn span_name(plan: &Plan, profile: &Profile) -> String {
+    match plan {
+        Plan::Scan { table, .. } => format!("scan({table})"),
+        Plan::IndexRange { table, col, .. } => format!("index_range({table}.{col})"),
+        Plan::Join { .. } => {
+            if profile.hash_join {
+                "hash_join".to_owned()
+            } else {
+                "index_nl_join".to_owned()
+            }
+        }
+        Plan::Aggregate { group_by, .. } if group_by.is_empty() => "agg(scalar)".to_owned(),
+        Plan::Aggregate { .. } if profile.hash_agg => "agg(hash)".to_owned(),
+        Plan::Aggregate { .. } => "agg(tree)".to_owned(),
+        Plan::Sort { .. } => "sort".to_owned(),
+        Plan::Limit { .. } => "limit".to_owned(),
+        Plan::Project { .. } => "project".to_owned(),
+    }
+}
+
 /// Execute `plan` and return its rows.
+///
+/// Every operator is bracketed by an `mjobs` span (a no-op unless the
+/// harness enabled `--trace`), so a traced query renders as a flame graph
+/// of its plan tree with per-operator simulated time, cycles and energy.
+/// Span capture only snapshots counters — it never advances the simulated
+/// machine — so tracing cannot change measured results.
 pub fn run<P: PageAccess>(
+    cpu: &mut Cpu,
+    env: &mut Env<'_, P>,
+    plan: &Plan,
+) -> storage::Result<Vec<Row>> {
+    mjobs::span::enter(cpu, || span_name(plan, env.profile));
+    let rows = run_op(cpu, env, plan);
+    mjobs::span::exit(cpu);
+    rows
+}
+
+/// Operator dispatch (the body of [`run`], outside its trace span).
+fn run_op<P: PageAccess>(
     cpu: &mut Cpu,
     env: &mut Env<'_, P>,
     plan: &Plan,
@@ -936,6 +977,53 @@ mod tests {
         let pg = counts[0].1;
         let my = counts[2].1;
         assert!(my > pg, "My must execute more bookkeeping ops: {counts:?}");
+    }
+
+    #[test]
+    fn operators_emit_nested_energy_spans_when_traced() {
+        let plan = Plan::scan("items")
+            .join(Plan::scan("cats"), 1, 0)
+            .aggregate(vec![1], vec![AggSpec::count_star()]);
+        // The same warm-up + measured run on two identical fresh machines,
+        // one untraced and one traced: results and the simulated cost must
+        // not change (the --trace hard guarantee). The simulator is
+        // deterministic, so any divergence is tracing's fault.
+        let measure = |traced: bool| {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            let mut db = demo_database(&mut cpu, EngineKind::Pg).unwrap();
+            let rows = db.run(&mut cpu, &plan).unwrap();
+            if traced {
+                mjobs::span::install();
+            }
+            let m = cpu.measure(|c| {
+                assert_eq!(db.run(c, &plan).unwrap(), rows);
+            });
+            (m, mjobs::span::take())
+        };
+        let (m_plain, none) = measure(false);
+        let (m_traced, spans) = measure(true);
+        assert!(none.is_empty());
+        assert_eq!(
+            m_plain.pmu, m_traced.pmu,
+            "tracing must not perturb the machine"
+        );
+        assert_eq!(m_plain.cycles, m_traced.cycles);
+
+        // The plan tree appears as nested spans: agg(hash) at the root
+        // (Pg hash-aggregates), the join below it, the scans below that.
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"agg(hash)"), "{names:?}");
+        assert!(names.contains(&"hash_join"), "{names:?}");
+        assert!(names.contains(&"scan(items)"), "{names:?}");
+        let root = spans.iter().find(|s| s.name == "agg(hash)").unwrap();
+        let join = spans.iter().find(|s| s.name == "hash_join").unwrap();
+        let scan = spans.iter().find(|s| s.name == "scan(items)").unwrap();
+        assert_eq!(root.depth, 0);
+        assert_eq!(join.parent_seq, Some(root.seq));
+        assert_eq!(scan.parent_seq, Some(join.seq));
+        assert!(root.delta.rapl.total_j() >= join.delta.rapl.total_j());
+        assert!(join.delta.time_s >= scan.delta.time_s);
+        assert!(spans.iter().all(|s| !s.forced));
     }
 
     #[test]

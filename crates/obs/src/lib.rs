@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # mjobs — energy-attributed tracing and metrics
+//!
+//! The paper's contribution is *micro analysis*: attributing Active energy
+//! to micro-ops per query phase (§2–§3). This crate makes that attribution
+//! observable *inside* a run instead of only in end-of-run tables:
+//!
+//! * [`span`] — a span/event API with thread-local span stacks whose
+//!   timestamps are **simulated** time, cycles and energy deltas from
+//!   `simcore` (a PMU + RAPL snapshot at span enter/exit), so traces are
+//!   deterministic and identical across `--jobs` values. Per-span PMU
+//!   deltas feed the `analysis` solver, giving every span a micro-op
+//!   energy breakdown — a flame graph whose widths are joules.
+//! * [`metrics`] — a registry of counters, gauges and log2-bucket
+//!   histograms with a text-table summary and a JSON export
+//!   (`--metrics`).
+//! * [`sink`] — two trace sinks: JSON Lines and Chrome `trace_event`
+//!   (loadable in `about://tracing` / Perfetto), written into the per-run
+//!   `results/run-*/` directory (`--trace`).
+//! * [`json`] — the hand-rolled JSON writer/parser both sinks and their
+//!   validators share (the build environment has no crates.io access, so
+//!   there is no serde; this is the `vendor/` stand-in philosophy applied
+//!   to observability).
+//!
+//! Everything is off by default and designed around one hard guarantee,
+//! enforced by `tests/determinism.rs` in the root crate: **enabling
+//! tracing or metrics never changes the byte-stable report stream.**
+//! Span capture only *reads* the simulated machine (counter snapshots),
+//! trace/metrics output goes to files and the non-deterministic summary
+//! stream, and all host-time fields in trace files are `host_`-prefixed
+//! so they can be stripped mechanically.
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{Histogram, Metric, Registry};
+pub use sink::{write_chrome, write_jsonl, TraceRun};
+pub use span::SpanRecord;

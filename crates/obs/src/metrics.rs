@@ -1,0 +1,362 @@
+//! The metrics registry: counters, gauges and log2-bucket histograms.
+//!
+//! One process-wide [`Registry`] (via [`global`]) collects operational
+//! metrics from every layer — scheduler queue waits, calibration-cache
+//! hits, shard panics — without threading a handle through every call
+//! site. Names are dotted paths (`"scheduler.shard_host_us"`); the map is
+//! a `BTreeMap`, so the text summary and the JSON export are always in
+//! deterministic name order.
+//!
+//! Metrics are *host-side* observability: they may (and do) record
+//! wall-clock durations, so they are written to the non-deterministic
+//! summary stream and to `metrics.json` in the run directory — never to
+//! the byte-stable report stream.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+use analysis::report::TextTable;
+
+use crate::json;
+
+/// Number of histogram buckets: one for zero, one per power of two of the
+/// `u64` range.
+pub const N_BUCKETS: usize = 65;
+
+/// A log2-bucket histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Two words per sample recorded, fixed memory, and the
+/// mean stays exact via `sum`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Largest sample seen.
+    pub max: u64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            max: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for `v`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (bucket 0 is
+    /// the exact value 0, rendered as `[0, 1)`). The top bucket's upper
+    /// bound saturates at `u64::MAX`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as f64;
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 when empty. Log2 buckets make this an estimate
+    /// that is at most 2x the true value — the right fidelity for "is the
+    /// queue wait microseconds or milliseconds".
+    pub fn quantile_ub(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(i).1 - 1;
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Sample distribution (boxed: a histogram is ~0.5 KiB of buckets,
+    /// counters and gauges are one word).
+    Histogram(Box<Histogram>),
+}
+
+/// A named collection of metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `n` to counter `name` (created at zero on first use). A name
+    /// already registered as a different metric kind is left unchanged.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            _ => debug_assert!(false, "{name} is not a counter"),
+        }
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(0.0))
+        {
+            Metric::Gauge(g) => *g = v,
+            _ => debug_assert!(false, "{name} is not a gauge"),
+        }
+    }
+
+    /// Record `v` into histogram `name`.
+    pub fn histogram_record(&self, name: &str, v: u64) {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.record(v),
+            _ => debug_assert!(false, "{name} is not a histogram"),
+        }
+    }
+
+    /// Current value of counter `name`, if registered as one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.lock().get(name) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Copy of every metric, in name order.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Drop every metric (used by tests to isolate runs).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Render the text-table summary (name order; one row per metric).
+    pub fn render_table(&self) -> String {
+        let mut t = TextTable::new(["metric", "kind", "value", "detail"]);
+        for (name, m) in self.snapshot() {
+            match m {
+                Metric::Counter(c) => {
+                    t.row([name, "counter".into(), c.to_string(), String::new()]);
+                }
+                Metric::Gauge(g) => {
+                    t.row([name, "gauge".into(), format!("{g:.3}"), String::new()]);
+                }
+                Metric::Histogram(h) => {
+                    let detail = format!(
+                        "mean {:.1} | p50<={} | p99<={} | max {}",
+                        h.mean(),
+                        h.quantile_ub(0.50),
+                        h.quantile_ub(0.99),
+                        h.max,
+                    );
+                    t.row([name, "histogram".into(), h.count.to_string(), detail]);
+                }
+            }
+        }
+        t.render()
+    }
+
+    /// Serialise every metric as one JSON object. Histograms list only their
+    /// occupied buckets as `[lo, hi, count]` triples.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let snap = self.snapshot();
+        for (i, (name, m)) in snap.iter().enumerate() {
+            let _ = write!(out, "  {}: ", json::escape(name));
+            match m {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {c}}}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {}}}", json::num(*g));
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+                        h.count,
+                        json::num(h.sum),
+                        h.max
+                    );
+                    let mut first = true;
+                    for b in 0..N_BUCKETS {
+                        if h.bucket(b) == 0 {
+                            continue;
+                        }
+                        let (lo, hi) = Histogram::bucket_bounds(b);
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        let _ = write!(out, "[{lo}, {hi}, {}]", h.bucket(b));
+                    }
+                    out.push_str("]}");
+                }
+            }
+            out.push_str(if i + 1 < snap.len() { ",\n" } else { "\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().expect("metrics registry poisoned")
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Add `n` to counter `name` in the global registry.
+pub fn counter_add(name: &str, n: u64) {
+    global().counter_add(name, n);
+}
+
+/// Set gauge `name` in the global registry.
+pub fn gauge_set(name: &str, v: f64) {
+    global().gauge_set(name, v);
+}
+
+/// Record `v` into histogram `name` in the global registry.
+pub fn histogram_record(name: &str, v: u64) {
+    global().histogram_record(name, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucketing_is_exact_at_the_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Bounds invert bucket_of: every power of two starts its bucket.
+        for i in 1..N_BUCKETS {
+            let (lo, _) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_of(lo), i);
+            assert_eq!(Histogram::bucket_of(lo - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(2), 2); // 2 and 3
+        assert!(h.quantile_ub(0.5) >= 2);
+        assert!(h.quantile_ub(1.0) >= 1000);
+    }
+
+    #[test]
+    fn registry_accumulates_and_renders() {
+        let r = Registry::new();
+        r.counter_add("a.hits", 2);
+        r.counter_add("a.hits", 3);
+        r.gauge_set("b.util", 0.5);
+        r.histogram_record("c.wait_us", 7);
+        assert_eq!(r.counter("a.hits"), Some(5));
+        assert_eq!(r.counter("b.util"), None);
+        let table = r.render_table();
+        assert!(table.contains("a.hits") && table.contains('5'));
+        let parsed = crate::json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("a.hits")
+                .and_then(|m| m.get("value"))
+                .and_then(|v| v.as_f64()),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_corrupted() {
+        let r = Registry::new();
+        r.counter_add("x", 1);
+        // Debug builds assert; release builds must leave the counter intact.
+        if cfg!(not(debug_assertions)) {
+            r.gauge_set("x", 9.0);
+            assert_eq!(r.counter("x"), Some(1));
+        }
+    }
+}

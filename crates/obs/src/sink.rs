@@ -1,0 +1,383 @@
+//! Trace sinks: JSON Lines and Chrome `trace_event`.
+//!
+//! Both sinks consume the same per-(experiment, shard) [`SpanRecord`]
+//! streams the scheduler collected and are written once, in registry
+//! order, after the suite finishes — so the files are deterministic for a
+//! given command line regardless of `--jobs`. The only non-deterministic
+//! fields are explicitly host-scoped and named with a `host_` prefix
+//! (`host_unix_ms`, `host_us`), so consumers (and the determinism test)
+//! can strip them mechanically.
+//!
+//! ## JSONL (`trace.jsonl`)
+//!
+//! One JSON object per line. Line types:
+//!
+//! * `run` — file header: format version, `--jobs`, host timestamp.
+//! * `shard` — one per (experiment, shard): span count, host wall-clock.
+//! * `enter` / `exit` — the span stream of that shard, interleaved in
+//!   exact enter/exit order (`seq` reconstructs the stack). `exit` lines
+//!   carry the span's simulated cost and, when a calibration table is
+//!   available, the per-micro-op energy attribution of the span.
+//!
+//! ## Chrome trace (`trace.json`)
+//!
+//! Loadable in `about://tracing` / [Perfetto](https://ui.perfetto.dev).
+//! The horizontal axis is **energy, not time**: a span's `ts`/`dur` are
+//! cumulative/elapsed micro*joules* (rendered by the viewer as if they
+//! were microseconds), so the width of every box is exactly the energy it
+//! consumed — the paper's Fig. 7 stacked bars, unrolled into a flame
+//! graph. Simulated milliseconds, kilocycles and the micro-op shares ride
+//! along in each event's `args`.
+
+use std::io::{self, Write};
+
+use analysis::{EnergyTable, MicroOp};
+
+use crate::json::{escape, num};
+use crate::span::SpanRecord;
+
+/// The span stream of one (experiment, shard) cell, ready for a sink.
+pub struct TraceRun<'a> {
+    /// Experiment name (the registry name, e.g. `"fig07_tpch"`).
+    pub exp: &'a str,
+    /// Shard index within the experiment.
+    pub shard: usize,
+    /// Host wall-clock of the shard, microseconds (non-deterministic;
+    /// stripped by determinism checks).
+    pub host_us: u64,
+    /// The shard's spans, sorted by enter sequence.
+    pub spans: &'a [SpanRecord],
+    /// Calibration table for the experiment's (arch, P-state), used to
+    /// attribute each span's energy to micro-ops. `None` disables the
+    /// attribution fields.
+    pub table: Option<&'a EnergyTable>,
+}
+
+/// JSONL format version (the `format` field of the `run` header line).
+pub const JSONL_FORMAT: u32 = 1;
+
+/// Write the JSON Lines trace for `runs` (in the given order).
+pub fn write_jsonl<W: Write>(
+    w: &mut W,
+    jobs: usize,
+    host_unix_ms: u128,
+    runs: &[TraceRun<'_>],
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "{{\"type\": \"run\", \"format\": {JSONL_FORMAT}, \"jobs\": {jobs}, \
+         \"host_unix_ms\": {host_unix_ms}}}"
+    )?;
+    for run in runs {
+        writeln!(
+            w,
+            "{{\"type\": \"shard\", \"exp\": {}, \"shard\": {}, \"spans\": {}, \
+             \"host_us\": {}}}",
+            escape(run.exp),
+            run.shard,
+            run.spans.len(),
+            run.host_us
+        )?;
+        // Interleave enter/exit lines in true stack order: the collector's
+        // sequence counter advanced on both endpoints.
+        let mut events: Vec<(u64, bool, &SpanRecord)> = Vec::with_capacity(run.spans.len() * 2);
+        for rec in run.spans {
+            events.push((rec.seq, true, rec));
+            events.push((rec.end_seq, false, rec));
+        }
+        events.sort_by_key(|&(seq, _, _)| seq);
+        for (seq, is_enter, rec) in events {
+            if is_enter {
+                writeln!(
+                    w,
+                    "{{\"type\": \"enter\", \"exp\": {}, \"shard\": {}, \"seq\": {seq}, \
+                     \"depth\": {}, \"name\": {}, \"t_s\": {}, \"cycles\": {}, \"e_j\": {}}}",
+                    escape(run.exp),
+                    run.shard,
+                    rec.depth,
+                    escape(&rec.name),
+                    num(rec.start_s),
+                    num(rec.start_cycles),
+                    num(rec.start_e_j),
+                )?;
+            } else {
+                write!(
+                    w,
+                    "{{\"type\": \"exit\", \"exp\": {}, \"shard\": {}, \"seq\": {seq}, \
+                     \"span_seq\": {}, \"name\": {}, \"dur_s\": {}, \"cycles\": {}, \
+                     \"e_j\": {}, \"core_j\": {}, \"mem_j\": {}, \"forced\": {}",
+                    escape(run.exp),
+                    run.shard,
+                    rec.seq,
+                    escape(&rec.name),
+                    num(rec.delta.time_s),
+                    num(rec.delta.cycles),
+                    num(rec.delta.rapl.total_j()),
+                    num(rec.delta.rapl.core_j),
+                    num(rec.delta.rapl.memory_j),
+                    rec.forced,
+                )?;
+                if let (Some(table), false) = (run.table, rec.forced) {
+                    let bd = table.breakdown(&rec.delta);
+                    write!(w, ", \"active_j\": {}, \"ops_j\": {{", num(bd.active_j()))?;
+                    for (i, op) in MicroOp::MS.iter().enumerate() {
+                        if i > 0 {
+                            write!(w, ", ")?;
+                        }
+                        write!(w, "{}: {}", escape(op.symbol()), num(bd.energy_j(*op)))?;
+                    }
+                    write!(w, ", \"other\": {}}}, \"shares\": {{", num(bd.other_j()))?;
+                    for (i, op) in MicroOp::MS.iter().enumerate() {
+                        if i > 0 {
+                            write!(w, ", ")?;
+                        }
+                        write!(w, "{}: {}", escape(op.symbol()), num(bd.share(*op)))?;
+                    }
+                    write!(w, ", \"other\": {}}}", num(bd.other_share()))?;
+                }
+                writeln!(w, "}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write the Chrome `trace_event` file for `runs` (in the given order).
+///
+/// Each experiment is a "process" (pid = 1 + index of its first
+/// appearance), each shard a "thread". Span `ts`/`dur` are microjoules —
+/// see the module docs.
+pub fn write_chrome<W: Write>(w: &mut W, runs: &[TraceRun<'_>]) -> io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\": \"ms\",")?;
+    writeln!(
+        w,
+        "\"metadata\": {{\"axis\": \"ts and dur are cumulative microJOULES, not microseconds: \
+         box widths are energy (see DESIGN.md, Tracing)\"}},"
+    )?;
+    writeln!(w, "\"traceEvents\": [")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if !*first {
+            writeln!(w, ",")?;
+        }
+        *first = false;
+        Ok(())
+    };
+
+    // pid per distinct experiment, in order of first appearance.
+    let mut exps: Vec<&str> = Vec::new();
+    for run in runs {
+        if !exps.contains(&run.exp) {
+            exps.push(run.exp);
+        }
+    }
+    for (i, exp) in exps.iter().enumerate() {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"name\": \"process_name\", \
+             \"args\": {{\"name\": {}}}}}",
+            i + 1,
+            escape(exp)
+        )?;
+    }
+
+    for run in runs {
+        let pid = 1 + exps.iter().position(|e| *e == run.exp).expect("collected");
+        let tid = run.shard + 1;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"shard {}\"}}}}",
+            run.shard
+        )?;
+        // Energy axis baseline: the shard's first span enter.
+        let base_j = run
+            .spans
+            .iter()
+            .map(|r| r.start_e_j)
+            .fold(f64::INFINITY, f64::min);
+        for rec in run.spans {
+            let ts_uj = ((rec.start_e_j - base_j) * 1e6).max(0.0);
+            let dur_uj = (rec.delta.rapl.total_j() * 1e6).max(0.0);
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \"dur\": {}, \
+                 \"name\": {}, \"cat\": \"sim\", \"args\": {{\"sim_ms\": {}, \"kcycles\": {}, \
+                 \"uj\": {}, \"forced\": {}",
+                num(ts_uj),
+                num(dur_uj),
+                escape(&rec.name),
+                num(rec.delta.time_s * 1e3),
+                num(rec.delta.cycles / 1e3),
+                num(dur_uj),
+                rec.forced,
+            )?;
+            if let (Some(table), false) = (run.table, rec.forced) {
+                let bd = table.breakdown(&rec.delta);
+                for op in MicroOp::MS {
+                    write!(
+                        w,
+                        ", \"share_{}\": {}",
+                        op.symbol().replace('2', "_to_"),
+                        num(bd.share(op))
+                    )?;
+                }
+                write!(w, ", \"share_other\": {}", num(bd.other_share()))?;
+            }
+            write!(w, "}}}}")?;
+        }
+    }
+    writeln!(w, "\n]}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use simcore::{ArchConfig, Cpu, Dep, ExecOp};
+
+    /// Drive a real Cpu through nested spans and return the records.
+    fn sample_spans() -> Vec<SpanRecord> {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let buf = cpu.alloc(8192).unwrap();
+        crate::span::install();
+        crate::span::enter(&mut cpu, || "query".into());
+        crate::span::enter(&mut cpu, || "scan(t)".into());
+        for l in 0..32 {
+            cpu.load(buf.addr + l * 64, Dep::Stream);
+        }
+        crate::span::exit(&mut cpu);
+        crate::span::enter(&mut cpu, || "agg \"weird\"\nname".into());
+        cpu.exec_n(ExecOp::Mul, 100);
+        crate::span::exit(&mut cpu);
+        crate::span::exit(&mut cpu);
+        crate::span::take()
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_and_balance() {
+        let spans = sample_spans();
+        let table = analysis::CalibrationBuilder::quick().calibrate();
+        let runs = [TraceRun {
+            exp: "unit_test",
+            shard: 0,
+            host_us: 123,
+            spans: &spans,
+            table: Some(&table),
+        }];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, 2, 456, &runs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut depth = 0i64;
+        let mut enters = 0;
+        let mut exits = 0;
+        for line in text.lines() {
+            let v = parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            match v.get("type").and_then(Json::as_str) {
+                Some("enter") => {
+                    enters += 1;
+                    depth += 1;
+                }
+                Some("exit") => {
+                    exits += 1;
+                    depth -= 1;
+                    assert!(depth >= 0, "exit without enter");
+                    // Attribution fields present and coherent.
+                    let ops = v.get("ops_j").expect("ops_j");
+                    assert!(ops.get("L1D").and_then(Json::as_f64).is_some());
+                    let shares = v.get("shares").expect("shares");
+                    let total: f64 = ["L1D", "Reg2L1D", "L2", "L3", "mem", "pf", "stall", "other"]
+                        .iter()
+                        .map(|k| shares.get(k).and_then(Json::as_f64).unwrap())
+                        .sum();
+                    assert!((total - 1.0).abs() < 1e-6, "shares sum to 1, got {total}");
+                }
+                Some("run") | Some("shard") => {}
+                other => panic!("unknown line type {other:?}"),
+            }
+        }
+        assert_eq!(depth, 0, "enter/exit pairs balance");
+        assert_eq!((enters, exits), (3, 3));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_energy_widths() {
+        let spans = sample_spans();
+        let runs = [TraceRun {
+            exp: "unit_test",
+            shard: 1,
+            host_us: 0,
+            spans: &spans,
+            table: None,
+        }];
+        let mut buf = Vec::new();
+        write_chrome(&mut buf, &runs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = parse(&text).unwrap_or_else(|e| panic!("invalid chrome trace: {e}\n{text}"));
+        let events = v.get("traceEvents").and_then(Json::as_arr).expect("events");
+        // 1 process_name + 1 thread_name + 3 spans.
+        assert_eq!(events.len(), 5);
+        let spans_ev: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans_ev.len(), 3);
+        for ev in &spans_ev {
+            for key in ["pid", "tid", "ts", "dur", "name", "args"] {
+                assert!(ev.get(key).is_some(), "missing {key}");
+            }
+            assert!(ev.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+        }
+        // The root span's energy width covers its children's.
+        let root = spans_ev
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("query"))
+            .expect("root span");
+        let child_dur: f64 = spans_ev
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) != Some("query"))
+            .map(|e| e.get("dur").and_then(Json::as_f64).unwrap())
+            .sum();
+        assert!(root.get("dur").and_then(Json::as_f64).unwrap() >= child_dur);
+    }
+
+    #[test]
+    fn forced_spans_emit_zero_width_events() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        crate::span::install();
+        crate::span::enter(&mut cpu, || "left_open".into());
+        let spans = crate::span::take();
+        let runs = [TraceRun {
+            exp: "t",
+            shard: 0,
+            host_us: 0,
+            spans: &spans,
+            table: None,
+        }];
+        let mut chrome = Vec::new();
+        write_chrome(&mut chrome, &runs).unwrap();
+        let v = parse(std::str::from_utf8(&chrome).unwrap()).expect("valid");
+        let ev = v
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("span event")
+            .clone();
+        assert_eq!(ev.get("dur").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            ev.get("args").unwrap().get("forced"),
+            Some(&Json::Bool(true))
+        );
+        let mut jsonl = Vec::new();
+        write_jsonl(&mut jsonl, 1, 0, &runs).unwrap();
+        for line in std::str::from_utf8(&jsonl).unwrap().lines() {
+            parse(line).expect("every line parses");
+        }
+    }
+}

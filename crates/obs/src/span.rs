@@ -1,0 +1,267 @@
+//! Simulated-time span stacks.
+//!
+//! A span brackets a region of *simulated* work: entering snapshots the
+//! current thread's `Cpu` (PMU bank, RAPL meters, simulated clock), exiting
+//! produces the delta as a plain [`Measurement`] — so every span carries
+//! exactly what the analysis layer needs to attribute its energy to
+//! micro-ops. Because the timeline is the simulator's, not the host's,
+//! traces are deterministic: the same suite produces byte-identical span
+//! streams regardless of `--jobs`, host load, or machine.
+//!
+//! Collection is **off by default** and costs one thread-local read per
+//! call site when off. The runtime's scheduler [`install`]s a collector on
+//! a worker thread just before running a shard and [`take`]s the records
+//! after; instrumented code (the query executor) only ever calls
+//! [`enter`] / [`exit`], which are no-ops without a collector. Span names
+//! are built lazily — the closure passed to [`enter`] never runs when
+//! collection is off.
+//!
+//! Spans that are still open at [`take`] time (a panic unwound through the
+//! instrumented region) are force-closed with a zero delta and marked
+//! [`SpanRecord::forced`]; an [`exit`] with no matching [`enter`] is
+//! counted in the `trace.unbalanced_exits` metric and otherwise ignored.
+
+use std::cell::RefCell;
+
+use simcore::{Cpu, Measurement, PState, PmuSnapshot, RaplReading};
+
+use crate::metrics;
+
+/// One completed span, recorded at exit (or force-closed at [`take`]).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"join"`, `"scan(lineitem)"`).
+    pub name: String,
+    /// Enter sequence number. The collector's sequence counter advances on
+    /// every enter *and* exit, so sorting all `(seq, end_seq)` endpoints
+    /// reconstructs the exact interleaving.
+    pub seq: u64,
+    /// Exit sequence number (assigned at exit or force-close).
+    pub end_seq: u64,
+    /// Nesting depth at enter (0 = root).
+    pub depth: usize,
+    /// `seq` of the enclosing span, if any.
+    pub parent_seq: Option<u64>,
+    /// Simulated seconds on the thread's `Cpu` clock at enter.
+    pub start_s: f64,
+    /// Cycles elapsed on the thread's `Cpu` at enter.
+    pub start_cycles: f64,
+    /// Cumulative RAPL total (joules) at enter.
+    pub start_e_j: f64,
+    /// The span's simulated cost: PMU deltas, per-domain energy, elapsed
+    /// simulated time and cycles.
+    pub delta: Measurement,
+    /// True if the span never exited and was closed by [`take`].
+    pub forced: bool,
+}
+
+struct OpenSpan {
+    name: String,
+    seq: u64,
+    parent_seq: Option<u64>,
+    pmu: PmuSnapshot,
+    rapl: RaplReading,
+    time_s: f64,
+    cycles: f64,
+    pstate: PState,
+}
+
+#[derive(Default)]
+struct Collector {
+    stack: Vec<OpenSpan>,
+    records: Vec<SpanRecord>,
+    next_seq: u64,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Start collecting spans on this thread (replaces any existing collector).
+pub fn install() {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::default()));
+}
+
+/// Whether a collector is installed on this thread.
+pub fn enabled() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Open a span. `name` is only evaluated when collection is on.
+pub fn enter<F: FnOnce() -> String>(cpu: &mut Cpu, name: F) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(col) = slot.as_mut() else { return };
+        let seq = col.next_seq;
+        col.next_seq += 1;
+        let parent_seq = col.stack.last().map(|s| s.seq);
+        col.stack.push(OpenSpan {
+            name: name(),
+            seq,
+            parent_seq,
+            pmu: cpu.pmu_snapshot(),
+            rapl: cpu.rapl(),
+            time_s: cpu.time_s(),
+            cycles: cpu.cycles(),
+            pstate: cpu.pstate(),
+        });
+    });
+}
+
+/// Close the innermost open span, recording its simulated-cost delta.
+pub fn exit(cpu: &mut Cpu) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(col) = slot.as_mut() else { return };
+        let Some(open) = col.stack.pop() else {
+            metrics::counter_add("trace.unbalanced_exits", 1);
+            return;
+        };
+        let end_seq = col.next_seq;
+        col.next_seq += 1;
+        let depth = col.stack.len();
+        let pmu = cpu.pmu_snapshot().delta(&open.pmu);
+        let delta = Measurement {
+            pmu,
+            rapl: cpu.rapl().delta(&open.rapl),
+            time_s: cpu.time_s() - open.time_s,
+            cycles: cpu.cycles() - open.cycles,
+            pstate: cpu.pstate(),
+        };
+        col.records.push(SpanRecord {
+            name: open.name,
+            seq: open.seq,
+            end_seq,
+            depth,
+            parent_seq: open.parent_seq,
+            start_s: open.time_s,
+            start_cycles: open.cycles,
+            start_e_j: open.rapl.total_j(),
+            delta,
+            forced: false,
+        });
+    });
+}
+
+/// Stop collecting on this thread and return every record, sorted by enter
+/// sequence. Spans still open (the shard panicked mid-query) are closed
+/// with a zero-cost delta and `forced = true`, so sinks can always rely on
+/// balanced records.
+pub fn take() -> Vec<SpanRecord> {
+    COLLECTOR.with(|c| {
+        let Some(mut col) = c.borrow_mut().take() else {
+            return Vec::new();
+        };
+        while let Some(open) = col.stack.pop() {
+            let end_seq = col.next_seq;
+            col.next_seq += 1;
+            let depth = col.stack.len();
+            col.records.push(SpanRecord {
+                name: open.name,
+                seq: open.seq,
+                end_seq,
+                depth,
+                parent_seq: open.parent_seq,
+                start_s: open.time_s,
+                start_cycles: open.cycles,
+                start_e_j: open.rapl.total_j(),
+                delta: Measurement {
+                    pmu: PmuSnapshot::zero(),
+                    rapl: RaplReading::default(),
+                    time_s: 0.0,
+                    cycles: 0.0,
+                    pstate: open.pstate,
+                },
+                forced: true,
+            });
+        }
+        col.records.sort_by_key(|r| r.seq);
+        col.records
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{ArchConfig, Dep, ExecOp};
+
+    fn cpu() -> Cpu {
+        Cpu::new(ArchConfig::intel_i7_4790())
+    }
+
+    #[test]
+    fn disabled_is_a_no_op() {
+        let mut c = cpu();
+        assert!(!enabled());
+        enter(&mut c, || unreachable!("name must not be built when off"));
+        exit(&mut c);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_depth_parent_and_cost() {
+        let mut c = cpu();
+        let buf = c.alloc(4096).unwrap();
+        install();
+        enter(&mut c, || "outer".into());
+        c.exec_n(ExecOp::Add, 10);
+        enter(&mut c, || "inner".into());
+        for l in 0..8 {
+            c.load(buf.addr + l * 64, Dep::Stream);
+        }
+        exit(&mut c);
+        c.exec_n(ExecOp::Add, 5);
+        exit(&mut c);
+        let recs = take();
+        assert_eq!(recs.len(), 2);
+        let outer = &recs[0];
+        let inner = &recs[1];
+        assert_eq!((outer.name.as_str(), outer.depth), ("outer", 0));
+        assert_eq!((inner.name.as_str(), inner.depth), ("inner", 1));
+        assert_eq!(inner.parent_seq, Some(outer.seq));
+        assert!(outer.seq < inner.seq && inner.end_seq < outer.end_seq);
+        // The child's cost nests inside the parent's.
+        assert!(inner.delta.time_s > 0.0);
+        assert!(outer.delta.time_s >= inner.delta.time_s);
+        assert!(outer.delta.rapl.total_j() >= inner.delta.rapl.total_j());
+        assert_eq!(inner.delta.pmu.get(simcore::Event::LoadIssued), 8);
+        assert!(!outer.forced && !inner.forced);
+    }
+
+    #[test]
+    fn unbalanced_spans_are_handled() {
+        let mut c = cpu();
+        install();
+        // Exit with nothing open: ignored (counted in a metric).
+        exit(&mut c);
+        enter(&mut c, || "leaked".into());
+        enter(&mut c, || "leaked_child".into());
+        // No exits: a panic would unwind here. take() force-closes both.
+        let recs = take();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.forced));
+        assert_eq!(recs[0].name, "leaked");
+        assert_eq!(recs[0].depth, 0);
+        assert_eq!(recs[1].depth, 1);
+        assert_eq!(recs[1].parent_seq, Some(recs[0].seq));
+        assert_eq!(recs[0].delta.time_s, 0.0);
+        // Sequence endpoints still balance: every end_seq is distinct and
+        // greater than its seq.
+        assert!(recs.iter().all(|r| r.end_seq > r.seq));
+        assert!(!enabled(), "take() uninstalls the collector");
+    }
+
+    #[test]
+    fn reinstall_resets_sequence_numbers() {
+        let mut c = cpu();
+        install();
+        enter(&mut c, || "a".into());
+        exit(&mut c);
+        let first = take();
+        install();
+        enter(&mut c, || "b".into());
+        exit(&mut c);
+        let second = take();
+        assert_eq!(first[0].seq, second[0].seq, "per-shard sequences restart");
+    }
+}

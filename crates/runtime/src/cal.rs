@@ -35,23 +35,38 @@ impl CalibrationCache {
     /// first use and shared thereafter. `target_ops` must be consistent for
     /// a given cache (the runtime builds one cache per run, from one
     /// [`crate::HarnessConfig`], so it is).
+    ///
+    /// Whether the cache is earning its keep is visible in the `mjobs`
+    /// metrics: `cal.hits` / `cal.misses` counters and a `cal.build_ms`
+    /// histogram of the host time each miss spent calibrating.
     pub fn table(&self, arch: ArchKind, ps: PState, target_ops: u64) -> Arc<EnergyTable> {
         let slot: Slot = {
             let mut slots = self.slots.lock().expect("calibration cache poisoned");
             Arc::clone(slots.entry((arch, ps)).or_default())
         };
-        Arc::clone(slot.get_or_init(|| {
+        let mut built = false;
+        let table = Arc::clone(slot.get_or_init(|| {
+            built = true;
+            let t0 = std::time::Instant::now();
             let cfg = match arch {
                 ArchKind::X86 => ArchConfig::intel_i7_4790(),
                 ArchKind::Arm => ArchConfig::arm1176jzf_s(),
             };
-            Arc::new(
+            let table = Arc::new(
                 CalibrationBuilder::new(cfg)
                     .pstate(ps)
                     .target_ops(target_ops)
                     .calibrate(),
-            )
-        }))
+            );
+            mjobs::metrics::histogram_record("cal.build_ms", t0.elapsed().as_millis() as u64);
+            table
+        }));
+        if built {
+            mjobs::metrics::counter_add("cal.misses", 1);
+        } else {
+            mjobs::metrics::counter_add("cal.hits", 1);
+        }
+        table
     }
 
     /// Number of distinct tables calibrated so far.

@@ -39,11 +39,22 @@ pub struct HarnessConfig {
     /// Root directory for CSV output; each run creates one timestamped
     /// subdirectory under it (`--results-dir` / `MJ_RESULTS_DIR`).
     pub results_root: PathBuf,
-    /// Worker threads for the experiment scheduler (`--jobs` / `MJ_JOBS`).
+    /// Worker threads for the experiment scheduler (`--jobs` / `MJ_JOBS`;
+    /// `0` means "auto": one worker per available hardware thread).
     pub jobs: usize,
     /// Case-sensitive substring filter on experiment names
     /// (`--filter` / `MJ_FILTER`).
     pub filter: Option<String>,
+    /// Collect energy-attributed spans and write `trace.jsonl` +
+    /// `trace.json` (Chrome `trace_event`) into the run directory
+    /// (`--trace[=DIR]` / `MJ_TRACE`). Never changes the report stream.
+    pub trace: bool,
+    /// Explicit directory for trace files (`--trace=DIR`); `None` uses the
+    /// per-run `results/run-*/` directory.
+    pub trace_dir: Option<PathBuf>,
+    /// Print the metrics summary after the suite and write `metrics.json`
+    /// into the run directory (`--metrics` / `MJ_METRICS`).
+    pub metrics: bool,
 }
 
 impl Default for HarnessConfig {
@@ -57,6 +68,9 @@ impl Default for HarnessConfig {
             results_root: PathBuf::from("results"),
             jobs: 1,
             filter: None,
+            trace: false,
+            trace_dir: None,
+            metrics: false,
         }
     }
 }
@@ -66,6 +80,18 @@ fn env_parsed<T: std::str::FromStr>(key: &str, default: T) -> T {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--jobs 0` / `MJ_JOBS=0` means "auto": one worker per available
+/// hardware thread (1 if the platform cannot tell).
+fn resolve_jobs(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    }
 }
 
 impl HarnessConfig {
@@ -81,8 +107,14 @@ impl HarnessConfig {
             results_root: std::env::var("MJ_RESULTS_DIR")
                 .map(PathBuf::from)
                 .unwrap_or(d.results_root),
-            jobs: env_parsed("MJ_JOBS", d.jobs),
+            jobs: resolve_jobs(env_parsed("MJ_JOBS", d.jobs)),
             filter: std::env::var("MJ_FILTER").ok().filter(|s| !s.is_empty()),
+            trace: std::env::var("MJ_TRACE").is_ok(),
+            trace_dir: std::env::var("MJ_TRACE")
+                .ok()
+                .filter(|v| !v.is_empty() && v != "1")
+                .map(PathBuf::from),
+            metrics: std::env::var("MJ_METRICS").is_ok(),
         }
     }
 
@@ -114,18 +146,25 @@ impl HarnessConfig {
             };
             match arg {
                 "--jobs" | "-j" => {
-                    self.jobs = parse(&value("--jobs")?, "--jobs")?;
-                    if self.jobs == 0 {
-                        return Err(format!("--jobs must be >= 1\n{USAGE}"));
-                    }
+                    self.jobs = resolve_jobs(parse(&value("--jobs")?, "--jobs")?);
                 }
                 "--filter" | "-f" => self.filter = Some(value("--filter")?),
+                "--trace" => self.trace = true,
+                "--metrics" => self.metrics = true,
                 "--scale" => self.scale = parse(&value("--scale")?, "--scale")?,
                 "--arm-scale" => self.arm_scale = parse(&value("--arm-scale")?, "--arm-scale")?,
                 "--sec5-scale" => self.sec5_scale = parse(&value("--sec5-scale")?, "--sec5-scale")?,
                 "--cal-ops" => self.cal_ops = parse(&value("--cal-ops")?, "--cal-ops")?,
                 "--csv" => self.csv = true,
                 "--results-dir" => self.results_root = PathBuf::from(value("--results-dir")?),
+                other if other.starts_with("--trace=") => {
+                    self.trace = true;
+                    let dir = &other["--trace=".len()..];
+                    if dir.is_empty() {
+                        return Err(format!("--trace= needs a directory\n{USAGE}"));
+                    }
+                    self.trace_dir = Some(PathBuf::from(dir));
+                }
                 other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
             }
         }
@@ -140,15 +179,21 @@ fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
 
 /// CLI usage string shared by the harness binaries.
 pub const USAGE: &str = "\
-usage: [--jobs N] [--filter SUBSTR] [--scale MB] [--arm-scale MB]
-       [--sec5-scale MB] [--cal-ops N] [--csv] [--results-dir DIR] [--list]
+usage: [--jobs N (0 = auto)] [--filter SUBSTR] [--scale MB] [--arm-scale MB]
+       [--sec5-scale MB] [--cal-ops N] [--csv] [--results-dir DIR]
+       [--trace[=DIR]] [--metrics] [--list]
+
+--trace writes trace.jsonl + trace.json (Chrome trace_event, energy-width
+spans) into the per-run results directory; --metrics prints the metrics
+summary and writes metrics.json there. Neither changes the report stream.
 
 Environment fallbacks: MJ_JOBS, MJ_FILTER, MJ_SCALE, MJ_ARM_SCALE,
-MJ_SEC5_SCALE, MJ_CAL_OPS, MJ_CSV, MJ_RESULTS_DIR.";
+MJ_SEC5_SCALE, MJ_CAL_OPS, MJ_CSV, MJ_RESULTS_DIR, MJ_TRACE, MJ_METRICS.";
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn flags_override_defaults() {
@@ -159,13 +204,38 @@ mod tests {
         assert_eq!(cfg.filter.as_deref(), Some("fig0"));
         assert_eq!(cfg.scale, 2.5);
         assert!(cfg.csv);
+        assert!(!cfg.trace && !cfg.metrics);
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let mut cfg = HarnessConfig::default();
+        cfg.apply_args(["--jobs", "0"]).unwrap();
+        assert!(cfg.jobs >= 1, "auto resolves to at least one worker");
+        let expect = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(cfg.jobs, expect);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags() {
+        let mut cfg = HarnessConfig::default();
+        cfg.apply_args(["--trace", "--metrics"]).unwrap();
+        assert!(cfg.trace && cfg.metrics);
+        assert_eq!(cfg.trace_dir, None);
+
+        let mut cfg = HarnessConfig::default();
+        cfg.apply_args(["--trace=/tmp/traces"]).unwrap();
+        assert!(cfg.trace);
+        assert_eq!(cfg.trace_dir.as_deref(), Some(Path::new("/tmp/traces")));
+        assert!(cfg.apply_args(["--trace="]).is_err());
     }
 
     #[test]
     fn bad_flags_are_rejected() {
         let mut cfg = HarnessConfig::default();
         assert!(cfg.apply_args(["--jobs", "zero"]).is_err());
-        assert!(cfg.apply_args(["--jobs", "0"]).is_err());
         assert!(cfg.apply_args(["--wat"]).is_err());
         assert!(cfg.apply_args(["--filter"]).is_err());
     }

@@ -23,6 +23,15 @@
 //!   with `MJ_*` environment variables as fallback, replacing the ad-hoc
 //!   per-binary `env_f64` lookups.
 //!
+//! The runtime is instrumented with the `mjobs` observability crate:
+//! `--trace` collects energy-attributed spans around every shard and writes
+//! `trace.jsonl` + `trace.json` (Chrome `trace_event`, where span widths
+//! are *joules*) into the run directory; `--metrics` reports scheduler and
+//! calibration-cache metrics (queue waits, shard host times, panics, worker
+//! utilization, cache hits/misses) on the summary stream and as
+//! `metrics.json`. Both are off by default and neither ever changes the
+//! report stream — `tests/determinism.rs` asserts it byte-for-byte.
+//!
 //! The experiment implementations themselves live in the `bench` crate
 //! (`bench::experiments`); this crate only knows about `simcore` (machines)
 //! and `analysis` (calibration + tables), so any workload crate can define

@@ -17,15 +17,31 @@
 //! wall-clock summary) goes to a separate writer. Consequence: the report
 //! stream is **byte-identical** for `--jobs 1` and `--jobs N` — asserted by
 //! `tests/determinism.rs` in the root crate.
+//!
+//! ## Observability
+//!
+//! With `--trace`, each worker installs an `mjobs` span collector around
+//! every shard; the collected spans are written — in registry/shard order,
+//! so trace content is `--jobs`-independent too — as `trace.jsonl` and
+//! `trace.json` (Chrome `trace_event`, energy-width spans) into the run
+//! directory after the suite. With `--metrics`, the scheduler's own
+//! instrumentation (queue waits, shard host times, panics, worker
+//! utilization, per-experiment host vs sim time, calibration cache
+//! traffic) is appended to the summary stream and exported as
+//! `metrics.json`. Neither flag writes a byte to the report stream.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use analysis::report::TextTable;
+use analysis::EnergyTable;
+use mjobs::sink::TraceRun;
+use mjobs::SpanRecord;
 
 use crate::cal::CalibrationCache;
 use crate::config::HarnessConfig;
@@ -75,12 +91,24 @@ struct Task {
 
 type ShardResult = Result<Box<dyn std::any::Any + Send>, String>;
 
+/// Everything a worker hands back for one finished shard.
+struct ShardDone {
+    result: ShardResult,
+    /// Energy-attributed spans collected while the shard ran (empty unless
+    /// `cfg.trace`).
+    spans: Vec<SpanRecord>,
+    /// Host wall-clock the shard took, for the trace shard header.
+    host_us: u64,
+}
+
 struct Board {
     queue: Mutex<VecDeque<Task>>,
     /// `results[i][s]` = shard s of experiment i (None = not finished).
-    results: Mutex<Vec<Vec<Option<ShardResult>>>>,
+    results: Mutex<Vec<Vec<Option<ShardDone>>>>,
     host: Mutex<Vec<Duration>>,
     done: Condvar,
+    /// Suite start, for queue-wait metrics.
+    t0: Instant,
 }
 
 /// Run `registry` (filtered by `cfg.filter`) under `cfg.jobs` workers.
@@ -106,7 +134,8 @@ pub fn run_suite(
         .collect();
 
     let cal = CalibrationCache::new();
-    let csv_dir = make_run_dir(cfg);
+    let run_dir = make_run_dir(cfg);
+    let csv_dir = if cfg.csv { run_dir.clone() } else { None };
     let stats: Vec<StatsSink> = selected.iter().map(|_| StatsSink::default()).collect();
     let shard_counts: Vec<usize> = selected.iter().map(|e| e.shards(cfg).max(1)).collect();
 
@@ -126,12 +155,16 @@ pub fn run_suite(
         ),
         host: Mutex::new(vec![Duration::ZERO; selected.len()]),
         done: Condvar::new(),
+        t0,
     };
 
     let total_tasks: usize = shard_counts.iter().sum();
     let jobs = cfg.jobs.max(1).min(total_tasks.max(1));
 
     let mut outcomes: Vec<ExpOutcome> = Vec::with_capacity(selected.len());
+    // (experiment index, shard, host µs, spans) in registry/shard order —
+    // the source material for the trace files written after the suite.
+    let mut trace_runs: Vec<(usize, usize, u64, Vec<SpanRecord>)> = Vec::new();
     std::thread::scope(|scope| -> std::io::Result<()> {
         for _ in 0..jobs {
             scope.spawn(|| {
@@ -142,7 +175,7 @@ pub fn run_suite(
         // Aggregate in registry order, streaming each report as soon as the
         // experiment's shards are all in.
         for (i, exp) in selected.iter().enumerate() {
-            let shard_outs: Vec<Option<ShardResult>> = {
+            let shard_outs: Vec<Option<ShardDone>> = {
                 let mut results = board.results.lock().expect("results poisoned");
                 while results[i].iter().any(|r| r.is_none()) {
                     results = board.done.wait(results).expect("results poisoned");
@@ -153,10 +186,14 @@ pub fn run_suite(
             let mut error = None;
             let mut shards = Vec::with_capacity(shard_outs.len());
             for (s, r) in shard_outs.into_iter().enumerate() {
-                match r.expect("taken above") {
+                let done = r.expect("taken above");
+                if cfg.trace {
+                    trace_runs.push((i, s, done.host_us, done.spans));
+                }
+                match done.result {
                     Ok(v) => shards.push(v),
                     Err(e) => {
-                        error.get_or_insert_with(|| format!("shard {s}: {e}"));
+                        error.get_or_insert_with(|| format!("{} shard {s}: {e}", exp.name()));
                     }
                 }
             }
@@ -180,7 +217,10 @@ pub fn run_suite(
                 );
                 match catch_unwind(AssertUnwindSafe(|| exp.assemble(shards, &ctx))) {
                     Ok(report) => out.write_all(report.text.as_bytes())?,
-                    Err(p) => error = Some(format!("assemble: {}", panic_msg(&*p))),
+                    Err(p) => {
+                        mjobs::metrics::counter_add("scheduler.assemble_panics", 1);
+                        error = Some(format!("{} assemble: {}", exp.name(), panic_msg(&*p)));
+                    }
                 }
             }
             if let Some(e) = &error {
@@ -189,11 +229,17 @@ pub fn run_suite(
             out.flush()?;
 
             let host = board.host.lock().expect("host poisoned")[i] + t_assemble.elapsed();
+            let sim = *stats[i].lock().expect("stats poisoned");
+            mjobs::metrics::gauge_set(
+                &format!("exp.{}.host_ms", exp.name()),
+                host.as_secs_f64() * 1e3,
+            );
+            mjobs::metrics::gauge_set(&format!("exp.{}.sim_ms", exp.name()), sim.time_s * 1e3);
             outcomes.push(ExpOutcome {
                 name: exp.name(),
                 shards: shard_counts[i],
                 host,
-                sim: *stats[i].lock().expect("stats poisoned"),
+                sim,
                 error,
             });
         }
@@ -205,8 +251,103 @@ pub fn run_suite(
         host: t0.elapsed(),
         calibrations: cal.len(),
     };
-    write_summary(&outcome, jobs, summary)?;
+    // Busy time / (workers × wall) — approximate (per-experiment host time
+    // includes aggregator-side assembly), but a good saturation signal.
+    let busy: f64 = outcome
+        .experiments
+        .iter()
+        .map(|e| e.host.as_secs_f64())
+        .sum();
+    mjobs::metrics::gauge_set(
+        "scheduler.worker_utilization",
+        (busy / (jobs as f64 * outcome.host.as_secs_f64().max(1e-9))).min(1.0),
+    );
+
+    if cfg.trace {
+        let trace_dir = cfg.trace_dir.clone().or_else(|| run_dir.clone());
+        match trace_dir {
+            Some(dir) => write_traces(&dir, &selected, cfg, &cal, jobs, &trace_runs),
+            None => eprintln!("trace: no run directory available — traces not written"),
+        }
+    }
+    write_summary(&outcome, jobs, cfg.metrics, summary)?;
+    if cfg.metrics {
+        if let Some(dir) = &run_dir {
+            let path = dir.join("metrics.json");
+            if let Err(e) = std::fs::write(&path, mjobs::metrics::global().to_json() + "\n") {
+                eprintln!("metrics: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("metrics: wrote {}", path.display());
+            }
+        }
+    }
     Ok(outcome)
+}
+
+/// Write `trace.jsonl` and `trace.json` (Chrome `trace_event`) for the
+/// collected spans, in registry/shard order. Energy tables for the span
+/// micro-op breakdowns come from the (already warm) calibration cache.
+fn write_traces(
+    dir: &Path,
+    selected: &[&dyn Experiment],
+    cfg: &HarnessConfig,
+    cal: &CalibrationCache,
+    jobs: usize,
+    trace_runs: &[(usize, usize, u64, Vec<SpanRecord>)],
+) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "trace: cannot create {}: {e} — traces not written",
+            dir.display()
+        );
+        return;
+    }
+    // One energy table per experiment that actually produced spans; the
+    // suite already calibrated these, so this is a cache hit.
+    let mut tables: HashMap<usize, Arc<EnergyTable>> = HashMap::new();
+    for (i, _, _, spans) in trace_runs {
+        if !spans.is_empty() && !tables.contains_key(i) {
+            let exp = selected[*i];
+            tables.insert(*i, cal.table(exp.arch(), exp.pstate(), cfg.cal_ops));
+        }
+    }
+    let runs: Vec<TraceRun<'_>> = trace_runs
+        .iter()
+        .map(|(i, s, host_us, spans)| TraceRun {
+            exp: selected[*i].name(),
+            shard: *s,
+            host_us: *host_us,
+            spans,
+            table: tables.get(i).map(|t| t.as_ref()),
+        })
+        .collect();
+    let host_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+
+    let emit = |path: &Path, result: std::io::Result<()>| match result {
+        Ok(()) => eprintln!("trace: wrote {}", path.display()),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+    };
+    let jsonl_path = dir.join("trace.jsonl");
+    emit(
+        &jsonl_path,
+        std::fs::File::create(&jsonl_path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            mjobs::write_jsonl(&mut w, jobs, host_unix_ms, &runs)?;
+            w.flush()
+        }),
+    );
+    let chrome_path = dir.join("trace.json");
+    emit(
+        &chrome_path,
+        std::fs::File::create(&chrome_path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            mjobs::write_chrome(&mut w, &runs)?;
+            w.flush()
+        }),
+    );
 }
 
 /// Run a single experiment (a thin-wrapper binary) with `cfg.jobs` workers,
@@ -241,14 +382,36 @@ fn worker(
     loop {
         let task = board.queue.lock().expect("queue poisoned").pop_front();
         let Some(task) = task else { break };
+        mjobs::metrics::histogram_record(
+            "scheduler.queue_wait_us",
+            board.t0.elapsed().as_micros() as u64,
+        );
         let exp = selected[task.exp];
         let ctx = ExpCtx::new(cfg, cal, std::sync::Arc::clone(&stats[task.exp]), csv_dir);
+        if cfg.trace {
+            mjobs::span::install();
+        }
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| exp.run_shard(task.shard, &ctx)))
             .map_err(|p| panic_msg(&*p));
         let elapsed = t0.elapsed();
+        // take() also force-closes spans left open by a panicking shard.
+        let spans = if cfg.trace {
+            mjobs::span::take()
+        } else {
+            Vec::new()
+        };
+        mjobs::metrics::counter_add("scheduler.shards_run", 1);
+        mjobs::metrics::histogram_record("scheduler.shard_host_us", elapsed.as_micros() as u64);
+        if result.is_err() {
+            mjobs::metrics::counter_add("scheduler.shard_panics", 1);
+        }
         board.host.lock().expect("host poisoned")[task.exp] += elapsed;
-        board.results.lock().expect("results poisoned")[task.exp][task.shard] = Some(result);
+        board.results.lock().expect("results poisoned")[task.exp][task.shard] = Some(ShardDone {
+            result,
+            spans,
+            host_us: elapsed.as_micros() as u64,
+        });
         board.done.notify_all();
     }
 }
@@ -263,23 +426,30 @@ fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Create the per-run CSV directory once, before any worker starts.
-fn make_run_dir(cfg: &HarnessConfig) -> Option<std::path::PathBuf> {
-    if !cfg.csv {
+/// Create the per-run output directory once, before any worker starts.
+/// Needed whenever some artifact wants a home: CSVs, traces (unless
+/// `--trace=DIR` picked an explicit directory), or `metrics.json`.
+fn make_run_dir(cfg: &HarnessConfig) -> Option<PathBuf> {
+    let trace_needs_dir = cfg.trace && cfg.trace_dir.is_none();
+    if !cfg.csv && !trace_needs_dir && !cfg.metrics {
         return None;
     }
     let stamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    // The sequence number keeps same-second runs within one process (e.g.
+    // back-to-back suites in a test) from landing in the same directory.
+    static RUN_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = RUN_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dir = cfg
         .results_root
-        .join(format!("run-{stamp}-{}", std::process::id()));
+        .join(format!("run-{stamp}-{}-{seq}", std::process::id()));
     match std::fs::create_dir_all(&dir) {
         Ok(()) => Some(dir),
         Err(e) => {
             eprintln!(
-                "csv: cannot create {}: {e} — CSV output disabled",
+                "run dir: cannot create {}: {e} — file output disabled",
                 dir.display()
             );
             None
@@ -290,6 +460,7 @@ fn make_run_dir(cfg: &HarnessConfig) -> Option<std::path::PathBuf> {
 fn write_summary(
     outcome: &SuiteOutcome,
     jobs: usize,
+    metrics: bool,
     summary: &mut dyn Write,
 ) -> std::io::Result<()> {
     let mut t = TextTable::new([
@@ -319,6 +490,10 @@ fn write_summary(
         outcome.host.as_secs_f64(),
         outcome.calibrations,
     );
+    if metrics {
+        let _ = writeln!(s, "\n== metrics ==");
+        s.push_str(&mjobs::metrics::global().render_table());
+    }
     summary.write_all(s.as_bytes())?;
     summary.flush()
 }
@@ -437,9 +612,72 @@ mod tests {
         };
         let (out, outcome) = run_to_string(&reg, &cfg);
         assert!(out.contains("EXPERIMENT FAILED"), "out = {out:?}");
-        assert!(out.contains("boom in shard 1"), "out = {out:?}");
+        assert!(
+            out.contains("bad shard 1: boom in shard 1"),
+            "error must name the experiment and shard, out = {out:?}"
+        );
         assert!(out.contains("good shard 0"), "out = {out:?}");
         assert_eq!(outcome.failures(), vec!["bad"]);
+        assert!(
+            mjobs::metrics::global()
+                .counter("scheduler.shard_panics")
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn trace_and_metrics_artifacts_are_written() {
+        let a = Emit {
+            name: "traced_exp",
+            shards: 2,
+            panic_on: None,
+        };
+        let reg: [&dyn Experiment; 1] = [&a];
+        let dir =
+            std::env::temp_dir().join(format!("mjrt-sched-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HarnessConfig {
+            trace: true,
+            trace_dir: Some(dir.clone()),
+            metrics: true,
+            results_root: dir.join("results"),
+            jobs: 2,
+            ..HarnessConfig::default()
+        };
+        let mut out = Vec::new();
+        let mut summary = Vec::new();
+        run_suite(&reg, &cfg, &mut out, &mut summary).expect("io");
+
+        // Tracing/metrics never touch the report stream: same bytes as a
+        // plain run of the same registry.
+        let (plain, _) = run_to_string(&reg, &HarnessConfig::default());
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out, plain, "tracing/metrics must not change the report");
+
+        let jsonl = std::fs::read_to_string(dir.join("trace.jsonl")).expect("trace.jsonl");
+        for line in jsonl.lines() {
+            mjobs::json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        }
+        assert!(jsonl.contains("\"type\": \"shard\""), "jsonl = {jsonl:?}");
+        assert!(jsonl.contains("\"exp\": \"traced_exp\""));
+        let chrome = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json");
+        mjobs::json::parse(&chrome).expect("chrome trace parses");
+
+        let summary = String::from_utf8(summary).unwrap();
+        assert!(summary.contains("== metrics =="), "summary = {summary:?}");
+        assert!(summary.contains("scheduler.shards_run"));
+
+        // metrics.json lands in the per-run directory under results_root.
+        let run_dirs: Vec<_> = std::fs::read_dir(dir.join("results"))
+            .expect("results dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        assert_eq!(run_dirs.len(), 1);
+        let metrics =
+            std::fs::read_to_string(run_dirs[0].join("metrics.json")).expect("metrics.json");
+        mjobs::json::parse(metrics.trim()).expect("metrics.json parses");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //! * [`mjrt`] — the parallel experiment runtime: the `Experiment` trait,
 //!   the deterministic sharded scheduler (`--jobs N` with byte-identical
 //!   reports), the shared calibration cache, and the typed
-//!   `HarnessConfig`.
+//!   `HarnessConfig`,
+//! * [`mjobs`] — energy-attributed observability: spans timed in simulated
+//!   joules/cycles, a metrics registry, and JSONL + Chrome `trace_event`
+//!   sinks (`--trace` / `--metrics`; never changes the report stream).
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -54,6 +57,7 @@
 pub use analysis;
 pub use engines;
 pub use microbench;
+pub use mjobs;
 pub use mjrt;
 pub use simcore;
 pub use sqlfe;

@@ -3,21 +3,37 @@
 //! every shard owns its own simulated machine and the aggregator emits in
 //! registry order. This drives a real 3-experiment subset of the suite
 //! (single-shard, multi-shard-merging and calibration-sharing shapes).
+//!
+//! The same subset also pins down the `mjobs` tracing guarantees: enabling
+//! `--trace` must not change a byte of the report stream, and the trace
+//! files themselves must be `--jobs`-independent once the explicitly
+//! host-scoped (`host_`-prefixed) fields are stripped.
+
+use std::path::PathBuf;
 
 use mjrt::{run_suite, Experiment, HarnessConfig};
 
 fn subset() -> Vec<&'static dyn Experiment> {
-    ["fig03_traversal", "fig04_structures", "table5_memory_bound"]
-        .iter()
-        .map(|n| bench::experiments::find(n).expect("registered experiment"))
-        .collect()
+    // fig01 drives a real TPC-H plan through the engine executor, so with
+    // tracing on its shard contributes per-operator energy spans.
+    [
+        "fig01_energy_timeline",
+        "fig03_traversal",
+        "fig04_structures",
+        "table5_memory_bound",
+    ]
+    .iter()
+    .map(|n| bench::experiments::find(n).expect("registered experiment"))
+    .collect()
 }
 
-fn run(jobs: usize) -> String {
+fn run(jobs: usize, trace_dir: Option<PathBuf>) -> String {
     let cfg = HarnessConfig {
         jobs,
         cal_ops: 4_000, // quick calibration — identical for both runs
         csv: false,
+        trace: trace_dir.is_some(),
+        trace_dir,
         ..HarnessConfig::default()
     };
     let reg = subset();
@@ -36,8 +52,8 @@ fn run(jobs: usize) -> String {
 
 #[test]
 fn parallel_report_stream_is_byte_identical_to_serial() {
-    let serial = run(1);
-    let parallel = run(4);
+    let serial = run(1, None);
+    let parallel = run(4, None);
     assert_eq!(serial, parallel, "report stream must not depend on --jobs");
 
     // Sanity: all three experiments actually reported, in registry order.
@@ -46,4 +62,63 @@ fn parallel_report_stream_is_byte_identical_to_serial() {
     let i3 = serial.find("# table5_memory_bound").expect("table5 banner");
     assert!(i1 < i2 && i2 < i3);
     assert!(serial.contains("== Table 5: energy bottleneck of B_mem across P-states =="));
+}
+
+/// Drop the host-scoped (wall-clock) fields from a JSONL trace. Only the
+/// `run` and `shard` header lines carry them; span lines are pure simulated
+/// time/cycles/energy and must survive untouched.
+fn strip_host_fields(jsonl: &str) -> String {
+    let mut out = String::new();
+    for line in jsonl.lines() {
+        let mut keep = line;
+        let mut owned;
+        if let Some(i) = line.find(", \"host_") {
+            owned = line[..i].to_owned();
+            owned.push('}');
+            keep = &owned;
+        }
+        out.push_str(keep);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn tracing_changes_nothing_and_traces_are_jobs_independent() {
+    let base = std::env::temp_dir().join(format!("mj-determinism-{}", std::process::id()));
+    let dir1 = base.join("j1");
+    let dir4 = base.join("j4");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let baseline = run(1, None);
+    let traced1 = run(1, Some(dir1.clone()));
+    let traced4 = run(4, Some(dir4.clone()));
+
+    // (a) Enabling tracing must not change a byte of the report stream.
+    assert_eq!(baseline, traced1, "--trace must not change the report");
+    assert_eq!(baseline, traced4, "--trace must not change the report");
+
+    // (b) Trace content is --jobs-independent after stripping host fields.
+    let jsonl1 = std::fs::read_to_string(dir1.join("trace.jsonl")).expect("j1 trace.jsonl");
+    let jsonl4 = std::fs::read_to_string(dir4.join("trace.jsonl")).expect("j4 trace.jsonl");
+    assert_ne!(jsonl1, jsonl4, "host_* fields should differ between runs");
+    let stripped1 = strip_host_fields(&jsonl1);
+    let stripped4 = strip_host_fields(&jsonl4);
+    // The `run` header's `jobs` field legitimately differs; drop it too.
+    let dejob = |s: &str| s.replacen("\"jobs\": 4", "\"jobs\": 1", 1);
+    assert_eq!(
+        dejob(&stripped1),
+        dejob(&stripped4),
+        "simulated trace content must not depend on --jobs"
+    );
+    // Stripping really removed the host fields and nothing else.
+    assert!(!stripped1.contains("host_"));
+    assert!(stripped1.contains("\"type\": \"exit\""));
+
+    // The Chrome trace has no host fields at all: byte-identical.
+    let chrome1 = std::fs::read_to_string(dir1.join("trace.json")).expect("j1 trace.json");
+    let chrome4 = std::fs::read_to_string(dir4.join("trace.json")).expect("j4 trace.json");
+    assert_eq!(chrome1, chrome4, "chrome trace must not depend on --jobs");
+
+    let _ = std::fs::remove_dir_all(&base);
 }
