@@ -1,0 +1,299 @@
+//! Wall-clock throughput benchmark for the simcore batched-access fast path.
+//!
+//! Replays four access traces twice — once through the scalar
+//! `Cpu::load`/`Cpu::store` verbs, once through `Cpu::access_run` — and
+//! reports simulated accesses per host second for each, plus the speedup.
+//! The two replays issue the *identical* access sequence (the equivalence
+//! is proven bit-exact by `tests/access_equiv.rs`); this binary measures
+//! only how fast the simulator gets through it.
+//!
+//! Traces:
+//! * `scan_hot`   — repeated passes over an L1-resident window (the shape of
+//!   warm page scans, the fast path's home turf; the ≥5× target applies here),
+//! * `scan_cold`  — passes over a window larger than L3 (every line misses,
+//!   so the fast path legitimately falls back per line),
+//! * `chase`      — pointer chasing (whole-run scalar fallback by design),
+//! * `mixed`      — interleaved warm runs, chases, repeats and stores.
+//!
+//! Results are written as JSON to `BENCH_simcore.json` (or the path given as
+//! the first non-flag argument) and the file is re-read and validated before
+//! exit. `--smoke` shrinks the iteration counts for CI: it still exercises
+//! every trace and the validation, just without the minutes-long run.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mjobs::json::{parse, Json};
+use simcore::{ArchConfig, Cpu, Dep, LINE};
+
+/// xorshift64* — deterministic chase addresses without external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+struct TraceResult {
+    name: &'static str,
+    accesses: u64,
+    scalar_ns: u128,
+    batched_ns: u128,
+    batched_lines: u64,
+    fallbacks: u64,
+}
+
+impl TraceResult {
+    fn scalar_aps(&self) -> f64 {
+        self.accesses as f64 / (self.scalar_ns as f64 * 1e-9)
+    }
+
+    fn batched_aps(&self) -> f64 {
+        self.accesses as f64 / (self.batched_ns as f64 * 1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.batched_ns as f64
+    }
+}
+
+fn fresh_cpu() -> (Cpu, u64) {
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    let region = cpu.alloc(32 << 20).expect("bench arena");
+    (cpu, region.addr)
+}
+
+/// Time `f(cpu, base)` on a fresh machine; returns (elapsed ns, run stats).
+fn timed(f: impl Fn(&mut Cpu, u64)) -> (u128, u64, u64) {
+    let (mut cpu, base) = fresh_cpu();
+    let t0 = Instant::now();
+    f(&mut cpu, base);
+    let ns = t0.elapsed().as_nanos().max(1);
+    let (batched, fallbacks) = cpu.run_stats();
+    (ns, batched, fallbacks)
+}
+
+fn run_trace(
+    name: &'static str,
+    accesses: u64,
+    scalar: impl Fn(&mut Cpu, u64),
+    batched: impl Fn(&mut Cpu, u64),
+) -> TraceResult {
+    let (scalar_ns, _, _) = timed(scalar);
+    let (batched_ns, batched_lines, fallbacks) = timed(batched);
+    TraceResult {
+        name,
+        accesses,
+        scalar_ns,
+        batched_ns,
+        batched_lines,
+        fallbacks,
+    }
+}
+
+fn run_all(scale: u64) -> Vec<TraceResult> {
+    let mut results = Vec::new();
+
+    // scan_hot: `passes` full passes over a 256-line (16 KB) window that
+    // stays L1D-resident after the first pass.
+    let hot_lines: u64 = 256;
+    let passes: u64 = 2_000 * scale;
+    results.push(run_trace(
+        "scan_hot",
+        hot_lines * passes,
+        |cpu, base| {
+            for _ in 0..passes {
+                for i in 0..hot_lines {
+                    cpu.load(base + i * LINE, Dep::Stream);
+                }
+            }
+        },
+        |cpu, base| {
+            for _ in 0..passes {
+                cpu.access_run(base, hot_lines, false, Dep::Stream);
+            }
+        },
+    ));
+
+    // scan_cold: passes over a 16 MB window (past the 8 MB L3) — nothing
+    // stays resident, so both replays pay the full per-line machinery.
+    let cold_lines: u64 = (16 << 20) / LINE;
+    let cold_passes: u64 = scale.div_ceil(4).max(1);
+    results.push(run_trace(
+        "scan_cold",
+        cold_lines * cold_passes,
+        |cpu, base| {
+            for _ in 0..cold_passes {
+                for i in 0..cold_lines {
+                    cpu.load(base + i * LINE, Dep::Stream);
+                }
+            }
+        },
+        |cpu, base| {
+            for _ in 0..cold_passes {
+                cpu.access_run(base, cold_lines, false, Dep::Stream);
+            }
+        },
+    ));
+
+    // chase: dependent loads at pseudo-random lines in a 1 MB window.
+    let chases: u64 = 200_000 * scale;
+    let chase_at = |r: &mut Rng| (r.next() % ((1 << 20) / LINE)) * LINE;
+    results.push(run_trace(
+        "chase",
+        chases,
+        |cpu, base| {
+            let mut rng = Rng(0xc4a5e);
+            for _ in 0..chases {
+                cpu.load(base + chase_at(&mut rng), Dep::Chase);
+            }
+        },
+        |cpu, base| {
+            let mut rng = Rng(0xc4a5e);
+            for _ in 0..chases {
+                cpu.access_run(base + chase_at(&mut rng), 1, false, Dep::Chase);
+            }
+        },
+    ));
+
+    // mixed: warm read run + chase + hot repeat + store run per iteration
+    // (roughly the shape of an index-nested-loop over warm pages).
+    let iters: u64 = 1_000 * scale;
+    let mixed_accesses = iters * (64 + 1 + 32 + 64);
+    results.push(run_trace(
+        "mixed",
+        mixed_accesses,
+        |cpu, base| {
+            let mut rng = Rng(0x313ed);
+            for _ in 0..iters {
+                for i in 0..64 {
+                    cpu.load(base + i * LINE, Dep::Stream);
+                }
+                cpu.load(base + chase_at(&mut rng), Dep::Chase);
+                for _ in 0..32 {
+                    cpu.load(base + 8 * LINE, Dep::Stream);
+                }
+                for i in 0..64 {
+                    cpu.store(base + i * LINE);
+                }
+            }
+        },
+        |cpu, base| {
+            let mut rng = Rng(0x313ed);
+            for _ in 0..iters {
+                cpu.access_run(base, 64, false, Dep::Stream);
+                cpu.access_run(base + chase_at(&mut rng), 1, false, Dep::Chase);
+                cpu.load_repeat(base + 8 * LINE, 32);
+                cpu.access_run(base, 64, true, Dep::Stream);
+            }
+        },
+    ));
+
+    results
+}
+
+fn to_json(results: &[TraceResult], mode: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"microjoule.perfbench/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str("  \"traces\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"accesses\": {}, \
+             \"scalar_accesses_per_sec\": {:.1}, \
+             \"batched_accesses_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \
+             \"batched_lines\": {}, \"fallback_lines\": {}}}{}\n",
+            r.name,
+            r.accesses,
+            r.scalar_aps(),
+            r.batched_aps(),
+            r.speedup(),
+            r.batched_lines,
+            r.fallbacks,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Re-read the written file and check it is valid JSON with sane numbers.
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot re-read {path}: {e}"))?;
+    let v = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let traces = v
+        .get("traces")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"traces\" array")?;
+    if traces.len() != 4 {
+        return Err(format!("expected 4 traces, found {}", traces.len()));
+    }
+    for t in traces {
+        let name = t.get("name").and_then(Json::as_str).ok_or("trace name")?;
+        for key in ["scalar_accesses_per_sec", "batched_accesses_per_sec"] {
+            let aps = t.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            if !(aps > 0.0) {
+                return Err(format!("{name}: {key} = {aps} (must be > 0)"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut path = String::from("BENCH_simcore.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    // Smoke keeps every trace and the validation but trims the run to a
+    // couple of seconds; the committed BENCH_simcore.json comes from full.
+    let (mode, scale) = if smoke { ("smoke", 1) } else { ("full", 20) };
+
+    let results = run_all(scale);
+    for r in &results {
+        println!(
+            "{:<10} {:>12} accesses  scalar {:>12.0}/s  batched {:>12.0}/s  speedup {:>6.2}x  ({} batched, {} fallback lines)",
+            r.name,
+            r.accesses,
+            r.scalar_aps(),
+            r.batched_aps(),
+            r.speedup(),
+            r.batched_lines,
+            r.fallbacks,
+        );
+    }
+
+    let json = to_json(&results, mode);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("perfbench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate(&path) {
+        eprintln!("perfbench: invalid output: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("perfbench: wrote {path}");
+
+    let hot = results.iter().find(|r| r.name == "scan_hot").expect("hot");
+    if !smoke && hot.speedup() < 5.0 {
+        eprintln!(
+            "perfbench: scan_hot speedup {:.2}x is below the 5x target",
+            hot.speedup()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -127,6 +127,9 @@ pub fn run_suite(
     summary: &mut dyn Write,
 ) -> std::io::Result<SuiteOutcome> {
     let t0 = Instant::now();
+    // Start the suite with clean fast-path totals so metrics.json reflects
+    // this run only, even when several suites share one process (tests).
+    simcore::take_run_stats();
     let selected: Vec<&dyn Experiment> = registry
         .iter()
         .copied()
@@ -245,6 +248,14 @@ pub fn run_suite(
         }
         Ok(())
     })?;
+
+    // All workers have joined (scope end), so every shard's `Cpu` has
+    // dropped and flushed its fast-path tallies into the simcore globals.
+    // Publish them once per suite; both are jobs-count independent because
+    // batching decisions never depend on scheduling.
+    let (batched, fallbacks) = simcore::take_run_stats();
+    mjobs::metrics::counter_add("simcore.run_batched_lines", batched);
+    mjobs::metrics::counter_add("simcore.run_fallbacks", fallbacks);
 
     let outcome = SuiteOutcome {
         experiments: outcomes,

@@ -49,11 +49,17 @@ pub struct Fill {
     pub evicted: Option<u64>,
 }
 
+/// Shift that turns a byte address into a line number (lines are
+/// power-of-two sized, so division is a shift).
+const LINE_SHIFT: u32 = crate::LINE.trailing_zeros();
+
 /// A single cache level.
 pub struct Cache {
     lines: Vec<Line>,
     ways: usize,
     sets: u64,
+    /// `log2(sets)`, precomputed so `tag_of` is two shifts, not two divides.
+    set_shift: u32,
     stamp: u64,
 }
 
@@ -66,16 +72,17 @@ impl Cache {
             lines: vec![EMPTY; (sets * cfg.ways as u64) as usize],
             ways: cfg.ways as usize,
             sets,
+            set_shift: sets.trailing_zeros(),
             stamp: 0,
         }
     }
 
     fn set_of(&self, line_addr: u64) -> usize {
-        ((line_addr / crate::LINE) & (self.sets - 1)) as usize
+        ((line_addr >> LINE_SHIFT) & (self.sets - 1)) as usize
     }
 
     fn tag_of(&self, line_addr: u64) -> u64 {
-        line_addr / crate::LINE / self.sets
+        (line_addr >> LINE_SHIFT) >> self.set_shift
     }
 
     fn set_slice(&mut self, set: usize) -> &mut [Line] {
@@ -102,6 +109,79 @@ impl Cache {
             }
         }
         Lookup::Miss
+    }
+
+    /// Demand-access up to `max_lines` *sequential* lines starting at the
+    /// line containing `line_addr`, stopping at the first miss. Returns the
+    /// number of leading hits.
+    ///
+    /// Each counted hit is state-identical to one [`Cache::access`] call:
+    /// the stamp advances by one, the way is restamped most-recent, a write
+    /// dirties it and the `prefetched` flag is cleared. The terminating miss
+    /// probe consumes **no** stamp — the caller re-drives that line through
+    /// the scalar path, whose own `access` performs the stamp increment the
+    /// scalar sequence would have seen.
+    pub fn access_run(&mut self, line_addr: u64, max_lines: u64, write: bool) -> u64 {
+        let mut ln = line_addr >> LINE_SHIFT;
+        let mask = self.sets - 1;
+        let mut hits = 0u64;
+        while hits < max_lines {
+            let set = (ln & mask) as usize;
+            let tag = ln >> self.set_shift;
+            let s = set * self.ways;
+            let stamp = self.stamp + 1;
+            let mut hit = false;
+            for l in &mut self.lines[s..s + self.ways] {
+                if l.valid && l.tag == tag {
+                    l.lru = stamp;
+                    if write {
+                        l.dirty = true;
+                    }
+                    l.prefetched = false;
+                    hit = true;
+                    break;
+                }
+            }
+            if !hit {
+                break;
+            }
+            self.stamp = stamp;
+            hits += 1;
+            ln += 1;
+        }
+        hits
+    }
+
+    /// `n` repeated demand accesses to one resident line, in O(1). Returns
+    /// `false` (no state change) if the line is not resident.
+    ///
+    /// Equivalent to `n` [`Cache::access`] calls: the stamp advances by `n`
+    /// and the way ends up stamped with the final value — the intermediate
+    /// stamps are unobservable because no other access interleaves.
+    pub fn access_repeat(&mut self, line_addr: u64, n: u64, write: bool) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let ln = line_addr >> LINE_SHIFT;
+        let set = ((ln & (self.sets - 1)) as usize) * self.ways;
+        let tag = ln >> self.set_shift;
+        let stamp = self.stamp + n;
+        let mut hit = false;
+        for l in &mut self.lines[set..set + self.ways] {
+            if l.valid && l.tag == tag {
+                l.lru = stamp;
+                if write {
+                    l.dirty = true;
+                }
+                l.prefetched = false;
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            self.stamp = stamp;
+        }
+        hit
     }
 
     /// Probe without touching LRU or dirty state.
@@ -311,5 +391,76 @@ mod tests {
             }
         }
         assert_eq!(misses, 16);
+    }
+
+    /// Drive the same line sequence through `access` and `access_run` on two
+    /// caches and require identical observable state afterwards.
+    fn assert_state_equal(a: &mut Cache, b: &mut Cache, probe_lines: &[u64]) {
+        assert_eq!(a.stamp, b.stamp, "stamp must match");
+        for &p in probe_lines {
+            assert_eq!(a.probe(p), b.probe(p), "residency differs at {p}");
+        }
+        // LRU order must match: evict by filling and compare victims.
+        for &p in probe_lines {
+            assert_eq!(a.invalidate(p), b.invalidate(p), "dirtiness differs at {p}");
+        }
+    }
+
+    #[test]
+    fn access_run_counts_hit_prefix_and_matches_scalar_state() {
+        let mut a = tiny();
+        let mut b = tiny();
+        // Lines 0..5 resident, line 5 absent.
+        for i in 0..5u64 {
+            a.fill(i * 64, false, false);
+            b.fill(i * 64, false, false);
+        }
+        // Scalar: five hits then a miss (which consumes a stamp).
+        let mut scalar_hits = 0;
+        for i in 0..8u64 {
+            match a.access(i * 64, true) {
+                Lookup::Hit { .. } => scalar_hits += 1,
+                Lookup::Miss => break,
+            }
+        }
+        // Batched: hit prefix, then the caller replays the miss line
+        // through scalar `access`.
+        let hits = b.access_run(0, 8, true);
+        assert_eq!(hits, scalar_hits);
+        assert_eq!(hits, 5);
+        assert_eq!(b.access(5 * 64, true), Lookup::Miss);
+        let probes: Vec<u64> = (0..8u64).map(|i| i * 64).collect();
+        assert_state_equal(&mut a, &mut b, &probes);
+    }
+
+    #[test]
+    fn access_run_clears_prefetched_like_scalar() {
+        let mut c = tiny();
+        c.fill(0, false, true);
+        assert_eq!(c.access_run(0, 1, false), 1);
+        // A later demand access must not see the prefetched flag.
+        assert_eq!(
+            c.access(0, false),
+            Lookup::Hit {
+                was_prefetched: false
+            }
+        );
+    }
+
+    #[test]
+    fn access_repeat_equals_n_scalar_accesses() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.fill(0, false, false);
+        b.fill(0, false, false);
+        for _ in 0..7 {
+            assert!(matches!(a.access(0, true), Lookup::Hit { .. }));
+        }
+        assert!(b.access_repeat(0, 7, true));
+        assert_state_equal(&mut a, &mut b, &[0]);
+        // Non-resident line: no state change, caller falls back.
+        let stamp_before = b.stamp;
+        assert!(!b.access_repeat(512, 3, false));
+        assert_eq!(b.stamp, stamp_before);
     }
 }

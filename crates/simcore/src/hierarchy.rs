@@ -90,6 +90,53 @@ impl Hierarchy {
         self.prefetch_enabled
     }
 
+    /// Addresses below this bypass the cache stack (the TCM window).
+    pub fn tcm_limit(&self) -> u64 {
+        self.tcm_limit
+    }
+
+    /// Fast path: demand-access up to `max_lines` sequential (non-TCM) lines
+    /// starting at `first_line`, stopping at the first L1D miss. Returns the
+    /// hit count; each counted line is PMU- and state-identical to a scalar
+    /// [`Hierarchy::load`]/[`Hierarchy::store`] that hits L1D (hits never
+    /// reach the prefetcher, DRAM row state, or lower levels).
+    pub fn l1_hit_run(
+        &mut self,
+        first_line: u64,
+        max_lines: u64,
+        write: bool,
+        pmu: &mut Pmu,
+    ) -> u64 {
+        let k = self.l1d.access_run(first_line, max_lines, write);
+        if k > 0 {
+            if write {
+                pmu.add(Event::StoreIssued, k);
+                pmu.add(Event::L1dStoreHit, k);
+            } else {
+                pmu.add(Event::LoadIssued, k);
+                pmu.add(Event::L1dLoadHit, k);
+            }
+        }
+        k
+    }
+
+    /// Fast path: `n` repeated demand accesses to one resident (non-TCM)
+    /// line, in O(1). Returns `false` (no state or PMU change) when the line
+    /// is not L1D-resident and the caller must fall back to the scalar path.
+    pub fn l1_repeat(&mut self, line: u64, n: u64, write: bool, pmu: &mut Pmu) -> bool {
+        if !self.l1d.access_repeat(line, n, write) {
+            return false;
+        }
+        if write {
+            pmu.add(Event::StoreIssued, n);
+            pmu.add(Event::L1dStoreHit, n);
+        } else {
+            pmu.add(Event::LoadIssued, n);
+            pmu.add(Event::L1dLoadHit, n);
+        }
+        true
+    }
+
     /// Drop all cached state (between independent measurement runs).
     pub fn flush(&mut self) {
         self.l1d.flush();

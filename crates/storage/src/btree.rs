@@ -45,8 +45,12 @@ fn int_cap(page_size: u32) -> u64 {
 
 // --- raw node accessors -----------------------------------------------
 
+// Node accesses go through `Cpu::access_run` as single-line runs: identical
+// counters to scalar loads/stores, but within-leaf entry walks (4 entries
+// per line) and hot-node re-probes take the batched L1D-hit path.
+
 fn read_header(cpu: &mut Cpu, addr: u64, dep: Dep) -> (bool, u16, Option<PageId>) {
-    cpu.load(addr, dep);
+    cpu.access_run(addr, 1, false, dep);
     let b = cpu.arena().bytes(addr, 8).expect("node header");
     let is_leaf = b[0] == 1;
     let n = u16::from_le_bytes([b[2], b[3]]);
@@ -69,7 +73,7 @@ fn leaf_entry_addr(addr: u64, i: u64) -> u64 {
 
 fn read_leaf_entry(cpu: &mut Cpu, addr: u64, i: u64, dep: Dep) -> (i64, u64) {
     let ea = leaf_entry_addr(addr, i);
-    cpu.load(ea, dep);
+    cpu.access_run(ea, 1, false, dep);
     let b = cpu.arena().bytes(ea, 16).expect("leaf entry");
     (
         i64::from_le_bytes(b[..8].try_into().expect("key")),
@@ -79,7 +83,7 @@ fn read_leaf_entry(cpu: &mut Cpu, addr: u64, i: u64, dep: Dep) -> (i64, u64) {
 
 fn write_leaf_entry(cpu: &mut Cpu, addr: u64, i: u64, key: i64, payload: u64) {
     let ea = leaf_entry_addr(addr, i);
-    cpu.store(ea);
+    cpu.access_run(ea, 1, true, Dep::Stream);
     let mut b = [0u8; 16];
     b[..8].copy_from_slice(&key.to_le_bytes());
     b[8..].copy_from_slice(&payload.to_le_bytes());
@@ -92,7 +96,7 @@ fn int_key_addr(addr: u64, i: u64) -> u64 {
 
 fn read_int_key(cpu: &mut Cpu, addr: u64, i: u64, dep: Dep) -> i64 {
     let ka = int_key_addr(addr, i);
-    cpu.load(ka, dep);
+    cpu.access_run(ka, 1, false, dep);
     let b = cpu.arena().bytes(ka, 8).expect("internal key");
     i64::from_le_bytes(b.try_into().expect("key"))
 }
@@ -104,7 +108,7 @@ fn read_int_child(cpu: &mut Cpu, addr: u64, idx: u64, dep: Dep) -> PageId {
     } else {
         int_key_addr(addr, idx - 1) + 8
     };
-    cpu.load(ca, dep);
+    cpu.access_run(ca, 1, false, dep);
     let b = cpu.arena().bytes(ca, 4).expect("internal child");
     u32::from_le_bytes(b.try_into().expect("child"))
 }

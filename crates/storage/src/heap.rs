@@ -144,7 +144,10 @@ impl HeapCursor {
     ///
     /// Sequential scans stream: page headers and tuples are loaded with
     /// [`Dep::Stream`], which is exactly why table scans concentrate energy
-    /// in L1D (§3.2).
+    /// in L1D (§3.2). Header reads and the per-tuple touches in
+    /// [`crate::page`] all route through `Cpu::access_run`, so a warm page
+    /// scan is simulated on the batched L1D-hit fast path with counters
+    /// identical to per-line loads.
     pub fn next(
         &mut self,
         cpu: &mut Cpu,

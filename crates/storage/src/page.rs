@@ -38,7 +38,9 @@ impl PageRef {
     }
 
     fn header(&self, cpu: &mut Cpu, dep: Dep) -> crate::Result<(u16, u16)> {
-        cpu.load(self.addr, dep);
+        // Single-line run: identical counters to a scalar load, but hot
+        // header re-reads take the batched hit path.
+        cpu.access_run(self.addr, 1, false, dep);
         let a = cpu.arena();
         let h = a.bytes(self.addr, 4)?;
         Ok((
@@ -130,7 +132,7 @@ impl PageRef {
     /// Simulated bounds lookup of a slot: `(tuple_addr, len)`.
     pub fn tuple_bounds(&self, cpu: &mut Cpu, slot: u16, dep: Dep) -> crate::Result<(u64, u16)> {
         let slot_addr = self.addr + self.size as u64 - (slot as u64 + 1) * SLOT_BYTES;
-        cpu.load(slot_addr, dep);
+        cpu.access_run(slot_addr, 1, false, dep);
         let b = cpu.arena().bytes(slot_addr, 4)?;
         let off = u16::from_le_bytes([b[0], b[1]]);
         let len = u16::from_le_bytes([b[2], b[3]]);
@@ -197,30 +199,34 @@ impl PageRef {
     }
 }
 
-/// Simulate loads over the lines spanned by `[addr, addr+len)`.
+/// Simulate loads over the lines spanned by `[addr, addr+len)` — one batched
+/// run through [`Cpu::access_run`] (counter-identical to per-line loads).
 pub fn touch(cpu: &mut Cpu, addr: u64, len: u64, dep: Dep) {
     if len == 0 {
         return;
     }
-    let mut line = addr & !(simcore::LINE - 1);
-    let end = addr + len;
-    while line < end {
-        cpu.load(line, dep);
-        line += simcore::LINE;
-    }
+    let first = addr & !(simcore::LINE - 1);
+    cpu.access_run(
+        first,
+        (addr + len - first).div_ceil(simcore::LINE),
+        false,
+        dep,
+    );
 }
 
-/// Simulate stores over the lines spanned by `[addr, addr+len)`.
+/// Simulate stores over the lines spanned by `[addr, addr+len)` — one
+/// batched run through [`Cpu::access_run`].
 pub fn touch_store(cpu: &mut Cpu, addr: u64, len: u64) {
     if len == 0 {
         return;
     }
-    let mut line = addr & !(simcore::LINE - 1);
-    let end = addr + len;
-    while line < end {
-        cpu.store(line);
-        line += simcore::LINE;
-    }
+    let first = addr & !(simcore::LINE - 1);
+    cpu.access_run(
+        first,
+        (addr + len - first).div_ceil(simcore::LINE),
+        true,
+        Dep::Stream,
+    );
 }
 
 #[cfg(test)]

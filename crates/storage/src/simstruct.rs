@@ -130,10 +130,13 @@ impl SimHashTable {
         } = self;
         let entry_addr_raw = |b: u64, j: u64| entries_base + ((b * 7 + j) % capacity) * entry_bytes;
         let mut out = Vec::with_capacity(n_entries as usize);
+        // Single-line runs keep the access sequence identical to scalar
+        // loads while letting the warm bucket array ride the batched
+        // L1D-hit path (8 heads per line).
         for (i, bucket) in map.into_iter().enumerate() {
-            cpu.load(region.addr + i as u64 * 8, Dep::Stream);
+            cpu.access_run(region.addr + i as u64 * 8, 1, false, Dep::Stream);
             for (j, kv) in bucket.into_iter().enumerate() {
-                cpu.load(entry_addr_raw(i as u64, j as u64), Dep::Stream);
+                cpu.access_run(entry_addr_raw(i as u64, j as u64), 1, false, Dep::Stream);
                 out.push(kv);
             }
         }
@@ -217,12 +220,15 @@ impl SimSorter {
                 // hierarchy prices the locality; we just issue the accesses.
                 let window = (span >> level).max(self.row_bytes * 4).max(4096);
                 for i in 0..n {
+                    // Deep (hot-window) levels dominate this loop; the
+                    // single-line runs are counter-identical to scalar
+                    // load/load/store but take the batched L1D-hit path.
                     let src = self.region.addr + (i * self.row_bytes) % window;
-                    cpu.load(src, Dep::Stream);
-                    cpu.load(src + 8, Dep::Stream);
+                    cpu.access_run(src, 1, false, Dep::Stream);
+                    cpu.access_run(src + 8, 1, false, Dep::Stream);
                     let dst =
                         self.region.addr + ((i * self.row_bytes) + window / 2 + level) % window;
-                    cpu.store(dst);
+                    cpu.access_run(dst, 1, true, Dep::Stream);
                     cpu.exec(ExecOp::Branch);
                 }
             }

@@ -5,6 +5,11 @@
 //! megabytes" (the paper runs 100 MB / 500 MB / 1 GB); the harnesses default
 //! to a reduced scale because the energy *distribution* is scale-invariant
 //! (the paper's own Fig. 8 finding — our Fig. 8 harness re-verifies it).
+//!
+//! Row construction here is host-side and the bulk load/index build are
+//! unsimulated setup (`bulk_insert` / `BTree::bulk_load`), so dataset
+//! builds cost no simulated accesses; the query-time scans over the loaded
+//! pages ride the batched `Cpu::access_run` fast path via `storage::page`.
 
 use super::date;
 use engines::{Database, EngineKind, KnobLevel};

@@ -1,0 +1,444 @@
+//! Differential test for the batched memory-access fast path.
+//!
+//! `Cpu::access_run` / `Cpu::load_repeat` / `Cpu::store_repeat` promise that
+//! for *any* access sequence the PMU counters, RAPL joules and timeline
+//! cycles are bit-identical to issuing the same accesses one at a time
+//! through the scalar verbs. This test replays traces twice — once expanded
+//! to scalar `load`/`store`, once through the batched entry points — and
+//! compares the two `Measurement`s exactly (`f64::to_bits`, not an epsilon).
+//!
+//! Traces cover the randomized case plus the adversarial shapes that have
+//! historically broken "fast path equals slow path" claims: set-conflict
+//! strides that evict mid-run, cold runs crossing DRAM row boundaries with
+//! the prefetcher on, runs straddling the TCM window on the ARM part,
+//! chase shadows draining into a run, P-state changes between runs, and the
+//! governor/sampler modes where batching must disable itself entirely.
+
+use simcore::{ArchConfig, Cpu, Dep, ExecOp, Measurement, PState, LINE};
+
+/// xorshift64* — deterministic, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// One step of a replayable access trace.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A sequential run of `lines` line accesses from `addr`.
+    Run {
+        addr: u64,
+        lines: u64,
+        write: bool,
+        dep: Dep,
+    },
+    /// `n` repeated accesses of one line.
+    Repeat {
+        addr: u64,
+        n: u64,
+        write: bool,
+    },
+    Load {
+        addr: u64,
+        dep: Dep,
+    },
+    Store {
+        addr: u64,
+    },
+    Exec(ExecOp),
+    SetPstate(u8),
+}
+
+/// Replay through the scalar verbs only (the reference semantics).
+fn replay_scalar(cpu: &mut Cpu, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Run {
+                addr,
+                lines,
+                write,
+                dep,
+            } => {
+                let base = addr & !(LINE - 1);
+                for i in 0..lines {
+                    if write {
+                        cpu.store(base + i * LINE);
+                    } else {
+                        cpu.load(base + i * LINE, dep);
+                    }
+                }
+            }
+            Op::Repeat { addr, n, write } => {
+                for _ in 0..n {
+                    if write {
+                        cpu.store(addr);
+                    } else {
+                        cpu.load(addr, Dep::Stream);
+                    }
+                }
+            }
+            Op::Load { addr, dep } => cpu.load(addr, dep),
+            Op::Store { addr } => cpu.store(addr),
+            Op::Exec(op) => cpu.exec(op),
+            Op::SetPstate(n) => cpu.set_pstate(PState(n)),
+        }
+    }
+}
+
+/// Replay through the batched entry points.
+fn replay_batched(cpu: &mut Cpu, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Run {
+                addr,
+                lines,
+                write,
+                dep,
+            } => cpu.access_run(addr, lines, write, dep),
+            Op::Repeat { addr, n, write } => {
+                if write {
+                    cpu.store_repeat(addr, n);
+                } else {
+                    cpu.load_repeat(addr, n);
+                }
+            }
+            Op::Load { addr, dep } => cpu.load(addr, dep),
+            Op::Store { addr } => cpu.store(addr),
+            Op::Exec(op) => cpu.exec(op),
+            Op::SetPstate(n) => cpu.set_pstate(PState(n)),
+        }
+    }
+}
+
+/// Bitwise equality: counters are integers, meters must match to the bit.
+fn assert_identical(scalar: &Measurement, batched: &Measurement, what: &str) {
+    assert_eq!(scalar.pmu, batched.pmu, "{what}: PMU counters diverged");
+    for (name, a, b) in [
+        ("core_j", scalar.rapl.core_j, batched.rapl.core_j),
+        ("package_j", scalar.rapl.package_j, batched.rapl.package_j),
+        ("memory_j", scalar.rapl.memory_j, batched.rapl.memory_j),
+        ("time_s", scalar.time_s, batched.time_s),
+        ("cycles", scalar.cycles, batched.cycles),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: {name} diverged ({a} vs {b})"
+        );
+    }
+}
+
+/// Run `ops` on two identically-configured CPUs and demand bit equality.
+/// `setup` runs on both before the measured window (knobs, warming).
+fn check(arch: fn() -> ArchConfig, setup: impl Fn(&mut Cpu), ops: &[Op], what: &str) {
+    let mut scalar_cpu = Cpu::new(arch());
+    let mut batched_cpu = Cpu::new(arch());
+    scalar_cpu.alloc(1 << 21).unwrap();
+    batched_cpu.alloc(1 << 21).unwrap();
+    setup(&mut scalar_cpu);
+    setup(&mut batched_cpu);
+    let scalar = scalar_cpu.measure(|c| replay_scalar(c, ops));
+    let batched = batched_cpu.measure(|c| replay_batched(c, ops));
+    assert_identical(&scalar, &batched, what);
+}
+
+/// A randomized mix of runs, repeats, scalar accesses, exec ops and
+/// frequency changes over a 1 MB region.
+fn random_trace(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = Rng::new(seed);
+    let base = 1 << 21; // first DRAM-side alloc lands here on x86 (tcm=0)
+    let span = 1 << 20;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let addr = base + rng.below(span);
+        ops.push(match rng.below(10) {
+            0..=3 => Op::Run {
+                addr,
+                lines: rng.below(96), // includes zero-length runs
+                write: rng.flip(),
+                dep: if rng.below(4) == 0 {
+                    Dep::Chase
+                } else {
+                    Dep::Stream
+                },
+            },
+            4 => Op::Repeat {
+                addr,
+                n: rng.below(64),
+                write: rng.flip(),
+            },
+            5..=6 => Op::Load {
+                addr,
+                dep: if rng.flip() { Dep::Chase } else { Dep::Stream },
+            },
+            7 => Op::Store { addr },
+            8 => Op::Exec(match rng.below(5) {
+                0 => ExecOp::Add,
+                1 => ExecOp::Nop,
+                2 => ExecOp::Mul,
+                3 => ExecOp::Branch,
+                _ => ExecOp::Generic,
+            }),
+            _ => Op::SetPstate(8 + (rng.below(29) as u8)),
+        });
+    }
+    ops
+}
+
+#[test]
+fn randomized_traces_are_bit_identical() {
+    for seed in 1..=8u64 {
+        check(
+            ArchConfig::intel_i7_4790,
+            |_| {},
+            &random_trace(seed, 400),
+            &format!("random seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn randomized_traces_with_prefetcher_are_bit_identical() {
+    for seed in 100..=104u64 {
+        check(
+            ArchConfig::intel_i7_4790,
+            |c| c.set_prefetch(true),
+            &random_trace(seed, 400),
+            &format!("random+prefetch seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn set_conflict_strides_evict_mid_run_identically() {
+    // 32 KB / 64 B / 8 ways = 64 sets → stride 4096 maps every access to one
+    // L1D set. Interleaving conflict stores with re-scans forces evictions
+    // in the middle of otherwise-resident runs.
+    let base: u64 = 1 << 21;
+    let mut ops = Vec::new();
+    for pass in 0..3u64 {
+        for i in 0..32u64 {
+            ops.push(Op::Store {
+                addr: base + i * 4096 + pass * LINE,
+            });
+        }
+        ops.push(Op::Run {
+            addr: base,
+            lines: 256,
+            write: false,
+            dep: Dep::Stream,
+        });
+        ops.push(Op::Run {
+            addr: base,
+            lines: 256,
+            write: pass & 1 == 1,
+            dep: Dep::Stream,
+        });
+    }
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_prefetch(true),
+        &ops,
+        "set-conflict stride",
+    );
+}
+
+#[test]
+fn cold_runs_crossing_dram_rows_are_identical() {
+    // 8 KB DRAM rows = 128 lines. A 700-line cold run crosses five row
+    // boundaries; with the prefetcher on, every miss also perturbs the
+    // streamer state. The fast path must fall back per missing line.
+    let base: u64 = 1 << 21;
+    let ops = [
+        Op::Run {
+            addr: base,
+            lines: 700,
+            write: false,
+            dep: Dep::Stream,
+        },
+        Op::Run {
+            addr: base,
+            lines: 700,
+            write: true,
+            dep: Dep::Stream,
+        },
+        // Second pass is L2/L3-resident but not L1-resident: still scalar.
+        Op::Run {
+            addr: base,
+            lines: 700,
+            write: false,
+            dep: Dep::Stream,
+        },
+    ];
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_prefetch(true),
+        &ops,
+        "row-crossing cold run",
+    );
+}
+
+#[test]
+fn chase_shadow_drains_into_run_identically() {
+    // A chase load leaves a fillable out-of-order shadow; the first lines
+    // of the next run must drain it through the scalar path before the
+    // batch can resume.
+    let base: u64 = 1 << 21;
+    let mut ops = Vec::new();
+    for i in 0..16u64 {
+        ops.push(Op::Run {
+            addr: base,
+            lines: 64,
+            write: false,
+            dep: Dep::Stream,
+        }); // warm
+        ops.push(Op::Load {
+            addr: base + (1 << 19) + i * 8192,
+            dep: Dep::Chase,
+        });
+        ops.push(Op::Run {
+            addr: base,
+            lines: 64,
+            write: i & 1 == 0,
+            dep: Dep::Stream,
+        });
+        ops.push(Op::Repeat {
+            addr: base + 64,
+            n: 50,
+            write: false,
+        });
+    }
+    check(
+        ArchConfig::intel_i7_4790,
+        |_| {},
+        &ops,
+        "chase shadow drain",
+    );
+}
+
+#[test]
+fn tcm_straddling_runs_on_arm_are_identical() {
+    // ARM1176: addresses 0..32768 are the data TCM. Runs that start inside
+    // the window and extend past it must split TCM-batch / cache-scalar at
+    // exactly the boundary.
+    let tcm_end: u64 = 32 * 1024;
+    let mut ops = vec![
+        Op::Run {
+            addr: 0,
+            lines: 512,
+            write: false,
+            dep: Dep::Stream,
+        }, // whole TCM window
+        Op::Run {
+            addr: tcm_end - 4 * LINE,
+            lines: 16,
+            write: false,
+            dep: Dep::Stream,
+        },
+        Op::Run {
+            addr: tcm_end - 7 * LINE + 5, // unaligned straddle
+            lines: 32,
+            write: true,
+            dep: Dep::Stream,
+        },
+        Op::Repeat {
+            addr: 128,
+            n: 100,
+            write: false,
+        },
+        Op::Repeat {
+            addr: tcm_end + 128,
+            n: 100,
+            write: true,
+        },
+    ];
+    // And a randomized tail around the boundary.
+    let mut rng = Rng::new(0xa11);
+    for _ in 0..120 {
+        ops.push(Op::Run {
+            addr: tcm_end.saturating_sub(rng.below(16 * LINE)) + rng.below(32 * LINE),
+            lines: rng.below(24),
+            write: rng.flip(),
+            dep: if rng.below(5) == 0 {
+                Dep::Chase
+            } else {
+                Dep::Stream
+            },
+        });
+    }
+    check(ArchConfig::arm1176jzf_s, |_| {}, &ops, "TCM straddle");
+}
+
+#[test]
+fn governor_and_sampler_modes_stay_identical() {
+    // With the EIST governor or a timeline sampler active, the fast path
+    // must disable itself wholesale — both observe per-access time.
+    let ops = random_trace(0x60_5e_44, 300);
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_governor(true),
+        &ops,
+        "governor on",
+    );
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.attach_sampler(1e-5),
+        &ops,
+        "sampler attached",
+    );
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| {
+            c.set_governor(true);
+            c.attach_sampler(1e-5);
+            c.set_prefetch(true);
+        },
+        &ops,
+        "governor + sampler + prefetch",
+    );
+}
+
+#[test]
+fn batched_replay_actually_batches() {
+    // Guard against the fast path silently degrading to all-scalar (which
+    // would pass every equivalence test while delivering zero speedup).
+    let base: u64 = 1 << 21;
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    cpu.alloc(1 << 21).unwrap();
+    let warm = Op::Run {
+        addr: base,
+        lines: 256,
+        write: false,
+        dep: Dep::Stream,
+    };
+    replay_batched(&mut cpu, &[warm; 4]);
+    let (batched, fallbacks) = cpu.run_stats();
+    assert!(
+        batched >= 3 * 256,
+        "warm rescans must take the batched path (batched={batched})"
+    );
+    assert!(
+        fallbacks <= 256,
+        "only the cold first pass may fall back (fallbacks={fallbacks})"
+    );
+}

@@ -10,8 +10,17 @@
 //! host-scoped (`host_`-prefixed) fields are stripped.
 
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
 
 use mjrt::{run_suite, Experiment, HarnessConfig};
+
+/// The suite publishes process-global metrics (including the simcore
+/// fast-path totals, drained at suite start); run the suites one at a time
+/// so no test observes another's counts.
+fn seq() -> MutexGuard<'static, ()> {
+    static SEQ: Mutex<()> = Mutex::new(());
+    SEQ.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn subset() -> Vec<&'static dyn Experiment> {
     // fig01 drives a real TPC-H plan through the engine executor, so with
@@ -52,6 +61,7 @@ fn run(jobs: usize, trace_dir: Option<PathBuf>) -> String {
 
 #[test]
 fn parallel_report_stream_is_byte_identical_to_serial() {
+    let _guard = seq();
     let serial = run(1, None);
     let parallel = run(4, None);
     assert_eq!(serial, parallel, "report stream must not depend on --jobs");
@@ -85,6 +95,7 @@ fn strip_host_fields(jsonl: &str) -> String {
 
 #[test]
 fn tracing_changes_nothing_and_traces_are_jobs_independent() {
+    let _guard = seq();
     let base = std::env::temp_dir().join(format!("mj-determinism-{}", std::process::id()));
     let dir1 = base.join("j1");
     let dir4 = base.join("j4");
@@ -121,4 +132,37 @@ fn tracing_changes_nothing_and_traces_are_jobs_independent() {
     assert_eq!(chrome1, chrome4, "chrome trace must not depend on --jobs");
 
     let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The batched-access fast path publishes `simcore.run_batched_lines` /
+/// `simcore.run_fallbacks` once per suite. Batching decisions depend only
+/// on the access sequence — never on scheduling — so the totals must be
+/// `--jobs`-independent, and a scan-heavy subset must actually batch.
+#[test]
+fn fast_path_counters_are_jobs_independent() {
+    let _guard = seq();
+    let read = |name: &str| mjobs::metrics::global().counter(name);
+
+    mjobs::metrics::global().clear();
+    run(1, None);
+    let batched1 = read("simcore.run_batched_lines").expect("published after serial suite");
+    let fallbacks1 = read("simcore.run_fallbacks").expect("published after serial suite");
+
+    mjobs::metrics::global().clear();
+    run(4, None);
+    let batched4 = read("simcore.run_batched_lines").expect("published after parallel suite");
+    let fallbacks4 = read("simcore.run_fallbacks").expect("published after parallel suite");
+
+    assert_eq!(
+        batched1, batched4,
+        "batched lines must not depend on --jobs"
+    );
+    assert_eq!(
+        fallbacks1, fallbacks4,
+        "fallbacks must not depend on --jobs"
+    );
+    assert!(
+        batched1 > 0,
+        "the scan-heavy subset must engage the fast path"
+    );
 }
