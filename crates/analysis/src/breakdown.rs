@@ -161,7 +161,9 @@ mod tests {
 
     #[test]
     fn shares_sum_to_one() {
-        let table = CalibrationBuilder::quick().calibrate();
+        let table = CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let mut cpu = Cpu::new(table.arch.clone());
         cpu.set_prefetch(true);
         let r = cpu.alloc(1 << 20).unwrap();
@@ -180,7 +182,9 @@ mod tests {
 
     #[test]
     fn l1d_dominates_a_resident_scan() {
-        let table = CalibrationBuilder::quick().calibrate();
+        let table = CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let mut cpu = Cpu::new(table.arch.clone());
         cpu.set_prefetch(false);
         let r = cpu.alloc(16 * 1024).unwrap();
@@ -200,7 +204,9 @@ mod tests {
 
     #[test]
     fn pointer_chase_shifts_energy_to_stall() {
-        let table = CalibrationBuilder::quick().calibrate();
+        let table = CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let mut cpu = Cpu::new(table.arch.clone());
         cpu.set_prefetch(false);
         let r = cpu.alloc(64).unwrap();
@@ -216,7 +222,9 @@ mod tests {
 
     #[test]
     fn merge_weights_by_energy() {
-        let table = CalibrationBuilder::quick().calibrate();
+        let table = CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let mut cpu = Cpu::new(table.arch.clone());
         cpu.set_prefetch(false);
         let r = cpu.alloc(4096).unwrap();

@@ -39,7 +39,7 @@ pub use active::{ActiveEnergy, Background, DomainChoice};
 pub use breakdown::Breakdown;
 pub use counting::MicroOpCounts;
 pub use microop::MicroOp;
-pub use solver::{CalibrationBuilder, EnergyTable};
+pub use solver::{CalibrationBuilder, CalibrationError, EnergyTable};
 pub use verify::{verify_all, VerifyResult};
 
 // The mjrt calibration cache shares solved tables across worker threads

@@ -19,6 +19,45 @@ use crate::microop::MicroOp;
 use microbench::runner::bench_cpu;
 use microbench::{BenchRun, MicroBenchId, RunConfig};
 use simcore::{ArchConfig, ArchKind, Measurement, PState};
+use std::fmt;
+
+/// A calibration benchmark whose PMU window recorded zero events for the
+/// counter its solving equation divides by. Every `ΔE_m` equation in §2.5.4
+/// has a measured count in the denominator; dividing by zero would poison the
+/// whole [`EnergyTable`] with inf/NaN, so the solver refuses instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationError {
+    /// Benchmark whose measurement was degenerate (e.g. `B_L1D_array`).
+    pub benchmark: &'static str,
+    /// The PMU-derived counter that came back zero (e.g. `N_L1D`).
+    pub counter: &'static str,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calibration benchmark {} measured zero {} events; the energy \
+             equation for it is unsolvable",
+            self.benchmark, self.counter
+        )
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Divide measured energy by a measured count, rejecting a zero denominator.
+fn solved(
+    energy_j: f64,
+    count: u64,
+    benchmark: &'static str,
+    counter: &'static str,
+) -> Result<f64, CalibrationError> {
+    if count == 0 {
+        return Err(CalibrationError { benchmark, counter });
+    }
+    Ok(energy_j / count as f64)
+}
 
 /// Solved per-micro-op energies at one operating point (the paper's
 /// Table 2), plus everything needed to break down workloads.
@@ -136,83 +175,105 @@ impl CalibrationBuilder {
     }
 
     /// Execute the full §2.5 pipeline and solve the table.
-    pub fn calibrate(&self) -> EnergyTable {
+    ///
+    /// Fails with a [`CalibrationError`] if any benchmark's measurement
+    /// window recorded zero events for the counter its equation divides by
+    /// (a degenerate run would otherwise yield an inf/NaN-poisoned table).
+    pub fn calibrate(&self) -> Result<EnergyTable, CalibrationError> {
         let bg = Background::measure(&self.arch, self.cfg.pstate);
+        self.solve_from(&bg, &mut |id| self.run(id))
+    }
+
+    /// Solve the table from benchmark runs produced by `fetch` — the
+    /// measurement source is injectable so degenerate windows are testable.
+    fn solve_from(
+        &self,
+        bg: &Background,
+        fetch: &mut dyn FnMut(MicroBenchId) -> BenchRun,
+    ) -> Result<EnergyTable, CalibrationError> {
         let counts = |r: &BenchRun| MicroOpCounts::from_pmu(&r.measurement.pmu);
 
         let mut de = [0.0f64; 7];
 
         // ΔE_L1D from the stall-free array benchmark.
-        let arr = self.run(MicroBenchId::L1dArray);
+        let arr = fetch(MicroBenchId::L1dArray);
         let n = counts(&arr);
-        de[MicroOp::L1d.index()] = self.active_j(&bg, &arr) / n.l1d as f64;
+        de[MicroOp::L1d.index()] = solved(self.active_j(bg, &arr), n.l1d, "B_L1D_array", "N_L1D")?;
 
         // ΔE_stall from the list benchmark.
-        let list = self.run(MicroBenchId::L1dList);
+        let list = fetch(MicroBenchId::L1dList);
         let n = counts(&list);
         let e_l1d = de[MicroOp::L1d.index()] * n.l1d as f64;
-        de[MicroOp::Stall.index()] =
-            ((self.active_j(&bg, &list) - e_l1d) / n.stall as f64).max(0.0);
+        de[MicroOp::Stall.index()] = solved(
+            self.active_j(bg, &list) - e_l1d,
+            n.stall,
+            "B_L1D_list",
+            "N_stall",
+        )?
+        .max(0.0);
 
         // ΔE_Reg2L1D from the store benchmark.
-        let st = self.run(MicroBenchId::Reg2L1d);
+        let st = fetch(MicroBenchId::Reg2L1d);
         let n = counts(&st);
-        de[MicroOp::Reg2L1d.index()] = self.active_j(&bg, &st) / n.reg2l1d as f64;
+        de[MicroOp::Reg2L1d.index()] =
+            solved(self.active_j(bg, &st), n.reg2l1d, "B_Reg2L1D", "N_Reg2L1D")?;
 
         // Eq. 2 down the hierarchy. Each level subtracts the energy of every
         // higher level (step-by-step replication) and the stall energy.
-        let solve_level = |id: MicroBenchId, op: MicroOp, de: &mut [f64; 7]| {
-            let run = self.run(id);
-            let n = counts(&run);
-            let mut rest = de[MicroOp::Stall.index()] * n.stall as f64;
-            rest += de[MicroOp::L1d.index()] * n.l1d as f64;
-            if op != MicroOp::L2 {
-                rest += de[MicroOp::L2.index()] * n.l2 as f64;
-            }
-            if op == MicroOp::Mem {
-                rest += de[MicroOp::L3.index()] * n.l3 as f64;
-            }
-            let own = n.get(op).max(1);
-            de[op.index()] = ((self.active_j(&bg, &run) - rest) / own as f64).max(0.0);
-        };
+        let mut solve_level =
+            |id: MicroBenchId, op: MicroOp, de: &mut [f64; 7]| -> Result<(), CalibrationError> {
+                let run = fetch(id);
+                let n = counts(&run);
+                let mut rest = de[MicroOp::Stall.index()] * n.stall as f64;
+                rest += de[MicroOp::L1d.index()] * n.l1d as f64;
+                if op != MicroOp::L2 {
+                    rest += de[MicroOp::L2.index()] * n.l2 as f64;
+                }
+                if op == MicroOp::Mem {
+                    rest += de[MicroOp::L3.index()] * n.l3 as f64;
+                }
+                de[op.index()] =
+                    solved(self.active_j(bg, &run) - rest, n.get(op), run.name, "N_m")?.max(0.0);
+                Ok(())
+            };
 
         if self.arch.kind == ArchKind::X86 {
-            solve_level(MicroBenchId::L2, MicroOp::L2, &mut de);
-            solve_level(MicroBenchId::L3, MicroOp::L3, &mut de);
-            solve_level(MicroBenchId::Mem, MicroOp::Mem, &mut de);
+            solve_level(MicroBenchId::L2, MicroOp::L2, &mut de)?;
+            solve_level(MicroBenchId::L3, MicroOp::L3, &mut de)?;
+            solve_level(MicroBenchId::Mem, MicroOp::Mem, &mut de)?;
         } else {
             // ARM: no L2/L3 — mem subtracts L1D + stall only.
-            solve_level(MicroBenchId::Mem, MicroOp::Mem, &mut de);
+            solve_level(MicroBenchId::Mem, MicroOp::Mem, &mut de)?;
         }
 
         // Instruction energies for the verification estimator.
-        let add = self.run(MicroBenchId::Add);
+        let add = fetch(MicroBenchId::Add);
         let n = counts(&add);
-        let de_add = self.active_j(&bg, &add) / n.add.max(1) as f64;
-        let nop = self.run(MicroBenchId::Nop);
+        let de_add = solved(self.active_j(bg, &add), n.add, "B_add", "N_add")?;
+        let nop = fetch(MicroBenchId::Nop);
         let n = counts(&nop);
-        let de_nop = self.active_j(&bg, &nop) / n.nop.max(1) as f64;
+        let de_nop = solved(self.active_j(bg, &nop), n.nop, "B_nop", "N_nop")?;
 
         // TCM load energy on parts that have TCM.
         let de_tcm_load = if MicroBenchId::DtcmArray.applicable(self.arch.kind) {
-            let t = self.run(MicroBenchId::DtcmArray);
+            let t = fetch(MicroBenchId::DtcmArray);
             let n = counts(&t);
-            self.active_j(&bg, &t) / n.tcm_load.max(1) as f64
+            solved(self.active_j(bg, &t), n.tcm_load, "B_DTCM_array", "N_TCM")?
         } else {
             0.0
         };
 
-        EnergyTable {
+        Ok(EnergyTable {
             arch: self.arch.clone(),
             pstate: self.cfg.pstate,
-            background: bg,
+            background: *bg,
             de_pf_l2: de[MicroOp::L3.index()],
             de_pf_l3: de[MicroOp::Mem.index()],
             de,
             de_add,
             de_nop,
             de_tcm_load,
-        }
+        })
     }
 }
 
@@ -221,7 +282,9 @@ mod tests {
     use super::*;
 
     fn table() -> EnergyTable {
-        CalibrationBuilder::quick().calibrate()
+        CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration")
     }
 
     #[test]
@@ -262,7 +325,10 @@ mod tests {
     #[test]
     fn lower_pstate_lowers_on_chip_energies() {
         let hi = table();
-        let lo = CalibrationBuilder::quick().pstate(PState::P12).calibrate();
+        let lo = CalibrationBuilder::quick()
+            .pstate(PState::P12)
+            .calibrate()
+            .expect("calibration");
         assert!(lo.de(MicroOp::L1d) < hi.de(MicroOp::L1d));
         assert!(lo.de(MicroOp::L2) < hi.de(MicroOp::L2));
         assert!(lo.de(MicroOp::Stall) < hi.de(MicroOp::Stall));
@@ -275,9 +341,46 @@ mod tests {
     fn arm_table_has_tcm_cheaper_than_l1d() {
         let t = CalibrationBuilder::new(ArchConfig::arm1176jzf_s())
             .target_ops(20_000)
-            .calibrate();
+            .calibrate()
+            .expect("calibration");
         assert!(t.de_tcm_load > 0.0);
         assert!(t.de_tcm_load < t.de(MicroOp::L1d));
         assert_eq!(t.de(MicroOp::L2), 0.0);
+    }
+
+    #[test]
+    fn degenerate_zero_count_run_is_a_calibration_error_not_nan() {
+        // A measurement window whose PMU recorded nothing: every solving
+        // equation's denominator is zero. Pre-guard, the solver divided
+        // anyway and handed back an inf/NaN-poisoned table; now it must
+        // refuse with a structured error naming the first bad benchmark.
+        let builder = CalibrationBuilder::quick();
+        let bg = Background::measure(&builder.arch, builder.cfg.pstate);
+        let dead_run = || BenchRun {
+            name: "B_dead",
+            measurement: Measurement {
+                pmu: simcore::PmuSnapshot::zero(),
+                rapl: simcore::RaplReading {
+                    core_j: 1.0,
+                    package_j: 1.5,
+                    memory_j: 0.2,
+                },
+                time_s: 1e-3,
+                cycles: 1e6,
+                pstate: builder.cfg.pstate,
+            },
+            bli: 0.0,
+        };
+        let err = builder
+            .solve_from(&bg, &mut |_id| dead_run())
+            .expect_err("zero-count run must not solve");
+        assert_eq!(err.benchmark, "B_L1D_array");
+        assert_eq!(err.counter, "N_L1D");
+        // The error renders both fields so a harness log is actionable.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("B_L1D_array") && msg.contains("N_L1D"),
+            "{msg}"
+        );
     }
 }

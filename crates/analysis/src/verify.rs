@@ -73,7 +73,9 @@ mod tests {
 
     #[test]
     fn verification_accuracy_matches_table3_band() {
-        let table = CalibrationBuilder::quick().calibrate();
+        let table = CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let cfg = RunConfig::quick();
         let results = verify_all(&table, &cfg);
         assert_eq!(results.len(), 7);
@@ -97,7 +99,9 @@ mod tests {
 
     #[test]
     fn zero_measured_energy_scores_zero() {
-        let table = CalibrationBuilder::quick().calibrate();
+        let table = CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let cfg = RunConfig::quick();
         let mut cpu = bench_cpu(table.arch.clone(), &cfg);
         let run = VerifyBenchId::L1dListNop.run(&mut cpu, &cfg);

@@ -240,7 +240,7 @@ fn validate(path: &str) -> Result<(), String> {
         let name = t.get("name").and_then(Json::as_str).ok_or("trace name")?;
         for key in ["scalar_accesses_per_sec", "batched_accesses_per_sec"] {
             let aps = t.get(key).and_then(Json::as_f64).unwrap_or(0.0);
-            if !(aps > 0.0) {
+            if aps.is_nan() || aps <= 0.0 {
                 return Err(format!("{name}: {key} = {aps} (must be > 0)"));
             }
         }

@@ -1,0 +1,209 @@
+//! The differential correctness harness (`mjdiff`) as a registered
+//! experiment: one shard per engine variant, `--jobs`-independent by
+//! construction.
+//!
+//! Each shard builds its own simulated machine + engine, compiles the
+//! shared corpus itself (the corpus is a pure function of the fuzz
+//! configuration and the catalogs are identical across variants, so every
+//! shard sees byte-identical plans), runs every case under the
+//! energy-accounting invariants, and returns the canonical result digests.
+//! `assemble` compares digests across shards; a disagreeing fuzz case is
+//! shrunk to a minimal reproducer (engines are rebuilt only on that cold
+//! path). Any failure line starts with [`FAIL_MARK`], which the `difftest`
+//! binary greps to set its exit status.
+//!
+//! The fuzz stream is configured by environment (`MJ_DIFF_FUZZ`,
+//! `MJ_DIFF_SEED`) rather than CLI flags so the experiment stays runnable
+//! through the stock `mjrt` harness flags (e.g. under `repro_all --filter`).
+
+use std::any::Any;
+use std::fmt::Write as _;
+
+use mjdiff::corpus::{self, Case};
+use mjdiff::harness::CaseOutcome;
+use mjdiff::{compare, compile_case, reduce, Engine, Variant};
+use mjrt::experiment::downcast_shard;
+use mjrt::{ExpCtx, Experiment, HarnessConfig, Report};
+use simcore::{ArchKind, PState};
+
+/// Prefix of every failure line in the report (the binary's exit signal).
+pub const FAIL_MARK: &str = "DIFF-FAIL";
+
+/// Default fuzz-query count when `MJ_DIFF_FUZZ` is unset.
+pub const DEFAULT_FUZZ: usize = 50;
+
+/// Default fuzz seed when `MJ_DIFF_SEED` is unset.
+pub const DEFAULT_SEED: u64 = 0x00d1ff;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fuzz_cfg() -> (usize, u64) {
+    (
+        env_or("MJ_DIFF_FUZZ", DEFAULT_FUZZ),
+        env_or("MJ_DIFF_SEED", DEFAULT_SEED),
+    )
+}
+
+/// The operating point each variant's machine runs at (its architecture's
+/// maximum — what `Cpu::new` pins), and hence the table to check against.
+fn pstate_of(v: Variant) -> PState {
+    match v.arch() {
+        ArchKind::X86 => PState::P36,
+        ArchKind::Arm => PState(7),
+    }
+}
+
+struct ShardOut {
+    rejected: usize,
+    /// `(corpus index, case name, canonical digest)` per compiled case.
+    outcomes: Vec<(usize, String, Result<Vec<String>, String>)>,
+    /// Invariant violations, as `case: message`.
+    violations: Vec<String>,
+}
+
+/// Differential correctness across the three engine personalities plus the
+/// ARM DTCM co-design (extension; underpins every cross-engine figure).
+pub struct Difftest;
+
+impl Experiment for Difftest {
+    fn name(&self) -> &'static str {
+        "difftest"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        Variant::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let variant = Variant::ALL[shard];
+        let (fuzz, seed) = fuzz_cfg();
+        let table = ctx.table(variant.arch(), pstate_of(variant));
+        let mut engine = Engine::build(variant);
+        let mut out = ShardOut {
+            rejected: 0,
+            outcomes: Vec::new(),
+            violations: Vec::new(),
+        };
+        for (i, case) in corpus::full_corpus(fuzz, seed).iter().enumerate() {
+            let Ok(plan) = compile_case(case, engine.catalog()) else {
+                out.rejected += 1;
+                continue;
+            };
+            let o = engine.run_case(&plan, Some(&table));
+            for v in o.violations {
+                out.violations.push(format!("{}: {v}", case.name()));
+            }
+            out.outcomes.push((i, case.name(), o.digest));
+        }
+        Box::new(out)
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, _ctx: &ExpCtx<'_>) -> Report {
+        let outs: Vec<ShardOut> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| downcast_shard::<ShardOut>(self.name(), i, s))
+            .collect();
+        let (fuzz, seed) = fuzz_cfg();
+        let cases = corpus::full_corpus(fuzz, seed);
+
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Differential correctness: {} variants x ({} fixed + {} fuzz cases, seed {seed:#x}) ==",
+            Variant::ALL.len(),
+            corpus::fixed_corpus().len(),
+            fuzz,
+        )
+        .unwrap();
+        writeln!(
+            r,
+            "{} cases executed per variant, {} fuzz queries rejected by the frontend",
+            outs[0].outcomes.len(),
+            outs[0].rejected,
+        )
+        .unwrap();
+
+        let mut failures = 0usize;
+        for (v, o) in Variant::ALL.iter().zip(&outs) {
+            writeln!(
+                r,
+                "{}: {} invariant violations",
+                v.name(),
+                o.violations.len()
+            )
+            .unwrap();
+            for viol in &o.violations {
+                writeln!(r, "  {FAIL_MARK} [{}] {viol}", v.name()).unwrap();
+                failures += 1;
+            }
+        }
+
+        let mut disagreements = 0usize;
+        let mut rebuilt: Option<Vec<Engine>> = None;
+        for (slot, (idx, name, digest)) in outs[0].outcomes.iter().enumerate() {
+            for (v, o) in Variant::ALL.iter().zip(&outs).skip(1) {
+                let (oidx, _, other) = &o.outcomes[slot];
+                assert_eq!(idx, oidx, "shards saw different corpora");
+                let a = CaseOutcome {
+                    digest: digest.clone(),
+                    violations: Vec::new(),
+                };
+                let b = CaseOutcome {
+                    digest: other.clone(),
+                    violations: Vec::new(),
+                };
+                let Some(detail) = compare(&a, &b) else {
+                    continue;
+                };
+                disagreements += 1;
+                writeln!(
+                    r,
+                    "{FAIL_MARK} {name}: {} vs {}: {detail}",
+                    Variant::ALL[0].name(),
+                    v.name()
+                )
+                .unwrap();
+                if let Case::Fuzz(_, q) = &cases[*idx] {
+                    let engines = rebuilt.get_or_insert_with(|| {
+                        Variant::ALL.iter().map(|&v| Engine::build(v)).collect()
+                    });
+                    let minimal =
+                        reduce::minimize(q.clone(), |cand| still_disagrees(cand, engines));
+                    writeln!(r, "  minimized: {}", minimal.to_sql()).unwrap();
+                }
+                break; // one record per case
+            }
+        }
+        failures += disagreements;
+
+        if failures == 0 {
+            writeln!(
+                r,
+                "agreement: all variants agree on every case; all invariants hold"
+            )
+            .unwrap();
+        } else {
+            writeln!(r, "{FAIL_MARK} total: {failures} failure(s)").unwrap();
+        }
+        r
+    }
+}
+
+/// Reducer oracle: does `cand` still split the variants?
+fn still_disagrees(cand: &mjdiff::GenQuery, engines: &mut [Engine]) -> bool {
+    let case = Case::Fuzz(0, cand.clone());
+    let Ok(plan) = compile_case(&case, engines[0].catalog()) else {
+        return false;
+    };
+    let outcomes: Vec<CaseOutcome> = engines
+        .iter_mut()
+        .map(|e| e.run_case(&plan, None))
+        .collect();
+    (1..outcomes.len()).any(|i| compare(&outcomes[0], &outcomes[i]).is_some())
+}

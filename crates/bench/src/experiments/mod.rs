@@ -7,6 +7,7 @@
 //! emitted in exactly this order regardless of `--jobs`.
 
 pub mod arm;
+pub mod difftest;
 pub mod energy;
 pub mod kernels;
 pub mod micro;
@@ -18,7 +19,8 @@ pub mod writes;
 use mjrt::Experiment;
 
 /// Every experiment in suite (report) order — the 18 x86 experiments first,
-/// then the 2 ARM/DTCM ones, matching the historical `repro_all` order.
+/// then the 2 ARM/DTCM ones (matching the historical `repro_all` order),
+/// then the cross-variant differential harness.
 pub static REGISTRY: &[&dyn Experiment] = &[
     &energy::Fig01EnergyTimeline,
     &micro::Fig03Traversal,
@@ -40,6 +42,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &nosql_ext::FutureNosql,
     &arm::Fig13DtcmPoc,
     &arm::AblationDtcm,
+    &difftest::Difftest,
 ];
 
 /// Look an experiment up by its exact registered name.

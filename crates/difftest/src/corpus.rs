@@ -1,0 +1,87 @@
+//! The differential corpus: fixed workloads plus the seeded fuzz stream.
+
+use engines::Plan;
+use storage::Catalog;
+use workloads::{BasicOp, TpchQuery};
+
+use crate::fuzz::{gen_query, GenQuery};
+
+/// One differential case.
+#[derive(Debug, Clone)]
+pub enum Case {
+    /// A TPC-H query (1..=22).
+    Tpch(TpchQuery),
+    /// One of the paper's 7 basic operations.
+    Basic(BasicOp),
+    /// The `i`-th seeded fuzz query.
+    Fuzz(u64, GenQuery),
+}
+
+impl Case {
+    /// Stable display name (`tpch/Q4`, `basic/index scan`, `fuzz/17`).
+    pub fn name(&self) -> String {
+        match self {
+            Case::Tpch(q) => format!("tpch/{}", q.name()),
+            Case::Basic(b) => format!("basic/{}", b.name()),
+            Case::Fuzz(i, _) => format!("fuzz/{i}"),
+        }
+    }
+}
+
+/// The fixed corpus: all 22 TPC-H plans + the 7 basic operations.
+pub fn fixed_corpus() -> Vec<Case> {
+    let mut cases: Vec<Case> = TpchQuery::all().map(Case::Tpch).collect();
+    cases.extend(BasicOp::ALL.into_iter().map(Case::Basic));
+    cases
+}
+
+/// Fixed corpus plus `fuzz` seeded queries — the full differential run.
+pub fn full_corpus(fuzz: usize, seed: u64) -> Vec<Case> {
+    let mut cases = fixed_corpus();
+    cases.extend((0..fuzz as u64).map(|i| Case::Fuzz(i, gen_query(seed, i))));
+    cases
+}
+
+/// Resolve a case to an executable plan. Fixed cases are hand-built plans;
+/// fuzz cases compile their SQL through the frontend (errors are returned,
+/// never panics — that is itself part of what the harness checks).
+pub fn compile_case(case: &Case, catalog: &Catalog) -> Result<Plan, String> {
+    match case {
+        Case::Tpch(q) => Ok(q.plan()),
+        Case::Basic(b) => Ok(b.plan()),
+        Case::Fuzz(_, q) => {
+            let sql = q.to_sql();
+            match sqlfe::compile(&sql, catalog) {
+                Ok(sqlfe::Planned::Query(p)) => Ok(p),
+                Ok(_) => Err(format!("not a query: {sql}")),
+                Err(e) => Err(format!("{e:?}: {sql}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_corpus_covers_tpch_and_basic_ops() {
+        let c = fixed_corpus();
+        assert_eq!(c.len(), 22 + 7);
+        assert!(c.iter().any(|x| x.name() == "tpch/Q1"));
+        assert!(c.iter().any(|x| x.name() == "tpch/Q22"));
+        assert!(matches!(c[22], Case::Basic(_)));
+    }
+
+    #[test]
+    fn full_corpus_is_seed_deterministic() {
+        let a = full_corpus(25, 7);
+        let b = full_corpus(25, 7);
+        assert_eq!(a.len(), 29 + 25);
+        for (x, y) in a.iter().zip(&b) {
+            if let (Case::Fuzz(_, p), Case::Fuzz(_, q)) = (x, y) {
+                assert_eq!(p, q);
+            }
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Deterministic seeded generator of randomized SQL over the TPC-H schema.
+//!
+//! Queries are generated as a *structure* ([`GenQuery`]) and rendered to
+//! SQL text, so the minimizing reducer ([`crate::reduce`]) can shrink them
+//! field-by-field instead of mutating strings. Generation is a pure
+//! function of the seed: every engine variant (and every `--jobs` level)
+//! sees the same corpus.
+//!
+//! Queries are SELECT-only — the differential engines are built once and
+//! reused across the whole corpus, so cases must not mutate the data.
+
+/// `xorshift64*` — tiny, fully deterministic, no external dependency.
+#[derive(Debug, Clone)]
+pub struct Rng64(u64);
+
+impl Rng64 {
+    /// Seeded generator (seed 0 is remapped; xorshift has no zero state).
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// What kind of literal a column compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColKind {
+    /// Integer column with a plausible value range.
+    Int(i64, i64),
+    /// Float column with a plausible value range.
+    Float(i64, i64),
+    /// Date column (days; TPC-H data spans ~1992–1998).
+    Date,
+    /// String column (predicates use LIKE with a single letter prefix).
+    Str,
+}
+
+/// One TPC-H table the fuzzer knows about.
+pub struct TableMeta {
+    /// Table name.
+    pub name: &'static str,
+    /// Columns in schema order.
+    pub cols: &'static [(&'static str, ColKind)],
+}
+
+/// The eight TPC-H tables with plausible per-column literal ranges (rough
+/// ranges are enough: they steer selectivity, not correctness).
+pub static TABLES: &[TableMeta] = &[
+    TableMeta {
+        name: "lineitem",
+        cols: &[
+            ("l_orderkey", ColKind::Int(1, 6000)),
+            ("l_partkey", ColKind::Int(1, 200)),
+            ("l_suppkey", ColKind::Int(1, 10)),
+            ("l_linenumber", ColKind::Int(1, 7)),
+            ("l_quantity", ColKind::Float(1, 50)),
+            ("l_extendedprice", ColKind::Float(1000, 100_000)),
+            ("l_discount", ColKind::Float(0, 1)),
+            ("l_tax", ColKind::Float(0, 1)),
+            ("l_returnflag", ColKind::Str),
+            ("l_linestatus", ColKind::Str),
+            ("l_shipdate", ColKind::Date),
+            ("l_commitdate", ColKind::Date),
+            ("l_receiptdate", ColKind::Date),
+            ("l_shipmode", ColKind::Str),
+        ],
+    },
+    TableMeta {
+        name: "orders",
+        cols: &[
+            ("o_orderkey", ColKind::Int(1, 6000)),
+            ("o_custkey", ColKind::Int(1, 150)),
+            ("o_orderstatus", ColKind::Str),
+            ("o_totalprice", ColKind::Float(1000, 500_000)),
+            ("o_orderdate", ColKind::Date),
+            ("o_orderpriority", ColKind::Str),
+            ("o_shippriority", ColKind::Int(0, 1)),
+        ],
+    },
+    TableMeta {
+        name: "customer",
+        cols: &[
+            ("c_custkey", ColKind::Int(1, 150)),
+            ("c_name", ColKind::Str),
+            ("c_nationkey", ColKind::Int(0, 25)),
+            ("c_acctbal", ColKind::Float(-1000, 10_000)),
+            ("c_mktsegment", ColKind::Str),
+            ("c_phone", ColKind::Str),
+        ],
+    },
+    TableMeta {
+        name: "part",
+        cols: &[
+            ("p_partkey", ColKind::Int(1, 200)),
+            ("p_name", ColKind::Str),
+            ("p_mfgr", ColKind::Str),
+            ("p_brand", ColKind::Str),
+            ("p_type", ColKind::Str),
+            ("p_size", ColKind::Int(1, 50)),
+            ("p_container", ColKind::Str),
+            ("p_retailprice", ColKind::Float(900, 2000)),
+        ],
+    },
+    TableMeta {
+        name: "partsupp",
+        cols: &[
+            ("ps_partkey", ColKind::Int(1, 200)),
+            ("ps_suppkey", ColKind::Int(1, 10)),
+            ("ps_availqty", ColKind::Int(1, 10_000)),
+            ("ps_supplycost", ColKind::Float(1, 1000)),
+        ],
+    },
+    TableMeta {
+        name: "supplier",
+        cols: &[
+            ("s_suppkey", ColKind::Int(1, 10)),
+            ("s_name", ColKind::Str),
+            ("s_nationkey", ColKind::Int(0, 25)),
+            ("s_acctbal", ColKind::Float(-1000, 10_000)),
+            ("s_comment", ColKind::Str),
+        ],
+    },
+    TableMeta {
+        name: "nation",
+        cols: &[
+            ("n_nationkey", ColKind::Int(0, 25)),
+            ("n_name", ColKind::Str),
+            ("n_regionkey", ColKind::Int(0, 5)),
+        ],
+    },
+    TableMeta {
+        name: "region",
+        cols: &[
+            ("r_regionkey", ColKind::Int(0, 5)),
+            ("r_name", ColKind::Str),
+        ],
+    },
+];
+
+/// A FROM clause: table indices into [`TABLES`] plus the equi-join column
+/// names chaining each table to the previous ones.
+pub struct JoinPath {
+    /// Indices into [`TABLES`]; first is the FROM table.
+    pub tables: &'static [usize],
+    /// `(left_col, right_col)` for each JOIN (len = tables.len() − 1).
+    pub on: &'static [(&'static str, &'static str)],
+}
+
+/// FROM shapes the generator picks from: each single table plus the
+/// foreign-key chains of the TPC-H schema.
+pub static JOIN_PATHS: &[JoinPath] = &[
+    JoinPath {
+        tables: &[0],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[1],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[2],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[3],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[4],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[5],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[6],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[7],
+        on: &[],
+    },
+    JoinPath {
+        tables: &[0, 1],
+        on: &[("l_orderkey", "o_orderkey")],
+    },
+    JoinPath {
+        tables: &[1, 2],
+        on: &[("o_custkey", "c_custkey")],
+    },
+    JoinPath {
+        tables: &[0, 3],
+        on: &[("l_partkey", "p_partkey")],
+    },
+    JoinPath {
+        tables: &[0, 5],
+        on: &[("l_suppkey", "s_suppkey")],
+    },
+    JoinPath {
+        tables: &[4, 3],
+        on: &[("ps_partkey", "p_partkey")],
+    },
+    JoinPath {
+        tables: &[4, 5],
+        on: &[("ps_suppkey", "s_suppkey")],
+    },
+    JoinPath {
+        tables: &[2, 6],
+        on: &[("c_nationkey", "n_nationkey")],
+    },
+    JoinPath {
+        tables: &[5, 6],
+        on: &[("s_nationkey", "n_nationkey")],
+    },
+    JoinPath {
+        tables: &[6, 7],
+        on: &[("n_regionkey", "r_regionkey")],
+    },
+    JoinPath {
+        tables: &[0, 1, 2],
+        on: &[("l_orderkey", "o_orderkey"), ("o_custkey", "c_custkey")],
+    },
+    JoinPath {
+        tables: &[1, 2, 6],
+        on: &[("o_custkey", "c_custkey"), ("c_nationkey", "n_nationkey")],
+    },
+    JoinPath {
+        tables: &[4, 5, 6],
+        on: &[("ps_suppkey", "s_suppkey"), ("s_nationkey", "n_nationkey")],
+    },
+];
+
+/// Comparison operator of a generated predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `BETWEEN lo AND hi`
+    Between,
+}
+
+/// A generated WHERE conjunct: `column op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Index of the table within the query's join path.
+    pub ti: usize,
+    /// Column index within that table.
+    pub ci: usize,
+    /// Operator.
+    pub op: PredOp,
+    /// Rendered literal(s) — already SQL-syntax (e.g. `42`, `0.5`, `9000`).
+    pub lit: String,
+}
+
+/// An aggregate item: function name + aggregated column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// `SUM` / `AVG` / `MIN` / `MAX` / `COUNT`.
+    pub f: &'static str,
+    /// `Some((ti, ci))` for `F(col)`, `None` for `COUNT(*)`.
+    pub col: Option<(usize, usize)>,
+}
+
+/// A structurally generated SELECT query over the TPC-H schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenQuery {
+    /// Index into [`JOIN_PATHS`].
+    pub path: usize,
+    /// WHERE conjuncts.
+    pub preds: Vec<Pred>,
+    /// `Some((group_col, aggs))` for a GROUP BY query.
+    pub agg: Option<((usize, usize), Vec<AggItem>)>,
+    /// Projected columns for a plain query (`empty` ⇒ `SELECT *`).
+    pub cols: Vec<(usize, usize)>,
+    /// ORDER BY `(1-based position, DESC)`.
+    pub order: Option<(usize, bool)>,
+    /// LIMIT n.
+    pub limit: Option<u64>,
+}
+
+impl GenQuery {
+    /// Number of output columns the query produces.
+    pub fn arity(&self) -> usize {
+        if let Some((_, aggs)) = &self.agg {
+            1 + aggs.len()
+        } else if self.cols.is_empty() {
+            JOIN_PATHS[self.path]
+                .tables
+                .iter()
+                .map(|&t| TABLES[t].cols.len())
+                .sum()
+        } else {
+            self.cols.len()
+        }
+    }
+
+    /// Render to SQL text.
+    pub fn to_sql(&self) -> String {
+        let path = &JOIN_PATHS[self.path];
+        let col_name = |&(ti, ci): &(usize, usize)| TABLES[path.tables[ti]].cols[ci].0;
+
+        let select = if let Some(((gt, gc), aggs)) = &self.agg {
+            let mut items = vec![TABLES[path.tables[*gt]].cols[*gc].0.to_string()];
+            for a in aggs {
+                match a.col {
+                    Some(c) => items.push(format!("{}({})", a.f, col_name(&c))),
+                    None => items.push("COUNT(*)".to_string()),
+                }
+            }
+            items.join(", ")
+        } else if self.cols.is_empty() {
+            "*".to_string()
+        } else {
+            self.cols
+                .iter()
+                .map(|c| col_name(c).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+
+        let mut from = TABLES[path.tables[0]].name.to_string();
+        for (i, (l, r)) in path.on.iter().enumerate() {
+            from.push_str(&format!(
+                " JOIN {} ON {l} = {r}",
+                TABLES[path.tables[i + 1]].name
+            ));
+        }
+
+        let mut sql = format!("SELECT {select} FROM {from}");
+        if !self.preds.is_empty() {
+            let conj: Vec<String> = self
+                .preds
+                .iter()
+                .map(|p| {
+                    let c = TABLES[path.tables[p.ti]].cols[p.ci].0;
+                    match p.op {
+                        PredOp::Lt => format!("{c} < {}", p.lit),
+                        PredOp::Le => format!("{c} <= {}", p.lit),
+                        PredOp::Gt => format!("{c} > {}", p.lit),
+                        PredOp::Ge => format!("{c} >= {}", p.lit),
+                        PredOp::Eq => format!("{c} = {}", p.lit),
+                        PredOp::Between => format!("{c} BETWEEN {}", p.lit),
+                    }
+                })
+                .collect();
+            sql.push_str(" WHERE ");
+            sql.push_str(&conj.join(" AND "));
+        }
+        if let Some(((gt, gc), _)) = &self.agg {
+            sql.push_str(" GROUP BY ");
+            sql.push_str(TABLES[path.tables[*gt]].cols[*gc].0);
+        }
+        if let Some((pos, desc)) = self.order {
+            sql.push_str(&format!(" ORDER BY {pos}"));
+            if desc {
+                sql.push_str(" DESC");
+            }
+        }
+        if let Some(n) = self.limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        sql
+    }
+}
+
+/// Columns suitable for predicates (non-string) within a path.
+fn predicable(path: &JoinPath) -> Vec<(usize, usize, ColKind)> {
+    let mut out = Vec::new();
+    for (ti, &t) in path.tables.iter().enumerate() {
+        for (ci, &(_, kind)) in TABLES[t].cols.iter().enumerate() {
+            if kind != ColKind::Str {
+                out.push((ti, ci, kind));
+            }
+        }
+    }
+    out
+}
+
+fn literal(kind: ColKind, rng: &mut Rng64, between: bool) -> String {
+    let one = |rng: &mut Rng64| -> String {
+        match kind {
+            ColKind::Int(lo, hi) => format!("{}", lo + rng.below((hi - lo + 1) as u64) as i64),
+            ColKind::Float(lo, hi) => {
+                let v = lo as f64 + rng.below(((hi - lo) * 100 + 1) as u64) as f64 / 100.0;
+                format!("{v:.2}")
+            }
+            // TPC-H dates span ~1992-01-01 (8035) .. 1998-12-31 (10591).
+            ColKind::Date => format!("{}", 8035 + rng.below(2556)),
+            ColKind::Str => unreachable!("string columns are not predicable"),
+        }
+    };
+    if between {
+        let a = one(rng);
+        let b = one(rng);
+        format!("{a} AND {b}")
+    } else {
+        one(rng)
+    }
+}
+
+/// Generate the `i`-th query of the seeded stream. Pure: `(seed, i)` fully
+/// determines the result.
+pub fn gen_query(seed: u64, i: u64) -> GenQuery {
+    let mut rng = Rng64::new(seed ^ (i.wrapping_mul(0x9e37_79b9) + 1));
+    let path_idx = rng.below(JOIN_PATHS.len() as u64) as usize;
+    let path = &JOIN_PATHS[path_idx];
+
+    // Predicates: 0–3 conjuncts over non-string columns.
+    let cands = predicable(path);
+    let n_preds = rng.below(4) as usize;
+    let mut preds = Vec::new();
+    for _ in 0..n_preds {
+        let (ti, ci, kind) = cands[rng.below(cands.len() as u64) as usize];
+        let op = match rng.below(6) {
+            0 => PredOp::Lt,
+            1 => PredOp::Le,
+            2 => PredOp::Gt,
+            3 => PredOp::Ge,
+            4 => PredOp::Eq,
+            _ => PredOp::Between,
+        };
+        let lit = literal(kind, &mut rng, op == PredOp::Between);
+        preds.push(Pred { ti, ci, op, lit });
+    }
+
+    // 40%: aggregate query grouped by one column, with 1–2 aggregates.
+    let agg = if rng.chance(2, 5) {
+        let gt = rng.below(path.tables.len() as u64) as usize;
+        let gc = rng.below(TABLES[path.tables[gt]].cols.len() as u64) as usize;
+        let numeric: Vec<(usize, usize)> = cands
+            .iter()
+            .filter(|(_, _, k)| !matches!(k, ColKind::Date))
+            .map(|&(ti, ci, _)| (ti, ci))
+            .collect();
+        let mut aggs = vec![AggItem {
+            f: "COUNT",
+            col: None,
+        }];
+        if !numeric.is_empty() && rng.chance(3, 4) {
+            let f = ["SUM", "AVG", "MIN", "MAX"][rng.below(4) as usize];
+            let col = numeric[rng.below(numeric.len() as u64) as usize];
+            aggs.push(AggItem { f, col: Some(col) });
+        }
+        Some(((gt, gc), aggs))
+    } else {
+        None
+    };
+
+    // Plain queries project a column subset 50% of the time.
+    let cols = if agg.is_none() && rng.chance(1, 2) {
+        let n = 1 + rng.below(3) as usize;
+        (0..n)
+            .map(|_| {
+                let ti = rng.below(path.tables.len() as u64) as usize;
+                let ci = rng.below(TABLES[path.tables[ti]].cols.len() as u64) as usize;
+                (ti, ci)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut q = GenQuery {
+        path: path_idx,
+        preds,
+        agg,
+        cols,
+        order: None,
+        limit: None,
+    };
+
+    // ORDER BY a valid output position 60% of the time. (Out-of-range
+    // positions are exercised separately: they must *compile* to an error.)
+    if rng.chance(3, 5) {
+        let pos = 1 + rng.below(q.arity() as u64) as usize;
+        q.order = Some((pos, rng.chance(1, 2)));
+    }
+    // LIMIT is only cross-engine comparable when the sort key is a total
+    // order; the one place the generator can guarantee that is an
+    // aggregate ordered by its (unique) group key.
+    if q.agg.is_some() && rng.chance(3, 10) {
+        q.order = Some((1, rng.chance(1, 2)));
+        q.limit = Some(1 + rng.below(40));
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..50 {
+            assert_eq!(gen_query(42, i), gen_query(42, i));
+        }
+        assert_ne!(gen_query(42, 0), gen_query(43, 0));
+    }
+
+    #[test]
+    fn rendered_sql_mentions_all_structure() {
+        let q = GenQuery {
+            path: 8, // lineitem JOIN orders
+            preds: vec![Pred {
+                ti: 0,
+                ci: 4,
+                op: PredOp::Lt,
+                lit: "24".into(),
+            }],
+            agg: Some((
+                (0, 8),
+                vec![
+                    AggItem {
+                        f: "COUNT",
+                        col: None,
+                    },
+                    AggItem {
+                        f: "SUM",
+                        col: Some((0, 4)),
+                    },
+                ],
+            )),
+            cols: vec![],
+            order: Some((1, true)),
+            limit: Some(5),
+        };
+        let sql = q.to_sql();
+        assert!(
+            sql.contains("JOIN orders ON l_orderkey = o_orderkey"),
+            "{sql}"
+        );
+        assert!(sql.contains("WHERE l_quantity < 24"), "{sql}");
+        assert!(sql.contains("GROUP BY l_returnflag"), "{sql}");
+        assert!(sql.contains("ORDER BY 1 DESC"), "{sql}");
+        assert!(sql.contains("LIMIT 5"), "{sql}");
+    }
+}

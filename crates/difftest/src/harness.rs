@@ -1,0 +1,191 @@
+//! The four engine variants under differential test, and per-case
+//! execution with canonical digests + invariant checks.
+
+use analysis::EnergyTable;
+use engines::{DtcmConfig, DtcmDatabase, EngineKind, Knobs, Plan};
+use simcore::{ArchConfig, ArchKind, Cpu};
+use storage::{Catalog, Row, Value};
+use workloads::tpch::gen::build_tpch_db;
+use workloads::TpchScale;
+
+use crate::invariants;
+
+/// Tables pinned into the DTCM for the Lite-DTCM variant (the §4.2
+/// co-design's hot set — everything, at differential scale).
+pub const HOT_TABLES: &[&str] = &[
+    "lineitem", "orders", "customer", "part", "partsupp", "supplier", "nation", "region",
+];
+
+/// One engine configuration under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// PostgreSQL personality on the i7-4790.
+    Pg,
+    /// SQLite personality on the i7-4790.
+    Lite,
+    /// MySQL personality on the i7-4790.
+    My,
+    /// SQLite + DTCM co-design on the ARM1176JZF-S.
+    LiteDtcm,
+}
+
+impl Variant {
+    /// All four variants, in report order.
+    pub const ALL: [Variant; 4] = [Variant::Pg, Variant::Lite, Variant::My, Variant::LiteDtcm];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Pg => "pg",
+            Variant::Lite => "lite",
+            Variant::My => "my",
+            Variant::LiteDtcm => "lite-dtcm",
+        }
+    }
+
+    /// Simulated architecture the variant runs on.
+    pub fn arch(self) -> ArchKind {
+        match self {
+            Variant::LiteDtcm => ArchKind::Arm,
+            _ => ArchKind::X86,
+        }
+    }
+}
+
+enum Handle {
+    Plain(engines::Database),
+    Dtcm(DtcmDatabase),
+}
+
+/// A built engine variant: simulated CPU + loaded TPC-H database.
+pub struct Engine {
+    /// Which variant this is.
+    pub variant: Variant,
+    cpu: Cpu,
+    handle: Handle,
+}
+
+/// Result of one case on one engine: canonical sorted rows (or the
+/// engine's refusal) plus any invariant violations observed while running.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Sorted canonical row strings, or the engine's error message.
+    pub digest: Result<Vec<String>, String>,
+    /// Invariant violations (conservation / fast-path / energy model).
+    pub violations: Vec<String>,
+}
+
+/// Canonicalize one row for cross-engine comparison. Floats are rounded
+/// to 5 decimals — aggregate accumulation order differs across engines,
+/// so exact bit equality is deliberately not required (the repo-wide
+/// convention, same as `tests/end_to_end.rs`).
+pub fn canon_row(row: &Row) -> String {
+    row.iter()
+        .map(|v| match v {
+            Value::Float(f) => format!("F{f:.5}"),
+            other => format!("{other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+impl Engine {
+    /// Build a variant at the differential scale. All variants load the
+    /// deterministic TPC-H dataset at [`TpchScale::tiny`], so every result
+    /// set is directly comparable.
+    pub fn build(variant: Variant) -> Engine {
+        let scale = TpchScale::tiny();
+        match variant {
+            Variant::Pg | Variant::Lite | Variant::My => {
+                let kind = match variant {
+                    Variant::Pg => EngineKind::Pg,
+                    Variant::Lite => EngineKind::Lite,
+                    _ => EngineKind::My,
+                };
+                let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+                cpu.set_prefetch(true);
+                let db = build_tpch_db(&mut cpu, kind, engines::KnobLevel::Baseline, scale)
+                    .expect("tpch load");
+                Engine {
+                    variant,
+                    cpu,
+                    handle: Handle::Plain(db),
+                }
+            }
+            Variant::LiteDtcm => {
+                let mut cpu = Cpu::new(ArchConfig::arm1176jzf_s());
+                cpu.set_prefetch(true);
+                let mut db =
+                    build_tpch_db(&mut cpu, EngineKind::Lite, engines::KnobLevel::Small, scale)
+                        .expect("tpch load");
+                db.knobs = Knobs::arm_small();
+                let dtcm = DtcmDatabase::configure(&mut cpu, db, HOT_TABLES, DtcmConfig::default())
+                    .expect("dtcm configure");
+                Engine {
+                    variant,
+                    cpu,
+                    handle: Handle::Dtcm(dtcm),
+                }
+            }
+        }
+    }
+
+    /// The engine's catalog (identical across variants by construction).
+    pub fn catalog(&self) -> &Catalog {
+        match &self.handle {
+            Handle::Plain(db) => &db.catalog,
+            Handle::Dtcm(d) => &d.db.catalog,
+        }
+    }
+
+    /// Execute `plan` and return `(estimated, measured)` Active energy for
+    /// the window — the raw pair behind the energy-model invariant, used by
+    /// reporting and for grounding the invariant bounds.
+    pub fn probe_energy(&mut self, plan: &Plan, table: &EnergyTable) -> (f64, f64) {
+        let handle = &mut self.handle;
+        let m = self.cpu.measure(|c| {
+            let _ = match handle {
+                Handle::Plain(db) => db.run(c, plan),
+                Handle::Dtcm(d) => d.run(c, plan),
+            };
+        });
+        invariants::energy_pair(table, &m)
+    }
+
+    /// Execute `plan`, producing the canonical digest and checking the
+    /// energy-accounting invariants over the run's measurement window.
+    /// Pass a calibrated `table` for this variant's architecture to also
+    /// check the energy-model invariant.
+    pub fn run_case(&mut self, plan: &Plan, table: Option<&EnergyTable>) -> CaseOutcome {
+        let batched_before = self.cpu.run_stats().0;
+        let mut result: Option<storage::Result<Vec<Row>>> = None;
+        let handle = &mut self.handle;
+        let m = self.cpu.measure(|c| {
+            result = Some(match handle {
+                Handle::Plain(db) => db.run(c, plan),
+                Handle::Dtcm(d) => d.run(c, plan),
+            });
+        });
+        let batched = self.cpu.run_stats().0 - batched_before;
+
+        let mut violations = invariants::conservation_violations(self.variant.arch(), &m.pmu);
+        if let Some(v) = invariants::batched_violation(&m.pmu, batched) {
+            violations.push(v);
+        }
+        if let Some(t) = table {
+            if let Some(v) = invariants::energy_violation(t, &m) {
+                violations.push(v);
+            }
+        }
+
+        let digest = match result.expect("measure ran") {
+            Ok(rows) => {
+                let mut canon: Vec<String> = rows.iter().map(canon_row).collect();
+                canon.sort();
+                Ok(canon)
+            }
+            Err(e) => Err(format!("{e:?}")),
+        };
+        CaseOutcome { digest, violations }
+    }
+}

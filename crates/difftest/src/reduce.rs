@@ -1,0 +1,167 @@
+//! Minimizing reducer for disagreeing fuzz queries.
+//!
+//! Works on the query *structure*, not its text: each shrinking step drops
+//! one syntactic element (a predicate, the last join, the aggregate block,
+//! ORDER BY, LIMIT, a projected column). [`minimize`] greedily applies any
+//! step that keeps the disagreement alive, to a fixpoint — the result is a
+//! locally minimal reproducer.
+
+use crate::fuzz::{GenQuery, JOIN_PATHS};
+
+/// All one-step simplifications of `q`, most aggressive first.
+pub fn candidates(q: &GenQuery) -> Vec<GenQuery> {
+    let mut out = Vec::new();
+
+    // Drop the last join (re-rooting the query on a shorter FROM path).
+    if let Some(parent) = parent_path(q.path) {
+        let kept_tables = JOIN_PATHS[parent].tables.len();
+        let mut c = q.clone();
+        c.path = parent;
+        c.preds.retain(|p| p.ti < kept_tables);
+        c.cols.retain(|&(ti, _)| ti < kept_tables);
+        if let Some(((gt, _), aggs)) = &c.agg {
+            let agg_ok = *gt < kept_tables
+                && aggs
+                    .iter()
+                    .all(|a| a.col.map(|(ti, _)| ti < kept_tables).unwrap_or(true));
+            if !agg_ok {
+                c.agg = None;
+                c.order = None;
+                c.limit = None;
+            }
+        }
+        clamp_order(&mut c);
+        out.push(c);
+    }
+
+    // Drop the whole aggregate block.
+    if q.agg.is_some() {
+        let mut c = q.clone();
+        c.agg = None;
+        c.order = None;
+        c.limit = None;
+        out.push(c);
+    }
+
+    // Drop each predicate.
+    for i in 0..q.preds.len() {
+        let mut c = q.clone();
+        c.preds.remove(i);
+        out.push(c);
+    }
+
+    // Drop to a single aggregate.
+    if let Some((g, aggs)) = &q.agg {
+        if aggs.len() > 1 {
+            for i in 0..aggs.len() {
+                let mut kept = aggs.clone();
+                kept.remove(i);
+                let mut c = q.clone();
+                c.agg = Some((*g, kept));
+                clamp_order(&mut c);
+                out.push(c);
+            }
+        }
+    }
+
+    // Drop LIMIT, then ORDER BY.
+    if q.limit.is_some() {
+        let mut c = q.clone();
+        c.limit = None;
+        out.push(c);
+    }
+    if q.order.is_some() {
+        let mut c = q.clone();
+        c.order = None;
+        c.limit = None;
+        out.push(c);
+    }
+
+    // Drop projected columns one at a time (keep at least one).
+    if q.cols.len() > 1 {
+        for i in 0..q.cols.len() {
+            let mut c = q.clone();
+            c.cols.remove(i);
+            clamp_order(&mut c);
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// Keep ORDER BY positions inside the (possibly shrunk) output arity.
+fn clamp_order(q: &mut GenQuery) {
+    if let Some((pos, _)) = q.order {
+        if pos > q.arity() {
+            q.order = None;
+            q.limit = None;
+        }
+    }
+}
+
+/// The join path with the last table removed, if it exists in the table.
+fn parent_path(path: usize) -> Option<usize> {
+    let tables = JOIN_PATHS[path].tables;
+    if tables.len() <= 1 {
+        return None;
+    }
+    let prefix = &tables[..tables.len() - 1];
+    JOIN_PATHS.iter().position(|p| p.tables == prefix)
+}
+
+/// Greedily shrink `q` while `fails` keeps returning true, to a fixpoint.
+/// `fails(q)` must be true on entry for the result to be meaningful.
+pub fn minimize(mut q: GenQuery, mut fails: impl FnMut(&GenQuery) -> bool) -> GenQuery {
+    loop {
+        let step = candidates(&q).into_iter().find(|c| fails(c));
+        match step {
+            Some(smaller) => q = smaller,
+            None => return q,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{gen_query, Pred, PredOp};
+
+    #[test]
+    fn minimize_reaches_a_fixpoint_under_an_always_failing_oracle() {
+        // With an oracle that always fails, the reducer must shrink to a
+        // bare single-table SELECT * with no clauses left to drop.
+        let q = gen_query(99, 3);
+        let min = minimize(q, |_| true);
+        assert_eq!(JOIN_PATHS[min.path].tables.len(), 1);
+        assert!(min.preds.is_empty());
+        assert!(min.agg.is_none());
+        assert!(min.order.is_none());
+        assert!(min.limit.is_none());
+        assert!(min.cols.len() <= 1);
+    }
+
+    #[test]
+    fn minimize_preserves_the_failing_ingredient() {
+        // Oracle: fails only while the predicate on column 4 survives.
+        let mut q = gen_query(5, 1);
+        q.path = 0; // single-table lineitem
+        q.preds = vec![
+            Pred {
+                ti: 0,
+                ci: 4,
+                op: PredOp::Lt,
+                lit: "24".into(),
+            },
+            Pred {
+                ti: 0,
+                ci: 5,
+                op: PredOp::Gt,
+                lit: "100".into(),
+            },
+        ];
+        let min = minimize(q, |c| c.preds.iter().any(|p| p.ci == 4));
+        assert_eq!(min.preds.len(), 1);
+        assert_eq!(min.preds[0].ci, 4);
+    }
+}

@@ -22,6 +22,20 @@ use storage::{
     Value,
 };
 
+/// Fetch column `c` of `row`. A plan whose join/sort/group column index
+/// exceeds the row arity is malformed input, not an executor invariant —
+/// surface it as a schema error instead of panicking the scheduler shard.
+fn col(row: &Row, c: usize) -> storage::Result<&Value> {
+    row.get(c)
+        .ok_or(StorageError::Schema("plan column index out of row bounds"))
+}
+
+/// Clone the `cols`-indexed values out of `row` (group/sort keys), with the
+/// same bounds policy as [`col`].
+fn key_of_row(row: &Row, cols: impl Iterator<Item = usize>) -> storage::Result<Row> {
+    cols.map(|c| col(row, c).cloned()).collect()
+}
+
 /// Per-query execution environment.
 pub struct Env<'a, P: PageAccess> {
     /// The database file.
@@ -461,7 +475,7 @@ fn hash_join<P: PageAccess>(
     )?;
     let mut ht = SimHashTable::new_in(region, n, entry_bytes);
     for row in build_rows {
-        let key = row[right_col].clone();
+        let key = col(&row, right_col)?.clone();
         ht.insert(cpu, key, row);
     }
     // Grace-style spill when the table exceeds work_mem: batches re-read.
@@ -474,7 +488,7 @@ fn hash_join<P: PageAccess>(
     let probe_rows = run(cpu, env, left)?;
     let mut out = Vec::new();
     for lrow in probe_rows {
-        let key = &lrow[left_col];
+        let key = col(&lrow, left_col)?;
         if matches!(key, Value::Null) {
             continue;
         }
@@ -533,7 +547,7 @@ fn index_nl_join<P: PageAccess>(
         // Index nested loop: descend the inner index once per outer row.
         let tree = t.index_on(right_col).expect("checked").clone();
         for lrow in outer_rows {
-            let Some(key) = lrow[left_col].as_int() else {
+            let Some(key) = col(&lrow, left_col)?.as_int() else {
                 continue;
             };
             let mut cur = tree.seek(cpu, env.store, env.pool, key);
@@ -564,14 +578,14 @@ fn index_nl_join<P: PageAccess>(
     let inner_rows = run(cpu, env, right)?;
     let mut auto = BTree::create(cpu, &mut env.temp_store)?;
     for (i, row) in inner_rows.iter().enumerate() {
-        let key = join_key_i64(&row[right_col]);
+        let key = join_key_i64(col(row, right_col)?);
         auto.insert(cpu, &mut env.temp_store, &mut env.temp_pool, key, i as u64)?;
     }
     for lrow in outer_rows {
-        if matches!(lrow[left_col], Value::Null) {
+        if matches!(col(&lrow, left_col)?, Value::Null) {
             continue;
         }
-        let key = join_key_i64(&lrow[left_col]);
+        let key = join_key_i64(col(&lrow, left_col)?);
         let mut cur = auto.seek(cpu, &env.temp_store, &mut env.temp_pool, key);
         while let Some((k, idx)) = cur.next(cpu, &env.temp_store, &mut env.temp_pool) {
             if k != key {
@@ -580,7 +594,7 @@ fn index_nl_join<P: PageAccess>(
             let rrow = &inner_rows[idx as usize];
             // Hash keys can collide for strings: verify real equality.
             cpu.exec(ExecOp::Branch);
-            if !rrow[right_col].group_eq(&lrow[left_col]) {
+            if !col(rrow, right_col)?.group_eq(col(&lrow, left_col)?) {
                 continue;
             }
             let mut row = lrow.clone();
@@ -632,7 +646,7 @@ fn aggregate<P: PageAccess>(
         let slots = region.len / 64;
         let mut groups: HashMap<Vec<u8>, (Row, Vec<AggState>)> = HashMap::new();
         for row in &rows {
-            let key_vals: Row = group_by.iter().map(|&c| row[c].clone()).collect();
+            let key_vals: Row = key_of_row(row, group_by.iter().copied())?;
             let key = canon_key(&key_vals);
             // Bucket chase + state write-back.
             let h = hash_bytes(&key);
@@ -672,7 +686,7 @@ fn aggregate<P: PageAccess>(
     let mut groups: HashMap<Vec<u8>, (Row, Vec<AggState>, u64)> = HashMap::new();
     let mut next_idx = 0u64;
     for row in &rows {
-        let key_vals: Row = group_by.iter().map(|&c| row[c].clone()).collect();
+        let key_vals: Row = key_of_row(row, group_by.iter().copied())?;
         let key = canon_key(&key_vals);
         let h = hash_bytes(&key) as i64;
         let idx = match groups.get(&key) {
@@ -746,7 +760,7 @@ fn sort<P: PageAccess>(
     )?;
     let mut sorter = SimSorter::new_in(region, row_bytes, env.work_mem);
     for row in rows {
-        let key: Vec<Value> = keys.iter().map(|&(c, _)| row[c].clone()).collect();
+        let key: Vec<Value> = key_of_row(&row, keys.iter().map(|&(c, _)| c))?;
         sorter.push(cpu, key, row);
     }
     let desc: Vec<bool> = keys.iter().map(|&(_, d)| d).collect();

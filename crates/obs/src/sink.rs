@@ -261,7 +261,9 @@ mod tests {
     #[test]
     fn jsonl_lines_all_parse_and_balance() {
         let spans = sample_spans();
-        let table = analysis::CalibrationBuilder::quick().calibrate();
+        let table = analysis::CalibrationBuilder::quick()
+            .calibrate()
+            .expect("calibration");
         let runs = [TraceRun {
             exp: "unit_test",
             shard: 0,

@@ -56,7 +56,8 @@ impl CalibrationCache {
                 CalibrationBuilder::new(cfg)
                     .pstate(ps)
                     .target_ops(target_ops)
-                    .calibrate(),
+                    .calibrate()
+                    .unwrap_or_else(|e| panic!("calibration failed: {e}")),
             );
             mjobs::metrics::histogram_record("cal.build_ms", t0.elapsed().as_millis() as u64);
             table

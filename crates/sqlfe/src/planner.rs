@@ -383,6 +383,13 @@ fn plan_select(sel: &Select, catalog: &Catalog) -> Result<Plan, SqlError> {
                     ))
                 }
             };
+            if idx >= output_aliases.len() {
+                return Err(SqlError::Plan(format!(
+                    "ORDER BY position {} exceeds the {} output column(s)",
+                    idx + 1,
+                    output_aliases.len()
+                )));
+            }
             keys.push((idx, *desc));
         }
         plan = Plan::Sort {
@@ -631,6 +638,46 @@ mod tests {
             plan_statement(&s, &cat).unwrap(),
             Planned::Write(Dml::Delete { .. })
         ));
+    }
+
+    fn plan_err(sql: &str) -> SqlError {
+        let cat = catalog();
+        let stmt = match parse(sql) {
+            Ok(s) => s,
+            Err(e) => return e, // rejected earlier, still an error not a panic
+        };
+        match plan_statement(&stmt, &cat) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a planning error for {sql:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_position_past_output_arity_is_an_error() {
+        // Pre-fix this compiled to Sort { keys: [(2, _)] } over 2-column
+        // rows and panicked the executor at `row[2]`.
+        let e = plan_err("SELECT id, cat FROM items ORDER BY 3");
+        assert!(matches!(e, SqlError::Plan(_)), "{e:?}");
+        let e = plan_err("SELECT cat, COUNT(*) FROM items GROUP BY cat ORDER BY 5");
+        assert!(matches!(e, SqlError::Plan(_)), "{e:?}");
+        // In-range positions still plan.
+        plan("SELECT id, cat FROM items ORDER BY 2");
+    }
+
+    #[test]
+    fn malformed_but_parseable_sql_errors_do_not_panic() {
+        // Non-grouped column in an aggregate query.
+        plan_err("SELECT price, COUNT(*) FROM items GROUP BY cat");
+        // Unknown column in ORDER BY.
+        plan_err("SELECT id FROM items ORDER BY nope");
+        // Unknown column in WHERE.
+        plan_err("SELECT id FROM items WHERE ghost = 1");
+        // Ambiguous unqualified column across a join.
+        plan_err(
+            "SELECT * FROM items JOIN cats ON cat = cid WHERE id > 0 AND cid = id ORDER BY zzz",
+        );
+        // Aggregate with a missing argument.
+        plan_err("SELECT SUM() FROM items");
     }
 
     #[test]

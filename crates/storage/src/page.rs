@@ -54,9 +54,24 @@ impl PageRef {
         Ok(self.header(cpu, dep)?.0)
     }
 
+    /// Validate a page header: `data_end` must sit inside the payload area
+    /// and must not have crossed into the slot array. A header that fails
+    /// this is *corrupt* — clamping it to "page looks full" would silently
+    /// keep serving overlapping slot/tuple bytes.
+    fn check_header(&self, n: u16, data_end: u16) -> crate::Result<()> {
+        let slots_start = (self.size as u64).checked_sub(n as u64 * SLOT_BYTES);
+        match slots_start {
+            Some(s) if (PAGE_HEADER..=s).contains(&(data_end as u64)) => Ok(()),
+            _ => Err(crate::StorageError::Corrupt(
+                "page header: slot array and tuple data overlap",
+            )),
+        }
+    }
+
     /// Free bytes remaining (accounting for the slot the next insert needs).
     pub fn free_space(&self, cpu: &mut Cpu) -> crate::Result<u64> {
         let (n, data_end) = self.header(cpu, Dep::Stream)?;
+        self.check_header(n, data_end)?;
         let slots_start = self.size as u64 - (n as u64 + 1) * SLOT_BYTES;
         Ok(slots_start.saturating_sub(data_end as u64))
     }
@@ -71,6 +86,7 @@ impl PageRef {
             });
         }
         let (n, data_end) = self.header(cpu, Dep::Stream)?;
+        self.check_header(n, data_end)?;
         let slots_start = self.size as u64 - (n as u64 + 1) * SLOT_BYTES;
         if data_end as u64 + bytes.len() as u64 > slots_start {
             return Ok(None);
@@ -112,6 +128,7 @@ impl PageRef {
         let h = arena.bytes(self.addr, 4)?;
         let n = u16::from_le_bytes([h[0], h[1]]);
         let data_end = u16::from_le_bytes([h[2], h[3]]);
+        self.check_header(n, data_end)?;
         let slots_start = self.size as u64 - (n as u64 + 1) * SLOT_BYTES;
         if data_end as u64 + bytes.len() as u64 > slots_start {
             return Ok(None);
@@ -294,6 +311,40 @@ mod tests {
         let d = c.pmu_snapshot().delta(&before);
         // slot load + >= 3 tuple-line loads
         assert!(d.get(simcore::Event::LoadIssued) >= 4);
+    }
+
+    #[test]
+    fn overlapping_header_is_corruption_not_page_full() {
+        let mut c = cpu();
+        let p = page(&mut c, 256);
+        p.insert(&mut c, &[9u8; 40]).unwrap().unwrap();
+        // Corrupt the header: claim the tuple data has grown into the slot
+        // array (data_end beyond size − n·SLOT_BYTES). Pre-fix, free_space
+        // clamped this to Ok(0) and insert reported a benign Ok(None).
+        let data_end = (p.size - 2) as u16;
+        c.arena_mut()
+            .write(p.addr + 2, &data_end.to_le_bytes())
+            .unwrap();
+        assert!(matches!(
+            p.free_space(&mut c),
+            Err(crate::StorageError::Corrupt(_))
+        ));
+        assert!(matches!(
+            p.insert(&mut c, b"x"),
+            Err(crate::StorageError::Corrupt(_))
+        ));
+        let mut arena_only = cpu();
+        let q = page(&mut arena_only, 256);
+        let n_slots = 1u16.to_le_bytes();
+        arena_only.arena_mut().write(q.addr, &n_slots).unwrap();
+        arena_only
+            .arena_mut()
+            .write(q.addr + 2, &data_end.to_le_bytes())
+            .unwrap();
+        assert!(matches!(
+            q.insert_unsimulated(arena_only.arena_mut(), b"x"),
+            Err(crate::StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,9 @@ use workloads::tpch::gen::build_tpch_db;
 use workloads::TpchScale;
 
 fn main() {
-    let table = CalibrationBuilder::quick().calibrate();
+    let table = CalibrationBuilder::quick()
+        .calibrate()
+        .expect("calibration");
 
     for kind in EngineKind::ALL {
         println!("== {} ==", kind.name());

@@ -11,7 +11,9 @@ fn main() {
     // 1. Calibrate: run the paper's micro-benchmark set MBS and solve ΔE_m
     //    (§2.5). `quick()` uses a reduced loop budget; CalibrationBuilder::new
     //    + target_ops gives publication-grade runs.
-    let table = CalibrationBuilder::quick().calibrate();
+    let table = CalibrationBuilder::quick()
+        .calibrate()
+        .expect("calibration");
     println!("solved per-micro-op energies at {}:", table.pstate);
     for op in MicroOp::MS {
         println!("  dE_{:<8} = {:>7.2} nJ", op.symbol(), table.de_nj(op));

@@ -9,7 +9,9 @@ use workloads::tpch::gen::build_tpch_db;
 use workloads::TpchScale;
 
 fn main() {
-    let table = CalibrationBuilder::quick().calibrate();
+    let table = CalibrationBuilder::quick()
+        .calibrate()
+        .expect("calibration");
     let sql = "SELECT n_name, COUNT(*) AS customers, SUM(c_acctbal) AS balance \
                FROM customer JOIN nation ON c_nationkey = n_nationkey \
                WHERE c_acctbal > 1000.0 \

@@ -1,0 +1,80 @@
+//! `difftest` — the differential correctness harness CLI.
+//!
+//! Runs the `difftest` experiment (all 22 TPC-H plans, the 7 basic
+//! operations, and a seeded fuzz stream through the three x86 engine
+//! personalities plus the ARM DTCM co-design) under the `mjrt` scheduler.
+//!
+//! ```text
+//! cargo run --release --bin difftest -- --corpus          # fixed corpus only
+//! cargo run --release --bin difftest -- --fuzz 500        # + 500 fuzz queries
+//! cargo run --release --bin difftest -- --fuzz 200 --seed 7 --jobs 4
+//! ```
+//!
+//! `--corpus` / `--fuzz N` / `--seed S` are difftest-specific and handled
+//! here (the fuzz configuration travels to the experiment shards via
+//! `MJ_DIFF_FUZZ` / `MJ_DIFF_SEED`); every other flag is the standard
+//! harness set (`--jobs`, `--cal-ops`, `--trace`, `--metrics`, ...).
+//! Exits 0 only when every variant agreed on every case and all
+//! energy-accounting invariants held.
+
+use bench::experiments::difftest::FAIL_MARK;
+
+fn main() {
+    let mut fuzz: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--corpus" => fuzz = Some(0),
+            "--fuzz" => match value("--fuzz").parse() {
+                Ok(n) => fuzz = Some(n),
+                Err(_) => {
+                    eprintln!("--fuzz needs an integer count");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(s) => seed = Some(s),
+                Err(_) => {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            other => rest.push(other.to_owned()),
+        }
+    }
+    if let Some(n) = fuzz {
+        std::env::set_var("MJ_DIFF_FUZZ", n.to_string());
+    }
+    if let Some(s) = seed {
+        std::env::set_var("MJ_DIFF_SEED", s.to_string());
+    }
+
+    let cfg = match mjrt::HarnessConfig::from_env_and_args(&rest) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}\ndifftest flags: [--corpus] [--fuzz N] [--seed S]");
+            std::process::exit(2);
+        }
+    };
+    let exp = bench::experiments::find("difftest").expect("difftest is registered");
+    let mut out = Vec::new();
+    let scheduled_ok = match mjrt::run_single(exp, &cfg, &mut out) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("io error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = String::from_utf8_lossy(&out);
+    print!("{report}");
+    let clean = scheduled_ok && !report.contains(FAIL_MARK);
+    std::process::exit(if clean { 0 } else { 1 });
+}

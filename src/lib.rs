@@ -41,7 +41,7 @@
 //! use microjoule::prelude::*;
 //!
 //! // Calibrate per-micro-op energies on the simulated i7-4790 at P36 ...
-//! let table = CalibrationBuilder::quick().calibrate();
+//! let table = CalibrationBuilder::quick().calibrate().expect("calibration");
 //! // ... and break down the energy of a workload.
 //! let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
 //! let m = cpu.measure(|cpu| {

@@ -1,0 +1,76 @@
+//! Fixed-corpus differential regression (ISSUE 5 tentpole).
+//!
+//! Pins engine agreement on TPC-H Q1–Q22 and the 7 basic operations across
+//! all four variants (pg / lite / my on the i7-4790, SQLite+DTCM on the
+//! ARM1176JZF-S), with the energy-accounting invariants enabled: PMU
+//! conservation, batched fast-path reconciliation, and the bounded-residual
+//! `Σ ΔE_m·N_m` vs `Eactive` model check against freshly calibrated tables.
+//!
+//! Also pins minimized reproducers for the latent bugs fixed alongside the
+//! harness (see the satellite regression tests in their home crates for
+//! the pre-fix failures; these are the SQL-level shapes).
+
+use std::sync::Arc;
+
+use analysis::{CalibrationBuilder, EnergyTable};
+use mjdiff::{diff, DiffConfig, Engine, Variant};
+use simcore::{ArchConfig, ArchKind};
+
+fn quick_tables() -> (Arc<EnergyTable>, Arc<EnergyTable>) {
+    let x86 = CalibrationBuilder::quick().calibrate().expect("x86 table");
+    let arm = CalibrationBuilder::new(ArchConfig::arm1176jzf_s())
+        .target_ops(20_000)
+        .calibrate()
+        .expect("arm table");
+    (Arc::new(x86), Arc::new(arm))
+}
+
+#[test]
+fn fixed_corpus_agrees_across_all_four_variants_under_invariants() {
+    let (x86, arm) = quick_tables();
+    let cfg = DiffConfig {
+        fuzz: 0,
+        seed: 0,
+        energy: true,
+    };
+    let report = diff(&cfg, &|kind| {
+        Some(match kind {
+            ArchKind::X86 => x86.clone(),
+            ArchKind::Arm => arm.clone(),
+        })
+    });
+    assert_eq!(report.cases, 29, "22 TPC-H + 7 basic ops");
+    assert!(
+        report.clean(),
+        "disagreements: {:#?}\nviolations: {:#?}",
+        report.disagreements,
+        report.violations
+    );
+}
+
+/// Minimized SQL reproducers for the fixed planner/executor bugs: each must
+/// now *compile to an error* (not panic, not produce divergent plans).
+#[test]
+fn minimized_reproducers_for_fixed_bugs_error_cleanly() {
+    let engine = Engine::build(Variant::Lite);
+    // ORDER BY position past the output arity (pre-fix: executor panic at
+    // `row[c]` on every engine).
+    for sql in [
+        "SELECT l_orderkey, l_partkey FROM lineitem ORDER BY 3",
+        "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY 9",
+    ] {
+        assert!(
+            matches!(
+                sqlfe::compile(sql, engine.catalog()),
+                Err(sqlfe::SqlError::Plan(_))
+            ),
+            "{sql} must be rejected at plan time"
+        );
+    }
+    // Aggregate mixing a non-grouped column: a plan error, not a panic.
+    assert!(sqlfe::compile(
+        "SELECT l_quantity, COUNT(*) FROM lineitem GROUP BY l_returnflag",
+        engine.catalog()
+    )
+    .is_err());
+}

@@ -16,6 +16,7 @@ fn quick_table() -> EnergyTable {
     CalibrationBuilder::new(ArchConfig::intel_i7_4790())
         .target_ops(40_000)
         .calibrate()
+        .expect("calibration")
 }
 
 fn breakdown_of(kind: EngineKind, table: &EnergyTable, plan: &engines::Plan) -> Breakdown {
@@ -207,7 +208,8 @@ fn pstate_scaling_matches_tables_2_and_5() {
     let lo = CalibrationBuilder::new(ArchConfig::intel_i7_4790())
         .pstate(PState::P12)
         .target_ops(40_000)
-        .calibrate();
+        .calibrate()
+        .expect("calibration");
     assert!(lo.de(MicroOp::L1d) < hi.de(MicroOp::L1d) * 0.6);
     let mem_ratio = lo.de(MicroOp::Mem) / hi.de(MicroOp::Mem);
     assert!(
