@@ -1,30 +1,68 @@
 //! Wall-clock throughput benchmark for the simcore batched-access fast path.
 //!
-//! Replays four access traces twice — once through the scalar
-//! `Cpu::load`/`Cpu::store` verbs, once through `Cpu::access_run` — and
-//! reports simulated accesses per host second for each, plus the speedup.
-//! The two replays issue the *identical* access sequence (the equivalence
-//! is proven bit-exact by `tests/access_equiv.rs`); this binary measures
-//! only how fast the simulator gets through it.
+//! Replays four access traces through the scalar `Cpu::load`/`Cpu::store`
+//! verbs and through `Cpu::access_run`, and reports simulated accesses per
+//! host second for each, plus the speedup. The two replays issue the
+//! *identical* access sequence (the equivalence is proven bit-exact by
+//! `tests/access_equiv.rs`); this binary measures only how fast the
+//! simulator gets through it. Each arm runs three times with the arms
+//! alternated, and the fastest rep per arm is reported — single runs on a
+//! shared host swing far too much to gate on.
 //!
 //! Traces:
 //! * `scan_hot`   — repeated passes over an L1-resident window (the shape of
-//!   warm page scans, the fast path's home turf; the ≥5× target applies here),
-//! * `scan_cold`  — passes over a window larger than L3 (every line misses,
-//!   so the fast path legitimately falls back per line),
-//! * `chase`      — pointer chasing (whole-run scalar fallback by design),
+//!   warm page scans; hot batching + memoized replay, ≥5× target),
+//! * `scan_cold`  — passes over a window larger than L3 (every line misses;
+//!   the fused cold walk with bulk miss-charging, ≥3× target),
+//! * `chase`      — pointer chasing (fused chase steps, ≥2× target),
 //! * `mixed`      — interleaved warm runs, chases, repeats and stores.
 //!
-//! Results are written as JSON to `BENCH_simcore.json` (or the path given as
-//! the first non-flag argument) and the file is re-read and validated before
-//! exit. `--smoke` shrinks the iteration counts for CI: it still exercises
-//! every trace and the validation, just without the minutes-long run.
+//! `--e2e` additionally runs the full repro_all experiment suite twice
+//! in-process — once with the fast paths disabled, once enabled — checks the
+//! report streams are byte-identical, and records both wall-clocks. Results
+//! are written as JSON (schema v2) to `BENCH_simcore.json` (or the path
+//! given as the first non-flag argument) and the file is re-read and
+//! validated before exit. `--smoke` shrinks the iteration counts for CI and
+//! gates on the `scan_cold` ≥ 2× floor; the full mode gates on every
+//! trace's hard floor and additionally reports (without failing) any trace
+//! that met its floor but not its design target — see [`THRESHOLDS`].
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mjobs::json::{parse, Json};
-use simcore::{ArchConfig, Cpu, Dep, LINE};
+use simcore::{set_fastpath, ArchConfig, Cpu, Dep, RunStats, LINE};
+
+/// Wall-clock of the previous release's repro_all (fast paths of PR 3 only,
+/// measured on the same reference host before the cold/chase/replay paths
+/// landed). Recorded in the JSON so the end-to-end delta is tracked.
+const PREV_RELEASE_REPRO_ALL_S: f64 = 471.9;
+
+/// Per-trace speedup thresholds: (trace, hard floor, design target).
+///
+/// The floor is a regression tripwire — the binary exits non-zero below it.
+/// The target is the fast-path design goal; it is recorded per trace in the
+/// JSON and a miss is printed as a note, not a failure. The distinction
+/// exists because the cold and chase walks are dominated by a memory walk
+/// both arms share: on hosts whose LLC is shared (and noisy), that common
+/// term grows and the achievable ratio compresses toward
+/// `scalar_extra / fused_extra` regardless of how lean the fused arm is.
+/// Missing a target on such a host reflects host weather; missing a floor
+/// reflects a code regression.
+const THRESHOLDS: &[(&str, f64, f64)] = &[
+    ("scan_hot", 5.0, 5.0),
+    ("scan_cold", 2.0, 3.0),
+    ("chase", 1.3, 2.0),
+    ("mixed", 1.5, 2.0),
+];
+
+fn thresholds_for(name: &str) -> (f64, f64) {
+    THRESHOLDS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, floor, target)| (floor, target))
+        .unwrap_or_else(|| panic!("no thresholds for trace {name}"))
+}
 
 /// xorshift64* — deterministic chase addresses without external crates.
 struct Rng(u64);
@@ -45,8 +83,7 @@ struct TraceResult {
     accesses: u64,
     scalar_ns: u128,
     batched_ns: u128,
-    batched_lines: u64,
-    fallbacks: u64,
+    stats: RunStats,
 }
 
 impl TraceResult {
@@ -63,20 +100,41 @@ impl TraceResult {
     }
 }
 
+/// End-to-end suite timing: the same repro_all run with the fast paths off
+/// and on, plus whether the two report streams matched byte-for-byte.
+struct SuiteResult {
+    wall_off_s: f64,
+    wall_on_s: f64,
+    report_identical: bool,
+}
+
+impl SuiteResult {
+    fn speedup(&self) -> f64 {
+        self.wall_off_s / self.wall_on_s
+    }
+}
+
 fn fresh_cpu() -> (Cpu, u64) {
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
     let region = cpu.alloc(32 << 20).expect("bench arena");
     (cpu, region.addr)
 }
 
-/// Time `f(cpu, base)` on a fresh machine; returns (elapsed ns, run stats).
-fn timed(f: impl Fn(&mut Cpu, u64)) -> (u128, u64, u64) {
+/// Repetitions per arm. Each rep does identical simulated work, so the
+/// fastest one is the closest estimate of the code's actual cost; the
+/// others absorb scheduler preemption and host-cache pollution from
+/// neighbouring processes (single runs swing ±30% on shared hosts, enough
+/// to spuriously trip the speedup gates in either direction).
+const REPS: u32 = 3;
+
+/// Time `f(cpu, base)` once on a fresh machine; returns (elapsed ns, run
+/// stats). The stats are drained per run so each rep starts clean.
+fn timed_once(f: &impl Fn(&mut Cpu, u64)) -> (u128, RunStats) {
     let (mut cpu, base) = fresh_cpu();
     let t0 = Instant::now();
     f(&mut cpu, base);
     let ns = t0.elapsed().as_nanos().max(1);
-    let (batched, fallbacks) = cpu.run_stats();
-    (ns, batched, fallbacks)
+    (ns, cpu.run_stats())
 }
 
 fn run_trace(
@@ -85,15 +143,27 @@ fn run_trace(
     scalar: impl Fn(&mut Cpu, u64),
     batched: impl Fn(&mut Cpu, u64),
 ) -> TraceResult {
-    let (scalar_ns, _, _) = timed(scalar);
-    let (batched_ns, batched_lines, fallbacks) = timed(batched);
+    // Alternate the arms within each rep so a slow host phase (frequency
+    // ramp, a neighbour filling the shared LLC) penalises both equally
+    // instead of biasing whichever arm it happens to land on.
+    let mut scalar_ns = u128::MAX;
+    let mut batched_ns = u128::MAX;
+    let mut stats = None;
+    for _ in 0..REPS {
+        let (s, _) = timed_once(&scalar);
+        let (b, st) = timed_once(&batched);
+        scalar_ns = scalar_ns.min(s);
+        batched_ns = batched_ns.min(b);
+        // The counters are deterministic — every rep reports the same
+        // values — so keeping the first rep's is arbitrary but exact.
+        stats.get_or_insert(st);
+    }
     TraceResult {
         name,
         accesses,
         scalar_ns,
         batched_ns,
-        batched_lines,
-        fallbacks,
+        stats: stats.expect("at least one rep"),
     }
 }
 
@@ -122,7 +192,7 @@ fn run_all(scale: u64) -> Vec<TraceResult> {
     ));
 
     // scan_cold: passes over a 16 MB window (past the 8 MB L3) — nothing
-    // stays resident, so both replays pay the full per-line machinery.
+    // stays resident; the batched arm takes the fused cold walk.
     let cold_lines: u64 = (16 << 20) / LINE;
     let cold_passes: u64 = scale.div_ceil(4).max(1);
     results.push(run_trace(
@@ -198,30 +268,87 @@ fn run_all(scale: u64) -> Vec<TraceResult> {
     results
 }
 
-fn to_json(results: &[TraceResult], mode: &str) -> String {
+/// Run the full repro_all suite in-process and return (wall seconds, report
+/// bytes). `mjrt::run_suite` drains the fast-path counters itself, so each
+/// arm starts clean.
+fn run_suite_once() -> (f64, Vec<u8>) {
+    let cfg =
+        mjrt::HarnessConfig::from_env_and_args(&[] as &[String]).expect("default harness config");
+    let mut out = Vec::new();
+    let mut summary = std::io::sink();
+    let t0 = Instant::now();
+    let outcome = mjrt::run_suite(bench::experiments::REGISTRY, &cfg, &mut out, &mut summary)
+        .expect("suite report stream");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        outcome.failures().is_empty(),
+        "repro_all failed under perfbench: {:?}",
+        outcome.failures()
+    );
+    (wall, out)
+}
+
+fn run_e2e() -> SuiteResult {
+    eprintln!("perfbench: e2e arm 1/2 (fast paths off) ...");
+    set_fastpath(false);
+    let (wall_off_s, report_off) = run_suite_once();
+    eprintln!("perfbench: e2e arm 2/2 (fast paths on) ...");
+    set_fastpath(true);
+    let (wall_on_s, report_on) = run_suite_once();
+    SuiteResult {
+        wall_off_s,
+        wall_on_s,
+        report_identical: report_off == report_on,
+    }
+}
+
+fn to_json(results: &[TraceResult], suite: Option<&SuiteResult>, mode: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"microjoule.perfbench/v1\",\n");
+    s.push_str("  \"schema\": \"microjoule.perfbench/v2\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str("  \"traces\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let (floor, target) = thresholds_for(r.name);
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"accesses\": {}, \
              \"scalar_accesses_per_sec\": {:.1}, \
              \"batched_accesses_per_sec\": {:.1}, \
              \"speedup\": {:.3}, \
-             \"batched_lines\": {}, \"fallback_lines\": {}}}{}\n",
+             \"floor\": {:.1}, \"target\": {:.1}, \"target_met\": {}, \
+             \"batched_lines\": {}, \"cold_batched_lines\": {}, \
+             \"replayed_lines\": {}, \"fallback_lines\": {}}}{}\n",
             r.name,
             r.accesses,
             r.scalar_aps(),
             r.batched_aps(),
             r.speedup(),
-            r.batched_lines,
-            r.fallbacks,
+            floor,
+            target,
+            r.speedup() >= target,
+            r.stats.batched_lines,
+            r.stats.cold_batched_lines,
+            r.stats.replayed_lines,
+            r.stats.fallbacks,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    match suite {
+        Some(e) => s.push_str(&format!(
+            "  \"suite\": {{\"name\": \"repro_all\", \
+             \"wall_s_fastpath_off\": {:.1}, \"wall_s_fastpath_on\": {:.1}, \
+             \"speedup\": {:.3}, \"report_identical\": {}, \
+             \"prev_release_wall_s\": {:.1}}}\n",
+            e.wall_off_s,
+            e.wall_on_s,
+            e.speedup(),
+            e.report_identical,
+            PREV_RELEASE_REPRO_ALL_S,
+        )),
+        None => s.push_str("  \"suite\": null\n"),
+    }
+    s.push_str("}\n");
     s
 }
 
@@ -229,6 +356,10 @@ fn to_json(results: &[TraceResult], mode: &str) -> String {
 fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot re-read {path}: {e}"))?;
     let v = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "microjoule.perfbench/v2" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
     let traces = v
         .get("traces")
         .and_then(Json::as_arr)
@@ -245,17 +376,28 @@ fn validate(path: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(suite) = v.get("suite") {
+        if !matches!(suite, Json::Null) {
+            for key in ["wall_s_fastpath_off", "wall_s_fastpath_on"] {
+                let w = suite.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                if w.is_nan() || w <= 0.0 {
+                    return Err(format!("suite: {key} = {w} (must be > 0)"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut e2e = false;
     let mut path = String::from("BENCH_simcore.json");
     for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            path = arg;
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--e2e" => e2e = true,
+            _ => path = arg,
         }
     }
     // Smoke keeps every trace and the validation but trims the run to a
@@ -265,18 +407,36 @@ fn main() -> ExitCode {
     let results = run_all(scale);
     for r in &results {
         println!(
-            "{:<10} {:>12} accesses  scalar {:>12.0}/s  batched {:>12.0}/s  speedup {:>6.2}x  ({} batched, {} fallback lines)",
+            "{:<10} {:>12} accesses  scalar {:>12.0}/s  batched {:>12.0}/s  speedup {:>6.2}x  ({} batched, {} cold, {} replayed, {} fallback lines)",
             r.name,
             r.accesses,
             r.scalar_aps(),
             r.batched_aps(),
             r.speedup(),
-            r.batched_lines,
-            r.fallbacks,
+            r.stats.batched_lines,
+            r.stats.cold_batched_lines,
+            r.stats.replayed_lines,
+            r.stats.fallbacks,
         );
     }
 
-    let json = to_json(&results, mode);
+    let suite = e2e.then(run_e2e);
+    if let Some(e) = &suite {
+        println!(
+            "repro_all   fastpath off {:>8.1}s  on {:>8.1}s  speedup {:>5.2}x  report_identical {}  (prev release {:.1}s)",
+            e.wall_off_s,
+            e.wall_on_s,
+            e.speedup(),
+            e.report_identical,
+            PREV_RELEASE_REPRO_ALL_S,
+        );
+        if !e.report_identical {
+            eprintln!("perfbench: fast paths changed the repro_all report stream");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let json = to_json(&results, suite.as_ref(), mode);
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("perfbench: cannot write {path}: {e}");
         return ExitCode::FAILURE;
@@ -287,12 +447,32 @@ fn main() -> ExitCode {
     }
     println!("perfbench: wrote {path}");
 
-    let hot = results.iter().find(|r| r.name == "scan_hot").expect("hot");
-    if !smoke && hot.speedup() < 5.0 {
-        eprintln!(
-            "perfbench: scan_hot speedup {:.2}x is below the 5x target",
-            hot.speedup()
-        );
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("{name} trace missing"))
+    };
+    // Gates: smoke is CI's cheap regression tripwire (the scan_cold floor
+    // only — per the roadmap); the full run enforces every floor and
+    // reports, without failing, any trace short of its design target.
+    let mut failed = false;
+    for &(name, floor, target) in THRESHOLDS {
+        if smoke && name != "scan_cold" {
+            continue;
+        }
+        let s = get(name).speedup();
+        if s < floor {
+            eprintln!("perfbench: {name} speedup {s:.2}x is below the {floor}x floor");
+            failed = true;
+        } else if !smoke && s < target {
+            eprintln!(
+                "perfbench: note: {name} speedup {s:.2}x meets the {floor}x floor \
+                 but not the {target}x design target (host-bound; see DESIGN.md §9)"
+            );
+        }
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -157,7 +157,8 @@ impl Engine {
     /// Pass a calibrated `table` for this variant's architecture to also
     /// check the energy-model invariant.
     pub fn run_case(&mut self, plan: &Plan, table: Option<&EnergyTable>) -> CaseOutcome {
-        let batched_before = self.cpu.run_stats().0;
+        let s0 = self.cpu.run_stats();
+        let batched_before = s0.batched_lines + s0.replayed_lines;
         let mut result: Option<storage::Result<Vec<Row>>> = None;
         let handle = &mut self.handle;
         let m = self.cpu.measure(|c| {
@@ -166,7 +167,8 @@ impl Engine {
                 Handle::Dtcm(d) => d.run(c, plan),
             });
         });
-        let batched = self.cpu.run_stats().0 - batched_before;
+        let s1 = self.cpu.run_stats();
+        let batched = (s1.batched_lines + s1.replayed_lines) - batched_before;
 
         let mut violations = invariants::conservation_violations(self.variant.arch(), &m.pmu);
         if let Some(v) = invariants::batched_violation(&m.pmu, batched) {

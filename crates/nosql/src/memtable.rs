@@ -48,7 +48,7 @@ impl Memtable {
         // Pseudo-random but deterministic node path.
         let mut h = self.next_node.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
         for _ in 0..levels {
-            cpu.load(self.arena.addr + (h % nodes) * 64, Dep::Chase);
+            cpu.access_run(self.arena.addr + (h % nodes) * 64, 1, false, Dep::Chase);
             cpu.exec(ExecOp::Branch);
             h = h
                 .wrapping_mul(6364136223846793005)

@@ -85,8 +85,10 @@ impl SsTable {
         let mut hi = self.index.len();
         while lo < hi {
             let mid = (lo + hi) / 2;
-            cpu.load(
+            cpu.access_run(
                 self.region.addr + (self.index[mid].1 % self.region.len),
+                1,
+                false,
                 Dep::Chase,
             );
             cpu.exec(ExecOp::Branch);

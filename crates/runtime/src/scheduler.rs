@@ -251,11 +251,13 @@ pub fn run_suite(
 
     // All workers have joined (scope end), so every shard's `Cpu` has
     // dropped and flushed its fast-path tallies into the simcore globals.
-    // Publish them once per suite; both are jobs-count independent because
-    // batching decisions never depend on scheduling.
-    let (batched, fallbacks) = simcore::take_run_stats();
-    mjobs::metrics::counter_add("simcore.run_batched_lines", batched);
-    mjobs::metrics::counter_add("simcore.run_fallbacks", fallbacks);
+    // Publish them once per suite; all four are jobs-count independent
+    // because batching decisions never depend on scheduling.
+    let st = simcore::take_run_stats();
+    mjobs::metrics::counter_add("simcore.run_batched_lines", st.batched_lines);
+    mjobs::metrics::counter_add("simcore.run_cold_batched_lines", st.cold_batched_lines);
+    mjobs::metrics::counter_add("simcore.run_replayed_lines", st.replayed_lines);
+    mjobs::metrics::counter_add("simcore.run_fallbacks", st.fallbacks);
 
     let outcome = SuiteOutcome {
         experiments: outcomes,

@@ -7,25 +7,146 @@
 
 use crate::arch::CacheConfig;
 
-/// One cache way.
+/// One cache way, packed to 16 bytes so a set scan touches as few host
+/// cache lines as possible (the dominant cost of the simulated walks):
+/// `meta` holds `tag << 3 | prefetched << 2 | dirty << 1 | valid`, and the
+/// residency test is a single masked compare against `tag << 3 | 1`.
 #[derive(Debug, Clone, Copy)]
 struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+    meta: u64,
     /// Monotonic per-cache stamp for LRU ordering.
     lru: u64,
-    /// Set when the line was filled by the prefetcher and not yet demanded.
-    prefetched: bool,
 }
 
-const EMPTY: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-    prefetched: false,
-};
+/// `meta` bit for a resident way.
+const VALID: u64 = 1;
+/// `meta` bit for a dirty way.
+const DIRTY: u64 = 2;
+/// `meta` bit for a prefetcher-filled, not-yet-demanded way.
+const PREFETCHED: u64 = 4;
+/// Mask selecting the tag and valid bits (the residency-test key).
+const KEY_MASK: u64 = !(DIRTY | PREFETCHED);
+
+impl Line {
+    #[inline]
+    fn key(tag: u64) -> u64 {
+        tag << 3 | VALID
+    }
+
+    #[inline]
+    fn matches(&self, key: u64) -> bool {
+        self.meta & KEY_MASK == key
+    }
+
+    #[inline]
+    fn valid(&self) -> bool {
+        self.meta & VALID != 0
+    }
+
+    #[inline]
+    fn dirty(&self) -> bool {
+        self.meta & DIRTY != 0
+    }
+
+    #[inline]
+    fn prefetched(&self) -> bool {
+        self.meta & PREFETCHED != 0
+    }
+
+    #[inline]
+    fn tag(&self) -> u64 {
+        self.meta >> 3
+    }
+
+    #[inline]
+    fn new(tag: u64, dirty: bool, prefetch: bool, lru: u64) -> Line {
+        Line {
+            meta: tag << 3 | (prefetch as u64) << 2 | (dirty as u64) << 1 | VALID,
+            lru,
+        }
+    }
+}
+
+const EMPTY: Line = Line { meta: 0, lru: 0 };
+
+/// AVX2 single-pass set scan, used by the fused-walk lookups on 8/16-way
+/// geometries. Selection is provably identical to the scalar loop in
+/// [`Cache::find_or_victim_cold`]:
+///
+/// * a tag match is unique within a set (a line is resident in at most one
+///   way), so reporting `trailing_zeros` of the match mask is exact;
+/// * every *valid* way holds a distinct `lru` stamp ≥ 1 (stamps are issued
+///   from one pre-incremented per-cache counter, each value to exactly one
+///   way, and reset only by whole-set invalidation), so the scalar
+///   first-minimum either picks the first invalid way (key 0 with strict
+///   `<`) — `trailing_zeros` of the invalid mask — or the *unique* argmin
+///   of the stamps, where first-occurrence tie-breaking is moot.
+///
+/// The 64-bit min uses signed compares, exact because stamps count
+/// simulated accesses and stay far below 2^63.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{Line, KEY_MASK, VALID};
+    use std::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn min64(a: __m256i, b: __m256i) -> __m256i {
+        let a_gt = _mm256_cmpgt_epi64(a, b);
+        _mm256_blendv_epi8(a, b, a_gt)
+    }
+
+    /// Scan `ways` (8 or 16) interleaved [`Line`]s starting at `lines`:
+    /// `Ok(way)` on a key match, else `Err(victim way)`.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and that `lines` points at
+    /// `ways` initialised `Line`s.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan(lines: *const Line, ways: usize, key: u64) -> Result<usize, usize> {
+        debug_assert!(ways == 8 || ways == 16);
+        let keyv = _mm256_set1_epi64x(key as i64);
+        let maskv = _mm256_set1_epi64x(KEY_MASK as i64);
+        let validv = _mm256_set1_epi64x(VALID as i64);
+        let zerov = _mm256_setzero_si256();
+        let groups = ways / 4;
+        let mut lrus = [zerov; 4];
+        let mut match_mask = 0u32;
+        let mut invalid_mask = 0u32;
+        for (g, lru) in lrus.iter_mut().enumerate().take(groups) {
+            let p = lines.add(g * 4) as *const __m256i;
+            let a = _mm256_loadu_si256(p); // [m0 l0 | m1 l1]
+            let b = _mm256_loadu_si256(p.add(1)); // [m2 l2 | m3 l3]
+            let lo = _mm256_unpacklo_epi64(a, b); // [m0 m2 | m1 m3]
+            let hi = _mm256_unpackhi_epi64(a, b); // [l0 l2 | l1 l3]
+            let m = _mm256_permute4x64_epi64(lo, 0b11_01_10_00); // [m0 m1 m2 m3]
+            *lru = _mm256_permute4x64_epi64(hi, 0b11_01_10_00);
+            let inv = _mm256_cmpeq_epi64(_mm256_and_si256(m, validv), zerov);
+            let mat = _mm256_cmpeq_epi64(_mm256_and_si256(m, maskv), keyv);
+            invalid_mask |= (_mm256_movemask_pd(_mm256_castsi256_pd(inv)) as u32) << (4 * g);
+            match_mask |= (_mm256_movemask_pd(_mm256_castsi256_pd(mat)) as u32) << (4 * g);
+        }
+        if match_mask != 0 {
+            return Ok(match_mask.trailing_zeros() as usize);
+        }
+        if invalid_mask != 0 {
+            return Err(invalid_mask.trailing_zeros() as usize);
+        }
+        // All ways valid: victim is the unique argmin of the stamps.
+        let mut min = lrus[0];
+        for &l in lrus.iter().take(groups).skip(1) {
+            min = min64(min, l);
+        }
+        min = min64(min, _mm256_permute4x64_epi64(min, 0b01_00_11_10));
+        min = min64(min, _mm256_permute4x64_epi64(min, 0b10_11_00_01));
+        let mut eq = 0u32;
+        for (g, &l) in lrus.iter().enumerate().take(groups) {
+            let e = _mm256_cmpeq_epi64(l, min);
+            eq |= (_mm256_movemask_pd(_mm256_castsi256_pd(e)) as u32) << (4 * g);
+        }
+        Err(eq.trailing_zeros() as usize)
+    }
+}
 
 /// Result of a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +182,27 @@ pub struct Cache {
     /// `log2(sets)`, precomputed so `tag_of` is two shifts, not two divides.
     set_shift: u32,
     stamp: u64,
+    /// Bumped on every [`Cache::flush`]/[`Cache::invalidate`] — the two
+    /// mutations that do *not* consume a stamp. `(stamp, epoch)` together
+    /// therefore fingerprint the cache state: if neither moved, no line was
+    /// touched, filled, dropped or restamped since they were read.
+    epoch: u64,
+    /// Host-side accelerator, not simulated state: the way-within-set each
+    /// recently installed line landed in, indexed by line number modulo
+    /// [`HINT_SLOTS`]. Hints are verified against the tag before use and
+    /// never consulted for victim choice, so stale or colliding entries are
+    /// harmless. Empty (disabled) for small caches whose scans are cheap.
+    way_hint: Vec<u8>,
+    /// Host supports the AVX2 set scan for this geometry (see [`simd`]).
+    simd: bool,
 }
+
+/// Slots in [`Cache::way_hint`] (32 KiB per enabled cache — small enough
+/// that the table itself stays resident in the host's near caches, which
+/// matters because hint reads are the first hop of a dependent two-load
+/// chain). Lines 2 MiB apart alias; a stale alias just fails tag
+/// verification and falls back to the scan.
+const HINT_SLOTS: usize = 1 << 15;
 
 impl Cache {
     /// Build a cache from its geometry.
@@ -74,7 +215,37 @@ impl Cache {
             sets,
             set_shift: sets.trailing_zeros(),
             stamp: 0,
+            epoch: 0,
+            way_hint: if sets >= 512 {
+                vec![0; HINT_SLOTS]
+            } else {
+                Vec::new()
+            },
+            simd: {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    (cfg.ways == 8 || cfg.ways == 16) && std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                false
+            },
         }
+    }
+
+    #[inline]
+    fn hint_slot(line_addr: u64) -> usize {
+        (line_addr >> LINE_SHIFT) as usize & (HINT_SLOTS - 1)
+    }
+
+    /// Monotonic access stamp (see the `epoch` field for the fingerprint
+    /// contract).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Flush/invalidate generation counter.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn set_of(&self, line_addr: u64) -> usize {
@@ -90,21 +261,65 @@ impl Cache {
         &mut self.lines[s..s + self.ways]
     }
 
+    /// Hint the *host* CPU to pull this line's set into its own cache ahead
+    /// of the walk scanning it. Pure performance hint: reads and writes no
+    /// simulated state, so every path stays bit-identical with or without it.
+    #[inline]
+    pub fn prefetch_set(&self, line_addr: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let s = self.set_of(line_addr) * self.ways;
+            let ptr = self.lines[s..].as_ptr() as *const i8;
+            // A set is `ways * 16` bytes; touch each 64-byte host line.
+            unsafe {
+                _mm_prefetch(ptr, _MM_HINT_T0);
+                if self.ways > 4 {
+                    _mm_prefetch(ptr.add(64), _MM_HINT_T0);
+                }
+                if self.ways > 8 {
+                    _mm_prefetch(ptr.add(128), _MM_HINT_T0);
+                    _mm_prefetch(ptr.add(192), _MM_HINT_T0);
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line_addr;
+    }
+
+    /// Companion to [`Cache::prefetch_set`] for hint-enabled caches: pull
+    /// the way-hint slot as well, so the hinted lookup's serial
+    /// hint-then-line load chain starts from the host cache. Same contract —
+    /// host-side only, touches no simulated state.
+    #[inline]
+    pub fn prefetch_hint(&self, line_addr: u64) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.way_hint.is_empty() {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            unsafe {
+                let p = self.way_hint.as_ptr().add(Self::hint_slot(line_addr));
+                _mm_prefetch(p as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line_addr;
+    }
+
     /// Demand access to the line containing `line_addr`. Updates LRU on hit;
     /// does **not** fill on miss (the hierarchy decides what to fill where).
     pub fn access(&mut self, line_addr: u64, write: bool) -> Lookup {
         self.stamp += 1;
         let stamp = self.stamp;
-        let tag = self.tag_of(line_addr);
+        let key = Line::key(self.tag_of(line_addr));
         let set = self.set_of(line_addr);
         for l in self.set_slice(set) {
-            if l.valid && l.tag == tag {
+            if l.matches(key) {
                 l.lru = stamp;
+                let was_prefetched = l.prefetched();
                 if write {
-                    l.dirty = true;
+                    l.meta |= DIRTY;
                 }
-                let was_prefetched = l.prefetched;
-                l.prefetched = false;
+                l.meta &= !PREFETCHED;
                 return Lookup::Hit { was_prefetched };
             }
         }
@@ -127,17 +342,17 @@ impl Cache {
         let mut hits = 0u64;
         while hits < max_lines {
             let set = (ln & mask) as usize;
-            let tag = ln >> self.set_shift;
+            let key = Line::key(ln >> self.set_shift);
             let s = set * self.ways;
             let stamp = self.stamp + 1;
             let mut hit = false;
             for l in &mut self.lines[s..s + self.ways] {
-                if l.valid && l.tag == tag {
+                if l.matches(key) {
                     l.lru = stamp;
                     if write {
-                        l.dirty = true;
+                        l.meta |= DIRTY;
                     }
-                    l.prefetched = false;
+                    l.meta &= !PREFETCHED;
                     hit = true;
                     break;
                 }
@@ -164,16 +379,16 @@ impl Cache {
         }
         let ln = line_addr >> LINE_SHIFT;
         let set = ((ln & (self.sets - 1)) as usize) * self.ways;
-        let tag = ln >> self.set_shift;
+        let key = Line::key(ln >> self.set_shift);
         let stamp = self.stamp + n;
         let mut hit = false;
         for l in &mut self.lines[set..set + self.ways] {
-            if l.valid && l.tag == tag {
+            if l.matches(key) {
                 l.lru = stamp;
                 if write {
-                    l.dirty = true;
+                    l.meta |= DIRTY;
                 }
-                l.prefetched = false;
+                l.meta &= !PREFETCHED;
                 hit = true;
                 break;
             }
@@ -184,14 +399,220 @@ impl Cache {
         hit
     }
 
-    /// Probe without touching LRU or dirty state.
-    pub fn probe(&self, line_addr: u64) -> bool {
-        let tag = self.tag_of(line_addr);
+    /// Pure lookup: the way index holding `line_addr`, if resident. No LRU,
+    /// stamp or flag changes — pairs with [`Cache::touch_way`] /
+    /// [`Cache::install_at`] so a fused walk can scan each set once.
+    pub fn find_way(&self, line_addr: u64) -> Option<usize> {
+        let key = Line::key(self.tag_of(line_addr));
         let set = self.set_of(line_addr);
         let s = set * self.ways;
         self.lines[s..s + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .position(|l| l.matches(key))
+            .map(|w| s + w)
+    }
+
+    /// Single-pass combination of [`Cache::find_way`] and
+    /// [`Cache::victim_way`]: `Ok(way)` when resident, else `Err(victim)` —
+    /// the way [`Cache::fill`] would evict right now. One set scan instead
+    /// of the scalar access-then-fill pair's two.
+    pub fn find_or_victim(&self, line_addr: u64) -> Result<usize, usize> {
+        // Host-side way hint: a line is resident in at most one way of its
+        // set, so a verified hint returns exactly the way the scan would.
+        if !self.way_hint.is_empty() {
+            let key = Line::key(self.tag_of(line_addr));
+            let s = self.set_of(line_addr) * self.ways;
+            let h = self.way_hint[Self::hint_slot(line_addr)] as usize;
+            if self.lines[s + h].matches(key) {
+                return Ok(s + h);
+            }
+        }
+        self.find_or_victim_cold(line_addr)
+    }
+
+    /// [`Cache::find_or_victim`] without the way-hint probe — for callers
+    /// that expect a miss (prefetch frontier pulls), where the hint lookup
+    /// is a wasted host-cache access. Result is identical either way.
+    pub fn find_or_victim_cold(&self, line_addr: u64) -> Result<usize, usize> {
+        let key = Line::key(self.tag_of(line_addr));
+        let set = self.set_of(line_addr);
+        let s = set * self.ways;
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // SAFETY: `simd` is set only when AVX2 was detected and the
+            // geometry is 8/16 ways; the slice holds `ways` Lines at `s`.
+            return match unsafe { simd::scan(self.lines.as_ptr().add(s), self.ways, key) } {
+                Ok(w) => Ok(s + w),
+                Err(v) => Err(s + v),
+            };
+        }
+        let mut victim = s;
+        let mut victim_key = u64::MAX;
+        for (i, l) in self.lines[s..s + self.ways].iter().enumerate() {
+            if l.matches(key) {
+                return Ok(s + i);
+            }
+            // Branchless first-minimum (selects compile to cmov): the LRU
+            // stamps are data-random, so a compare-and-branch here costs a
+            // mispredict on roughly every halving of the running minimum.
+            // Strict `<` keeps the earliest way on ties like `min_by_key`.
+            let k = if l.valid() { l.lru } else { 0 };
+            let better = k < victim_key;
+            victim_key = if better { k } else { victim_key };
+            victim = if better { s + i } else { victim };
+        }
+        Err(victim)
+    }
+
+    /// Number of sets (fused walks gate victim precomputation on geometry).
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Pure lookup: the global index of the way [`Cache::fill`] would evict
+    /// for `line_addr` *right now* — the same first-minimum
+    /// `min_by_key(valid ? lru : 0)` scan, without mutating anything.
+    pub fn victim_way(&self, line_addr: u64) -> usize {
+        let set = self.set_of(line_addr);
+        let s = set * self.ways;
+        let mut best = s;
+        let mut best_key = u64::MAX;
+        for (i, l) in self.lines[s..s + self.ways].iter().enumerate() {
+            // Branchless first-minimum, same selection as `min_by_key` (see
+            // find_or_victim_cold for why the selects beat branches here).
+            let key = if l.valid() { l.lru } else { 0 };
+            let better = key < best_key;
+            best_key = if better { key } else { best_key };
+            best = if better { s + i } else { best };
+        }
+        best
+    }
+
+    /// One demand access applied at a way found by [`Cache::find_way`]:
+    /// exactly the hit arm of [`Cache::access`] (stamp+1, restamp
+    /// most-recent, dirty on write, clear `prefetched`). Returns
+    /// `was_prefetched`.
+    pub fn touch_way(&mut self, way: usize, write: bool) -> bool {
+        self.stamp += 1;
+        let l = &mut self.lines[way];
+        debug_assert!(l.valid(), "touch_way on an invalid way");
+        l.lru = self.stamp;
+        if write {
+            l.meta |= DIRTY;
+        }
+        let was_prefetched = l.prefetched();
+        l.meta &= !PREFETCHED;
+        was_prefetched
+    }
+
+    /// Consume the stamp a scalar [`Cache::access`] miss would have consumed
+    /// (the scan itself already happened via [`Cache::find_way`]).
+    pub fn miss_stamp(&mut self) {
+        self.stamp += 1;
+    }
+
+    /// Insert `line_addr` at a victim way precomputed by
+    /// [`Cache::victim_way`]. Exactly [`Cache::fill`] for a non-resident
+    /// line whose set was untouched since the victim scan (the caller's
+    /// proof obligation); same stamp arithmetic, same `Fill` report.
+    pub fn install_at(&mut self, line_addr: u64, way: usize, dirty: bool, prefetch: bool) -> Fill {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let tag = self.tag_of(line_addr);
+        let set = self.set_of(line_addr) as u64;
+        let sets = self.sets;
+        let victim = &mut self.lines[way];
+        let mut out = Fill {
+            writeback: None,
+            evicted: None,
+        };
+        if victim.valid() {
+            let victim_addr = (victim.tag() * sets + set) * crate::LINE;
+            if victim.dirty() {
+                out.writeback = Some(victim_addr);
+            } else {
+                out.evicted = Some(victim_addr);
+            }
+        }
+        *victim = Line::new(tag, dirty, prefetch, stamp);
+        if !self.way_hint.is_empty() {
+            self.way_hint[Self::hint_slot(line_addr)] = (way % self.ways) as u8;
+        }
+        out
+    }
+
+    /// [`Cache::access_run`] that additionally records the within-set way
+    /// index of every counted hit into `ways` (for the memoized-replay
+    /// cache). State effects are identical to `access_run`.
+    pub fn access_run_record(
+        &mut self,
+        line_addr: u64,
+        max_lines: u64,
+        write: bool,
+        ways: &mut Vec<u8>,
+    ) -> u64 {
+        let mut ln = line_addr >> LINE_SHIFT;
+        let mask = self.sets - 1;
+        let mut hits = 0u64;
+        while hits < max_lines {
+            let set = (ln & mask) as usize;
+            let key = Line::key(ln >> self.set_shift);
+            let s = set * self.ways;
+            let stamp = self.stamp + 1;
+            let mut hit = false;
+            for (w, l) in self.lines[s..s + self.ways].iter_mut().enumerate() {
+                if l.matches(key) {
+                    l.lru = stamp;
+                    if write {
+                        l.meta |= DIRTY;
+                    }
+                    l.meta &= !PREFETCHED;
+                    ways.push(w as u8);
+                    hit = true;
+                    break;
+                }
+            }
+            if !hit {
+                break;
+            }
+            self.stamp = stamp;
+            hits += 1;
+            ln += 1;
+        }
+        hits
+    }
+
+    /// Replay a recorded all-hit run: restamp the recorded ways without
+    /// re-scanning the sets. Sound only when `(stamp, epoch)` still match
+    /// the values captured right after the recorded run (the caller's
+    /// fingerprint check): then no access, fill, invalidate or flush has
+    /// touched the cache since, so each line still sits in its recorded way
+    /// and every access would hit. Stamp arithmetic matches `access_run`
+    /// (one stamp per hit, each way restamped with its own access's stamp).
+    pub fn replay_run(&mut self, line_addr: u64, write: bool, ways: &[u8]) {
+        let mask = self.sets - 1;
+        for (ln, &w) in (line_addr >> LINE_SHIFT..).zip(ways.iter()) {
+            self.stamp += 1;
+            let set = (ln & mask) as usize;
+            let l = &mut self.lines[set * self.ways + w as usize];
+            debug_assert!(
+                l.matches(Line::key(ln >> self.set_shift)),
+                "replay fingerprint admitted a stale way"
+            );
+            l.lru = self.stamp;
+            if write {
+                l.meta |= DIRTY;
+            }
+            l.meta &= !PREFETCHED;
+        }
+    }
+
+    /// Probe without touching LRU or dirty state.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let key = Line::key(self.tag_of(line_addr));
+        let set = self.set_of(line_addr);
+        let s = set * self.ways;
+        self.lines[s..s + self.ways].iter().any(|l| l.matches(key))
     }
 
     /// Insert the line containing `line_addr`, evicting the LRU way if the
@@ -200,14 +621,17 @@ impl Cache {
         self.stamp += 1;
         let stamp = self.stamp;
         let tag = self.tag_of(line_addr);
+        let key = Line::key(tag);
         let set = self.set_of(line_addr);
         let sets = self.sets;
         let set_lines = self.set_slice(set);
 
         // Already resident (e.g. racing prefetch): refresh flags only.
-        if let Some(l) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(l) = set_lines.iter_mut().find(|l| l.matches(key)) {
             l.lru = stamp;
-            l.dirty |= dirty;
+            if dirty {
+                l.meta |= DIRTY;
+            }
             return Fill {
                 writeback: None,
                 evicted: None,
@@ -216,39 +640,35 @@ impl Cache {
 
         let victim = set_lines
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .min_by_key(|l| if l.valid() { l.lru } else { 0 })
             .expect("cache set has at least one way");
 
         let mut out = Fill {
             writeback: None,
             evicted: None,
         };
-        if victim.valid {
-            let victim_addr = (victim.tag * sets + set as u64) * crate::LINE;
-            if victim.dirty {
+        if victim.valid() {
+            let victim_addr = (victim.tag() * sets + set as u64) * crate::LINE;
+            if victim.dirty() {
                 out.writeback = Some(victim_addr);
             } else {
                 out.evicted = Some(victim_addr);
             }
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty,
-            lru: stamp,
-            prefetched: prefetch,
-        };
+        *victim = Line::new(tag, dirty, prefetch, stamp);
         out
     }
 
     /// Drop the line if resident, reporting a dirty writeback address.
     pub fn invalidate(&mut self, line_addr: u64) -> Option<u64> {
-        let tag = self.tag_of(line_addr);
+        self.epoch += 1;
+        let key = Line::key(self.tag_of(line_addr));
         let set = self.set_of(line_addr);
         for l in self.set_slice(set) {
-            if l.valid && l.tag == tag {
-                l.valid = false;
-                return if l.dirty { Some(line_addr) } else { None };
+            if l.matches(key) {
+                let dirty = l.dirty();
+                l.meta &= !VALID;
+                return if dirty { Some(line_addr) } else { None };
             }
         }
         None
@@ -258,11 +678,12 @@ impl Cache {
     pub fn flush(&mut self) {
         self.lines.fill(EMPTY);
         self.stamp = 0;
+        self.epoch += 1;
     }
 
     /// Number of valid lines (test/diagnostic helper).
     pub fn resident(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid()).count()
     }
 
     /// Total capacity in lines.
@@ -445,6 +866,126 @@ mod tests {
                 was_prefetched: false
             }
         );
+    }
+
+    #[test]
+    fn fused_primitives_equal_access_and_fill() {
+        // find_way/touch_way/miss_stamp/victim_way/install_at must leave a
+        // cache in exactly the state the scalar access+fill pair produces.
+        let mut a = tiny();
+        let mut b = tiny();
+        for c in [&mut a, &mut b] {
+            c.fill(0, false, false);
+            c.fill(256, true, false);
+        }
+        // Scalar: hit 0 (write), then miss 512 and fill it.
+        assert!(matches!(a.access(0, true), Lookup::Hit { .. }));
+        assert_eq!(a.access(512, false), Lookup::Miss);
+        let fa = a.fill(512, false, false);
+        // Fused: same sequence through the primitives.
+        let w = b.find_way(0).expect("line 0 resident");
+        b.touch_way(w, true);
+        assert_eq!(b.find_way(512), None);
+        let victim = b.victim_way(512);
+        b.miss_stamp();
+        let fb = b.install_at(512, victim, false, false);
+        assert_eq!(fa, fb, "victim choice must match fill()");
+        let probes: Vec<u64> = (0..12u64).map(|i| i * 64).collect();
+        assert_state_equal(&mut a, &mut b, &probes);
+    }
+
+    #[test]
+    fn access_run_record_matches_access_run_and_records_ways() {
+        let mut a = tiny();
+        let mut b = tiny();
+        for i in 0..4u64 {
+            a.fill(i * 64, false, false);
+            b.fill(i * 64, false, false);
+        }
+        let ka = a.access_run(0, 6, true);
+        let mut ways = Vec::new();
+        let kb = b.access_run_record(0, 6, true, &mut ways);
+        assert_eq!(ka, kb);
+        assert_eq!(ways.len() as u64, kb);
+        let probes: Vec<u64> = (0..6u64).map(|i| i * 64).collect();
+        assert_state_equal(&mut a, &mut b, &probes);
+    }
+
+    #[test]
+    fn replay_run_equals_access_run_under_fingerprint() {
+        let mut a = tiny();
+        let mut b = tiny();
+        for i in 0..4u64 {
+            a.fill(i * 64, false, false);
+            b.fill(i * 64, false, false);
+        }
+        // Record a full-hit run on b, then run both again: a scalar, b replay.
+        let mut ways = Vec::new();
+        assert_eq!(a.access_run(0, 4, false), 4);
+        assert_eq!(b.access_run_record(0, 4, false, &mut ways), 4);
+        let (stamp, epoch) = (b.stamp(), b.epoch());
+        assert_eq!(a.access_run(0, 4, true), 4);
+        assert_eq!((b.stamp(), b.epoch()), (stamp, epoch));
+        b.replay_run(0, true, &ways);
+        let probes: Vec<u64> = (0..4u64).map(|i| i * 64).collect();
+        assert_state_equal(&mut a, &mut b, &probes);
+    }
+
+    #[test]
+    fn epoch_moves_only_on_flush_and_invalidate() {
+        let mut c = tiny();
+        let e0 = c.epoch();
+        c.fill(0, false, false);
+        c.access(0, true);
+        c.access_run(0, 1, false);
+        assert_eq!(c.epoch(), e0, "accesses/fills must not bump the epoch");
+        c.invalidate(0);
+        assert_eq!(c.epoch(), e0 + 1);
+        c.flush();
+        assert_eq!(c.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn find_or_victim_cold_matches_scalar_selection() {
+        // Randomized states over 8- and 16-way geometries (the ones the
+        // AVX2 scan covers, where available): the combined scan must agree
+        // with the scalar find_way/victim_way pair on every lookup, through
+        // partially-filled sets, invalidated holes and full-LRU sets.
+        for &(size, ways) in &[(64 * 8 * 64, 8), (256 * 16 * 64, 16)] {
+            let mut c = Cache::new(&CacheConfig {
+                size,
+                ways,
+                latency_cycles: 1,
+            });
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            let mut rng = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for i in 0..4000u64 {
+                let a = (rng() % 4096) * 64;
+                match rng() % 4 {
+                    0 => {
+                        c.fill(a, rng() % 2 == 0, rng() % 2 == 0);
+                    }
+                    1 => {
+                        c.access(a, rng() % 2 == 0);
+                    }
+                    2 => {
+                        c.invalidate(a);
+                    }
+                    _ => {}
+                }
+                let probe = (rng() % 4096) * 64;
+                let expect = match c.find_way(probe) {
+                    Some(w) => Ok(w),
+                    None => Err(c.victim_way(probe)),
+                };
+                assert_eq!(c.find_or_victim_cold(probe), expect, "lookup {i}");
+            }
+        }
     }
 
     #[test]

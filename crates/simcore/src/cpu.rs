@@ -11,13 +11,13 @@
 //! * [`Cpu::idle_c0`] / [`Cpu::idle_deep`] — let simulated wall time pass
 //!   without work (I/O waits, the background-calibration "sleep 1").
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::arch::{ArchConfig, ArchKind};
 use crate::arena::{Arena, MemError, Region};
 use crate::dvfs::{Governor, PState};
 use crate::energy::{EnergyMeter, EnergyModel, OpClass, Price, RaplReading};
-use crate::hierarchy::{AccessResult, Hierarchy, HitLevel};
+use crate::hierarchy::{AccessResult, ColdCtx, Hierarchy, HitLevel};
 use crate::pmu::{Event, Pmu, PmuSnapshot};
 use crate::timeline::TimelineSampler;
 
@@ -25,17 +25,52 @@ use crate::timeline::TimelineSampler;
 /// dropped (see [`take_run_stats`]). Relaxed ordering suffices: the values
 /// are diagnostics summed across threads, with no ordering dependencies.
 static RUN_BATCHED_LINES: AtomicU64 = AtomicU64::new(0);
+static RUN_COLD_BATCHED_LINES: AtomicU64 = AtomicU64::new(0);
+static RUN_REPLAYED_LINES: AtomicU64 = AtomicU64::new(0);
 static RUN_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 
-/// Drain the process-wide fast-path counters: lines charged through the
-/// batched path and lines that fell back to the scalar path, summed over
-/// every [`Cpu`] dropped since the last call. Harnesses surface these as
-/// `simcore.run_batched_lines` / `simcore.run_fallbacks` metrics.
-pub fn take_run_stats() -> (u64, u64) {
-    (
-        RUN_BATCHED_LINES.swap(0, Ordering::Relaxed),
-        RUN_FALLBACKS.swap(0, Ordering::Relaxed),
-    )
+/// Process-wide switch for the batched/fused fast paths. On by default;
+/// turned off, every run verb routes through the scalar per-access path.
+/// The results are bit-identical either way — the switch exists so
+/// benchmarks can measure the speedup end-to-end and tests can prove the
+/// equivalence on whole workloads.
+static FASTPATH: AtomicBool = AtomicBool::new(true);
+
+/// Enable/disable the batched/fused fast paths process-wide (default: on).
+pub fn set_fastpath(on: bool) {
+    FASTPATH.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+fn fastpath_enabled() -> bool {
+    FASTPATH.load(Ordering::Relaxed)
+}
+
+/// Fast-path effectiveness totals (see [`take_run_stats`] /
+/// [`Cpu::run_stats`]). All four count *lines* (accesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// L1D/TCM hits charged through the batched hot path.
+    pub batched_lines: u64,
+    /// Misses charged through the fused cold-run/chase path.
+    pub cold_batched_lines: u64,
+    /// Lines serviced from the memoized-replay cache.
+    pub replayed_lines: u64,
+    /// Lines routed through the scalar path by a run verb.
+    pub fallbacks: u64,
+}
+
+/// Drain the process-wide fast-path counters, summed over every [`Cpu`]
+/// dropped since the last call. Harnesses surface these as the
+/// `simcore.run_batched_lines` / `simcore.run_cold_batched_lines` /
+/// `simcore.run_replayed_lines` / `simcore.run_fallbacks` metrics.
+pub fn take_run_stats() -> RunStats {
+    RunStats {
+        batched_lines: RUN_BATCHED_LINES.swap(0, Ordering::Relaxed),
+        cold_batched_lines: RUN_COLD_BATCHED_LINES.swap(0, Ordering::Relaxed),
+        replayed_lines: RUN_REPLAYED_LINES.swap(0, Ordering::Relaxed),
+        fallbacks: RUN_FALLBACKS.swap(0, Ordering::Relaxed),
+    }
 }
 
 /// Per-access charge constants for one homogeneous run flavor (L1D/TCM ×
@@ -73,6 +108,97 @@ struct RunCharges {
 #[inline]
 fn flavor_index(write: bool, tcm: bool) -> usize {
     (tcm as usize) * 2 + write as usize
+}
+
+/// Hierarchy-level index for the per-level constant tables in
+/// [`ColdCharges`]: `Tcm, L1d, L2, L3, Mem` → `0..=4`.
+#[inline]
+fn level_ix(level: HitLevel) -> usize {
+    match level {
+        HitLevel::Tcm => 0,
+        HitLevel::L1d => 1,
+        HitLevel::L2 => 2,
+        HitLevel::L3 => 3,
+        HitLevel::Mem => 4,
+    }
+}
+
+/// Hoisted per-access constants for the fused cold-run/chase fast path at a
+/// fixed `(pstate, ifetch_discount)` operating point. Like [`RunFlavor`],
+/// every field holds the *exact* f64 the scalar path computes for the same
+/// access — prices via the same model calls, stall cycles via the same
+/// `lat / mlp` divisions, wall-time steps via the same `/ hz` divisions —
+/// so the fast steps replay the scalar additions operand-for-operand and
+/// stay bit-identical. Only lookups and dispatch are hoisted, never the
+/// arithmetic.
+#[derive(Debug, Clone)]
+struct ColdCharges {
+    pstate: PState,
+    ifetch_discount: f64,
+    hz: f64,
+    /// `background_w(pstate, busy=true)` per domain (W).
+    bg: (f64, f64, f64),
+    /// Effective front-end price (`fetch_price_eff`).
+    fetch: Price,
+    /// Decode-switch penalty, charged only on a class transition.
+    decode: Price,
+    /// `stall_price(hz)` for one stall cycle (scaled by `n` at charge time,
+    /// exactly as `advance` does).
+    stall_unit: Price,
+    /// `store_price(false, hz)` (fused runs never touch TCM).
+    store: Price,
+    /// `load_price(level, dram_row_hit, hz)`, indexed `[level_ix][row_hit]`.
+    load: [[Price; 2]; 5],
+    pf_l2: Price,
+    /// `pf_l3_price(row_hit, hz)`, indexed by `row_hit as usize`.
+    pf_l3: [Price; 2],
+    /// Writeback prices for L1d/L2/L3.
+    wb: [Price; 3],
+    /// `latency / mlp` stream stall per level, and its `/ hz` wall time.
+    stream_stall: [f64; 5],
+    stream_stall_dt: [f64; 5],
+    /// `latency / mlp / 2.0` write-allocate stall per level, and wall time.
+    alloc_stall: [f64; 5],
+    alloc_stall_dt: [f64; 5],
+    /// Chase shadow re-arm per level: `(lat - 1).max(0)` and its OOO cap.
+    chase_pending: [f64; 5],
+    chase_fillable: [f64; 5],
+    /// Load issue slot (`1 / load_issue_width`) and its wall time.
+    issue: f64,
+    issue_dt: f64,
+    /// `1.0 / hz` — wall time of one busy cycle (`advance(1, 0)`).
+    one_dt: f64,
+}
+
+/// Replay-cache slots (direct-mapped).
+const REPLAY_SLOTS: usize = 64;
+/// Shortest run worth memoizing: below this the record/probe overhead beats
+/// the charge loop it saves.
+const REPLAY_MIN_LINES: u64 = 4;
+/// Longest run memoized (bounds the recorded way vectors).
+const REPLAY_MAX_LINES: u64 = 1024;
+
+/// One memoized sub-trace: a whole-run L1D hit sequence recorded together
+/// with the L1D fingerprint it left behind. The entry replays only while
+/// the fingerprint still matches — see [`Cpu::try_replay`] for the
+/// soundness argument.
+#[derive(Debug)]
+struct ReplayEntry {
+    line: u64,
+    lines: u64,
+    write: bool,
+    /// `Hierarchy::l1_fingerprint()` immediately after the recorded run.
+    stamp_after: u64,
+    epoch: u64,
+    /// Way index (global) per line, in access order.
+    ways: Vec<u8>,
+}
+
+/// Direct-mapped slot for a run's `(first line, length, direction)` shape.
+#[inline]
+fn replay_slot(line: u64, lines: u64, write: bool) -> usize {
+    let key = (line / crate::LINE) ^ (lines << 1) ^ (write as u64);
+    (key.wrapping_mul(0x9E3779B97F4A7C15) >> 58) as usize
 }
 
 /// Dependency class of a load (see crate docs for the timing model).
@@ -187,8 +313,18 @@ pub struct Cpu {
     /// Cached per-access constants for the batched fast path, keyed on
     /// `(pstate, ifetch_discount)`; rebuilt lazily when either changes.
     run_charges: Option<RunCharges>,
+    /// Cached constants for the fused cold-run/chase fast path, same keying.
+    cold_charges: Option<ColdCharges>,
+    /// Memoized sub-trace replay cache (allocated on first record).
+    replay: Vec<Option<ReplayEntry>>,
+    /// Recycled way buffer for replay recording.
+    replay_scratch: Vec<u8>,
     /// Lines charged through the batched fast path by this machine.
     run_batched_lines: u64,
+    /// Misses charged through the fused cold-run/chase fast path.
+    run_cold_batched_lines: u64,
+    /// Lines serviced from the memoized-replay cache.
+    run_replayed_lines: u64,
     /// Lines routed through the scalar path by [`Cpu::access_run`] /
     /// the repeat verbs because the run was (locally) heterogeneous.
     run_fallbacks: u64,
@@ -197,6 +333,8 @@ pub struct Cpu {
 impl Drop for Cpu {
     fn drop(&mut self) {
         RUN_BATCHED_LINES.fetch_add(self.run_batched_lines, Ordering::Relaxed);
+        RUN_COLD_BATCHED_LINES.fetch_add(self.run_cold_batched_lines, Ordering::Relaxed);
+        RUN_REPLAYED_LINES.fetch_add(self.run_replayed_lines, Ordering::Relaxed);
         RUN_FALLBACKS.fetch_add(self.run_fallbacks, Ordering::Relaxed);
     }
 }
@@ -231,7 +369,12 @@ impl Cpu {
             last_class: u8::MAX,
             ifetch_discount: 0.0,
             run_charges: None,
+            cold_charges: None,
+            replay: Vec::new(),
+            replay_scratch: Vec::new(),
             run_batched_lines: 0,
+            run_cold_batched_lines: 0,
+            run_replayed_lines: 0,
             run_fallbacks: 0,
         }
     }
@@ -557,24 +700,324 @@ impl Cpu {
         }
     }
 
+    /// Rebuild the fused-path constant table if the operating point changed.
+    fn ensure_cold_charges(&mut self) {
+        if let Some(cc) = &self.cold_charges {
+            if cc.pstate == self.pstate && cc.ifetch_discount == self.ifetch_discount {
+                return;
+            }
+        }
+        let hz = self.freq_hz();
+        let levels = [
+            HitLevel::Tcm,
+            HitLevel::L1d,
+            HitLevel::L2,
+            HitLevel::L3,
+            HitLevel::Mem,
+        ];
+        let mut load = [[Price::default(); 2]; 5];
+        let mut stream_stall = [0.0; 5];
+        let mut stream_stall_dt = [0.0; 5];
+        let mut alloc_stall = [0.0; 5];
+        let mut alloc_stall_dt = [0.0; 5];
+        let mut chase_pending = [0.0; 5];
+        let mut chase_fillable = [0.0; 5];
+        for (ix, &level) in levels.iter().enumerate() {
+            load[ix] = [
+                self.model.load_price(level, false, hz),
+                self.model.load_price(level, true, hz),
+            ];
+            let lat = self.hier.latency_cycles(&self.arch, level, hz);
+            stream_stall[ix] = lat / self.arch.mlp;
+            stream_stall_dt[ix] = stream_stall[ix] / hz;
+            alloc_stall[ix] = lat / self.arch.mlp / 2.0;
+            alloc_stall_dt[ix] = alloc_stall[ix] / hz;
+            chase_pending[ix] = (lat - 1.0).max(0.0);
+            chase_fillable[ix] = chase_pending[ix].min(self.arch.ooo_fill_cycles);
+        }
+        let issue = 1.0 / self.arch.load_issue_width;
+        self.cold_charges = Some(ColdCharges {
+            pstate: self.pstate,
+            ifetch_discount: self.ifetch_discount,
+            hz,
+            bg: self.model.background_w(self.pstate, true),
+            fetch: self.fetch_price_eff(hz),
+            decode: self.model.decode_switch_price(hz),
+            stall_unit: self.model.stall_price(hz),
+            store: self.model.store_price(false, hz),
+            load,
+            pf_l2: self.model.pf_l2_price(hz),
+            pf_l3: [
+                self.model.pf_l3_price(false, hz),
+                self.model.pf_l3_price(true, hz),
+            ],
+            wb: [
+                self.model.writeback_price(HitLevel::L1d, hz),
+                self.model.writeback_price(HitLevel::L2, hz),
+                self.model.writeback_price(HitLevel::L3, hz),
+            ],
+            stream_stall,
+            stream_stall_dt,
+            alloc_stall,
+            alloc_stall_dt,
+            chase_pending,
+            chase_fillable,
+            issue,
+            issue_dt: issue / hz,
+            one_dt: 1.0 / hz,
+        });
+    }
+
+    /// One chase load of a non-TCM `line` through the fused walk — exactly
+    /// [`Cpu::load`] with [`Dep::Chase`] under the fast-path preconditions
+    /// (governor off, no sampler, operating point cached). The settle,
+    /// charge and shadow re-arm sequences replay the scalar additions with
+    /// hoisted operands.
+    fn chase_step_fast(&mut self, line: u64, ctx: &mut ColdCtx) {
+        // Chase lines are random: start pulling their (host-side) L2/L3 set
+        // slices now so they arrive while the settle arithmetic runs.
+        self.hier.prefetch_sets(line);
+        let cc = self.cold_charges.as_ref().expect("ensured by caller");
+        // settle(): resolve the previous chase shadow as stall.
+        if self.pending > 0.0 {
+            let p = self.pending;
+            self.pending = 0.0;
+            self.fillable = 0.0;
+            self.stall_cycles += p;
+            self.meter
+                .charge(crate::energy::scale_price(cc.stall_unit, p));
+            let dt = p / cc.hz;
+            self.time_s += dt;
+            self.meter.charge_power(cc.bg, dt);
+            self.win_active_s += dt;
+        }
+        let r = self.hier.load_fused(line, ctx, &mut self.pmu);
+        let level = r.level.expect("load always resolves to a level");
+        let ix = level_ix(level);
+        self.pmu.bump(Event::Instructions);
+        // charge_frontend(0)
+        self.meter.charge(cc.fetch);
+        if self.last_class != 0 && self.last_class != u8::MAX {
+            self.meter.charge(cc.decode);
+        }
+        self.last_class = 0;
+        self.meter.charge(cc.load[ix][r.dram_row_hit as usize]);
+        // charge_access_side_effects
+        for _ in 0..r.pf_l2 {
+            self.meter.charge(cc.pf_l2);
+        }
+        for i in 0..r.pf_l3 {
+            self.meter.charge(cc.pf_l3[(i < r.pf_l3_row_hits) as usize]);
+        }
+        for _ in 0..r.wb_l1 {
+            self.meter.charge(cc.wb[0]);
+        }
+        for _ in 0..r.wb_l2 {
+            self.meter.charge(cc.wb[1]);
+        }
+        for _ in 0..r.wb_l3 {
+            self.meter.charge(cc.wb[2]);
+        }
+        // advance(1.0, 0.0)
+        self.busy_cycles += 1.0;
+        self.time_s += cc.one_dt;
+        self.meter.charge_power(cc.bg, cc.one_dt);
+        self.win_active_s += cc.one_dt;
+        // Re-arm the shadow.
+        self.pending = cc.chase_pending[ix];
+        self.fillable = cc.chase_fillable[ix];
+        if matches!(level, HitLevel::L1d) {
+            self.run_batched_lines += 1;
+        } else {
+            self.run_cold_batched_lines += 1;
+        }
+    }
+
+    /// One stream load of a non-TCM `line` through the fused walk — exactly
+    /// [`Cpu::load`] with [`Dep::Stream`] under the fast-path preconditions
+    /// (plus `fillable == 0`, so `busy_work` reduces to `advance`).
+    fn stream_step_fast(&mut self, line: u64, ctx: &mut ColdCtx) {
+        let cc = self.cold_charges.as_ref().expect("ensured by caller");
+        let r = self.hier.load_fused(line, ctx, &mut self.pmu);
+        let level = r.level.expect("load always resolves to a level");
+        let ix = level_ix(level);
+        self.pmu.bump(Event::Instructions);
+        // charge_frontend(0)
+        self.meter.charge(cc.fetch);
+        if self.last_class != 0 && self.last_class != u8::MAX {
+            self.meter.charge(cc.decode);
+        }
+        self.last_class = 0;
+        self.meter.charge(cc.load[ix][r.dram_row_hit as usize]);
+        // charge_access_side_effects
+        for _ in 0..r.pf_l2 {
+            self.meter.charge(cc.pf_l2);
+        }
+        for i in 0..r.pf_l3 {
+            self.meter.charge(cc.pf_l3[(i < r.pf_l3_row_hits) as usize]);
+        }
+        for _ in 0..r.wb_l1 {
+            self.meter.charge(cc.wb[0]);
+        }
+        for _ in 0..r.wb_l2 {
+            self.meter.charge(cc.wb[1]);
+        }
+        for _ in 0..r.wb_l3 {
+            self.meter.charge(cc.wb[2]);
+        }
+        // busy_work(issue) with no fillable shadow → advance(issue, 0.0)
+        self.busy_cycles += cc.issue;
+        self.time_s += cc.issue_dt;
+        self.meter.charge_power(cc.bg, cc.issue_dt);
+        self.win_active_s += cc.issue_dt;
+        if matches!(level, HitLevel::L1d) {
+            self.run_batched_lines += 1;
+        } else {
+            // advance(0.0, lat / mlp): MLP-amortized exposed latency.
+            let s = cc.stream_stall[ix];
+            self.stall_cycles += s;
+            self.meter
+                .charge(crate::energy::scale_price(cc.stall_unit, s));
+            let dt = cc.stream_stall_dt[ix];
+            self.time_s += dt;
+            self.meter.charge_power(cc.bg, dt);
+            self.win_active_s += dt;
+            self.run_cold_batched_lines += 1;
+        }
+    }
+
+    /// One store to a non-TCM `line` through the fused walk — exactly
+    /// [`Cpu::store`] under the fast-path preconditions (plus
+    /// `fillable == 0`).
+    fn store_step_fast(&mut self, line: u64, ctx: &mut ColdCtx) {
+        let cc = self.cold_charges.as_ref().expect("ensured by caller");
+        let (r, allocated) = self.hier.store_fused(line, ctx, &mut self.pmu);
+        self.pmu.bump(Event::Instructions);
+        // charge_frontend(1)
+        self.meter.charge(cc.fetch);
+        if self.last_class != 1 && self.last_class != u8::MAX {
+            self.meter.charge(cc.decode);
+        }
+        self.last_class = 1;
+        self.meter.charge(cc.store);
+        // charge_access_side_effects
+        for _ in 0..r.pf_l2 {
+            self.meter.charge(cc.pf_l2);
+        }
+        for i in 0..r.pf_l3 {
+            self.meter.charge(cc.pf_l3[(i < r.pf_l3_row_hits) as usize]);
+        }
+        for _ in 0..r.wb_l1 {
+            self.meter.charge(cc.wb[0]);
+        }
+        for _ in 0..r.wb_l2 {
+            self.meter.charge(cc.wb[1]);
+        }
+        for _ in 0..r.wb_l3 {
+            self.meter.charge(cc.wb[2]);
+        }
+        // busy_work(1.0) with no fillable shadow → advance(1.0, 0.0)
+        self.busy_cycles += 1.0;
+        self.time_s += cc.one_dt;
+        self.meter.charge_power(cc.bg, cc.one_dt);
+        self.win_active_s += cc.one_dt;
+        if let Some(level) = allocated {
+            let ix = level_ix(level);
+            // Write-allocate fill: movement energy + softened latency.
+            self.meter.charge(cc.load[ix][r.dram_row_hit as usize]);
+            // advance(0.0, lat / mlp / 2.0)
+            let s = cc.alloc_stall[ix];
+            self.stall_cycles += s;
+            self.meter
+                .charge(crate::energy::scale_price(cc.stall_unit, s));
+            let dt = cc.alloc_stall_dt[ix];
+            self.time_s += dt;
+            self.meter.charge_power(cc.bg, dt);
+            self.win_active_s += dt;
+            self.run_cold_batched_lines += 1;
+        } else {
+            self.run_batched_lines += 1;
+        }
+    }
+
+    /// Consume the rest of a run through the fused cold walk, starting at a
+    /// known L1D miss. Hits interleaved in the tail take the same fused
+    /// steps (charged as batched lines); misses are bulk-charged
+    /// (cold-batched lines). Preconditions: governor off, no sampler,
+    /// `fillable == 0` (stream loads and stores never re-arm it, so it
+    /// stays zero for the whole segment), every line ≥ the TCM limit.
+    fn cold_segment(&mut self, line: &mut u64, left: &mut u64, write: bool) {
+        self.ensure_cold_charges();
+        let mut ctx = self.hier.cold_ctx();
+        while *left > 0 {
+            if write {
+                self.store_step_fast(*line, &mut ctx);
+            } else {
+                self.stream_step_fast(*line, &mut ctx);
+            }
+            *line += crate::LINE;
+            *left -= 1;
+        }
+    }
+
+    /// Attempt a memoized replay of the whole run `(line, lines, write)`.
+    ///
+    /// Soundness: an entry stores the L1D `(stamp, epoch)` fingerprint taken
+    /// immediately after its run was recorded. Every L1D mutation consumes
+    /// at least one stamp (and flush/invalidate bumps the epoch), so a
+    /// matching fingerprint proves the L1D is in *literally the same state*
+    /// as after the recorded run — in particular, every line of the run is
+    /// still resident in its recorded way, and replaying the recorded
+    /// restamp sequence plus the known-hit charges is the exact outcome the
+    /// scalar loop would produce. The pstate/ifetch flavor is *not* part of
+    /// the key: charges are taken fresh from [`Cpu::run_charges`].
+    fn try_replay(&mut self, line: u64, lines: u64, write: bool) -> bool {
+        if self.replay.is_empty() {
+            return false;
+        }
+        let slot = replay_slot(line, lines, write);
+        let fp = self.hier.l1_fingerprint();
+        let hit = self.replay[slot].as_ref().is_some_and(|e| {
+            e.line == line && e.lines == lines && e.write == write && (e.stamp_after, e.epoch) == fp
+        });
+        if !hit {
+            return false;
+        }
+        let f = self.run_charges().flavors[flavor_index(write, false)];
+        let e = self.replay[slot].take().expect("checked above");
+        self.hier
+            .l1_replay_run(e.line, e.write, &e.ways, &mut self.pmu);
+        self.charge_known_run(f, write as u8, lines);
+        self.run_replayed_lines += lines;
+        // The replay advanced the stamp by `lines`; the entry stays valid
+        // for an immediately following identical run.
+        self.replay[slot] = Some(ReplayEntry {
+            stamp_after: e.stamp_after + lines,
+            ..e
+        });
+        true
+    }
+
     /// Simulate a run of `lines` sequential line accesses starting at the
     /// line containing `addr` — the batched fast path.
     ///
-    /// Homogeneous prefixes (whole-run TCM stretches and L1D hit runs) are
-    /// charged with precomputed per-access constants; the run falls back to
-    /// the scalar [`Cpu::load`]/[`Cpu::store`] for any line where per-access
-    /// machinery could observe intermediate state: chase-dependent loads,
-    /// governor enabled, a timeline sampler attached, an unfilled chase
-    /// shadow, or an L1D miss (whose fill, prefetch and DRAM row effects are
-    /// inherently per-line). For any access sequence the PMU counters, RAPL
-    /// joules and timeline cycles are bit-identical to issuing the same
-    /// accesses one at a time.
+    /// Three fast regimes cover the run: whole-run TCM stretches and L1D
+    /// hit runs are charged with precomputed per-access constants (hot
+    /// batch); cold stretches — including chase runs — go through the fused
+    /// single-pass hierarchy walk with hoisted charges (bulk
+    /// miss-charging); and runs whose L1D fingerprint proves them identical
+    /// to a previously recorded run replay the memoized restamp/charge
+    /// sequence outright. The scalar [`Cpu::load`]/[`Cpu::store`] path
+    /// remains for anything that can observe per-access time: governor
+    /// enabled, a timeline sampler attached, an unfilled chase shadow, TCM
+    /// boundaries, or the fast path disabled via [`set_fastpath`]. For any
+    /// access sequence the PMU counters, RAPL joules and timeline cycles
+    /// are bit-identical to issuing the same accesses one at a time.
     pub fn access_run(&mut self, addr: u64, lines: u64, write: bool, dep: Dep) {
         let mut line = addr & !(crate::LINE - 1);
         let mut left = lines;
-        if dep == Dep::Chase || self.governor_on || self.sampler.is_some() {
-            // Whole-run heterogeneity: chase loads settle and re-arm the
-            // shadow per access; governor/sampler observe per-access time.
+        if self.governor_on || self.sampler.is_some() || !fastpath_enabled() {
+            // Governor/sampler observe per-access time: stay fully scalar.
             while left > 0 {
                 self.scalar_step(line, write, dep);
                 line += crate::LINE;
@@ -583,6 +1026,31 @@ impl Cpu {
             return;
         }
         let tcm_limit = self.hier.tcm_limit();
+        if dep == Dep::Chase && !write {
+            // Chase loads settle and re-arm the shadow per access; the
+            // fused walk + hoisted charges replay that exactly.
+            self.ensure_cold_charges();
+            let mut ctx = self.hier.cold_ctx();
+            while left > 0 {
+                if line < tcm_limit {
+                    self.scalar_step(line, write, dep);
+                } else {
+                    self.chase_step_fast(line, &mut ctx);
+                }
+                line += crate::LINE;
+                left -= 1;
+            }
+            return;
+        }
+        // Stream machinery (stores ignore `dep`, so write+chase runs land
+        // here too). A run that starts with no fillable shadow, stays above
+        // the TCM limit and has a memoizable length is a replay candidate.
+        let mut record = self.fillable == 0.0
+            && line >= tcm_limit
+            && (REPLAY_MIN_LINES..=REPLAY_MAX_LINES).contains(&lines);
+        if record && self.try_replay(line, lines, write) {
+            return;
+        }
         while left > 0 {
             if self.fillable > 0.0 {
                 // A prior chase load left a fillable shadow; scalar steps
@@ -601,7 +1069,40 @@ impl Cpu {
                 left -= k;
                 continue;
             }
-            let k = self.hier.l1_hit_run(line, left, write, &mut self.pmu);
+            // L1D hit prefix, batch-charged. On the first probe of a
+            // replay-candidate run, record the restamp sequence; if it
+            // covers the whole run, memoize it under the resulting
+            // fingerprint.
+            let k = if record {
+                record = false;
+                let mut ways = std::mem::take(&mut self.replay_scratch);
+                ways.clear();
+                let k = self
+                    .hier
+                    .l1_hit_run_record(line, left, write, &mut self.pmu, &mut ways);
+                if k == lines {
+                    if self.replay.is_empty() {
+                        self.replay.resize_with(REPLAY_SLOTS, || None);
+                    }
+                    let (stamp_after, epoch) = self.hier.l1_fingerprint();
+                    let slot = replay_slot(line, lines, write);
+                    if let Some(old) = self.replay[slot].replace(ReplayEntry {
+                        line,
+                        lines,
+                        write,
+                        stamp_after,
+                        epoch,
+                        ways,
+                    }) {
+                        self.replay_scratch = old.ways;
+                    }
+                } else {
+                    self.replay_scratch = ways;
+                }
+                k
+            } else {
+                self.hier.l1_hit_run(line, left, write, &mut self.pmu)
+            };
             if k > 0 {
                 let f = self.run_charges().flavors[flavor_index(write, false)];
                 self.charge_known_run(f, write as u8, k);
@@ -612,19 +1113,50 @@ impl Cpu {
                     break;
                 }
             }
-            // The next line is a known L1D miss: its fill, prefetcher and
-            // DRAM row-buffer side effects are per-line, so take the scalar
-            // path for it, then resume probing.
-            self.scalar_step(line, write, dep);
-            line += crate::LINE;
-            left -= 1;
+            // The next line is a known L1D miss: bulk-charge the rest of
+            // the run through the fused cold walk.
+            self.cold_segment(&mut line, &mut left, write);
         }
     }
 
-    /// Fast-path effectiveness counters for this machine:
-    /// `(batched_lines, scalar_fallback_lines)`.
-    pub fn run_stats(&self) -> (u64, u64) {
-        (self.run_batched_lines, self.run_fallbacks)
+    /// Simulate a line-granular copy over the run starting at `addr`: per
+    /// line one stream load followed by one store, as LSM/buffer-pool block
+    /// moves issue them. Bit-identical to the scalar alternation
+    /// `load(line, Stream); store(line)` per line; the fused walk handles
+    /// both cold and warm lines in one pass.
+    pub fn copy_run(&mut self, addr: u64, lines: u64) {
+        let mut line = addr & !(crate::LINE - 1);
+        if self.governor_on || self.sampler.is_some() || !fastpath_enabled() {
+            for _ in 0..lines {
+                self.scalar_step(line, false, Dep::Stream);
+                self.scalar_step(line, true, Dep::Stream);
+                line += crate::LINE;
+            }
+            return;
+        }
+        let tcm_limit = self.hier.tcm_limit();
+        self.ensure_cold_charges();
+        let mut ctx = self.hier.cold_ctx();
+        for _ in 0..lines {
+            if line < tcm_limit || self.fillable > 0.0 {
+                self.scalar_step(line, false, Dep::Stream);
+                self.scalar_step(line, true, Dep::Stream);
+            } else {
+                self.stream_step_fast(line, &mut ctx);
+                self.store_step_fast(line, &mut ctx);
+            }
+            line += crate::LINE;
+        }
+    }
+
+    /// Fast-path effectiveness counters for this machine.
+    pub fn run_stats(&self) -> RunStats {
+        RunStats {
+            batched_lines: self.run_batched_lines,
+            cold_batched_lines: self.run_cold_batched_lines,
+            replayed_lines: self.run_replayed_lines,
+            fallbacks: self.run_fallbacks,
+        }
     }
 
     /// Shared body of [`Cpu::load_repeat`] / [`Cpu::store_repeat`].
@@ -640,7 +1172,11 @@ impl Cpu {
         }
         let mut rest = n - 1;
         while rest > 0 {
-            if self.governor_on || self.sampler.is_some() || self.fillable > 0.0 {
+            if self.governor_on
+                || self.sampler.is_some()
+                || self.fillable > 0.0
+                || !fastpath_enabled()
+            {
                 self.scalar_step(addr, write, Dep::Stream);
                 rest -= 1;
                 continue;
@@ -1081,8 +1617,11 @@ mod tests {
         let mb = b.end_measure(tb);
 
         assert_identical(&ma, &mb);
-        let (batched, _) = b.run_stats();
-        assert_eq!(batched, 499, "the 499 repeats must take the fast path");
+        let st = b.run_stats();
+        assert_eq!(
+            st.batched_lines, 499,
+            "the 499 repeats must take the fast path"
+        );
     }
 
     #[test]
@@ -1116,9 +1655,9 @@ mod tests {
         assert_identical(&ma, &mb);
         assert_eq!(mb.pmu.get(Event::L1dLoadHit), 4 * 256);
         assert_eq!(mb.pmu.get(Event::L1dStoreHit), 4 * 256);
-        let (batched, fallbacks) = b.run_stats();
-        assert_eq!(batched, 8 * 256);
-        assert_eq!(fallbacks, 0);
+        let st = b.run_stats();
+        assert_eq!(st.batched_lines + st.replayed_lines, 8 * 256);
+        assert_eq!(st.fallbacks, 0);
     }
 
     #[test]
@@ -1194,14 +1733,16 @@ mod tests {
                 c.load(r.addr + i * 64, Dep::Stream);
             }
             c.access_run(r.addr, 64, false, Dep::Stream);
-            let (batched, _) = c.run_stats();
-            assert_eq!(batched, 64);
+            assert_eq!(c.run_stats().batched_lines, 64);
         }
-        let (batched, fallbacks) = super::take_run_stats();
+        let st = super::take_run_stats();
         // Other tests may run concurrently and contribute; the drop above
         // guarantees at least this machine's counts are present.
-        assert!(batched >= 64, "dropped Cpu must flush batched={batched}");
-        let _ = fallbacks;
+        assert!(
+            st.batched_lines >= 64,
+            "dropped Cpu must flush batched={}",
+            st.batched_lines
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@ const STREAMS: usize = 16;
 /// Demand accesses in sequence before prefetching starts.
 const TRAIN: u32 = 2;
 /// Lines pulled into L2 ahead of the demand stream.
-const NEAR: u64 = 2;
+pub(crate) const NEAR: u64 = 2;
 /// Additional lines pulled into L3 beyond the near window.
-const FAR: u64 = 4;
+pub(crate) const FAR: u64 = 4;
 
 #[derive(Debug, Clone, Copy)]
 struct Stream {
@@ -61,6 +61,27 @@ impl Proposals {
     }
 }
 
+/// Cursor over one ascending demand stream, handed out by
+/// [`Streamer::begin_run`] so the cold-run fast path can continue the stream
+/// in O(1) — no 16-slot search per line. Valid only while `continues`
+/// holds *and* no other [`Streamer::on_l2_access`]/`begin_run` interleaved
+/// (the fused walk owns every streamer event inside one run, so this is
+/// guaranteed by construction there).
+#[derive(Debug, Clone, Copy)]
+pub struct RunCursor {
+    idx: usize,
+    page: u64,
+    last_line: u64,
+}
+
+impl RunCursor {
+    /// Whether an access to line number `ln` continues this cursor's stream:
+    /// the immediately next ascending line of the same 4 KB page.
+    pub fn continues(&self, ln: u64) -> bool {
+        ln == self.last_line + 1 && ln / PAGE_LINES == self.page
+    }
+}
+
 /// The streamer state machine.
 #[derive(Debug)]
 pub struct Streamer {
@@ -91,25 +112,161 @@ impl Streamer {
     /// Observe a demand access to `line_addr` reaching L2 and return
     /// prefetch proposals.
     pub fn on_l2_access(&mut self, line_addr: u64) -> Proposals {
+        self.observe(line_addr).0
+    }
+
+    /// [`Streamer::on_l2_access`] that also starts a [`RunCursor`] at the
+    /// observed stream's slot, for O(1) ascending continuation.
+    pub fn begin_run(&mut self, line_addr: u64) -> (Proposals, RunCursor) {
+        let (p, idx) = self.observe(line_addr);
+        let line = line_addr / crate::LINE;
+        (
+            p,
+            RunCursor {
+                idx,
+                page: line / PAGE_LINES,
+                last_line: line,
+            },
+        )
+    }
+
+    /// Exact equivalent of [`Streamer::on_l2_access`] for the next ascending
+    /// line of the cursor's stream (`cur.continues(line)` must hold), with
+    /// the slot search skipped. State and proposals are identical to the
+    /// scalar call: the step is `+1` by construction, so the stream either
+    /// keeps training ascending or retrains from a previous descending
+    /// direction, exactly as the general path would.
+    pub fn step_ascending(&mut self, cur: &mut RunCursor, line_addr: u64) -> Proposals {
+        self.clock += 1;
+        let line = line_addr / crate::LINE;
+        debug_assert!(cur.continues(line), "cursor does not continue at {line}");
+        let s = &mut self.streams[cur.idx];
+        debug_assert!(s.valid && s.page == cur.page && s.last_line == cur.last_line);
+        s.lru = self.clock;
+        if s.dir == 0 || s.dir == 1 {
+            s.dir = 1;
+            s.trained += 1;
+        } else {
+            s.dir = 1;
+            s.trained = 0;
+        }
+        s.last_line = line;
+        cur.last_line = line;
+        if s.trained < TRAIN {
+            return Proposals::default();
+        }
+        let mut out = Proposals::default();
+        let page_hi = (cur.page + 1) * PAGE_LINES; // exclusive
+        for k in 1..=(NEAR + FAR) {
+            let target = line + k;
+            if target >= page_hi {
+                break;
+            }
+            let addr = target * crate::LINE;
+            if k <= NEAR {
+                out.into_l2[out.n_l2] = addr;
+                out.n_l2 += 1;
+            } else {
+                out.into_l3[out.n_l3] = addr;
+                out.n_l3 += 1;
+            }
+        }
+        out
+    }
+
+    /// Test-and-step for the *steady* ascending state: the cursor's stream is
+    /// already trained ascending and the full `NEAR + FAR` proposal window
+    /// fits inside the 4 KB page. When both hold, this applies exactly the
+    /// state mutation [`Streamer::step_ascending`] would (whose proposals are
+    /// then the fixed `line+1 ..= line+NEAR+FAR` window, which the caller
+    /// materialises itself) and returns `true`; otherwise it leaves all state
+    /// untouched and returns `false` so the caller falls back to the general
+    /// step.
+    pub fn steady_ascending(&mut self, cur: &mut RunCursor, line_addr: u64) -> bool {
+        let line = line_addr / crate::LINE;
+        debug_assert!(cur.continues(line), "cursor does not continue at {line}");
+        let s = &self.streams[cur.idx];
+        debug_assert!(s.valid && s.page == cur.page && s.last_line == cur.last_line);
+        if s.dir != 1 || s.trained < TRAIN || line % PAGE_LINES + NEAR + FAR >= PAGE_LINES {
+            return false;
+        }
+        self.clock += 1;
+        let s = &mut self.streams[cur.idx];
+        s.lru = self.clock;
+        s.trained += 1;
+        s.last_line = line;
+        cur.last_line = line;
+        true
+    }
+
+    /// How many upcoming ascending accesses on this cursor's stream are
+    /// *silent* (train the stream without proposing anything): the stream
+    /// only fires once `trained` reaches [`TRAIN`], and each silent step adds
+    /// one. A previously descending stream retrains from zero, spending one
+    /// extra silent step on the direction flip.
+    pub fn silent_ascending_len(&self, cur: &RunCursor) -> u64 {
+        let s = &self.streams[cur.idx];
+        debug_assert!(s.valid);
+        if s.dir == 0 || s.dir == 1 {
+            (TRAIN as u64).saturating_sub(1 + s.trained as u64)
+        } else {
+            TRAIN as u64
+        }
+    }
+
+    /// Closed-form advance over `k` silent ascending accesses (`k` at most
+    /// [`Streamer::silent_ascending_len`]): the state after `k` proposal-free
+    /// steps is determined without stepping each line — the clock advances by
+    /// `k`, the stream's LRU ends at the final clock (intermediate values are
+    /// unobservable: nothing else touches the table in between), `last_line`
+    /// moves `k` lines up, and `trained` accumulates one per step (restarting
+    /// at zero when the first step flips a descending stream).
+    pub fn fast_forward_ascending(&mut self, cur: &mut RunCursor, k: u64) {
+        debug_assert!(k <= self.silent_ascending_len(cur));
+        if k == 0 {
+            return;
+        }
+        self.clock += k;
+        let s = &mut self.streams[cur.idx];
+        s.lru = self.clock;
+        if s.dir == -1 {
+            s.trained = (k - 1) as u32;
+        } else {
+            s.trained += k as u32;
+        }
+        s.dir = 1;
+        s.last_line += k;
+        cur.last_line += k;
+    }
+
+    fn observe(&mut self, line_addr: u64) -> (Proposals, usize) {
         self.clock += 1;
         let line = line_addr / crate::LINE;
         let page = line / PAGE_LINES;
 
-        // Find an existing stream for this page.
-        let slot = self.streams.iter().position(|s| s.valid && s.page == page);
-        let idx = match slot {
+        // One pass over the table: find this page's stream and, in the same
+        // sweep, the LRU victim in case there is none. Victim tracking
+        // mirrors `min_by_key` (the first minimum wins, via strict `<`) and
+        // is only consumed when no slot matched — i.e. when the loop covered
+        // every slot — so breaking early on a match is sound.
+        let mut found = None;
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.valid && s.page == page {
+                found = Some(i);
+                break;
+            }
+            let lru = if s.valid { s.lru } else { 0 };
+            if lru < victim_lru {
+                victim_lru = lru;
+                victim = i;
+            }
+        }
+        let idx = match found {
             Some(i) => i,
             None => {
                 // Allocate over the LRU slot and start training.
-                let victim = (0..STREAMS)
-                    .min_by_key(|&i| {
-                        if self.streams[i].valid {
-                            self.streams[i].lru
-                        } else {
-                            0
-                        }
-                    })
-                    .expect("non-empty stream table");
                 self.streams[victim] = Stream {
                     page,
                     last_line: line,
@@ -118,7 +275,7 @@ impl Streamer {
                     lru: self.clock,
                     valid: true,
                 };
-                return Proposals::default();
+                return (Proposals::default(), victim);
             }
         };
 
@@ -126,7 +283,7 @@ impl Streamer {
         s.lru = self.clock;
         let step = line as i64 - s.last_line as i64;
         if step == 0 {
-            return Proposals::default();
+            return (Proposals::default(), idx);
         }
         let dir = step.signum();
         if (step == 1 || step == -1) && (s.dir == 0 || s.dir == dir) {
@@ -139,7 +296,7 @@ impl Streamer {
         }
         s.last_line = line;
         if s.trained < TRAIN {
-            return Proposals::default();
+            return (Proposals::default(), idx);
         }
 
         // Trained: propose NEAR lines into L2 and FAR more into L3, stopping
@@ -161,7 +318,7 @@ impl Streamer {
                 out.n_l3 += 1;
             }
         }
-        out
+        (out, idx)
     }
 }
 

@@ -9,7 +9,7 @@
 //! from the engine's memory knob (Table 4).
 
 use crate::page::{PageId, PageRef};
-use simcore::{Cpu, Dep};
+use simcore::Cpu;
 use std::collections::HashMap;
 
 /// Simulated disk read latency per page (SSD-class; the exact constant only
@@ -138,13 +138,7 @@ impl BufferPool {
             cpu.idle_c0(DISK_READ_S);
             // Buffered read: the kernel copies the page through the CPU —
             // a streamed load + store per line.
-            let mut line = page.addr;
-            let end = page.addr + page.size as u64;
-            while line < end {
-                cpu.load(line, Dep::Stream);
-                cpu.store(line);
-                line += simcore::LINE;
-            }
+            cpu.copy_run(page.addr, (page.size as u64).div_ceil(simcore::LINE));
         }
         self.resident.insert(id, self.stamp);
         page

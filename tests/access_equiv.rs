@@ -432,13 +432,159 @@ fn batched_replay_actually_batches() {
         dep: Dep::Stream,
     };
     replay_batched(&mut cpu, &[warm; 4]);
-    let (batched, fallbacks) = cpu.run_stats();
+    let st = cpu.run_stats();
     assert!(
-        batched >= 3 * 256,
-        "warm rescans must take the batched path (batched={batched})"
+        st.batched_lines + st.replayed_lines >= 3 * 256,
+        "warm rescans must take the batched/replay path ({st:?})"
     );
     assert!(
-        fallbacks <= 256,
-        "only the cold first pass may fall back (fallbacks={fallbacks})"
+        st.cold_batched_lines >= 256,
+        "the cold first pass must go through the fused cold path ({st:?})"
+    );
+    assert!(
+        st.replayed_lines >= 256,
+        "identical warm rescans must hit the replay cache ({st:?})"
+    );
+    assert_eq!(
+        st.fallbacks, 0,
+        "nothing here needs the scalar path ({st:?})"
+    );
+}
+
+#[test]
+fn cold_run_crossing_row_boundary_mid_run_is_identical() {
+    // 8 KB DRAM rows = 128 lines. Starting mid-row puts the row crossing in
+    // the middle of the fused cold segment, with the prefetcher running
+    // ahead across the boundary — the row-hit/row-miss split must land on
+    // exactly the same accesses as the scalar walk.
+    let base: u64 = 1 << 21;
+    let mut ops = Vec::new();
+    for (i, k) in [100u64, 120, 127].into_iter().enumerate() {
+        ops.push(Op::Run {
+            addr: base + k * LINE,
+            lines: 96,
+            write: false,
+            dep: Dep::Stream,
+        });
+        ops.push(Op::Run {
+            addr: base + (k + 1024 + 256 * i as u64) * LINE,
+            lines: 96,
+            write: true,
+            dep: Dep::Stream,
+        });
+    }
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_prefetch(true),
+        &ops,
+        "row boundary mid-run",
+    );
+}
+
+#[test]
+fn cold_run_reconflicting_with_just_evicted_set_is_identical() {
+    // Stride-4096 stores keep one L1D set boiling; each cold rescan then
+    // re-conflicts with lines evicted moments earlier, so the fused walk's
+    // victim choices and writeback charges must track the scalar LRU state
+    // exactly — including dirty victims rippling into L2/L3.
+    let base: u64 = 1 << 21;
+    let mut ops = Vec::new();
+    for pass in 0..4u64 {
+        for i in 0..16u64 {
+            ops.push(Op::Store {
+                addr: base + i * 4096,
+            });
+        }
+        ops.push(Op::Run {
+            addr: base + pass * LINE,
+            lines: 300,
+            write: pass & 1 == 0,
+            dep: Dep::Stream,
+        });
+    }
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_prefetch(true),
+        &ops,
+        "re-conflict with just-evicted set",
+    );
+}
+
+#[test]
+fn prefetcher_trained_run_interrupted_by_chase_is_identical() {
+    // Ascending runs train the streamer; interleaved chase bursts to far
+    // addresses retrain other streams, evict prefetched lines and leave a
+    // chase shadow, then the ascending pattern resumes. Cursor
+    // continuation and fast-forward must reproduce the scalar streamer
+    // state across every interruption.
+    let base: u64 = 1 << 21;
+    let mut ops = Vec::new();
+    let mut at = 0u64;
+    for i in 0..12u64 {
+        ops.push(Op::Run {
+            addr: base + at * LINE,
+            lines: 40,
+            write: false,
+            dep: Dep::Stream,
+        });
+        at += 40;
+        ops.push(Op::Run {
+            addr: base + (1 << 19) + i * 8192,
+            lines: 3,
+            write: false,
+            dep: Dep::Chase,
+        });
+    }
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_prefetch(true),
+        &ops,
+        "chase-interrupted trained run",
+    );
+}
+
+#[test]
+fn replay_invalidated_by_intervening_write_is_detected() {
+    // A memoized run must stop replaying the moment any L1D mutation
+    // intervenes: conflicting stores evict lines of the recorded run, so a
+    // stale replay would charge hits for what are now misses. The
+    // fingerprint (stamp, epoch) must catch it — checked differentially
+    // and via the replay counter.
+    let base: u64 = 1 << 21;
+    let run = Op::Run {
+        addr: base,
+        lines: 64,
+        write: false,
+        dep: Dep::Stream,
+    };
+    let mut ops = vec![run, run, run, run]; // cold, record, replay ×2
+    for k in 1..=9u64 {
+        // Nine ways' worth of stride-4096 conflicts into set 5 evict the
+        // run's line at base + 5*LINE.
+        ops.push(Op::Store {
+            addr: base + 5 * LINE + k * 4096,
+        });
+    }
+    ops.push(run); // stale fingerprint: must re-walk, not replay
+    ops.push(run); // all-hit again: re-records
+    ops.push(run); // fresh recording: replays once more
+    check(
+        ArchConfig::intel_i7_4790,
+        |c| c.set_prefetch(true),
+        &ops,
+        "replay invalidated by intervening write",
+    );
+
+    // Counter check: exactly the two pre-invalidation rescans and the one
+    // post-re-record rescan may replay.
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    cpu.set_prefetch(true);
+    cpu.alloc(1 << 21).unwrap();
+    replay_batched(&mut cpu, &ops);
+    let st = cpu.run_stats();
+    assert_eq!(
+        st.replayed_lines,
+        3 * 64,
+        "replay must fire on identical rescans and stop on invalidation ({st:?})"
     );
 }

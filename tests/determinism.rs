@@ -135,34 +135,40 @@ fn tracing_changes_nothing_and_traces_are_jobs_independent() {
 }
 
 /// The batched-access fast path publishes `simcore.run_batched_lines` /
-/// `simcore.run_fallbacks` once per suite. Batching decisions depend only
-/// on the access sequence — never on scheduling — so the totals must be
-/// `--jobs`-independent, and a scan-heavy subset must actually batch.
+/// `simcore.run_cold_batched_lines` / `simcore.run_replayed_lines` /
+/// `simcore.run_fallbacks` once per suite. Batching, cold-charging and
+/// replay decisions depend only on the access sequence — never on
+/// scheduling — so all four totals must be `--jobs`-independent, and a
+/// scan-heavy subset must actually engage the hot and cold fast paths.
 #[test]
 fn fast_path_counters_are_jobs_independent() {
     let _guard = seq();
-    let read = |name: &str| mjobs::metrics::global().counter(name);
+    const COUNTERS: [&str; 4] = [
+        "simcore.run_batched_lines",
+        "simcore.run_cold_batched_lines",
+        "simcore.run_replayed_lines",
+        "simcore.run_fallbacks",
+    ];
+    let read = |name: &str| {
+        mjobs::metrics::global()
+            .counter(name)
+            .unwrap_or_else(|| panic!("{name} published after suite"))
+    };
 
     mjobs::metrics::global().clear();
     run(1, None);
-    let batched1 = read("simcore.run_batched_lines").expect("published after serial suite");
-    let fallbacks1 = read("simcore.run_fallbacks").expect("published after serial suite");
+    let serial: Vec<u64> = COUNTERS.iter().map(|n| read(n)).collect();
 
     mjobs::metrics::global().clear();
     run(4, None);
-    let batched4 = read("simcore.run_batched_lines").expect("published after parallel suite");
-    let fallbacks4 = read("simcore.run_fallbacks").expect("published after parallel suite");
+    let parallel: Vec<u64> = COUNTERS.iter().map(|n| read(n)).collect();
 
-    assert_eq!(
-        batched1, batched4,
-        "batched lines must not depend on --jobs"
-    );
-    assert_eq!(
-        fallbacks1, fallbacks4,
-        "fallbacks must not depend on --jobs"
-    );
+    for (i, name) in COUNTERS.iter().enumerate() {
+        assert_eq!(serial[i], parallel[i], "{name} must not depend on --jobs");
+    }
     assert!(
-        batched1 > 0,
-        "the scan-heavy subset must engage the fast path"
+        serial[0] > 0,
+        "the scan-heavy subset must engage the hot fast path"
     );
+    assert!(serial[1] > 0, "cold scans must engage the fused cold path");
 }
