@@ -78,8 +78,8 @@ fn bench_query(c: &mut Criterion) {
             let mut db =
                 build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
             let plan = TpchQuery(6).plan();
-            db.run(&mut cpu, &plan).unwrap();
-            b.iter(|| db.run(&mut cpu, &plan).unwrap())
+            db.session().run(&mut cpu, &plan).unwrap();
+            b.iter(|| db.session().run(&mut cpu, &plan).unwrap())
         });
     }
     g.finish();

@@ -115,7 +115,7 @@ impl Experiment for Fig13DtcmPoc {
         for q in TpchQuery::all() {
             let plan = q.plan();
             let (m_base, r_base) = profile(&mut base_cpu, &plan, |c, p| {
-                base_db.run(c, p).expect("base")
+                base_db.session().run(c, p).expect("base")
             });
             let (m_opt, r_opt) =
                 profile(&mut opt_cpu, &plan, |c, p| opt_db.run(c, p).expect("dtcm"));
@@ -283,7 +283,7 @@ impl Experiment for AblationDtcm {
             None => {
                 let mut db = db;
                 measure_suite(&mut cpu, &mut |c, p| {
-                    db.run(c, p).expect("query");
+                    db.session().run(c, p).expect("query");
                 });
             }
             Some(cfg) => {

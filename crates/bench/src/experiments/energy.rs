@@ -32,14 +32,14 @@ impl Experiment for Fig01EnergyTimeline {
         let mut db =
             build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, scale).expect("load");
         let plan = TpchQuery(1).plan();
-        db.run(&mut cpu, &plan).expect("warm");
+        db.session().run(&mut cpu, &plan).expect("warm");
 
         cpu.attach_sampler(100e-6);
         for _ in 0..10 {
             cpu.idle_c0(1e-4); // idle lead-in, chunked so samples see idle power
         }
         let tok = cpu.begin_measure();
-        db.run(&mut cpu, &plan).expect("measured");
+        db.session().run(&mut cpu, &plan).expect("measured");
         let m = cpu.end_measure(tok);
         ctx.record(&m);
         for _ in 0..10 {

@@ -13,6 +13,7 @@ pub mod kernels;
 pub mod micro;
 pub mod nosql_ext;
 pub mod sec5;
+pub mod serve_oltp;
 pub mod tpch;
 pub mod writes;
 
@@ -40,6 +41,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &writes::ExtWrites,
     &sec5::ExtCustomDvfs,
     &nosql_ext::FutureNosql,
+    &serve_oltp::ServeOltp,
     &arm::Fig13DtcmPoc,
     &arm::AblationDtcm,
     &difftest::Difftest,

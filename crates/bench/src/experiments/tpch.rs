@@ -50,14 +50,14 @@ impl Experiment for Fig05PstateDistribution {
             // Cold run unsampled (pool warm-up), then sample steady-state
             // execution, as the paper samples long repeated runs. Idle gaps
             // and spill waits inside execution still drag samples below P36.
-            db.run(&mut cpu, &plan).expect("cold");
+            db.session().run(&mut cpu, &plan).expect("cold");
             // One unsampled warm repetition lets the governor settle — the
             // paper samples within 100 back-to-back runs.
-            db.run(&mut cpu, &plan).expect("ramp");
+            db.session().run(&mut cpu, &plan).expect("ramp");
             cpu.attach_sampler(10e-6);
-            db.run(&mut cpu, &plan).expect("warm 1");
+            db.session().run(&mut cpu, &plan).expect("warm 1");
             cpu.idle_c0(30e-6); // client think-time between repetitions
-            db.run(&mut cpu, &plan).expect("warm 2");
+            db.session().run(&mut cpu, &plan).expect("warm 2");
             let sampler = cpu.take_sampler().expect("sampler attached");
             let p36 = sampler.residency(PState::P36) * 100.0;
             residencies.push(p36);

@@ -98,7 +98,7 @@ impl Experiment for ExtWrites {
         for (name, dml) in &statements() {
             let db = &mut rig.db;
             let m = rig.cpu.measure(|c| {
-                db.execute(c, dml).expect("dml");
+                db.session().execute(c, dml).expect("dml");
             });
             ctx.record(&m);
             let bd = table.breakdown(&m);

@@ -133,8 +133,8 @@ impl Engine {
     /// The engine's catalog (identical across variants by construction).
     pub fn catalog(&self) -> &Catalog {
         match &self.handle {
-            Handle::Plain(db) => &db.catalog,
-            Handle::Dtcm(d) => &d.db.catalog,
+            Handle::Plain(db) => db.catalog(),
+            Handle::Dtcm(d) => d.db.catalog(),
         }
     }
 
@@ -145,7 +145,7 @@ impl Engine {
         let handle = &mut self.handle;
         let m = self.cpu.measure(|c| {
             let _ = match handle {
-                Handle::Plain(db) => db.run(c, plan),
+                Handle::Plain(db) => db.session().run(c, plan),
                 Handle::Dtcm(d) => d.run(c, plan),
             };
         });
@@ -163,7 +163,7 @@ impl Engine {
         let handle = &mut self.handle;
         let m = self.cpu.measure(|c| {
             result = Some(match handle {
-                Handle::Plain(db) => db.run(c, plan),
+                Handle::Plain(db) => db.session().run(c, plan),
                 Handle::Dtcm(d) => d.run(c, plan),
             });
         });

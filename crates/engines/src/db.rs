@@ -1,9 +1,13 @@
 //! A database instance: storage + catalog + knobs for one engine.
+//!
+//! Per-query execution state lives in [`crate::session`]: a [`Database`]
+//! holds what is shared across clients (store, pool, catalog, knobs), and
+//! every query entry point is on [`crate::session::Session`].
 
-use crate::executor;
 use crate::knobs::{KnobLevel, Knobs};
 use crate::plan::Plan;
 use crate::profile::EngineKind;
+use crate::session::SessionCtx;
 use simcore::Cpu;
 use storage::{
     encode_row, BTree, BufferPool, Catalog, PageStore, Row, Schema, StorageError, Value,
@@ -20,21 +24,27 @@ pub fn u64_to_tid(p: u64) -> storage::heap::TupleId {
 }
 
 /// One engine instance over simulated storage.
+///
+/// Holds only the state *shared* across client sessions. Per-query scratch
+/// state (the reusable temp region) lives in [`SessionCtx`]; query
+/// execution goes through [`crate::session::Session`]. The storage fields
+/// are deliberately not `pub`: external code reads them through
+/// [`Database::store`] / [`Database::catalog`] and mutates the pool through
+/// [`Database::pool_mut`], so the set of mutation sites stays auditable.
 pub struct Database {
     /// Which personality executes queries.
     pub kind: EngineKind,
     /// Resolved Table 4 knobs.
     pub knobs: Knobs,
     /// The "database file".
-    pub store: PageStore,
+    pub(crate) store: PageStore,
     /// The buffer pool (sized by the buffer knob).
-    pub pool: BufferPool,
+    pub(crate) pool: BufferPool,
     /// Tables and indexes.
-    pub catalog: Catalog,
-    /// Reusable scratch region for per-query temp structures (hash tables,
-    /// sort areas). Allocated lazily so the second query onwards works on
-    /// warm memory, as a real allocator provides.
-    temp: Option<simcore::Region>,
+    pub(crate) catalog: Catalog,
+    /// Scratch state for the built-in default session
+    /// ([`Database::session`]); per-client sessions own their own.
+    pub(crate) default_ctx: SessionCtx,
 }
 
 impl Database {
@@ -51,8 +61,36 @@ impl Database {
             store: PageStore::new(knobs.page_size),
             pool: BufferPool::new(knobs.buffer_bytes, knobs.page_size),
             catalog: Catalog::new(),
-            temp: None,
+            default_ctx: SessionCtx::new(),
         }
+    }
+
+    /// The "database file" (read access; mutation happens through sessions
+    /// and the setup paths).
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// The buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Mutable buffer pool access (cache warm-up, DTCM pin setup).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Tables and indexes.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (schema surgery in tests and tools; ordinary
+    /// DDL goes through [`Database::create_table`] /
+    /// [`Database::create_index`]).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
     }
 
     /// Create a table. `cluster_col` names the integer column the engine
@@ -151,31 +189,13 @@ impl Database {
     }
 
     /// Execute a logical plan with this engine's personality.
+    ///
+    /// Deprecated migration shim: delegates to a one-shot session over the
+    /// instance's default scratch state.
+    #[deprecated(note = "use `db.session().run(..)` (or `session_in` with a \
+                         per-client `SessionCtx`) — execution is session-scoped")]
     pub fn run(&mut self, cpu: &mut Cpu, plan: &Plan) -> storage::Result<Vec<Row>> {
-        let profile = self.kind.profile();
-        let temp = self.temp_region(cpu)?;
-        let mut env = executor::Env::new(
-            cpu,
-            &self.store,
-            &mut self.pool,
-            &self.catalog,
-            profile,
-            self.knobs.work_mem,
-            None,
-            Some(temp),
-        )?;
-        executor::run(cpu, &mut env, plan)
-    }
-
-    /// The lazily-created reusable temp region (sized from work_mem).
-    pub fn temp_region(&mut self, cpu: &mut Cpu) -> storage::Result<simcore::Region> {
-        if let Some(r) = self.temp {
-            return Ok(r);
-        }
-        let len = self.knobs.work_mem.clamp(1 << 20, 64 << 20);
-        let r = cpu.alloc(len)?;
-        self.temp = Some(r);
-        Ok(r)
+        self.session().run(cpu, plan)
     }
 
     /// Total rows across all tables (diagnostic).

@@ -17,6 +17,7 @@
 //!   deletion — pages may underflow, as before a vacuum).
 
 use crate::db::{tid_to_u64, Database};
+use crate::session::Session;
 use simcore::{Cpu, Dep, ExecOp};
 use storage::heap::TupleId;
 use storage::{decode_row, encode_row, Expr, Row, StorageError, Value};
@@ -52,6 +53,18 @@ pub enum Dml {
 
 impl Database {
     /// Execute a DML statement; returns the affected-row count.
+    ///
+    /// Deprecated migration shim: delegates to a one-shot session over the
+    /// instance's default scratch state.
+    #[deprecated(note = "use `db.session().execute(..)` (or `session_in` with a \
+                         per-client `SessionCtx`) — execution is session-scoped")]
+    pub fn execute(&mut self, cpu: &mut Cpu, dml: &Dml) -> storage::Result<u64> {
+        self.session().execute(cpu, dml)
+    }
+}
+
+impl Session<'_> {
+    /// Execute a DML statement; returns the affected-row count.
     pub fn execute(&mut self, cpu: &mut Cpu, dml: &Dml) -> storage::Result<u64> {
         match dml {
             Dml::Insert { table, rows } => self.dml_insert(cpu, table, rows),
@@ -67,7 +80,8 @@ impl Database {
             encode_row(&schema, row, &mut buf)?;
             let tid = {
                 let t = self.catalog.table_mut(table)?;
-                t.heap.insert(cpu, &mut self.store, &mut self.pool, &buf)?
+                t.heap
+                    .insert(cpu, &mut *self.store, &mut *self.pool, &buf)?
             };
             self.index_insert(cpu, table, row, tid)?;
         }
@@ -100,16 +114,17 @@ impl Database {
             if buf.len() == old_buf.len() {
                 // Same-length version: rewrite in place (heap-only I/O
                 // unless an indexed column changed).
-                let page = self.pool.access(cpu, &self.store, tid.0);
+                let page = self.pool.access(cpu, &*self.store, tid.0);
                 page.overwrite(cpu, tid.1, &buf)?;
                 self.index_fixup(cpu, table, old_row, &new_row, *tid, *tid)?;
             } else {
                 // New version elsewhere + tombstone, PG-style.
                 let new_tid = {
                     let t = self.catalog.table_mut(table)?;
-                    t.heap.insert(cpu, &mut self.store, &mut self.pool, &buf)?
+                    t.heap
+                        .insert(cpu, &mut *self.store, &mut *self.pool, &buf)?
                 };
-                let page = self.pool.access(cpu, &self.store, tid.0);
+                let page = self.pool.access(cpu, &*self.store, tid.0);
                 page.mark_dead(cpu, tid.1)?;
                 self.index_remove(cpu, table, old_row, *tid)?;
                 self.index_insert(cpu, table, &new_row, new_tid)?;
@@ -126,7 +141,7 @@ impl Database {
     ) -> storage::Result<u64> {
         let victims = self.matching_rows(cpu, table, filter)?;
         for (tid, row) in &victims {
-            let page = self.pool.access(cpu, &self.store, tid.0);
+            let page = self.pool.access(cpu, &*self.store, tid.0);
             page.mark_dead(cpu, tid.1)?;
             self.index_remove(cpu, table, row, *tid)?;
         }
@@ -146,8 +161,8 @@ impl Database {
         let heap = t.heap.clone();
         let mut out = Vec::new();
         let mut cur = heap.cursor();
-        while let Some(tid) = cur.next(cpu, &heap, &self.store, &mut self.pool)? {
-            let page = self.pool.access(cpu, &self.store, tid.0);
+        while let Some(tid) = cur.next(cpu, &heap, &*self.store, &mut *self.pool)? {
+            let page = self.pool.access(cpu, &*self.store, tid.0);
             let (addr, len) = page.tuple_bounds(cpu, tid.1, Dep::Stream)?;
             if len == 0 {
                 continue; // dead version
@@ -202,7 +217,7 @@ impl Database {
                     .expect("sec checked")
                     .1
             };
-            tree.insert(cpu, &mut self.store, &mut self.pool, key, tid_to_u64(tid))?;
+            tree.insert(cpu, &mut *self.store, &mut *self.pool, key, tid_to_u64(tid))?;
         }
         Ok(())
     }
@@ -229,7 +244,7 @@ impl Database {
                     .expect("sec checked")
                     .1
             };
-            tree.delete(cpu, &self.store, &mut self.pool, key, tid_to_u64(tid));
+            tree.delete(cpu, &*self.store, &mut *self.pool, key, tid_to_u64(tid));
         }
         Ok(())
     }
@@ -262,17 +277,23 @@ impl Database {
                     .1
             };
             if let Some(k) = old_key {
-                tree.delete(cpu, &self.store, &mut self.pool, k, tid_to_u64(old_tid));
+                tree.delete(cpu, &*self.store, &mut *self.pool, k, tid_to_u64(old_tid));
             }
             if let Some(k) = new_key {
-                tree.insert(cpu, &mut self.store, &mut self.pool, k, tid_to_u64(new_tid))?;
+                tree.insert(
+                    cpu,
+                    &mut *self.store,
+                    &mut *self.pool,
+                    k,
+                    tid_to_u64(new_tid),
+                )?;
             }
         }
         Ok(())
     }
 }
 
-impl Database {
+impl Session<'_> {
     /// VACUUM: rebuild a table's heap without dead versions and rebuild its
     /// indexes. Reclaims the space UPDATE/DELETE tombstones leave behind;
     /// charged like the maintenance scan + bulk rewrite it is.
@@ -290,7 +311,7 @@ impl Database {
 
         // Fresh heap, rows re-encoded in (cluster-)order.
         let mut rows: Vec<Row> = live.into_iter().map(|(_, r)| r).collect();
-        if self.kind != crate::profile::EngineKind::Pg {
+        if self.kind() != crate::profile::EngineKind::Pg {
             if let Some(pk) = pk {
                 rows.sort_by_key(|r| r[pk].as_int().unwrap_or(i64::MAX));
             }
@@ -301,7 +322,7 @@ impl Database {
         let mut sec_pairs: Vec<Vec<(i64, u64)>> = sec_cols.iter().map(|_| Vec::new()).collect();
         for r in &rows {
             encode_row(&schema, r, &mut buf)?;
-            let tid = heap.insert(cpu, &mut self.store, &mut self.pool, &buf)?;
+            let tid = heap.insert(cpu, &mut *self.store, &mut *self.pool, &buf)?;
             if let Some(pk) = pk {
                 if let Some(k) = r[pk].as_int() {
                     pk_pairs.push((k, tid_to_u64(tid)));
@@ -315,7 +336,7 @@ impl Database {
         }
         pk_pairs.sort_by_key(|&(k, _)| k);
         let pk_index = if pk.is_some() {
-            Some(storage::BTree::bulk_load(cpu, &mut self.store, &pk_pairs)?)
+            Some(storage::BTree::bulk_load(cpu, &mut *self.store, &pk_pairs)?)
         } else {
             None
         };
@@ -324,7 +345,7 @@ impl Database {
             sec_pairs[si].sort_by_key(|&(k, _)| k);
             secondary.push((
                 c,
-                storage::BTree::bulk_load(cpu, &mut self.store, &sec_pairs[si])?,
+                storage::BTree::bulk_load(cpu, &mut *self.store, &sec_pairs[si])?,
             ));
         }
         let t = self.catalog.table_mut(table)?;
@@ -351,7 +372,9 @@ mod tests {
 
     fn count_items(cpu: &mut Cpu, db: &mut Database) -> i64 {
         let plan = Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]);
-        db.run(cpu, &plan).unwrap()[0][0].as_int().unwrap()
+        db.session().run(cpu, &plan).unwrap()[0][0]
+            .as_int()
+            .unwrap()
     }
 
     #[test]
@@ -361,6 +384,7 @@ mod tests {
             let mut db = demo_database(&mut cpu, kind).unwrap();
             assert_eq!(count_items(&mut cpu, &mut db), 200);
             let n = db
+                .session()
                 .execute(
                     &mut cpu,
                     &Dml::Insert {
@@ -380,7 +404,7 @@ mod tests {
                 filter: None,
                 project: None,
             };
-            let rows = db.run(&mut cpu, &via_index).unwrap();
+            let rows = db.session().run(&mut cpu, &via_index).unwrap();
             assert!(rows.iter().any(|r| r[0] == Value::Int(777)), "{kind:?}");
         }
     }
@@ -391,6 +415,7 @@ mod tests {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, kind).unwrap();
             let n = db
+                .session()
                 .execute(
                     &mut cpu,
                     &Dml::Delete {
@@ -409,7 +434,7 @@ mod tests {
                 filter: None,
                 project: None,
             };
-            let rows = db.run(&mut cpu, &via_index).unwrap();
+            let rows = db.session().run(&mut cpu, &via_index).unwrap();
             assert_eq!(rows.len(), 150, "{kind:?}: index must drop deleted rows");
             assert!(rows.iter().all(|r| r[0].as_int().unwrap() >= 50));
         }
@@ -421,6 +446,7 @@ mod tests {
         let mut db = demo_database(&mut cpu, EngineKind::Pg).unwrap();
         // price is fixed-width: same encoded length, in-place path.
         let n = db
+            .session()
             .execute(
                 &mut cpu,
                 &Dml::Update {
@@ -432,6 +458,7 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1);
         let rows = db
+            .session()
             .run(
                 &mut cpu,
                 &Plan::scan_where("items", Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(7))),
@@ -450,6 +477,7 @@ mod tests {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut db = demo_database(&mut cpu, EngineKind::Lite).unwrap();
         let n = db
+            .session()
             .execute(
                 &mut cpu,
                 &Dml::Update {
@@ -468,7 +496,7 @@ mod tests {
             filter: None,
             project: None,
         };
-        let rows = db.run(&mut cpu, &at_42).unwrap();
+        let rows = db.session().run(&mut cpu, &at_42).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::Int(12));
         // Old key no longer finds it.
@@ -480,7 +508,7 @@ mod tests {
             filter: None,
             project: None,
         };
-        let rows = db.run(&mut cpu, &old_cat).unwrap();
+        let rows = db.session().run(&mut cpu, &old_cat).unwrap();
         assert!(rows.iter().all(|r| r[0] != Value::Int(12)));
     }
 
@@ -500,16 +528,17 @@ mod tests {
             vec![vec![Value::Int(1), Value::Str("ab".into())]],
         )
         .unwrap();
-        db.execute(
-            &mut cpu,
-            &Dml::Update {
-                table: "t".into(),
-                filter: None,
-                set: vec![(1, lit(Value::Str("a much longer string".into())))],
-            },
-        )
-        .unwrap();
-        let rows = db.run(&mut cpu, &Plan::scan("t")).unwrap();
+        db.session()
+            .execute(
+                &mut cpu,
+                &Dml::Update {
+                    table: "t".into(),
+                    filter: None,
+                    set: vec![(1, lit(Value::Str("a much longer string".into())))],
+                },
+            )
+            .unwrap();
+        let rows = db.session().run(&mut cpu, &Plan::scan("t")).unwrap();
         assert_eq!(rows.len(), 1, "old version must be dead");
         assert_eq!(rows[0][1], Value::Str("a much longer string".into()));
         // And the PK index follows the new version.
@@ -521,7 +550,7 @@ mod tests {
             filter: None,
             project: None,
         };
-        assert_eq!(db.run(&mut cpu, &via_pk).unwrap().len(), 1);
+        assert_eq!(db.session().run(&mut cpu, &via_pk).unwrap().len(), 1);
     }
 
     #[test]
@@ -530,24 +559,27 @@ mod tests {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, kind).unwrap();
             // Create garbage: delete a third, grow-update another third.
-            db.execute(
-                &mut cpu,
-                &Dml::Delete {
-                    table: "items".into(),
-                    filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(60))),
-                },
-            )
-            .unwrap();
+            db.session()
+                .execute(
+                    &mut cpu,
+                    &Dml::Delete {
+                        table: "items".into(),
+                        filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(60))),
+                    },
+                )
+                .unwrap();
             let before = db
+                .session()
                 .run(
                     &mut cpu,
                     &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]),
                 )
                 .unwrap();
             let pages_before = db.catalog.table("items").unwrap().heap.n_pages();
-            let live = db.vacuum(&mut cpu, "items").unwrap();
+            let live = db.session().vacuum(&mut cpu, "items").unwrap();
             assert_eq!(live, 140);
             let after = db
+                .session()
                 .run(
                     &mut cpu,
                     &Plan::scan("items").aggregate(vec![], vec![storage::AggSpec::count_star()]),
@@ -565,7 +597,11 @@ mod tests {
                 filter: None,
                 project: None,
             };
-            assert_eq!(db.run(&mut cpu, &via_index).unwrap().len(), 140, "{kind:?}");
+            assert_eq!(
+                db.session().run(&mut cpu, &via_index).unwrap().len(),
+                140,
+                "{kind:?}"
+            );
         }
     }
 
@@ -576,18 +612,19 @@ mod tests {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut db = demo_database(&mut cpu, EngineKind::Pg).unwrap();
         let read = cpu.measure(|c| {
-            db.run(c, &Plan::scan("items")).unwrap();
+            db.session().run(c, &Plan::scan("items")).unwrap();
         });
         let write = cpu.measure(|c| {
-            db.execute(
-                c,
-                &Dml::Update {
-                    table: "items".into(),
-                    filter: None,
-                    set: vec![(2, lit(Value::Float(1.0)))],
-                },
-            )
-            .unwrap();
+            db.session()
+                .execute(
+                    c,
+                    &Dml::Update {
+                        table: "items".into(),
+                        filter: None,
+                        set: vec![(2, lit(Value::Float(1.0)))],
+                    },
+                )
+                .unwrap();
         });
         let ratio = |m: &simcore::Measurement| {
             m.pmu.get(simcore::Event::StoreIssued) as f64

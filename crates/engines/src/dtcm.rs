@@ -184,18 +184,22 @@ impl DtcmDatabase {
 
     /// Execute a plan through the Lite personality with the TCM pins active.
     pub fn run(&mut self, cpu: &mut Cpu, plan: &Plan) -> storage::Result<Vec<Row>> {
-        let temp = self.db.temp_region(cpu)?;
-        let mut env = Env::new(
-            cpu,
-            &self.db.store,
-            &mut self.pool,
-            &self.db.catalog,
-            &LITE,
-            self.db.knobs.work_mem,
-            self.scratch,
-            Some(temp),
-        )?;
-        executor::run(cpu, &mut env, plan)
+        let temp = self.db.default_ctx.checkout(cpu, self.db.knobs.work_mem)?;
+        let result = (|| {
+            let mut env = Env::new(
+                cpu,
+                &self.db.store,
+                &mut self.pool,
+                &self.db.catalog,
+                &LITE,
+                self.db.knobs.work_mem,
+                self.scratch,
+                Some(temp),
+            )?;
+            executor::run(cpu, &mut env, plan)
+        })();
+        self.db.default_ctx.release();
+        result
     }
 
     /// Number of pages pinned in DTCM.
@@ -258,7 +262,7 @@ mod tests {
         );
         let mut cpu1 = Cpu::new(ArchConfig::arm1176jzf_s());
         let mut base = arm_db(&mut cpu1);
-        let want = base.run(&mut cpu1, &plan).unwrap();
+        let want = base.session().run(&mut cpu1, &plan).unwrap();
 
         let mut cpu2 = Cpu::new(ArchConfig::arm1176jzf_s());
         let db = arm_db(&mut cpu2);
@@ -296,9 +300,9 @@ mod tests {
 
         let mut cpu1 = Cpu::new(ArchConfig::arm1176jzf_s());
         let mut base = arm_db(&mut cpu1);
-        base.run(&mut cpu1, &plan).unwrap(); // warm
+        base.session().run(&mut cpu1, &plan).unwrap(); // warm
         let m_base = cpu1.measure(|c| {
-            base.run(c, &plan).unwrap();
+            base.session().run(c, &plan).unwrap();
         });
 
         let mut cpu2 = Cpu::new(ArchConfig::arm1176jzf_s());

@@ -828,7 +828,7 @@ mod tests {
             .map(|kind| {
                 let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
                 let mut db = demo_database(&mut cpu, kind).unwrap();
-                sorted(db.run(&mut cpu, plan).unwrap())
+                sorted(db.session().run(&mut cpu, plan).unwrap())
             })
             .collect()
     }
@@ -950,7 +950,7 @@ mod tests {
             .map(|kind| {
                 let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
                 let mut db = demo_database(&mut cpu, kind).unwrap();
-                db.run(&mut cpu, &plan).unwrap()
+                db.session().run(&mut cpu, &plan).unwrap()
             })
             .collect();
         assert_eq!(results[0].len(), 7);
@@ -969,7 +969,7 @@ mod tests {
         for kind in EngineKind::ALL {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, kind).unwrap();
-            assert_eq!(db.run(&mut cpu, &plan).unwrap().len(), 3);
+            assert_eq!(db.session().run(&mut cpu, &plan).unwrap().len(), 3);
         }
     }
 
@@ -984,7 +984,7 @@ mod tests {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, kind).unwrap();
             let m = cpu.measure(|c| {
-                db.run(c, &plan).unwrap();
+                db.session().run(c, &plan).unwrap();
             });
             counts.push((kind, m.pmu.get(simcore::Event::GenericOps)));
         }
@@ -1005,12 +1005,12 @@ mod tests {
         let measure = |traced: bool| {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, EngineKind::Pg).unwrap();
-            let rows = db.run(&mut cpu, &plan).unwrap();
+            let rows = db.session().run(&mut cpu, &plan).unwrap();
             if traced {
                 mjobs::span::install();
             }
             let m = cpu.measure(|c| {
-                assert_eq!(db.run(c, &plan).unwrap(), rows);
+                assert_eq!(db.session().run(c, &plan).unwrap(), rows);
             });
             (m, mjobs::span::take())
         };

@@ -38,6 +38,7 @@ pub mod knobs;
 pub mod optimizer;
 pub mod plan;
 pub mod profile;
+pub mod session;
 
 pub use advisor::DvfsAdvisor;
 pub use db::Database;
@@ -47,3 +48,4 @@ pub use knobs::{KnobLevel, Knobs};
 pub use optimizer::optimize;
 pub use plan::Plan;
 pub use profile::{EngineKind, Profile};
+pub use session::{Session, SessionCtx};

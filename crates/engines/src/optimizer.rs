@@ -336,8 +336,8 @@ mod tests {
         };
         assert_eq!((*lo, *hi), (Some(6), Some(8)));
         // Equivalence check.
-        let a = ctx.db.run(&mut ctx.cpu, &plan).unwrap();
-        let b = ctx.db.run(&mut ctx.cpu, &p).unwrap();
+        let a = ctx.db.session().run(&mut ctx.cpu, &plan).unwrap();
+        let b = ctx.db.session().run(&mut ctx.cpu, &p).unwrap();
         let canon = |mut v: Vec<storage::Row>| {
             v.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
             v
@@ -398,8 +398,8 @@ mod tests {
                 v.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
                 v
             };
-            let a = canon(db.run(&mut cpu, &plan).unwrap());
-            let b = canon(db.run(&mut cpu, &optimized).unwrap());
+            let a = canon(db.session().run(&mut cpu, &plan).unwrap());
+            let b = canon(db.session().run(&mut cpu, &optimized).unwrap());
             assert_eq!(a, b, "{kind:?}");
         }
     }

@@ -79,6 +79,24 @@ impl Workload {
         })
     }
 
+    /// Attach a driver to an *already-loaded* key space with its own RNG
+    /// stream.
+    ///
+    /// A multi-session server loads the store once ([`Workload::load`]) and
+    /// then attaches one driver per client stream with a distinct `seed`, so
+    /// the streams issue different (but per-seed deterministic) op
+    /// sequences against shared data.
+    pub fn attach(mix: YcsbMix, keys: u64, value_bytes: usize, seed: u64) -> Workload {
+        Workload {
+            mix,
+            keys,
+            inserted: keys,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf: Zipf::new(keys, 0.99),
+            value: vec![0xabu8; value_bytes],
+        }
+    }
+
     /// Run `ops` operations; returns `(reads, writes, misses)`.
     pub fn run(
         &mut self,

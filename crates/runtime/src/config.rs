@@ -55,6 +55,18 @@ pub struct HarnessConfig {
     /// Print the metrics summary after the suite and write `metrics.json`
     /// into the run directory (`--metrics` / `MJ_METRICS`).
     pub metrics: bool,
+    /// Client sessions for the serving experiment
+    /// (`--sessions` / `MJ_SESSIONS`).
+    pub sessions: u32,
+    /// Per-session open-loop arrival rate in requests per virtual second
+    /// for the serving experiment (`--arrival-rate` / `MJ_ARRIVAL_RATE`).
+    pub arrival_rate: f64,
+    /// Admission tokens (max concurrently executing requests) for the
+    /// serving experiment (`--admit-limit` / `MJ_ADMIT_LIMIT`).
+    pub admit_limit: u32,
+    /// Request-family mix for the serving experiment: `oltp`, `ycsb`,
+    /// `tpch`, or `dml` (`--mix` / `MJ_MIX`).
+    pub mix: String,
 }
 
 impl Default for HarnessConfig {
@@ -71,6 +83,10 @@ impl Default for HarnessConfig {
             trace: false,
             trace_dir: None,
             metrics: false,
+            sessions: 64,
+            arrival_rate: 200.0,
+            admit_limit: 8,
+            mix: String::from("oltp"),
         }
     }
 }
@@ -115,6 +131,10 @@ impl HarnessConfig {
                 .filter(|v| !v.is_empty() && v != "1")
                 .map(PathBuf::from),
             metrics: std::env::var("MJ_METRICS").is_ok(),
+            sessions: env_parsed("MJ_SESSIONS", d.sessions),
+            arrival_rate: env_parsed("MJ_ARRIVAL_RATE", d.arrival_rate),
+            admit_limit: env_parsed("MJ_ADMIT_LIMIT", d.admit_limit),
+            mix: std::env::var("MJ_MIX").ok().unwrap_or(d.mix),
         }
     }
 
@@ -157,6 +177,14 @@ impl HarnessConfig {
                 "--cal-ops" => self.cal_ops = parse(&value("--cal-ops")?, "--cal-ops")?,
                 "--csv" => self.csv = true,
                 "--results-dir" => self.results_root = PathBuf::from(value("--results-dir")?),
+                "--sessions" => self.sessions = parse(&value("--sessions")?, "--sessions")?,
+                "--arrival-rate" => {
+                    self.arrival_rate = parse(&value("--arrival-rate")?, "--arrival-rate")?;
+                }
+                "--admit-limit" => {
+                    self.admit_limit = parse(&value("--admit-limit")?, "--admit-limit")?;
+                }
+                "--mix" => self.mix = value("--mix")?,
                 other if other.starts_with("--trace=") => {
                     self.trace = true;
                     let dir = &other["--trace=".len()..];
@@ -181,14 +209,19 @@ fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
 pub const USAGE: &str = "\
 usage: [--jobs N (0 = auto)] [--filter SUBSTR] [--scale MB] [--arm-scale MB]
        [--sec5-scale MB] [--cal-ops N] [--csv] [--results-dir DIR]
-       [--trace[=DIR]] [--metrics] [--list]
+       [--trace[=DIR]] [--metrics] [--sessions N] [--arrival-rate HZ]
+       [--admit-limit N] [--mix oltp|ycsb|tpch|dml] [--list]
 
 --trace writes trace.jsonl + trace.json (Chrome trace_event, energy-width
 spans) into the per-run results directory; --metrics prints the metrics
 summary and writes metrics.json there. Neither changes the report stream.
+--sessions/--arrival-rate/--admit-limit/--mix shape the serving experiment
+(serve_oltp): client-stream count, per-session open-loop rate in requests
+per virtual second, admission tokens, and the request-family mix.
 
 Environment fallbacks: MJ_JOBS, MJ_FILTER, MJ_SCALE, MJ_ARM_SCALE,
-MJ_SEC5_SCALE, MJ_CAL_OPS, MJ_CSV, MJ_RESULTS_DIR, MJ_TRACE, MJ_METRICS.";
+MJ_SEC5_SCALE, MJ_CAL_OPS, MJ_CSV, MJ_RESULTS_DIR, MJ_TRACE, MJ_METRICS,
+MJ_SESSIONS, MJ_ARRIVAL_RATE, MJ_ADMIT_LIMIT, MJ_MIX.";
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +263,28 @@ mod tests {
         assert!(cfg.trace);
         assert_eq!(cfg.trace_dir.as_deref(), Some(Path::new("/tmp/traces")));
         assert!(cfg.apply_args(["--trace="]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_override_defaults() {
+        let mut cfg = HarnessConfig::default();
+        assert_eq!(cfg.sessions, 64);
+        cfg.apply_args([
+            "--sessions",
+            "16",
+            "--arrival-rate",
+            "450.5",
+            "--admit-limit",
+            "3",
+            "--mix",
+            "ycsb",
+        ])
+        .unwrap();
+        assert_eq!(cfg.sessions, 16);
+        assert_eq!(cfg.arrival_rate, 450.5);
+        assert_eq!(cfg.admit_limit, 3);
+        assert_eq!(cfg.mix, "ycsb");
+        assert!(cfg.apply_args(["--sessions", "many"]).is_err());
     }
 
     #[test]

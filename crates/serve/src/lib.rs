@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # mjserve — deterministic virtual-time multi-session OLTP serving
+//!
+//! The paper profiles one query at a time; a real database serves many
+//! clients at once, and its *energy per request* then depends on queueing,
+//! admission control, and how full the machine runs. This crate closes that
+//! gap without giving up the harness's determinism: it interleaves N client
+//! streams (YCSB mixes, short TPC-H picks, point DML) on a bank of
+//! simulated cores under a **virtual clock** — simulated seconds, the unit
+//! [`simcore::Measurement::time_s`] reports — so a serving run is as
+//! reproducible as a single query.
+//!
+//! Pieces:
+//!
+//! * [`vtime`] — the event queue: `(virtual time, insertion seq)` ordering,
+//!   so pops are a pure function of pushes.
+//! * [`admit`] — token-based admission control with a bounded wait queue
+//!   and a deterministic rejection count.
+//! * [`workload`] — per-session request streams over the shared world.
+//! * [`server`] — open-loop Poisson arrivals (seeded per session), the
+//!   event loop, per-request [`mjobs::span`] spans, and the
+//!   latency/energy summary.
+//!
+//! The SQL side executes through [`engines::Session`] with one
+//! [`engines::SessionCtx`] per client stream — the session-scoped engine
+//! API this crate motivated: N streams share one [`engines::Database`]
+//! without aliasing each other's scratch regions.
+//!
+//! Experiment #22 (`serve_oltp` in the `bench` crate) sweeps arrival rate
+//! and admission limit per engine personality and reports tail latency
+//! (p50/p95/p99) against energy per request.
+
+pub mod admit;
+pub mod server;
+pub mod vtime;
+pub mod workload;
+
+pub use admit::{AdmissionControl, Admit};
+pub use server::{serve, RequestRecord, ServeConfig, ServeSummary};
+pub use vtime::{EventQueue, VTime};
+pub use workload::MixKind;

@@ -1,0 +1,517 @@
+//! The virtual-time multi-session OLTP server.
+//!
+//! N client sessions issue open-loop request streams (Poisson arrivals,
+//! seeded per session) against one shared world: a tiny TPC-H database plus
+//! an `accounts` table for point DML, and a loaded LSM store for YCSB.
+//! Admission control (token limiter + bounded queue) decides each
+//! arrival's fate; admitted requests execute on a bank of simulated cores.
+//!
+//! **Determinism contract.** Everything is keyed to the virtual clock:
+//! arrivals are pre-generated from per-session seeds, the event queue
+//! breaks ties in insertion order, and admitted requests *execute in
+//! admission order* on the one simulated CPU — so cache/LSM/heap state
+//! evolves identically run-to-run and the whole summary (latencies,
+//! energies, rejection counts) is byte-identical for a given config,
+//! regardless of `--jobs` or host scheduling. The multi-core bank only
+//! shapes *when* a request's service time is scheduled on the virtual
+//! clock, not what it executes.
+//!
+//! Per-request execution is a [`mjobs::span`] span named
+//! `s<session>.r<index> <kind>`, so traces break a serving run down
+//! request-by-request.
+
+use crate::admit::{AdmissionControl, Admit};
+use crate::vtime::EventQueue;
+use crate::workload::{next_request, Family, MixKind, Request, SqlOp};
+use engines::{Database, EngineKind, KnobLevel, SessionCtx};
+use nosql::{LsmConfig, LsmStore, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simcore::Cpu;
+use storage::{Schema, Ty, Value};
+use workloads::{build_tpch_db, TpchScale};
+
+/// Server scenario configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Engine personality executing the SQL side.
+    pub kind: EngineKind,
+    /// Which request families sessions speak.
+    pub mix: MixKind,
+    /// Number of client sessions.
+    pub sessions: u32,
+    /// Requests each session sends.
+    pub requests_per_session: u32,
+    /// Per-session open-loop arrival rate (requests per virtual second).
+    pub arrival_rate_hz: f64,
+    /// Admission tokens (max concurrently executing requests).
+    pub admit_limit: u32,
+    /// Bounded wait-queue capacity.
+    pub queue_cap: u32,
+    /// Simulated cores the admitted requests schedule onto.
+    pub cores: u32,
+    /// Base seed for arrivals and op choices.
+    pub seed: u64,
+    /// YCSB keys pre-loaded into the LSM store.
+    pub ycsb_keys: u64,
+    /// YCSB ops per request.
+    pub ycsb_ops: u64,
+    /// Rows pre-loaded into the `accounts` table.
+    pub accounts: i64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            kind: EngineKind::Pg,
+            mix: MixKind::Oltp,
+            sessions: 64,
+            requests_per_session: 4,
+            arrival_rate_hz: 200.0,
+            admit_limit: 8,
+            queue_cap: 16,
+            cores: 4,
+            seed: 0x5e7e,
+            ycsb_keys: 256,
+            ycsb_ops: 8,
+            accounts: 128,
+        }
+    }
+}
+
+/// One admitted request's timeline and cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Issuing session.
+    pub session: u32,
+    /// Request index within the session.
+    pub index: u32,
+    /// Request family label (e.g. `"ycsb-a"`, `"tpch-q6"`, `"dml-upd"`).
+    pub kind: &'static str,
+    /// Virtual arrival time (s).
+    pub arrival_s: f64,
+    /// Virtual service start (s) — after queue wait and core wait.
+    pub start_s: f64,
+    /// Virtual completion (s).
+    pub finish_s: f64,
+    /// Measured energy for the request (J).
+    pub energy_j: f64,
+    /// Measured cycles for the request.
+    pub cycles: f64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency: completion minus arrival.
+    pub fn latency_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+
+    /// Time spent waiting for a token and a core.
+    pub fn wait_s(&self) -> f64 {
+        self.start_s - self.arrival_s
+    }
+}
+
+/// The outcome of one serving scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Per-request records, in execution (admission) order.
+    pub records: Vec<RequestRecord>,
+    /// Requests that got a token.
+    pub admitted: u64,
+    /// Requests that waited in the queue first.
+    pub queued: u64,
+    /// Requests dropped at admission.
+    pub rejected: u64,
+    /// Virtual time of the last completion (s).
+    pub makespan_s: f64,
+}
+
+impl ServeSummary {
+    /// Latency percentile `p` (0–100) over admitted requests, by the
+    /// nearest-rank method on the sorted latencies (deterministic).
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let mut lats: Vec<f64> = self.records.iter().map(|r| r.latency_s()).collect();
+        lats.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((p / 100.0) * (lats.len() - 1) as f64).round() as usize;
+        lats[idx.min(lats.len() - 1)]
+    }
+
+    /// Mean wait (token + core) over admitted requests.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.wait_s()).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Total measured energy (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_j).sum()
+    }
+
+    /// Mean energy per admitted request (J).
+    pub fn energy_per_request_j(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.total_energy_j() / self.records.len() as f64
+    }
+
+    /// Completed requests per virtual second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / self.makespan_s
+    }
+}
+
+/// The shared world requests execute against.
+struct World {
+    db: Database,
+    lsm: LsmStore,
+    next_account: i64,
+}
+
+/// Per-session state: family, SQL scratch ([`SessionCtx`] — the session
+/// API's reason to exist), YCSB driver, op-choice RNG.
+struct ClientState {
+    family: Family,
+    ctx: SessionCtx,
+    ycsb: Option<Workload>,
+    rng: SmallRng,
+}
+
+enum Ev {
+    Arrive { sid: u32, idx: u32 },
+    Finish,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    sid: u32,
+    idx: u32,
+    arrival_s: f64,
+}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn session_seed(base: u64, sid: u32, stream: u64) -> u64 {
+    base ^ GOLDEN.wrapping_mul(sid as u64 + 1).wrapping_add(stream)
+}
+
+fn build_world(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<World> {
+    let mut db = build_tpch_db(cpu, cfg.kind, KnobLevel::Baseline, TpchScale::tiny())?;
+    db.create_table(
+        "accounts",
+        Schema::new([("id", Ty::Int), ("bal", Ty::Float)]),
+        Some("id"),
+    )?;
+    let rows: Vec<Vec<Value>> = (0..cfg.accounts)
+        .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+        .collect();
+    db.load_rows(cpu, "accounts", rows)?;
+
+    let mut lsm = LsmStore::open(
+        cpu,
+        LsmConfig {
+            memtable_bytes: 32 * 1024,
+            fanout: 4,
+            wal_group: 16,
+        },
+    )
+    .expect("lsm open");
+    // Load once; per-session drivers attach with their own RNG streams.
+    Workload::load(cpu, &mut lsm, nosql::YcsbMix::C, cfg.ycsb_keys, 64).expect("ycsb load");
+
+    Ok(World {
+        db,
+        lsm,
+        next_account: cfg.accounts,
+    })
+}
+
+fn execute(
+    cpu: &mut Cpu,
+    world: &mut World,
+    client: &mut ClientState,
+    req: &Request,
+) -> storage::Result<()> {
+    match req {
+        Request::Ycsb { ops, .. } => {
+            let w = client.ycsb.as_mut().expect("ycsb family has a driver");
+            w.run(cpu, &mut world.lsm, *ops).expect("ycsb ops");
+            Ok(())
+        }
+        Request::Tpch { plan, .. } => {
+            world.db.session_in(&mut client.ctx).run(cpu, plan)?;
+            Ok(())
+        }
+        Request::Sql { stmt, .. } => {
+            let mut session = world.db.session_in(&mut client.ctx);
+            match stmt {
+                SqlOp::Write(dml) => {
+                    session.execute(cpu, dml)?;
+                }
+                SqlOp::Read(plan) => {
+                    session.run(cpu, plan)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Run one serving scenario on `cpu`; returns the per-request summary.
+pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> {
+    let mut world = build_world(cpu, cfg)?;
+
+    let mut clients: Vec<ClientState> = (0..cfg.sessions)
+        .map(|sid| {
+            let family = cfg.mix.family_for(sid);
+            let ycsb = match family {
+                Family::Ycsb(mix) => Some(Workload::attach(
+                    mix,
+                    cfg.ycsb_keys,
+                    64,
+                    session_seed(cfg.seed, sid, 1),
+                )),
+                _ => None,
+            };
+            ClientState {
+                family,
+                ctx: SessionCtx::new(),
+                ycsb,
+                rng: SmallRng::seed_from_u64(session_seed(cfg.seed, sid, 2)),
+            }
+        })
+        .collect();
+
+    // Pre-generate every arrival from per-session seeds: the open-loop
+    // streams are fixed before the first request executes.
+    let mut evq = EventQueue::new();
+    let rate = cfg.arrival_rate_hz.max(1e-9);
+    for sid in 0..cfg.sessions {
+        let mut arr = SmallRng::seed_from_u64(session_seed(cfg.seed, sid, 0));
+        let mut t = 0.0f64;
+        for idx in 0..cfg.requests_per_session {
+            let u: f64 = arr.gen();
+            t += -(1.0 - u).ln() / rate;
+            evq.push(t, Ev::Arrive { sid, idx });
+        }
+    }
+
+    let mut admit: AdmissionControl<Ticket> = AdmissionControl::new(cfg.admit_limit, cfg.queue_cap);
+    let mut core_free = vec![0.0f64; cfg.cores.max(1) as usize];
+    let mut records: Vec<RequestRecord> = Vec::new();
+    let mut makespan = 0.0f64;
+
+    // Start an admitted ticket: execute now (admission order — the
+    // determinism contract), schedule its completion on the virtual clock.
+    let start = |now: f64,
+                 tk: Ticket,
+                 cpu: &mut Cpu,
+                 world: &mut World,
+                 clients: &mut [ClientState],
+                 evq: &mut EventQueue<Ev>,
+                 core_free: &mut [f64],
+                 records: &mut Vec<RequestRecord>|
+     -> storage::Result<()> {
+        let client = &mut clients[tk.sid as usize];
+        let req = next_request(
+            client.family,
+            tk.sid,
+            tk.idx,
+            cfg.ycsb_ops,
+            cfg.accounts,
+            &mut world.next_account,
+            &mut client.rng,
+        );
+        // Earliest-free core, first index winning ties: deterministic.
+        let core = core_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let start_s = now.max(core_free[core]);
+        let (sid, idx, kind) = (tk.sid, tk.idx, req.kind());
+        mjobs::span::enter(cpu, || format!("s{sid:03}.r{idx:02} {kind}"));
+        let mut res = Ok(());
+        let m = cpu.measure(|c| {
+            res = execute(c, world, client, &req);
+        });
+        mjobs::span::exit(cpu);
+        res?;
+        let finish_s = start_s + m.time_s;
+        core_free[core] = finish_s;
+        evq.push(finish_s, Ev::Finish);
+        records.push(RequestRecord {
+            session: sid,
+            index: idx,
+            kind,
+            arrival_s: tk.arrival_s,
+            start_s,
+            finish_s,
+            energy_j: m.rapl.total_j(),
+            cycles: m.cycles,
+        });
+        Ok(())
+    };
+
+    while let Some((now, ev)) = evq.pop() {
+        makespan = makespan.max(now);
+        match ev {
+            Ev::Arrive { sid, idx } => {
+                let tk = Ticket {
+                    sid,
+                    idx,
+                    arrival_s: now,
+                };
+                match admit.offer(tk) {
+                    Admit::Run => start(
+                        now,
+                        tk,
+                        cpu,
+                        &mut world,
+                        &mut clients,
+                        &mut evq,
+                        &mut core_free,
+                        &mut records,
+                    )?,
+                    Admit::Queued | Admit::Rejected => {}
+                }
+            }
+            Ev::Finish => {
+                if let Some(tk) = admit.complete() {
+                    start(
+                        now,
+                        tk,
+                        cpu,
+                        &mut world,
+                        &mut clients,
+                        &mut evq,
+                        &mut core_free,
+                        &mut records,
+                    )?;
+                }
+            }
+        }
+    }
+
+    Ok(ServeSummary {
+        records,
+        admitted: admit.admitted,
+        queued: admit.queued,
+        rejected: admit.rejected,
+        makespan_s: makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ArchConfig;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            sessions: 8,
+            requests_per_session: 2,
+            arrival_rate_hz: 500.0,
+            admit_limit: 2,
+            queue_cap: 4,
+            cores: 2,
+            ycsb_keys: 64,
+            ycsb_ops: 4,
+            accounts: 32,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic_for_a_seed() {
+        let run = || {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            serve(&mut cpu, &tiny_cfg()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed+config must reproduce bit-identically");
+        assert_eq!(a.admitted as usize, a.records.len());
+        assert!(a.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn every_family_executes_under_the_oltp_mix() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let s = serve(&mut cpu, &tiny_cfg()).unwrap();
+        let kinds: Vec<&str> = s.records.iter().map(|r| r.kind).collect();
+        assert!(kinds.iter().any(|k| k.starts_with("ycsb-")), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k.starts_with("tpch-")), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k.starts_with("dml-")), "{kinds:?}");
+    }
+
+    #[test]
+    fn overload_rejects_deterministically() {
+        let cfg = ServeConfig {
+            arrival_rate_hz: 1e6, // everyone arrives at once
+            admit_limit: 1,
+            queue_cap: 1,
+            ..tiny_cfg()
+        };
+        let run = || {
+            let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+            let s = serve(&mut cpu, &cfg).unwrap();
+            (s.admitted, s.queued, s.rejected)
+        };
+        let (a1, q1, r1) = run();
+        assert!(r1 > 0, "overload must reject");
+        assert_eq!((a1, q1, r1), run(), "rejection counts must reproduce");
+        assert_eq!(
+            a1 + r1,
+            (cfg.sessions * cfg.requests_per_session) as u64,
+            "every arrival is admitted or rejected (queued ⊂ admitted)"
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let s = serve(&mut cpu, &tiny_cfg()).unwrap();
+        let (p50, p95, p99) = (
+            s.latency_percentile_s(50.0),
+            s.latency_percentile_s(95.0),
+            s.latency_percentile_s(99.0),
+        );
+        assert!(p50 > 0.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn tighter_admission_increases_waiting() {
+        let open = ServeConfig {
+            admit_limit: 64,
+            queue_cap: 64,
+            ..tiny_cfg()
+        };
+        let tight = ServeConfig {
+            admit_limit: 1,
+            queue_cap: 64,
+            ..tiny_cfg()
+        };
+        let mut cpu_a = Cpu::new(ArchConfig::intel_i7_4790());
+        let a = serve(&mut cpu_a, &open).unwrap();
+        let mut cpu_b = Cpu::new(ArchConfig::intel_i7_4790());
+        let b = serve(&mut cpu_b, &tight).unwrap();
+        assert!(
+            b.mean_wait_s() >= a.mean_wait_s(),
+            "one token must not wait less than 64: {} vs {}",
+            b.mean_wait_s(),
+            a.mean_wait_s()
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The virtual-time event queue.
+//!
+//! The server advances a clock in *simulated* seconds (the same unit
+//! [`simcore::Measurement::time_s`] reports), never host time. Events are
+//! ordered by `(time, insertion sequence)`; the sequence tie-break makes the
+//! pop order a pure function of the pushes, so a run is deterministic for a
+//! given seed regardless of `--jobs` or host scheduling — the same contract
+//! the rest of the harness keeps.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A point on the virtual clock, in simulated seconds.
+///
+/// Wraps `f64` with a total order (`f64::total_cmp`) so it can key a heap.
+/// All times the server produces come from deterministic arithmetic on
+/// deterministic measurements, so identical runs produce bit-identical
+/// times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VTime(pub f64);
+
+impl Eq for VTime {}
+
+impl PartialOrd for VTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Entry<T> {
+    time: VTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic min-heap of `(virtual time, payload)` events.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at virtual time `time` (seconds).
+    pub fn push(&mut self, time: f64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: VTime(time),
+            seq,
+            payload,
+        });
+    }
+
+    /// Pop the earliest event; ties pop in insertion order.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time.0, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "late");
+        q.push(1.0, "tie-a");
+        q.push(1.0, "tie-b");
+        q.push(0.5, "first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["first", "tie-a", "tie-b", "late"]);
+    }
+
+    #[test]
+    fn vtime_total_order_handles_equal_and_zero() {
+        assert_eq!(VTime(0.0).cmp(&VTime(0.0)), Ordering::Equal);
+        assert_eq!(VTime(1.5).cmp(&VTime(2.5)), Ordering::Less);
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-session request streams: what each simulated client sends.
+//!
+//! The server interleaves three request families, matching the systems the
+//! repo profiles: YCSB key-value mixes (the §7 NoSQL future-work driver),
+//! short TPC-H picks (the §3 analytical side), and point DML (the write
+//! path the paper scopes out in §2.3). A *mix* decides which family each
+//! session speaks.
+
+use engines::dml::lit;
+use engines::{Dml, Plan};
+use nosql::YcsbMix;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use storage::{CmpOp, Expr, Value};
+use workloads::TpchQuery;
+
+/// The short TPC-H picks sessions rotate through: Q1 (scan + group
+/// aggregate), Q6 (scan + filter + sum), Q12 (join + conditional
+/// aggregate). Short enough for an OLTP-ish request loop, different enough
+/// to exercise scan, filter, and join paths.
+pub const TPCH_PICKS: [u8; 3] = [1, 6, 12];
+
+/// Which request families the server's sessions speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// Blend: sessions round-robin over YCSB, TPC-H picks, and point DML.
+    Oltp,
+    /// Every session drives a YCSB mix (rotating A–F across sessions).
+    Ycsb,
+    /// Every session issues short TPC-H picks.
+    Tpch,
+    /// Every session issues point DML (and the occasional point select).
+    Dml,
+}
+
+impl MixKind {
+    /// Parse a `--mix` flag value.
+    pub fn parse(s: &str) -> Option<MixKind> {
+        match s {
+            "oltp" => Some(MixKind::Oltp),
+            "ycsb" => Some(MixKind::Ycsb),
+            "tpch" => Some(MixKind::Tpch),
+            "dml" => Some(MixKind::Dml),
+            _ => None,
+        }
+    }
+
+    /// Flag-value spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MixKind::Oltp => "oltp",
+            MixKind::Ycsb => "ycsb",
+            MixKind::Tpch => "tpch",
+            MixKind::Dml => "dml",
+        }
+    }
+
+    /// The request family session `sid` speaks under this mix.
+    pub fn family_for(&self, sid: u32) -> Family {
+        match self {
+            MixKind::Oltp => match sid % 4 {
+                0 | 1 => Family::Ycsb(YcsbMix::ALL[(sid as usize / 4) % 6]),
+                2 => Family::Tpch,
+                _ => Family::Dml,
+            },
+            MixKind::Ycsb => Family::Ycsb(YcsbMix::ALL[sid as usize % 6]),
+            MixKind::Tpch => Family::Tpch,
+            MixKind::Dml => Family::Dml,
+        }
+    }
+}
+
+/// One session's request family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// YCSB ops against the shared LSM store.
+    Ycsb(YcsbMix),
+    /// Short TPC-H picks against the shared SQL database.
+    Tpch,
+    /// Point DML (and point selects) against the `accounts` table.
+    Dml,
+}
+
+/// A concrete request, decided *before* execution so the request's span
+/// label and record kind are fixed by (session, index, RNG) alone.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run `ops` YCSB operations on the session's driver.
+    Ycsb {
+        /// Ops to run in this request.
+        ops: u64,
+        /// Record label (e.g. `"ycsb-a"`).
+        kind: &'static str,
+    },
+    /// Run one short TPC-H pick.
+    Tpch {
+        /// The pick's plan.
+        plan: Plan,
+        /// Record label (e.g. `"tpch-q6"`).
+        kind: &'static str,
+    },
+    /// Run one SQL statement against `accounts`.
+    Sql {
+        /// The statement.
+        stmt: SqlOp,
+        /// Record label (e.g. `"dml-upd"`).
+        kind: &'static str,
+    },
+}
+
+/// A point SQL operation.
+#[derive(Debug, Clone)]
+pub enum SqlOp {
+    /// A DML statement.
+    Write(Dml),
+    /// A point select plan.
+    Read(Plan),
+}
+
+impl Request {
+    /// The record/span label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ycsb { kind, .. } => kind,
+            Request::Tpch { kind, .. } => kind,
+            Request::Sql { kind, .. } => kind,
+        }
+    }
+}
+
+fn ycsb_kind(mix: YcsbMix) -> &'static str {
+    match mix {
+        YcsbMix::A => "ycsb-a",
+        YcsbMix::B => "ycsb-b",
+        YcsbMix::C => "ycsb-c",
+        YcsbMix::D => "ycsb-d",
+        YcsbMix::E => "ycsb-e",
+        YcsbMix::F => "ycsb-f",
+    }
+}
+
+fn tpch_kind(q: u8) -> &'static str {
+    match q {
+        1 => "tpch-q1",
+        6 => "tpch-q6",
+        _ => "tpch-q12",
+    }
+}
+
+/// Build request `idx` for session `sid`. `rng` is the session's op-choice
+/// stream (only the DML family draws from it); `next_account` feeds insert
+/// keys and is bumped on use.
+pub fn next_request(
+    family: Family,
+    sid: u32,
+    idx: u32,
+    ycsb_ops: u64,
+    accounts: i64,
+    next_account: &mut i64,
+    rng: &mut SmallRng,
+) -> Request {
+    match family {
+        Family::Ycsb(mix) => Request::Ycsb {
+            ops: ycsb_ops,
+            kind: ycsb_kind(mix),
+        },
+        Family::Tpch => {
+            let q = TPCH_PICKS[(sid as usize + idx as usize) % TPCH_PICKS.len()];
+            Request::Tpch {
+                plan: TpchQuery(q).plan(),
+                kind: tpch_kind(q),
+            }
+        }
+        Family::Dml => {
+            let roll: f64 = rng.gen();
+            let key = rng.gen_range(0..accounts.max(1));
+            if roll < 0.5 {
+                let delta: f64 = rng.gen();
+                Request::Sql {
+                    stmt: SqlOp::Write(Dml::Update {
+                        table: "accounts".into(),
+                        filter: Some(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(key))),
+                        set: vec![(1, lit(Value::Float(delta * 100.0)))],
+                    }),
+                    kind: "dml-upd",
+                }
+            } else if roll < 0.7 {
+                Request::Sql {
+                    stmt: SqlOp::Read(Plan::scan_where(
+                        "accounts",
+                        Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(key)),
+                    )),
+                    kind: "dml-sel",
+                }
+            } else if roll < 0.85 {
+                let id = *next_account;
+                *next_account += 1;
+                Request::Sql {
+                    stmt: SqlOp::Write(Dml::Insert {
+                        table: "accounts".into(),
+                        rows: vec![vec![Value::Int(id), Value::Float(0.0)]],
+                    }),
+                    kind: "dml-ins",
+                }
+            } else {
+                Request::Sql {
+                    stmt: SqlOp::Write(Dml::Delete {
+                        table: "accounts".into(),
+                        filter: Some(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(key))),
+                    }),
+                    kind: "dml-del",
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_parsing_roundtrips() {
+        for m in [MixKind::Oltp, MixKind::Ycsb, MixKind::Tpch, MixKind::Dml] {
+            assert_eq!(MixKind::parse(m.name()), Some(m));
+        }
+        assert_eq!(MixKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn oltp_mix_covers_all_families() {
+        let fams: Vec<Family> = (0..16).map(|s| MixKind::Oltp.family_for(s)).collect();
+        assert!(fams.iter().any(|f| matches!(f, Family::Ycsb(_))));
+        assert!(fams.contains(&Family::Tpch));
+        assert!(fams.contains(&Family::Dml));
+    }
+
+    #[test]
+    fn dml_requests_are_seed_deterministic() {
+        let gen = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut next = 1000;
+            (0..8)
+                .map(|i| {
+                    next_request(Family::Dml, 3, i, 8, 128, &mut next, &mut rng)
+                        .kind()
+                        .to_string()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+    }
+}

@@ -54,6 +54,10 @@ pub enum StorageError {
     NoSuchTable(String),
     /// Schema mismatch (wrong arity/type).
     Schema(&'static str),
+    /// A session's scratch (temp) region was requested while already
+    /// checked out — the would-be silent-aliasing hazard, surfaced as a
+    /// typed error instead.
+    ScratchBusy,
 }
 
 impl std::fmt::Display for StorageError {
@@ -66,6 +70,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
             StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             StorageError::Schema(what) => write!(f, "schema error: {what}"),
+            StorageError::ScratchBusy => {
+                write!(f, "session scratch region is already checked out")
+            }
         }
     }
 }

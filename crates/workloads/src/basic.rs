@@ -111,7 +111,7 @@ mod tests {
             let mut db =
                 build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
             for op in BasicOp::ALL {
-                let rows = db.run(&mut cpu, &op.plan()).unwrap();
+                let rows = db.session().run(&mut cpu, &op.plan()).unwrap();
                 assert!(
                     !rows.is_empty(),
                     "{} on {:?} returned nothing",
@@ -133,8 +133,12 @@ mod tests {
         )
         .unwrap();
         let o = |c: &str| schema_orders().col_expect(c);
-        let via_index = db.run(&mut cpu, &BasicOp::IndexScan.plan()).unwrap();
+        let via_index = db
+            .session()
+            .run(&mut cpu, &BasicOp::IndexScan.plan())
+            .unwrap();
         let via_scan = db
+            .session()
             .run(
                 &mut cpu,
                 &Plan::scan_where(
@@ -164,14 +168,18 @@ mod tests {
         )
         .unwrap();
         // Warm both paths once.
-        db.run(&mut cpu, &BasicOp::TableScan.plan()).unwrap();
-        db.run(&mut cpu, &BasicOp::IndexScan.plan()).unwrap();
+        db.session()
+            .run(&mut cpu, &BasicOp::TableScan.plan())
+            .unwrap();
+        db.session()
+            .run(&mut cpu, &BasicOp::IndexScan.plan())
+            .unwrap();
 
         let m_scan = cpu.measure(|c| {
-            db.run(c, &BasicOp::TableScan.plan()).unwrap();
+            db.session().run(c, &BasicOp::TableScan.plan()).unwrap();
         });
         let m_index = cpu.measure(|c| {
-            db.run(c, &BasicOp::IndexScan.plan()).unwrap();
+            db.session().run(c, &BasicOp::IndexScan.plan()).unwrap();
         });
         let stall_per_load = |m: &simcore::Measurement| {
             m.pmu.get(simcore::Event::StallCycles) as f64

@@ -520,10 +520,10 @@ mod tests {
             TpchScale::tiny(),
         )
         .unwrap();
-        let li = db.catalog.table("lineitem").unwrap();
+        let li = db.catalog().table("lineitem").unwrap();
         assert!(li.heap.len() > 1000);
         assert!(li.pk_index.is_some());
         assert_eq!(li.secondary.len(), 3);
-        assert!(db.catalog.table("orders").unwrap().secondary.len() == 2);
+        assert!(db.catalog().table("orders").unwrap().secondary.len() == 2);
     }
 }

@@ -1002,7 +1002,7 @@ mod tests {
         )
         .unwrap();
         for q in TpchQuery::all() {
-            let arity = q.plan().arity(&db.catalog).unwrap();
+            let arity = q.plan().arity(db.catalog()).unwrap();
             assert!(arity > 0, "{} has zero-arity output", q.name());
         }
     }
@@ -1019,7 +1019,7 @@ mod tests {
                 let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
                 let mut db =
                     build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
-                let mut rows = db.run(&mut cpu, &plan).unwrap();
+                let mut rows = db.session().run(&mut cpu, &plan).unwrap();
                 // Canonicalise float noise for comparison.
                 for r in &mut rows {
                     for v in r.iter_mut() {
@@ -1046,7 +1046,7 @@ mod tests {
             TpchScale::tiny(),
         )
         .unwrap();
-        let rows = db.run(&mut cpu, &TpchQuery(1).plan()).unwrap();
+        let rows = db.session().run(&mut cpu, &TpchQuery(1).plan()).unwrap();
         // Groups: returnflag x linestatus — at most a handful.
         assert!(rows.len() >= 2 && rows.len() <= 6, "{} groups", rows.len());
         for r in &rows {

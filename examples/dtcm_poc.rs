@@ -35,9 +35,9 @@ fn main() {
     for qn in queries {
         let q = TpchQuery(qn);
         let plan = q.plan();
-        base.run(&mut base_cpu, &plan).expect("warm base");
+        base.session().run(&mut base_cpu, &plan).expect("warm base");
         let mb = base_cpu.measure(|c| {
-            base.run(c, &plan).expect("base");
+            base.session().run(c, &plan).expect("base");
         });
         opt.run(&mut opt_cpu, &plan).expect("warm dtcm");
         let mo = opt_cpu.measure(|c| {

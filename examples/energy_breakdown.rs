@@ -24,9 +24,9 @@ fn main() {
         for qn in [1u8, 3, 6] {
             let q = TpchQuery(qn);
             let plan = q.plan();
-            db.run(&mut cpu, &plan).expect("warm run");
+            db.session().run(&mut cpu, &plan).expect("warm run");
             let m = cpu.measure(|c| {
-                db.run(c, &plan).expect("measured run");
+                db.session().run(c, &plan).expect("measured run");
             });
             let bd = table.breakdown(&m);
             println!(

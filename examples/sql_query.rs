@@ -23,12 +23,12 @@ fn main() {
         cpu.set_prefetch(true);
         let mut db = build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny())
             .expect("load TPC-H");
-        let Planned::Query(plan) = compile(sql, &db.catalog).expect("compile") else {
+        let Planned::Query(plan) = compile(sql, db.catalog()).expect("compile") else {
             unreachable!("a SELECT compiles to a query");
         };
-        db.run(&mut cpu, &plan).expect("warm");
+        db.session().run(&mut cpu, &plan).expect("warm");
         let tok = cpu.begin_measure();
-        let rows = db.run(&mut cpu, &plan).expect("run");
+        let rows = db.session().run(&mut cpu, &plan).expect("run");
         let m = cpu.end_measure(tok);
         let bd = table.breakdown(&m);
         println!(
@@ -63,10 +63,10 @@ fn main() {
         "UPDATE region SET r_name = 'OCEANIA-2' WHERE r_regionkey = 77",
         "DELETE FROM region WHERE r_regionkey = 77",
     ] {
-        let Planned::Write(dml) = compile(stmt, &db.catalog).expect("compile") else {
+        let Planned::Write(dml) = compile(stmt, db.catalog()).expect("compile") else {
             unreachable!()
         };
-        let n = db.execute(&mut cpu, &dml).expect("execute");
+        let n = db.session().execute(&mut cpu, &dml).expect("execute");
         println!("SQL> {stmt}  -- {n} row(s)");
     }
 }

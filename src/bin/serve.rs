@@ -1,0 +1,53 @@
+//! `serve` — the concurrent OLTP serving experiment CLI.
+//!
+//! Runs experiment #22 (`serve_oltp`): N open-loop client sessions (YCSB
+//! mixes, short TPC-H picks, point DML) through admission control on a
+//! virtual-time multi-session server, per engine personality, reporting
+//! tail latency (p50/p95/p99) against energy per request.
+//!
+//! ```text
+//! cargo run --release --bin serve                          # 64 sessions, oltp mix
+//! cargo run --release --bin serve -- --sessions 128 --arrival-rate 400
+//! cargo run --release --bin serve -- --mix ycsb --admit-limit 4 --csv
+//! cargo run --release --bin serve -- --smoke               # CI-sized run
+//! ```
+//!
+//! `--smoke` shrinks the scenario (8 sessions) for CI; every other flag is
+//! the standard harness set (`--sessions`, `--arrival-rate`,
+//! `--admit-limit`, `--mix`, `--jobs`, `--csv`, `--trace`, ...). The
+//! report is byte-identical for a given configuration regardless of
+//! `--jobs`.
+
+fn main() {
+    let mut smoke = false;
+    let mut rest: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => rest.push(other.to_owned()),
+        }
+    }
+
+    let mut cfg = match mjrt::HarnessConfig::from_env_and_args(&rest) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}\nserve flags: [--smoke]");
+            std::process::exit(2);
+        }
+    };
+    if smoke {
+        cfg.sessions = cfg.sessions.min(8);
+    }
+
+    let exp = bench::experiments::find("serve_oltp").expect("serve_oltp is registered");
+    let mut out = Vec::new();
+    let ok = match mjrt::run_single(exp, &cfg, &mut out) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("io error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", String::from_utf8_lossy(&out));
+    std::process::exit(if ok { 0 } else { 1 });
+}

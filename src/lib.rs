@@ -30,7 +30,10 @@
 //!   `HarnessConfig`,
 //! * [`mjobs`] — energy-attributed observability: spans timed in simulated
 //!   joules/cycles, a metrics registry, and JSONL + Chrome `trace_event`
-//!   sinks (`--trace` / `--metrics`; never changes the report stream).
+//!   sinks (`--trace` / `--metrics`; never changes the report stream),
+//! * [`mjserve`] — the deterministic virtual-time multi-session OLTP
+//!   server: open-loop client streams, admission control, and the
+//!   tail-latency-vs-energy serving experiment (#22).
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -59,6 +62,7 @@ pub use engines;
 pub use microbench;
 pub use mjobs;
 pub use mjrt;
+pub use mjserve;
 pub use simcore;
 pub use sqlfe;
 pub use storage;
@@ -67,8 +71,9 @@ pub use workloads;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use analysis::{Breakdown, CalibrationBuilder, EnergyTable, MicroOp};
-    pub use engines::{Database, Dml, EngineKind, KnobLevel, Plan};
+    pub use engines::{Database, Dml, EngineKind, KnobLevel, Plan, Session, SessionCtx};
     pub use mjrt::{Experiment, HarnessConfig};
+    pub use mjserve::{serve, MixKind, ServeConfig, ServeSummary};
     pub use simcore::{ArchConfig, Cpu, Dep, ExecOp, PState};
     pub use sqlfe::{compile, Planned};
     pub use workloads::{BasicOp, TpchQuery};

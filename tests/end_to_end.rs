@@ -24,9 +24,9 @@ fn breakdown_of(kind: EngineKind, table: &EnergyTable, plan: &engines::Plan) -> 
     cpu.set_prefetch(true);
     let mut db =
         build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).expect("load");
-    db.run(&mut cpu, plan).expect("warm");
+    db.session().run(&mut cpu, plan).expect("warm");
     let m = cpu.measure(|c| {
-        db.run(c, plan).expect("measured");
+        db.session().run(c, plan).expect("measured");
     });
     table.breakdown(&m)
 }
@@ -126,7 +126,7 @@ fn tpch_differential_all_queries() {
         let plan = q.plan();
         let mut canon: Vec<Vec<String>> = Vec::new();
         for (cpu, db) in dbs.iter_mut() {
-            let rows = db.run(cpu, &plan).expect("run");
+            let rows = db.session().run(cpu, &plan).expect("run");
             let mut c: Vec<String> = rows
                 .into_iter()
                 .map(|r| {
@@ -174,9 +174,9 @@ fn dtcm_poc_saves_energy_without_perf_loss() {
     let (mut saved, mut total) = (0usize, 0usize);
     for qn in [1u8, 3, 6, 10, 12] {
         let plan = TpchQuery(qn).plan();
-        let rb = base.run(&mut base_cpu, &plan).expect("warm b");
+        let rb = base.session().run(&mut base_cpu, &plan).expect("warm b");
         let mb = base_cpu.measure(|c| {
-            base.run(c, &plan).expect("base");
+            base.session().run(c, &plan).expect("base");
         });
         let ro = opt.run(&mut opt_cpu, &plan).expect("warm o");
         let mo = opt_cpu.measure(|c| {
@@ -228,9 +228,9 @@ fn l1d_bottleneck_survives_data_growth() {
         cpu.set_prefetch(true);
         let mut db =
             build_tpch_db(&mut cpu, EngineKind::Pg, KnobLevel::Baseline, scale).expect("load");
-        db.run(&mut cpu, &plan).expect("warm");
+        db.session().run(&mut cpu, &plan).expect("warm");
         let m = cpu.measure(|c| {
-            db.run(c, &plan).expect("measured");
+            db.session().run(c, &plan).expect("measured");
         });
         let bd = table.breakdown(&m);
         assert!(
@@ -293,9 +293,9 @@ fn most_tpch_queries_clear_the_l1d_bar() {
     let mut total = 0;
     for q in TpchQuery::all() {
         let plan = q.plan();
-        db.run(&mut cpu, &plan).expect("warm");
+        db.session().run(&mut cpu, &plan).expect("warm");
         let m = cpu.measure(|c| {
-            db.run(c, &plan).expect("measured");
+            db.session().run(c, &plan).expect("measured");
         });
         let bd = table.breakdown(&m);
         total += 1;

@@ -182,7 +182,7 @@ fn update_with_wrong_type_is_rejected() {
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
     let mut db = engines::db::demo_database(&mut cpu, engines::EngineKind::Pg).unwrap();
     // items.id is Int; assigning a string must fail the schema check.
-    let err = db.execute(
+    let err = db.session().execute(
         &mut cpu,
         &engines::Dml::Update {
             table: "items".into(),

@@ -151,7 +151,7 @@ proptest! {
         for kind in EngineKind::ALL {
             let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
             let mut db = demo_database(&mut cpu, kind).unwrap();
-            let mut rows = db.run(&mut cpu, &plan).unwrap();
+            let mut rows = db.session().run(&mut cpu, &plan).unwrap();
             rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
             results.push(rows);
         }

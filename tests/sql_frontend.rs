@@ -26,10 +26,10 @@ fn canon(mut rows: Vec<Row>) -> Vec<String> {
 }
 
 fn run_sql(cpu: &mut Cpu, db: &mut engines::Database, sql: &str) -> Vec<Row> {
-    match compile(sql, &db.catalog).expect("compile") {
-        Planned::Query(plan) => db.run(cpu, &plan).expect("run"),
+    match compile(sql, db.catalog()).expect("compile") {
+        Planned::Query(plan) => db.session().run(cpu, &plan).expect("run"),
         Planned::Write(dml) => {
-            let n = db.execute(cpu, &dml).expect("execute");
+            let n = db.session().execute(cpu, &dml).expect("execute");
             vec![vec![storage::Value::Int(n as i64)]]
         }
     }
@@ -49,7 +49,10 @@ fn sql_q6_equals_handbuilt_plan() {
                WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31' \
                AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
     let via_sql = run_sql(&mut cpu, &mut db, sql);
-    let via_plan = db.run(&mut cpu, &workloads::TpchQuery(6).plan()).unwrap();
+    let via_plan = db
+        .session()
+        .run(&mut cpu, &workloads::TpchQuery(6).plan())
+        .unwrap();
     assert_eq!(canon(via_sql), canon(via_plan));
 }
 
@@ -125,12 +128,12 @@ fn sql_filter_pushdown_reduces_simulated_work() {
     .unwrap();
     let sql = "SELECT * FROM orders JOIN customer ON o_custkey = c_custkey \
                WHERE o_totalprice > 540000.0";
-    let Planned::Query(pushed) = compile(sql, &db.catalog).unwrap() else {
+    let Planned::Query(pushed) = compile(sql, db.catalog()).unwrap() else {
         panic!()
     };
-    db.run(&mut cpu, &pushed).unwrap();
+    db.session().run(&mut cpu, &pushed).unwrap();
     let m_pushed = cpu.measure(|c| {
-        db.run(c, &pushed).unwrap();
+        db.session().run(c, &pushed).unwrap();
     });
 
     let o = workloads::tpch::gen::schema_orders().col_expect("o_totalprice");
@@ -146,9 +149,9 @@ fn sql_filter_pushdown_reduces_simulated_work() {
         )),
         project: None,
     };
-    db.run(&mut cpu, &unpushed).unwrap();
+    db.session().run(&mut cpu, &unpushed).unwrap();
     let m_unpushed = cpu.measure(|c| {
-        db.run(c, &unpushed).unwrap();
+        db.session().run(c, &unpushed).unwrap();
     });
     let i_pushed = m_pushed.pmu.get(simcore::Event::Instructions);
     let i_unpushed = m_unpushed.pmu.get(simcore::Event::Instructions);
