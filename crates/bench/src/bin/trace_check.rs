@@ -9,13 +9,23 @@
 //! * `trace.json` — parses as one JSON document with a `traceEvents`
 //!   array whose `X` events all carry `pid`/`tid`/`ts`/`dur`/`name` and
 //!   non-negative energy widths.
+//! * `flame.folded` — every line is a well-formed folded stack with a
+//!   positive integer nanojoule weight.
+//! * `profile.json` — parses against the mjprof schema; per shard, the
+//!   telescoped exclusive-energy sum (and the per-operator `self_j` sum)
+//!   reconciles with the root RAPL delta, the folded weights sum to the
+//!   same joules (within per-line rounding), and the Eq. 1 estimate sits
+//!   inside the difftest bounded-residual band when the shard did enough
+//!   Active work to judge.
 //!
 //! Exits 0 when everything holds, 1 with a diagnostic otherwise.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use mjdiff::invariants::{MAX_ENERGY_RATIO, MIN_ACTIVE_J, MIN_ENERGY_RATIO};
 use mjobs::json::{parse, Json};
+use mjprof::{parse_folded, parse_profile};
 
 fn fail(msg: String) -> ExitCode {
     eprintln!("trace_check: {msg}");
@@ -115,6 +125,76 @@ fn check_chrome(text: &str) -> Result<u64, String> {
     Ok(spans)
 }
 
+/// Validate `flame.folded`; returns (line count, total nanojoules).
+fn check_folded(text: &str) -> Result<(u64, u64), String> {
+    let mut lines = 0u64;
+    let mut total_nj = 0u64;
+    for (n, line) in text.lines().enumerate() {
+        let (stack, nj) =
+            parse_folded(line).ok_or_else(|| format!("flame.folded line {}: {line:?}", n + 1))?;
+        if nj == 0 {
+            return Err(format!(
+                "flame.folded line {}: zero-weight stack {stack:?}",
+                n + 1
+            ));
+        }
+        lines += 1;
+        total_nj += nj;
+    }
+    Ok((lines, total_nj))
+}
+
+/// Validate `profile.json`; returns (shard count, telescoped self_j sum,
+/// total span count across shards).
+fn check_profile(text: &str) -> Result<(u64, f64, u64), String> {
+    let p = parse_profile(text)?;
+    if p.format != mjprof::PROFILE_FORMAT as u64 {
+        return Err(format!("profile.json: unknown format {}", p.format));
+    }
+    let mut shards = 0u64;
+    let mut self_sum = 0.0f64;
+    let mut spans = 0u64;
+    for (exp, ss) in &p.experiments {
+        for s in ss {
+            shards += 1;
+            spans += s.spans;
+            let tag = format!("profile {exp} shard {}", s.shard);
+            if let Some(e) = &s.error {
+                return Err(format!("{tag}: malformed span stream: {e}"));
+            }
+            // The exclusive energies must telescope back to the root RAPL
+            // delta, both at shard level and summed over the operator rows.
+            let tol = 1e-9 * s.total_j.abs() + 1e-12;
+            if (s.self_sum_j - s.total_j).abs() > tol {
+                return Err(format!(
+                    "{tag}: self_sum_j {} != total_j {}",
+                    s.self_sum_j, s.total_j
+                ));
+            }
+            let op_sum: f64 = s.operators.iter().map(|o| o.self_j).sum();
+            if (op_sum - s.total_j).abs() > tol {
+                return Err(format!(
+                    "{tag}: operator self_j sum {op_sum} != total_j {}",
+                    s.total_j
+                ));
+            }
+            // Eq. 1 estimate vs measured Active: the difftest band, judged
+            // only when the shard did enough Active work to be meaningful.
+            if s.active_j >= MIN_ACTIVE_J {
+                let ratio = s.est_j / s.active_j;
+                if !(MIN_ENERGY_RATIO..=MAX_ENERGY_RATIO).contains(&ratio) {
+                    return Err(format!(
+                        "{tag}: est_j/active_j = {ratio:.3} outside \
+                         [{MIN_ENERGY_RATIO}, {MAX_ENERGY_RATIO}]"
+                    ));
+                }
+            }
+            self_sum += s.self_sum_j;
+        }
+    }
+    Ok((shards, self_sum, spans))
+}
+
 fn main() -> ExitCode {
     let Some(dir) = std::env::args().nth(1) else {
         return fail("usage: trace_check DIR".into());
@@ -145,9 +225,35 @@ fn main() -> ExitCode {
         Ok(n) => n,
         Err(e) => return fail(e),
     };
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name))
+            .map_err(|e| format!("cannot read {}: {e}", dir.join(name).display()))
+    };
+    let (folded_lines, folded_nj) = match read("flame.folded").and_then(|t| check_folded(&t)) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let (shards, self_sum_j, profile_spans) =
+        match read("profile.json").and_then(|t| check_profile(&t)) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+    // The flamegraph and the profile are two views of the same exclusive
+    // energies: their totals must agree within the per-stack nanojoule
+    // rounding (one nJ per folded line, plus float accumulation slack).
+    let tol_nj = folded_lines as f64 + profile_spans as f64 + 1.0;
+    if (folded_nj as f64 - self_sum_j * 1e9).abs() > tol_nj {
+        return fail(format!(
+            "flame.folded total {folded_nj} nJ disagrees with profile self_sum {} nJ (tol {tol_nj})",
+            self_sum_j * 1e9
+        ));
+    }
     println!(
-        "trace_check: ok — {} JSONL line(s), {spans} Chrome span event(s)",
-        jsonl.lines().count()
+        "trace_check: ok — {} JSONL line(s), {spans} Chrome span event(s), \
+         {folded_lines} folded stack(s), {shards} profiled shard(s) \
+         ({:.4} J attributed)",
+        jsonl.lines().count(),
+        self_sum_j,
     );
     ExitCode::SUCCESS
 }

@@ -12,10 +12,13 @@
 //!
 //! Everything runs on the virtual clock (see `mjserve`), so the report —
 //! including p50/p95/p99 tail latencies and rejection counts — is
-//! byte-identical across `--jobs`. With `--csv` the run directory gets the
-//! per-cell curve (`serve_oltp.csv`) and the full per-request log
-//! (`serve_oltp_requests.csv`); with `--trace`, per-request spans land in
-//! the trace like any other experiment's.
+//! byte-identical across `--jobs`. Each cell also reports interpolated
+//! p999, the admit rate, and SLO attainment against the serve tail
+//! budget (worst rolling window included in the families CSV). With
+//! `--csv` the run directory gets the per-cell curve (`serve_oltp.csv`),
+//! the per-family quantile rollup (`serve_oltp_families.csv`), and the
+//! full per-request log (`serve_oltp_requests.csv`); with `--trace`,
+//! per-request spans land in the trace like any other experiment's.
 
 use std::any::Any;
 use std::fmt::Write as _;
@@ -58,6 +61,8 @@ fn serve_cfg(cfg: &HarnessConfig, kind: EngineKind, rate_mult: f64, admit: u32) 
 struct ShardOut {
     /// Summary-table rows, one per admission-limit cell.
     rows: Vec<Vec<String>>,
+    /// Per-family quantile rows, several per cell.
+    families: Vec<Vec<String>>,
     /// Per-request CSV rows across every cell in this shard.
     requests: Vec<Vec<String>>,
 }
@@ -73,9 +78,38 @@ fn cell_row(kind: EngineKind, rate_hz: f64, admit: u32, s: &ServeSummary) -> Vec
         format!("{:.1}", s.latency_percentile_s(50.0) * 1e6),
         format!("{:.1}", s.latency_percentile_s(95.0) * 1e6),
         format!("{:.1}", s.latency_percentile_s(99.0) * 1e6),
+        format!("{:.1}", s.latency_percentile_s(99.9) * 1e6),
         format!("{:.2}", s.energy_per_request_j() * 1e6),
         format!("{:.0}", s.throughput_rps()),
+        format!("{:.1}", s.admit_rate() * 100.0),
+        format!("{:.1}", s.slo.attainment() * 100.0),
     ]
+}
+
+/// One row per request family in a cell: interpolated latency quantiles
+/// from the log2 histograms plus mean energy, and the cell's worst
+/// rolling-window SLO state for context.
+fn family_rows(kind: EngineKind, rate_hz: f64, admit: u32, s: &ServeSummary) -> Vec<Vec<String>> {
+    s.family_slos()
+        .iter()
+        .map(|f| {
+            vec![
+                kind.name().to_owned(),
+                format!("{rate_hz:.0}"),
+                admit.to_string(),
+                f.family.to_owned(),
+                f.requests.to_string(),
+                format!("{:.1}", f.latency_us.p50()),
+                format!("{:.1}", f.latency_us.p95()),
+                format!("{:.1}", f.latency_us.p99()),
+                format!("{:.1}", f.latency_us.p999()),
+                format!("{:.2}", f.energy_nj.mean() * 1e-3),
+                format!("{:.2}", f.energy_nj.p99() * 1e-3),
+                format!("{:.1}", s.slo.worst_window_admit_rate * 100.0),
+                format!("{:.1}", s.slo.worst_window_violation_rate * 100.0),
+            ]
+        })
+        .collect()
 }
 
 impl Experiment for ServeOltp {
@@ -92,6 +126,7 @@ impl Experiment for ServeOltp {
         let mult = RATE_MULTS[shard % RATE_MULTS.len()];
         let mut out = ShardOut {
             rows: Vec::new(),
+            families: Vec::new(),
             requests: Vec::new(),
         };
         for admit in admit_sweep(ctx.cfg.admit_limit) {
@@ -101,6 +136,8 @@ impl Experiment for ServeOltp {
             let s = serve(&mut cpu, &scfg).expect("serve scenario");
             out.rows
                 .push(cell_row(kind, scfg.arrival_rate_hz, admit, &s));
+            out.families
+                .extend(family_rows(kind, scfg.arrival_rate_hz, admit, &s));
             for r in &s.records {
                 out.requests.push(vec![
                     kind.name().to_owned(),
@@ -123,7 +160,22 @@ impl Experiment for ServeOltp {
     fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, ctx: &ExpCtx<'_>) -> Report {
         let mut t = TextTable::new([
             "engine", "rate/s", "admit", "admitted", "queued", "rejected", "p50 us", "p95 us",
-            "p99 us", "uJ/req", "req/s",
+            "p99 us", "p999 us", "uJ/req", "req/s", "admit %", "slo %",
+        ]);
+        let mut fams = TextTable::new([
+            "engine",
+            "rate/s",
+            "admit",
+            "family",
+            "requests",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "p999 us",
+            "uJ/req",
+            "p99 uJ",
+            "worst admit %",
+            "worst late %",
         ]);
         let mut reqs = TextTable::new([
             "engine",
@@ -143,6 +195,9 @@ impl Experiment for ServeOltp {
             for row in out.rows {
                 t.row(row);
             }
+            for row in out.families {
+                fams.row(row);
+            }
             for row in out.requests {
                 reqs.row(row);
             }
@@ -156,6 +211,7 @@ impl Experiment for ServeOltp {
         .unwrap();
         write!(r, "{}", t.render()).unwrap();
         ctx.maybe_write_csv("serve_oltp", &t);
+        ctx.maybe_write_csv("serve_oltp_families", &fams);
         ctx.maybe_write_csv("serve_oltp_requests", &reqs);
         r
     }

@@ -5,7 +5,6 @@
 //! every query entry point is on [`crate::session::Session`].
 
 use crate::knobs::{KnobLevel, Knobs};
-use crate::plan::Plan;
 use crate::profile::EngineKind;
 use crate::session::SessionCtx;
 use simcore::Cpu;
@@ -186,16 +185,6 @@ impl Database {
         let tree = BTree::bulk_load(cpu, &mut self.store, &pairs)?;
         self.catalog.table_mut(table)?.secondary.push((ci, tree));
         Ok(())
-    }
-
-    /// Execute a logical plan with this engine's personality.
-    ///
-    /// Deprecated migration shim: delegates to a one-shot session over the
-    /// instance's default scratch state.
-    #[deprecated(note = "use `db.session().run(..)` (or `session_in` with a \
-                         per-client `SessionCtx`) — execution is session-scoped")]
-    pub fn run(&mut self, cpu: &mut Cpu, plan: &Plan) -> storage::Result<Vec<Row>> {
-        self.session().run(cpu, plan)
     }
 
     /// Total rows across all tables (diagnostic).

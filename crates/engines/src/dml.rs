@@ -16,7 +16,7 @@
 //! * DELETE tombstones the tuple and removes its index entries (lazy leaf
 //!   deletion — pages may underflow, as before a vacuum).
 
-use crate::db::{tid_to_u64, Database};
+use crate::db::tid_to_u64;
 use crate::session::Session;
 use simcore::{Cpu, Dep, ExecOp};
 use storage::heap::TupleId;
@@ -49,18 +49,6 @@ pub enum Dml {
         /// Row predicate (`None` = all rows).
         filter: Option<Expr>,
     },
-}
-
-impl Database {
-    /// Execute a DML statement; returns the affected-row count.
-    ///
-    /// Deprecated migration shim: delegates to a one-shot session over the
-    /// instance's default scratch state.
-    #[deprecated(note = "use `db.session().execute(..)` (or `session_in` with a \
-                         per-client `SessionCtx`) — execution is session-scoped")]
-    pub fn execute(&mut self, cpu: &mut Cpu, dml: &Dml) -> storage::Result<u64> {
-        self.session().execute(cpu, dml)
-    }
 }
 
 impl Session<'_> {
@@ -364,7 +352,7 @@ pub fn lit(v: Value) -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::db::demo_database;
+    use crate::db::{demo_database, Database};
     use crate::plan::Plan;
     use crate::profile::EngineKind;
     use simcore::ArchConfig;

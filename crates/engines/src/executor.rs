@@ -173,8 +173,9 @@ impl<'a, P: PageAccess> Env<'a, P> {
 
 /// The trace-span name of one plan operator: the variant, plus the detail
 /// that distinguishes instances in a flame graph (table, index column,
-/// join algorithm). Only called when a span collector is installed.
-fn span_name(plan: &Plan, profile: &Profile) -> String {
+/// join algorithm). Public so the profiler (mjprof) can map span streams
+/// back onto plan nodes; only called when a span collector is installed.
+pub fn span_name(plan: &Plan, profile: &Profile) -> String {
     match plan {
         Plan::Scan { table, .. } => format!("scan({table})"),
         Plan::IndexRange { table, col, .. } => format!("index_range({table}.{col})"),
@@ -208,6 +209,9 @@ pub fn run<P: PageAccess>(
 ) -> storage::Result<Vec<Row>> {
     mjobs::span::enter(cpu, || span_name(plan, env.profile));
     let rows = run_op(cpu, env, plan);
+    if let Ok(r) = &rows {
+        mjobs::span::annotate_rows(r.len() as u64);
+    }
     mjobs::span::exit(cpu);
     rows
 }

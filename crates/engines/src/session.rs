@@ -291,13 +291,13 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_database_run_shim_still_works() {
-        #![allow(deprecated)]
+    fn one_shot_sessions_cover_query_and_dml() {
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         let mut db = demo_database(&mut cpu, EngineKind::My).unwrap();
-        let rows = db.run(&mut cpu, &Plan::scan("items")).unwrap();
+        let rows = db.session().run(&mut cpu, &Plan::scan("items")).unwrap();
         assert_eq!(rows.len(), 200);
         let n = db
+            .session()
             .execute(
                 &mut cpu,
                 &Dml::Delete {

@@ -98,6 +98,16 @@ impl Histogram {
     /// (`q` in `[0, 1]`); 0 when empty. Log2 buckets make this an estimate
     /// that is at most 2x the true value — the right fidelity for "is the
     /// queue wait microseconds or milliseconds".
+    ///
+    /// Contract (see also [`Histogram::quantile`]):
+    /// - A sample landing exactly on a bucket boundary `2^k` opens bucket
+    ///   `k+1`, so the raw bucket upper bound would read `2^(k+1) - 1` —
+    ///   almost 2x the sample. The bound is therefore clamped to the exact
+    ///   recorded `max`, which makes `quantile_ub(1.0)` exact and every
+    ///   other quantile never exceed the largest sample.
+    /// - The top bucket spans `(2^63, u64::MAX]`; without the `max` clamp
+    ///   its upper bound would saturate near `u64::MAX` regardless of the
+    ///   data. The clamp fixes that, too.
     pub fn quantile_ub(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -107,10 +117,70 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_bounds(i).1 - 1;
+                return (Self::bucket_bounds(i).1 - 1).min(self.max);
             }
         }
-        u64::MAX
+        self.max
+    }
+
+    /// Interpolated `q`-quantile estimate (`q` in `[0, 1]`); 0 when empty.
+    ///
+    /// The rank is resolved to a bucket, then interpolated linearly across
+    /// the bucket's value range by the rank's position among that bucket's
+    /// samples. Error bound: the estimate always lies inside the true
+    /// sample's bucket `[2^(i-1), 2^i)` clamped to the recorded `max`, so it
+    /// is within a factor of 2 of the true quantile (log2 bucket width).
+    /// It is *exact* for the zero bucket and at `q = 1.0` (which returns
+    /// the recorded `max`). Pure integer/f64 arithmetic on the bucket
+    /// array — byte-deterministic across `--jobs`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == 0 {
+                    return 0.0; // bucket 0 holds exact zeros
+                }
+                let (lo, hi) = Self::bucket_bounds(i);
+                // Interpolate over the inclusive sample range [lo, hi-1],
+                // clamped to the exact recorded max: no sample exceeds it,
+                // which fixes the saturating top bucket and boundary
+                // samples like v == 2^k.
+                let lo = lo as f64;
+                let hi_incl = ((hi - 1).min(self.max)) as f64;
+                let frac = (rank - seen) as f64 / c as f64;
+                return lo + frac * (hi_incl - lo).max(0.0);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate (see [`Histogram::quantile`] for the error bound).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 }
 
@@ -326,6 +396,60 @@ mod tests {
         assert_eq!(h.bucket(2), 2); // 2 and 3
         assert!(h.quantile_ub(0.5) >= 2);
         assert!(h.quantile_ub(1.0) >= 1000);
+    }
+
+    #[test]
+    fn quantile_ub_clamps_boundary_and_top_bucket_samples() {
+        // A sample exactly on a bucket boundary (2^10) opens bucket 11,
+        // whose raw upper bound is 2047; the clamp keeps the estimate at
+        // the exact recorded max.
+        let mut h = Histogram::default();
+        h.record(1024);
+        assert_eq!(h.quantile_ub(0.5), 1024);
+        assert_eq!(h.quantile_ub(1.0), 1024);
+        // The saturating top bucket must not report near-u64::MAX for a
+        // modest sample that merely lands there.
+        let mut t = Histogram::default();
+        t.record(u64::MAX - 5);
+        assert_eq!(t.quantile_ub(0.99), u64::MAX - 5);
+        assert!((t.quantile(0.99) - (u64::MAX - 5) as f64).abs() < 1e4);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_factor_two() {
+        let mut h = Histogram::default();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let est = h.quantile(q);
+            let rank = ((1000.0 * q).ceil() as usize).clamp(1, 1000);
+            let truth = samples[rank - 1] as f64;
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "q={q}: est {est} vs truth {truth}"
+            );
+        }
+        // Exactness guarantees of the contract.
+        assert_eq!(h.quantile(1.0), 1000.0); // capped at recorded max
+        let mut z = Histogram::default();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.quantile(0.9), 0.0); // zero bucket is exact
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_helpers_are_ordered() {
+        let mut h = Histogram::default();
+        for v in 0..10_000u64 {
+            h.record(v * v % 65_536);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max as f64);
     }
 
     #[test]

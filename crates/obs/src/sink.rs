@@ -117,6 +117,9 @@ pub fn write_jsonl<W: Write>(
                     num(rec.delta.rapl.memory_j),
                     rec.forced,
                 )?;
+                if let Some(rows) = rec.rows {
+                    write!(w, ", \"rows\": {rows}")?;
+                }
                 if let (Some(table), false) = (run.table, rec.forced) {
                     let bd = table.breakdown(&rec.delta);
                     write!(w, ", \"active_j\": {}, \"ops_j\": {{", num(bd.active_j()))?;

@@ -16,6 +16,17 @@
 //! are built lazily — the closure passed to [`enter`] never runs when
 //! collection is off.
 //!
+//! Collectors **nest**: [`install`] pushes a fresh collector onto a
+//! thread-local stack and [`take`] pops it, so a profiler (mjprof's
+//! `EXPLAIN ANALYZE`) can scope its own collection inside a shard that the
+//! scheduler is already tracing — the outer collector keeps its records
+//! and simply does not see the spans captured by the inner one.
+//!
+//! Spans also carry two profiler annotations: an optional row count
+//! ([`annotate_rows`], set by the query executor on operator spans) and
+//! the per-span delta of the simulator's fast-path counters
+//! ([`SpanRecord::runs`]), both byte-deterministic.
+//!
 //! Spans that are still open at [`take`] time (a panic unwound through the
 //! instrumented region) are force-closed with a zero delta and marked
 //! [`SpanRecord::forced`]; an [`exit`] with no matching [`enter`] is
@@ -23,7 +34,7 @@
 
 use std::cell::RefCell;
 
-use simcore::{Cpu, Measurement, PState, PmuSnapshot, RaplReading};
+use simcore::{Cpu, Measurement, PState, PmuSnapshot, RaplReading, RunStats};
 
 use crate::metrics;
 
@@ -51,6 +62,13 @@ pub struct SpanRecord {
     /// The span's simulated cost: PMU deltas, per-domain energy, elapsed
     /// simulated time and cycles.
     pub delta: Measurement,
+    /// Rows produced by the span's operator, when the instrumented code
+    /// called [`annotate_rows`] (query-executor spans do; `None` elsewhere).
+    pub rows: Option<u64>,
+    /// Delta of the machine's fast-path counters across the span
+    /// (batched / cold-batched / replayed lines vs scalar fallbacks).
+    /// Like energy, a child's counts nest inside its parent's.
+    pub runs: RunStats,
     /// True if the span never exited and was closed by [`take`].
     pub forced: bool,
 }
@@ -64,6 +82,8 @@ struct OpenSpan {
     time_s: f64,
     cycles: f64,
     pstate: PState,
+    runs: RunStats,
+    rows: Option<u64>,
 }
 
 #[derive(Default)]
@@ -74,24 +94,35 @@ struct Collector {
 }
 
 thread_local! {
-    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    static COLLECTORS: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Start collecting spans on this thread (replaces any existing collector).
+fn runs_delta(now: RunStats, then: RunStats) -> RunStats {
+    RunStats {
+        batched_lines: now.batched_lines - then.batched_lines,
+        cold_batched_lines: now.cold_batched_lines - then.cold_batched_lines,
+        replayed_lines: now.replayed_lines - then.replayed_lines,
+        fallbacks: now.fallbacks - then.fallbacks,
+    }
+}
+
+/// Start collecting spans on this thread. Collectors nest: each `install`
+/// pushes a fresh collector (own sequence counter, own records) and the
+/// matching [`take`] pops it, restoring whatever was collecting before.
 pub fn install() {
-    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::default()));
+    COLLECTORS.with(|c| c.borrow_mut().push(Collector::default()));
 }
 
 /// Whether a collector is installed on this thread.
 pub fn enabled() -> bool {
-    COLLECTOR.with(|c| c.borrow().is_some())
+    COLLECTORS.with(|c| !c.borrow().is_empty())
 }
 
 /// Open a span. `name` is only evaluated when collection is on.
 pub fn enter<F: FnOnce() -> String>(cpu: &mut Cpu, name: F) {
-    COLLECTOR.with(|c| {
+    COLLECTORS.with(|c| {
         let mut slot = c.borrow_mut();
-        let Some(col) = slot.as_mut() else { return };
+        let Some(col) = slot.last_mut() else { return };
         let seq = col.next_seq;
         col.next_seq += 1;
         let parent_seq = col.stack.last().map(|s| s.seq);
@@ -104,15 +135,30 @@ pub fn enter<F: FnOnce() -> String>(cpu: &mut Cpu, name: F) {
             time_s: cpu.time_s(),
             cycles: cpu.cycles(),
             pstate: cpu.pstate(),
+            runs: cpu.run_stats(),
+            rows: None,
         });
+    });
+}
+
+/// Attach a row count to the innermost open span (no-op when collection is
+/// off or nothing is open). The query executor calls this just before
+/// [`exit`] so profiler artifacts can report rows per operator.
+pub fn annotate_rows(rows: u64) {
+    COLLECTORS.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(col) = slot.last_mut() else { return };
+        if let Some(open) = col.stack.last_mut() {
+            open.rows = Some(rows);
+        }
     });
 }
 
 /// Close the innermost open span, recording its simulated-cost delta.
 pub fn exit(cpu: &mut Cpu) {
-    COLLECTOR.with(|c| {
+    COLLECTORS.with(|c| {
         let mut slot = c.borrow_mut();
-        let Some(col) = slot.as_mut() else { return };
+        let Some(col) = slot.last_mut() else { return };
         let Some(open) = col.stack.pop() else {
             metrics::counter_add("trace.unbalanced_exits", 1);
             return;
@@ -138,18 +184,21 @@ pub fn exit(cpu: &mut Cpu) {
             start_cycles: open.cycles,
             start_e_j: open.rapl.total_j(),
             delta,
+            rows: open.rows,
+            runs: runs_delta(cpu.run_stats(), open.runs),
             forced: false,
         });
     });
 }
 
-/// Stop collecting on this thread and return every record, sorted by enter
-/// sequence. Spans still open (the shard panicked mid-query) are closed
-/// with a zero-cost delta and `forced = true`, so sinks can always rely on
+/// Stop the innermost collector on this thread and return every record,
+/// sorted by enter sequence; an enclosing collector (if any) resumes.
+/// Spans still open (the shard panicked mid-query) are closed with a
+/// zero-cost delta and `forced = true`, so sinks can always rely on
 /// balanced records.
 pub fn take() -> Vec<SpanRecord> {
-    COLLECTOR.with(|c| {
-        let Some(mut col) = c.borrow_mut().take() else {
+    COLLECTORS.with(|c| {
+        let Some(mut col) = c.borrow_mut().pop() else {
             return Vec::new();
         };
         while let Some(open) = col.stack.pop() {
@@ -172,6 +221,8 @@ pub fn take() -> Vec<SpanRecord> {
                     cycles: 0.0,
                     pstate: open.pstate,
                 },
+                rows: open.rows,
+                runs: RunStats::default(),
                 forced: true,
             });
         }
@@ -194,6 +245,7 @@ mod tests {
         let mut c = cpu();
         assert!(!enabled());
         enter(&mut c, || unreachable!("name must not be built when off"));
+        annotate_rows(3);
         exit(&mut c);
         assert!(take().is_empty());
     }
@@ -209,6 +261,7 @@ mod tests {
         for l in 0..8 {
             c.load(buf.addr + l * 64, Dep::Stream);
         }
+        annotate_rows(8);
         exit(&mut c);
         c.exec_n(ExecOp::Add, 5);
         exit(&mut c);
@@ -225,6 +278,9 @@ mod tests {
         assert!(outer.delta.time_s >= inner.delta.time_s);
         assert!(outer.delta.rapl.total_j() >= inner.delta.rapl.total_j());
         assert_eq!(inner.delta.pmu.get(simcore::Event::LoadIssued), 8);
+        // Annotations land on the span that was open when they were made.
+        assert_eq!(inner.rows, Some(8));
+        assert_eq!(outer.rows, None);
         assert!(!outer.forced && !inner.forced);
     }
 
@@ -263,5 +319,51 @@ mod tests {
         exit(&mut c);
         let second = take();
         assert_eq!(first[0].seq, second[0].seq, "per-shard sequences restart");
+    }
+
+    #[test]
+    fn collectors_nest_without_clobbering_the_outer_one() {
+        let mut c = cpu();
+        install(); // outer (e.g. the scheduler's shard trace)
+        enter(&mut c, || "outer_work".into());
+        c.exec_n(ExecOp::Add, 4);
+        exit(&mut c);
+
+        install(); // inner (e.g. EXPLAIN ANALYZE scoping its own query)
+        enter(&mut c, || "profiled".into());
+        c.exec_n(ExecOp::Add, 4);
+        exit(&mut c);
+        let inner = take();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].name, "profiled");
+
+        assert!(enabled(), "outer collector resumes after inner take()");
+        enter(&mut c, || "outer_again".into());
+        exit(&mut c);
+        let outer = take();
+        let names: Vec<&str> = outer.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["outer_work", "outer_again"]);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_carry_fast_path_run_deltas() {
+        let mut c = cpu();
+        let buf = c.alloc(64 * 64).unwrap();
+        // Warm the lines so a batched run is available, then span it.
+        for l in 0..64 {
+            c.load(buf.addr + l * 64, Dep::Stream);
+        }
+        install();
+        enter(&mut c, || "hot_run".into());
+        c.access_run(buf.addr, 64, false, Dep::Stream);
+        exit(&mut c);
+        let recs = take();
+        let total = recs[0].runs;
+        let served = total.batched_lines + total.replayed_lines + total.cold_batched_lines;
+        assert!(
+            served + total.fallbacks > 0,
+            "span must see the run counters move"
+        );
     }
 }

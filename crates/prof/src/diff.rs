@@ -1,0 +1,327 @@
+//! The regression sentinel: compare two run directories' deterministic
+//! profiling outputs (`metrics.json` + `profile.json`) and flag deltas
+//! beyond configurable thresholds.
+//!
+//! Only simulator-derived, jobs-independent series are compared — gauges
+//! `exp.<name>.sim_ms` / `.sim_j` / `.sim_kcycles` and the `simcore.run_*`
+//! fast-path counters; host-scoped metrics (wall-clock gauges, queue-wait
+//! histograms) are ignored by construction. Two runs of the same tree must
+//! therefore diff to exactly zero, which is what the CI `profdiff --smoke`
+//! job proves.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use analysis::report::TextTable;
+use mjobs::json::{self, Json};
+
+use crate::profile::parse_profile;
+
+/// Per-kind relative thresholds, in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Allowed relative change for latency series (sim_ms, sim_kcycles,
+    /// per-operator cycles).
+    pub latency_pct: f64,
+    /// Allowed relative change for energy series (sim_j, per-operator
+    /// joules).
+    pub energy_pct: f64,
+    /// Allowed relative change for fast-path counters and calls/rows.
+    pub counter_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            latency_pct: 1.0,
+            energy_pct: 1.0,
+            counter_pct: 0.5,
+        }
+    }
+}
+
+/// What a compared series measures (decides its threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Simulated time or cycles.
+    Latency,
+    /// Joules.
+    Energy,
+    /// Event counts (fast-path lines, calls, rows).
+    Counter,
+}
+
+/// One compared series.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Series name (metric name or `profile.<exp>.s<shard>.<op>.<field>`).
+    pub name: String,
+    /// Value in the baseline dir.
+    pub a: f64,
+    /// Value in the candidate dir.
+    pub b: f64,
+    /// Relative change in percent (`100 * (b - a) / a`; 0 when both zero).
+    pub pct: f64,
+    /// The series' kind.
+    pub kind: DeltaKind,
+    /// True when `|pct|` exceeds the kind's threshold.
+    pub violation: bool,
+}
+
+/// The full comparison.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Every compared series, in name order.
+    pub rows: Vec<Delta>,
+    /// Structural problems (series present on one side only, parse
+    /// failures of optional artifacts). Each counts as a violation.
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Number of threshold violations plus structural notes.
+    pub fn violations(&self) -> usize {
+        self.rows.iter().filter(|d| d.violation).count() + self.notes.len()
+    }
+
+    /// Render the comparison: violations (and notes) always; clean rows
+    /// summarised.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let mut t = TextTable::new(["series", "kind", "baseline", "candidate", "delta %", "flag"]);
+        let mut clean = 0usize;
+        for d in &self.rows {
+            if !d.violation && !verbose {
+                clean += 1;
+                continue;
+            }
+            t.row([
+                d.name.clone(),
+                format!("{:?}", d.kind).to_lowercase(),
+                format!("{:.6}", d.a),
+                format!("{:.6}", d.b),
+                format!("{:+.3}", d.pct),
+                if d.violation {
+                    "REGRESSED".into()
+                } else {
+                    "ok".into()
+                },
+            ]);
+        }
+        let _ = write!(out, "{}", t.render());
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        let _ = writeln!(
+            out,
+            "{} series compared, {} within thresholds{}, {} violation(s)",
+            self.rows.len(),
+            self.rows.iter().filter(|d| !d.violation).count(),
+            if verbose {
+                String::new()
+            } else {
+                format!(" ({clean} hidden)")
+            },
+            self.violations(),
+        );
+        out
+    }
+}
+
+fn pct(a: f64, b: f64) -> f64 {
+    if a == 0.0 && b == 0.0 {
+        0.0
+    } else if a == 0.0 {
+        100.0
+    } else {
+        100.0 * (b - a) / a
+    }
+}
+
+fn threshold(kind: DeltaKind, thr: &Thresholds) -> f64 {
+    match kind {
+        DeltaKind::Latency => thr.latency_pct,
+        DeltaKind::Energy => thr.energy_pct,
+        DeltaKind::Counter => thr.counter_pct,
+    }
+}
+
+/// The deterministic series extracted from one `metrics.json`.
+fn metric_series(parsed: &Json) -> BTreeMap<String, (f64, DeltaKind)> {
+    let mut out = BTreeMap::new();
+    let Json::Obj(entries) = parsed else {
+        return out;
+    };
+    for (name, m) in entries {
+        let ty = m.get("type").and_then(|t| t.as_str()).unwrap_or("");
+        let Some(value) = m.get("value").and_then(|v| v.as_f64()) else {
+            continue;
+        };
+        let kind = if ty == "gauge" && name.starts_with("exp.") {
+            if name.ends_with(".sim_j") {
+                Some(DeltaKind::Energy)
+            } else if name.ends_with(".sim_ms") || name.ends_with(".sim_kcycles") {
+                Some(DeltaKind::Latency)
+            } else {
+                None
+            }
+        } else if ty == "counter" && name.starts_with("simcore.run_") {
+            Some(DeltaKind::Counter)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            out.insert(name.clone(), (value, kind));
+        }
+    }
+    out
+}
+
+fn compare_maps(
+    report: &mut DiffReport,
+    thr: &Thresholds,
+    a: &BTreeMap<String, (f64, DeltaKind)>,
+    b: &BTreeMap<String, (f64, DeltaKind)>,
+) {
+    for (name, (va, kind)) in a {
+        match b.get(name) {
+            Some((vb, _)) => {
+                let p = pct(*va, *vb);
+                report.rows.push(Delta {
+                    name: name.clone(),
+                    a: *va,
+                    b: *vb,
+                    pct: p,
+                    kind: *kind,
+                    violation: p.abs() > threshold(*kind, thr),
+                });
+            }
+            None => report
+                .notes
+                .push(format!("series {name} present only in baseline")),
+        }
+    }
+    for name in b.keys() {
+        if !a.contains_key(name) {
+            report
+                .notes
+                .push(format!("series {name} present only in candidate"));
+        }
+    }
+}
+
+/// Flatten a parsed profile into comparable series.
+fn profile_series(text: &str) -> Result<BTreeMap<String, (f64, DeltaKind)>, String> {
+    let p = parse_profile(text)?;
+    let mut out = BTreeMap::new();
+    for (exp, shards) in &p.experiments {
+        for s in shards {
+            let base = format!("profile.{exp}.s{}", s.shard);
+            out.insert(format!("{base}.total_j"), (s.total_j, DeltaKind::Energy));
+            out.insert(format!("{base}.est_j"), (s.est_j, DeltaKind::Energy));
+            out.insert(
+                format!("{base}.spans"),
+                (s.spans as f64, DeltaKind::Counter),
+            );
+            for (i, field) in ["batched", "cold", "replayed", "fallbacks"]
+                .iter()
+                .enumerate()
+            {
+                out.insert(
+                    format!("{base}.runs.{field}"),
+                    (s.runs[i] as f64, DeltaKind::Counter),
+                );
+            }
+            for op in &s.operators {
+                let ob = format!("{base}.{}", op.name);
+                out.insert(format!("{ob}.self_j"), (op.self_j, DeltaKind::Energy));
+                out.insert(format!("{ob}.cycles"), (op.cycles, DeltaKind::Latency));
+                out.insert(format!("{ob}.calls"), (op.calls as f64, DeltaKind::Counter));
+                if let Some(r) = op.rows {
+                    out.insert(format!("{ob}.rows"), (r as f64, DeltaKind::Counter));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compare two run directories. `metrics.json` is required on both sides;
+/// `profile.json` is compared when present on both and noted when present
+/// on only one.
+pub fn diff_dirs(a: &Path, b: &Path, thr: &Thresholds) -> Result<DiffReport, String> {
+    let read = |dir: &Path, file: &str| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(file))
+            .map_err(|e| format!("{}/{file}: {e}", dir.display()))
+    };
+    let ma = json::parse(&read(a, "metrics.json")?)
+        .map_err(|e| format!("baseline metrics.json: {e}"))?;
+    let mb = json::parse(&read(b, "metrics.json")?)
+        .map_err(|e| format!("candidate metrics.json: {e}"))?;
+    let mut report = DiffReport::default();
+    compare_maps(&mut report, thr, &metric_series(&ma), &metric_series(&mb));
+
+    let pa = read(a, "profile.json").ok();
+    let pb = read(b, "profile.json").ok();
+    match (pa, pb) {
+        (Some(pa), Some(pb)) => {
+            let sa = profile_series(&pa).map_err(|e| format!("baseline profile.json: {e}"))?;
+            let sb = profile_series(&pb).map_err(|e| format!("candidate profile.json: {e}"))?;
+            compare_maps(&mut report, thr, &sa, &sb);
+        }
+        (Some(_), None) => report.notes.push("profile.json only in baseline".into()),
+        (None, Some(_)) => report.notes.push("profile.json only in candidate".into()),
+        (None, None) => {}
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(sim_j: f64, runs: u64) -> String {
+        format!(
+            "{{\"exp.fig01.sim_ms\": {{\"type\": \"gauge\", \"value\": 12.5}},\n\
+              \"exp.fig01.sim_j\": {{\"type\": \"gauge\", \"value\": {sim_j}}},\n\
+              \"exp.fig01.host_ms\": {{\"type\": \"gauge\", \"value\": 991.0}},\n\
+              \"simcore.run_batched_lines\": {{\"type\": \"counter\", \"value\": {runs}}},\n\
+              \"scheduler.queue_wait_us\": {{\"type\": \"histogram\", \"count\": 3, \
+               \"sum\": 9.0, \"max\": 5, \"buckets\": [[0, 1, 3]]}}}}"
+        )
+    }
+
+    fn write_dir(tag: &str, sim_j: f64, runs: u64) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mjprof-diff-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("metrics.json"), metrics(sim_j, runs)).unwrap();
+        dir
+    }
+
+    #[test]
+    fn identical_dirs_diff_to_zero() {
+        let a = write_dir("za", 3.25, 700);
+        let b = write_dir("zb", 3.25, 700);
+        let r = diff_dirs(&a, &b, &Thresholds::default()).unwrap();
+        assert_eq!(r.violations(), 0, "{}", r.render(true));
+        // Host-scoped series must not be compared at all.
+        assert!(r.rows.iter().all(|d| !d.name.contains("host")));
+        assert!(r.rows.iter().all(|d| !d.name.contains("queue_wait")));
+        assert_eq!(r.rows.len(), 3);
+        std::fs::remove_dir_all(a).ok();
+        std::fs::remove_dir_all(b).ok();
+    }
+
+    #[test]
+    fn energy_regression_is_flagged() {
+        let a = write_dir("ra", 3.25, 700);
+        let b = write_dir("rb", 3.40, 650); // +4.6% energy, -7% fast-path
+        let r = diff_dirs(&a, &b, &Thresholds::default()).unwrap();
+        assert_eq!(r.violations(), 2, "{}", r.render(true));
+        let rendered = r.render(false);
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        std::fs::remove_dir_all(a).ok();
+        std::fs::remove_dir_all(b).ok();
+    }
+}

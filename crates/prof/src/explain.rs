@@ -1,0 +1,316 @@
+//! `EXPLAIN ANALYZE` with energy: execute a plan inside a scoped span
+//! collector and render the logical `explain()` tree annotated per
+//! operator with rows, simulated cycles, joules, micro-op energy shares
+//! and fast-path hit rates.
+//!
+//! The span stream produced by one `Session::run` mirrors the plan tree —
+//! the executor brackets every operator — but not always 1:1: a hash join
+//! executes its *build* (right) child before the probe side, and an index
+//! nested-loop join drives an indexable inner scan directly through the
+//! index without a child span. Mapping therefore matches plan children to
+//! span children by expected span name ([`engines::executor::span_name`]),
+//! in any order, and marks plan nodes with no span of their own as
+//! *inlined* (their cost is inside the parent's).
+
+use std::fmt::Write as _;
+
+use analysis::active::active_energy;
+use analysis::{EnergyTable, MicroOp, MicroOpCounts};
+use engines::executor::span_name;
+use engines::{EngineKind, Plan, Session};
+use mjobs::span::SpanRecord;
+use simcore::{Cpu, Measurement};
+
+use crate::tree::{fastpath_hit_rate, SpanForest};
+
+/// Why an `EXPLAIN ANALYZE` run could not produce a profile.
+#[derive(Debug)]
+pub enum ProfError {
+    /// The query itself failed.
+    Exec(storage::StorageError),
+    /// The span stream did not map back onto the plan tree.
+    Mapping(String),
+}
+
+impl From<storage::StorageError> for ProfError {
+    fn from(e: storage::StorageError) -> ProfError {
+        ProfError::Exec(e)
+    }
+}
+
+impl std::fmt::Display for ProfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfError::Exec(e) => write!(f, "query failed: {e:?}"),
+            ProfError::Mapping(m) => write!(f, "span mapping failed: {m}"),
+        }
+    }
+}
+
+/// One annotated operator in plan (preorder) order.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// The node's line from the logical `explain()` tree (no indentation).
+    pub plan_line: String,
+    /// Physical span name (`scan(lineitem)`, `hash_join`, …); empty for
+    /// inlined nodes.
+    pub name: String,
+    /// Plan-tree depth (indentation level).
+    pub depth: usize,
+    /// Rows the operator produced, when its span was annotated.
+    pub rows: Option<u64>,
+    /// Exclusive simulated seconds.
+    pub time_s: f64,
+    /// Exclusive cycles.
+    pub cycles: f64,
+    /// Inclusive RAPL joules (children included).
+    pub e_j: f64,
+    /// Exclusive RAPL joules.
+    pub self_j: f64,
+    /// `(micro-op symbol, share)` of the node's exclusive Active energy,
+    /// ending with `("other", …)`; shares sum to 1.
+    pub shares: Vec<(&'static str, f64)>,
+    /// Fast-path hit rate over the node's exclusive line movement.
+    pub fast_hit: Option<f64>,
+    /// True when the operator ran inside its parent (no span of its own).
+    pub inlined: bool,
+}
+
+/// The result of one `EXPLAIN ANALYZE` execution.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Engine personality that ran the query.
+    pub kind: EngineKind,
+    /// Result-set row count.
+    pub rows: u64,
+    /// The whole query's measurement (the root span's inclusive delta).
+    pub total: Measurement,
+    /// Eq. 1 micro-op estimate for the whole query (joules).
+    pub est_j: f64,
+    /// Measured Active joules for the whole query.
+    pub active_j: f64,
+    /// Annotated operators, preorder over the plan tree.
+    pub ops: Vec<OpReport>,
+    /// The raw span stream (seq-sorted), for flamegraphs of this query.
+    pub spans: Vec<SpanRecord>,
+}
+
+fn plan_children(plan: &Plan) -> Vec<&Plan> {
+    match plan {
+        Plan::Scan { .. } | Plan::IndexRange { .. } => Vec::new(),
+        Plan::Join { left, right, .. } => vec![left, right],
+        Plan::Aggregate { input, .. } => vec![input],
+        Plan::Sort { input, .. } => vec![input],
+        Plan::Limit { input, .. } => vec![input],
+        Plan::Project { input, .. } => vec![input],
+    }
+}
+
+fn plan_line(plan: &Plan) -> String {
+    plan.explain().lines().next().unwrap_or_default().to_owned()
+}
+
+fn attach(
+    plan: &Plan,
+    node: Option<usize>,
+    depth: usize,
+    forest: &SpanForest<'_>,
+    table: &EnergyTable,
+    profile: &engines::Profile,
+    out: &mut Vec<OpReport>,
+) -> Result<(), String> {
+    match node {
+        None => {
+            out.push(OpReport {
+                plan_line: plan_line(plan),
+                name: String::new(),
+                depth,
+                rows: None,
+                time_s: 0.0,
+                cycles: 0.0,
+                e_j: 0.0,
+                self_j: 0.0,
+                shares: Vec::new(),
+                fast_hit: None,
+                inlined: true,
+            });
+            for child in plan_children(plan) {
+                attach(child, None, depth + 1, forest, table, profile, out)?;
+            }
+            Ok(())
+        }
+        Some(i) => {
+            let rec = forest.rec(i);
+            let expected = span_name(plan, profile);
+            if rec.name != expected {
+                return Err(format!("span {} where plan expects {expected}", rec.name));
+            }
+            let excl = forest.exclusive(i);
+            let bd = table.breakdown(&excl);
+            let mut shares: Vec<(&'static str, f64)> = MicroOp::MS
+                .iter()
+                .map(|op| (op.symbol(), bd.share(*op)))
+                .collect();
+            shares.push(("other", bd.other_share()));
+            out.push(OpReport {
+                plan_line: plan_line(plan),
+                name: rec.name.clone(),
+                depth,
+                rows: rec.rows,
+                time_s: excl.time_s,
+                cycles: excl.cycles,
+                e_j: rec.delta.rapl.total_j(),
+                self_j: forest.self_j(i),
+                shares,
+                fast_hit: fastpath_hit_rate(forest.exclusive_runs(i)),
+                inlined: false,
+            });
+            // Match plan children (plan order) to span children (execution
+            // order) by expected span name; unmatched plan children ran
+            // inlined, unmatched span children are a mapping error.
+            let span_children = forest.children(i);
+            let mut used = vec![false; span_children.len()];
+            for pc in plan_children(plan) {
+                let want = span_name(pc, profile);
+                let found = span_children
+                    .iter()
+                    .enumerate()
+                    .find(|(k, &si)| !used[*k] && forest.rec(si).name == want)
+                    .map(|(k, &si)| (k, si));
+                match found {
+                    Some((k, si)) => {
+                        used[k] = true;
+                        attach(pc, Some(si), depth + 1, forest, table, profile, out)?;
+                    }
+                    None => attach(pc, None, depth + 1, forest, table, profile, out)?,
+                }
+            }
+            if let Some(k) = used.iter().position(|u| !u) {
+                return Err(format!(
+                    "span {} has no matching plan child under {expected}",
+                    forest.rec(span_children[k]).name
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Execute `plan` on `session` inside a scoped span collector and return
+/// the annotated profile. Nests cleanly under an ambient `--trace`
+/// collector (the inner collector captures this query's spans; the outer
+/// one resumes afterwards).
+pub fn profile_query(
+    session: &mut Session<'_>,
+    cpu: &mut Cpu,
+    plan: &Plan,
+    table: &EnergyTable,
+) -> Result<QueryProfile, ProfError> {
+    mjobs::span::install();
+    let result = session.run(cpu, plan);
+    let spans = mjobs::span::take();
+    let rows = result?;
+    let forest = SpanForest::build(&spans).map_err(ProfError::Mapping)?;
+    let &[root] = forest.roots() else {
+        return Err(ProfError::Mapping(format!(
+            "expected one root span, got {}",
+            forest.roots().len()
+        )));
+    };
+    let kind = session.kind();
+    let profile = kind.profile();
+    let mut ops = Vec::new();
+    attach(plan, Some(root), 0, &forest, table, profile, &mut ops).map_err(ProfError::Mapping)?;
+    let total = forest.rec(root).delta.clone();
+    let est_j = table.estimate_active_j(&MicroOpCounts::from_pmu(&total.pmu));
+    let active_j = active_energy(&total, &table.background).active_j;
+    Ok(QueryProfile {
+        kind,
+        rows: rows.len() as u64,
+        total,
+        est_j,
+        active_j,
+        ops,
+        spans,
+    })
+}
+
+/// `EXPLAIN ANALYZE` for session-scoped execution, as an extension trait
+/// so `engines` stays independent of the profiler.
+pub trait SessionProf {
+    /// Execute `plan` and return the per-operator energy profile.
+    fn explain_analyze(
+        &mut self,
+        cpu: &mut Cpu,
+        plan: &Plan,
+        table: &EnergyTable,
+    ) -> Result<QueryProfile, ProfError>;
+}
+
+impl SessionProf for Session<'_> {
+    fn explain_analyze(
+        &mut self,
+        cpu: &mut Cpu,
+        plan: &Plan,
+        table: &EnergyTable,
+    ) -> Result<QueryProfile, ProfError> {
+        profile_query(self, cpu, plan, table)
+    }
+}
+
+fn fmt_uj(j: f64) -> String {
+    format!("{:.2}uJ", j * 1e6)
+}
+
+impl QueryProfile {
+    /// Render the annotated tree: the logical `explain()` skeleton, each
+    /// line extended with the physical operator and its measurements.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "EXPLAIN ANALYZE ({}): {} rows, {:.3} ms simulated, {} \
+             (active {}, est {} = {:.0}%)",
+            self.kind.name(),
+            self.rows,
+            self.total.time_s * 1e3,
+            fmt_uj(self.total.rapl.total_j()),
+            fmt_uj(self.active_j),
+            fmt_uj(self.est_j),
+            if self.active_j > 0.0 {
+                100.0 * self.est_j / self.active_j
+            } else {
+                0.0
+            },
+        );
+        for op in &self.ops {
+            let pad = "  ".repeat(op.depth);
+            if op.inlined {
+                let _ = writeln!(out, "{pad}{} [inlined into parent]", op.plan_line);
+                continue;
+            }
+            let rows = op.rows.map_or(String::from("?"), |r| r.to_string());
+            let _ = write!(
+                out,
+                "{pad}{} [{}] rows={rows} cycles={:.0} e={} self={}",
+                op.plan_line,
+                op.name,
+                op.cycles,
+                fmt_uj(op.e_j),
+                fmt_uj(op.self_j),
+            );
+            if let Some(h) = op.fast_hit {
+                let _ = write!(out, " fast={:.0}%", h * 100.0);
+            }
+            let shares = op
+                .shares
+                .iter()
+                .filter(|(_, s)| *s >= 0.005)
+                .map(|(sym, s)| format!("{sym} {:.0}%", s * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, " | {shares}");
+        }
+        out
+    }
+}

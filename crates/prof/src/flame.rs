@@ -1,0 +1,124 @@
+//! Energy flamegraphs: collapse a span forest into folded-stack lines
+//! where the sample weight is *energy*, not time.
+//!
+//! The folded format is the lingua franca of flamegraph tooling (Brendan
+//! Gregg's `flamegraph.pl`, inferno, speedscope): one line per distinct
+//! stack, frames joined by `;`, a space, then an integer weight. Here the
+//! weight is the stack's **exclusive energy in nanojoules** — the joules
+//! the innermost frame spent itself, children excluded — so frame widths
+//! in the rendered graph are joules and the root width is the run's total
+//! RAPL delta.
+//!
+//! Weights come from the simulator's deterministic meters and are rounded
+//! once at the end, so the emitted bytes are identical for any `--jobs`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use mjobs::span::SpanRecord;
+
+use crate::tree::SpanForest;
+
+/// Make a span name safe to embed in a folded stack: `;` separates frames
+/// and the last space separates the weight, so both are replaced.
+fn frame(name: &str) -> String {
+    name.replace(';', ":").replace(' ', "_")
+}
+
+/// Fold one span stream under `prefix` frames (e.g. experiment name and
+/// shard), accumulating exclusive nanojoules per distinct stack into `acc`.
+/// Streams that fail well-formedness validation report the error instead
+/// of producing a partial graph.
+pub fn fold_into(
+    acc: &mut BTreeMap<String, u64>,
+    prefix: &[String],
+    recs: &[SpanRecord],
+) -> Result<(), String> {
+    let forest = SpanForest::build(recs)?;
+    let base = prefix
+        .iter()
+        .map(|p| frame(p))
+        .collect::<Vec<_>>()
+        .join(";");
+    let mut stack: Vec<(usize, String)> = forest
+        .roots()
+        .iter()
+        .rev()
+        .map(|&r| (r, base.clone()))
+        .collect();
+    while let Some((i, path)) = stack.pop() {
+        let path = if path.is_empty() {
+            frame(&forest.rec(i).name)
+        } else {
+            format!("{path};{}", frame(&forest.rec(i).name))
+        };
+        let nj = (forest.self_j(i) * 1e9).round();
+        let nj = if nj.is_finite() && nj > 0.0 {
+            nj as u64
+        } else {
+            0
+        };
+        if nj > 0 {
+            *acc.entry(path.clone()).or_insert(0) += nj;
+        }
+        for &c in forest.children(i).iter().rev() {
+            stack.push((c, path.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Write accumulated folded stacks: one `stack weight` line per entry, in
+/// stack (byte) order — deterministic for any insertion order.
+pub fn write_folded<W: Write>(w: &mut W, acc: &BTreeMap<String, u64>) -> io::Result<()> {
+    for (stack, nj) in acc {
+        writeln!(w, "{stack} {nj}")?;
+    }
+    Ok(())
+}
+
+/// Parse one folded line back into `(stack, weight)`; `None` when the line
+/// is not in folded format. Used by `trace_check` and tests.
+pub fn parse_folded(line: &str) -> Option<(&str, u64)> {
+    let (stack, w) = line.rsplit_once(' ')?;
+    if stack.is_empty() {
+        return None;
+    }
+    Some((stack, w.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{ArchConfig, Cpu, ExecOp};
+
+    #[test]
+    fn folded_stacks_sum_to_total_energy() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        mjobs::span::install();
+        mjobs::span::enter(&mut cpu, || "q 1".into());
+        cpu.exec_n(ExecOp::Add, 200);
+        mjobs::span::enter(&mut cpu, || "scan(t;x)".into());
+        cpu.exec_n(ExecOp::Mul, 400);
+        mjobs::span::exit(&mut cpu);
+        mjobs::span::exit(&mut cpu);
+        let recs = mjobs::span::take();
+        let total_nj = recs[0].delta.rapl.total_j() * 1e9;
+
+        let mut acc = BTreeMap::new();
+        fold_into(&mut acc, &["exp".into(), "shard0".into()], &recs).unwrap();
+        let mut out = Vec::new();
+        write_folded(&mut out, &acc).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut sum = 0u64;
+        for line in text.lines() {
+            let (stack, w) = parse_folded(line).expect("folded line");
+            assert!(stack.starts_with("exp;shard0;q_1"), "{stack}");
+            assert!(!stack.contains(' '));
+            sum += w;
+        }
+        // Rounding once per stack: off by at most one nJ per line.
+        assert!((sum as f64 - total_nj).abs() <= text.lines().count() as f64);
+        assert!(text.contains(";scan(t:x) "));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # mjprof — the energy-attributed query profiler
+//!
+//! The paper's method is *attribution*: decompose measured Active energy
+//! into per-micro-op shares (Eq. 1) and let developers see where the
+//! joules go. The simulator already streams exact PMU/RAPL deltas through
+//! `mjobs` spans; this crate turns those streams into artifacts someone
+//! can actually read:
+//!
+//! - [`tree`] — reconstruct the per-operator span hierarchy and compute
+//!   *exclusive* costs that telescope back to the root's RAPL delta.
+//! - [`explain`] — `EXPLAIN ANALYZE` with energy: run a plan in a scoped
+//!   collector and render the `explain()` tree annotated with rows,
+//!   cycles, joules, micro-op shares and fast-path hit rates
+//!   ([`SessionProf::explain_analyze`] on any `engines::Session`).
+//! - [`flame`] — energy flamegraphs: folded stacks whose sample weight is
+//!   exclusive nanojoules (feed to inferno / speedscope / flamegraph.pl).
+//! - [`profile`] — the `profile.json` run-dir artifact: per-shard,
+//!   per-operator rollups with the Eq. 1 estimate-vs-Active pair the
+//!   difftest bounded-residual band applies to.
+//! - [`diff`] — the regression sentinel behind the `profdiff` binary:
+//!   compare two run dirs' deterministic series against thresholds.
+//!
+//! Every artifact is a pure function of simulated meters, so all of them
+//! are byte-identical for any `--jobs` — the determinism tests assert it.
+
+pub mod diff;
+pub mod explain;
+pub mod flame;
+pub mod profile;
+pub mod tree;
+
+pub use diff::{diff_dirs, Delta, DeltaKind, DiffReport, Thresholds};
+pub use explain::{profile_query, OpReport, ProfError, QueryProfile, SessionProf};
+pub use flame::{fold_into, parse_folded, write_folded};
+pub use profile::{parse_profile, write_profile, ParsedProfile, ShardProfile, PROFILE_FORMAT};
+pub use tree::{fastpath_hit_rate, SpanForest};

@@ -125,12 +125,12 @@ impl HarnessConfig {
                 .unwrap_or(d.results_root),
             jobs: resolve_jobs(env_parsed("MJ_JOBS", d.jobs)),
             filter: std::env::var("MJ_FILTER").ok().filter(|s| !s.is_empty()),
-            trace: std::env::var("MJ_TRACE").is_ok(),
+            trace: std::env::var("MJ_TRACE").is_ok() || std::env::var("MJ_PROFILE").is_ok(),
             trace_dir: std::env::var("MJ_TRACE")
                 .ok()
                 .filter(|v| !v.is_empty() && v != "1")
                 .map(PathBuf::from),
-            metrics: std::env::var("MJ_METRICS").is_ok(),
+            metrics: std::env::var("MJ_METRICS").is_ok() || std::env::var("MJ_PROFILE").is_ok(),
             sessions: env_parsed("MJ_SESSIONS", d.sessions),
             arrival_rate: env_parsed("MJ_ARRIVAL_RATE", d.arrival_rate),
             admit_limit: env_parsed("MJ_ADMIT_LIMIT", d.admit_limit),
@@ -171,6 +171,10 @@ impl HarnessConfig {
                 "--filter" | "-f" => self.filter = Some(value("--filter")?),
                 "--trace" => self.trace = true,
                 "--metrics" => self.metrics = true,
+                "--profile" => {
+                    self.trace = true;
+                    self.metrics = true;
+                }
                 "--scale" => self.scale = parse(&value("--scale")?, "--scale")?,
                 "--arm-scale" => self.arm_scale = parse(&value("--arm-scale")?, "--arm-scale")?,
                 "--sec5-scale" => self.sec5_scale = parse(&value("--sec5-scale")?, "--sec5-scale")?,
@@ -209,19 +213,24 @@ fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
 pub const USAGE: &str = "\
 usage: [--jobs N (0 = auto)] [--filter SUBSTR] [--scale MB] [--arm-scale MB]
        [--sec5-scale MB] [--cal-ops N] [--csv] [--results-dir DIR]
-       [--trace[=DIR]] [--metrics] [--sessions N] [--arrival-rate HZ]
-       [--admit-limit N] [--mix oltp|ycsb|tpch|dml] [--list]
+       [--trace[=DIR]] [--metrics] [--profile] [--sessions N]
+       [--arrival-rate HZ] [--admit-limit N] [--mix oltp|ycsb|tpch|dml]
+       [--list]
 
 --trace writes trace.jsonl + trace.json (Chrome trace_event, energy-width
-spans) into the per-run results directory; --metrics prints the metrics
-summary and writes metrics.json there. Neither changes the report stream.
+spans) plus the mjprof rollups flame.folded (energy flamegraph) and
+profile.json (per-operator attribution) into the per-run results
+directory; --metrics prints the metrics summary and writes metrics.json
+there; --profile is shorthand for --trace --metrics, which together
+produce everything profdiff compares. None of them changes the report
+stream.
 --sessions/--arrival-rate/--admit-limit/--mix shape the serving experiment
 (serve_oltp): client-stream count, per-session open-loop rate in requests
 per virtual second, admission tokens, and the request-family mix.
 
 Environment fallbacks: MJ_JOBS, MJ_FILTER, MJ_SCALE, MJ_ARM_SCALE,
 MJ_SEC5_SCALE, MJ_CAL_OPS, MJ_CSV, MJ_RESULTS_DIR, MJ_TRACE, MJ_METRICS,
-MJ_SESSIONS, MJ_ARRIVAL_RATE, MJ_ADMIT_LIMIT, MJ_MIX.";
+MJ_PROFILE, MJ_SESSIONS, MJ_ARRIVAL_RATE, MJ_ADMIT_LIMIT, MJ_MIX.";
 
 #[cfg(test)]
 mod tests {
@@ -263,6 +272,14 @@ mod tests {
         assert!(cfg.trace);
         assert_eq!(cfg.trace_dir.as_deref(), Some(Path::new("/tmp/traces")));
         assert!(cfg.apply_args(["--trace="]).is_err());
+    }
+
+    #[test]
+    fn profile_flag_implies_trace_and_metrics() {
+        let mut cfg = HarnessConfig::default();
+        cfg.apply_args(["--profile"]).unwrap();
+        assert!(cfg.trace && cfg.metrics);
+        assert_eq!(cfg.trace_dir, None);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! every shard; the collected spans are written — in registry/shard order,
 //! so trace content is `--jobs`-independent too — as `trace.jsonl` and
 //! `trace.json` (Chrome `trace_event`, energy-width spans) into the run
-//! directory after the suite. With `--metrics`, the scheduler's own
+//! directory after the suite, along with the `mjprof` rollups:
+//! `flame.folded` (energy flamegraph, weight = exclusive nanojoules) and
+//! `profile.json` (per-shard, per-operator energy attribution). With `--metrics`, the scheduler's own
 //! instrumentation (queue waits, shard host times, panics, worker
 //! utilization, per-experiment host vs sim time, calibration cache
 //! traffic) is appended to the summary stream and exported as
@@ -238,6 +240,8 @@ pub fn run_suite(
                 host.as_secs_f64() * 1e3,
             );
             mjobs::metrics::gauge_set(&format!("exp.{}.sim_ms", exp.name()), sim.time_s * 1e3);
+            mjobs::metrics::gauge_set(&format!("exp.{}.sim_j", exp.name()), sim.energy_j);
+            mjobs::metrics::gauge_set(&format!("exp.{}.sim_kcycles", exp.name()), sim.cycles / 1e3);
             outcomes.push(ExpOutcome {
                 name: exp.name(),
                 shards: shard_counts[i],
@@ -358,6 +362,58 @@ fn write_traces(
         std::fs::File::create(&chrome_path).and_then(|f| {
             let mut w = std::io::BufWriter::new(f);
             mjobs::write_chrome(&mut w, &runs)?;
+            w.flush()
+        }),
+    );
+
+    // The mjprof rollups: an energy flamegraph (folded stacks, weight =
+    // exclusive nanojoules) and the queryable per-operator profile. Both
+    // are derived from the same registry/shard-ordered spans and simulated
+    // meters, so they are byte-identical for any `--jobs`.
+    let mut folded = std::collections::BTreeMap::new();
+    for (i, s, _, spans) in trace_runs {
+        if spans.is_empty() {
+            continue;
+        }
+        let prefix = [selected[*i].name().to_owned(), format!("shard{s}")];
+        if let Err(e) = mjprof::fold_into(&mut folded, &prefix, spans) {
+            eprintln!(
+                "trace: {} shard {s}: malformed span stream not folded: {e}",
+                selected[*i].name()
+            );
+        }
+    }
+    let folded_path = dir.join("flame.folded");
+    emit(
+        &folded_path,
+        std::fs::File::create(&folded_path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            mjprof::write_folded(&mut w, &folded)?;
+            w.flush()
+        }),
+    );
+
+    let shards: Vec<mjprof::ShardProfile<'_>> = trace_runs
+        .iter()
+        .filter_map(|(i, s, _, spans)| {
+            // Experiments that produced no spans at all have no energy
+            // table and nothing to attribute; skip them rather than
+            // emitting empty shells.
+            let table = tables.get(i)?;
+            Some(mjprof::ShardProfile {
+                exp: selected[*i].name(),
+                shard: *s,
+                spans,
+                table: table.as_ref(),
+            })
+        })
+        .collect();
+    let profile_path = dir.join("profile.json");
+    emit(
+        &profile_path,
+        std::fs::File::create(&profile_path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            mjprof::write_profile(&mut w, &shards)?;
             w.flush()
         }),
     );
@@ -676,6 +732,16 @@ mod tests {
         assert!(jsonl.contains("\"exp\": \"traced_exp\""));
         let chrome = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json");
         mjobs::json::parse(&chrome).expect("chrome trace parses");
+
+        // The profiler rollups land next to the traces. These toy shards
+        // record no spans, so both artifacts are valid-but-empty.
+        let folded = std::fs::read_to_string(dir.join("flame.folded")).expect("flame.folded");
+        for line in folded.lines() {
+            mjprof::parse_folded(line).unwrap_or_else(|| panic!("bad folded line {line:?}"));
+        }
+        let profile = std::fs::read_to_string(dir.join("profile.json")).expect("profile.json");
+        let parsed = mjprof::parse_profile(&profile).expect("profile.json parses");
+        assert_eq!(parsed.format, mjprof::PROFILE_FORMAT as u64);
 
         let summary = String::from_utf8(summary).unwrap();
         assert!(summary.contains("== metrics =="), "summary = {summary:?}");

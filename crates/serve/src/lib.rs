@@ -21,6 +21,9 @@
 //! * [`server`] — open-loop Poisson arrivals (seeded per session), the
 //!   event loop, per-request [`mjobs::span`] spans, and the
 //!   latency/energy summary.
+//! * [`slo`] — per-family latency/energy histograms (log2 buckets with
+//!   interpolated quantiles) and the rolling admission/tail-budget
+//!   tracker behind [`ServeSummary::slo`](server::ServeSummary).
 //!
 //! The SQL side executes through [`engines::Session`] with one
 //! [`engines::SessionCtx`] per client stream — the session-scoped engine
@@ -33,10 +36,12 @@
 
 pub mod admit;
 pub mod server;
+pub mod slo;
 pub mod vtime;
 pub mod workload;
 
 pub use admit::{AdmissionControl, Admit};
-pub use server::{serve, RequestRecord, ServeConfig, ServeSummary};
+pub use server::{serve, RequestRecord, ServeConfig, ServeSummary, SLO_WINDOW};
+pub use slo::{family_slos, FamilySlo, SloReport, SloTracker};
 pub use vtime::{EventQueue, VTime};
 pub use workload::MixKind;

@@ -21,6 +21,7 @@
 //! request-by-request.
 
 use crate::admit::{AdmissionControl, Admit};
+use crate::slo::{SloReport, SloTracker};
 use crate::vtime::EventQueue;
 use crate::workload::{next_request, Family, MixKind, Request, SqlOp};
 use engines::{Database, EngineKind, KnobLevel, SessionCtx};
@@ -58,7 +59,13 @@ pub struct ServeConfig {
     pub ycsb_ops: u64,
     /// Rows pre-loaded into the `accounts` table.
     pub accounts: i64,
+    /// End-to-end latency budget a completed request must meet to count
+    /// toward SLO attainment (virtual seconds).
+    pub tail_budget_s: f64,
 }
+
+/// Rolling-window width (arrivals / completions) for the SLO tracker.
+pub const SLO_WINDOW: usize = 32;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -75,6 +82,7 @@ impl Default for ServeConfig {
             ycsb_keys: 256,
             ycsb_ops: 8,
             accounts: 128,
+            tail_budget_s: 0.005,
         }
     }
 }
@@ -125,6 +133,8 @@ pub struct ServeSummary {
     pub rejected: u64,
     /// Virtual time of the last completion (s).
     pub makespan_s: f64,
+    /// Rolling SLO outcome: admit-rate and tail-budget windows.
+    pub slo: SloReport,
 }
 
 impl ServeSummary {
@@ -167,6 +177,21 @@ impl ServeSummary {
             return 0.0;
         }
         self.records.len() as f64 / self.makespan_s
+    }
+
+    /// Fraction of arrivals that were not rejected.
+    pub fn admit_rate(&self) -> f64 {
+        let offered = self.admitted + self.rejected;
+        if offered == 0 {
+            return 1.0;
+        }
+        self.admitted as f64 / offered as f64
+    }
+
+    /// Per-family latency/energy histograms over admitted requests, in
+    /// family name order.
+    pub fn family_slos(&self) -> Vec<crate::slo::FamilySlo> {
+        crate::slo::family_slos(&self.records)
     }
 }
 
@@ -309,6 +334,7 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
     let mut core_free = vec![0.0f64; cfg.cores.max(1) as usize];
     let mut records: Vec<RequestRecord> = Vec::new();
     let mut makespan = 0.0f64;
+    let mut slo = SloTracker::new(SLO_WINDOW, cfg.tail_budget_s);
 
     // Start an admitted ticket: execute now (admission order — the
     // determinism contract), schedule its completion on the virtual clock.
@@ -319,7 +345,8 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
                  clients: &mut [ClientState],
                  evq: &mut EventQueue<Ev>,
                  core_free: &mut [f64],
-                 records: &mut Vec<RequestRecord>|
+                 records: &mut Vec<RequestRecord>,
+                 slo: &mut SloTracker|
      -> storage::Result<()> {
         let client = &mut clients[tk.sid as usize];
         let req = next_request(
@@ -350,6 +377,7 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
         let finish_s = start_s + m.time_s;
         core_free[core] = finish_s;
         evq.push(finish_s, Ev::Finish);
+        slo.complete(finish_s - tk.arrival_s);
         records.push(RequestRecord {
             session: sid,
             index: idx,
@@ -372,7 +400,9 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
                     idx,
                     arrival_s: now,
                 };
-                match admit.offer(tk) {
+                let outcome = admit.offer(tk);
+                slo.offer(!matches!(outcome, Admit::Rejected));
+                match outcome {
                     Admit::Run => start(
                         now,
                         tk,
@@ -382,6 +412,7 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
                         &mut evq,
                         &mut core_free,
                         &mut records,
+                        &mut slo,
                     )?,
                     Admit::Queued | Admit::Rejected => {}
                 }
@@ -397,6 +428,7 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
                         &mut evq,
                         &mut core_free,
                         &mut records,
+                        &mut slo,
                     )?;
                 }
             }
@@ -409,6 +441,7 @@ pub fn serve(cpu: &mut Cpu, cfg: &ServeConfig) -> storage::Result<ServeSummary> 
         queued: admit.queued,
         rejected: admit.rejected,
         makespan_s: makespan,
+        slo: slo.report(),
     })
 }
 
@@ -489,6 +522,35 @@ mod tests {
         );
         assert!(p50 > 0.0);
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn family_slos_and_slo_report_cover_the_run() {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let s = serve(&mut cpu, &tiny_cfg()).unwrap();
+        let fams = s.family_slos();
+        assert!(!fams.is_empty());
+        let total: u64 = fams.iter().map(|f| f.requests).sum();
+        assert_eq!(total, s.records.len() as u64);
+        for f in &fams {
+            assert!(["ycsb", "tpch", "dml"].contains(&f.family), "{}", f.family);
+            assert_eq!(f.latency_us.count, f.requests);
+            assert_eq!(f.energy_nj.count, f.requests);
+            assert!(f.latency_us.p50() <= f.latency_us.p99());
+        }
+        // Family order is deterministic (name order).
+        let names: Vec<&str> = fams.iter().map(|f| f.family).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(s.slo.completed, s.records.len() as u64);
+        assert_eq!(
+            s.slo.violations,
+            s.records
+                .iter()
+                .filter(|r| r.latency_s() > s.slo.tail_budget_s)
+                .count() as u64
+        );
     }
 
     #[test]

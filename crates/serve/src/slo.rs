@@ -1,0 +1,235 @@
+//! SLO accounting for serving runs: per-family latency/energy histograms
+//! and a rolling admission/tail tracker.
+//!
+//! A single p99 over a whole run hides the two ways a server degrades:
+//! *who* is slow (one request family dragging the tail) and *when* it was
+//! slow (a transient overload window that a run-wide average flattens
+//! out). [`family_slos`] answers the first with log2-bucket
+//! [`Histogram`]s per request family; [`SloTracker`] answers the second
+//! with rolling windows over arrivals and completions, reporting the
+//! worst window seen.
+//!
+//! Everything is fed from the virtual clock in deterministic event order,
+//! so the numbers are byte-identical run-to-run for a given config.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use mjobs::metrics::Histogram;
+
+use crate::server::RequestRecord;
+
+/// The request family of a kind label: the prefix before the first `-`
+/// (`"ycsb-a"` → `"ycsb"`, `"tpch-q6"` → `"tpch"`, `"dml-upd"` → `"dml"`).
+pub fn family_of(kind: &str) -> &str {
+    kind.split('-').next().unwrap_or(kind)
+}
+
+/// Per-family rollup: request count plus latency and energy histograms.
+///
+/// Latencies are recorded in whole microseconds and energies in whole
+/// nanojoules, so the log2 buckets resolve the ranges serving requests
+/// actually land in; read quantiles with [`Histogram::quantile`] /
+/// [`Histogram::p99`] (interpolated, ≤2× bucket error).
+#[derive(Debug, Clone)]
+pub struct FamilySlo {
+    /// Family label (e.g. `"ycsb"`).
+    pub family: &'static str,
+    /// Requests aggregated into this row.
+    pub requests: u64,
+    /// End-to-end latency in microseconds.
+    pub latency_us: Histogram,
+    /// Per-request energy in nanojoules.
+    pub energy_nj: Histogram,
+}
+
+/// Group a run's request records by family, in family name order.
+pub fn family_slos(records: &[RequestRecord]) -> Vec<FamilySlo> {
+    let mut map: BTreeMap<&'static str, FamilySlo> = BTreeMap::new();
+    for r in records {
+        let fam = family_of(r.kind);
+        let e = map.entry(fam).or_insert_with(|| FamilySlo {
+            family: fam,
+            requests: 0,
+            latency_us: Histogram::default(),
+            energy_nj: Histogram::default(),
+        });
+        e.requests += 1;
+        e.latency_us.record((r.latency_s() * 1e6).round() as u64);
+        e.energy_nj.record((r.energy_j * 1e9).round() as u64);
+    }
+    map.into_values().collect()
+}
+
+/// Rolling-window SLO tracker fed from the serve event loop.
+///
+/// Arrivals stream into an admission window (admitted vs rejected) and
+/// completions into a tail window (latency vs the budget); each window
+/// remembers its *worst* state — the minimum admit rate and the maximum
+/// violation rate over any full window of the run. Windows shorter than
+/// `window` never full fall back to the run-wide rates in the report.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    budget_s: f64,
+    window: usize,
+    admits: VecDeque<bool>,
+    lates: VecDeque<bool>,
+    offered: u64,
+    admitted: u64,
+    completed: u64,
+    violations: u64,
+    worst_admit: Option<f64>,
+    worst_late: Option<f64>,
+}
+
+impl SloTracker {
+    /// Tracker with rolling windows of `window` events against a
+    /// `tail_budget_s` latency budget.
+    pub fn new(window: usize, tail_budget_s: f64) -> SloTracker {
+        SloTracker {
+            budget_s: tail_budget_s,
+            window: window.max(1),
+            admits: VecDeque::new(),
+            lates: VecDeque::new(),
+            offered: 0,
+            admitted: 0,
+            completed: 0,
+            violations: 0,
+            worst_admit: None,
+            worst_late: None,
+        }
+    }
+
+    fn roll(q: &mut VecDeque<bool>, v: bool, window: usize) -> Option<f64> {
+        q.push_back(v);
+        if q.len() > window {
+            q.pop_front();
+        }
+        (q.len() == window).then(|| q.iter().filter(|&&b| b).count() as f64 / window as f64)
+    }
+
+    /// Record one arrival's admission outcome.
+    pub fn offer(&mut self, admitted: bool) {
+        self.offered += 1;
+        self.admitted += admitted as u64;
+        if let Some(rate) = Self::roll(&mut self.admits, admitted, self.window) {
+            let w = self.worst_admit.get_or_insert(rate);
+            *w = w.min(rate);
+        }
+    }
+
+    /// Record one completed request's end-to-end latency.
+    pub fn complete(&mut self, latency_s: f64) {
+        let late = latency_s > self.budget_s;
+        self.completed += 1;
+        self.violations += late as u64;
+        if let Some(rate) = Self::roll(&mut self.lates, late, self.window) {
+            let w = self.worst_late.get_or_insert(rate);
+            *w = w.max(rate);
+        }
+    }
+
+    /// The run's SLO report.
+    pub fn report(&self) -> SloReport {
+        let overall_admit = if self.offered == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.offered as f64
+        };
+        let overall_late = if self.completed == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.completed as f64
+        };
+        SloReport {
+            tail_budget_s: self.budget_s,
+            completed: self.completed,
+            violations: self.violations,
+            worst_window_admit_rate: self.worst_admit.unwrap_or(overall_admit),
+            worst_window_violation_rate: self.worst_late.unwrap_or(overall_late),
+        }
+    }
+}
+
+/// The SLO outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The latency budget violations are counted against.
+    pub tail_budget_s: f64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Completed requests that blew the budget.
+    pub violations: u64,
+    /// Minimum admit rate over any full rolling window (run-wide rate if
+    /// the run was shorter than one window).
+    pub worst_window_admit_rate: f64,
+    /// Maximum budget-violation rate over any full rolling window
+    /// (run-wide rate if the run was shorter than one window).
+    pub worst_window_violation_rate: f64,
+}
+
+impl SloReport {
+    /// Fraction of completed requests inside the budget.
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            return 1.0;
+        }
+        1.0 - self.violations as f64 / self.completed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_of_strips_the_variant() {
+        assert_eq!(family_of("ycsb-a"), "ycsb");
+        assert_eq!(family_of("tpch-q6"), "tpch");
+        assert_eq!(family_of("dml-upd"), "dml");
+        assert_eq!(family_of("plain"), "plain");
+    }
+
+    #[test]
+    fn tracker_reports_worst_window_not_average() {
+        // 4-wide windows: a burst of rejections in the middle must surface
+        // as a low worst-window admit rate even though the overall rate
+        // recovers.
+        let mut t = SloTracker::new(4, 0.010);
+        for _ in 0..8 {
+            t.offer(true);
+        }
+        for _ in 0..4 {
+            t.offer(false);
+        }
+        for _ in 0..8 {
+            t.offer(true);
+        }
+        let r = t.report();
+        assert_eq!(r.worst_window_admit_rate, 0.0);
+
+        for _ in 0..6 {
+            t.complete(0.001);
+        }
+        t.complete(0.5);
+        for _ in 0..6 {
+            t.complete(0.001);
+        }
+        let r = t.report();
+        assert_eq!(r.completed, 13);
+        assert_eq!(r.violations, 1);
+        assert_eq!(r.worst_window_violation_rate, 0.25);
+        assert!((r.attainment() - 12.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_runs_fall_back_to_overall_rates() {
+        let mut t = SloTracker::new(100, 0.010);
+        t.offer(true);
+        t.offer(false);
+        t.complete(0.001);
+        t.complete(0.5);
+        let r = t.report();
+        assert_eq!(r.worst_window_admit_rate, 0.5);
+        assert_eq!(r.worst_window_violation_rate, 0.5);
+    }
+}

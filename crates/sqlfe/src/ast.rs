@@ -28,6 +28,14 @@ pub enum Statement {
         /// Predicate.
         filter: Option<SExpr>,
     },
+    /// EXPLAIN [ANALYZE] SELECT …
+    Explain {
+        /// True for `EXPLAIN ANALYZE`: execute the query and annotate the
+        /// plan with measured per-operator costs.
+        analyze: bool,
+        /// The explained query.
+        query: Select,
+    },
 }
 
 /// A SELECT query.

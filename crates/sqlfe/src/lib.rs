@@ -48,6 +48,10 @@ pub fn compile(sql: &str, catalog: &storage::Catalog) -> Result<Planned, SqlErro
     let stmt = parse(sql)?;
     match plan_statement(&stmt, catalog)? {
         Planned::Query(p) => Ok(Planned::Query(engines::optimizer::optimize(p, catalog))),
+        Planned::Explain { analyze, plan } => Ok(Planned::Explain {
+            analyze,
+            plan: engines::optimizer::optimize(plan, catalog),
+        }),
         w => Ok(w),
     }
 }

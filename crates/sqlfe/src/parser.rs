@@ -104,6 +104,16 @@ impl Parser {
         if self.peek_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));
         }
+        if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            if !self.peek_kw("SELECT") {
+                return self.err("EXPLAIN supports only SELECT queries");
+            }
+            return Ok(Statement::Explain {
+                analyze,
+                query: self.select()?,
+            });
+        }
         if self.eat_kw("INSERT") {
             self.expect_kw("INTO")?;
             let table = self.ident()?;
@@ -541,6 +551,21 @@ mod tests {
             parse("DELETE FROM t").unwrap(),
             Statement::Delete { filter: None, .. }
         ));
+    }
+
+    #[test]
+    fn explain_statements() {
+        assert!(matches!(
+            parse("EXPLAIN SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse("explain analyze SELECT a FROM t WHERE a > 1").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+        // Only SELECT can be explained; ANALYZE alone is not a statement.
+        assert!(parse("EXPLAIN DELETE FROM t").is_err());
+        assert!(parse("EXPLAIN ANALYZE").is_err());
     }
 
     #[test]

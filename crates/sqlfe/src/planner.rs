@@ -12,12 +12,24 @@ pub enum Planned {
     Query(Plan),
     /// A write statement.
     Write(Dml),
+    /// An EXPLAIN over a read query: render the plan instead of returning
+    /// rows; with `analyze`, execute it and annotate per-operator costs.
+    Explain {
+        /// True for `EXPLAIN ANALYZE`.
+        analyze: bool,
+        /// The compiled (and optimized) query plan.
+        plan: Plan,
+    },
 }
 
 /// Plan a parsed statement against a catalog.
 pub fn plan_statement(stmt: &Statement, catalog: &Catalog) -> Result<Planned, SqlError> {
     match stmt {
         Statement::Select(sel) => Ok(Planned::Query(plan_select(sel, catalog)?)),
+        Statement::Explain { analyze, query } => Ok(Planned::Explain {
+            analyze: *analyze,
+            plan: plan_select(query, catalog)?,
+        }),
         Statement::Insert { table, rows } => {
             let schema = &catalog
                 .table(table)
@@ -529,8 +541,23 @@ mod tests {
         let cat = catalog();
         match plan_statement(&parse(sql).unwrap(), &cat).unwrap() {
             Planned::Query(p) => p,
-            Planned::Write(_) => panic!("expected a query"),
+            _ => panic!("expected a query"),
         }
+    }
+
+    #[test]
+    fn explain_plans_the_inner_select() {
+        let cat = catalog();
+        let planned =
+            plan_statement(&parse("EXPLAIN ANALYZE SELECT * FROM items").unwrap(), &cat).unwrap();
+        let Planned::Explain {
+            analyze: true,
+            plan,
+        } = planned
+        else {
+            panic!("expected Planned::Explain");
+        };
+        assert!(matches!(plan, Plan::Scan { .. }));
     }
 
     #[test]

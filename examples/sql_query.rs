@@ -49,6 +49,30 @@ fn main() {
         println!();
     }
 
+    // EXPLAIN ANALYZE attributes the query's measured energy to its plan
+    // operators — same frontend, same session, annotated tree out.
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Pg,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .expect("load");
+    let ea = format!("EXPLAIN ANALYZE {sql}");
+    let Planned::Explain {
+        analyze: true,
+        plan,
+    } = compile(&ea, db.catalog()).expect("compile")
+    else {
+        unreachable!("EXPLAIN ANALYZE compiles to Planned::Explain");
+    };
+    let profile = db
+        .session()
+        .explain_analyze(&mut cpu, &plan, &table)
+        .expect("profile");
+    println!("SQL> EXPLAIN ANALYZE ...\n\n{}", profile.render());
+
     // DML works through the same frontend.
     let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
     let mut db = build_tpch_db(

@@ -1,0 +1,156 @@
+//! `profdiff` — the energy regression sentinel.
+//!
+//! Compares two run directories' deterministic profiling artifacts
+//! (`metrics.json`, and `profile.json` when present) and exits nonzero
+//! when any simulator-derived series moved beyond its threshold:
+//!
+//! ```text
+//! cargo run --release --bin profdiff -- results/run-A results/run-B
+//! cargo run --release --bin profdiff -- A B --energy-pct 2 --verbose
+//! cargo run --release --bin profdiff -- --smoke      # CI self-check
+//! ```
+//!
+//! Only jobs-independent series are compared (simulated time/energy/cycle
+//! gauges, fast-path counters, per-operator profile rollups), so two runs
+//! of the same tree diff to exactly zero — `--smoke` proves it by running
+//! the `fig01` suite twice, once with `--jobs 1` and once with `--jobs 4`,
+//! and self-comparing the two run directories with zero-tolerance
+//! thresholds.
+//!
+//! Exit codes: 0 = within thresholds, 1 = regression(s), 2 = usage/IO.
+
+use std::path::{Path, PathBuf};
+
+use mjprof::{diff_dirs, Thresholds};
+
+const USAGE: &str = "\
+usage: profdiff BASELINE_DIR CANDIDATE_DIR [--latency-pct X] [--energy-pct X]
+                [--counter-pct X] [--verbose]
+       profdiff --smoke [--verbose]
+
+Compares metrics.json (+ profile.json when present) between two run
+directories produced with --profile (or --trace --metrics). --smoke runs
+the fig01 suite twice (--jobs 1 vs --jobs 4) into temporary directories
+and requires a zero-delta comparison.";
+
+fn die(msg: &str) -> ! {
+    eprintln!("profdiff: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// One smoke suite run; returns the run directory holding the artifacts.
+fn smoke_run(jobs: usize, root: &Path) -> Result<PathBuf, String> {
+    // The metrics registry is process-global and counters accumulate;
+    // start each smoke suite from a clean slate so the two metrics.json
+    // files describe one suite each.
+    mjobs::metrics::global().clear();
+    let cfg = mjrt::HarnessConfig {
+        jobs,
+        filter: Some("fig01".into()),
+        cal_ops: 4000,
+        trace: true,
+        metrics: true,
+        results_root: root.to_path_buf(),
+        ..mjrt::HarnessConfig::default()
+    };
+    let mut out = Vec::new();
+    let mut summary = Vec::new();
+    let outcome = mjrt::run_suite(bench::experiments::REGISTRY, &cfg, &mut out, &mut summary)
+        .map_err(|e| format!("suite io error: {e}"))?;
+    if !outcome.failures().is_empty() {
+        return Err(format!("smoke suite failed: {:?}", outcome.failures()));
+    }
+    // The suite created exactly one run-* directory under this fresh root.
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(root)
+        .map_err(|e| format!("{}: {e}", root.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    match dirs.len() {
+        1 => Ok(dirs.remove(0)),
+        n => Err(format!(
+            "expected one run dir under {}, found {n}",
+            root.display()
+        )),
+    }
+}
+
+fn smoke(verbose: bool) -> i32 {
+    let base = std::env::temp_dir().join(format!("profdiff-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let run = |jobs: usize, root: PathBuf| -> PathBuf {
+        if let Err(e) = std::fs::create_dir_all(&root) {
+            die(&format!("cannot create {}: {e}", root.display()));
+        }
+        eprintln!("profdiff: smoke run (fig01, --jobs {jobs}) ...");
+        smoke_run(jobs, &root).unwrap_or_else(|e| die(&e))
+    };
+    let a = run(1, base.join("jobs1"));
+    let b = run(4, base.join("jobs4"));
+    // Zero tolerance: the smoke pair is the same tree, so any delta at all
+    // is a determinism bug, not a performance change.
+    let thr = Thresholds {
+        latency_pct: 0.0,
+        energy_pct: 0.0,
+        counter_pct: 0.0,
+    };
+    let report = diff_dirs(&a, &b, &thr).unwrap_or_else(|e| die(&e));
+    print!("{}", report.render(verbose));
+    let violations = report.violations();
+    if violations == 0 {
+        println!("profdiff: smoke ok — --jobs 1 and --jobs 4 runs are identical");
+        let _ = std::fs::remove_dir_all(&base);
+        0
+    } else {
+        eprintln!(
+            "profdiff: smoke FAILED — {violations} delta(s) between --jobs 1 and --jobs 4 \
+             (artifacts kept in {})",
+            base.display()
+        );
+        1
+    }
+}
+
+fn parse_pct(v: Option<String>, flag: &str) -> f64 {
+    match v.as_deref().map(str::parse::<f64>) {
+        Some(Ok(x)) if x >= 0.0 => x,
+        _ => die(&format!("{flag} needs a non-negative number")),
+    }
+}
+
+fn main() {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut thr = Thresholds::default();
+    let mut verbose = false;
+    let mut run_smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => run_smoke = true,
+            "--verbose" | "-v" => verbose = true,
+            "--latency-pct" => thr.latency_pct = parse_pct(args.next(), "--latency-pct"),
+            "--energy-pct" => thr.energy_pct = parse_pct(args.next(), "--energy-pct"),
+            "--counter-pct" => thr.counter_pct = parse_pct(args.next(), "--counter-pct"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other:?}")),
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+
+    if run_smoke {
+        if !dirs.is_empty() {
+            die("--smoke takes no directories");
+        }
+        std::process::exit(smoke(verbose));
+    }
+    let [a, b] = dirs.as_slice() else {
+        die("need exactly two run directories");
+    };
+    let report = diff_dirs(a, b, &thr).unwrap_or_else(|e| die(&e));
+    print!("{}", report.render(verbose));
+    std::process::exit(if report.violations() == 0 { 0 } else { 1 });
+}

@@ -33,7 +33,11 @@
 //!   sinks (`--trace` / `--metrics`; never changes the report stream),
 //! * [`mjserve`] — the deterministic virtual-time multi-session OLTP
 //!   server: open-loop client streams, admission control, and the
-//!   tail-latency-vs-energy serving experiment (#22).
+//!   tail-latency-vs-energy serving experiment (#22),
+//! * [`mjprof`] — the energy-attributed query profiler: `EXPLAIN ANALYZE`
+//!   with per-operator joules and micro-op shares, energy flamegraphs
+//!   (`flame.folded`), the machine-readable `profile.json` rollup, and
+//!   the `profdiff` regression sentinel.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -61,6 +65,7 @@ pub use analysis;
 pub use engines;
 pub use microbench;
 pub use mjobs;
+pub use mjprof;
 pub use mjrt;
 pub use mjserve;
 pub use simcore;
@@ -72,6 +77,7 @@ pub use workloads;
 pub mod prelude {
     pub use analysis::{Breakdown, CalibrationBuilder, EnergyTable, MicroOp};
     pub use engines::{Database, Dml, EngineKind, KnobLevel, Plan, Session, SessionCtx};
+    pub use mjprof::{QueryProfile, SessionProf};
     pub use mjrt::{Experiment, HarnessConfig};
     pub use mjserve::{serve, MixKind, ServeConfig, ServeSummary};
     pub use simcore::{ArchConfig, Cpu, Dep, ExecOp, PState};

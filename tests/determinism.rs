@@ -131,6 +131,35 @@ fn tracing_changes_nothing_and_traces_are_jobs_independent() {
     let chrome4 = std::fs::read_to_string(dir4.join("trace.json")).expect("j4 trace.json");
     assert_eq!(chrome1, chrome4, "chrome trace must not depend on --jobs");
 
+    // The mjprof rollups are pure functions of the simulated meters:
+    // byte-identical, non-trivial, and internally consistent.
+    let folded1 = std::fs::read_to_string(dir1.join("flame.folded")).expect("j1 flame.folded");
+    let folded4 = std::fs::read_to_string(dir4.join("flame.folded")).expect("j4 flame.folded");
+    assert_eq!(folded1, folded4, "flamegraph must not depend on --jobs");
+    assert!(folded1.lines().count() > 0, "fig01 spans must fold");
+    for line in folded1.lines() {
+        let (stack, nj) = mjprof::parse_folded(line).expect("folded line");
+        assert!(nj > 0, "zero-weight stack {stack:?}");
+    }
+
+    let prof1 = std::fs::read_to_string(dir1.join("profile.json")).expect("j1 profile.json");
+    let prof4 = std::fs::read_to_string(dir4.join("profile.json")).expect("j4 profile.json");
+    assert_eq!(prof1, prof4, "profile must not depend on --jobs");
+    let parsed = mjprof::parse_profile(&prof1).expect("profile parses");
+    assert_eq!(parsed.format, mjprof::PROFILE_FORMAT as u64);
+    let fig01 = parsed
+        .experiments
+        .iter()
+        .find(|(n, _)| n == "fig01_energy_timeline")
+        .expect("fig01 profiled");
+    let shard = &fig01.1[0];
+    assert!(shard.error.is_none());
+    assert!(shard.total_j > 0.0);
+    assert!(
+        (shard.self_sum_j - shard.total_j).abs() <= 1e-9 * shard.total_j,
+        "exclusive energies must telescope to the root RAPL delta"
+    );
+
     let _ = std::fs::remove_dir_all(&base);
 }
 

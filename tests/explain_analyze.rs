@@ -1,0 +1,150 @@
+//! `EXPLAIN ANALYZE` end-to-end: for every engine personality × TPC-H
+//! Q1/Q6/Q12, the annotated tree must render the full logical plan
+//! skeleton, the per-operator exclusive joules must telescope back to the
+//! query's root RAPL delta, and the Eq. 1 micro-op estimate must sit
+//! inside the difftest bounded-residual band whenever the query did
+//! enough Active work to judge.
+
+use engines::{optimizer, EngineKind, KnobLevel};
+use mjdiff::invariants::{MAX_ENERGY_RATIO, MIN_ACTIVE_J, MIN_ENERGY_RATIO};
+use mjprof::SessionProf;
+use simcore::{ArchConfig, Cpu};
+use workloads::{build_tpch_db, TpchQuery, TpchScale};
+
+fn table() -> analysis::EnergyTable {
+    analysis::CalibrationBuilder::quick()
+        .target_ops(4_000)
+        .calibrate()
+        .expect("calibration")
+}
+
+const QUERIES: [u8; 3] = [1, 6, 12];
+
+#[test]
+fn explain_analyze_attributes_energy_per_operator() {
+    let table = table();
+    for kind in EngineKind::ALL {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db =
+            build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).expect("db");
+        for q in QUERIES {
+            let plan = optimizer::optimize(TpchQuery(q).plan(), db.catalog());
+            let prof = db
+                .session()
+                .explain_analyze(&mut cpu, &plan, &table)
+                .unwrap_or_else(|e| panic!("{kind:?} Q{q}: {e}"));
+            let tag = format!("{kind:?} Q{q}");
+
+            // The annotated tree renders the whole logical skeleton: each
+            // operator's line at its plan depth reproduces `explain()`.
+            let skeleton: String = prof
+                .ops
+                .iter()
+                .map(|op| format!("{}{}\n", "  ".repeat(op.depth), op.plan_line))
+                .collect();
+            assert_eq!(skeleton, plan.explain(), "{tag}: skeleton mismatch");
+
+            // Root op is the real top of the query, never inlined, and its
+            // inclusive joules are the query total.
+            let root = &prof.ops[0];
+            assert!(!root.inlined, "{tag}");
+            assert_eq!(root.depth, 0, "{tag}");
+            let total_j = prof.total.rapl.total_j();
+            assert!(total_j > 0.0, "{tag}");
+            assert!((root.e_j - total_j).abs() <= 1e-9 * total_j, "{tag}");
+
+            // Exclusive energies telescope: summed over the annotated
+            // operators they reproduce the root RAPL delta exactly
+            // (inlined nodes contribute zero by construction).
+            let self_sum: f64 = prof.ops.iter().map(|op| op.self_j).sum();
+            assert!(
+                (self_sum - total_j).abs() <= 1e-9 * total_j,
+                "{tag}: per-operator self_j sum {self_sum} != total {total_j}"
+            );
+
+            // Micro-op shares of each measured operator sum to 1.
+            for op in prof.ops.iter().filter(|op| !op.inlined) {
+                let share_sum: f64 = op.shares.iter().map(|(_, s)| s).sum();
+                assert!(
+                    (share_sum - 1.0).abs() < 1e-6,
+                    "{tag} {}: shares sum to {share_sum}",
+                    op.name
+                );
+            }
+
+            // Eq. 1 estimate vs measured Active energy: the difftest
+            // bounded-residual band, when there is enough Active signal.
+            if prof.active_j >= MIN_ACTIVE_J {
+                let ratio = prof.est_j / prof.active_j;
+                assert!(
+                    (MIN_ENERGY_RATIO..=MAX_ENERGY_RATIO).contains(&ratio),
+                    "{tag}: est/active = {ratio:.3} outside \
+                     [{MIN_ENERGY_RATIO}, {MAX_ENERGY_RATIO}]"
+                );
+            }
+
+            // The render carries the header and per-operator annotations.
+            let text = prof.render();
+            let header = text.lines().next().expect("header");
+            assert!(
+                header.starts_with(&format!("EXPLAIN ANALYZE ({})", kind.name())),
+                "{tag}: {header}"
+            );
+            for op in prof.ops.iter().filter(|op| !op.inlined) {
+                assert!(text.contains(&format!("[{}]", op.name)), "{tag}: {text}");
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_is_deterministic_per_world() {
+    let table = table();
+    let run = || {
+        let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+        let mut db = build_tpch_db(
+            &mut cpu,
+            EngineKind::Pg,
+            KnobLevel::Baseline,
+            TpchScale::tiny(),
+        )
+        .expect("db");
+        let plan = optimizer::optimize(TpchQuery(6).plan(), db.catalog());
+        db.session()
+            .explain_analyze(&mut cpu, &plan, &table)
+            .expect("profile")
+            .render()
+    };
+    assert_eq!(run(), run(), "same world must render identically");
+}
+
+/// EXPLAIN ANALYZE under an ambient `--trace` collector: the inner scoped
+/// collector must capture the query's spans without stealing the outer
+/// collector's, and the outer stream must keep balancing afterwards.
+#[test]
+fn explain_analyze_nests_under_an_ambient_collector() {
+    let table = table();
+    let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
+    let mut db = build_tpch_db(
+        &mut cpu,
+        EngineKind::Lite,
+        KnobLevel::Baseline,
+        TpchScale::tiny(),
+    )
+    .expect("db");
+    let plan = optimizer::optimize(TpchQuery(6).plan(), db.catalog());
+
+    mjobs::span::install();
+    mjobs::span::enter(&mut cpu, || "outer".into());
+    let prof = db
+        .session()
+        .explain_analyze(&mut cpu, &plan, &table)
+        .expect("profile");
+    mjobs::span::exit(&mut cpu);
+    let outer = mjobs::span::take();
+
+    assert!(!prof.spans.is_empty(), "inner collector captured the query");
+    assert_eq!(outer.len(), 1, "outer collector kept only its own span");
+    assert_eq!(outer[0].name, "outer");
+    assert!(!outer[0].forced);
+}

@@ -32,6 +32,7 @@ fn run_sql(cpu: &mut Cpu, db: &mut engines::Database, sql: &str) -> Vec<Row> {
             let n = db.session().execute(cpu, &dml).expect("execute");
             vec![vec![storage::Value::Int(n as i64)]]
         }
+        Planned::Explain { .. } => panic!("run_sql is not for EXPLAIN statements"),
     }
 }
 
