@@ -1,6 +1,6 @@
 //! Wall-clock throughput benchmark for the simcore batched-access fast path.
 //!
-//! Replays four access traces through the scalar `Cpu::load`/`Cpu::store`
+//! Replays five access traces through the scalar `Cpu::load`/`Cpu::store`
 //! verbs and through `Cpu::access_run`, and reports simulated accesses per
 //! host second for each, plus the speedup. The two replays issue the
 //! *identical* access sequence (the equivalence is proven bit-exact by
@@ -15,15 +15,19 @@
 //! * `scan_cold`  — passes over a window larger than L3 (every line misses;
 //!   the fused cold walk with bulk miss-charging, ≥3× target),
 //! * `chase`      — pointer chasing (fused chase steps, ≥2× target),
-//! * `mixed`      — interleaved warm runs, chases, repeats and stores.
+//! * `mixed`      — interleaved warm runs, chases, repeats and stores,
+//! * `set_conflict_storm` — stride-4096 accesses hammering one L1D set (L2
+//!   hits after warmup): every access walks a full valid set and selects a
+//!   victim, pinning the SoA representation's max-way-walk worst case under
+//!   its own floor rather than letting the averaged traces hide it.
 //!
 //! `--e2e` additionally runs the full repro_all experiment suite twice
 //! in-process — once with the fast paths disabled, once enabled — checks the
 //! report streams are byte-identical, and records both wall-clocks. Results
-//! are written as JSON (schema v2) to `BENCH_simcore.json` (or the path
+//! are written as JSON (schema v3) to `BENCH_simcore.json` (or the path
 //! given as the first non-flag argument) and the file is re-read and
 //! validated before exit. `--smoke` shrinks the iteration counts for CI and
-//! gates on the `scan_cold` ≥ 2× floor; the full mode gates on every
+//! gates on the `scan_cold` floor; the full mode gates on every
 //! trace's hard floor and additionally reports (without failing) any trace
 //! that met its floor but not its design target — see [`THRESHOLDS`].
 
@@ -42,18 +46,22 @@ const PREV_RELEASE_REPRO_ALL_S: f64 = 471.9;
 ///
 /// The floor is a regression tripwire — the binary exits non-zero below it.
 /// The target is the fast-path design goal; it is recorded per trace in the
-/// JSON and a miss is printed as a note, not a failure. The distinction
-/// exists because the cold and chase walks are dominated by a memory walk
-/// both arms share: on hosts whose LLC is shared (and noisy), that common
-/// term grows and the achievable ratio compresses toward
-/// `scalar_extra / fused_extra` regardless of how lean the fused arm is.
-/// Missing a target on such a host reflects host weather; missing a floor
-/// reflects a code regression.
+/// JSON and a miss is printed as a note, not a failure. The SoA cache
+/// arrays (PR 7) moved two of PR 6's missed targets: `scan_cold` now
+/// reaches its 3× target on quiet host windows (measured 2.4–3.2× on the
+/// shared reference host; floor raised 2.0 → 2.2 to the worst observed run
+/// minus noise margin), and `chase` gets a higher floor (1.3 → 1.4) but
+/// keeps missing its 2× target for a now-measured structural reason: its
+/// batched throughput is invariant under a 4× shrink of the way arrays
+/// (12.0 → 12.1 M/s), so the chase step is bound by the bit-identity
+/// settle/charge chain plus one step-serialized random LLC access, not by
+/// array footprint — see DESIGN.md §9 for the decomposition.
 const THRESHOLDS: &[(&str, f64, f64)] = &[
     ("scan_hot", 5.0, 5.0),
-    ("scan_cold", 2.0, 3.0),
-    ("chase", 1.3, 2.0),
+    ("scan_cold", 2.2, 3.0),
+    ("chase", 1.4, 2.0),
     ("mixed", 1.5, 2.0),
+    ("set_conflict_storm", 1.2, 1.5),
 ];
 
 fn thresholds_for(name: &str) -> (f64, f64) {
@@ -265,6 +273,37 @@ fn run_all(scale: u64) -> Vec<TraceResult> {
         },
     ));
 
+    // set_conflict_storm: every access at stride 4096 lands in L1D set 0
+    // (64 sets × 64 B), with 40 distinct tags so L1 misses forever while L2
+    // (8 stormed sets × 5 tags) hits after warmup. Steady state is the
+    // representation's worst case: a full 8-way walk over an all-valid set,
+    // a rank-word victim selection, an L2 lookup and an L1 fill — per
+    // access, with periodic dirty victims rippling a writeback into L2.
+    let storm_slots: u64 = 40;
+    let storm_passes: u64 = 2_000 * scale;
+    results.push(run_trace(
+        "set_conflict_storm",
+        storm_slots * storm_passes,
+        |cpu, base| {
+            for p in 0..storm_passes {
+                for k in 0..storm_slots {
+                    if (p + k) % 3 == 0 {
+                        cpu.store(base + k * 4096);
+                    } else {
+                        cpu.load(base + k * 4096, Dep::Stream);
+                    }
+                }
+            }
+        },
+        |cpu, base| {
+            for p in 0..storm_passes {
+                for k in 0..storm_slots {
+                    cpu.access_run(base + k * 4096, 1, (p + k) % 3 == 0, Dep::Stream);
+                }
+            }
+        },
+    ));
+
     results
 }
 
@@ -305,7 +344,7 @@ fn run_e2e() -> SuiteResult {
 fn to_json(results: &[TraceResult], suite: Option<&SuiteResult>, mode: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"microjoule.perfbench/v2\",\n");
+    s.push_str("  \"schema\": \"microjoule.perfbench/v3\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str("  \"traces\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -357,15 +396,19 @@ fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot re-read {path}: {e}"))?;
     let v = parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "microjoule.perfbench/v2" {
+    if schema != "microjoule.perfbench/v3" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     let traces = v
         .get("traces")
         .and_then(Json::as_arr)
         .ok_or("missing \"traces\" array")?;
-    if traces.len() != 4 {
-        return Err(format!("expected 4 traces, found {}", traces.len()));
+    if traces.len() != THRESHOLDS.len() {
+        return Err(format!(
+            "expected {} traces, found {}",
+            THRESHOLDS.len(),
+            traces.len()
+        ));
     }
     for t in traces {
         let name = t.get("name").and_then(Json::as_str).ok_or("trace name")?;

@@ -132,6 +132,7 @@ pub fn run_suite(
     // Start the suite with clean fast-path totals so metrics.json reflects
     // this run only, even when several suites share one process (tests).
     simcore::take_run_stats();
+    simcore::take_cache_bytes_resident();
     let selected: Vec<&dyn Experiment> = registry
         .iter()
         .copied()
@@ -262,6 +263,13 @@ pub fn run_suite(
     mjobs::metrics::counter_add("simcore.run_cold_batched_lines", st.cold_batched_lines);
     mjobs::metrics::counter_add("simcore.run_replayed_lines", st.replayed_lines);
     mjobs::metrics::counter_add("simcore.run_fallbacks", st.fallbacks);
+    // The cache-metadata footprint is pure geometry (SoA tag arrays + rank
+    // words + way-hint tables of the largest machine built this suite), so
+    // it too is jobs-count independent — asserted in tests/determinism.rs.
+    mjobs::metrics::gauge_set(
+        "simcore.cache_bytes_resident",
+        simcore::take_cache_bytes_resident() as f64,
+    );
 
     let outcome = SuiteOutcome {
         experiments: outcomes,

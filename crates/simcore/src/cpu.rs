@@ -73,6 +73,21 @@ pub fn take_run_stats() -> RunStats {
     }
 }
 
+/// High-water mark of host bytes backing one machine's simulated cache
+/// metadata (SoA tag arrays + rank words + way-hint shadow tables), recorded
+/// by every [`Cpu::new`] via `fetch_max`. A maximum rather than a sum: the
+/// footprint claim is about the per-machine working set the host walks, and
+/// geometry is identical across a suite's machines of one architecture.
+static CACHE_BYTES_RESIDENT: AtomicU64 = AtomicU64::new(0);
+
+/// Drain the [`Cpu`] cache-metadata footprint high-water mark (see
+/// `CACHE_BYTES_RESIDENT`). Harnesses surface this as the
+/// `simcore.cache_bytes_resident` metric; it depends only on which
+/// architectures were instantiated, never on scheduling.
+pub fn take_cache_bytes_resident() -> u64 {
+    CACHE_BYTES_RESIDENT.swap(0, Ordering::Relaxed)
+}
+
 /// Per-access charge constants for one homogeneous run flavor (L1D/TCM ×
 /// load/store) at a fixed operating point. Every field holds the exact value
 /// the scalar path computes for the same access, so replaying the additions
@@ -346,6 +361,7 @@ impl Cpu {
         let model = EnergyModel::for_arch(arch.kind);
         let arena = Arena::new(arch.dtcm_size, arch.dram_size);
         let hier = Hierarchy::new(&arch);
+        CACHE_BYTES_RESIDENT.fetch_max(hier.footprint_bytes(), Ordering::Relaxed);
         let pstate = PState(arch.max_pstate);
         let governor = Governor::new(PState(arch.min_pstate), PState(arch.max_pstate));
         Cpu {

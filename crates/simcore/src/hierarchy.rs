@@ -180,6 +180,16 @@ impl Hierarchy {
         (self.l1d.stamp(), self.l1d.epoch())
     }
 
+    /// Host-side bytes backing the whole stack's simulated cache metadata
+    /// (compacted tag arrays + rank words + way-hint shadow tables, summed
+    /// over every level — see [`Cache::footprint_bytes`]). Pure geometry,
+    /// so the value is identical for every machine of one architecture.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.l1d.footprint_bytes()
+            + self.l2.as_ref().map_or(0, Cache::footprint_bytes)
+            + self.l3.as_ref().map_or(0, Cache::footprint_bytes)
+    }
+
     /// Enable/disable the hardware prefetcher (§2.5.3 turns it off for the
     /// micro-benchmarks and on for the query workloads).
     pub fn set_prefetch(&mut self, on: bool) {

@@ -588,3 +588,98 @@ fn replay_invalidated_by_intervening_write_is_detected() {
         "replay must fire on identical rescans and stop on invalidation ({st:?})"
     );
 }
+
+#[test]
+fn soa_cache_and_stamp_oracle_agree_on_victim_sequences() {
+    // The SoA representation (compacted tag array + per-set rank word)
+    // replaced the per-way LRU stamps; the retained stamp model is the
+    // oracle. Drive both through the adversarial single-cache shapes — cold
+    // sequential fills, stride conflicts that hammer one set, repeats,
+    // invalidation holes and random mixes — and demand the *entire* victim
+    // sequence (every Fill's writeback/evicted address) plus every
+    // hit/miss outcome be identical. LRU order is all victim selection
+    // observes, so any divergence here is a representation bug.
+    use simcore::cache::{oracle::StampCache, Cache};
+    use simcore::CacheConfig;
+
+    for &(size, ways) in &[
+        (64 * 8 * 64, 8),    // i7-4790 L1D geometry
+        (256 * 16 * 64, 16), // L3-like 16-way
+        (4 * 2 * 64, 2),     // tiny, maximal conflict pressure
+    ] {
+        let cfg = CacheConfig {
+            size,
+            ways,
+            latency_cycles: 1,
+        };
+        let mut c = Cache::new(&cfg);
+        let mut o = StampCache::new(&cfg);
+        let mut rng = Rng::new(0xa076_1d64_78bd_642f ^ size);
+        let span_lines = 4 * (size / 64); // 4× capacity: constant eviction
+        let mut fills = 0u64;
+        for step in 0..6000u64 {
+            let a = rng.below(span_lines) * LINE;
+            match rng.below(10) {
+                // Miss-then-fill, the demand pattern of the hierarchy.
+                0..=3 => {
+                    let w = rng.flip();
+                    let hit = c.access(a, w);
+                    assert_eq!(hit, o.access(a, w), "access {a} at step {step}");
+                    if hit == simcore::cache::Lookup::Miss {
+                        let d = rng.flip();
+                        assert_eq!(
+                            c.fill(a, d, false),
+                            o.fill(a, d, false),
+                            "demand fill {a} at step {step}"
+                        );
+                        fills += 1;
+                    }
+                }
+                // Prefetch-style fill with no preceding access.
+                4..=5 => {
+                    let (d, p) = (rng.flip(), rng.flip());
+                    assert_eq!(c.fill(a, d, p), o.fill(a, d, p), "fill {a} at step {step}");
+                    fills += 1;
+                }
+                // Stride-conflict burst into one set (max-way walk shape).
+                6 => {
+                    let sets = size / 64 / u64::from(ways);
+                    for k in 0..(ways as u64 + 2) {
+                        let conflict = (a + k * sets * LINE) % (span_lines * LINE);
+                        assert_eq!(
+                            c.fill(conflict, k & 1 == 0, false),
+                            o.fill(conflict, k & 1 == 0, false),
+                            "conflict fill {conflict} at step {step}"
+                        );
+                        fills += 1;
+                    }
+                }
+                7 => {
+                    let n = rng.below(32);
+                    let w = rng.flip();
+                    assert_eq!(
+                        c.access_run(a, n, w),
+                        o.access_run(a, n, w),
+                        "run {a} at step {step}"
+                    );
+                }
+                8 => {
+                    assert_eq!(c.invalidate(a), o.invalidate(a), "invalidate {a}");
+                }
+                _ => {
+                    let n = rng.below(16);
+                    let w = rng.flip();
+                    assert_eq!(
+                        c.access_repeat(a, n, w),
+                        o.access_repeat(a, n, w),
+                        "repeat {a} at step {step}"
+                    );
+                }
+            }
+            assert_eq!(c.stamp(), o.stamp(), "fingerprint stamp at step {step}");
+            assert_eq!(c.epoch(), o.epoch(), "fingerprint epoch at step {step}");
+        }
+        assert_eq!(c.resident(), o.resident(), "final residency");
+        assert!(fills > 4000, "trace must keep the sets boiling ({fills})");
+    }
+}

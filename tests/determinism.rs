@@ -183,14 +183,27 @@ fn fast_path_counters_are_jobs_independent() {
             .counter(name)
             .unwrap_or_else(|| panic!("{name} published after suite"))
     };
+    // The cache-metadata footprint is a gauge; read it via snapshot.
+    let read_footprint = || {
+        mjobs::metrics::global()
+            .snapshot()
+            .into_iter()
+            .find_map(|(name, m)| match (name.as_str(), m) {
+                ("simcore.cache_bytes_resident", mjobs::metrics::Metric::Gauge(v)) => Some(v),
+                _ => None,
+            })
+            .expect("simcore.cache_bytes_resident published after suite")
+    };
 
     mjobs::metrics::global().clear();
     run(1, None);
     let serial: Vec<u64> = COUNTERS.iter().map(|n| read(n)).collect();
+    let footprint_serial = read_footprint();
 
     mjobs::metrics::global().clear();
     run(4, None);
     let parallel: Vec<u64> = COUNTERS.iter().map(|n| read(n)).collect();
+    let footprint_parallel = read_footprint();
 
     for (i, name) in COUNTERS.iter().enumerate() {
         assert_eq!(serial[i], parallel[i], "{name} must not depend on --jobs");
@@ -200,4 +213,16 @@ fn fast_path_counters_are_jobs_independent() {
         "the scan-heavy subset must engage the hot fast path"
     );
     assert!(serial[1] > 0, "cold scans must engage the fused cold path");
+
+    // The SoA cache footprint is pure geometry: identical for any --jobs,
+    // and non-trivial (the i7-4790 stack's tag + rank + hint arrays).
+    assert_eq!(
+        footprint_serial.to_bits(),
+        footprint_parallel.to_bits(),
+        "simcore.cache_bytes_resident must not depend on --jobs"
+    );
+    assert!(
+        footprint_serial > 0.0,
+        "the suite must instantiate at least one simulated machine"
+    );
 }
