@@ -1,0 +1,6 @@
+//! Thin wrapper over the `ext_rowcol` experiment registered in
+//! `bench::experiments`; flags/env are parsed by `mjrt::HarnessConfig`.
+
+fn main() {
+    bench::run_bin("ext_rowcol");
+}

@@ -19,7 +19,11 @@
 //! * `set_conflict_storm` — stride-4096 accesses hammering one L1D set (L2
 //!   hits after warmup): every access walks a full valid set and selects a
 //!   victim, pinning the SoA representation's max-way-walk worst case under
-//!   its own floor rather than letting the averaged traces hide it.
+//!   its own floor rather than letting the averaged traces hide it,
+//! * `columnar_scan` — the vectorized executor's lane shape (per 1024-row
+//!   batch: stream the predicate lane, gather the projected lane, store
+//!   the materialized batch into a bounded scratch ring), so the `vec`
+//!   personality's dominant access pattern has its own floor.
 //!
 //! `--e2e` additionally runs the full repro_all experiment suite twice
 //! in-process — once with the fast paths disabled, once enabled — checks the
@@ -27,7 +31,7 @@
 //! are written as JSON (schema v3) to `BENCH_simcore.json` (or the path
 //! given as the first non-flag argument) and the file is re-read and
 //! validated before exit. `--smoke` shrinks the iteration counts for CI and
-//! gates on the `scan_cold` floor; the full mode gates on every
+//! gates on the `scan_cold` and `columnar_scan` floors; the full mode gates on every
 //! trace's hard floor and additionally reports (without failing) any trace
 //! that met its floor but not its design target — see [`THRESHOLDS`].
 
@@ -56,12 +60,17 @@ const PREV_RELEASE_REPRO_ALL_S: f64 = 471.9;
 /// (12.0 → 12.1 M/s), so the chase step is bound by the bit-identity
 /// settle/charge chain plus one step-serialized random LLC access, not by
 /// array footprint — see DESIGN.md §9 for the decomposition.
+/// `columnar_scan` floors the vectorized executor's lane mix: its 512 KB
+/// lanes never fit L1, so every line rides the fused cold walk (measured
+/// 2.2× smoke / 2.5× full on the shared reference host; floor set to the
+/// worst observed run minus noise margin).
 const THRESHOLDS: &[(&str, f64, f64)] = &[
     ("scan_hot", 5.0, 5.0),
     ("scan_cold", 2.2, 3.0),
     ("chase", 1.4, 2.0),
     ("mixed", 1.5, 2.0),
     ("set_conflict_storm", 1.2, 1.5),
+    ("columnar_scan", 1.8, 2.5),
 ];
 
 fn thresholds_for(name: &str) -> (f64, f64) {
@@ -304,6 +313,56 @@ fn run_all(scale: u64) -> Vec<TraceResult> {
         },
     ));
 
+    // columnar_scan: the batch executor's per-batch lane traffic — stream
+    // the predicate lane (1024 rows × 8 B = 128 lines), stream the
+    // projected lane for late materialization, store the materialized
+    // batch into a 32 KB scratch ring. Lanes are 512 KB (L3-resident after
+    // the first pass), the ring stays L1-resident — the mix the `vec`
+    // personality issues on every scan.
+    let batch_lines: u64 = (1024 * 8) / LINE;
+    let col_batches: u64 = 64;
+    let lane_bytes: u64 = col_batches * batch_lines * LINE;
+    let ring_lines: u64 = 512;
+    let col_passes: u64 = 30 * scale;
+    results.push(run_trace(
+        "columnar_scan",
+        col_passes * col_batches * batch_lines * 3,
+        |cpu, base| {
+            for p in 0..col_passes {
+                for b in 0..col_batches {
+                    let pred = base + b * batch_lines * LINE;
+                    let lane = base + lane_bytes + b * batch_lines * LINE;
+                    let out = base
+                        + 2 * lane_bytes
+                        + ((p * col_batches + b) * batch_lines % ring_lines) * LINE;
+                    for i in 0..batch_lines {
+                        cpu.load(pred + i * LINE, Dep::Stream);
+                    }
+                    for i in 0..batch_lines {
+                        cpu.load(lane + i * LINE, Dep::Stream);
+                    }
+                    for i in 0..batch_lines {
+                        cpu.store(out + i * LINE);
+                    }
+                }
+            }
+        },
+        |cpu, base| {
+            for p in 0..col_passes {
+                for b in 0..col_batches {
+                    let pred = base + b * batch_lines * LINE;
+                    let lane = base + lane_bytes + b * batch_lines * LINE;
+                    let out = base
+                        + 2 * lane_bytes
+                        + ((p * col_batches + b) * batch_lines % ring_lines) * LINE;
+                    cpu.access_run(pred, batch_lines, false, Dep::Stream);
+                    cpu.access_run(lane, batch_lines, false, Dep::Stream);
+                    cpu.access_run(out, batch_lines, true, Dep::Stream);
+                }
+            }
+        },
+    ));
+
     results
 }
 
@@ -497,11 +556,13 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| panic!("{name} trace missing"))
     };
     // Gates: smoke is CI's cheap regression tripwire (the scan_cold floor
-    // only — per the roadmap); the full run enforces every floor and
-    // reports, without failing, any trace short of its design target.
+    // per the roadmap, plus the columnar_scan floor so the `vec`
+    // personality's lane path is covered in CI); the full run enforces
+    // every floor and reports, without failing, any trace short of its
+    // design target.
     let mut failed = false;
     for &(name, floor, target) in THRESHOLDS {
-        if smoke && name != "scan_cold" {
+        if smoke && name != "scan_cold" && name != "columnar_scan" {
             continue;
         }
         let s = get(name).speedup();

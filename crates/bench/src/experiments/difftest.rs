@@ -66,8 +66,9 @@ struct ShardOut {
     violations: Vec<String>,
 }
 
-/// Differential correctness across the three engine personalities plus the
-/// ARM DTCM co-design (extension; underpins every cross-engine figure).
+/// Differential correctness across the four engine personalities (pg /
+/// lite / my / vec) plus the ARM DTCM co-design (extension; underpins
+/// every cross-engine figure).
 pub struct Difftest;
 
 impl Experiment for Difftest {

@@ -12,6 +12,7 @@ pub mod energy;
 pub mod kernels;
 pub mod micro;
 pub mod nosql_ext;
+pub mod rowcol;
 pub mod sec5;
 pub mod serve_oltp;
 pub mod tpch;
@@ -19,7 +20,7 @@ pub mod writes;
 
 use mjrt::Experiment;
 
-/// Every experiment in suite (report) order — the 18 x86 experiments first,
+/// Every experiment in suite (report) order — the x86 experiments first,
 /// then the 2 ARM/DTCM ones (matching the historical `repro_all` order),
 /// then the cross-variant differential harness.
 pub static REGISTRY: &[&dyn Experiment] = &[
@@ -42,6 +43,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &sec5::ExtCustomDvfs,
     &nosql_ext::FutureNosql,
     &serve_oltp::ServeOltp,
+    &rowcol::ExtRowCol,
     &arm::Fig13DtcmPoc,
     &arm::AblationDtcm,
     &difftest::Difftest,

@@ -1,0 +1,137 @@
+//! Extension — row vs column execution energy (`ext_rowcol`).
+//!
+//! The paper profiles three row stores and attributes their shared L1D
+//! bottleneck to per-tuple implementation style (§3.3). This experiment
+//! asks the counterfactual the paper leaves open: what happens to the
+//! per-micro-op energy distribution when the *same* logical plans run on a
+//! vectorized columnar executor ([`engines::batch`], the `vec`
+//! personality)? Batches amortize interpreter state traffic over ~1024
+//! rows and late materialization touches only the column lanes a query
+//! needs, so the prediction is less `E_L1D + E_Reg2L1D` per query and a
+//! smaller Active total — measured here, not assumed.
+//!
+//! One shard per engine personality (the row trio plus `vec`, i.e.
+//! [`EngineKind::ALL`]); each shard loads its own TPC-H database at the
+//! harness scale, pins P36 and breaks down all 22 query plans against the
+//! shared calibration table. The assembled report holds the merged
+//! per-micro-op share row per engine, the per-query breakdown of the
+//! columnar executor (the row-engine equivalents are Fig. 7), and a
+//! row-vs-column footer comparing Active energy and L1D share head to
+//! head. Differential testing (`difftest`) guarantees the result sets the
+//! energies are attributed to are identical across all four personalities.
+
+use std::any::Any;
+use std::fmt::Write as _;
+
+use analysis::report::TextTable;
+use analysis::Breakdown;
+use engines::EngineKind;
+use mjrt::experiment::downcast_shard;
+use mjrt::{ExpCtx, Experiment, HarnessConfig, Report};
+use simcore::PState;
+use workloads::{TpchQuery, TpchScale};
+
+use super::tpch::short;
+use crate::{share_header, share_row, Rig};
+
+/// One engine's shard output: the merged TPC-H-average share row, the
+/// per-query share rows (reported only for `vec`), and the scalars the
+/// comparison footer needs.
+struct RowColCell {
+    kind: EngineKind,
+    merged_row: Vec<String>,
+    query_rows: Vec<Vec<String>>,
+    active_j: f64,
+    time_s: f64,
+    l1d_share: f64,
+}
+
+/// Row vs column execution: per-micro-op Active-energy breakdown of the 22
+/// TPC-H plans on each row personality vs the vectorized `vec` personality.
+pub struct ExtRowCol;
+
+impl Experiment for ExtRowCol {
+    fn name(&self) -> &'static str {
+        "ext_rowcol"
+    }
+
+    fn shards(&self, _cfg: &HarnessConfig) -> usize {
+        EngineKind::ALL.len()
+    }
+
+    fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
+        let kind = EngineKind::ALL[shard];
+        let table = ctx.table_x86(PState::P36);
+        let mut rig = Rig::builder(kind)
+            .scale(TpchScale(ctx.cfg.scale))
+            .pstate(PState::P36)
+            .stats(ctx.stats_sink())
+            .build();
+        let mut query_rows = Vec::new();
+        let mut all = Vec::new();
+        for q in TpchQuery::all() {
+            // `Rig::profile` warm-runs the plan first, so the vec shard
+            // builds its column-chunk images outside the measured window —
+            // the breakdown is steady-state execution, not attach cost.
+            let bd = rig.breakdown(&table, &q.plan());
+            query_rows.push(share_row(&q.name(), &bd));
+            all.push(bd);
+        }
+        let merged = Breakdown::merge(&all).expect("queries ran");
+        Box::new(RowColCell {
+            kind,
+            merged_row: share_row(short(kind), &merged),
+            query_rows,
+            active_j: merged.active_j(),
+            time_s: merged.time_s,
+            l1d_share: merged.l1d_share(),
+        })
+    }
+
+    fn assemble(&self, shards: Vec<Box<dyn Any + Send>>, ctx: &ExpCtx<'_>) -> Report {
+        let cells: Vec<RowColCell> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| downcast_shard::<RowColCell>(self.name(), i, s))
+            .collect();
+        let mut t = TextTable::new(share_header());
+        for c in &cells {
+            t.row(c.merged_row.clone());
+        }
+        let mut r = Report::new();
+        writeln!(
+            r,
+            "== Ext: row vs column execution — per-micro-op Eactive, TPC-H average =="
+        )
+        .unwrap();
+        write!(r, "{}", t.render()).unwrap();
+        ctx.maybe_write_csv("ext_rowcol", &t);
+
+        let vec_cell = cells
+            .iter()
+            .find(|c| c.kind == EngineKind::Vec)
+            .expect("vec shard ran");
+        let mut tq = TextTable::new(share_header());
+        for row in &vec_cell.query_rows {
+            tq.row(row.clone());
+        }
+        writeln!(r, "\n== Eactive breakdown of TPC-H per query: vec ==").unwrap();
+        write!(r, "{}", tq.render()).unwrap();
+        ctx.maybe_write_csv("ext_rowcol_vec_queries", &tq);
+
+        writeln!(r).unwrap();
+        for c in cells.iter().filter(|c| c.kind != EngineKind::Vec) {
+            writeln!(
+                r,
+                "vec vs {}: Eactive {:.2}x | time {:.2}x | EL1D+EReg2L1D {:.1}% vs {:.1}%",
+                short(c.kind),
+                vec_cell.active_j / c.active_j,
+                vec_cell.time_s / c.time_s,
+                vec_cell.l1d_share * 100.0,
+                c.l1d_share * 100.0,
+            )
+            .unwrap();
+        }
+        r
+    }
+}

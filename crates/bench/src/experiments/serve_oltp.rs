@@ -118,11 +118,11 @@ impl Experiment for ServeOltp {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len() * RATE_MULTS.len()
+        EngineKind::ROW.len() * RATE_MULTS.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard / RATE_MULTS.len()];
+        let kind = EngineKind::ROW[shard / RATE_MULTS.len()];
         let mult = RATE_MULTS[shard % RATE_MULTS.len()];
         let mut out = ShardOut {
             rows: Vec::new(),

@@ -21,6 +21,11 @@ use crate::{share_header, share_row, Rig};
 /// Fig. 5 / §2.7 — P-state residency of the TPC-H queries with the
 /// EIST-like governor enabled. One shard per engine; each shard yields one
 /// histogram row.
+///
+/// The figure experiments in this module sweep [`EngineKind::ROW`] — the
+/// paper's profiled trio — because each reproduces a three-engine figure.
+/// The vectorized personality is compared against the trio by the
+/// `ext_rowcol` experiment instead.
 pub struct Fig05PstateDistribution;
 
 impl Experiment for Fig05PstateDistribution {
@@ -29,11 +34,11 @@ impl Experiment for Fig05PstateDistribution {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len()
+        EngineKind::ROW.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard];
+        let kind = EngineKind::ROW[shard];
         let scale = TpchScale(ctx.cfg.scale);
         let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
         cpu.set_prefetch(true);
@@ -113,11 +118,11 @@ impl Experiment for Fig06BasicOps {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len()
+        EngineKind::ROW.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard];
+        let kind = EngineKind::ROW[shard];
         let table = ctx.table_x86(PState::P36);
         let mut rig = Rig::builder(kind)
             .scale(TpchScale(ctx.cfg.scale))
@@ -164,11 +169,11 @@ impl Experiment for Fig07Tpch {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len()
+        EngineKind::ROW.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard];
+        let kind = EngineKind::ROW[shard];
         let table = ctx.table_x86(PState::P36);
         let mut rig = Rig::builder(kind)
             .scale(TpchScale(ctx.cfg.scale))
@@ -221,11 +226,11 @@ impl Experiment for Fig08DataSize {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len() * FIG08_SIZES.len()
+        EngineKind::ROW.len() * FIG08_SIZES.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard / FIG08_SIZES.len()];
+        let kind = EngineKind::ROW[shard / FIG08_SIZES.len()];
         let (label, factor) = FIG08_SIZES[shard % FIG08_SIZES.len()];
         let table = ctx.table_x86(PState::P36);
         let scale = TpchScale(ctx.cfg.scale * factor / 2.0);
@@ -278,11 +283,12 @@ impl Experiment for Fig08DataSize {
     }
 }
 
-fn short(kind: EngineKind) -> &'static str {
+pub(crate) fn short(kind: EngineKind) -> &'static str {
     match kind {
         EngineKind::Pg => "PG",
         EngineKind::Lite => "SQLite",
         EngineKind::My => "MySQL",
+        EngineKind::Vec => "Vec",
     }
 }
 
@@ -296,11 +302,11 @@ impl Experiment for Fig09Knobs {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len() * KnobLevel::ALL.len()
+        EngineKind::ROW.len() * KnobLevel::ALL.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard / KnobLevel::ALL.len()];
+        let kind = EngineKind::ROW[shard / KnobLevel::ALL.len()];
         let level = KnobLevel::ALL[shard % KnobLevel::ALL.len()];
         let table = ctx.table_x86(PState::P36);
         let mut rig = Rig::builder(kind)
@@ -356,11 +362,11 @@ impl Experiment for Fig11Pstates {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len() * FIG11_PSTATES.len()
+        EngineKind::ROW.len() * FIG11_PSTATES.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard / FIG11_PSTATES.len()];
+        let kind = EngineKind::ROW[shard / FIG11_PSTATES.len()];
         let ps = FIG11_PSTATES[shard % FIG11_PSTATES.len()];
         let table = ctx.table_x86(ps);
         let mut rig = Rig::builder(kind)

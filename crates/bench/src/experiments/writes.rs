@@ -82,11 +82,11 @@ impl Experiment for ExtWrites {
     }
 
     fn shards(&self, _cfg: &HarnessConfig) -> usize {
-        EngineKind::ALL.len()
+        EngineKind::ROW.len()
     }
 
     fn run_shard(&self, shard: usize, ctx: &ExpCtx<'_>) -> Box<dyn Any + Send> {
-        let kind = EngineKind::ALL[shard];
+        let kind = EngineKind::ROW[shard];
         let table = ctx.table_x86(PState::P36);
         let mut rig = Rig::builder(kind)
             .scale(TpchScale(ctx.cfg.scale))

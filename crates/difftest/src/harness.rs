@@ -1,5 +1,5 @@
-//! The four engine variants under differential test, and per-case
-//! execution with canonical digests + invariant checks.
+//! The engine variants under differential test, and per-case execution
+//! with canonical digests + invariant checks.
 
 use analysis::EnergyTable;
 use engines::{DtcmConfig, DtcmDatabase, EngineKind, Knobs, Plan};
@@ -25,13 +25,22 @@ pub enum Variant {
     Lite,
     /// MySQL personality on the i7-4790.
     My,
+    /// Vectorized columnar personality on the i7-4790.
+    Vec,
     /// SQLite + DTCM co-design on the ARM1176JZF-S.
     LiteDtcm,
 }
 
 impl Variant {
-    /// All four variants, in report order.
-    pub const ALL: [Variant; 4] = [Variant::Pg, Variant::Lite, Variant::My, Variant::LiteDtcm];
+    /// All variants, in report order: one per [`EngineKind`] plus the DTCM
+    /// co-design (the `variant_per_engine_kind` test pins that coverage).
+    pub const ALL: [Variant; EngineKind::COUNT + 1] = [
+        Variant::Pg,
+        Variant::Lite,
+        Variant::My,
+        Variant::Vec,
+        Variant::LiteDtcm,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -39,7 +48,20 @@ impl Variant {
             Variant::Pg => "pg",
             Variant::Lite => "lite",
             Variant::My => "my",
+            Variant::Vec => "vec",
             Variant::LiteDtcm => "lite-dtcm",
+        }
+    }
+
+    /// The engine personality this variant executes with. Exhaustive by
+    /// construction: a new [`EngineKind`] without a differential variant
+    /// fails the `variant_per_engine_kind` test.
+    pub fn kind(self) -> EngineKind {
+        match self {
+            Variant::Pg => EngineKind::Pg,
+            Variant::Lite | Variant::LiteDtcm => EngineKind::Lite,
+            Variant::My => EngineKind::My,
+            Variant::Vec => EngineKind::Vec,
         }
     }
 
@@ -96,16 +118,16 @@ impl Engine {
     pub fn build(variant: Variant) -> Engine {
         let scale = TpchScale::tiny();
         match variant {
-            Variant::Pg | Variant::Lite | Variant::My => {
-                let kind = match variant {
-                    Variant::Pg => EngineKind::Pg,
-                    Variant::Lite => EngineKind::Lite,
-                    _ => EngineKind::My,
-                };
+            Variant::Pg | Variant::Lite | Variant::My | Variant::Vec => {
                 let mut cpu = Cpu::new(ArchConfig::intel_i7_4790());
                 cpu.set_prefetch(true);
-                let db = build_tpch_db(&mut cpu, kind, engines::KnobLevel::Baseline, scale)
-                    .expect("tpch load");
+                let db = build_tpch_db(
+                    &mut cpu,
+                    variant.kind(),
+                    engines::KnobLevel::Baseline,
+                    scale,
+                )
+                .expect("tpch load");
                 Engine {
                     variant,
                     cpu,
@@ -189,5 +211,31 @@ impl Engine {
             Err(e) => Err(format!("{e:?}")),
         };
         CaseOutcome { digest, violations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_per_engine_kind() {
+        // The enum-exhaustiveness contract: every engine personality must
+        // be under differential test as a plain-x86 variant. A new
+        // `EngineKind` that is not mapped here first fails `Variant::kind`'s
+        // exhaustive match, then this coverage check.
+        for kind in EngineKind::ALL {
+            assert!(
+                Variant::ALL
+                    .iter()
+                    .any(|v| v.kind() == kind && v.arch() == ArchKind::X86),
+                "{kind:?} has no x86 differential variant"
+            );
+        }
+        // Names stay unique (report keys).
+        let mut names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Variant::ALL.len());
     }
 }

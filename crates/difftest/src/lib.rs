@@ -13,8 +13,8 @@
 //!   and a deterministic seeded generator of randomized SQL ([`fuzz`])
 //!   over the TPC-H schema, compiled once through `sqlfe` and executed on
 //!   every engine variant.
-//! * **Variants** ([`harness`]): the pg/lite/my personalities on the
-//!   simulated i7-4790, plus SQLite-with-DTCM on the ARM1176JZF-S — four
+//! * **Variants** ([`harness`]): the pg/lite/my/vec personalities on the
+//!   simulated i7-4790, plus SQLite-with-DTCM on the ARM1176JZF-S — five
 //!   executors, one expected answer.
 //! * **Equivalence**: sorted-multiset comparison of canonicalized rows
 //!   (floats rounded to 5 decimals, the repo's established cross-engine
@@ -122,7 +122,7 @@ pub fn compare(a: &CaseOutcome, b: &CaseOutcome) -> Option<String> {
     }
 }
 
-/// Run the whole differential harness in-process: build the four variants,
+/// Run the whole differential harness in-process: build every variant,
 /// compile the corpus once, execute everywhere, compare, and minimize any
 /// fuzz disagreement. `tables` supplies a calibrated energy table per
 /// architecture (return `None` to skip the energy invariant for it).

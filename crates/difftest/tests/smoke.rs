@@ -1,5 +1,5 @@
 //! Differential smoke: the fixed corpus plus a short fuzz stream must be
-//! clean across all four engine variants.
+//! clean across all five engine variants.
 
 use mjdiff::{diff, DiffConfig};
 

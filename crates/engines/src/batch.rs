@@ -1,0 +1,734 @@
+//! The batch-at-a-time columnar executor (the `vec` personality).
+//!
+//! Where the row executor ([`crate::executor`]) fetches and decodes one
+//! tuple at a time — paying slot/header/decode loads and `state_loads_per_row`
+//! interpreter traffic per row — this executor processes ~[`BATCH_ROWS`]-row
+//! vectors over the columnar images built by
+//! [`storage::ColumnChunks`]:
+//!
+//! * **Scans** stream only the column lanes a predicate references, select
+//!   host-side, and *late-materialize*: output lanes are gathered only for
+//!   surviving rows.
+//! * **Operator state** (the row engines' per-tuple VM/cursor traffic) is
+//!   charged once per vector, amortized to `state_loads_per_row` (= 4 for
+//!   [`crate::profile::VEC`]) per row instead of the row engines' 120–330.
+//! * **Joins and aggregation** keep their inherently per-row random
+//!   accesses (hash-bucket chases) but batch the hashing and bookkeeping.
+//!
+//! Results are bit-for-bit identical to the row engines (the differential
+//! harness runs `vec` as a fifth variant); only the issued loads/stores/ops
+//! differ — which is the whole point of the architectural counterfactual:
+//! how much of the paper's 39–67% L1D energy share is *implementation
+//! style* rather than workload?
+
+use crate::executor::{canon_key, col, hash_bytes, key_of_row, span_name, update_states};
+use crate::plan::Plan;
+use crate::profile::Profile;
+use simcore::{Cpu, Dep, ExecOp, Region, LINE};
+use std::collections::HashMap;
+use storage::expr::AggState;
+use storage::{
+    Catalog, CmpOp, ColumnChunks, Expr, Row, SimHashTable, SimSorter, StorageError, Value,
+};
+
+/// Vector width: rows processed per batch.
+pub const BATCH_ROWS: usize = 1024;
+
+/// Per-query execution environment of the batch executor. Unlike the row
+/// executor's [`crate::executor::Env`] it needs no buffer pool: batch
+/// operators read column lanes directly, not heap pages.
+pub struct BatchEnv<'a> {
+    /// Catalog (the columnar images live on [`storage::TableInfo`]).
+    pub catalog: &'a Catalog,
+    /// Engine personality (must have [`Profile::vectorized`] set).
+    pub profile: &'a Profile,
+    /// Per-operation memory budget.
+    pub work_mem: u64,
+    scratch: Region,
+    scratch_off: u64,
+    temp_base: Option<Region>,
+    temp_off: u64,
+}
+
+impl<'a> BatchEnv<'a> {
+    /// Build an environment over `catalog`. `temp` is the session's
+    /// reusable scratch region for sort runs and hash tables.
+    pub fn new(
+        cpu: &mut Cpu,
+        catalog: &'a Catalog,
+        profile: &'a Profile,
+        work_mem: u64,
+        temp: Option<Region>,
+    ) -> storage::Result<BatchEnv<'a>> {
+        let scratch = cpu.alloc(crate::executor::SCRATCH_BYTES)?;
+        Ok(BatchEnv {
+            catalog,
+            profile,
+            work_mem,
+            scratch,
+            scratch_off: 0,
+            temp_base: temp,
+            temp_off: 0,
+        })
+    }
+
+    /// Carve `len` bytes out of the reusable temp region (same policy as
+    /// the row executor: line-aligned bump allocation, wrap on exhaustion).
+    fn temp_alloc(&mut self, cpu: &mut Cpu, len: u64) -> storage::Result<Region> {
+        if let Some(base) = self.temp_base {
+            let len = len.min(base.len);
+            if self.temp_off + len <= base.len {
+                let r = Region {
+                    addr: base.addr + self.temp_off,
+                    len,
+                };
+                self.temp_off += len.div_ceil(LINE) * LINE;
+                return Ok(r);
+            }
+            self.temp_off = 0;
+            if len <= base.len {
+                let r = Region {
+                    addr: base.addr,
+                    len,
+                };
+                self.temp_off = len.div_ceil(LINE) * LINE;
+                return Ok(r);
+            }
+        }
+        Ok(cpu.alloc(len)?)
+    }
+
+    /// Batched bookkeeping ops: `per_row_ops` per row, issued once per
+    /// vector (the amortized interpretation dispatch).
+    fn per_batch_ops(&mut self, cpu: &mut Cpu, rows: u64) {
+        if rows > 0 {
+            cpu.exec_n(ExecOp::Generic, self.profile.per_row_ops * rows);
+        }
+    }
+
+    /// Batched operator-state traffic: the row engines charge
+    /// `state_loads_per_row` per *tuple*; here the whole vector shares one
+    /// operator-state visit, so the per-row charge collapses to the
+    /// profile's (tiny) amortized value.
+    fn state_touch(&mut self, cpu: &mut Cpu, rows: u64) {
+        let n = self.profile.state_loads_per_row * rows;
+        if n == 0 {
+            return;
+        }
+        let lines = (self.scratch.len / LINE).clamp(1, 8);
+        let per_line = n / lines;
+        for l in 0..lines {
+            cpu.load_repeat(self.scratch.addr + l * LINE, per_line.max(1));
+        }
+        cpu.store_repeat(self.scratch.addr, (n / 4).max(1));
+        cpu.exec_n(ExecOp::Generic, (n as f64 * self.profile.ops_factor) as u64);
+    }
+
+    /// Charge the stores of materializing `rows` output tuples of `arity`
+    /// columns into the scratch ring (whole-vector volume, ring-wrapped).
+    fn materialize_rows(&mut self, cpu: &mut Cpu, arity: usize, rows: u64) {
+        let mut remaining = arity as u64 * 16 * rows;
+        let target = self.scratch;
+        while remaining > 0 {
+            let start = self.scratch_off % target.len;
+            let chunk = remaining.min(target.len - start);
+            storage::page::touch_store(cpu, target.addr + start, chunk);
+            self.scratch_off = (self.scratch_off + chunk) % target.len;
+            remaining -= chunk;
+        }
+    }
+}
+
+/// Execute `plan` batch-at-a-time and return its rows.
+///
+/// Operators emit the same `mjobs` spans as the row executor (names carry a
+/// `v` prefix via [`span_name`]), so traced vec queries flame-graph and
+/// EXPLAIN ANALYZE exactly like the row engines.
+pub fn run(cpu: &mut Cpu, env: &mut BatchEnv<'_>, plan: &Plan) -> storage::Result<Vec<Row>> {
+    mjobs::span::enter(cpu, || span_name(plan, env.profile));
+    let rows = run_op(cpu, env, plan);
+    if let Ok(r) = &rows {
+        mjobs::span::annotate_rows(r.len() as u64);
+    }
+    mjobs::span::exit(cpu);
+    rows
+}
+
+fn run_op(cpu: &mut Cpu, env: &mut BatchEnv<'_>, plan: &Plan) -> storage::Result<Vec<Row>> {
+    match plan {
+        Plan::Scan {
+            table,
+            filter,
+            project,
+        } => scan(cpu, env, table, filter, project),
+        Plan::IndexRange {
+            table,
+            col,
+            lo,
+            hi,
+            filter,
+            project,
+        } => index_range(cpu, env, table, col, *lo, *hi, filter, project),
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+            filter,
+            project,
+        } => join(
+            cpu, env, left, right, *left_col, *right_col, filter, project,
+        ),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => aggregate(cpu, env, input, group_by, aggs),
+        Plan::Sort { input, keys, limit } => sort(cpu, env, input, keys, *limit),
+        Plan::Limit { input, n } => {
+            let mut rows = run(cpu, env, input)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+        Plan::Project { input, exprs } => {
+            let rows = run(cpu, env, input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for batch in rows.chunks(BATCH_ROWS) {
+                for row in batch {
+                    out.push(exprs.iter().map(|e| e.eval(cpu, row)).collect::<Row>());
+                }
+                env.materialize_rows(cpu, exprs.len(), batch.len() as u64);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Collect the column indices an expression references.
+fn expr_cols(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::Col(i) => out.push(*i),
+        Expr::Lit(_) => {}
+        Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Bin(_, l, r) => {
+            expr_cols(l, out);
+            expr_cols(r, out);
+        }
+        Expr::Not(x)
+        | Expr::Contains(x, _)
+        | Expr::StartsWith(x, _)
+        | Expr::Between(x, _, _)
+        | Expr::InList(x, _) => expr_cols(x, out),
+    }
+}
+
+/// Which lanes the output needs (project-referenced columns, or all of
+/// them), plus the output arity.
+fn output_cols(arity: usize, project: &Option<Vec<Expr>>) -> (Vec<usize>, usize) {
+    match project {
+        Some(p) => {
+            let mut v = Vec::new();
+            for e in p {
+                expr_cols(e, &mut v);
+            }
+            v.sort_unstable();
+            v.dedup();
+            (v, p.len())
+        }
+        None => ((0..arity).collect(), arity),
+    }
+}
+
+/// Assemble the full host row at chunk position `r`.
+fn row_at(chunks: &ColumnChunks, r: usize) -> Row {
+    (0..chunks.arity())
+        .map(|c| chunks.value(c, r).clone())
+        .collect()
+}
+
+fn chunks_of<'c>(catalog: &'c Catalog, table: &str) -> storage::Result<&'c ColumnChunks> {
+    catalog
+        .table(table)?
+        .columnar
+        .as_ref()
+        .ok_or(StorageError::Schema("columnar image not attached"))
+}
+
+fn scan(
+    cpu: &mut Cpu,
+    env: &mut BatchEnv<'_>,
+    table: &str,
+    filter: &Option<Expr>,
+    project: &Option<Vec<Expr>>,
+) -> storage::Result<Vec<Row>> {
+    let chunks = chunks_of(env.catalog, table)?;
+    let arity = chunks.arity();
+    let mut pred_cols = Vec::new();
+    if let Some(f) = filter {
+        expr_cols(f, &mut pred_cols);
+    }
+    pred_cols.sort_unstable();
+    pred_cols.dedup();
+    let (out_cols, out_arity) = output_cols(arity, project);
+
+    let rows = chunks.rows();
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    while lo < rows {
+        let hi = (lo + BATCH_ROWS).min(rows);
+        let n = (hi - lo) as u64;
+        // Predicate lanes stream once over the whole vector.
+        for &c in &pred_cols {
+            chunks.col(c).touch_range(cpu, lo, hi, Dep::Stream);
+        }
+        env.per_batch_ops(cpu, n);
+        let mut survivors: Vec<usize> = Vec::with_capacity(hi - lo);
+        match filter {
+            Some(f) => {
+                for r in lo..hi {
+                    let row = row_at(chunks, r);
+                    if f.matches(cpu, &row) {
+                        survivors.push(r);
+                    }
+                }
+            }
+            None => survivors.extend(lo..hi),
+        }
+        // Late materialization: output lanes are only read for survivors.
+        let k = survivors.len();
+        for &c in &out_cols {
+            if !pred_cols.contains(&c) {
+                chunks.col(c).touch_range(cpu, lo, lo + k, Dep::Stream);
+            }
+        }
+        env.state_touch(cpu, n);
+        for &r in &survivors {
+            let row = row_at(chunks, r);
+            match project {
+                Some(p) => out.push(p.iter().map(|e| e.eval(cpu, &row)).collect()),
+                None => out.push(row),
+            }
+        }
+        env.materialize_rows(cpu, out_arity, k as u64);
+        lo = hi;
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn index_range(
+    cpu: &mut Cpu,
+    env: &mut BatchEnv<'_>,
+    table: &str,
+    colname: &str,
+    lo_b: Option<i64>,
+    hi_b: Option<i64>,
+    filter: &Option<Expr>,
+    project: &Option<Vec<Expr>>,
+) -> storage::Result<Vec<Row>> {
+    let catalog = env.catalog;
+    let t = catalog.table(table)?;
+    let ci = t
+        .schema
+        .col(colname)
+        .ok_or(StorageError::Schema("unknown index column"))?;
+    if t.index_on(ci).is_none() {
+        // Mirror the row executor's no-index fallback *exactly* (the range
+        // folds into Ge/Le expressions, so float keys compare un-truncated)
+        // — the personalities must keep agreeing bit for bit.
+        let mut range_filter = Vec::new();
+        if let Some(l) = lo_b {
+            range_filter.push(Expr::cmp(CmpOp::Ge, Expr::col(ci), Expr::int(l)));
+        }
+        if let Some(h) = hi_b {
+            range_filter.push(Expr::cmp(CmpOp::Le, Expr::col(ci), Expr::int(h)));
+        }
+        if let Some(f) = filter {
+            range_filter.push(f.clone());
+        }
+        let combined = if range_filter.is_empty() {
+            None
+        } else {
+            Some(Expr::and_all(range_filter))
+        };
+        return scan(cpu, env, table, &combined, project);
+    }
+
+    // Columnar "index scan": stream the key lane once and select in
+    // register, then emit in (key asc, row order) — the same order and the
+    // same integral-key semantics (floats truncate, non-integral rows drop
+    // out) as the row engines' B-tree emission.
+    let chunks = chunks_of(catalog, table)?;
+    let rows = chunks.rows();
+    chunks.col(ci).touch_range(cpu, 0, rows, Dep::Stream);
+    cpu.exec_n(ExecOp::Generic, rows as u64);
+    let mut hits: Vec<(i64, usize)> = Vec::new();
+    for r in 0..rows {
+        if let Some(k) = chunks.value(ci, r).as_int() {
+            if lo_b.is_none_or(|l| k >= l) && hi_b.is_none_or(|h| k <= h) {
+                hits.push((k, r));
+            }
+        }
+    }
+    hits.sort_unstable();
+
+    let (out_cols, out_arity) = output_cols(chunks.arity(), project);
+    let mut out = Vec::new();
+    for batch in hits.chunks(BATCH_ROWS) {
+        let n = batch.len() as u64;
+        env.per_batch_ops(cpu, n);
+        // Selected rows are scattered: gather each hit's output lanes.
+        for &(_, r) in batch {
+            for &c in &out_cols {
+                chunks.col(c).touch_range(cpu, r, r + 1, Dep::Stream);
+            }
+        }
+        env.state_touch(cpu, n);
+        let mut emitted = 0u64;
+        for &(_, r) in batch {
+            let row = row_at(chunks, r);
+            if let Some(f) = filter {
+                if !f.matches(cpu, &row) {
+                    continue;
+                }
+            }
+            emitted += 1;
+            match project {
+                Some(p) => out.push(p.iter().map(|e| e.eval(cpu, &row)).collect()),
+                None => out.push(row),
+            }
+        }
+        env.materialize_rows(cpu, out_arity, emitted);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    cpu: &mut Cpu,
+    env: &mut BatchEnv<'_>,
+    left: &Plan,
+    right: &Plan,
+    left_col: usize,
+    right_col: usize,
+    filter: &Option<Expr>,
+    project: &Option<Vec<Expr>>,
+) -> storage::Result<Vec<Row>> {
+    // The vectorized personality always hash-joins. Build on the right
+    // child (workload plans put the smaller input there), with the same
+    // sizing and grace-spill model as the row executor.
+    let build_rows = run(cpu, env, right)?;
+    let arity = build_rows.first().map(|r| r.len()).unwrap_or(1);
+    let entry_bytes = 24 + 16 * arity as u64;
+    let n = build_rows.len() as u64;
+    let region = env.temp_alloc(
+        cpu,
+        n.max(16).next_power_of_two() * 8 + n.max(16) * 2 * entry_bytes,
+    )?;
+    let mut ht = SimHashTable::new_in(region, n, entry_bytes);
+    for row in build_rows {
+        let key = col(&row, right_col)?.clone();
+        ht.insert(cpu, key, row);
+    }
+    if ht.footprint() > env.work_mem && env.work_mem > 0 {
+        let batches = ht.footprint().div_ceil(env.work_mem);
+        cpu.idle_c0(200e-6 * batches as f64);
+        cpu.exec_n(ExecOp::Generic, ht.len() * 2);
+    }
+
+    let probe_rows = run(cpu, env, left)?;
+    let mut out = Vec::new();
+    for batch in probe_rows.chunks(BATCH_ROWS) {
+        env.state_touch(cpu, batch.len() as u64);
+        let mut cands: Vec<Row> = Vec::new();
+        for lrow in batch {
+            let key = col(lrow, left_col)?;
+            if matches!(key, Value::Null) {
+                continue;
+            }
+            for (_, rrow) in ht.probe(cpu, key).iter().filter(|(k, _)| k.group_eq(key)) {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                cands.push(row);
+            }
+        }
+        env.per_batch_ops(cpu, cands.len() as u64);
+        let mut emitted = 0u64;
+        let mut out_arity = 0usize;
+        for row in cands {
+            if let Some(f) = filter {
+                if !f.matches(cpu, &row) {
+                    continue;
+                }
+            }
+            let row: Row = match project {
+                Some(p) => p.iter().map(|e| e.eval(cpu, &row)).collect(),
+                None => row,
+            };
+            out_arity = row.len();
+            emitted += 1;
+            out.push(row);
+        }
+        env.materialize_rows(cpu, out_arity, emitted);
+    }
+    Ok(out)
+}
+
+fn aggregate(
+    cpu: &mut Cpu,
+    env: &mut BatchEnv<'_>,
+    input: &Plan,
+    group_by: &[usize],
+    aggs: &[storage::AggSpec],
+) -> storage::Result<Vec<Row>> {
+    let rows = run(cpu, env, input)?;
+
+    // Scalar aggregation: one state vector folded batch-at-a-time.
+    if group_by.is_empty() {
+        let mut states: Vec<AggState> = aggs.iter().map(|_| AggState::new()).collect();
+        for batch in rows.chunks(BATCH_ROWS) {
+            env.state_touch(cpu, batch.len() as u64);
+            for row in batch {
+                update_states(cpu, &mut states, aggs, row);
+            }
+        }
+        let result: Row = aggs
+            .iter()
+            .zip(&states)
+            .map(|(a, s)| s.result(a.f))
+            .collect();
+        env.materialize_rows(cpu, result.len(), 1);
+        return Ok(vec![result]);
+    }
+
+    // Hash aggregation, batch-at-a-time: the group-state slot is still a
+    // random (chase) access per row — vectorization cannot batch that — but
+    // key hashing and bookkeeping amortize over the vector.
+    let region = env.temp_alloc(cpu, (rows.len().max(16) as u64 * 64).min(1 << 22))?;
+    let slots = region.len / 64;
+    let mut groups: HashMap<Vec<u8>, (Row, Vec<AggState>)> = HashMap::new();
+    for batch in rows.chunks(BATCH_ROWS) {
+        let n = batch.len() as u64;
+        env.state_touch(cpu, n);
+        env.per_batch_ops(cpu, n);
+        cpu.exec_n(ExecOp::Mul, n);
+        for row in batch {
+            let key_vals: Row = key_of_row(row, group_by.iter().copied())?;
+            let key = canon_key(&key_vals);
+            let h = hash_bytes(&key);
+            let state_addr = region.addr + (h % slots) * 64;
+            cpu.load(state_addr, Dep::Chase);
+            cpu.store(state_addr);
+            let entry = groups
+                .entry(key)
+                .or_insert_with(|| (key_vals, aggs.iter().map(|_| AggState::new()).collect()));
+            update_states(cpu, &mut entry.1, aggs, row);
+        }
+    }
+    // Drain in canonical key order (deterministic, same as the row hash
+    // aggregate).
+    let mut entries: Vec<(Vec<u8>, Row, Vec<AggState>)> = groups
+        .into_iter()
+        .map(|(k, (kv, st))| (k, kv, st))
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(entries.len());
+    for (_, key_vals, states) in entries {
+        let mut r = key_vals;
+        r.extend(aggs.iter().zip(&states).map(|(a, s)| s.result(a.f)));
+        out.push(r);
+    }
+    if let Some(r0) = out.first() {
+        let a = r0.len();
+        env.materialize_rows(cpu, a, out.len() as u64);
+    }
+    Ok(out)
+}
+
+fn sort(
+    cpu: &mut Cpu,
+    env: &mut BatchEnv<'_>,
+    input: &Plan,
+    keys: &[(usize, bool)],
+    limit: Option<usize>,
+) -> storage::Result<Vec<Row>> {
+    let rows = run(cpu, env, input)?;
+    let row_bytes = rows.first().map(|r| r.len() as u64 * 16 + 16).unwrap_or(32);
+    let region = env.temp_alloc(
+        cpu,
+        (rows.len().max(16) as u64 * row_bytes).min(env.work_mem.max(row_bytes * 16)),
+    )?;
+    let mut sorter = SimSorter::new_in(region, row_bytes, env.work_mem);
+    for row in rows {
+        let key: Vec<Value> = key_of_row(&row, keys.iter().map(|&(c, _)| c))?;
+        sorter.push(cpu, key, row);
+    }
+    let desc: Vec<bool> = keys.iter().map(|&(_, d)| d).collect();
+    let mut sorted = sorter.finish(cpu, &desc);
+    if let Some(n) = limit {
+        sorted.truncate(n);
+    }
+    Ok(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::demo_database;
+    use crate::dml::lit;
+    use crate::profile::EngineKind;
+    use crate::Dml;
+    use simcore::{ArchConfig, Cpu, Event};
+    use storage::{AggFn, AggSpec};
+
+    fn cpu() -> Cpu {
+        Cpu::new(ArchConfig::intel_i7_4790())
+    }
+
+    #[test]
+    fn vec_scan_issues_fewer_loads_than_row_scan() {
+        // A selective single-column query: the row engines decode every
+        // tuple and pay per-row interpreter traffic; the columnar engine
+        // streams two lanes and late-materializes. Load counts must reflect
+        // that — this is the energy argument the personality exists for.
+        let plan = Plan::Scan {
+            table: "items".into(),
+            filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(20))),
+            project: Some(vec![Expr::col(2)]),
+        };
+        let loads = |kind: EngineKind| {
+            let mut c = cpu();
+            let mut db = demo_database(&mut c, kind).unwrap();
+            // Warm attach outside the measurement.
+            db.session().run(&mut c, &plan).unwrap();
+            let m = c.measure(|c| {
+                db.session().run(c, &plan).unwrap();
+            });
+            m.pmu.get(Event::LoadIssued)
+        };
+        let row = loads(EngineKind::Pg);
+        let vec = loads(EngineKind::Vec);
+        assert!(
+            vec * 4 < row,
+            "columnar scan should load far less: vec={vec} row={row}"
+        );
+    }
+
+    #[test]
+    fn vec_results_match_row_results_on_each_operator_shape() {
+        let plans = [
+            Plan::scan("items"),
+            Plan::scan_where(
+                "items",
+                Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::float(3.0)),
+            ),
+            Plan::IndexRange {
+                table: "items".into(),
+                col: "cat".into(),
+                lo: Some(2),
+                hi: Some(5),
+                filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(100))),
+                project: None,
+            },
+            Plan::IndexRange {
+                table: "items".into(),
+                col: "price".into(), // no index on price: Expr fallback
+                lo: Some(1),
+                hi: Some(4),
+                filter: None,
+                project: None,
+            },
+            Plan::scan("items").join(Plan::scan("cats"), 1, 0),
+            Plan::scan("items").aggregate(
+                vec![1],
+                vec![
+                    AggSpec::count_star(),
+                    AggSpec::over(AggFn::Sum, Expr::col(2)),
+                ],
+            ),
+            Plan::scan("items").aggregate(vec![], vec![AggSpec::over(AggFn::Avg, Expr::col(2))]),
+            Plan::scan("items").top_n(vec![(2, true), (0, false)], 9),
+            Plan::Limit {
+                input: Box::new(Plan::scan("items")),
+                n: 13,
+            },
+            Plan::scan("cats").project(vec![Expr::col(1), Expr::col(0)]),
+        ];
+        for plan in &plans {
+            let run_kind = |kind: EngineKind| {
+                let mut c = cpu();
+                let mut db = demo_database(&mut c, kind).unwrap();
+                db.session().run(&mut c, plan).unwrap()
+            };
+            let pg = run_kind(EngineKind::Pg);
+            let vec = run_kind(EngineKind::Vec);
+            assert_eq!(pg, vec, "vec disagrees with Pg on {}", plan.explain());
+        }
+    }
+
+    #[test]
+    fn vec_spans_are_v_prefixed() {
+        let plan = Plan::scan("items").aggregate(vec![1], vec![AggSpec::count_star()]);
+        let mut c = cpu();
+        let mut db = demo_database(&mut c, EngineKind::Vec).unwrap();
+        db.session().run(&mut c, &plan).unwrap();
+        mjobs::span::install();
+        db.session().run(&mut c, &plan).unwrap();
+        let spans = mjobs::span::take();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"vagg(hash)"), "{names:?}");
+        assert!(names.contains(&"vscan(items)"), "{names:?}");
+    }
+
+    #[test]
+    fn columnar_image_is_invalidated_by_dml_and_rebuilt() {
+        let mut c = cpu();
+        let mut db = demo_database(&mut c, EngineKind::Vec).unwrap();
+        let count = |c: &mut Cpu, db: &mut crate::Database| {
+            let plan = Plan::scan("items").aggregate(vec![], vec![AggSpec::count_star()]);
+            db.session().run(c, &plan).unwrap()[0][0].as_int().unwrap()
+        };
+        assert_eq!(count(&mut c, &mut db), 200);
+        assert!(db.catalog().table("items").unwrap().columnar.is_some());
+        db.session()
+            .execute(
+                &mut c,
+                &Dml::Insert {
+                    table: "items".into(),
+                    rows: vec![vec![Value::Int(900), Value::Int(1), Value::Float(2.5)]],
+                },
+            )
+            .unwrap();
+        // The write dropped the stale image...
+        assert!(db.catalog().table("items").unwrap().columnar.is_none());
+        // ...and the next query rebuilds it with the new row visible.
+        assert_eq!(count(&mut c, &mut db), 201);
+        assert!(db.catalog().table("items").unwrap().columnar.is_some());
+        // Updates and vacuum invalidate too.
+        db.session()
+            .execute(
+                &mut c,
+                &Dml::Update {
+                    table: "items".into(),
+                    filter: Some(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(900))),
+                    set: vec![(2, lit(Value::Float(9.0)))],
+                },
+            )
+            .unwrap();
+        assert!(db.catalog().table("items").unwrap().columnar.is_none());
+        assert_eq!(count(&mut c, &mut db), 201);
+        db.session().vacuum(&mut c, "items").unwrap();
+        assert!(db.catalog().table("items").unwrap().columnar.is_none());
+        assert_eq!(count(&mut c, &mut db), 201);
+    }
+
+    #[test]
+    fn missing_columnar_image_is_a_typed_error() {
+        let mut c = cpu();
+        let db = demo_database(&mut c, EngineKind::Vec).unwrap();
+        let profile = EngineKind::Vec.profile();
+        let mut env = BatchEnv::new(&mut c, db.catalog(), profile, 1 << 20, None).unwrap();
+        // Direct executor use without the session's ensure-columnar step.
+        let err = run(&mut c, &mut env, &Plan::scan("items")).unwrap_err();
+        assert!(matches!(err, StorageError::Schema(_)), "{err:?}");
+    }
+}

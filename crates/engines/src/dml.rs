@@ -51,9 +51,23 @@ pub enum Dml {
     },
 }
 
+impl Dml {
+    /// The target table of this statement.
+    pub fn table(&self) -> &str {
+        match self {
+            Dml::Insert { table, .. } | Dml::Update { table, .. } | Dml::Delete { table, .. } => {
+                table
+            }
+        }
+    }
+}
+
 impl Session<'_> {
     /// Execute a DML statement; returns the affected-row count.
     pub fn execute(&mut self, cpu: &mut Cpu, dml: &Dml) -> storage::Result<u64> {
+        // Any write staleness-invalidates the table's columnar image; the
+        // next vec query rebuilds it (`Session::run`'s ensure-columnar).
+        self.catalog.table_mut(dml.table())?.columnar = None;
         match dml {
             Dml::Insert { table, rows } => self.dml_insert(cpu, table, rows),
             Dml::Update { table, filter, set } => self.dml_update(cpu, table, filter, set),
@@ -340,6 +354,7 @@ impl Session<'_> {
         t.heap = heap;
         t.pk_index = pk_index;
         t.secondary = secondary;
+        t.columnar = None;
         Ok(rows.len() as u64)
     }
 }

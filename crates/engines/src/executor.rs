@@ -25,14 +25,14 @@ use storage::{
 /// Fetch column `c` of `row`. A plan whose join/sort/group column index
 /// exceeds the row arity is malformed input, not an executor invariant —
 /// surface it as a schema error instead of panicking the scheduler shard.
-fn col(row: &Row, c: usize) -> storage::Result<&Value> {
+pub(crate) fn col(row: &Row, c: usize) -> storage::Result<&Value> {
     row.get(c)
         .ok_or(StorageError::Schema("plan column index out of row bounds"))
 }
 
 /// Clone the `cols`-indexed values out of `row` (group/sort keys), with the
 /// same bounds policy as [`col`].
-fn key_of_row(row: &Row, cols: impl Iterator<Item = usize>) -> storage::Result<Row> {
+pub(crate) fn key_of_row(row: &Row, cols: impl Iterator<Item = usize>) -> storage::Result<Row> {
     cols.map(|c| col(row, c).cloned()).collect()
 }
 
@@ -176,7 +176,7 @@ impl<'a, P: PageAccess> Env<'a, P> {
 /// join algorithm). Public so the profiler (mjprof) can map span streams
 /// back onto plan nodes; only called when a span collector is installed.
 pub fn span_name(plan: &Plan, profile: &Profile) -> String {
-    match plan {
+    let name = match plan {
         Plan::Scan { table, .. } => format!("scan({table})"),
         Plan::IndexRange { table, col, .. } => format!("index_range({table}.{col})"),
         Plan::Join { .. } => {
@@ -192,6 +192,13 @@ pub fn span_name(plan: &Plan, profile: &Profile) -> String {
         Plan::Sort { .. } => "sort".to_owned(),
         Plan::Limit { .. } => "limit".to_owned(),
         Plan::Project { .. } => "project".to_owned(),
+    };
+    // Batch operators carry a `v` prefix so flame graphs and EXPLAIN
+    // ANALYZE distinguish the executors at a glance.
+    if profile.vectorized {
+        format!("v{name}")
+    } else {
+        name
     }
 }
 
@@ -737,7 +744,7 @@ fn aggregate<P: PageAccess>(
     Ok(out)
 }
 
-fn update_states(cpu: &mut Cpu, states: &mut [AggState], aggs: &[AggSpec], row: &Row) {
+pub(crate) fn update_states(cpu: &mut Cpu, states: &mut [AggState], aggs: &[AggSpec], row: &Row) {
     for (state, spec) in states.iter_mut().zip(aggs) {
         match (&spec.f, &spec.arg) {
             (AggFn::CountStar, _) | (_, None) => state.bump(cpu),
@@ -804,7 +811,7 @@ pub fn canon_key(vals: &[Value]) -> Vec<u8> {
     out
 }
 
-fn hash_bytes(b: &[u8]) -> u64 {
+pub(crate) fn hash_bytes(b: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &x in b {
         h ^= x as u64;
@@ -839,8 +846,9 @@ mod tests {
 
     fn assert_engines_agree(plan: &Plan) -> Vec<Row> {
         let results = run_all(plan);
-        assert_eq!(results[0], results[1], "Pg vs Lite disagree");
-        assert_eq!(results[1], results[2], "Lite vs My disagree");
+        for (i, kind) in EngineKind::ALL.into_iter().enumerate().skip(1) {
+            assert_eq!(results[0], results[i], "Pg vs {kind:?} disagree");
+        }
         results[0].clone()
     }
 
@@ -958,8 +966,9 @@ mod tests {
             })
             .collect();
         assert_eq!(results[0].len(), 7);
-        assert_eq!(results[0], results[1]);
-        assert_eq!(results[1], results[2]);
+        for (i, kind) in EngineKind::ALL.into_iter().enumerate().skip(1) {
+            assert_eq!(results[0], results[i], "Pg vs {kind:?} disagree");
+        }
         // Highest price first.
         assert_eq!(results[0][0][2], Value::Float(6.5));
     }

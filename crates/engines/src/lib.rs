@@ -1,6 +1,6 @@
 #![warn(missing_docs)]
 
-//! # engines — three database personalities plus the DTCM proof of concept
+//! # engines — the database personalities plus the DTCM proof of concept
 //!
 //! The paper profiles PostgreSQL 9.5, SQLite 3.14 and MySQL 8.0 and
 //! attributes their energy-distribution differences to *implementation
@@ -9,18 +9,19 @@
 //! auxiliary structures (hash joins, sort runs, heavier buffer management)
 //! that add stalls and calculation energy.
 //!
-//! This crate implements three engine personalities over the shared
-//! [`storage`] substrate, differing in exactly those structural ways:
+//! This crate implements the paper's three row engines over the shared
+//! [`storage`] substrate, differing in exactly those structural ways, plus
+//! a vectorized columnar counterfactual (**Vec**, the [`batch`] executor):
 //!
-//! | | **Pg** | **Lite** | **My** |
-//! |---|---|---|---|
-//! | table scan | heap cursor | table B-tree walk | clustered B-tree walk |
-//! | equi-join | hash join | index nested loop (+ transient auto-index) | hash join |
-//! | grouping | hash aggregation | sort-based | hash aggregation |
-//! | secondary index | key → tuple id | key → rowid → table B-tree | key → PK → clustered B-tree |
-//! | per-row overhead | slot abstraction | VM dispatch (state loads) | server layer + checksums |
+//! | | **Pg** | **Lite** | **My** | **Vec** |
+//! |---|---|---|---|---|
+//! | table scan | heap cursor | table B-tree walk | clustered B-tree walk | column-lane batches |
+//! | equi-join | hash join | index nested loop (+ transient auto-index) | hash join | hash join |
+//! | grouping | hash aggregation | sort-based | hash aggregation | hash aggregation |
+//! | secondary index | key → tuple id | key → rowid → table B-tree | key → PK → clustered B-tree | key-lane selection |
+//! | per-row overhead | slot abstraction | VM dispatch (state loads) | server layer + checksums | amortized per vector |
 //!
-//! All three execute the same logical [`plan::Plan`]s and must return
+//! All four execute the same logical [`plan::Plan`]s and must return
 //! identical result sets (differential tests enforce this); they differ only
 //! in which loads, stores, and ops they issue — which is the whole point.
 //!
@@ -30,6 +31,7 @@
 //! layers of the queried tables pinned in DTCM.
 
 pub mod advisor;
+pub mod batch;
 pub mod db;
 pub mod dml;
 pub mod dtcm;

@@ -176,6 +176,31 @@ impl Plan {
         })
     }
 
+    /// All base tables this plan reads, deduplicated in first-use order
+    /// (the vectorized personality attaches columnar images per table).
+    pub fn tables(&self) -> Vec<String> {
+        fn walk(p: &Plan, out: &mut Vec<String>) {
+            match p {
+                Plan::Scan { table, .. } | Plan::IndexRange { table, .. } => {
+                    if !out.iter().any(|t| t == table) {
+                        out.push(table.clone());
+                    }
+                }
+                Plan::Join { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                Plan::Aggregate { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. }
+                | Plan::Project { input, .. } => walk(input, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// A best-effort output schema (column names are synthesised for
     /// computed expressions); used by harnesses for labelling only.
     pub fn schema(&self, catalog: &Catalog) -> storage::Result<Schema> {

@@ -163,6 +163,22 @@ impl<'a> Session<'a> {
     /// Execute a logical plan with this engine's personality.
     pub fn run(&mut self, cpu: &mut Cpu, plan: &Plan) -> storage::Result<Vec<Row>> {
         let profile = self.kind.profile();
+        if profile.vectorized {
+            self.ensure_columnar(cpu, plan)?;
+            let temp = self.ctx.checkout(cpu, self.knobs.work_mem)?;
+            let result = (|| {
+                let mut env = crate::batch::BatchEnv::new(
+                    cpu,
+                    self.catalog,
+                    profile,
+                    self.knobs.work_mem,
+                    Some(temp),
+                )?;
+                crate::batch::run(cpu, &mut env, plan)
+            })();
+            self.ctx.release();
+            return result;
+        }
         let temp = self.ctx.checkout(cpu, self.knobs.work_mem)?;
         let result = (|| {
             let mut env = executor::Env::new(
@@ -179,6 +195,23 @@ impl<'a> Session<'a> {
         })();
         self.ctx.release();
         result
+    }
+
+    /// Build the columnar image of every table `plan` reads, if missing —
+    /// unsimulated attach-time setup, like index builds. DML and vacuum
+    /// invalidate the images; the next vec query lands here and rebuilds.
+    fn ensure_columnar(&mut self, cpu: &mut Cpu, plan: &Plan) -> storage::Result<()> {
+        for name in plan.tables() {
+            let t = self.catalog.table(&name)?;
+            if t.columnar.is_some() {
+                continue;
+            }
+            let heap = t.heap.clone();
+            let schema = t.schema.clone();
+            let chunks = storage::ColumnChunks::build(cpu, &heap, self.store, &schema)?;
+            self.catalog.table_mut(&name)?.columnar = Some(chunks);
+        }
+        Ok(())
     }
 }
 

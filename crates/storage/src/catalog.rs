@@ -23,6 +23,9 @@ pub struct TableInfo {
     pub pk_col: Option<usize>,
     /// Secondary indexes: `(column, tree)`.
     pub secondary: Vec<(usize, BTree)>,
+    /// Columnar image for the vectorized personality, built lazily at
+    /// first `vec` attach and invalidated by DML/vacuum.
+    pub columnar: Option<crate::colchunk::ColumnChunks>,
 }
 
 /// All tables of one database instance.
@@ -52,6 +55,7 @@ impl Catalog {
             pk_index: None,
             pk_col: None,
             secondary: Vec::new(),
+            columnar: None,
         });
         self.by_name.insert(name.to_owned(), id);
         Ok(id)

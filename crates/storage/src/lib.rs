@@ -2,7 +2,7 @@
 
 //! # storage — the database storage substrate
 //!
-//! Everything the three engine personalities share: typed values and
+//! Everything the engine personalities share: typed values and
 //! schemas, a row codec, slotted pages over the simulated arena, a buffer
 //! pool with eviction and simulated disk I/O, heap files, B+trees, a
 //! catalog, and an expression/aggregate evaluator.
@@ -17,6 +17,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
+pub mod colchunk;
 pub mod expr;
 pub mod heap;
 pub mod page;
@@ -28,6 +29,7 @@ pub mod value;
 pub use btree::BTree;
 pub use buffer::{BufferPool, PageStore};
 pub use catalog::{Catalog, TableId, TableInfo};
+pub use colchunk::{ColumnChunks, ColumnVec};
 pub use expr::{AggFn, AggSpec, BinOp, CmpOp, Expr};
 pub use heap::HeapFile;
 pub use page::PageId;

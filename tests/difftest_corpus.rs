@@ -1,8 +1,8 @@
 //! Fixed-corpus differential regression (ISSUE 5 tentpole).
 //!
 //! Pins engine agreement on TPC-H Q1–Q22 and the 7 basic operations across
-//! all four variants (pg / lite / my on the i7-4790, SQLite+DTCM on the
-//! ARM1176JZF-S), with the energy-accounting invariants enabled: PMU
+//! all five variants (pg / lite / my / vec on the i7-4790, SQLite+DTCM on
+//! the ARM1176JZF-S), with the energy-accounting invariants enabled: PMU
 //! conservation, batched fast-path reconciliation, and the bounded-residual
 //! `Σ ΔE_m·N_m` vs `Eactive` model check against freshly calibrated tables.
 //!
@@ -26,7 +26,7 @@ fn quick_tables() -> (Arc<EnergyTable>, Arc<EnergyTable>) {
 }
 
 #[test]
-fn fixed_corpus_agrees_across_all_four_variants_under_invariants() {
+fn fixed_corpus_agrees_across_all_variants_under_invariants() {
     let (x86, arm) = quick_tables();
     let cfg = DiffConfig {
         fuzz: 0,

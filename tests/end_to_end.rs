@@ -32,11 +32,13 @@ fn breakdown_of(kind: EngineKind, table: &EnergyTable, plan: &engines::Plan) -> 
 }
 
 /// The headline finding: L1D load/store is the energy bottleneck of query
-/// workloads — 39%–67% of Active energy — on every engine.
+/// workloads — 39%–67% of Active energy — on every *row* engine. The
+/// vectorized `vec` personality sits below the band by design — that is
+/// the `ext_rowcol` result, asserted separately below.
 #[test]
 fn l1d_is_the_energy_bottleneck() {
     let table = quick_table();
-    for kind in EngineKind::ALL {
+    for kind in EngineKind::ROW {
         let parts: Vec<Breakdown> = [BasicOp::TableScan, BasicOp::Select, BasicOp::GroupBy]
             .iter()
             .map(|op| breakdown_of(kind, &table, &op.plan()))
@@ -92,6 +94,34 @@ fn sqlite_has_the_highest_l1d_share() {
     }
 }
 
+/// The vectorized counterfactual: on the same operations, the `vec`
+/// personality's L1D+Reg2L1D share must come in *below* every row
+/// engine's — batches amortize the per-tuple state traffic that puts the
+/// row trio in the 39–67% band (`ext_rowcol` quantifies this on TPC-H).
+#[test]
+fn vectorized_engine_cuts_the_l1d_share() {
+    let table = quick_table();
+    let ops = [BasicOp::TableScan, BasicOp::Select, BasicOp::GroupBy];
+    let share_of = |kind: EngineKind| {
+        let parts: Vec<Breakdown> = ops
+            .iter()
+            .map(|op| breakdown_of(kind, &table, &op.plan()))
+            .collect();
+        Breakdown::merge(&parts).expect("ops ran").l1d_share()
+    };
+    let vec_share = share_of(EngineKind::Vec);
+    for kind in EngineKind::ROW {
+        let row_share = share_of(kind);
+        assert!(
+            vec_share < row_share,
+            "vec {:.1}% must undercut {} {:.1}%",
+            vec_share * 100.0,
+            kind.name(),
+            row_share * 100.0
+        );
+    }
+}
+
 /// The calibration + verification pipeline meets the paper's accuracy band.
 #[test]
 fn verification_accuracy_in_paper_band() {
@@ -108,7 +138,7 @@ fn verification_accuracy_in_paper_band() {
     }
 }
 
-/// All 22 TPC-H queries return identical results on all three engines.
+/// All 22 TPC-H queries return identical results on all four engines.
 #[test]
 fn tpch_differential_all_queries() {
     let mut dbs: Vec<(Cpu, engines::Database)> = EngineKind::ALL
@@ -142,8 +172,9 @@ fn tpch_differential_all_queries() {
             c.sort();
             canon.push(c);
         }
-        assert_eq!(canon[0], canon[1], "{}: Pg vs Lite", q.name());
-        assert_eq!(canon[1], canon[2], "{}: Lite vs My", q.name());
+        for (i, kind) in EngineKind::ALL.into_iter().enumerate().skip(1) {
+            assert_eq!(canon[0], canon[i], "{}: Pg vs {kind:?}", q.name());
+        }
     }
 }
 

@@ -68,8 +68,9 @@ fn sql_joins_and_aggregates_agree_across_engines() {
         let mut db = build_tpch_db(&mut cpu, kind, KnobLevel::Baseline, TpchScale::tiny()).unwrap();
         results.push(canon(run_sql(&mut cpu, &mut db, sql)));
     }
-    assert_eq!(results[0], results[1]);
-    assert_eq!(results[1], results[2]);
+    for (i, kind) in EngineKind::ALL.into_iter().enumerate().skip(1) {
+        assert_eq!(results[0], results[i], "Pg vs {kind:?}");
+    }
     assert!(!results[0].is_empty());
 }
 
